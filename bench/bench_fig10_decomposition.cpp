@@ -1,0 +1,39 @@
+// Figure 10: average JCT decomposition (prefill / quant / comm /
+// dequant-or-approx / decode) for Llama-3.1 70B across datasets, A10G
+// prefill. One sub-table per dataset, one row per method, matching the
+// paper's stacked bars.
+#include "bench_util.h"
+
+using namespace hack;
+using namespace hack::bench;
+
+int main() {
+  const Method methods[] = {Method::kBaseline, Method::kCacheGen,
+                            Method::kKvQuant, Method::kHack};
+  for (const std::string& dataset : dataset_names()) {
+    Table t("Fig 10 [" + dataset + "]: avg component time (s)");
+    t.header({"method", "prefill", "quant", "comm", "dequant/approx",
+              "decode", "jct"});
+    for (const Method method : methods) {
+      const SimSummary s = run(standard_cluster("A10G", "L", dataset, method));
+      t.row({method_name(method), fmt(s.mean_prefill_s, 2),
+             fmt(s.mean_quant_s, 2), fmt(s.mean_comm_s, 2),
+             fmt(s.mean_dequant_or_approx_s, 2), fmt(s.mean_decode_s, 2),
+             fmt(s.avg_jct_s, 1)});
+    }
+    t.print();
+  }
+
+  // Headline prefill improvement (the HQ-matmul INT8 path, §7.2).
+  Table t("Fig 10 summary: HACK prefill time vs others");
+  t.header({"dataset", "prefill_reduction_vs_baseline"});
+  for (const std::string& dataset : dataset_names()) {
+    const SimSummary base =
+        run(standard_cluster("A10G", "L", dataset, Method::kBaseline));
+    const SimSummary hck =
+        run(standard_cluster("A10G", "L", dataset, Method::kHack));
+    t.row({dataset, pct(1.0 - hck.mean_prefill_s / base.mean_prefill_s)});
+  }
+  t.print();
+  return 0;
+}

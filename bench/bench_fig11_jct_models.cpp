@@ -1,0 +1,27 @@
+// Figure 11: average JCT across requests for different models with Cocktail
+// (Falcon-180B with arXiv), A10G prefill, four methods.
+#include "bench_util.h"
+
+using namespace hack;
+using namespace hack::bench;
+
+int main() {
+  const Method methods[] = {Method::kBaseline, Method::kCacheGen,
+                            Method::kKvQuant, Method::kHack};
+  Table t("Fig 11: avg JCT (s) across models (A10G prefill)");
+  t.header({"model", "Baseline", "CacheGen", "KVQuant", "HACK",
+            "HACK_vs_base", "HACK_vs_CacheGen"});
+  for (const ModelScenario& sc : model_scenarios()) {
+    double jct[4] = {};
+    for (int m = 0; m < 4; ++m) {
+      jct[m] = run(standard_cluster("A10G", sc.model_letter, sc.dataset,
+                                    methods[m]))
+                   .avg_jct_s;
+    }
+    t.row({sc.label, fmt(jct[0], 1), fmt(jct[1], 1), fmt(jct[2], 1),
+           fmt(jct[3], 1), pct(1.0 - jct[3] / jct[0]),
+           pct(1.0 - jct[3] / jct[1])});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 12: average JCT for Llama-3.1 70B with Cocktail across prefill
+// instances, four methods. Key shapes: HACK's edge over CacheGen/KVQuant is
+// smallest on V100 (no INT8 tensor cores), while HACK's edge over the
+// baseline is largest on V100 (lowest bandwidth, biggest transfer win).
+#include "bench_util.h"
+
+using namespace hack;
+using namespace hack::bench;
+
+int main() {
+  const Method methods[] = {Method::kBaseline, Method::kCacheGen,
+                            Method::kKvQuant, Method::kHack};
+  Table t("Fig 12: avg JCT (s) for L + Cocktail across prefill GPUs");
+  t.header({"gpu", "Baseline", "CacheGen", "KVQuant", "HACK", "HACK_vs_base",
+            "HACK_vs_CacheGen", "HACK_vs_KVQuant"});
+  for (const std::string& gpu : prefill_gpus()) {
+    double jct[4] = {};
+    for (int m = 0; m < 4; ++m) {
+      jct[m] =
+          run(standard_cluster(gpu, "L", "Cocktail", methods[m])).avg_jct_s;
+    }
+    t.row({gpu, fmt(jct[0], 1), fmt(jct[1], 1), fmt(jct[2], 1), fmt(jct[3], 1),
+           pct(1.0 - jct[3] / jct[0]), pct(1.0 - jct[3] / jct[1]),
+           pct(1.0 - jct[3] / jct[2])});
+  }
+  t.print();
+  return 0;
+}

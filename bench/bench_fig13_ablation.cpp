@@ -1,0 +1,28 @@
+// Figure 13: ablation study — HACK vs HACK/SE (no summation elimination)
+// vs HACK/RQE (no requantization elimination), avg JCT across datasets
+// (Llama-3.1 70B, A10G prefill). Paper shapes: SE matters most on long
+// sequences (the Σb' recompute scales with L); RQE matters most on short
+// sequences (the per-iteration requantization is fixed-size work).
+#include "bench_util.h"
+
+using namespace hack;
+using namespace hack::bench;
+
+int main() {
+  const Method methods[] = {Method::kHack, Method::kHackNoSE,
+                            Method::kHackNoRQE};
+  Table t("Fig 13: ablation avg JCT (s), L + A10G prefill");
+  t.header({"dataset", "HACK", "HACK/SE", "HACK/RQE", "SE_penalty",
+            "RQE_penalty"});
+  for (const std::string& dataset : dataset_names()) {
+    double jct[3] = {};
+    for (int m = 0; m < 3; ++m) {
+      jct[m] =
+          run(standard_cluster("A10G", "L", dataset, methods[m])).avg_jct_s;
+    }
+    t.row({dataset, fmt(jct[0], 1), fmt(jct[1], 1), fmt(jct[2], 1),
+           pct(jct[1] / jct[0] - 1.0), pct(jct[2] / jct[0] - 1.0)});
+  }
+  t.print();
+  return 0;
+}

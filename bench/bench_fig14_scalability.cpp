@@ -1,0 +1,42 @@
+// Figure 14: scalability — avg JCT as the prefill:decode replica ratio p
+// grows. The decode side is one A100 replica (TP=4: half a p4de instance,
+// 200 Gbps per §7.6); prefill replicas are A10G pairs; RPS grows with p.
+// Paper shape: the baseline's JCT blows up with p (KV transfer and decode
+// memory saturate), while CacheGen/KVQuant/HACK grow slowly.
+#include "bench_util.h"
+
+using namespace hack;
+using namespace hack::bench;
+
+int main() {
+  const Method methods[] = {Method::kBaseline, Method::kCacheGen,
+                            Method::kKvQuant, Method::kHack};
+  Table t("Fig 14: avg JCT (s) vs p (prefill:decode replica ratio)");
+  t.header({"p", "rps", "Baseline", "CacheGen", "KVQuant", "HACK"});
+  double first[4] = {}, last[4] = {};
+  for (int p = 1; p <= 8; ++p) {
+    const double rps = 0.05 * p;
+    std::vector<std::string> cells = {std::to_string(p), fmt(rps, 2)};
+    for (int m = 0; m < 4; ++m) {
+      ClusterConfig config =
+          standard_cluster("A10G", "L", "Cocktail", methods[m], rps);
+      config.prefill_replicas = p;
+      config.decode_replicas = 1;  // one A100 model replica (TP=4)
+      config.decode_nic_gbps = 200.0;
+      const double jct = run(config).avg_jct_s;
+      cells.push_back(fmt(jct, 1));
+      if (p == 1) first[m] = jct;
+      if (p == 8) last[m] = jct;
+    }
+    t.row(cells);
+  }
+  t.print();
+
+  Table s("Fig 14 summary: JCT growth from p=1 to p=8");
+  s.header({"method", "growth"});
+  for (int m = 0; m < 4; ++m) {
+    s.row({method_name(methods[m]), pct(last[m] / first[m] - 1.0)});
+  }
+  s.print();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 2: CacheGen / KVQuant time ratios across prefill GPUs
+// (Llama-3.1 70B, Cocktail). The new column vs Fig. 1a is the per-iteration
+// KV dequantization share the codecs introduce.
+#include "bench_util.h"
+
+using namespace hack;
+using namespace hack::bench;
+
+int main() {
+  for (const Method method : {Method::kCacheGen, Method::kKvQuant}) {
+    Table t("Fig 2 (" + method_name(method) +
+            "): time ratios across prefill GPUs (L, Cocktail)");
+    t.header({"gpu", "prefill", "comm", "dequant", "decode", "avg_jct_s"});
+    for (const std::string& gpu : prefill_gpus()) {
+      const SimSummary s = run(standard_cluster(gpu, "L", "Cocktail", method));
+      t.row({gpu, pct(s.prefill_ratio), pct(s.comm_ratio),
+             pct(s.dequant_or_approx_ratio), pct(s.decode_ratio),
+             fmt(s.avg_jct_s, 1)});
+    }
+    t.print();
+  }
+
+  // The comparison the paper draws from Fig. 1a vs Fig. 2: how much of the
+  // communication share the codecs remove on each GPU tier.
+  Table t("Fig 2 summary: comm-ratio reduction vs baseline");
+  t.header({"gpu", "baseline_comm", "cachegen_comm", "kvquant_comm"});
+  for (const std::string& gpu : prefill_gpus()) {
+    const SimSummary base =
+        run(standard_cluster(gpu, "L", "Cocktail", Method::kBaseline));
+    const SimSummary cg =
+        run(standard_cluster(gpu, "L", "Cocktail", Method::kCacheGen));
+    const SimSummary kvq =
+        run(standard_cluster(gpu, "L", "Cocktail", Method::kKvQuant));
+    t.row({gpu, pct(base.comm_ratio), pct(cg.comm_ratio),
+           pct(kvq.comm_ratio)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 3: CacheGen / KVQuant time ratios across models (A10G prefill).
+#include "bench_util.h"
+
+using namespace hack;
+using namespace hack::bench;
+
+int main() {
+  for (const Method method : {Method::kCacheGen, Method::kKvQuant}) {
+    Table t("Fig 3 (" + method_name(method) +
+            "): time ratios across models (A10G prefill)");
+    t.header({"model", "prefill", "comm", "dequant", "decode", "avg_jct_s"});
+    for (const ModelScenario& sc : model_scenarios()) {
+      const SimSummary s =
+          run(standard_cluster("A10G", sc.model_letter, sc.dataset, method));
+      t.row({sc.label, pct(s.prefill_ratio), pct(s.comm_ratio),
+             pct(s.dequant_or_approx_ratio), pct(s.decode_ratio),
+             fmt(s.avg_jct_s, 1)});
+    }
+    t.print();
+  }
+  return 0;
+}

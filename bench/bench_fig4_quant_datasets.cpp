@@ -1,0 +1,35 @@
+// Figure 4: CacheGen / KVQuant time ratios across datasets
+// (Llama-3.1 70B, A10G prefill). The paper's headline: long-sequence
+// datasets pay 12.4-24.9x the dequantization time of short ones.
+#include "bench_util.h"
+
+using namespace hack;
+using namespace hack::bench;
+
+int main() {
+  double dequant_short = 0.0, dequant_long = 0.0;
+  for (const Method method : {Method::kCacheGen, Method::kKvQuant}) {
+    Table t("Fig 4 (" + method_name(method) +
+            "): time ratios across datasets (L, A10G prefill)");
+    t.header({"dataset", "prefill", "comm", "dequant", "decode",
+              "dequant_s", "avg_jct_s"});
+    for (const std::string& dataset : dataset_names()) {
+      const SimSummary s = run(standard_cluster("A10G", "L", dataset, method));
+      t.row({dataset, pct(s.prefill_ratio), pct(s.comm_ratio),
+             pct(s.dequant_or_approx_ratio), pct(s.decode_ratio),
+             fmt(s.mean_dequant_or_approx_s, 2), fmt(s.avg_jct_s, 1)});
+      if (method == Method::kCacheGen) {
+        if (dataset == "IMDb") dequant_short = s.mean_dequant_or_approx_s;
+        if (dataset == "Cocktail") dequant_long = s.mean_dequant_or_approx_s;
+      }
+    }
+    t.print();
+  }
+
+  Table t("Fig 4 summary: long-vs-short dequantization time");
+  t.header({"metric", "value"});
+  t.row({"CacheGen Cocktail/IMDb dequant time ratio",
+         fmt(dequant_long / dequant_short, 1) + "x"});
+  t.print();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 9: average JCT across requests for Llama-3.1 70B with varying
+// datasets (A10G prefill), four methods. The paper's headline orderings:
+// HACK < CacheGen/KVQuant < Baseline, with larger HACK gains on the
+// long-sequence datasets (arXiv, Cocktail).
+#include "bench_util.h"
+
+using namespace hack;
+using namespace hack::bench;
+
+int main() {
+  const Method methods[] = {Method::kBaseline, Method::kCacheGen,
+                            Method::kKvQuant, Method::kHack};
+  Table t("Fig 9: avg JCT (s) for L across datasets (A10G prefill)");
+  t.header({"dataset", "Baseline", "CacheGen", "KVQuant", "HACK",
+            "HACK_vs_base", "HACK_vs_CacheGen", "HACK_vs_KVQuant"});
+  for (const std::string& dataset : dataset_names()) {
+    double jct[4] = {};
+    for (int m = 0; m < 4; ++m) {
+      jct[m] =
+          run(standard_cluster("A10G", "L", dataset, methods[m])).avg_jct_s;
+    }
+    t.row({dataset, fmt(jct[0], 1), fmt(jct[1], 1), fmt(jct[2], 1),
+           fmt(jct[3], 1), pct(1.0 - jct[3] / jct[0]),
+           pct(1.0 - jct[3] / jct[1]), pct(1.0 - jct[3] / jct[2])});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Kernel microbenchmarks (google-benchmark): the primitive costs behind the
+// paper's argument. The headline comparison is HQ_MatmulDecode vs
+// DequantThenMatmulDecode — computing on quantized KV versus the baselines'
+// dequantize-first path, at decode shapes (single query row, long KV).
+#include <benchmark/benchmark.h>
+
+#include "attention/flash.h"
+#include "attention/hack_attention.h"
+#include "attention/reference.h"
+#include "codec/cachegen.h"
+#include "codec/kvquant.h"
+#include "core/hq_matmul.h"
+#include "quant/packed.h"
+#include "quant/quantizer.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace hack;
+
+void BM_Quantize2Bit(benchmark::State& state) {
+  const auto tokens = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix m = Matrix::random_gaussian(tokens, 128, rng);
+  Rng qrng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        quantize(m, 2, 64, QuantAxis::kRow, Rounding::kStochastic, qrng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m.size()));
+}
+BENCHMARK(BM_Quantize2Bit)->Arg(256)->Arg(1024);
+
+void BM_Dequantize(benchmark::State& state) {
+  const auto tokens = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const Matrix m = Matrix::random_gaussian(tokens, 128, rng);
+  Rng qrng(4);
+  const QuantizedMatrix q =
+      quantize(m, 2, 64, QuantAxis::kRow, Rounding::kStochastic, qrng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dequantize(q));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(m.size()));
+}
+BENCHMARK(BM_Dequantize)->Arg(256)->Arg(1024);
+
+void BM_PackUnpack2Bit(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::uint8_t> codes(1 << 16);
+  for (auto& c : codes) c = static_cast<std::uint8_t>(rng.next_below(4));
+  for (auto _ : state) {
+    const PackedBits packed = PackedBits::pack(codes, 2);
+    benchmark::DoNotOptimize(packed.unpack());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(codes.size()));
+}
+BENCHMARK(BM_PackUnpack2Bit);
+
+// Decode-shape comparison: S = q · Kᵀ with L cached keys.
+void BM_HqMatmulDecode(benchmark::State& state) {
+  const auto l = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  const Matrix q = Matrix::random_gaussian(1, 128, rng);
+  const Matrix k = Matrix::random_gaussian(l, 128, rng);
+  Rng q1(7), q2(8);
+  const QuantizedMatrix qq =
+      quantize(q, 8, 64, QuantAxis::kRow, Rounding::kStochastic, q1);
+  const QuantizedMatrix qk =
+      quantize(k, 2, 64, QuantAxis::kRow, Rounding::kStochastic, q2);
+  const SumCache sums = SumCache::build(qk);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hq_matmul_nt(qq, qk, &sums));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(l));
+}
+BENCHMARK(BM_HqMatmulDecode)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_DequantThenMatmulDecode(benchmark::State& state) {
+  const auto l = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  const Matrix q = Matrix::random_gaussian(1, 128, rng);
+  const Matrix k = Matrix::random_gaussian(l, 128, rng);
+  Rng q2(10);
+  const QuantizedMatrix qk =
+      quantize(k, 2, 64, QuantAxis::kRow, Rounding::kStochastic, q2);
+  for (auto _ : state) {
+    const Matrix k_restored = dequantize(qk);  // the per-iteration dequant
+    benchmark::DoNotOptimize(matmul_nt(q, k_restored));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(l));
+}
+BENCHMARK(BM_DequantThenMatmulDecode)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_FlashAttention(benchmark::State& state) {
+  const auto l = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  const Matrix q = Matrix::random_gaussian(1, 128, rng);
+  const Matrix k = Matrix::random_gaussian(l, 128, rng);
+  const Matrix v = Matrix::random_gaussian(l, 128, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attention_flash(
+        q, k, v, {.causal = true, .key_offset = l - 1, .tile_tokens = 64}));
+  }
+}
+BENCHMARK(BM_FlashAttention)->Arg(1024)->Arg(4096);
+
+void BM_HackAttentionDecodeStep(benchmark::State& state) {
+  const auto l = static_cast<std::size_t>(state.range(0));
+  Rng rng(12);
+  HackAttentionConfig config;
+  config.pi = 64;
+  HackKvState kv(128, config);
+  kv.append_tokens(Matrix::random_gaussian(l, 128, rng),
+                   Matrix::random_gaussian(l, 128, rng), rng);
+  const Matrix q = Matrix::random_gaussian(1, 128, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hack_attention(
+        q, kv, {.causal = true, .key_offset = kv.tokens() - 1}, rng));
+  }
+}
+BENCHMARK(BM_HackAttentionDecodeStep)->Arg(1024)->Arg(4096);
+
+void BM_CacheGenEncode(benchmark::State& state) {
+  Rng rng(13);
+  const Matrix chunk = Matrix::random_gaussian(256, 128, rng);
+  const CacheGenCodec codec;
+  Rng qrng(14);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(chunk, KvKind::kKey, qrng));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(chunk.size()));
+}
+BENCHMARK(BM_CacheGenEncode);
+
+void BM_CacheGenDecode(benchmark::State& state) {
+  Rng rng(15);
+  const Matrix chunk = Matrix::random_gaussian(256, 128, rng);
+  const CacheGenCodec codec;
+  Rng qrng(16);
+  const auto blob = codec.encode(chunk, KvKind::kKey, qrng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(blob));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(chunk.size()));
+}
+BENCHMARK(BM_CacheGenDecode);
+
+void BM_KvQuantRoundTrip(benchmark::State& state) {
+  Rng rng(17);
+  const Matrix chunk = Matrix::random_gaussian(256, 128, rng);
+  const KvQuantCodec codec;
+  Rng qrng(18);
+  for (auto _ : state) {
+    const auto blob = codec.encode(chunk, KvKind::kKey, qrng);
+    benchmark::DoNotOptimize(codec.decode(blob));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(chunk.size()));
+}
+BENCHMARK(BM_KvQuantRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

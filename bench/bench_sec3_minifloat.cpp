@@ -1,0 +1,43 @@
+// §3: low-precision floating-point KV (FP4/FP6/FP8) simulation.
+// The paper's method: store KV in the mini format, convert to FP16 before
+// attention, and halve matmul time to emulate FP8 tensor cores. The point of
+// the section: FP formats cannot compress enough to fix the communication or
+// memory-access bottlenecks.
+#include "bench_util.h"
+#include "quant/minifloat.h"
+
+using namespace hack;
+using namespace hack::bench;
+
+int main() {
+  {
+    Table t("Sec 3: mini-float KV across prefill GPUs (L, Cocktail)");
+    t.header({"format", "gpu", "comm", "kv_mem_access", "avg_jct_s"});
+    for (const Method method : {Method::kFp4, Method::kFp6, Method::kFp8}) {
+      for (const std::string& gpu : prefill_gpus()) {
+        const SimSummary s =
+            run(standard_cluster(gpu, "L", "Cocktail", method));
+        t.row({method_name(method), gpu, pct(s.comm_ratio),
+               pct(s.kv_access_ratio), fmt(s.avg_jct_s, 1)});
+      }
+    }
+    t.print();
+  }
+
+  {
+    Table t("Sec 3: compression rate vs FP16 (storage formats)");
+    t.header({"format", "compression", "paper_band"});
+    t.row({"FP4",
+           pct(minifloat_compression_vs_fp16(MiniFloatFormat::kFp4E2M1)),
+           "<= 75%"});
+    t.row({"FP6",
+           pct(minifloat_compression_vs_fp16(MiniFloatFormat::kFp6E3M2)),
+           "62.5%"});
+    t.row({"FP8",
+           pct(minifloat_compression_vs_fp16(MiniFloatFormat::kFp8E4M3)),
+           "50%"});
+    t.row({"2-bit quant (CacheGen/KVQuant/HACK)", "~86%", "86%"});
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table 5: peak GPU memory usage on decode instances across datasets, plus
+// §7.4's overhead accounting: SE sum storage (paper: 2.2-2.7% of capacity)
+// and RQE FP16 last-block storage (paper: 0.24-0.51%), measured from the
+// real quantized cache rather than the analytic model.
+#include "attention/hack_attention.h"
+#include "bench_util.h"
+
+using namespace hack;
+using namespace hack::bench;
+
+int main() {
+  const Method methods[] = {Method::kBaseline, Method::kCacheGen,
+                            Method::kKvQuant, Method::kHack};
+  {
+    Table t("Table 5: peak decode GPU memory usage (L, A10G prefill)");
+    t.header({"method", "IMDb", "arXiv", "Cocktail", "HumanEval"});
+    for (const Method method : methods) {
+      std::vector<std::string> cells = {method_name(method)};
+      for (const std::string& dataset : dataset_names()) {
+        ClusterConfig config =
+            standard_cluster("A10G", "L", dataset, method);
+        // The paper's memory-pressured operating point: RPS at maximum
+        // processing capacity against half the decode fleet, so the FP16
+        // baseline's KV footprint saturates decode memory while the
+        // quantized methods stay comfortable (Table 5's 93.7% vs ~60%).
+        config.decode_replicas = 2;
+        config.rps *= 1.6;
+        cells.push_back(pct(run(config).peak_decode_mem_fraction));
+      }
+      t.row(cells);
+    }
+    t.print();
+  }
+
+  // §7.4: exact byte accounting from the real per-head quantized KV state.
+  {
+    Table t("Sec 7.4: HACK cache overhead accounting (measured, per head)");
+    t.header({"tokens", "packed_kv", "sum_cache(SE)", "fp16_tail(RQE)",
+              "sum_share", "tail_share_of_fp16_kv"});
+    HackAttentionConfig hc;
+    hc.pi = 64;
+    Rng rng(1);
+    HackKvState state(128, hc);
+    for (const std::size_t target : {250u, 1000u, 4100u, 16000u}) {
+      while (state.tokens() < target) {
+        const std::size_t n = target - state.tokens();
+        const std::size_t chunk = n < 512 ? n : 512;
+        const Matrix k = Matrix::random_gaussian(chunk, 128, rng);
+        const Matrix v = Matrix::random_gaussian(chunk, 128, rng);
+        state.append_tokens(k, v, rng);
+      }
+      const double fp16_kv = 2.0 * 2.0 * 128.0 * static_cast<double>(target);
+      const double total = static_cast<double>(state.packed_kv_bytes()) +
+                           state.sum_cache_bytes() + state.fp16_tail_bytes();
+      t.row({std::to_string(target), std::to_string(state.packed_kv_bytes()),
+             std::to_string(state.sum_cache_bytes()),
+             std::to_string(state.fp16_tail_bytes()),
+             pct(state.sum_cache_bytes() / total),
+             pct(state.fp16_tail_bytes() / fp16_kv, 3)});
+    }
+    t.print();
+  }
+  return 0;
+}

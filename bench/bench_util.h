@@ -1,0 +1,56 @@
+// Shared helpers for the per-figure/table bench binaries.
+//
+// Every binary regenerates one table or figure from the paper's evaluation:
+// it runs the cluster simulator (JCT experiments) or the tiny transformer
+// (accuracy experiments) and prints the same rows/series the paper reports,
+// both human-readable and as csv-prefixed lines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/simulator.h"
+#include "metrics/report.h"
+
+namespace hack::bench {
+
+inline const std::vector<std::string>& prefill_gpus() {
+  static const std::vector<std::string> gpus = {"A10G", "V100", "T4", "L4",
+                                                "A100"};
+  return gpus;
+}
+
+inline const std::vector<std::string>& dataset_names() {
+  static const std::vector<std::string> names = {"IMDb", "arXiv", "Cocktail",
+                                                 "HumanEval"};
+  return names;
+}
+
+// The model sweep of Fig. 1b / 3 / 11: M, P, Y, L on Cocktail; Falcon-180B
+// cannot fit Cocktail's context (§2.1) and runs arXiv, labeled F-arXiv.
+struct ModelScenario {
+  std::string label;
+  std::string model_letter;
+  std::string dataset;
+};
+
+inline const std::vector<ModelScenario>& model_scenarios() {
+  static const std::vector<ModelScenario> scenarios = {
+      {"M", "M", "Cocktail"},  {"P", "P", "Cocktail"}, {"Y", "Y", "Cocktail"},
+      {"L", "L", "Cocktail"},  {"F-arXiv", "F", "arXiv"},
+  };
+  return scenarios;
+}
+
+// Standard run size: large enough for stable averages, small enough that
+// every bench binary finishes in seconds.
+inline constexpr int kRequests = 48;
+inline constexpr std::uint64_t kSeed = 2025;
+
+inline SimSummary run(ClusterConfig config) {
+  config.num_requests = kRequests;
+  config.seed = kSeed;
+  return run_cluster_sim(config);
+}
+
+}  // namespace hack::bench

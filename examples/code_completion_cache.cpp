@@ -1,0 +1,85 @@
+// Code-completion cache scenario (the HumanEval workload): many short
+// requests share a long common prefix (repository context), exercising the
+// paged KV cache's copy-on-write prefix sharing together with HACK's
+// quantized per-head state.
+//
+// Shows: (1) forked sequences share physical blocks until they diverge;
+// (2) the quantized cache admits ~6x the sequences of the FP16 cache under
+// the same byte budget.
+//
+// Build & run:  ./build/examples/code_completion_cache
+#include <cstdio>
+
+#include "kvcache/paged_cache.h"
+#include "kvcache/quantized_cache.h"
+#include "metrics/report.h"
+
+using namespace hack;
+
+int main() {
+  constexpr std::size_t kDHead = 64;
+  constexpr std::size_t kBlockTokens = 16;
+  constexpr std::size_t kPrefix = 96;  // shared repository context
+
+  // ---- FP16 paged cache with prefix sharing -------------------------------
+  BlockAllocator allocator(128,
+                           PagedKvCache::block_bytes_for(kDHead, kBlockTokens));
+  PagedKvCache cache(allocator, kDHead, kBlockTokens);
+
+  Rng rng(3);
+  const Matrix prefix_k = Matrix::random_gaussian(kPrefix, kDHead, rng);
+  const Matrix prefix_v = Matrix::random_gaussian(kPrefix, kDHead, rng);
+  if (!cache.append(0, prefix_k, prefix_v)) return 1;
+  const std::size_t blocks_for_prefix = allocator.blocks_in_use();
+
+  // Five completion requests fork the shared prefix, then extend privately.
+  for (SeqId seq = 1; seq <= 5; ++seq) {
+    cache.fork(0, seq);
+    const Matrix k = Matrix::random_gaussian(8, kDHead, rng);
+    const Matrix v = Matrix::random_gaussian(8, kDHead, rng);
+    if (!cache.append(seq, k, v)) return 1;
+  }
+
+  Table t("FP16 paged cache: prefix sharing (5 forks of a 96-token prefix)");
+  t.header({"metric", "value"});
+  t.row({"blocks for the shared prefix", std::to_string(blocks_for_prefix)});
+  t.row({"blocks in use after 5 forks + 8 private tokens each",
+         std::to_string(allocator.blocks_in_use())});
+  t.row({"blocks if forks copied everything",
+         std::to_string(6 * blocks_for_prefix + 5)});
+  t.print();
+
+  // ---- Quantized cache capacity under a fixed byte budget -----------------
+  HackAttentionConfig hc;
+  hc.pi = 32;
+  constexpr std::size_t kBudget = 600 * 1024;  // bytes of "GPU memory"
+  QuantizedKvCache qcache(/*layers=*/2, /*kv_heads=*/2, kDHead, hc, kBudget);
+
+  std::size_t admitted = 0;
+  Rng qrng(4);
+  for (SeqId seq = 0; seq < 64; ++seq) {
+    if (!qcache.admit(seq)) break;
+    std::vector<Matrix> ks, vs;
+    for (int head = 0; head < 4; ++head) {
+      ks.push_back(Matrix::random_gaussian(kPrefix + 8, kDHead, qrng));
+      vs.push_back(Matrix::random_gaussian(kPrefix + 8, kDHead, qrng));
+    }
+    qcache.append_tokens(seq, ks, vs, qrng);
+    ++admitted;
+  }
+  const double fp16_per_seq =
+      2.0 * 2.0 * (kPrefix + 8) * kDHead * 4;  // K+V, FP16, 4 head-states
+
+  Table q("Quantized KV cache under a 600 KiB budget");
+  q.header({"metric", "value"});
+  q.row({"sequences admitted (2-bit HACK cache)", std::to_string(admitted)});
+  q.row({"sequences an FP16 cache would fit",
+         std::to_string(static_cast<int>(kBudget / fp16_per_seq))});
+  q.row({"bytes in use", std::to_string(qcache.gpu_bytes_in_use())});
+  const QuantizedCacheUsage usage = qcache.total_usage();
+  q.row({"  packed codes + metadata", std::to_string(usage.packed_kv_bytes)});
+  q.row({"  SE sum cache", std::to_string(usage.sum_cache_bytes)});
+  q.row({"  RQE FP16 tail", std::to_string(usage.fp16_tail_bytes)});
+  q.print();
+  return 0;
+}

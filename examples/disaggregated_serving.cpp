@@ -1,0 +1,56 @@
+// Disaggregated serving scenario: Llama-3.1 70B serving a long-context
+// information-retrieval workload (Cocktail), prefill on an A10G fleet and
+// decode on A100s — the paper's default testbed (§7.1).
+//
+// Runs the discrete-event cluster simulator once per method and prints the
+// JCT decomposition, showing where HACK's wins come from: compressed KV
+// transfers, INT8 prefill, and the eliminated per-iteration dequantization.
+//
+// Build & run:  ./build/examples/disaggregated_serving
+#include <cstdio>
+
+#include "cluster/simulator.h"
+#include "metrics/report.h"
+
+using namespace hack;
+
+int main() {
+  std::printf("Disaggregated serving: Llama-3.1 70B + Cocktail\n");
+  std::printf("prefill: 5 A10G replicas (TP4/PP2), decode: 4 A100 replicas "
+              "(TP4)\n");
+
+  Table t("JCT decomposition by method");
+  t.header({"method", "jct_s", "prefill_s", "comm_s", "dequant/approx_s",
+            "decode_s", "peak_mem", "swapped"});
+  for (const Method method :
+       {Method::kBaseline, Method::kCacheGen, Method::kKvQuant,
+        Method::kHack}) {
+    ClusterConfig config =
+        standard_cluster("A10G", "L", "Cocktail", method);
+    config.num_requests = 40;
+    config.seed = 11;
+    const SimSummary s = run_cluster_sim(config);
+    t.row({method_name(method), fmt(s.avg_jct_s, 1), fmt(s.mean_prefill_s, 1),
+           fmt(s.mean_comm_s, 2), fmt(s.mean_dequant_or_approx_s, 2),
+           fmt(s.mean_decode_s, 1), pct(s.peak_decode_mem_fraction),
+           std::to_string(s.swapped_requests)});
+  }
+  t.print();
+
+  // The pipelining counterpoint (§2.1): overlap helps until decode memory
+  // runs out, at which point KV must park in prefill CPU memory.
+  Table p("Pipelining at increasing load (baseline)");
+  p.header({"rps", "comm_ratio", "swapped"});
+  for (const double rps : {0.06, 0.12, 0.18, 0.24}) {
+    ClusterConfig config =
+        standard_cluster("A10G", "L", "Cocktail", Method::kBaseline, rps);
+    config.pipelining = true;
+    config.num_requests = 40;
+    config.seed = 11;
+    config.activation_reserve_gb = 120.0;
+    const SimSummary s = run_cluster_sim(config);
+    p.row({fmt(rps, 2), pct(s.comm_ratio), std::to_string(s.swapped_requests)});
+  }
+  p.print();
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "attention/dequant_attention.h"
+
+#include "tensor/ops.h"
+
+namespace hack {
+
+DequantKvState::DequantKvState(std::size_t d_head,
+                               std::shared_ptr<const KvCodec> codec)
+    : d_head_(d_head), codec_(std::move(codec)) {
+  HACK_CHECK(codec_ != nullptr, "DequantKvState requires a codec");
+}
+
+void DequantKvState::append_tokens(const Matrix& k_new, const Matrix& v_new,
+                                   Rng& rng, DequantAttnStats* stats) {
+  HACK_CHECK(k_new.rows() == v_new.rows(), "K/V row count mismatch");
+  HACK_CHECK(k_new.cols() == d_head_ && v_new.cols() == d_head_,
+             "K/V head dim mismatch");
+  k_blobs_.push_back(codec_->encode(k_new, KvKind::kKey, rng));
+  v_blobs_.push_back(codec_->encode(v_new, KvKind::kValue, rng));
+  tokens_ += k_new.rows();
+  if (stats != nullptr) {
+    stats->encoded_values +=
+        static_cast<std::int64_t>(k_new.size() + v_new.size());
+  }
+}
+
+namespace {
+
+Matrix reconstruct_all(const std::vector<std::vector<std::uint8_t>>& blobs,
+                       const KvCodec& codec) {
+  Matrix out;
+  for (const auto& blob : blobs) {
+    out = out.empty() ? codec.decode(blob) : vstack(out, codec.decode(blob));
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix DequantKvState::reconstruct_k(DequantAttnStats* stats) const {
+  Matrix k = reconstruct_all(k_blobs_, *codec_);
+  if (stats != nullptr) {
+    stats->dequantized_values += static_cast<std::int64_t>(k.size());
+  }
+  return k;
+}
+
+Matrix DequantKvState::reconstruct_v(DequantAttnStats* stats) const {
+  Matrix v = reconstruct_all(v_blobs_, *codec_);
+  if (stats != nullptr) {
+    stats->dequantized_values += static_cast<std::int64_t>(v.size());
+  }
+  return v;
+}
+
+std::size_t DequantKvState::stored_bytes() const {
+  std::size_t total = 0;
+  for (const auto& blob : k_blobs_) total += blob.size();
+  for (const auto& blob : v_blobs_) total += blob.size();
+  return total;
+}
+
+Matrix dequant_attention(const Matrix& q, const DequantKvState& state,
+                         const AttentionOptions& options,
+                         DequantAttnStats* stats) {
+  HACK_CHECK(state.tokens() > 0, "attention over empty KV state");
+  const Matrix k = state.reconstruct_k(stats);
+  const Matrix v = state.reconstruct_v(stats);
+  if (stats != nullptr) {
+    ++stats->dequant_calls;
+  }
+  return attention_reference(q, k, v, options);
+}
+
+}  // namespace hack

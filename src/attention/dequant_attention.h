@@ -1,0 +1,59 @@
+// Dequantize-then-compute attention — the CacheGen/KVQuant execution model.
+//
+// KV chunks are compressed through a KvCodec when produced (once per token),
+// but *every* attention call must first reconstruct all tokens' K and V back
+// to full precision before the FP16 matmuls run (§2.2). The reconstruction
+// work is what HACK's homomorphic path eliminates; this module counts it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "attention/reference.h"
+#include "base/rng.h"
+#include "codec/codec.h"
+#include "tensor/matrix.h"
+
+namespace hack {
+
+struct DequantAttnStats {
+  std::int64_t dequantized_values = 0;  // K/V elements reconstructed
+  std::int64_t dequant_calls = 0;       // attention invocations paying it
+  std::int64_t encoded_values = 0;      // K/V elements pushed through encode
+};
+
+// Per-head KV state held in codec-compressed form.
+class DequantKvState {
+ public:
+  DequantKvState(std::size_t d_head, std::shared_ptr<const KvCodec> codec);
+
+  std::size_t tokens() const { return tokens_; }
+  std::size_t d_head() const { return d_head_; }
+
+  // Compresses and stores the new tokens' K/V rows ([n, d_head] each).
+  void append_tokens(const Matrix& k_new, const Matrix& v_new, Rng& rng,
+                     DequantAttnStats* stats = nullptr);
+
+  // Reconstructs all stored K (or V) rows — the per-iteration dequantization.
+  Matrix reconstruct_k(DequantAttnStats* stats = nullptr) const;
+  Matrix reconstruct_v(DequantAttnStats* stats = nullptr) const;
+
+  // Compressed footprint in bytes (wire + cache).
+  std::size_t stored_bytes() const;
+
+ private:
+  std::size_t d_head_;
+  std::size_t tokens_ = 0;
+  std::shared_ptr<const KvCodec> codec_;
+  std::vector<std::vector<std::uint8_t>> k_blobs_;
+  std::vector<std::vector<std::uint8_t>> v_blobs_;
+};
+
+// Attention that reconstructs K/V from the compressed state each call, then
+// runs the exact reference kernel on the reconstruction.
+Matrix dequant_attention(const Matrix& q, const DequantKvState& state,
+                         const AttentionOptions& options,
+                         DequantAttnStats* stats = nullptr);
+
+}  // namespace hack

@@ -1,0 +1,78 @@
+#include "attention/flash.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace hack {
+
+Matrix attention_flash(const Matrix& q, const Matrix& k, const Matrix& v,
+                       const FlashOptions& options) {
+  HACK_CHECK(q.cols() == k.cols(), "Q/K head dim mismatch");
+  HACK_CHECK(k.rows() == v.rows(), "K/V token count mismatch");
+  HACK_CHECK(options.tile_tokens > 0, "tile size must be positive");
+
+  const std::size_t lq = q.rows();
+  const std::size_t lkv = k.rows();
+  const std::size_t d = q.cols();
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(d));
+
+  Matrix out(lq, d, 0.0f);
+  std::vector<float> row_max(lq, -std::numeric_limits<float>::infinity());
+  std::vector<float> row_denom(lq, 0.0f);
+
+  std::vector<float> tile_scores;
+  for (std::size_t tile = 0; tile < lkv; tile += options.tile_tokens) {
+    const std::size_t tile_end = std::min(lkv, tile + options.tile_tokens);
+    const std::size_t tile_len = tile_end - tile;
+    tile_scores.assign(lq * tile_len, 0.0f);
+
+    for (std::size_t i = 0; i < lq; ++i) {
+      const std::size_t visible =
+          options.causal ? options.key_offset + i + 1 : lkv;
+      if (visible <= tile) continue;  // whole tile masked for this row
+
+      // Scores for this row against the tile.
+      const std::size_t local_end = std::min(tile_end, visible);
+      float tile_max = -std::numeric_limits<float>::infinity();
+      for (std::size_t t = tile; t < local_end; ++t) {
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < d; ++c) {
+          acc += q(i, c) * k(t, c);
+        }
+        acc *= inv_sqrt_d;
+        tile_scores[i * tile_len + (t - tile)] = acc;
+        tile_max = std::max(tile_max, acc);
+      }
+
+      // Online softmax update: rescale previous accumulators by
+      // exp(old_max - new_max) before folding in the new tile.
+      const float new_max = std::max(row_max[i], tile_max);
+      const float correction = std::exp(row_max[i] - new_max);
+      row_denom[i] *= correction;
+      for (std::size_t c = 0; c < d; ++c) {
+        out(i, c) *= correction;
+      }
+      for (std::size_t t = tile; t < local_end; ++t) {
+        const float w =
+            std::exp(tile_scores[i * tile_len + (t - tile)] - new_max);
+        row_denom[i] += w;
+        for (std::size_t c = 0; c < d; ++c) {
+          out(i, c) += w * v(t, c);
+        }
+      }
+      row_max[i] = new_max;
+    }
+  }
+
+  for (std::size_t i = 0; i < lq; ++i) {
+    HACK_CHECK(row_denom[i] > 0.0f, "row " << i << " attended to no keys");
+    for (std::size_t c = 0; c < d; ++c) {
+      out(i, c) /= row_denom[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace hack

@@ -1,0 +1,24 @@
+// FlashAttention-2-style streaming attention.
+//
+// Computes the same output as attention_reference but in one pass over KV
+// tiles with an online softmax (running row max and denominator), never
+// materializing the full [L_Q, L_KV] score matrix. HACK integrates with this
+// backend in the paper (§6); we reproduce the tiling structure so the fused
+// HACK kernels inherit the same loop shape.
+#pragma once
+
+#include "attention/reference.h"
+#include "tensor/matrix.h"
+
+namespace hack {
+
+struct FlashOptions {
+  bool causal = true;
+  std::size_t key_offset = 0;
+  std::size_t tile_tokens = 64;  // KV tokens per streamed tile
+};
+
+Matrix attention_flash(const Matrix& q, const Matrix& k, const Matrix& v,
+                       const FlashOptions& options = {});
+
+}  // namespace hack

@@ -1,0 +1,283 @@
+#include "attention/hack_attention.h"
+
+#include <cmath>
+
+#include "tensor/half.h"
+#include "tensor/ops.h"
+
+namespace hack {
+namespace {
+
+void add_hq_stats(HackAttnStats* stats, const HqStats& hq) {
+  if (stats == nullptr) return;
+  stats->int_macs += hq.int_macs;
+  stats->approx_flops += hq.approx_flops;
+  stats->sum_recompute_flops += hq.sum_flops;
+}
+
+void count_quantized(HackAttnStats* stats, std::size_t values) {
+  if (stats != nullptr) {
+    stats->quantized_values += static_cast<std::int64_t>(values);
+  }
+}
+
+}  // namespace
+
+HackKvState::HackKvState(std::size_t d_head, const HackAttentionConfig& config)
+    : config_(config), d_head_(d_head) {
+  HACK_CHECK(valid_partition_size(config.pi),
+             "Π=" << config.pi << " must be a positive multiple of 16");
+  HACK_CHECK(d_head % config.pi == 0,
+             "Π=" << config.pi << " must divide d_head=" << d_head
+                  << " (K partitions run along the head dimension)");
+  HACK_CHECK(config.q_bits == 8 || config.q_bits == 4 || config.q_bits == 2,
+             "unsupported q_bits");
+  HACK_CHECK(config.kv_bits == 8 || config.kv_bits == 4 || config.kv_bits == 2,
+             "unsupported kv_bits");
+}
+
+std::size_t HackKvState::quantized_v_rows() const {
+  return v_init_ ? v_q_.rows : 0;
+}
+
+void HackKvState::append_tokens(const Matrix& k_new, const Matrix& v_new,
+                                Rng& rng, HackAttnStats* stats) {
+  HACK_CHECK(k_new.rows() == v_new.rows(), "K/V row count mismatch");
+  HACK_CHECK(k_new.cols() == d_head_ && v_new.cols() == d_head_,
+             "K/V head dim mismatch");
+  HACK_CHECK(k_new.rows() > 0, "appending zero tokens");
+
+  // K: each token's row partitions along the fixed head dimension, so new
+  // tokens form whole new partitions and old metadata never changes (§5.3).
+  QuantizedMatrix k_chunk = quantize(k_new, config_.kv_bits, config_.pi,
+                                     QuantAxis::kRow, config_.rounding, rng);
+  count_quantized(stats, k_new.size());
+  if (!k_init_) {
+    k_ = std::move(k_chunk);
+    k_sums_ = SumCache::build(k_);
+    k_init_ = true;
+  } else {
+    k_sums_.append_rows(k_chunk);
+    append_rows(k_, k_chunk);
+  }
+
+  // V: rows accumulate along the sequence dimension.
+  if (config_.requant_elimination) {
+    Matrix staged = v_new;
+    staged.round_to_fp16();  // the tail buffer is an FP16 cache (§5.3)
+    v_tail_fp16_ = v_tail_fp16_.empty() ? staged : vstack(v_tail_fp16_, staged);
+    promote_full_partitions(rng, stats);
+  } else {
+    requantize_tail(v_new, rng, stats);
+    promote_full_partitions(rng, stats);
+  }
+  tokens_ += k_new.rows();
+}
+
+void HackKvState::promote_full_partitions(Rng& rng, HackAttnStats* stats) {
+  const std::size_t pi = config_.pi;
+  if (config_.requant_elimination) {
+    while (v_tail_fp16_.rows() >= pi) {
+      const Matrix chunk = take_rows(v_tail_fp16_, 0, pi);
+      QuantizedMatrix qchunk = quantize(chunk, config_.kv_bits, pi,
+                                        QuantAxis::kCol, config_.rounding, rng);
+      count_quantized(stats, chunk.size());
+      if (!v_init_) {
+        v_q_ = std::move(qchunk);
+        v_sums_ = SumCache::build(v_q_);
+        v_init_ = true;
+      } else {
+        v_sums_.append_inner_groups(qchunk);
+        append_inner_groups(v_q_, qchunk);
+      }
+      v_tail_fp16_ = v_tail_fp16_.rows() == pi
+                         ? Matrix()
+                         : take_rows(v_tail_fp16_, pi, v_tail_fp16_.rows());
+    }
+  } else {
+    while (v_tail_q_init_ && v_tail_q_.rows >= pi) {
+      HACK_CHECK(v_tail_q_.rows == pi,
+                 "requantized tail grew past one partition");
+      if (!v_init_) {
+        v_q_ = v_tail_q_;
+        v_sums_ = SumCache::build(v_q_);
+        v_init_ = true;
+      } else {
+        v_sums_.append_inner_groups(v_tail_q_);
+        append_inner_groups(v_q_, v_tail_q_);
+      }
+      v_tail_q_ = QuantizedMatrix{};
+      v_tail_q_init_ = false;
+    }
+  }
+}
+
+void HackKvState::requantize_tail(const Matrix& rows, Rng& rng,
+                                  HackAttnStats* stats) {
+  const std::size_t pi = config_.pi;
+  std::size_t consumed = 0;
+  while (consumed < rows.rows()) {
+    const std::size_t tail_rows = v_tail_q_init_ ? v_tail_q_.rows : 0;
+    const std::size_t room = pi - tail_rows;
+    const std::size_t take = std::min(room, rows.rows() - consumed);
+    const Matrix incoming = take_rows(rows, consumed, consumed + take);
+    consumed += take;
+
+    Matrix block;
+    if (v_tail_q_init_) {
+      // The expensive path of Fig. 8: reconstruct the old values from their
+      // codes, then requantize everything under the widened [min, max]. The
+      // reconstruction error of each round compounds.
+      block = vstack(dequantize(v_tail_q_), incoming);
+      if (stats != nullptr) {
+        ++stats->requant_events;
+        stats->requant_values += static_cast<std::int64_t>(block.size());
+      }
+    } else {
+      block = incoming;
+    }
+    v_tail_q_ = quantize(block, config_.kv_bits, pi, QuantAxis::kCol,
+                         config_.rounding, rng, /*allow_ragged_tail=*/true);
+    v_tail_q_init_ = true;
+    count_quantized(stats, block.size());
+    if (v_tail_q_.rows >= pi) {
+      promote_full_partitions(rng, stats);
+    }
+  }
+}
+
+std::size_t HackKvState::packed_kv_bytes() const {
+  std::size_t total = 0;
+  if (k_init_) total += k_.stored_bytes();
+  if (v_init_) total += v_q_.stored_bytes();
+  if (v_tail_q_init_) total += v_tail_q_.stored_bytes();
+  return total;
+}
+
+std::size_t HackKvState::sum_cache_bytes() const {
+  if (!config_.summation_elimination) return 0;
+  std::size_t total = 0;
+  if (k_init_) total += k_sums_.storage_bytes();
+  if (v_init_) total += v_sums_.storage_bytes();
+  return total;
+}
+
+std::size_t HackKvState::fp16_tail_bytes() const {
+  return v_tail_fp16_.size() * 2;
+}
+
+std::size_t HackKvState::wire_bytes() const {
+  return packed_kv_bytes() + sum_cache_bytes() + fp16_tail_bytes();
+}
+
+Matrix hack_attention(const Matrix& q, HackKvState& state,
+                      const AttentionOptions& options, Rng& rng,
+                      HackAttnStats* stats) {
+  HACK_CHECK(q.cols() == state.d_head(), "query head dim mismatch");
+  HACK_CHECK(state.tokens() > 0, "attention over empty KV state");
+  const auto& cfg = state.config();
+  const std::size_t lq = q.rows();
+  const std::size_t lkv = state.tokens();
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(q.cols()));
+
+  // --- S = Q·Kᵀ through homomorphic quantization (step 3 in Fig. 5).
+  QuantizedMatrix qq = quantize(q, cfg.q_bits, cfg.pi, QuantAxis::kRow,
+                                cfg.rounding, rng);
+  count_quantized(stats, q.size());
+  HqStats hq{};
+  const SumCache* ks =
+      cfg.summation_elimination ? &state.k_sums_ : nullptr;
+  Matrix scores = hq_matmul_nt(qq, state.k_, ks, &hq);
+  add_hq_stats(stats, hq);
+  scores = scale(scores, inv_sqrt_d);
+
+  // --- P = softmax(S) (step 4), computed in full precision as on the GPU.
+  Matrix p = options.causal ? softmax_rows_causal(scores, options.key_offset)
+                            : softmax_rows(scores);
+
+  // --- O = P·V, quantized part via Eq. (4), tail block per RQE setting.
+  Matrix out(lq, q.cols(), 0.0f);
+  const std::size_t vq_rows = state.quantized_v_rows();
+
+  if (cfg.requant_elimination) {
+    if (vq_rows > 0) {
+      QuantizedMatrix pq =
+          quantize(take_cols(p, 0, vq_rows), cfg.q_bits, cfg.pi,
+                   QuantAxis::kRow, cfg.rounding, rng);
+      count_quantized(stats, lq * vq_rows);
+      const SumCache* vs =
+          cfg.summation_elimination ? &state.v_sums_ : nullptr;
+      HqStats hq_pv{};
+      out = hq_matmul(pq, state.v_q_, vs, &hq_pv);
+      add_hq_stats(stats, hq_pv);
+    }
+    // The last block of V is FP16; multiply it un-quantized (§5.3).
+    if (vq_rows < lkv) {
+      const Matrix p_tail = take_cols(p, vq_rows, lkv);
+      const Matrix tail_out = matmul(p_tail, state.v_tail_fp16_);
+      out = out.empty() ? tail_out : add(out, tail_out);
+      if (stats != nullptr) {
+        stats->fp16_tail_macs += static_cast<std::int64_t>(lq) *
+                                 (lkv - vq_rows) * q.cols();
+      }
+    }
+  } else {
+    // RQE disabled: V is quantized end-to-end (ragged tail group included),
+    // and P quantizes over the full sequence with a matching ragged tail.
+    QuantizedMatrix v_all = state.v_init_ ? state.v_q_ : state.v_tail_q_;
+    if (state.v_init_ && state.v_tail_q_init_) {
+      // Splice the ragged tail group onto the full-partition store. The tail
+      // violates the whole-group invariant of append_inner_groups, so splice
+      // manually: codes are row-contiguous, metadata gains one group.
+      const QuantizedMatrix& tail = state.v_tail_q_;
+      const std::size_t old_groups = v_all.group_count();
+      const std::size_t new_groups = old_groups + 1;
+      std::vector<float> mins(v_all.cols * new_groups);
+      std::vector<float> scales(v_all.cols * new_groups);
+      for (std::size_t o = 0; o < v_all.cols; ++o) {
+        for (std::size_t g = 0; g < old_groups; ++g) {
+          mins[o * new_groups + g] = v_all.mins[o * old_groups + g];
+          scales[o * new_groups + g] = v_all.scales[o * old_groups + g];
+        }
+        mins[o * new_groups + old_groups] = tail.mins[o];
+        scales[o * new_groups + old_groups] = tail.scales[o];
+      }
+      v_all.mins = std::move(mins);
+      v_all.scales = std::move(scales);
+      v_all.codes.insert(v_all.codes.end(), tail.codes.begin(),
+                         tail.codes.end());
+      v_all.rows += tail.rows;
+    }
+    HACK_CHECK(v_all.rows == lkv, "RQE-off V store out of sync");
+    QuantizedMatrix pq = quantize(p, cfg.q_bits, cfg.pi, QuantAxis::kRow,
+                                  cfg.rounding, rng, /*allow_ragged_tail=*/true);
+    count_quantized(stats, p.size());
+    HqStats hq_pv{};
+    out = hq_matmul(pq, v_all, nullptr, &hq_pv);
+    add_hq_stats(stats, hq_pv);
+  }
+  return out;
+}
+
+Matrix hack_attn_prefill(const Matrix& q, const Matrix& k, const Matrix& v,
+                         HackKvState& state, Rng& rng, HackAttnStats* stats) {
+  HACK_CHECK(state.tokens() == 0, "prefill requires a fresh state");
+  state.append_tokens(k, v, rng, stats);
+  return hack_attention(q, state, AttentionOptions{.causal = true,
+                                                   .key_offset = 0},
+                        rng, stats);
+}
+
+Matrix hack_attn_decode(const Matrix& q_row, const Matrix& k_row,
+                        const Matrix& v_row, HackKvState& state, Rng& rng,
+                        HackAttnStats* stats) {
+  HACK_CHECK(q_row.rows() == 1 && k_row.rows() == 1 && v_row.rows() == 1,
+             "decode processes one token at a time");
+  state.append_tokens(k_row, v_row, rng, stats);
+  return hack_attention(
+      q_row, state,
+      AttentionOptions{.causal = true, .key_offset = state.tokens() - 1}, rng,
+      stats);
+}
+
+}  // namespace hack

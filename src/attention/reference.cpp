@@ -1,0 +1,26 @@
+#include "attention/reference.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace hack {
+
+Matrix attention_probs(const Matrix& q, const Matrix& k,
+                       const AttentionOptions& options) {
+  HACK_CHECK(q.cols() == k.cols(), "Q/K head dim mismatch");
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(q.cols()));
+  Matrix scores = scale(matmul_nt(q, k), inv_sqrt_d);
+  if (options.causal) {
+    return softmax_rows_causal(scores, options.key_offset);
+  }
+  return softmax_rows(scores);
+}
+
+Matrix attention_reference(const Matrix& q, const Matrix& k, const Matrix& v,
+                           const AttentionOptions& options) {
+  HACK_CHECK(k.rows() == v.rows(), "K/V token count mismatch");
+  return matmul(attention_probs(q, k, options), v);
+}
+
+}  // namespace hack

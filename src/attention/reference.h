@@ -1,0 +1,29 @@
+// Reference scaled-dot-product attention (Eq. 2–3), exact float arithmetic.
+//
+// O = softmax(Q·Kᵀ / √d_h) · V, optionally causal. Q is [L_Q, d_h]; K and V
+// are [L_KV, d_h] with one token per row. This is the golden model every
+// other attention kernel in the library is tested against.
+#pragma once
+
+#include "tensor/matrix.h"
+
+namespace hack {
+
+struct AttentionOptions {
+  bool causal = true;
+  // Index of the first query row relative to the key timeline. During decode
+  // the single query row sits at position L_KV - 1, so key_offset = L_KV - 1.
+  // During prefill over a whole prompt, key_offset = 0.
+  std::size_t key_offset = 0;
+};
+
+// Full-precision attention output [L_Q, d_h].
+Matrix attention_reference(const Matrix& q, const Matrix& k, const Matrix& v,
+                           const AttentionOptions& options = {});
+
+// The intermediate attention probability matrix P (softmaxed scores), exposed
+// for tests and for the quantized kernels that re-use the exact softmax.
+Matrix attention_probs(const Matrix& q, const Matrix& k,
+                       const AttentionOptions& options = {});
+
+}  // namespace hack

@@ -1,0 +1,15 @@
+#include "base/check.h"
+
+namespace hack::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "HACK_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace hack::detail

@@ -1,0 +1,36 @@
+// Lightweight invariant checking for the hack library.
+//
+// HACK_CHECK(cond, msg) throws hack::CheckError when `cond` is false. Checks
+// guard API contracts (shape mismatches, invalid partition sizes) and stay
+// enabled in release builds: every caller of this library is a simulator or a
+// benchmark harness where a silent shape bug costs far more than a branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hack {
+
+// Error thrown when a library invariant or precondition is violated.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace hack
+
+#define HACK_CHECK(cond, ...)                                          \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::std::ostringstream hack_check_os_;                             \
+      hack_check_os_ << __VA_ARGS__;                                   \
+      ::hack::detail::check_failed(#cond, __FILE__, __LINE__,          \
+                                   hack_check_os_.str());              \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,24 @@
+#include "cluster/event_queue.h"
+
+namespace hack {
+
+void EventQueue::schedule(double time, Callback callback) {
+  HACK_CHECK(time >= now_ - 1e-12,
+             "event scheduled in the past: " << time << " < " << now_);
+  queue_.push(Event{time, next_seq_++, std::move(callback)});
+}
+
+double EventQueue::run() {
+  while (!queue_.empty()) {
+    // Moving out of the priority queue requires a const_cast dance; copy the
+    // callback instead (events are small).
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++processed_;
+    event.callback(now_);
+  }
+  return now_;
+}
+
+}  // namespace hack

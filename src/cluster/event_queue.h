@@ -1,0 +1,47 @@
+// Deterministic discrete-event engine.
+//
+// Events are (time, sequence) ordered; equal-time events fire in insertion
+// order so simulation runs are bit-reproducible for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/check.h"
+
+namespace hack {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void(double now)>;
+
+  void schedule(double time, Callback callback);
+
+  // Runs events until the queue drains. Returns the time of the last event.
+  double run();
+
+  double now() const { return now_; }
+  std::size_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace hack

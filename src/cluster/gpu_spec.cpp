@@ -1,0 +1,77 @@
+#include "cluster/gpu_spec.h"
+
+#include "base/check.h"
+
+namespace hack {
+
+const std::vector<InstanceSpec>& instance_zoo() {
+  static const std::vector<InstanceSpec> zoo = {
+      {.name = "g5.12xlarge",
+       .gpu = {.name = "A10G",
+               .fp16_tflops = 125.0,
+               .int8_tops = 250.0,
+               .mem_bw_gbps = 600.0,
+               .mem_gb = 24.0,
+               .family = GpuFamily::kA10gL4},
+       .gpus = 4,
+       .net_gbps = 40.0},
+      {.name = "p3.8xlarge",
+       .gpu = {.name = "V100",
+               .fp16_tflops = 112.0,
+               // V100 tensor cores are FP16-only; no INT8 acceleration.
+               .int8_tops = 0.0,
+               .mem_bw_gbps = 900.0,
+               .mem_gb = 16.0,
+               .family = GpuFamily::kV100T4},
+       .gpus = 4,
+       .net_gbps = 10.0},
+      {.name = "g4dn.12xlarge",
+       .gpu = {.name = "T4",
+               .fp16_tflops = 65.0,
+               .int8_tops = 130.0,
+               .mem_bw_gbps = 320.0,
+               .mem_gb = 16.0,
+               .family = GpuFamily::kV100T4},
+       .gpus = 4,
+       .net_gbps = 50.0},
+      {.name = "g6.12xlarge",
+       .gpu = {.name = "L4",
+               .fp16_tflops = 121.0,
+               .int8_tops = 242.0,
+               .mem_bw_gbps = 300.0,
+               .mem_gb = 24.0,
+               .family = GpuFamily::kA10gL4},
+       .gpus = 4,
+       .net_gbps = 40.0},
+      {.name = "p4de.24xlarge",
+       .gpu = {.name = "A100",
+               .fp16_tflops = 312.0,
+               .int8_tops = 624.0,
+               .mem_bw_gbps = 2039.0,
+               .mem_gb = 80.0,
+               .family = GpuFamily::kA100},
+       .gpus = 8,
+       .net_gbps = 400.0},
+  };
+  return zoo;
+}
+
+const InstanceSpec& instance_for_gpu(const std::string& gpu_name) {
+  for (const InstanceSpec& spec : instance_zoo()) {
+    if (spec.gpu.name == gpu_name) return spec;
+  }
+  HACK_CHECK(false, "unknown GPU: " << gpu_name);
+  return instance_zoo().front();
+}
+
+int paper_prefill_gpu_count(const std::string& gpu_name) {
+  if (gpu_name == "A10G") return 10 * 4;  // ten g5.12xlarge
+  if (gpu_name == "V100") return 16 * 4;  // sixteen p3.8xlarge
+  if (gpu_name == "T4") return 16 * 4;    // sixteen g4dn.12xlarge
+  if (gpu_name == "L4") return 10 * 4;    // ten g6.12xlarge
+  if (gpu_name == "A100") return 2 * 8;   // two p4de.24xlarge
+  HACK_CHECK(false, "unknown GPU: " << gpu_name);
+  return 0;
+}
+
+}  // namespace hack

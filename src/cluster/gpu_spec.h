@@ -1,0 +1,44 @@
+// GPU and cloud-instance specifications (paper Table 2 + public datasheets).
+//
+// The simulator needs, per GPU: dense FP16 tensor throughput, INT8 tensor
+// throughput (zero when the architecture lacks INT8 tensor cores — V100),
+// HBM bandwidth, and memory capacity; per instance: GPU count and NIC rate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/config.h"
+
+namespace hack {
+
+struct GpuSpec {
+  std::string name;
+  double fp16_tflops = 0.0;  // dense tensor-core FP16, TFLOP/s
+  double int8_tops = 0.0;    // dense tensor-core INT8, TOP/s (0 = unsupported)
+  double mem_bw_gbps = 0.0;  // HBM bandwidth, GB/s
+  double mem_gb = 0.0;       // capacity per GPU, GB
+  GpuFamily family = GpuFamily::kA100;
+
+  bool supports_int8() const { return int8_tops > 0.0; }
+};
+
+struct InstanceSpec {
+  std::string name;  // AWS instance type
+  GpuSpec gpu;
+  int gpus = 0;
+  double net_gbps = 0.0;  // instance NIC (Table 2)
+
+  double total_mem_gb() const { return gpu.mem_gb * gpus; }
+};
+
+// The five instance types of Table 2, keyed by GPU name:
+// A10G, V100, T4, L4, A100.
+const std::vector<InstanceSpec>& instance_zoo();
+const InstanceSpec& instance_for_gpu(const std::string& gpu_name);
+
+// Total prefill-side GPU count the paper provisions per type (§7.1):
+// ten g5, sixteen p3, sixteen g4dn, ten g6, two p4de.
+int paper_prefill_gpu_count(const std::string& gpu_name);
+
+}  // namespace hack

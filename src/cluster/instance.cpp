@@ -1,0 +1,9 @@
+#include "cluster/instance.h"
+
+namespace hack {
+
+// Selection helpers live in simulator.cpp next to the dispatch policy; this
+// translation unit exists so the replica types stay header-only but the
+// library still owns a home for future replica logic.
+
+}  // namespace hack

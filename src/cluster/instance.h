@@ -1,0 +1,68 @@
+// Prefill and decode replicas — the schedulable units of the cluster.
+//
+// A "replica" is one model instance spanning TP×PP GPUs (Table 3), with its
+// proportional share of the cloud instance's NIC. Prefill replicas process
+// requests FIFO (compute-bound, batch of one, as is standard for long
+// prompts). Decode replicas run batched iterations: every iteration all
+// resident requests advance one token; iteration time is the shared weight
+// stream plus each request's marginal KV/dequant/approx/compute cost.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "cluster/kernel_cost.h"
+#include "netsim/link.h"
+
+namespace hack {
+
+using RequestId = std::uint32_t;
+
+struct PrefillReplica {
+  int id = 0;
+  Nic nic;
+  double busy_until = 0.0;
+  std::deque<RequestId> queue;
+  double queued_tokens = 0.0;  // dispatch metric (§7.1: shortest queue)
+
+  explicit PrefillReplica(int id_, double nic_gbps)
+      : id(id_), nic(nic_gbps) {}
+};
+
+struct DecodeResident {
+  RequestId request = 0;
+  double context_len = 0.0;     // current L_KV
+  std::size_t remaining = 0;    // output tokens still to generate
+  double joined_at = 0.0;       // requests join at the next iteration start
+};
+
+struct DecodeReplica {
+  int id = 0;
+  Nic nic;
+  double mem_budget_bytes = 0.0;   // capacity - weights - activation reserve
+  double mem_reserved_bytes = 0.0; // admission-reserved KV bytes
+  double peak_mem_reserved = 0.0;
+  std::vector<DecodeResident> active;
+  bool iteration_pending = false;
+  double iteration_started = 0.0;
+  double queued_tokens = 0.0;
+
+  explicit DecodeReplica(int id_, double nic_gbps) : id(id_), nic(nic_gbps) {}
+
+  bool has_memory_for(double bytes) const {
+    return mem_reserved_bytes + bytes <= mem_budget_bytes;
+  }
+  void reserve(double bytes) {
+    mem_reserved_bytes += bytes;
+    if (mem_reserved_bytes > peak_mem_reserved) {
+      peak_mem_reserved = mem_reserved_bytes;
+    }
+  }
+  void release(double bytes) {
+    mem_reserved_bytes -= bytes;
+    HACK_CHECK(mem_reserved_bytes > -1.0, "negative decode memory reservation");
+  }
+};
+
+}  // namespace hack

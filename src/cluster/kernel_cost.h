@@ -1,0 +1,105 @@
+// Method-aware analytic kernel cost model.
+//
+// Converts the FLOP/byte formulas of model/flops.h into seconds on a given
+// GPU under a given serving method. The method determines:
+//   - the KV footprint on the wire and in decode memory,
+//   - whether a per-iteration dequantization (baseline quant methods) or the
+//     Eq. (4) approximation (HACK) is paid,
+//   - whether attention matmuls ride the INT8 tensor-core path (HACK on GPUs
+//     with INT8 support) or stay on FP16.
+#pragma once
+
+#include <string>
+
+#include "cluster/gpu_spec.h"
+#include "model/config.h"
+#include "model/flops.h"
+
+namespace hack {
+
+enum class Method {
+  kBaseline,   // FP16 KV end to end
+  kCacheGen,   // bitstream codec; dequantize each iteration
+  kKvQuant,    // 2-bit codec; dequantize each iteration
+  kHack,       // homomorphic quantization, SE + RQE on
+  kHackNoSE,   // HACK without summation elimination (ablation)
+  kHackNoRQE,  // HACK without requantization elimination (ablation)
+  kFp4,        // mini-float storage (§3), FP16 compute
+  kFp6,
+  kFp8,        // mini-float storage, 2x matmul (simulated FP8 tensor cores)
+};
+
+std::string method_name(Method m);
+bool is_hack(Method m);
+bool is_dequant_codec(Method m);
+bool is_minifloat(Method m);
+
+struct MethodTraits {
+  double wire_fraction = 1.0;   // KV wire bytes / FP16 bytes
+  double mem_fraction = 1.0;    // KV decode-memory bytes / FP16 bytes
+  bool dequant_per_step = false;
+  bool hack_approx = false;
+  bool sum_recompute = false;   // HACK/SE pays Σb' recompute per step
+  bool requant_per_step = false;  // HACK/RQE requantizes V's last block
+  bool int8_attention = false;  // quantized matmuls eligible for INT8 path
+  double matmul_speedup = 1.0;  // extra factor (FP8 simulation: 2x)
+  // Per-partition epilogues fragment tensor-core tiles: smaller Π means
+  // more Eq. (4) correction blocks per GEMM (Table 8's JCT cost of small Π).
+  double tile_efficiency = 1.0;
+  double convert_per_step = 0.0;  // mini-float -> FP16 ops per KV element
+};
+
+// Traits for a method with partition size pi and kv bit width (HACK family).
+MethodTraits method_traits(Method m, std::size_t pi = 64, int kv_bits = 2);
+
+// Per-request timing produced by the cost model (all seconds).
+struct KernelCostModel {
+  ModelConfig model;
+  GpuSpec gpu;
+  ParallelismPlan plan;
+  MethodTraits traits;
+  Method method = Method::kBaseline;
+
+  // Efficiency knobs: fraction of peak sustained by large GEMMs, vector ops,
+  // and an inflation factor for decode iterations (kernel launch, scheduler,
+  // sampling overheads that dominate small-batch decode).
+  double mfu = 0.45;
+  double vector_eff = 0.05;
+  double decode_overhead = 3.0;
+  double pp_bubble = 0.10;  // pipeline bubble per extra PP stage
+
+  // ---- prefill-side
+  double prefill_s(double l_in) const;
+  double prefill_quant_s(double l_in) const;
+
+  // ---- wire
+  double kv_wire_bytes(double l_in) const;
+
+  // ---- decode-side, per iteration at context length l
+  double decode_weight_read_s() const;          // shared across the batch
+  // Fixed per-iteration cost of the method's extra kernel passes (e.g. the
+  // codecs' per-layer dequantization launches, HACK's Eq. (4) epilogue) —
+  // paid once per iteration regardless of batch size.
+  double decode_iter_fixed_s() const;
+  double decode_request_iter_s(double l) const; // marginal per active request
+  double decode_kv_read_s(double l) const;      // component: KV memory access
+  double decode_dequant_s(double l) const;      // component: dequant (codecs)
+  double decode_approx_s(double l) const;       // component: Eq. (4) approx
+  double decode_compute_s(double l) const;      // component: attention math
+
+  // ---- decode-side memory footprint for admission control
+  double kv_mem_bytes(double l_total) const;
+  double weight_bytes_per_replica() const;
+
+ private:
+  double effective_tflops(bool attention_math) const;
+  double aggregate_mem_bw() const;  // bytes/s across the replica's GPUs
+  double vector_flops_per_s() const;
+};
+
+// Builds the cost model for (model, gpu, method) with the Table 3 plan.
+KernelCostModel make_cost_model(const ModelConfig& model, const GpuSpec& gpu,
+                                Method method, std::size_t pi = 64,
+                                int kv_bits = 2);
+
+}  // namespace hack

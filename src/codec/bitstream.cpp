@@ -1,0 +1,69 @@
+#include "codec/bitstream.h"
+
+namespace hack {
+
+void BitWriter::write_bits(std::uint64_t value, int width) {
+  HACK_CHECK(width >= 0 && width <= 57, "bit width out of range: " << width);
+  if (width == 0) return;
+  HACK_CHECK(width == 64 || value < (1ULL << width),
+             "value does not fit in " << width << " bits");
+  pending_ |= value << pending_bits_;
+  pending_bits_ += width;
+  bit_count_ += static_cast<std::size_t>(width);
+  while (pending_bits_ >= 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(pending_ & 0xff));
+    pending_ >>= 8;
+    pending_bits_ -= 8;
+  }
+}
+
+void BitWriter::write_unary(std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    write_bit(true);
+  }
+  write_bit(false);
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  if (pending_bits_ > 0) {
+    bytes_.push_back(static_cast<std::uint8_t>(pending_ & 0xff));
+    pending_ = 0;
+    pending_bits_ = 0;
+  }
+  return std::move(bytes_);
+}
+
+std::uint64_t BitReader::read_bits(int width) {
+  HACK_CHECK(width >= 0 && width <= 57, "bit width out of range: " << width);
+  std::uint64_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    const std::size_t byte = bit_pos_ / 8;
+    HACK_CHECK(byte < bytes_.size(), "bitstream exhausted");
+    const int shift = static_cast<int>(bit_pos_ % 8);
+    const std::uint64_t bit = (bytes_[byte] >> shift) & 1u;
+    value |= bit << i;
+    ++bit_pos_;
+  }
+  return value;
+}
+
+std::uint32_t BitReader::read_unary() {
+  std::uint32_t count = 0;
+  while (read_bit()) {
+    ++count;
+    HACK_CHECK(count < (1u << 24), "unary run too long; corrupt stream");
+  }
+  return count;
+}
+
+std::uint32_t zigzag_encode(std::int32_t v) {
+  return (static_cast<std::uint32_t>(v) << 1) ^
+         static_cast<std::uint32_t>(v >> 31);
+}
+
+std::int32_t zigzag_decode(std::uint32_t v) {
+  return static_cast<std::int32_t>(v >> 1) ^
+         -static_cast<std::int32_t>(v & 1);
+}
+
+}  // namespace hack

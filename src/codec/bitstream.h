@@ -1,0 +1,58 @@
+// Bit-granular serialization for the KV codecs.
+//
+// BitWriter/BitReader append and consume integers of arbitrary width (LSB
+// first within a byte). The CacheGen-style codec stores Rice-coded deltas and
+// the KVQuant codec stores packed 2-bit codes through these.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/check.h"
+
+namespace hack {
+
+class BitWriter {
+ public:
+  // Appends the low `width` bits of `value` (width in [0, 57]).
+  void write_bits(std::uint64_t value, int width);
+
+  // Appends a single bit.
+  void write_bit(bool bit) { write_bits(bit ? 1 : 0, 1); }
+
+  // Appends `count` one-bits followed by a zero (unary coding).
+  void write_unary(std::uint32_t count);
+
+  // Flushes to a byte boundary and returns the buffer.
+  std::vector<std::uint8_t> finish();
+
+  std::size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t pending_ = 0;
+  int pending_bits_ = 0;
+  std::size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint64_t read_bits(int width);
+  bool read_bit() { return read_bits(1) != 0; }
+  std::uint32_t read_unary();
+
+  std::size_t bits_consumed() const { return bit_pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t bit_pos_ = 0;
+};
+
+// Zigzag mapping for signed deltas: 0,-1,1,-2,2.. -> 0,1,2,3,4..
+std::uint32_t zigzag_encode(std::int32_t v);
+std::int32_t zigzag_decode(std::uint32_t v);
+
+}  // namespace hack

@@ -1,0 +1,92 @@
+#include "codec/cachegen.h"
+
+#include "codec/rice.h"
+#include "quant/quantizer.h"
+#include "tensor/half.h"
+
+namespace hack {
+namespace {
+
+// Blob layout:
+//   u32 rows, u32 cols, u8 bits, u8 pi/16, u8 rice_k
+//   per (row, group): u16 min_fp16, u16 scale_fp16
+//   rice-coded zigzag deltas, channel-major (delta across tokens per channel)
+constexpr std::uint32_t kMagic = 0x4347u;  // "CG"
+
+}  // namespace
+
+std::vector<std::uint8_t> CacheGenCodec::encode(const Matrix& chunk,
+                                                KvKind /*kind*/,
+                                                Rng& rng) const {
+  // Token-axis quantization: each token row partitions along d_head, like the
+  // reference CacheGen groups channels.
+  const QuantizedMatrix q = quantize(chunk, bits_, pi_, QuantAxis::kRow,
+                                     Rounding::kStochastic, rng,
+                                     /*allow_ragged_tail=*/true);
+
+  // Delta across tokens per channel: code[t][c] - code[t-1][c].
+  std::vector<std::uint32_t> symbols;
+  symbols.reserve(q.codes.size());
+  for (std::size_t c = 0; c < q.cols; ++c) {
+    std::int32_t prev = 0;
+    for (std::size_t t = 0; t < q.rows; ++t) {
+      const std::int32_t code = q.code_at(t, c);
+      symbols.push_back(zigzag_encode(code - prev));
+      prev = code;
+    }
+  }
+  const int k = rice_best_k(symbols);
+
+  BitWriter w;
+  w.write_bits(kMagic, 16);
+  w.write_bits(q.rows, 32);
+  w.write_bits(q.cols, 32);
+  w.write_bits(static_cast<std::uint64_t>(bits_), 8);
+  w.write_bits(pi_ / 16, 8);
+  w.write_bits(static_cast<std::uint64_t>(k), 8);
+  for (std::size_t i = 0; i < q.mins.size(); ++i) {
+    w.write_bits(Half(q.mins[i]).bits(), 16);
+    w.write_bits(Half(q.scales[i]).bits(), 16);
+  }
+  for (const std::uint32_t s : symbols) {
+    rice_encode(w, s, k);
+  }
+  return w.finish();
+}
+
+Matrix CacheGenCodec::decode(std::span<const std::uint8_t> blob) const {
+  BitReader r(blob);
+  HACK_CHECK(r.read_bits(16) == kMagic, "not a CacheGen blob");
+  QuantizedMatrix q;
+  q.rows = static_cast<std::size_t>(r.read_bits(32));
+  q.cols = static_cast<std::size_t>(r.read_bits(32));
+  q.bits = static_cast<int>(r.read_bits(8));
+  q.pi = static_cast<std::size_t>(r.read_bits(8)) * 16;
+  const int k = static_cast<int>(r.read_bits(8));
+  q.axis = QuantAxis::kRow;
+
+  const PartitionScheme scheme(q.cols, q.pi, /*allow_ragged_tail=*/true);
+  const std::size_t groups = scheme.group_count();
+  q.mins.resize(q.rows * groups);
+  q.scales.resize(q.rows * groups);
+  for (std::size_t i = 0; i < q.mins.size(); ++i) {
+    q.mins[i] = Half::from_bits(static_cast<std::uint16_t>(r.read_bits(16)))
+                    .to_float();
+    q.scales[i] = Half::from_bits(static_cast<std::uint16_t>(r.read_bits(16)))
+                      .to_float();
+  }
+  q.codes.resize(q.rows * q.cols);
+  for (std::size_t c = 0; c < q.cols; ++c) {
+    std::int32_t prev = 0;
+    for (std::size_t t = 0; t < q.rows; ++t) {
+      const std::int32_t delta = zigzag_decode(rice_decode(r, k));
+      const std::int32_t code = prev + delta;
+      HACK_CHECK(code >= 0 && code < (1 << q.bits), "corrupt CacheGen stream");
+      q.codes[t * q.cols + c] = static_cast<std::uint8_t>(code);
+      prev = code;
+    }
+  }
+  return dequantize(q);
+}
+
+}  // namespace hack

@@ -1,0 +1,32 @@
+// CacheGen-style KV codec: quantize, then entropy-code exploiting the
+// distributional properties of KV data.
+//
+// Adjacent tokens' K/V vectors are highly correlated, so after per-partition
+// 2-bit asymmetric quantization the codec delta-codes each channel across
+// tokens and Rice-codes the zigzagged deltas with a per-chunk optimal k.
+// Metadata (FP16 min/scale per partition) is stored raw. This reproduces
+// CacheGen's "encode KV into compact bitstreams" approach with a real
+// encoder/decoder, real compression rates (~85-88% vs FP16) and a real
+// decode cost.
+#pragma once
+
+#include "codec/codec.h"
+
+namespace hack {
+
+class CacheGenCodec : public KvCodec {
+ public:
+  explicit CacheGenCodec(int bits = 2, std::size_t pi = 64)
+      : bits_(bits), pi_(pi) {}
+
+  std::string name() const override { return "cachegen"; }
+  std::vector<std::uint8_t> encode(const Matrix& chunk, KvKind kind,
+                                   Rng& rng) const override;
+  Matrix decode(std::span<const std::uint8_t> blob) const override;
+
+ private:
+  int bits_;
+  std::size_t pi_;
+};
+
+}  // namespace hack

@@ -1,0 +1,59 @@
+#include "codec/codec.h"
+
+#include "codec/bitstream.h"
+#include "codec/cachegen.h"
+#include "codec/kvquant.h"
+#include "tensor/half.h"
+
+namespace hack {
+namespace {
+
+constexpr std::uint32_t kFp16Magic = 0x4631u;  // "F1"
+
+// Identity FP16 codec: what the disaggregation baseline ships on the wire.
+class Fp16Codec : public KvCodec {
+ public:
+  std::string name() const override { return "fp16"; }
+
+  std::vector<std::uint8_t> encode(const Matrix& chunk, KvKind /*kind*/,
+                                   Rng& /*rng*/) const override {
+    BitWriter w;
+    w.write_bits(kFp16Magic, 16);
+    w.write_bits(chunk.rows(), 32);
+    w.write_bits(chunk.cols(), 32);
+    for (const float v : chunk.flat()) {
+      w.write_bits(Half(v).bits(), 16);
+    }
+    return w.finish();
+  }
+
+  Matrix decode(std::span<const std::uint8_t> blob) const override {
+    BitReader r(blob);
+    HACK_CHECK(r.read_bits(16) == kFp16Magic, "not an FP16 blob");
+    const std::size_t rows = static_cast<std::size_t>(r.read_bits(32));
+    const std::size_t cols = static_cast<std::size_t>(r.read_bits(32));
+    Matrix out(rows, cols);
+    for (float& v : out.flat()) {
+      v = Half::from_bits(static_cast<std::uint16_t>(r.read_bits(16)))
+              .to_float();
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+double compression_vs_fp16(const Matrix& chunk, std::size_t blob_bytes) {
+  const double fp16_bytes = 2.0 * static_cast<double>(chunk.size());
+  return 1.0 - static_cast<double>(blob_bytes) / fp16_bytes;
+}
+
+std::unique_ptr<KvCodec> make_codec(const std::string& name) {
+  if (name == "cachegen") return std::make_unique<CacheGenCodec>();
+  if (name == "kvquant") return std::make_unique<KvQuantCodec>();
+  if (name == "fp16") return std::make_unique<Fp16Codec>();
+  HACK_CHECK(false, "unknown codec: " << name);
+  return nullptr;
+}
+
+}  // namespace hack

@@ -1,0 +1,46 @@
+// KV codec interface and registry.
+//
+// A KvCodec turns a [tokens, d_head] K or V chunk into a self-describing byte
+// blob and back. The baselines (CacheGen, KVQuant) compress through these
+// codecs and must *dequantize before attention* — the cost HACK eliminates.
+// Blob sizes feed the communication and memory models; reconstruction error
+// feeds the accuracy experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "tensor/matrix.h"
+
+namespace hack {
+
+enum class KvKind {
+  kKey,
+  kValue,
+};
+
+class KvCodec {
+ public:
+  virtual ~KvCodec() = default;
+
+  virtual std::string name() const = 0;
+
+  // Encodes a [tokens, d_head] chunk into a self-describing blob.
+  virtual std::vector<std::uint8_t> encode(const Matrix& chunk, KvKind kind,
+                                           Rng& rng) const = 0;
+
+  // Decodes a blob back into the reconstructed (lossy) chunk.
+  virtual Matrix decode(std::span<const std::uint8_t> blob) const = 0;
+};
+
+// Compression rate versus FP16 storage for a given chunk: 1 - blob/fp16.
+double compression_vs_fp16(const Matrix& chunk, std::size_t blob_bytes);
+
+// Codecs by paper name: "cachegen", "kvquant", "fp16" (identity baseline).
+std::unique_ptr<KvCodec> make_codec(const std::string& name);
+
+}  // namespace hack

@@ -1,0 +1,122 @@
+#include "codec/kvquant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "codec/bitstream.h"
+#include "quant/packed.h"
+#include "quant/quantizer.h"
+#include "tensor/half.h"
+
+namespace hack {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4b51u;  // "KQ"
+
+struct Outlier {
+  std::uint32_t flat_index;
+  float value;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> KvQuantCodec::encode(const Matrix& chunk,
+                                               KvKind kind, Rng& rng) const {
+  // Pull the largest-magnitude values out as exact FP16 outliers.
+  const std::size_t n = chunk.size();
+  std::size_t outlier_count =
+      static_cast<std::size_t>(std::floor(outlier_fraction_ * static_cast<double>(n)));
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::nth_element(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(outlier_count),
+                   order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     return std::fabs(chunk.flat()[a]) > std::fabs(chunk.flat()[b]);
+                   });
+  order.resize(outlier_count);
+  std::sort(order.begin(), order.end());
+
+  // Clamp outliers toward the bulk so they don't widen the 2-bit range.
+  Matrix clamped = chunk;
+  std::vector<Outlier> outliers;
+  outliers.reserve(outlier_count);
+  for (const std::uint32_t idx : order) {
+    outliers.push_back({idx, chunk.flat()[idx]});
+    clamped.flat()[idx] = 0.0f;  // bulk-neutral placeholder, patched on decode
+  }
+
+  // Per-channel for K when the chunk is tall enough; per-token otherwise/V.
+  const bool per_channel = kind == KvKind::kKey && chunk.rows() >= 16;
+  const QuantAxis axis = per_channel ? QuantAxis::kCol : QuantAxis::kRow;
+  // Partition size must be a multiple of 16 and may exceed the inner extent;
+  // cap it so PartitionScheme sees at least one group.
+  const std::size_t inner = per_channel ? chunk.rows() : chunk.cols();
+  std::size_t pi = std::min(pi_, (inner / 16) * 16);
+  if (pi == 0) pi = 16;
+  const QuantizedMatrix q = quantize(clamped, bits_, pi, axis,
+                                     Rounding::kStochastic, rng,
+                                     /*allow_ragged_tail=*/true);
+
+  BitWriter w;
+  w.write_bits(kMagic, 16);
+  w.write_bits(q.rows, 32);
+  w.write_bits(q.cols, 32);
+  w.write_bits(static_cast<std::uint64_t>(bits_), 8);
+  w.write_bits(pi / 16, 8);
+  w.write_bits(axis == QuantAxis::kCol ? 1 : 0, 1);
+  w.write_bits(outliers.size(), 32);
+  for (std::size_t i = 0; i < q.mins.size(); ++i) {
+    w.write_bits(Half(q.mins[i]).bits(), 16);
+    w.write_bits(Half(q.scales[i]).bits(), 16);
+  }
+  for (const Outlier& o : outliers) {
+    w.write_bits(o.flat_index, 32);
+    w.write_bits(Half(o.value).bits(), 16);
+  }
+  for (const std::uint8_t code : q.codes) {
+    w.write_bits(code, bits_);
+  }
+  return w.finish();
+}
+
+Matrix KvQuantCodec::decode(std::span<const std::uint8_t> blob) const {
+  BitReader r(blob);
+  HACK_CHECK(r.read_bits(16) == kMagic, "not a KVQuant blob");
+  QuantizedMatrix q;
+  q.rows = static_cast<std::size_t>(r.read_bits(32));
+  q.cols = static_cast<std::size_t>(r.read_bits(32));
+  q.bits = static_cast<int>(r.read_bits(8));
+  q.pi = static_cast<std::size_t>(r.read_bits(8)) * 16;
+  q.axis = r.read_bits(1) != 0 ? QuantAxis::kCol : QuantAxis::kRow;
+  const std::size_t outlier_count = static_cast<std::size_t>(r.read_bits(32));
+
+  const std::size_t inner = q.axis == QuantAxis::kRow ? q.cols : q.rows;
+  const std::size_t outer = q.axis == QuantAxis::kRow ? q.rows : q.cols;
+  const PartitionScheme scheme(inner, q.pi, /*allow_ragged_tail=*/true);
+  const std::size_t groups = scheme.group_count();
+  q.mins.resize(outer * groups);
+  q.scales.resize(outer * groups);
+  for (std::size_t i = 0; i < q.mins.size(); ++i) {
+    q.mins[i] = Half::from_bits(static_cast<std::uint16_t>(r.read_bits(16)))
+                    .to_float();
+    q.scales[i] = Half::from_bits(static_cast<std::uint16_t>(r.read_bits(16)))
+                      .to_float();
+  }
+  std::vector<Outlier> outliers(outlier_count);
+  for (Outlier& o : outliers) {
+    o.flat_index = static_cast<std::uint32_t>(r.read_bits(32));
+    o.value = Half::from_bits(static_cast<std::uint16_t>(r.read_bits(16)))
+                  .to_float();
+  }
+  q.codes.resize(q.rows * q.cols);
+  for (std::uint8_t& code : q.codes) {
+    code = static_cast<std::uint8_t>(r.read_bits(q.bits));
+  }
+
+  Matrix out = dequantize(q);
+  for (const Outlier& o : outliers) {
+    out.flat()[o.flat_index] = o.value;
+  }
+  return out;
+}
+
+}  // namespace hack

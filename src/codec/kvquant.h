@@ -1,0 +1,33 @@
+// KVQuant-style KV codec: low-precision quantization with structural choices
+// matched to KV statistics.
+//
+// Following the reference design: K is quantized *per channel* (columns carry
+// the outlier structure pre-RoPE), V *per token*; a small fraction of
+// largest-magnitude values is kept exact in FP16 as sparse outliers and
+// excluded from the quantization range, which tightens the scale for the
+// remaining 2-bit codes. Per-channel quantization needs a token batch; chunks
+// shorter than 16 tokens fall back to per-token grouping.
+#pragma once
+
+#include "codec/codec.h"
+
+namespace hack {
+
+class KvQuantCodec : public KvCodec {
+ public:
+  explicit KvQuantCodec(int bits = 2, std::size_t pi = 64,
+                        double outlier_fraction = 0.01)
+      : bits_(bits), pi_(pi), outlier_fraction_(outlier_fraction) {}
+
+  std::string name() const override { return "kvquant"; }
+  std::vector<std::uint8_t> encode(const Matrix& chunk, KvKind kind,
+                                   Rng& rng) const override;
+  Matrix decode(std::span<const std::uint8_t> blob) const override;
+
+ private:
+  int bits_;
+  std::size_t pi_;
+  double outlier_fraction_;
+};
+
+}  // namespace hack

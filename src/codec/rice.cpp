@@ -1,0 +1,38 @@
+#include "codec/rice.h"
+
+namespace hack {
+
+void rice_encode(BitWriter& writer, std::uint32_t value, int k) {
+  const std::uint32_t q = value >> k;
+  writer.write_unary(q);
+  writer.write_bits(value & ((1u << k) - 1), k);
+}
+
+std::uint32_t rice_decode(BitReader& reader, int k) {
+  const std::uint32_t q = reader.read_unary();
+  const std::uint32_t r = static_cast<std::uint32_t>(reader.read_bits(k));
+  return (q << k) | r;
+}
+
+std::size_t rice_bit_length(std::uint32_t value, int k) {
+  return static_cast<std::size_t>(value >> k) + 1 + static_cast<std::size_t>(k);
+}
+
+int rice_best_k(std::span<const std::uint32_t> values, int max_k) {
+  int best_k = 0;
+  std::size_t best_bits = SIZE_MAX;
+  for (int k = 0; k <= max_k; ++k) {
+    std::size_t bits = 0;
+    for (const std::uint32_t v : values) {
+      bits += rice_bit_length(v, k);
+      if (bits >= best_bits) break;
+    }
+    if (bits < best_bits) {
+      best_bits = bits;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace hack

@@ -1,0 +1,26 @@
+// Golomb–Rice coding of unsigned integers.
+//
+// Rice(k) writes q = v >> k in unary followed by the low k bits of v. The
+// CacheGen-style codec picks k per chunk to minimize the encoded size of its
+// zigzagged code deltas — small deltas dominate because adjacent tokens' KV
+// values are correlated, which is exactly the distributional property
+// CacheGen exploits.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "codec/bitstream.h"
+
+namespace hack {
+
+void rice_encode(BitWriter& writer, std::uint32_t value, int k);
+std::uint32_t rice_decode(BitReader& reader, int k);
+
+// Encoded bit length of `value` under Rice(k), without writing it.
+std::size_t rice_bit_length(std::uint32_t value, int k);
+
+// The k in [0, max_k] minimizing the total encoded length of `values`.
+int rice_best_k(std::span<const std::uint32_t> values, int max_k = 8);
+
+}  // namespace hack

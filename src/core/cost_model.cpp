@@ -1,0 +1,48 @@
+#include "core/cost_model.h"
+
+#include "base/check.h"
+
+namespace hack {
+
+std::int64_t hq_gemm_macs(std::int64_t m, std::int64_t z, std::int64_t n) {
+  return m * z * n;
+}
+
+std::int64_t hq_approx_flops(std::int64_t m, std::int64_t z, std::int64_t n) {
+  return 9 * m * n + m * z + n * z;
+}
+
+std::int64_t hq_approx_flops_se(std::int64_t m, std::int64_t z,
+                                std::int64_t n) {
+  return 9 * m * n + m * z;
+}
+
+std::int64_t decode_approx_flops_se(std::int64_t d_h, std::int64_t l_kv) {
+  // QKᵀ: M=1, Z=d_h, N=L -> 9L + d_h.  PV: M=1, Z=L, N=d_h -> 9d_h + L.
+  return hq_approx_flops_se(1, d_h, l_kv) + hq_approx_flops_se(1, l_kv, d_h);
+}
+
+std::int64_t decode_dequant_flops(std::int64_t d_h, std::int64_t l_kv) {
+  return 4 * d_h * l_kv;
+}
+
+std::int64_t decode_sum_recompute_flops(std::int64_t d_h, std::int64_t l_kv) {
+  return 2 * d_h * l_kv;
+}
+
+int sum_storage_bits(int bits, std::int64_t pi) {
+  HACK_CHECK(bits > 0 && pi > 0, "invalid sum storage query");
+  int log2_pi = 0;
+  std::int64_t v = 1;
+  while (v < pi) {
+    v <<= 1;
+    ++log2_pi;
+  }
+  return bits + log2_pi;
+}
+
+int sum_storage_bytes(int bits, std::int64_t pi) {
+  return sum_storage_bits(bits, pi) <= 8 ? 1 : 2;
+}
+
+}  // namespace hack

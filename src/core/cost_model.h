@@ -1,0 +1,45 @@
+// Closed-form operation counts from §5.2–§5.3 of the paper.
+//
+// These formulas serve two roles: unit tests pin the HQ kernels' measured
+// counters against them, and the cluster simulator converts them into time
+// using per-GPU throughput figures.
+#pragma once
+
+#include <cstdint>
+
+namespace hack {
+
+// Integer multiply-accumulates of the quantized GEMM: M·Z·N MACs
+// (the paper counts 2MZN flops; one MAC = one multiply + one add).
+std::int64_t hq_gemm_macs(std::int64_t m, std::int64_t z, std::int64_t n);
+
+// Float ops of the Eq. (4) approximation without summation elimination:
+// 9MN + MZ + NZ.
+std::int64_t hq_approx_flops(std::int64_t m, std::int64_t z, std::int64_t n);
+
+// With summation elimination the NZ column-sum term is cached: 9MN + MZ.
+std::int64_t hq_approx_flops_se(std::int64_t m, std::int64_t z,
+                                std::int64_t n);
+
+// Per-decode-iteration approximation cost with SE for one head (§5.3):
+// the Q·Kᵀ matmul (M=1, Z=d_h, N=L) costs 9L + d_h and the P·V matmul
+// (M=1, Z=L, N=d_h) costs 9d_h + L, totalling 10(d_h + L).
+std::int64_t decode_approx_flops_se(std::int64_t d_h, std::int64_t l_kv);
+
+// Dequantization cost the baselines pay per decode iteration for one head:
+// one fused multiply-add per element of K and of V -> 2·d_h·L each, 4·d_h·L
+// total (§5.3).
+std::int64_t decode_dequant_flops(std::int64_t d_h, std::int64_t l_kv);
+
+// Cost of recomputing the Σ b' sums each iteration when SE is disabled:
+// d_h·L adds for K plus d_h·L for V (§5.3).
+std::int64_t decode_sum_recompute_flops(std::int64_t d_h, std::int64_t l_kv);
+
+// Bits needed to store one partition sum: b + ⌈log2 Π⌉ (§5.3); the
+// implementation stores INT16 when this exceeds 8 bits (§6).
+int sum_storage_bits(int bits, std::int64_t pi);
+
+// Bytes per partition sum actually stored (1 or 2, INT8/INT16 alignment).
+int sum_storage_bytes(int bits, std::int64_t pi);
+
+}  // namespace hack

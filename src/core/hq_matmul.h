@@ -1,0 +1,44 @@
+// Homomorphic quantized matrix multiplication — the paper's core contribution.
+//
+// For C = A·B with both operands quantized per-partition (§5.2, Eq. 4):
+//
+//   C[i,j] = Σ_g ( s_a[i,g]·s_b[j,g]·Σ_{z∈g} a'b'     <- integer GEMM
+//                + m_b[j,g]·s_a[i,g]·Σ_{z∈g} a'       <- A code row-sums
+//                + m_a[i,g]·s_b[j,g]·Σ_{z∈g} b'       <- B code col-sums (SE)
+//                + |g|·m_a[i,g]·m_b[j,g] )
+//
+// The integer GEMM runs on the codes (INT8 path); the three affine terms
+// "approximate the quantized output into the real output" without ever
+// materializing dequantized operands. Passing a prebuilt SumCache for B
+// enables summation elimination: the Σ b' term is read instead of recomputed,
+// reducing the approximation cost from 9MN + MZ + NZ to 9MN + MZ flops.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/sum_cache.h"
+#include "quant/quantizer.h"
+#include "tensor/matrix.h"
+
+namespace hack {
+
+// Operation counters filled by the HQ kernels; tests pin these against the
+// closed-form costs in core/cost_model.h.
+struct HqStats {
+  std::int64_t int_macs = 0;      // integer multiply-accumulates (code GEMM)
+  std::int64_t approx_flops = 0;  // float ops spent on the Eq. (4) correction
+  std::int64_t sum_flops = 0;     // adds spent computing Σ b' (0 when cached)
+};
+
+// C = A·B. A must be row-axis quantized (M x Z), B col-axis (Z x N), with
+// identical partition size. `b_sums`, when provided, must match B.
+Matrix hq_matmul(const QuantizedMatrix& a, const QuantizedMatrix& b,
+                 const SumCache* b_sums = nullptr, HqStats* stats = nullptr);
+
+// C = A·Bᵀ. A row-axis (M x Z), B row-axis (N x Z) — the Q·Kᵀ form where K
+// stores one token per row. `b_sums`, when provided, must match B.
+Matrix hq_matmul_nt(const QuantizedMatrix& a, const QuantizedMatrix& b,
+                    const SumCache* b_sums = nullptr, HqStats* stats = nullptr);
+
+}  // namespace hack

@@ -1,0 +1,50 @@
+#include "core/int_gemm.h"
+
+namespace hack {
+
+std::int32_t int_dot_nt(const CodeView& a, const CodeView& b, std::size_t i,
+                        std::size_t j, std::size_t z_begin, std::size_t z_end) {
+  HACK_CHECK(a.cols == b.cols, "NT inner dim mismatch");
+  HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
+  const std::uint8_t* pa = a.data + i * a.cols;
+  const std::uint8_t* pb = b.data + j * b.cols;
+  std::int32_t acc = 0;
+  for (std::size_t z = z_begin; z < z_end; ++z) {
+    acc += static_cast<std::int32_t>(pa[z]) * static_cast<std::int32_t>(pb[z]);
+  }
+  return acc;
+}
+
+void int_gemm_nn_block(const CodeView& a, const CodeView& b,
+                       std::size_t z_begin, std::size_t z_end,
+                       std::vector<std::int32_t>& out) {
+  HACK_CHECK(a.cols == b.rows, "NN shape mismatch");
+  HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
+  HACK_CHECK(out.size() == a.rows * b.cols, "output size mismatch");
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    std::int32_t* dst = out.data() + i * b.cols;
+    for (std::size_t z = z_begin; z < z_end; ++z) {
+      const std::int32_t aiz = a.at(i, z);
+      if (aiz == 0) continue;
+      const std::uint8_t* brow = b.data + z * b.cols;
+      for (std::size_t j = 0; j < b.cols; ++j) {
+        dst[j] += aiz * static_cast<std::int32_t>(brow[j]);
+      }
+    }
+  }
+}
+
+void int_gemm_nt_block(const CodeView& a, const CodeView& b,
+                       std::size_t z_begin, std::size_t z_end,
+                       std::vector<std::int32_t>& out) {
+  HACK_CHECK(a.cols == b.cols, "NT inner dim mismatch");
+  HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
+  HACK_CHECK(out.size() == a.rows * b.rows, "output size mismatch");
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    for (std::size_t j = 0; j < b.rows; ++j) {
+      out[i * b.rows + j] += int_dot_nt(a, b, i, j, z_begin, z_end);
+    }
+  }
+}
+
+}  // namespace hack

@@ -1,0 +1,45 @@
+// Integer GEMM on quantization codes.
+//
+// Models the GPU INT8 tensor-core path HACK rides on: unsigned 8-bit codes
+// multiplied with 32-bit accumulation. Two layouts cover attention's needs:
+//   - NT: C = A * B^T where both A (M x Z) and B (N x Z) store the contracted
+//     dimension contiguously per row (Q * K^T).
+//   - NN: C = A * B where B is Z x N (P * V).
+// Block-range variants compute the partial dot over one partition's z-range,
+// which is how the per-group Eq. (4) correction is assembled.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/check.h"
+
+namespace hack {
+
+// View over a row-major code matrix (uint8 codes, values < 2^bits).
+struct CodeView {
+  const std::uint8_t* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  std::uint8_t at(std::size_t r, std::size_t c) const {
+    return data[r * cols + c];
+  }
+};
+
+// dot over z in [z_begin, z_end) of A.row(i) and B.row(j) (NT layout).
+std::int32_t int_dot_nt(const CodeView& a, const CodeView& b, std::size_t i,
+                        std::size_t j, std::size_t z_begin, std::size_t z_end);
+
+// C[i][j] += over the z-range: A (M x Z) row-major times B (Z x N) row-major.
+// `out` is M x N row-major int32, accumulated into.
+void int_gemm_nn_block(const CodeView& a, const CodeView& b,
+                       std::size_t z_begin, std::size_t z_end,
+                       std::vector<std::int32_t>& out);
+
+// Same for the NT layout: B is N x Z.
+void int_gemm_nt_block(const CodeView& a, const CodeView& b,
+                       std::size_t z_begin, std::size_t z_end,
+                       std::vector<std::int32_t>& out);
+
+}  // namespace hack

@@ -1,0 +1,66 @@
+#include "core/sum_cache.h"
+
+#include <limits>
+
+namespace hack {
+
+std::vector<std::int32_t> SumCache::sums_of(const QuantizedMatrix& q) {
+  const std::size_t outer = q.outer();
+  const std::size_t groups = q.group_count();
+  const PartitionScheme scheme(q.inner(), q.pi, /*allow_ragged_tail=*/true);
+  std::vector<std::int32_t> sums(outer * groups, 0);
+  for (std::size_t o = 0; o < outer; ++o) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::int32_t acc = 0;
+      for (std::size_t z = scheme.group_begin(g); z < scheme.group_end(g);
+           ++z) {
+        const std::uint8_t code = q.axis == QuantAxis::kRow
+                                      ? q.code_at(o, z)
+                                      : q.code_at(z, o);
+        acc += code;
+      }
+      HACK_CHECK(acc <= std::numeric_limits<std::int16_t>::max(),
+                 "partition sum overflows the modeled INT16 storage");
+      sums[o * groups + g] = acc;
+    }
+  }
+  return sums;
+}
+
+SumCache SumCache::build(const QuantizedMatrix& q) {
+  SumCache cache;
+  cache.outer_ = q.outer();
+  cache.groups_ = q.group_count();
+  cache.sums_ = sums_of(q);
+  return cache;
+}
+
+void SumCache::append_rows(const QuantizedMatrix& extra) {
+  HACK_CHECK(extra.axis == QuantAxis::kRow, "append_rows needs row-axis data");
+  HACK_CHECK(extra.group_count() == groups_, "group count mismatch");
+  const auto extra_sums = sums_of(extra);
+  sums_.insert(sums_.end(), extra_sums.begin(), extra_sums.end());
+  outer_ += extra.outer();
+}
+
+void SumCache::append_inner_groups(const QuantizedMatrix& extra) {
+  HACK_CHECK(extra.axis == QuantAxis::kCol,
+             "append_inner_groups needs col-axis data");
+  HACK_CHECK(extra.outer() == outer_, "outer dimension mismatch");
+  const auto extra_sums = sums_of(extra);
+  const std::size_t add_groups = extra.group_count();
+  const std::size_t new_groups = groups_ + add_groups;
+  std::vector<std::int32_t> merged(outer_ * new_groups);
+  for (std::size_t o = 0; o < outer_; ++o) {
+    for (std::size_t g = 0; g < groups_; ++g) {
+      merged[o * new_groups + g] = sums_[o * groups_ + g];
+    }
+    for (std::size_t g = 0; g < add_groups; ++g) {
+      merged[o * new_groups + groups_ + g] = extra_sums[o * add_groups + g];
+    }
+  }
+  sums_ = std::move(merged);
+  groups_ = new_groups;
+}
+
+}  // namespace hack

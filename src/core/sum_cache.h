@@ -1,0 +1,50 @@
+// Per-partition code sums — the "summation elimination" (SE) optimization.
+//
+// Eq. (4)'s correction needs Σ_{z∈g} b'_{zj} for every (column j, group g) of
+// the quantized KV matrices. Recomputing that each decode iteration costs
+// N·Z adds; HACK instead stores the sums when data is quantized and reuses
+// them. A sum of Π codes of b bits needs b + ⌈log2 Π⌉ bits; the paper stores
+// INT16 for alignment (§6), and so does this cache (2 bytes per entry in the
+// memory accounting).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/quantizer.h"
+
+namespace hack {
+
+class SumCache {
+ public:
+  SumCache() = default;
+
+  // Computes code sums over each (outer index, partition) of q.
+  static SumCache build(const QuantizedMatrix& q);
+
+  std::size_t outer() const { return outer_; }
+  std::size_t groups() const { return groups_; }
+
+  std::int32_t sum(std::size_t outer_idx, std::size_t group) const {
+    HACK_CHECK(outer_idx < outer_ && group < groups_, "sum index out of range");
+    return sums_[outer_idx * groups_ + group];
+  }
+
+  // Extends the cache with the sums of newly appended data. For row-axis
+  // matrices (K cache) `extra` adds outer entries; for col-axis matrices
+  // (V cache) it adds groups to each existing outer entry.
+  void append_rows(const QuantizedMatrix& extra);
+  void append_inner_groups(const QuantizedMatrix& extra);
+
+  // Modeled storage footprint: INT16 per entry.
+  std::size_t storage_bytes() const { return 2 * sums_.size(); }
+
+ private:
+  static std::vector<std::int32_t> sums_of(const QuantizedMatrix& q);
+
+  std::size_t outer_ = 0;
+  std::size_t groups_ = 0;
+  std::vector<std::int32_t> sums_;
+};
+
+}  // namespace hack

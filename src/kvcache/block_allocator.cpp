@@ -1,0 +1,47 @@
+#include "kvcache/block_allocator.h"
+
+#include <algorithm>
+
+namespace hack {
+
+BlockAllocator::BlockAllocator(std::size_t num_blocks, std::size_t block_bytes)
+    : block_bytes_(block_bytes), ref_counts_(num_blocks, 0) {
+  HACK_CHECK(num_blocks > 0 && block_bytes > 0, "empty allocator");
+  free_list_.reserve(num_blocks);
+  // Hand out low ids first: push high ids first so pop_back yields low.
+  for (std::size_t i = num_blocks; i > 0; --i) {
+    free_list_.push_back(static_cast<BlockId>(i - 1));
+  }
+}
+
+BlockId BlockAllocator::allocate() {
+  if (free_list_.empty()) {
+    return kInvalidBlock;
+  }
+  const BlockId id = free_list_.back();
+  free_list_.pop_back();
+  ref_counts_[id] = 1;
+  peak_in_use_ = std::max(peak_in_use_, blocks_in_use());
+  return id;
+}
+
+void BlockAllocator::add_ref(BlockId id) {
+  HACK_CHECK(id < ref_counts_.size() && ref_counts_[id] > 0,
+             "add_ref on unallocated block " << id);
+  ++ref_counts_[id];
+}
+
+void BlockAllocator::release(BlockId id) {
+  HACK_CHECK(id < ref_counts_.size() && ref_counts_[id] > 0,
+             "release of unallocated block " << id);
+  if (--ref_counts_[id] == 0) {
+    free_list_.push_back(id);
+  }
+}
+
+int BlockAllocator::ref_count(BlockId id) const {
+  HACK_CHECK(id < ref_counts_.size(), "bad block id " << id);
+  return ref_counts_[id];
+}
+
+}  // namespace hack

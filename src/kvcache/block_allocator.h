@@ -1,0 +1,51 @@
+// Fixed-pool block allocator — the vLLM PagedAttention memory substrate.
+//
+// GPU KV memory is carved into equal-size blocks; sequences own lists of
+// block ids and blocks are reference-counted so prefix-shared sequences can
+// point at the same physical block (KV sharing across requests, §1). The
+// allocator never over-commits: alloc fails when the pool is exhausted,
+// which is the condition that triggers CPU swap in the disaggregated flow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/check.h"
+
+namespace hack {
+
+using BlockId = std::uint32_t;
+inline constexpr BlockId kInvalidBlock = UINT32_MAX;
+
+class BlockAllocator {
+ public:
+  BlockAllocator(std::size_t num_blocks, std::size_t block_bytes);
+
+  std::size_t num_blocks() const { return ref_counts_.size(); }
+  std::size_t block_bytes() const { return block_bytes_; }
+  std::size_t blocks_free() const { return free_list_.size(); }
+  std::size_t blocks_in_use() const { return num_blocks() - blocks_free(); }
+  std::size_t bytes_in_use() const { return blocks_in_use() * block_bytes_; }
+  std::size_t peak_blocks_in_use() const { return peak_in_use_; }
+
+  bool can_allocate(std::size_t count) const { return count <= blocks_free(); }
+
+  // Allocates one block with refcount 1; returns kInvalidBlock when full.
+  BlockId allocate();
+
+  // Increments the refcount (prefix sharing / copy-on-write fork).
+  void add_ref(BlockId id);
+
+  // Decrements the refcount; the block returns to the free list at zero.
+  void release(BlockId id);
+
+  int ref_count(BlockId id) const;
+
+ private:
+  std::size_t block_bytes_;
+  std::vector<int> ref_counts_;
+  std::vector<BlockId> free_list_;
+  std::size_t peak_in_use_ = 0;
+};
+
+}  // namespace hack

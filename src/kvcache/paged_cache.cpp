@@ -1,0 +1,149 @@
+#include "kvcache/paged_cache.h"
+
+#include "tensor/half.h"
+
+namespace hack {
+
+PagedKvCache::PagedKvCache(BlockAllocator& allocator, std::size_t d_head,
+                           std::size_t block_tokens)
+    : allocator_(allocator), d_head_(d_head), block_tokens_(block_tokens) {
+  HACK_CHECK(d_head > 0 && block_tokens > 0, "bad cache geometry");
+  HACK_CHECK(allocator.block_bytes() >= block_bytes_for(d_head, block_tokens),
+             "allocator blocks too small for this cache geometry");
+  storage_.resize(allocator.num_blocks());
+}
+
+std::size_t PagedKvCache::tokens(SeqId seq) const {
+  const auto it = tables_.find(seq);
+  return it == tables_.end() ? 0 : it->second.tokens;
+}
+
+float PagedKvCache::read(BlockId block, std::size_t slot, std::size_t col,
+                         bool v) const {
+  const auto& data = storage_[block];
+  const std::size_t idx = ((v ? block_tokens_ : 0) + slot) * d_head_ + col;
+  return Half::from_bits(data[idx]).to_float();
+}
+
+void PagedKvCache::write(BlockId block, std::size_t slot, std::size_t col,
+                         bool v, float value) {
+  auto& data = storage_[block];
+  if (data.empty()) {
+    data.assign(block_tokens_ * d_head_ * 2, 0);
+  }
+  const std::size_t idx = ((v ? block_tokens_ : 0) + slot) * d_head_ + col;
+  data[idx] = Half(value).bits();
+}
+
+void PagedKvCache::make_unique(Table& table, std::size_t block_idx) {
+  const BlockId old_id = table.blocks[block_idx];
+  if (allocator_.ref_count(old_id) == 1) {
+    return;
+  }
+  const BlockId copy = allocator_.allocate();
+  HACK_CHECK(copy != kInvalidBlock, "pool exhausted during copy-on-write");
+  storage_[copy] = storage_[old_id];
+  allocator_.release(old_id);
+  table.blocks[block_idx] = copy;
+}
+
+bool PagedKvCache::append(SeqId seq, const Matrix& k_new, const Matrix& v_new) {
+  HACK_CHECK(k_new.rows() == v_new.rows() && k_new.cols() == d_head_ &&
+                 v_new.cols() == d_head_,
+             "bad K/V append shape");
+  Table& table = tables_[seq];
+
+  // Pre-flight: count blocks needed so failure leaves the table untouched.
+  const std::size_t total_after = table.tokens + k_new.rows();
+  const std::size_t blocks_after = (total_after + block_tokens_ - 1) / block_tokens_;
+  const std::size_t need = blocks_after - table.blocks.size();
+  if (!allocator_.can_allocate(need)) {
+    if (table.blocks.empty() && table.tokens == 0) tables_.erase(seq);
+    return false;
+  }
+  for (std::size_t i = 0; i < need; ++i) {
+    const BlockId id = allocator_.allocate();
+    HACK_CHECK(id != kInvalidBlock, "allocator lied about capacity");
+    storage_[id].assign(block_tokens_ * d_head_ * 2, 0);
+    table.blocks.push_back(id);
+  }
+
+  for (std::size_t r = 0; r < k_new.rows(); ++r) {
+    const std::size_t token = table.tokens + r;
+    const std::size_t block_idx = token / block_tokens_;
+    make_unique(table, block_idx);
+    const BlockId block = table.blocks[block_idx];
+    const std::size_t slot = token % block_tokens_;
+    for (std::size_t c = 0; c < d_head_; ++c) {
+      write(block, slot, c, /*v=*/false, k_new(r, c));
+      write(block, slot, c, /*v=*/true, v_new(r, c));
+    }
+  }
+  table.tokens += k_new.rows();
+  return true;
+}
+
+namespace {
+
+Matrix gather(const std::vector<BlockId>& blocks, std::size_t tokens,
+              std::size_t block_tokens, std::size_t d_head, bool v,
+              const PagedKvCache& cache,
+              float (PagedKvCache::*reader)(BlockId, std::size_t, std::size_t,
+                                            bool) const) {
+  Matrix out(tokens, d_head);
+  for (std::size_t t = 0; t < tokens; ++t) {
+    const BlockId block = blocks[t / block_tokens];
+    const std::size_t slot = t % block_tokens;
+    for (std::size_t c = 0; c < d_head; ++c) {
+      out(t, c) = (cache.*reader)(block, slot, c, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix PagedKvCache::gather_k(SeqId seq) const {
+  const auto it = tables_.find(seq);
+  HACK_CHECK(it != tables_.end(), "unknown sequence " << seq);
+  return gather(it->second.blocks, it->second.tokens, block_tokens_, d_head_,
+                /*v=*/false, *this, &PagedKvCache::read);
+}
+
+Matrix PagedKvCache::gather_v(SeqId seq) const {
+  const auto it = tables_.find(seq);
+  HACK_CHECK(it != tables_.end(), "unknown sequence " << seq);
+  return gather(it->second.blocks, it->second.tokens, block_tokens_, d_head_,
+                /*v=*/true, *this, &PagedKvCache::read);
+}
+
+void PagedKvCache::fork(SeqId src, SeqId dst) {
+  const auto it = tables_.find(src);
+  HACK_CHECK(it != tables_.end(), "fork of unknown sequence " << src);
+  HACK_CHECK(!tables_.contains(dst), "fork target already exists");
+  Table copy;
+  copy.tokens = it->second.tokens;
+  copy.blocks = it->second.blocks;
+  copy.forked = true;
+  it->second.forked = true;
+  for (const BlockId id : copy.blocks) {
+    allocator_.add_ref(id);
+  }
+  tables_.emplace(dst, std::move(copy));
+}
+
+void PagedKvCache::drop(SeqId seq) {
+  const auto it = tables_.find(seq);
+  HACK_CHECK(it != tables_.end(), "drop of unknown sequence " << seq);
+  for (const BlockId id : it->second.blocks) {
+    allocator_.release(id);
+  }
+  tables_.erase(it);
+}
+
+std::size_t PagedKvCache::blocks_held(SeqId seq) const {
+  const auto it = tables_.find(seq);
+  return it == tables_.end() ? 0 : it->second.blocks.size();
+}
+
+}  // namespace hack

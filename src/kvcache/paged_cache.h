@@ -1,0 +1,77 @@
+// Paged FP16 KV cache — the baseline decode-instance cache structure.
+//
+// One logical cache serves one (layer, head) pair; the model owns a grid of
+// them. Tokens map to (block, slot) through a per-sequence block table; data
+// lives in FP16 (stored as raw binary16 bits). Forking a sequence shares its
+// full blocks copy-on-write, modeling prefix KV sharing.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kvcache/block_allocator.h"
+#include "tensor/matrix.h"
+
+namespace hack {
+
+using SeqId = std::uint64_t;
+
+class PagedKvCache {
+ public:
+  // block_tokens: tokens per block. Block bytes = tokens * d_head * 2 (K+V)
+  // * 2 (FP16).
+  PagedKvCache(BlockAllocator& allocator, std::size_t d_head,
+               std::size_t block_tokens);
+
+  static std::size_t block_bytes_for(std::size_t d_head,
+                                     std::size_t block_tokens) {
+    return block_tokens * d_head * 2 * 2;
+  }
+
+  std::size_t d_head() const { return d_head_; }
+  std::size_t block_tokens() const { return block_tokens_; }
+
+  bool has_sequence(SeqId seq) const { return tables_.contains(seq); }
+  std::size_t tokens(SeqId seq) const;
+
+  // Appends K/V rows ([n, d_head] each) for `seq`, allocating blocks as
+  // needed. Returns false (and rolls back) if the pool runs out.
+  bool append(SeqId seq, const Matrix& k_new, const Matrix& v_new);
+
+  // Reconstructs the sequence's K (or V) as an [tokens, d_head] matrix.
+  Matrix gather_k(SeqId seq) const;
+  Matrix gather_v(SeqId seq) const;
+
+  // Shares all of src's blocks with a new sequence id (copy-on-write refs).
+  void fork(SeqId src, SeqId dst);
+
+  // Releases every block held by the sequence.
+  void drop(SeqId seq);
+
+  std::size_t blocks_held(SeqId seq) const;
+
+ private:
+  struct Table {
+    std::vector<BlockId> blocks;
+    std::size_t tokens = 0;
+    // Block index below which blocks may be shared with a fork; writing into
+    // a shared block triggers copy-on-write.
+    bool forked = false;
+  };
+
+  float read(BlockId block, std::size_t slot, std::size_t col, bool v) const;
+  void write(BlockId block, std::size_t slot, std::size_t col, bool v,
+             float value);
+  // Ensures the block holding `block_idx` is uniquely owned; copies if shared.
+  void make_unique(Table& table, std::size_t block_idx);
+
+  BlockAllocator& allocator_;
+  std::size_t d_head_;
+  std::size_t block_tokens_;
+  std::unordered_map<SeqId, Table> tables_;
+  // Backing storage for every block in the pool, FP16 bits.
+  std::vector<std::vector<std::uint16_t>> storage_;
+};
+
+}  // namespace hack

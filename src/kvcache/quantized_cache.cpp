@@ -1,0 +1,78 @@
+#include "kvcache/quantized_cache.h"
+
+namespace hack {
+
+QuantizedKvCache::QuantizedKvCache(std::size_t layers, std::size_t kv_heads,
+                                   std::size_t d_head,
+                                   HackAttentionConfig config,
+                                   std::size_t gpu_byte_budget)
+    : layers_(layers),
+      kv_heads_(kv_heads),
+      d_head_(d_head),
+      config_(config),
+      budget_(gpu_byte_budget) {
+  HACK_CHECK(layers > 0 && kv_heads > 0, "empty cache geometry");
+}
+
+bool QuantizedKvCache::admit(SeqId seq) {
+  HACK_CHECK(!gpu_.contains(seq), "sequence " << seq << " already resident");
+  if (gpu_bytes_in_use() >= budget_) {
+    return false;
+  }
+  States states;
+  states.reserve(layers_ * kv_heads_);
+  for (std::size_t i = 0; i < layers_ * kv_heads_; ++i) {
+    states.emplace_back(d_head_, config_);
+  }
+  gpu_.emplace(seq, std::move(states));
+  return true;
+}
+
+HackKvState& QuantizedKvCache::state(SeqId seq, std::size_t layer,
+                                     std::size_t head) {
+  const auto it = gpu_.find(seq);
+  HACK_CHECK(it != gpu_.end(), "sequence " << seq << " not resident");
+  return it->second[index(layer, head)];
+}
+
+void QuantizedKvCache::append_tokens(SeqId seq, const std::vector<Matrix>& k,
+                                     const std::vector<Matrix>& v, Rng& rng,
+                                     HackAttnStats* stats) {
+  HACK_CHECK(k.size() == layers_ * kv_heads_ && v.size() == k.size(),
+             "append expects one matrix per (layer, head)");
+  const auto it = gpu_.find(seq);
+  HACK_CHECK(it != gpu_.end(), "sequence " << seq << " not resident");
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    it->second[i].append_tokens(k[i], v[i], rng, stats);
+  }
+}
+
+void QuantizedKvCache::drop(SeqId seq) {
+  HACK_CHECK(gpu_.erase(seq) == 1, "drop of non-resident sequence " << seq);
+}
+
+QuantizedCacheUsage QuantizedKvCache::usage(SeqId seq) const {
+  const auto it = gpu_.find(seq);
+  HACK_CHECK(it != gpu_.end(), "sequence " << seq << " not resident");
+  QuantizedCacheUsage u;
+  for (const HackKvState& s : it->second) {
+    u.packed_kv_bytes += s.packed_kv_bytes();
+    u.sum_cache_bytes += s.sum_cache_bytes();
+    u.fp16_tail_bytes += s.fp16_tail_bytes();
+  }
+  return u;
+}
+
+QuantizedCacheUsage QuantizedKvCache::total_usage() const {
+  QuantizedCacheUsage total;
+  for (const auto& [seq, states] : gpu_) {
+    for (const HackKvState& s : states) {
+      total.packed_kv_bytes += s.packed_kv_bytes();
+      total.sum_cache_bytes += s.sum_cache_bytes();
+      total.fp16_tail_bytes += s.fp16_tail_bytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace hack

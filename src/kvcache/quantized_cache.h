@@ -1,0 +1,77 @@
+// Quantized KV cache for whole sequences — HACK's modified vLLM cache (§6).
+//
+// Holds one HackKvState per (layer, kv-head) for each sequence, tracks the
+// exact byte footprint of packed codes, FP16 (m, s) metadata, INT16 sum
+// values (SE) and the FP16 last-block-of-V buffer (RQE), and enforces a GPU
+// byte budget. When admission would exceed the budget the sequence is
+// parked in "CPU memory" instead (the prefill-side swap of §4/Fig. 5 step 6)
+// until capacity frees up.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "attention/hack_attention.h"
+#include "kvcache/paged_cache.h"
+
+namespace hack {
+
+struct QuantizedCacheUsage {
+  std::size_t packed_kv_bytes = 0;
+  std::size_t sum_cache_bytes = 0;
+  std::size_t fp16_tail_bytes = 0;
+  std::size_t total() const {
+    return packed_kv_bytes + sum_cache_bytes + fp16_tail_bytes;
+  }
+};
+
+class QuantizedKvCache {
+ public:
+  QuantizedKvCache(std::size_t layers, std::size_t kv_heads,
+                   std::size_t d_head, HackAttentionConfig config,
+                   std::size_t gpu_byte_budget);
+
+  std::size_t layers() const { return layers_; }
+  std::size_t kv_heads() const { return kv_heads_; }
+
+  // Admits a sequence to GPU memory; false -> caller must keep it on CPU.
+  bool admit(SeqId seq);
+
+  // True if the sequence is resident on the GPU.
+  bool resident(SeqId seq) const { return gpu_.contains(seq); }
+
+  // Access to the per-(layer, head) state of a resident sequence.
+  HackKvState& state(SeqId seq, std::size_t layer, std::size_t head);
+
+  // Appends one token's K/V across all layers/heads.
+  // k/v are [layers * kv_heads] matrices of shape [n, d_head].
+  void append_tokens(SeqId seq, const std::vector<Matrix>& k,
+                     const std::vector<Matrix>& v, Rng& rng,
+                     HackAttnStats* stats = nullptr);
+
+  void drop(SeqId seq);
+
+  QuantizedCacheUsage usage(SeqId seq) const;
+  QuantizedCacheUsage total_usage() const;
+  std::size_t gpu_bytes_in_use() const { return total_usage().total(); }
+  std::size_t budget() const { return budget_; }
+
+ private:
+  using States = std::vector<HackKvState>;  // layers * kv_heads
+
+  std::size_t index(std::size_t layer, std::size_t head) const {
+    HACK_CHECK(layer < layers_ && head < kv_heads_, "layer/head out of range");
+    return layer * kv_heads_ + head;
+  }
+
+  std::size_t layers_;
+  std::size_t kv_heads_;
+  std::size_t d_head_;
+  HackAttentionConfig config_;
+  std::size_t budget_;
+  std::unordered_map<SeqId, States> gpu_;
+};
+
+}  // namespace hack

@@ -1,0 +1,70 @@
+#include "metrics/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace hack {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  HACK_CHECK(header_.empty() || cells.size() == header_.size(),
+             "row width " << cells.size() << " != header width "
+                          << header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  os << "\n== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+         << cells[i];
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    std::string rule;
+    for (const std::size_t w : widths) rule += std::string(w + 2, '-');
+    os << rule << "\n";
+  }
+  for (const auto& row : rows_) print_row(row);
+
+  // Machine-readable mirror.
+  for (const auto& row : rows_) {
+    os << "csv," << title_;
+    for (const auto& cell : row) os << "," << cell;
+    os << "\n";
+  }
+}
+
+std::string fmt(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string pct(double ratio, int digits) {
+  return fmt(100.0 * ratio, digits) + "%";
+}
+
+}  // namespace hack

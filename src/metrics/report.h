@@ -1,0 +1,35 @@
+// Plain-text table/series printers for the benchmark harness.
+//
+// Every bench binary prints the paper's tables and figure series through
+// these helpers so output stays uniform and diffable (also emitted as CSV
+// rows prefixed with "csv," for machine consumption).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace hack {
+
+class Table {
+ public:
+  explicit Table(std::string title);
+
+  Table& header(std::vector<std::string> columns);
+  Table& row(std::vector<std::string> cells);
+
+  void print(std::ostream& os = std::cout) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` fraction digits.
+std::string fmt(double value, int digits = 2);
+
+// Formats a ratio as a percentage string ("41.5%").
+std::string pct(double ratio, int digits = 1);
+
+}  // namespace hack

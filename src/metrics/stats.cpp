@@ -1,0 +1,45 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace hack {
+
+double percentile(std::vector<double> samples, double q) {
+  HACK_CHECK(!samples.empty(), "percentile of empty sample set");
+  HACK_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+SampleStats compute_stats(std::vector<double> samples) {
+  HACK_CHECK(!samples.empty(), "stats of empty sample set");
+  SampleStats s;
+  s.count = samples.size();
+  double sum = 0.0;
+  s.min = samples.front();
+  s.max = samples.front();
+  for (const double v : samples) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (const double v : samples) {
+    var += (v - s.mean) * (v - s.mean);
+  }
+  s.stddev = std::sqrt(var / static_cast<double>(s.count));
+  s.p50 = percentile(samples, 0.50);
+  s.p90 = percentile(samples, 0.90);
+  s.p99 = percentile(samples, 0.99);
+  return s;
+}
+
+}  // namespace hack

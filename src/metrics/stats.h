@@ -1,0 +1,24 @@
+// Summary statistics over sample vectors.
+#pragma once
+
+#include <vector>
+
+namespace hack {
+
+struct SampleStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+SampleStats compute_stats(std::vector<double> samples);
+
+// Percentile with linear interpolation; q in [0, 1].
+double percentile(std::vector<double> samples, double q);
+
+}  // namespace hack

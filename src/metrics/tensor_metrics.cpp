@@ -1,0 +1,40 @@
+#include "metrics/tensor_metrics.h"
+
+#include <cmath>
+
+namespace hack {
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  HACK_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "shape mismatch");
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.flat()[i] - b.flat()[i]));
+  }
+  return worst;
+}
+
+double relative_l2(const Matrix& a, const Matrix& b) {
+  HACK_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "shape mismatch");
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a.flat()[i]) - b.flat()[i];
+    num += d * d;
+    den += static_cast<double>(b.flat()[i]) * b.flat()[i];
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : HUGE_VAL;
+  return std::sqrt(num / den);
+}
+
+double cosine_similarity(const Matrix& a, const Matrix& b) {
+  HACK_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "shape mismatch");
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a.flat()[i]) * b.flat()[i];
+    na += static_cast<double>(a.flat()[i]) * a.flat()[i];
+    nb += static_cast<double>(b.flat()[i]) * b.flat()[i];
+  }
+  if (na == 0.0 || nb == 0.0) return na == nb ? 1.0 : 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace hack

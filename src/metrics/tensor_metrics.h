@@ -1,0 +1,17 @@
+// Numeric error metrics between matrices (quantization-fidelity checks).
+#pragma once
+
+#include "tensor/matrix.h"
+
+namespace hack {
+
+// max |a - b| over all entries.
+float max_abs_diff(const Matrix& a, const Matrix& b);
+
+// ||a - b||_F / ||b||_F (relative to the reference b).
+double relative_l2(const Matrix& a, const Matrix& b);
+
+// Cosine similarity of flattened matrices.
+double cosine_similarity(const Matrix& a, const Matrix& b);
+
+}  // namespace hack

@@ -1,0 +1,65 @@
+#include "metrics/text_metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hack {
+
+double rouge1_f1(const std::vector<int>& candidate,
+                 const std::vector<int>& reference) {
+  if (candidate.empty() && reference.empty()) return 1.0;
+  if (candidate.empty() || reference.empty()) return 0.0;
+  std::unordered_map<int, int> ref_counts;
+  for (const int tok : reference) ++ref_counts[tok];
+  int overlap = 0;
+  for (const int tok : candidate) {
+    const auto it = ref_counts.find(tok);
+    if (it != ref_counts.end() && it->second > 0) {
+      --it->second;
+      ++overlap;
+    }
+  }
+  const double precision =
+      static_cast<double>(overlap) / static_cast<double>(candidate.size());
+  const double recall =
+      static_cast<double>(overlap) / static_cast<double>(reference.size());
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+std::size_t edit_distance(const std::vector<int>& a,
+                          const std::vector<int>& b) {
+  // Two-row dynamic program.
+  const std::size_t n = a.size(), m = b.size();
+  std::vector<std::size_t> prev(m + 1), curr(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    curr[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, sub});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double edit_similarity(const std::vector<int>& a, const std::vector<int>& b) {
+  const std::size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(edit_distance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double prefix_agreement(const std::vector<int>& candidate,
+                        const std::vector<int>& reference) {
+  if (reference.empty()) return candidate.empty() ? 1.0 : 0.0;
+  std::size_t agree = 0;
+  while (agree < candidate.size() && agree < reference.size() &&
+         candidate[agree] == reference[agree]) {
+    ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(reference.size());
+}
+
+}  // namespace hack

@@ -1,0 +1,26 @@
+// Text similarity metrics used by the paper's accuracy evaluation (§7.1):
+// ROUGE-1 for summarization-style outputs and Edit Similarity (normalized
+// Levenshtein) for code-completion-style outputs.
+#pragma once
+
+#include <vector>
+
+namespace hack {
+
+// ROUGE-1 F1 between candidate and reference token sequences: unigram
+// overlap (clipped counts), harmonic mean of precision and recall. In [0, 1].
+double rouge1_f1(const std::vector<int>& candidate,
+                 const std::vector<int>& reference);
+
+// Levenshtein distance (insert/delete/substitute, unit costs).
+std::size_t edit_distance(const std::vector<int>& a, const std::vector<int>& b);
+
+// Edit similarity: 1 - distance / max(|a|, |b|). In [0, 1].
+double edit_similarity(const std::vector<int>& a, const std::vector<int>& b);
+
+// Exact-prefix match length divided by reference length: how long greedy
+// generations agree before first divergence.
+double prefix_agreement(const std::vector<int>& candidate,
+                        const std::vector<int>& reference);
+
+}  // namespace hack

@@ -1,0 +1,108 @@
+#include "model/config.h"
+
+#include "base/check.h"
+
+namespace hack {
+
+const std::vector<ModelConfig>& model_zoo() {
+  static const std::vector<ModelConfig> zoo = {
+      {.name = "Mistral-v0.3 7B",
+       .letter = "M",
+       .layers = 32,
+       .hidden = 4096,
+       .heads = 32,
+       .kv_heads = 8,
+       .d_head = 128,
+       .intermediate = 14336,
+       .vocab = 32768,
+       .params = 7.25e9,
+       .max_context = 32768},
+      {.name = "Phi-3 14B",
+       .letter = "P",
+       .layers = 40,
+       .hidden = 5120,
+       .heads = 40,
+       .kv_heads = 10,
+       .d_head = 128,
+       .intermediate = 17920,
+       .vocab = 32064,
+       .params = 14.0e9,
+       .max_context = 131072},
+      {.name = "Yi 34B",
+       .letter = "Y",
+       .layers = 60,
+       .hidden = 7168,
+       .heads = 56,
+       .kv_heads = 8,
+       .d_head = 128,
+       .intermediate = 20480,
+       .vocab = 64000,
+       .params = 34.4e9,
+       .max_context = 200000},
+      {.name = "Llama-3.1 70B",
+       .letter = "L",
+       .layers = 80,
+       .hidden = 8192,
+       .heads = 64,
+       .kv_heads = 8,
+       .d_head = 128,
+       .intermediate = 28672,
+       .vocab = 128256,
+       .params = 70.6e9,
+       .max_context = 131072},
+      {.name = "Falcon 180B",
+       .letter = "F",
+       .layers = 80,
+       .hidden = 14848,
+       .heads = 232,
+       .kv_heads = 8,
+       .d_head = 64,
+       .intermediate = 59392,
+       .vocab = 65024,
+       .params = 180.0e9,
+       // The paper notes Falcon-180B's 2K context window limitation (§2.1).
+       .max_context = 2048},
+  };
+  return zoo;
+}
+
+const ModelConfig& model_by_letter(const std::string& letter) {
+  for (const ModelConfig& m : model_zoo()) {
+    if (m.letter == letter) return m;
+  }
+  HACK_CHECK(false, "unknown model letter: " << letter);
+  return model_zoo().front();
+}
+
+ParallelismPlan parallelism_for(const ModelConfig& model, GpuFamily family) {
+  // Table 3. Columns: {A10G, L4}, {V100, T4}, {A100}.
+  struct Row {
+    const char* letter;
+    ParallelismPlan a10g_l4;
+    ParallelismPlan v100_t4;
+    ParallelismPlan a100;
+  };
+  static const Row rows[] = {
+      {"M", {4, 1}, {4, 1}, {1, 1}},
+      {"P", {2, 2}, {2, 2}, {1, 1}},
+      {"Y", {4, 2}, {4, 2}, {4, 1}},
+      {"L", {4, 2}, {4, 4}, {4, 1}},
+      {"F", {4, 5}, {4, 8}, {4, 2}},
+  };
+  for (const Row& row : rows) {
+    if (model.letter == row.letter) {
+      switch (family) {
+        case GpuFamily::kA10gL4:
+          return row.a10g_l4;
+        case GpuFamily::kV100T4:
+          return row.v100_t4;
+        case GpuFamily::kA100:
+          return row.a100;
+      }
+    }
+  }
+  HACK_CHECK(false, "no parallelism plan for model " << model.letter);
+  return {};
+}
+
+}  // namespace hack

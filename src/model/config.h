@@ -1,0 +1,61 @@
+// Model architecture configs — the paper's evaluation zoo (Table 3).
+//
+// The analytic cost model only needs architecture shape (layers, heads, head
+// dim, parameter count), which is public for every model in the paper:
+// Mistral-v0.3 7B (M), Phi-3 14B (P), Yi 34B (Y), Llama-3.1 70B (L) and
+// Falcon 180B (F). TP/PP degrees per GPU family follow Table 3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hack {
+
+struct ModelConfig {
+  std::string name;       // full name
+  std::string letter;     // paper shorthand: M, P, Y, L, F
+  std::size_t layers = 0;
+  std::size_t hidden = 0;     // d_model
+  std::size_t heads = 0;      // attention heads
+  std::size_t kv_heads = 0;   // GQA KV heads
+  std::size_t d_head = 0;
+  std::size_t intermediate = 0;  // MLP inner dim
+  std::size_t vocab = 0;
+  double params = 0.0;        // total parameter count
+  std::size_t max_context = 0;
+
+  // FP16 bytes of KV data for one token across all layers (K and V).
+  double kv_bytes_per_token_fp16() const {
+    return 2.0 * 2.0 * static_cast<double>(layers * kv_heads * d_head);
+  }
+
+  // FP16 bytes of model weights.
+  double weight_bytes_fp16() const { return 2.0 * params; }
+};
+
+// Tensor/pipeline parallel degrees (Table 3).
+struct ParallelismPlan {
+  int tp = 1;
+  int pp = 1;
+  int gpus() const { return tp * pp; }
+};
+
+// GPU families used for plan lookup: A10G and L4 share a column in Table 3,
+// as do V100 and T4.
+enum class GpuFamily {
+  kA10gL4,
+  kV100T4,
+  kA100,
+};
+
+// The five evaluation models, in paper order M, P, Y, L, F.
+const std::vector<ModelConfig>& model_zoo();
+
+// Lookup by shorthand letter ("M", "P", "Y", "L", "F").
+const ModelConfig& model_by_letter(const std::string& letter);
+
+// Table 3 entry for (model, GPU family).
+ParallelismPlan parallelism_for(const ModelConfig& model, GpuFamily family);
+
+}  // namespace hack

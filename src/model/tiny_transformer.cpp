@@ -1,0 +1,348 @@
+#include "model/tiny_transformer.h"
+
+#include <cmath>
+
+#include "attention/reference.h"
+#include "tensor/half.h"
+#include "tensor/ops.h"
+
+namespace hack {
+namespace {
+
+// ---------------------------------------------------------------- backends
+
+class ExactBackend : public HeadBackend {
+ public:
+  void append(const Matrix& k_new, const Matrix& v_new) override {
+    k_ = k_.empty() ? k_new : vstack(k_, k_new);
+    v_ = v_.empty() ? v_new : vstack(v_, v_new);
+  }
+  Matrix attend(const Matrix& q, std::size_t key_offset) override {
+    return attention_reference(
+        q, k_, v_, {.causal = true, .key_offset = key_offset});
+  }
+  std::size_t stored_bytes() const override {
+    return (k_.size() + v_.size()) * 4;
+  }
+
+ private:
+  Matrix k_, v_;
+};
+
+class Fp16Backend : public HeadBackend {
+ public:
+  void append(const Matrix& k_new, const Matrix& v_new) override {
+    Matrix k = k_new, v = v_new;
+    k.round_to_fp16();
+    v.round_to_fp16();
+    k_ = k_.empty() ? k : vstack(k_, k);
+    v_ = v_.empty() ? v : vstack(v_, v);
+  }
+  Matrix attend(const Matrix& q, std::size_t key_offset) override {
+    return attention_reference(
+        q, k_, v_, {.causal = true, .key_offset = key_offset});
+  }
+  std::size_t stored_bytes() const override {
+    return (k_.size() + v_.size()) * 2;
+  }
+
+ private:
+  Matrix k_, v_;
+};
+
+class HackBackend : public HeadBackend {
+ public:
+  HackBackend(std::size_t d_head, const HackAttentionConfig& config,
+              std::uint64_t seed)
+      : state_(d_head, config), rng_(seed) {}
+
+  void append(const Matrix& k_new, const Matrix& v_new) override {
+    state_.append_tokens(k_new, v_new, rng_, &stats_);
+  }
+  Matrix attend(const Matrix& q, std::size_t key_offset) override {
+    return hack_attention(q, state_,
+                          {.causal = true, .key_offset = key_offset}, rng_,
+                          &stats_);
+  }
+  std::size_t stored_bytes() const override { return state_.wire_bytes(); }
+
+ private:
+  HackKvState state_;
+  Rng rng_;
+  HackAttnStats stats_;
+};
+
+class CodecBackend : public HeadBackend {
+ public:
+  CodecBackend(std::size_t d_head, std::shared_ptr<const KvCodec> codec,
+               std::uint64_t seed)
+      : state_(d_head, std::move(codec)), rng_(seed) {}
+
+  void append(const Matrix& k_new, const Matrix& v_new) override {
+    state_.append_tokens(k_new, v_new, rng_, &stats_);
+  }
+  Matrix attend(const Matrix& q, std::size_t key_offset) override {
+    return dequant_attention(
+        q, state_, {.causal = true, .key_offset = key_offset}, &stats_);
+  }
+  std::size_t stored_bytes() const override { return state_.stored_bytes(); }
+
+ private:
+  DequantKvState state_;
+  Rng rng_;
+  DequantAttnStats stats_;
+};
+
+class MiniFloatBackend : public HeadBackend {
+ public:
+  explicit MiniFloatBackend(MiniFloatFormat format) : format_(format) {}
+
+  void append(const Matrix& k_new, const Matrix& v_new) override {
+    const Matrix k = minifloat_round_matrix(k_new, format_);
+    const Matrix v = minifloat_round_matrix(v_new, format_);
+    k_ = k_.empty() ? k : vstack(k_, k);
+    v_ = v_.empty() ? v : vstack(v_, v);
+  }
+  Matrix attend(const Matrix& q, std::size_t key_offset) override {
+    return attention_reference(
+        q, k_, v_, {.causal = true, .key_offset = key_offset});
+  }
+  std::size_t stored_bytes() const override {
+    return (k_.size() + v_.size()) * static_cast<std::size_t>(
+               minifloat_bits(format_)) / 8;
+  }
+
+ private:
+  MiniFloatFormat format_;
+  Matrix k_, v_;
+};
+
+// ------------------------------------------------------------ small kernels
+
+std::vector<float> rms_norm(std::span<const float> x,
+                            std::span<const float> gain) {
+  double sum_sq = 0.0;
+  for (const float v : x) sum_sq += static_cast<double>(v) * v;
+  const float inv_rms = 1.0f / std::sqrt(static_cast<float>(
+                                  sum_sq / static_cast<double>(x.size())) +
+                              1e-6f);
+  std::vector<float> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = x[i] * inv_rms * gain[i];
+  }
+  return out;
+}
+
+Matrix rms_norm_rows(const Matrix& x, std::span<const float> gain) {
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto normed = rms_norm(x.row(i), gain);
+    std::copy(normed.begin(), normed.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+float silu(float x) { return x / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+BackendFactory make_exact_backend() {
+  return [](std::size_t) { return std::make_unique<ExactBackend>(); };
+}
+
+BackendFactory make_fp16_backend() {
+  return [](std::size_t) { return std::make_unique<Fp16Backend>(); };
+}
+
+BackendFactory make_hack_backend(HackAttentionConfig config,
+                                 std::uint64_t seed) {
+  auto counter = std::make_shared<std::uint64_t>(seed);
+  return [config, counter](std::size_t d_head) {
+    return std::make_unique<HackBackend>(d_head, config, (*counter)++);
+  };
+}
+
+BackendFactory make_codec_backend(std::shared_ptr<const KvCodec> codec,
+                                  std::uint64_t seed) {
+  auto counter = std::make_shared<std::uint64_t>(seed);
+  return [codec, counter](std::size_t d_head) {
+    return std::make_unique<CodecBackend>(d_head, codec, (*counter)++);
+  };
+}
+
+BackendFactory make_minifloat_backend(MiniFloatFormat format) {
+  return [format](std::size_t) {
+    return std::make_unique<MiniFloatBackend>(format);
+  };
+}
+
+// ----------------------------------------------------------------- model
+
+TinyTransformer::TinyTransformer(const TinyConfig& config,
+                                 BackendFactory factory)
+    : config_(config) {
+  HACK_CHECK(config.heads % config.kv_heads == 0,
+             "heads must be a multiple of kv_heads (GQA)");
+  Rng rng(config.weight_seed);
+  const std::size_t d = config.d_model();
+  const float proj_std = 1.0f / std::sqrt(static_cast<float>(d));
+  const float ff_std = 1.0f / std::sqrt(static_cast<float>(config.d_ff));
+
+  embedding_ = Matrix::random_gaussian(config.vocab, d, rng, proj_std);
+  layers_.resize(config.layers);
+  for (LayerWeights& lw : layers_) {
+    lw.wq = Matrix::random_gaussian(d, config.heads * config.d_head, rng,
+                                    proj_std);
+    lw.wk = Matrix::random_gaussian(d, config.kv_heads * config.d_head, rng,
+                                    proj_std);
+    lw.wv = Matrix::random_gaussian(d, config.kv_heads * config.d_head, rng,
+                                    proj_std);
+    lw.wo = Matrix::random_gaussian(config.heads * config.d_head, d, rng,
+                                    proj_std);
+    lw.w_gate = Matrix::random_gaussian(d, config.d_ff, rng, proj_std);
+    lw.w_up = Matrix::random_gaussian(d, config.d_ff, rng, proj_std);
+    lw.w_down = Matrix::random_gaussian(config.d_ff, d, rng, ff_std);
+    lw.norm_attn.assign(d, 1.0f);
+    lw.norm_mlp.assign(d, 1.0f);
+  }
+  norm_final_.assign(d, 1.0f);
+
+  backends_.reserve(config.layers * config.kv_heads);
+  for (std::size_t i = 0; i < config.layers * config.kv_heads; ++i) {
+    backends_.push_back(factory(config.d_head));
+  }
+}
+
+void TinyTransformer::apply_rope(Matrix& x, std::size_t head_count,
+                                 std::size_t start_pos) const {
+  const std::size_t dh = config_.d_head;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto pos = static_cast<float>(start_pos + r);
+    for (std::size_t h = 0; h < head_count; ++h) {
+      for (std::size_t i = 0; i + 1 < dh; i += 2) {
+        const float theta =
+            pos * std::pow(config_.rope_base,
+                           -static_cast<float>(i) / static_cast<float>(dh));
+        const float c = std::cos(theta);
+        const float s = std::sin(theta);
+        const std::size_t base = h * dh + i;
+        const float x0 = x(r, base);
+        const float x1 = x(r, base + 1);
+        x(r, base) = x0 * c - x1 * s;
+        x(r, base + 1) = x0 * s + x1 * c;
+      }
+    }
+  }
+}
+
+Matrix TinyTransformer::forward(const std::vector<int>& tokens,
+                                std::size_t start_pos) {
+  HACK_CHECK(!tokens.empty(), "empty token batch");
+  const std::size_t d = config_.d_model();
+  const std::size_t dh = config_.d_head;
+  const std::size_t group = config_.heads / config_.kv_heads;
+
+  Matrix x(tokens.size(), d);
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    HACK_CHECK(tokens[t] >= 0 &&
+                   static_cast<std::size_t>(tokens[t]) < config_.vocab,
+               "token " << tokens[t] << " out of vocab");
+    const auto row = embedding_.row(static_cast<std::size_t>(tokens[t]));
+    std::copy(row.begin(), row.end(), x.row(t).begin());
+  }
+
+  for (std::size_t layer = 0; layer < config_.layers; ++layer) {
+    LayerWeights& lw = layers_[layer];
+    const Matrix h = rms_norm_rows(x, lw.norm_attn);
+    Matrix q = matmul(h, lw.wq);
+    Matrix k = matmul(h, lw.wk);
+    const Matrix v = matmul(h, lw.wv);
+    apply_rope(q, config_.heads, start_pos);
+    apply_rope(k, config_.kv_heads, start_pos);
+
+    Matrix attn_out(tokens.size(), config_.heads * dh);
+    for (std::size_t g = 0; g < config_.kv_heads; ++g) {
+      HeadBackend& backend = *backends_[layer * config_.kv_heads + g];
+      backend.append(take_cols(k, g * dh, (g + 1) * dh),
+                     take_cols(v, g * dh, (g + 1) * dh));
+      for (std::size_t sub = 0; sub < group; ++sub) {
+        const std::size_t head = g * group + sub;
+        const Matrix o =
+            backend.attend(take_cols(q, head * dh, (head + 1) * dh),
+                           start_pos);
+        for (std::size_t r = 0; r < tokens.size(); ++r) {
+          for (std::size_t c = 0; c < dh; ++c) {
+            attn_out(r, head * dh + c) = o(r, c);
+          }
+        }
+      }
+    }
+    x = add(x, matmul(attn_out, lw.wo));
+
+    const Matrix h2 = rms_norm_rows(x, lw.norm_mlp);
+    Matrix gate = matmul(h2, lw.w_gate);
+    const Matrix up = matmul(h2, lw.w_up);
+    for (std::size_t i = 0; i < gate.size(); ++i) {
+      gate.flat()[i] = silu(gate.flat()[i]) * up.flat()[i];
+    }
+    x = add(x, matmul(gate, lw.w_down));
+  }
+  return x;
+}
+
+std::vector<float> TinyTransformer::logits_for_last(const Matrix& hidden) {
+  const auto normed = rms_norm(hidden.row(hidden.rows() - 1), norm_final_);
+  std::vector<float> logits(config_.vocab);
+  for (std::size_t t = 0; t < config_.vocab; ++t) {
+    const auto row = embedding_.row(t);
+    float acc = 0.0f;
+    for (std::size_t c = 0; c < normed.size(); ++c) {
+      acc += normed[c] * row[c];
+    }
+    logits[t] = acc;
+  }
+  return logits;
+}
+
+std::vector<float> TinyTransformer::prefill(const std::vector<int>& prompt) {
+  HACK_CHECK(position_ == 0, "prefill on a used model; construct a fresh one");
+  const Matrix hidden = forward(prompt, 0);
+  position_ = prompt.size();
+  return logits_for_last(hidden);
+}
+
+std::vector<float> TinyTransformer::decode_step(int token) {
+  HACK_CHECK(position_ > 0, "decode before prefill");
+  const Matrix hidden = forward({token}, position_);
+  ++position_;
+  return logits_for_last(hidden);
+}
+
+std::vector<int> TinyTransformer::generate(const std::vector<int>& prompt,
+                                           std::size_t max_new_tokens,
+                                           int eos) {
+  std::vector<float> logits = prefill(prompt);
+  std::vector<int> out;
+  for (std::size_t i = 0; i < max_new_tokens; ++i) {
+    int best = 0;
+    for (std::size_t t = 1; t < logits.size(); ++t) {
+      if (logits[t] > logits[static_cast<std::size_t>(best)]) {
+        best = static_cast<int>(t);
+      }
+    }
+    if (best == eos) break;
+    out.push_back(best);
+    logits = decode_step(best);
+  }
+  return out;
+}
+
+std::size_t TinyTransformer::kv_stored_bytes() const {
+  std::size_t total = 0;
+  for (const auto& backend : backends_) {
+    total += backend->stored_bytes();
+  }
+  return total;
+}
+
+}  // namespace hack

@@ -1,0 +1,121 @@
+// A real, runnable decoder-only transformer with pluggable KV backends.
+//
+// The paper's accuracy experiments (Table 6, Table 7, Table 8) measure how
+// each KV-compression scheme perturbs generation. The mechanism is entirely
+// inside attention — quantization error in K/V (and in HACK's case Q/P)
+// shifts attention outputs, which shift logits, which eventually flip
+// generated tokens. This module reproduces that mechanism end-to-end with a
+// small but complete model: token embeddings, RMSNorm, RoPE, grouped-query
+// attention routed through a pluggable per-head KV backend, SwiGLU MLP, tied
+// LM head, greedy decoding. Weights are deterministic functions of a seed.
+//
+// Backends:
+//   - exact FP32 (reference / "ground truth" generation)
+//   - FP16 cache (the disaggregation baseline)
+//   - HACK (homomorphic quantized attention, any HackAttentionConfig)
+//   - codec (CacheGen/KVQuant: compress on append, dequantize to attend)
+//   - mini-float (FP4/6/8 storage)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "attention/dequant_attention.h"
+#include "attention/hack_attention.h"
+#include "codec/codec.h"
+#include "quant/minifloat.h"
+#include "tensor/matrix.h"
+
+namespace hack {
+
+// One KV head's cache + attention kernel. With grouped-query attention a
+// single backend serves every query head in its group: the model appends the
+// group's K/V once, then attends once per query head.
+class HeadBackend {
+ public:
+  virtual ~HeadBackend() = default;
+
+  // Appends new tokens' K/V rows ([n, d_head] each) to the cache.
+  virtual void append(const Matrix& k_new, const Matrix& v_new) = 0;
+
+  // Causal attention of q over all cached tokens; `key_offset` is the
+  // timeline index of q's first row.
+  virtual Matrix attend(const Matrix& q, std::size_t key_offset) = 0;
+
+  // Bytes the cache occupies in its stored (possibly compressed) form.
+  virtual std::size_t stored_bytes() const = 0;
+};
+
+using BackendFactory =
+    std::function<std::unique_ptr<HeadBackend>(std::size_t d_head)>;
+
+// Factories for each method. Stochastic backends fork deterministic RNG
+// streams from `seed`.
+BackendFactory make_exact_backend();
+BackendFactory make_fp16_backend();
+BackendFactory make_hack_backend(HackAttentionConfig config,
+                                 std::uint64_t seed);
+BackendFactory make_codec_backend(std::shared_ptr<const KvCodec> codec,
+                                  std::uint64_t seed);
+BackendFactory make_minifloat_backend(MiniFloatFormat format);
+
+struct TinyConfig {
+  std::size_t vocab = 256;   // byte-level tokens
+  std::size_t layers = 2;
+  std::size_t heads = 4;
+  std::size_t kv_heads = 2;  // GQA: heads % kv_heads == 0
+  std::size_t d_head = 64;
+  std::size_t d_ff = 512;
+  float rope_base = 10000.0f;
+  std::uint64_t weight_seed = 0x7acc5eedULL;
+
+  std::size_t d_model() const { return heads * d_head; }
+};
+
+class TinyTransformer {
+ public:
+  TinyTransformer(const TinyConfig& config, BackendFactory factory);
+
+  const TinyConfig& config() const { return config_; }
+  std::size_t tokens_processed() const { return position_; }
+
+  // Processes the prompt and returns the logits row for its last token.
+  std::vector<float> prefill(const std::vector<int>& prompt);
+
+  // Processes one token and returns the next logits row.
+  std::vector<float> decode_step(int token);
+
+  // Greedy generation: prefill + argmax decode loop. Returns generated
+  // tokens (prompt excluded). Stops at max_new_tokens or eos (if >= 0).
+  std::vector<int> generate(const std::vector<int>& prompt,
+                            std::size_t max_new_tokens, int eos = -1);
+
+  // Total stored KV bytes across all heads/layers.
+  std::size_t kv_stored_bytes() const;
+
+ private:
+  struct LayerWeights {
+    Matrix wq, wk, wv, wo;          // attention projections
+    Matrix w_gate, w_up, w_down;    // SwiGLU
+    std::vector<float> norm_attn;   // RMSNorm gains
+    std::vector<float> norm_mlp;
+  };
+
+  // Runs `tokens` rows through the stack; returns final hidden states.
+  Matrix forward(const std::vector<int>& tokens, std::size_t start_pos);
+  std::vector<float> logits_for_last(const Matrix& hidden);
+
+  void apply_rope(Matrix& x, std::size_t head_count, std::size_t start_pos) const;
+
+  TinyConfig config_;
+  Matrix embedding_;                 // vocab x d_model (tied LM head)
+  std::vector<LayerWeights> layers_;
+  std::vector<float> norm_final_;
+  // backends_[layer * kv_heads + kv_head]
+  std::vector<std::unique_ptr<HeadBackend>> backends_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace hack

@@ -1,0 +1,21 @@
+#include "netsim/link.h"
+
+#include <algorithm>
+
+namespace hack {
+
+Nic::Nic(double gbps, double latency_s) : gbps_(gbps), latency_s_(latency_s) {
+  HACK_CHECK(gbps > 0.0, "NIC bandwidth must be positive");
+  HACK_CHECK(latency_s >= 0.0, "negative latency");
+}
+
+Nic::Booking Nic::book(double ready_time, double bytes) {
+  HACK_CHECK(bytes >= 0.0, "negative transfer size");
+  const double start = std::max(ready_time, busy_until_);
+  const double duration = latency_s_ + bytes / bytes_per_second();
+  busy_until_ = start + duration;
+  total_bytes_ += bytes;
+  return {start, busy_until_};
+}
+
+}  // namespace hack

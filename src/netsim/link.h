@@ -1,0 +1,41 @@
+// NIC / link model for the cluster simulator.
+//
+// Each model replica owns a share of its cloud instance's NIC. A Nic is a
+// serialized resource with a busy horizon: transfers book bandwidth in FIFO
+// order, so concurrent KV transfers queue behind each other exactly like
+// flows sharing a sender NIC. Latency is the per-transfer propagation and
+// handshake cost.
+#pragma once
+
+#include <cstdint>
+
+#include "base/check.h"
+
+namespace hack {
+
+class Nic {
+ public:
+  // gbps: usable line rate in gigabits/s; latency_s: fixed per-transfer cost.
+  Nic(double gbps, double latency_s = 100e-6);
+
+  double gbps() const { return gbps_; }
+  double bytes_per_second() const { return gbps_ * 1e9 / 8.0; }
+  double busy_until() const { return busy_until_; }
+  double total_bytes() const { return total_bytes_; }
+
+  // Books `bytes` starting no earlier than ready_time; returns the interval
+  // [start, finish] actually occupied.
+  struct Booking {
+    double start;
+    double finish;
+  };
+  Booking book(double ready_time, double bytes);
+
+ private:
+  double gbps_;
+  double latency_s_;
+  double busy_until_ = 0.0;
+  double total_bytes_ = 0.0;
+};
+
+}  // namespace hack

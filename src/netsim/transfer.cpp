@@ -1,0 +1,26 @@
+#include "netsim/transfer.h"
+
+namespace hack {
+
+TransferResult nccl_transfer(Nic& src, Nic& dst, double ready_time,
+                             double bytes, int chunks) {
+  HACK_CHECK(chunks > 0, "transfer needs at least one chunk");
+  const double chunk_bytes = bytes / chunks;
+  TransferResult result;
+  result.bytes = bytes;
+  double chunk_ready = ready_time;
+  for (int i = 0; i < chunks; ++i) {
+    const Nic::Booking out = src.book(chunk_ready, chunk_bytes);
+    const Nic::Booking in = dst.book(out.finish, chunk_bytes);
+    if (i == 0) {
+      result.start = out.start;
+    }
+    result.finish = in.finish;
+    // The next chunk can leave as soon as the sender NIC frees up; the
+    // receive of chunk i overlaps the send of chunk i+1.
+    chunk_ready = out.finish;
+  }
+  return result;
+}
+
+}  // namespace hack

@@ -1,0 +1,26 @@
+// NCCL-style point-to-point KV transfer.
+//
+// The paper moves KV between prefill and decode instances with NCCL (§6).
+// A transfer is split into chunks that pipeline across the sender and
+// receiver NICs: chunk i leaves the sender, then occupies the receiver while
+// chunk i+1 leaves the sender. End-to-end time is governed by the slower of
+// the two NICs plus one chunk of pipeline fill, and both NICs' busy horizons
+// advance so concurrent transfers contend realistically.
+#pragma once
+
+#include "netsim/link.h"
+
+namespace hack {
+
+struct TransferResult {
+  double start = 0.0;   // when the first chunk left the sender
+  double finish = 0.0;  // when the last chunk arrived at the receiver
+  double bytes = 0.0;
+
+  double duration() const { return finish - start; }
+};
+
+TransferResult nccl_transfer(Nic& src, Nic& dst, double ready_time,
+                             double bytes, int chunks = 8);
+
+}  // namespace hack

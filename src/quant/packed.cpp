@@ -1,0 +1,51 @@
+#include "quant/packed.h"
+
+namespace hack {
+
+PackedBits::PackedBits(int bits_per_code, std::size_t count)
+    : bits_(bits_per_code), count_(count) {
+  HACK_CHECK(bits_ == 1 || bits_ == 2 || bits_ == 4 || bits_ == 8,
+             "bits per code must divide 8, got " << bits_);
+  bytes_.assign((count * static_cast<std::size_t>(bits_) + 7) / 8, 0);
+}
+
+PackedBits PackedBits::pack(std::span<const std::uint8_t> codes,
+                            int bits_per_code) {
+  PackedBits packed(bits_per_code, codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    packed.set(i, codes[i]);
+  }
+  return packed;
+}
+
+std::vector<std::uint8_t> PackedBits::unpack() const {
+  std::vector<std::uint8_t> codes(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    codes[i] = get(i);
+  }
+  return codes;
+}
+
+std::uint8_t PackedBits::get(std::size_t index) const {
+  HACK_CHECK(index < count_, "packed index out of range");
+  const std::size_t bit = index * static_cast<std::size_t>(bits_);
+  const std::size_t byte = bit / 8;
+  const int shift = static_cast<int>(bit % 8);
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << bits_) - 1);
+  return static_cast<std::uint8_t>((bytes_[byte] >> shift) & mask);
+}
+
+void PackedBits::set(std::size_t index, std::uint8_t code) {
+  HACK_CHECK(index < count_, "packed index out of range");
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << bits_) - 1);
+  HACK_CHECK(code <= mask, "code " << int(code) << " exceeds " << bits_
+                           << "-bit range");
+  const std::size_t bit = index * static_cast<std::size_t>(bits_);
+  const std::size_t byte = bit / 8;
+  const int shift = static_cast<int>(bit % 8);
+  bytes_[byte] =
+      static_cast<std::uint8_t>((bytes_[byte] & ~(mask << shift)) |
+                                (code << shift));
+}
+
+}  // namespace hack

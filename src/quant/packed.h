@@ -1,0 +1,42 @@
+// Bit-exact packing of quantization codes into bytes.
+//
+// The paper transmits 2-bit codes over the network and stores them packed in
+// the KV cache; compute unpacks them to INT8 first (§6). PackedBits is the
+// wire/storage representation: n codes of b bits each, little-endian within a
+// byte, each logical slice padded to a byte boundary by the caller.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/check.h"
+
+namespace hack {
+
+class PackedBits {
+ public:
+  PackedBits(int bits_per_code, std::size_t count);
+
+  // Packs `codes` (each < 2^bits) into the internal byte buffer.
+  static PackedBits pack(std::span<const std::uint8_t> codes,
+                         int bits_per_code);
+
+  // Unpacks all codes back into bytes (values < 2^bits).
+  std::vector<std::uint8_t> unpack() const;
+
+  std::uint8_t get(std::size_t index) const;
+  void set(std::size_t index, std::uint8_t code);
+
+  int bits_per_code() const { return bits_; }
+  std::size_t count() const { return count_; }
+  std::size_t byte_size() const { return bytes_.size(); }
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+
+ private:
+  int bits_;
+  std::size_t count_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace hack

@@ -1,0 +1,22 @@
+#include "quant/partition.h"
+
+namespace hack {
+
+bool valid_partition_size(std::size_t pi) {
+  return pi > 0 && pi % 16 == 0;
+}
+
+PartitionScheme::PartitionScheme(std::size_t inner, std::size_t pi,
+                                 bool allow_ragged_tail)
+    : inner_(inner), pi_(pi) {
+  HACK_CHECK(valid_partition_size(pi),
+             "partition size " << pi << " must be a positive multiple of 16");
+  HACK_CHECK(inner > 0, "inner dimension must be positive");
+  if (!allow_ragged_tail) {
+    HACK_CHECK(inner % pi == 0, "inner dim " << inner
+                                << " not divisible by partition size " << pi);
+  }
+  groups_ = (inner + pi - 1) / pi;
+}
+
+}  // namespace hack

@@ -1,0 +1,60 @@
+// Partition geometry for per-partition asymmetric quantization (§5.2, Fig. 6).
+//
+// Quantization slices the *inner* (contracted) dimension of a matmul into
+// partitions of size Π. For C = A·B with A (M x Z) and B (Z x N):
+//   - A is partitioned per row: each row's Z entries split into groups of Π;
+//   - B is partitioned per column: each column's Z entries likewise.
+// The paper requires Π to be a multiple of 16 so GPU tiles stay aligned; we
+// enforce the same constraint.
+#pragma once
+
+#include <cstddef>
+
+#include "base/check.h"
+
+namespace hack {
+
+// Which way the partitioned (inner) dimension runs through the matrix.
+enum class QuantAxis {
+  kRow,  // partitions run along a row (inner dim = columns); used for A, Q, P
+  kCol,  // partitions run along a column (inner dim = rows); used for B, K^T, V
+};
+
+// Describes how an inner dimension of length `inner` splits into groups.
+class PartitionScheme {
+ public:
+  // `allow_ragged_tail` permits a final partition shorter than Π. The KV-cache
+  // V matrix grows one token at a time, so its trailing partition is ragged
+  // until it fills (the paper keeps that block in FP16 — see RQE).
+  PartitionScheme(std::size_t inner, std::size_t pi, bool allow_ragged_tail);
+
+  std::size_t inner() const { return inner_; }
+  std::size_t pi() const { return pi_; }
+  std::size_t group_count() const { return groups_; }
+
+  std::size_t group_begin(std::size_t g) const {
+    HACK_CHECK(g < groups_, "group " << g << " out of " << groups_);
+    return g * pi_;
+  }
+  std::size_t group_end(std::size_t g) const {
+    const std::size_t e = group_begin(g) + pi_;
+    return e < inner_ ? e : inner_;
+  }
+  std::size_t group_size(std::size_t g) const {
+    return group_end(g) - group_begin(g);
+  }
+  std::size_t group_of(std::size_t z) const {
+    HACK_CHECK(z < inner_, "index " << z << " out of inner " << inner_);
+    return z / pi_;
+  }
+
+ private:
+  std::size_t inner_;
+  std::size_t pi_;
+  std::size_t groups_;
+};
+
+// True when `pi` is a legal partition size (positive multiple of 16).
+bool valid_partition_size(std::size_t pi);
+
+}  // namespace hack

@@ -1,0 +1,188 @@
+#include "quant/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/half.h"
+
+namespace hack {
+namespace {
+
+struct MinMax {
+  float min;
+  float max;
+};
+
+// Quantizes one partition: values[i] -> codes via (min, scale) in FP16.
+void quantize_partition(std::span<const float> values,
+                        std::span<std::uint8_t> codes, int bits,
+                        Rounding rounding, Rng& rng, float& out_min,
+                        float& out_scale) {
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const float lo = *lo_it;
+  const float hi = *hi_it;
+  const int levels = (1 << bits) - 1;
+
+  // Metadata is stored in FP16 (§6), so round it before use: the codes must
+  // be computed against the metadata the dequantizer will actually see.
+  const float min_fp16 = fp16_round(lo);
+  const float scale_fp16 = fp16_round((hi - lo) / static_cast<float>(levels));
+  out_min = min_fp16;
+  out_scale = scale_fp16;
+
+  if (scale_fp16 == 0.0f) {
+    std::fill(codes.begin(), codes.end(), std::uint8_t{0});
+    return;
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double normalized =
+        (static_cast<double>(values[i]) - min_fp16) / scale_fp16;
+    std::int64_t code = rounding == Rounding::kStochastic
+                            ? stochastic_round(normalized, rng)
+                            : nearest_round(normalized);
+    code = std::clamp<std::int64_t>(code, 0, levels);
+    codes[i] = static_cast<std::uint8_t>(code);
+  }
+}
+
+}  // namespace
+
+QuantizedMatrix quantize(const Matrix& m, int bits, std::size_t pi,
+                         QuantAxis axis, Rounding rounding, Rng& rng,
+                         bool allow_ragged_tail) {
+  HACK_CHECK(bits == 2 || bits == 4 || bits == 8,
+             "unsupported quantization width: " << bits);
+  HACK_CHECK(!m.empty(), "cannot quantize an empty matrix");
+
+  QuantizedMatrix q;
+  q.rows = m.rows();
+  q.cols = m.cols();
+  q.bits = bits;
+  q.axis = axis;
+  q.pi = pi;
+
+  const std::size_t inner = axis == QuantAxis::kRow ? m.cols() : m.rows();
+  const std::size_t outer = axis == QuantAxis::kRow ? m.rows() : m.cols();
+  const PartitionScheme scheme(inner, pi, allow_ragged_tail);
+  const std::size_t groups = scheme.group_count();
+
+  q.codes.resize(m.size());
+  q.mins.resize(outer * groups);
+  q.scales.resize(outer * groups);
+
+  std::vector<float> scratch;
+  std::vector<std::uint8_t> scratch_codes;
+  for (std::size_t o = 0; o < outer; ++o) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t begin = scheme.group_begin(g);
+      const std::size_t len = scheme.group_size(g);
+      scratch.resize(len);
+      scratch_codes.resize(len);
+      for (std::size_t t = 0; t < len; ++t) {
+        scratch[t] = axis == QuantAxis::kRow ? m(o, begin + t)
+                                             : m(begin + t, o);
+      }
+      float part_min = 0.0f, part_scale = 0.0f;
+      quantize_partition(scratch, scratch_codes, bits, rounding, rng, part_min,
+                         part_scale);
+      q.mins[o * groups + g] = part_min;
+      q.scales[o * groups + g] = part_scale;
+      for (std::size_t t = 0; t < len; ++t) {
+        const std::size_t r = axis == QuantAxis::kRow ? o : begin + t;
+        const std::size_t c = axis == QuantAxis::kRow ? begin + t : o;
+        q.codes[r * q.cols + c] = scratch_codes[t];
+      }
+    }
+  }
+  return q;
+}
+
+Matrix dequantize(const QuantizedMatrix& q) {
+  Matrix m(q.rows, q.cols);
+  const std::size_t groups = q.group_count();
+  const PartitionScheme scheme(q.inner(), q.pi, /*allow_ragged_tail=*/true);
+  HACK_CHECK(scheme.group_count() == groups, "inconsistent group count");
+  for (std::size_t r = 0; r < q.rows; ++r) {
+    for (std::size_t c = 0; c < q.cols; ++c) {
+      const std::size_t o = q.axis == QuantAxis::kRow ? r : c;
+      const std::size_t z = q.axis == QuantAxis::kRow ? c : r;
+      const std::size_t g = scheme.group_of(z);
+      m(r, c) = q.scale_of(o, g) * static_cast<float>(q.code_at(r, c)) +
+                q.min_of(o, g);
+    }
+  }
+  return m;
+}
+
+float max_abs_error_bound(const QuantizedMatrix& q) {
+  // Stochastic rounding moves a value by at most one code step (one scale),
+  // and FP16 metadata rounding adds at most half an ULP of min plus the value
+  // range times half an ULP of scale; the dominant term is the code step.
+  float bound = 0.0f;
+  const int levels = (1 << q.bits) - 1;
+  for (std::size_t i = 0; i < q.scales.size(); ++i) {
+    const float s = q.scales[i];
+    const float m = std::fabs(q.mins[i]);
+    // scale step + fp16 rounding slack on metadata.
+    const float slack = s + 0.001f * (m + s * static_cast<float>(levels));
+    bound = std::max(bound, slack);
+  }
+  return bound;
+}
+
+std::size_t QuantizedMatrix::packed_code_bytes() const {
+  // Each outer slice is padded to a whole byte, matching the packed layout in
+  // quant/packed.h.
+  const std::size_t bits_per_outer = inner() * static_cast<std::size_t>(bits);
+  const std::size_t bytes_per_outer = (bits_per_outer + 7) / 8;
+  return outer() * bytes_per_outer;
+}
+
+void append_rows(QuantizedMatrix& q, const QuantizedMatrix& extra) {
+  HACK_CHECK(q.axis == QuantAxis::kRow && extra.axis == QuantAxis::kRow,
+             "append_rows requires row-axis quantization");
+  HACK_CHECK(q.cols == extra.cols && q.bits == extra.bits && q.pi == extra.pi,
+             "append_rows layout mismatch");
+  q.codes.insert(q.codes.end(), extra.codes.begin(), extra.codes.end());
+  q.mins.insert(q.mins.end(), extra.mins.begin(), extra.mins.end());
+  q.scales.insert(q.scales.end(), extra.scales.begin(), extra.scales.end());
+  q.rows += extra.rows;
+}
+
+void append_inner_groups(QuantizedMatrix& q, const QuantizedMatrix& extra) {
+  HACK_CHECK(q.axis == QuantAxis::kCol && extra.axis == QuantAxis::kCol,
+             "append_inner_groups requires col-axis quantization");
+  HACK_CHECK(q.cols == extra.cols && q.bits == extra.bits && q.pi == extra.pi,
+             "append_inner_groups layout mismatch");
+  HACK_CHECK(q.rows % q.pi == 0,
+             "existing inner dim must be whole partitions, got " << q.rows);
+  HACK_CHECK(extra.rows % q.pi == 0,
+             "appended chunk must be whole partitions, got " << extra.rows);
+
+  // Codes are row-major so appending rows is contiguous.
+  q.codes.insert(q.codes.end(), extra.codes.begin(), extra.codes.end());
+
+  // Metadata is indexed outer * group_count + group; group_count changes, so
+  // re-lay it out.
+  const std::size_t old_groups = q.rows / q.pi;
+  const std::size_t add_groups = extra.rows / q.pi;
+  const std::size_t new_groups = old_groups + add_groups;
+  std::vector<float> mins(q.cols * new_groups);
+  std::vector<float> scales(q.cols * new_groups);
+  for (std::size_t o = 0; o < q.cols; ++o) {
+    for (std::size_t g = 0; g < old_groups; ++g) {
+      mins[o * new_groups + g] = q.mins[o * old_groups + g];
+      scales[o * new_groups + g] = q.scales[o * old_groups + g];
+    }
+    for (std::size_t g = 0; g < add_groups; ++g) {
+      mins[o * new_groups + old_groups + g] = extra.mins[o * add_groups + g];
+      scales[o * new_groups + old_groups + g] =
+          extra.scales[o * add_groups + g];
+    }
+  }
+  q.mins = std::move(mins);
+  q.scales = std::move(scales);
+  q.rows += extra.rows;
+}
+
+}  // namespace hack

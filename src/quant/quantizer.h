@@ -1,0 +1,100 @@
+// Asymmetric b-bit quantization with per-partition (min, scale) metadata.
+//
+// Implements the quantizer of §5.2: within each partition of Π values the
+// quantizer finds [min, max], sets scale = (max - min) / (2^b - 1), and maps
+// x -> round((x - min) / scale) with stochastic rounding. Metadata (min and
+// scale) is stored in FP16 exactly as the paper's implementation does, so
+// dequantization error includes the FP16 metadata rounding.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "quant/partition.h"
+#include "tensor/matrix.h"
+
+namespace hack {
+
+enum class Rounding {
+  kStochastic,  // the paper's default (unbiased)
+  kNearest,     // deterministic round-to-nearest
+};
+
+// A quantized matrix: integer codes plus per-(outer, group) metadata.
+//
+// Codes are held unpacked in uint8 for compute (the implementation note in §6:
+// "convert the format of the quantized data from 2-bit into INT8 before
+// performing matrix multiplication"); `packed_code_bytes()` reports the packed
+// wire/storage footprint used for transmission and memory accounting.
+struct QuantizedMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  int bits = 0;
+  QuantAxis axis = QuantAxis::kRow;
+  std::size_t pi = 0;
+
+  // Codes, row-major, same shape as the source matrix. Values < 2^bits.
+  std::vector<std::uint8_t> codes;
+
+  // Metadata indexed by outer * group_count + group. FP16-rounded.
+  std::vector<float> mins;
+  std::vector<float> scales;
+
+  std::size_t outer() const { return axis == QuantAxis::kRow ? rows : cols; }
+  std::size_t inner() const { return axis == QuantAxis::kRow ? cols : rows; }
+  std::size_t group_count() const {
+    return mins.size() / (outer() == 0 ? 1 : outer());
+  }
+
+  std::uint8_t code_at(std::size_t r, std::size_t c) const {
+    return codes[r * cols + c];
+  }
+  float min_of(std::size_t outer_idx, std::size_t group) const {
+    return mins[outer_idx * group_count() + group];
+  }
+  float scale_of(std::size_t outer_idx, std::size_t group) const {
+    return scales[outer_idx * group_count() + group];
+  }
+
+  // Packed size of the integer codes in bytes (bit-exact 2/4/8-bit packing,
+  // padded per outer slice to a byte boundary).
+  std::size_t packed_code_bytes() const;
+
+  // Bytes of FP16 (min, scale) metadata.
+  std::size_t metadata_bytes() const { return 2 * 2 * mins.size(); }
+
+  // Total wire footprint: packed codes + metadata.
+  std::size_t stored_bytes() const {
+    return packed_code_bytes() + metadata_bytes();
+  }
+};
+
+// Quantizes `m` along `axis` with partition size `pi` and `bits` precision.
+// `allow_ragged_tail` allows the final partition to be shorter than Π (used
+// by the growing V cache).
+QuantizedMatrix quantize(const Matrix& m, int bits, std::size_t pi,
+                         QuantAxis axis, Rounding rounding, Rng& rng,
+                         bool allow_ragged_tail = false);
+
+// Reconstructs the real-valued matrix: x ≈ scale * code + min.
+Matrix dequantize(const QuantizedMatrix& q);
+
+// Worst-case absolute reconstruction error for one partition of `q`:
+// stochastic rounding perturbs by at most one code step (= scale).
+float max_abs_error_bound(const QuantizedMatrix& q);
+
+// Appends the rows of `extra` to `q`; both must be row-axis quantized with
+// identical cols/pi/bits. This is the K-cache growth step: each new token's K
+// vector is partitioned along the (fixed) head dimension, so existing
+// partitions and their [min, max] never change (§5.3).
+void append_rows(QuantizedMatrix& q, const QuantizedMatrix& extra);
+
+// Appends `extra` (a col-axis quantized Π-row chunk) below `q` (col-axis,
+// same cols/pi/bits, row count a multiple of Π). This is the V-cache growth
+// step: once the FP16 tail block of V fills a whole partition it is quantized
+// and appended as complete new groups, so earlier groups are never
+// requantized (RQE, §5.3).
+void append_inner_groups(QuantizedMatrix& q, const QuantizedMatrix& extra);
+
+}  // namespace hack

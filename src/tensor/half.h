@@ -1,0 +1,42 @@
+// Software IEEE 754 binary16 ("FP16").
+//
+// The paper stores KV data, quantization metadata (m, s), and the trailing
+// block of V in FP16. We model FP16 in software so that storage sizes and
+// rounding behaviour match the GPU implementation: a value round-tripped
+// through Half carries exactly binary16 precision.
+#pragma once
+
+#include <cstdint>
+
+namespace hack {
+
+// Value type holding a binary16 bit pattern. Conversions round-to-nearest-even
+// and handle subnormals, infinities and NaN like hardware FP16 does.
+class Half {
+ public:
+  Half() = default;
+  explicit Half(float value) : bits_(from_float(value)) {}
+
+  static Half from_bits(std::uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  float to_float() const { return to_float_impl(bits_); }
+  std::uint16_t bits() const { return bits_; }
+
+  friend bool operator==(Half a, Half b) { return a.bits_ == b.bits_; }
+
+ private:
+  static std::uint16_t from_float(float value);
+  static float to_float_impl(std::uint16_t bits);
+
+  std::uint16_t bits_ = 0;
+};
+
+// Rounds a float to the nearest representable FP16 value and back. This is
+// the precision filter applied to everything the paper keeps "in FP16".
+float fp16_round(float value);
+
+}  // namespace hack

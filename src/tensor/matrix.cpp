@@ -1,0 +1,53 @@
+#include "tensor/matrix.h"
+
+#include "tensor/half.h"
+
+namespace hack {
+
+Matrix Matrix::random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                              float lo, float hi) {
+  HACK_CHECK(lo <= hi, "invalid uniform range");
+  Matrix m(rows, cols);
+  for (float& v : m.data_) {
+    v = lo + (hi - lo) * rng.next_float();
+  }
+  return m;
+}
+
+Matrix Matrix::random_gaussian(std::size_t rows, std::size_t cols, Rng& rng,
+                               float stddev) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_) {
+    v = stddev * static_cast<float>(rng.next_gaussian());
+  }
+  return m;
+}
+
+void Matrix::round_to_fp16() {
+  for (float& v : data_) {
+    v = fp16_round(v);
+  }
+}
+
+Matrix Tensor3::slice(std::size_t i) const {
+  HACK_CHECK(i < d0_, "slice " << i << " out of " << d0_);
+  Matrix m(d1_, d2_);
+  for (std::size_t j = 0; j < d1_; ++j) {
+    for (std::size_t k = 0; k < d2_; ++k) {
+      m(j, k) = (*this)(i, j, k);
+    }
+  }
+  return m;
+}
+
+void Tensor3::set_slice(std::size_t i, const Matrix& m) {
+  HACK_CHECK(i < d0_, "slice " << i << " out of " << d0_);
+  HACK_CHECK(m.rows() == d1_ && m.cols() == d2_, "slice shape mismatch");
+  for (std::size_t j = 0; j < d1_; ++j) {
+    for (std::size_t k = 0; k < d2_; ++k) {
+      (*this)(i, j, k) = m(j, k);
+    }
+  }
+}
+
+}  // namespace hack

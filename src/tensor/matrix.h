@@ -1,0 +1,127 @@
+// Dense row-major float matrices and rank-3 tensors.
+//
+// Deliberately minimal: the library needs predictable memory layout (the
+// quantizer partitions contiguous runs of a row or a column) and cheap
+// row views, not a full BLAS. All shapes are checked.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "base/check.h"
+#include "base/rng.h"
+
+namespace hack {
+
+// Row-major M x N matrix of float.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_rows(std::size_t rows, std::size_t cols,
+                          std::vector<float> data) {
+    HACK_CHECK(data.size() == rows * cols,
+               "data size " << data.size() << " != " << rows << "x" << cols);
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(data);
+    return m;
+  }
+
+  // Matrix with i.i.d. U(lo, hi) entries. Deterministic for a given rng state.
+  static Matrix random_uniform(std::size_t rows, std::size_t cols, Rng& rng,
+                               float lo = -1.0f, float hi = 1.0f);
+
+  // Matrix with i.i.d. N(0, stddev^2) entries.
+  static Matrix random_gaussian(std::size_t rows, std::size_t cols, Rng& rng,
+                                float stddev = 1.0f);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) {
+    HACK_CHECK(r < rows_ && c < cols_,
+               "index (" << r << "," << c << ") out of " << rows_ << "x"
+                         << cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    HACK_CHECK(r < rows_ && c < cols_,
+               "index (" << r << "," << c << ") out of " << rows_ << "x"
+                         << cols_);
+    return data_[r * cols_ + c];
+  }
+
+  // Unchecked access for inner loops.
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<float> row(std::size_t r) {
+    HACK_CHECK(r < rows_, "row " << r << " out of " << rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const {
+    HACK_CHECK(r < rows_, "row " << r << " out of " << rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  // Rounds every entry to FP16 precision in place (storage-precision filter).
+  void round_to_fp16();
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// Rank-3 tensor (e.g. [heads, tokens, d_head]), row-major innermost-last.
+class Tensor3 {
+ public:
+  Tensor3() = default;
+  Tensor3(std::size_t d0, std::size_t d1, std::size_t d2, float fill = 0.0f)
+      : d0_(d0), d1_(d1), d2_(d2), data_(d0 * d1 * d2, fill) {}
+
+  std::size_t dim0() const { return d0_; }
+  std::size_t dim1() const { return d1_; }
+  std::size_t dim2() const { return d2_; }
+  std::size_t size() const { return data_.size(); }
+
+  float& operator()(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[(i * d1_ + j) * d2_ + k];
+  }
+  float operator()(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[(i * d1_ + j) * d2_ + k];
+  }
+
+  // The [d1, d2] slice at index i of the leading dimension, as a copy.
+  Matrix slice(std::size_t i) const;
+
+  // Overwrites slice i with m (shape-checked).
+  void set_slice(std::size_t i, const Matrix& m);
+
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+ private:
+  std::size_t d0_ = 0, d1_ = 0, d2_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace hack

@@ -1,0 +1,21 @@
+#include "workload/arrivals.h"
+
+#include "base/check.h"
+
+namespace hack {
+
+std::vector<ArrivalRecord> generate_arrivals(const DatasetSpec& dataset,
+                                             double rps, int count, Rng& rng) {
+  HACK_CHECK(rps > 0.0, "arrival rate must be positive");
+  HACK_CHECK(count > 0, "need at least one request");
+  std::vector<ArrivalRecord> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(count));
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t += rng.next_exponential(rps);
+    arrivals.push_back({.time = t, .shape = sample_request(dataset, rng)});
+  }
+  return arrivals;
+}
+
+}  // namespace hack

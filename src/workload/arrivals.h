@@ -1,0 +1,21 @@
+// Poisson arrival process (§7.1: Poisson arrivals at a configured RPS).
+#pragma once
+
+#include <vector>
+
+#include "base/rng.h"
+#include "workload/dataset.h"
+
+namespace hack {
+
+struct ArrivalRecord {
+  double time = 0.0;
+  RequestShape shape;
+};
+
+// Generates `count` arrivals with exponential inter-arrival times at `rps`,
+// each with lengths drawn from the dataset model. Deterministic per rng.
+std::vector<ArrivalRecord> generate_arrivals(const DatasetSpec& dataset,
+                                             double rps, int count, Rng& rng);
+
+}  // namespace hack

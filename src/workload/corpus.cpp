@@ -1,0 +1,52 @@
+#include "workload/corpus.h"
+
+#include "base/check.h"
+
+namespace hack {
+
+SyntheticCorpus::SyntheticCorpus(CorpusStyle style, std::uint64_t seed)
+    : style_(style), seed_(seed) {
+  HACK_CHECK(style.vocab >= 16, "vocab too small");
+  Rng rng(seed);
+  motifs_.resize(style.motif_count);
+  for (auto& motif : motifs_) {
+    motif.resize(style.motif_len);
+    for (int& tok : motif) {
+      tok = static_cast<int>(rng.next_below(style.vocab));
+    }
+  }
+  successors_.resize(style.vocab);
+  for (auto& next : successors_) {
+    next.resize(4);
+    for (int& tok : next) {
+      tok = static_cast<int>(rng.next_below(style.vocab));
+    }
+  }
+}
+
+std::vector<int> SyntheticCorpus::prompt(std::size_t index,
+                                         std::size_t length) const {
+  HACK_CHECK(length > 0, "empty prompt");
+  Rng rng(seed_ ^ (0x5851f42d4c957f2dULL * (index + 1)));
+  std::vector<int> tokens;
+  tokens.reserve(length);
+  int current = static_cast<int>(rng.next_below(style_.vocab));
+  tokens.push_back(current);
+  while (tokens.size() < length) {
+    if (rng.next_double() < style_.motif_probability) {
+      const auto& motif = motifs_[rng.next_below(motifs_.size())];
+      for (const int tok : motif) {
+        if (tokens.size() >= length) break;
+        tokens.push_back(tok);
+      }
+      current = tokens.back();
+    } else {
+      const auto& next = successors_[static_cast<std::size_t>(current)];
+      current = next[rng.next_below(next.size())];
+      tokens.push_back(current);
+    }
+  }
+  return tokens;
+}
+
+}  // namespace hack

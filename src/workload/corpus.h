@@ -1,0 +1,40 @@
+// Synthetic token corpus for accuracy experiments.
+//
+// Real dataset text is unavailable offline, so accuracy runs use synthetic
+// byte-level token streams with the statistical structure that matters for
+// KV data: local correlation (Markov transitions) and repeated motifs
+// (recurring phrases), per dataset flavor. Prompts are deterministic given
+// (dataset, index, seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace hack {
+
+struct CorpusStyle {
+  std::size_t vocab = 256;
+  std::size_t motif_count = 8;     // distinct repeated phrases
+  std::size_t motif_len = 12;      // tokens per phrase
+  double motif_probability = 0.35;  // chance the next span is a motif replay
+};
+
+class SyntheticCorpus {
+ public:
+  SyntheticCorpus(CorpusStyle style, std::uint64_t seed);
+
+  // Deterministic prompt #index of the requested length.
+  std::vector<int> prompt(std::size_t index, std::size_t length) const;
+
+ private:
+  CorpusStyle style_;
+  std::uint64_t seed_;
+  std::vector<std::vector<int>> motifs_;
+  // Sparse order-1 Markov table: per token, a handful of likely successors.
+  std::vector<std::vector<int>> successors_;
+};
+
+}  // namespace hack

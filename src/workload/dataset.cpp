@@ -1,0 +1,59 @@
+#include "workload/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
+
+namespace hack {
+
+const std::vector<DatasetSpec>& dataset_zoo() {
+  static const std::vector<DatasetSpec> zoo = {
+      {.name = "IMDb",
+       .input = {.avg = 315, .min = 106, .max = 821},
+       .output = {.avg = 37, .min = 16, .max = 87}},
+      {.name = "arXiv",
+       .input = {.avg = 6300, .min = 1600, .max = 14100},
+       .output = {.avg = 243, .min = 29, .max = 464}},
+      {.name = "Cocktail",
+       .input = {.avg = 16200, .min = 9400, .max = 28800},
+       .output = {.avg = 159, .min = 44, .max = 246}},
+      {.name = "HumanEval",
+       .input = {.avg = 204, .min = 75, .max = 697},
+       .output = {.avg = 139, .min = 11, .max = 552}},
+  };
+  return zoo;
+}
+
+const DatasetSpec& dataset_by_name(const std::string& name) {
+  for (const DatasetSpec& d : dataset_zoo()) {
+    if (d.name == name) return d;
+  }
+  HACK_CHECK(false, "unknown dataset: " << name);
+  return dataset_zoo().front();
+}
+
+double sample_length(const LengthStats& stats, Rng& rng) {
+  HACK_CHECK(stats.min <= stats.avg && stats.avg <= stats.max,
+             "inconsistent length stats");
+  // Log-normal with median below the mean (right-skew typical of text
+  // lengths): sigma from the max/avg spread, mu so the mean matches avg.
+  const double spread = std::max(1.5, stats.max / std::max(1.0, stats.avg));
+  const double sigma = std::min(0.9, 0.35 * std::log(spread));
+  const double mu = std::log(stats.avg) - 0.5 * sigma * sigma;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double x = std::exp(mu + sigma * rng.next_gaussian());
+    if (x >= stats.min && x <= stats.max) {
+      return std::floor(x);
+    }
+  }
+  // Degenerate stats: fall back to the clamped mean.
+  return std::clamp(stats.avg, stats.min, stats.max);
+}
+
+RequestShape sample_request(const DatasetSpec& dataset, Rng& rng) {
+  return {.input_tokens = sample_length(dataset.input, rng),
+          .output_tokens = std::max(1.0, sample_length(dataset.output, rng))};
+}
+
+}  // namespace hack

@@ -1,0 +1,45 @@
+// Dataset length models — Table 4 of the paper.
+//
+// The JCT experiments depend on the datasets only through their input/output
+// length distributions and the arrival process. Each dataset is modeled as a
+// truncated log-normal fitted to the published (avg, min, max) for input and
+// output lengths; samples are deterministic under a seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace hack {
+
+struct LengthStats {
+  double avg = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct DatasetSpec {
+  std::string name;
+  LengthStats input;
+  LengthStats output;
+
+  bool long_sequence() const { return input.avg > 1000.0; }
+};
+
+// IMDb, arXiv, Cocktail, HumanEval (Table 4).
+const std::vector<DatasetSpec>& dataset_zoo();
+const DatasetSpec& dataset_by_name(const std::string& name);
+
+struct RequestShape {
+  double input_tokens = 0.0;
+  double output_tokens = 0.0;
+};
+
+// Draws a request's lengths from the dataset model.
+RequestShape sample_request(const DatasetSpec& dataset, Rng& rng);
+
+// Draws a length from a truncated log-normal matched to `stats`.
+double sample_length(const LengthStats& stats, Rng& rng);
+
+}  // namespace hack

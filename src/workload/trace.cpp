@@ -1,0 +1,60 @@
+#include "workload/trace.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace hack {
+
+std::string Trace::serialize() const {
+  std::ostringstream os;
+  os << "# hack trace v1: arrival_time_s input_tokens output_tokens\n";
+  os << std::setprecision(17);
+  for (const ArrivalRecord& r : requests) {
+    os << r.time << ' ' << r.shape.input_tokens << ' ' << r.shape.output_tokens
+       << '\n';
+  }
+  return os.str();
+}
+
+Trace Trace::parse(const std::string& text) {
+  Trace trace;
+  std::istringstream is(text);
+  std::string line;
+  double last_time = -1.0;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    ArrivalRecord r;
+    fields >> r.time >> r.shape.input_tokens >> r.shape.output_tokens;
+    HACK_CHECK(!fields.fail(), "malformed trace line " << line_no << ": '"
+                                                       << line << "'");
+    HACK_CHECK(r.time >= last_time,
+               "trace arrivals out of order at line " << line_no);
+    HACK_CHECK(r.shape.input_tokens > 0 && r.shape.output_tokens > 0,
+               "non-positive lengths at line " << line_no);
+    last_time = r.time;
+    trace.requests.push_back(r);
+  }
+  return trace;
+}
+
+Trace Trace::record(const DatasetSpec& dataset, double rps, int count,
+                    Rng& rng) {
+  return Trace{.requests = generate_arrivals(dataset, rps, count, rng)};
+}
+
+bool operator==(const ArrivalRecord& a, const ArrivalRecord& b) {
+  return a.time == b.time && a.shape.input_tokens == b.shape.input_tokens &&
+         a.shape.output_tokens == b.shape.output_tokens;
+}
+
+bool operator==(const Trace& a, const Trace& b) {
+  return a.requests == b.requests;
+}
+
+}  // namespace hack

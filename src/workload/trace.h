@@ -1,0 +1,39 @@
+// Trace record / replay.
+//
+// The paper's experiments are trace-driven (§1: "extensive trace-driven
+// experiments"). A Trace captures a concrete arrival sequence — time plus
+// input/output lengths per request — in a stable line-based text format, so
+// a workload sampled once can be replayed bit-identically across methods,
+// machines, and code versions, or captured from production and fed to the
+// simulator.
+//
+// Format (one request per line, '#' comments allowed):
+//   arrival_time_s input_tokens output_tokens
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/arrivals.h"
+
+namespace hack {
+
+struct Trace {
+  std::vector<ArrivalRecord> requests;
+
+  // Serializes to the line format above.
+  std::string serialize() const;
+
+  // Parses the line format; throws CheckError on malformed input.
+  static Trace parse(const std::string& text);
+
+  // Captures a synthetic workload (dataset model + Poisson arrivals).
+  static Trace record(const DatasetSpec& dataset, double rps, int count,
+                      Rng& rng);
+};
+
+bool operator==(const ArrivalRecord& a, const ArrivalRecord& b);
+bool operator==(const Trace& a, const Trace& b);
+
+}  // namespace hack

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/reference.h"
+#include "metrics/tensor_metrics.h"
+#include "tensor/ops.h"
+
+namespace hack {
+namespace {
+
+TEST(AttentionReference, SingleTokenIsIdentityOnV) {
+  // One query, one key: softmax of a single score is 1, output = v.
+  Rng rng(1);
+  const Matrix q = Matrix::random_uniform(1, 8, rng);
+  const Matrix k = Matrix::random_uniform(1, 8, rng);
+  const Matrix v = Matrix::random_uniform(1, 8, rng);
+  const Matrix o = attention_reference(q, k, v);
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_NEAR(o(0, c), v(0, c), 1e-6f);
+  }
+}
+
+TEST(AttentionReference, UniformScoresAverageV) {
+  // Zero query -> all scores equal -> output is the mean of visible V rows.
+  const Matrix q(1, 4, 0.0f);
+  Rng rng(2);
+  const Matrix k = Matrix::random_uniform(3, 4, rng);
+  const Matrix v = Matrix::from_rows(3, 1, {3.0f, 6.0f, 9.0f});
+  const Matrix o = attention_reference(
+      q, k, v, {.causal = true, .key_offset = 2});  // sees all 3
+  EXPECT_NEAR(o(0, 0), 6.0f, 1e-5f);
+}
+
+TEST(AttentionReference, CausalFirstRowSeesOnlyFirstKey) {
+  Rng rng(3);
+  const Matrix q = Matrix::random_uniform(3, 8, rng);
+  const Matrix k = Matrix::random_uniform(3, 8, rng);
+  const Matrix v = Matrix::random_uniform(3, 8, rng);
+  const Matrix o = attention_reference(q, k, v, {.causal = true});
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_NEAR(o(0, c), v(0, c), 1e-6f);  // row 0 attends only to token 0
+  }
+}
+
+TEST(AttentionReference, OutputIsConvexCombinationOfV) {
+  Rng rng(4);
+  const Matrix q = Matrix::random_uniform(2, 8, rng, -3.0f, 3.0f);
+  const Matrix k = Matrix::random_uniform(5, 8, rng, -3.0f, 3.0f);
+  const Matrix v = Matrix::random_uniform(5, 1, rng, 0.0f, 1.0f);
+  const Matrix o =
+      attention_reference(q, k, v, {.causal = false});
+  float vmin = 1.0f, vmax = 0.0f;
+  for (const float x : v.flat()) {
+    vmin = std::min(vmin, x);
+    vmax = std::max(vmax, x);
+  }
+  for (const float x : o.flat()) {
+    EXPECT_GE(x, vmin - 1e-5f);
+    EXPECT_LE(x, vmax + 1e-5f);
+  }
+}
+
+TEST(AttentionReference, SharpScoresSelectArgmaxV) {
+  // A query strongly aligned with one key concentrates probability there.
+  Matrix q(1, 4, 0.0f);
+  q(0, 0) = 50.0f;
+  Matrix k(3, 4, 0.0f);
+  k(1, 0) = 1.0f;  // only key 1 aligns
+  const Matrix v = Matrix::from_rows(3, 1, {1.0f, 2.0f, 3.0f});
+  const Matrix o = attention_reference(
+      q, k, v, {.causal = true, .key_offset = 2});
+  EXPECT_NEAR(o(0, 0), 2.0f, 1e-3f);
+}
+
+TEST(AttentionReference, ProbsRowsSumToOne) {
+  Rng rng(5);
+  const Matrix q = Matrix::random_uniform(4, 16, rng);
+  const Matrix k = Matrix::random_uniform(7, 16, rng);
+  const Matrix p = attention_probs(q, k, {.causal = true, .key_offset = 3});
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < p.cols(); ++j) sum += p(i, j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(AttentionReference, DecodeStepMatchesBatchedLastRow) {
+  // Running the final token as a single decode row (key_offset = L-1) must
+  // reproduce the last row of the full batched prefill.
+  Rng rng(6);
+  const std::size_t l = 9, d = 16;
+  const Matrix q = Matrix::random_uniform(l, d, rng);
+  const Matrix k = Matrix::random_uniform(l, d, rng);
+  const Matrix v = Matrix::random_uniform(l, d, rng);
+  const Matrix full = attention_reference(q, k, v, {.causal = true});
+  const Matrix last_q = take_rows(q, l - 1, l);
+  const Matrix step = attention_reference(
+      last_q, k, v, {.causal = true, .key_offset = l - 1});
+  for (std::size_t c = 0; c < d; ++c) {
+    EXPECT_NEAR(step(0, c), full(l - 1, c), 1e-5f);
+  }
+}
+
+TEST(AttentionReference, ScaleInvarianceOfHeadDim) {
+  // The 1/sqrt(d) factor keeps score magnitude stable: doubling all of Q is
+  // NOT the same as halving temperature of something else — just check the
+  // kernel honors the documented formula against a manual computation.
+  Rng rng(7);
+  const Matrix q = Matrix::random_uniform(2, 4, rng);
+  const Matrix k = Matrix::random_uniform(3, 4, rng);
+  const Matrix v = Matrix::random_uniform(3, 4, rng);
+  const Matrix manual =
+      matmul(softmax_rows(scale(matmul_nt(q, k), 0.5f)), v);  // 1/sqrt(4)
+  const Matrix o = attention_reference(q, k, v, {.causal = false});
+  EXPECT_LT(relative_l2(o, manual), 1e-6);
+}
+
+TEST(AttentionReference, MismatchedShapesThrow) {
+  Matrix q(1, 8), k(2, 4), v(2, 8);
+  EXPECT_THROW(attention_reference(q, k, v), CheckError);
+  Matrix k2(2, 8), v2(3, 8);
+  EXPECT_THROW(attention_reference(q, k2, v2), CheckError);
+}
+
+}  // namespace
+}  // namespace hack

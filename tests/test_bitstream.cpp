@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "codec/bitstream.h"
+
+namespace hack {
+namespace {
+
+TEST(BitStream, RoundTripMixedWidths) {
+  BitWriter w;
+  w.write_bits(0b101, 3);
+  w.write_bits(0xdead, 16);
+  w.write_bit(true);
+  w.write_bits(0, 0);  // no-op
+  w.write_bits(12345, 20);
+  const auto bytes = w.finish();
+
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bits(3), 0b101u);
+  EXPECT_EQ(r.read_bits(16), 0xdeadu);
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_EQ(r.read_bits(20), 12345u);
+}
+
+TEST(BitStream, RandomRoundTrip) {
+  Rng rng(1);
+  std::vector<std::pair<std::uint64_t, int>> values;
+  BitWriter w;
+  for (int i = 0; i < 2000; ++i) {
+    const int width = 1 + static_cast<int>(rng.next_below(57));
+    const std::uint64_t v =
+        width == 64 ? rng.next_u64() : rng.next_u64() & ((1ULL << width) - 1);
+    values.emplace_back(v, width);
+    w.write_bits(v, width);
+  }
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (const auto& [v, width] : values) {
+    EXPECT_EQ(r.read_bits(width), v);
+  }
+}
+
+TEST(BitStream, UnaryRoundTrip) {
+  BitWriter w;
+  for (std::uint32_t v : {0u, 1u, 5u, 31u, 100u}) {
+    w.write_unary(v);
+  }
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (std::uint32_t v : {0u, 1u, 5u, 31u, 100u}) {
+    EXPECT_EQ(r.read_unary(), v);
+  }
+}
+
+TEST(BitStream, BitCountMatchesWrites) {
+  BitWriter w;
+  w.write_bits(1, 3);
+  w.write_bits(1, 13);
+  EXPECT_EQ(w.bit_count(), 16u);
+  const auto bytes = w.finish();
+  EXPECT_EQ(bytes.size(), 2u);
+}
+
+TEST(BitStream, FinishPadsToByte) {
+  BitWriter w;
+  w.write_bits(0b1, 1);
+  const auto bytes = w.finish();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b1);
+}
+
+TEST(BitStream, ReaderExhaustionThrows) {
+  BitWriter w;
+  w.write_bits(3, 2);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bits(8), 3u);  // padding zeros readable within the byte
+  EXPECT_THROW(r.read_bits(1), CheckError);
+}
+
+TEST(BitStream, ValueWidthValidation) {
+  BitWriter w;
+  EXPECT_THROW(w.write_bits(4, 2), CheckError);   // 4 needs 3 bits
+  EXPECT_THROW(w.write_bits(0, 58), CheckError);  // width cap
+}
+
+TEST(Zigzag, RoundTrip) {
+  for (const std::int32_t v :
+       {0, -1, 1, -2, 2, 100, -100, 1 << 20, -(1 << 20)}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+}
+
+TEST(Zigzag, SmallMagnitudeSmallCode) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+}
+
+}  // namespace
+}  // namespace hack

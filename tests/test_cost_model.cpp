@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+
+namespace hack {
+namespace {
+
+TEST(CostModel, GemmMacs) {
+  EXPECT_EQ(hq_gemm_macs(2, 3, 4), 24);
+  EXPECT_EQ(hq_gemm_macs(1, 128, 1000), 128000);
+}
+
+TEST(CostModel, ApproxFlopsFormula) {
+  // 9MN + MZ + NZ (§5.2).
+  EXPECT_EQ(hq_approx_flops(2, 5, 3), 9 * 6 + 10 + 15);
+  EXPECT_EQ(hq_approx_flops_se(2, 5, 3), 9 * 6 + 10);
+}
+
+TEST(CostModel, DecodeApproxIsTenTimesSum) {
+  // §5.3: with SE the per-head decode approximation cost is 10(d_h + L).
+  for (const std::int64_t l : {1, 30, 100, 16384}) {
+    EXPECT_EQ(decode_approx_flops_se(128, l), 10 * (128 + l)) << l;
+  }
+}
+
+TEST(CostModel, DequantCostFourDhL) {
+  EXPECT_EQ(decode_dequant_flops(128, 1000), 4 * 128 * 1000);
+}
+
+TEST(CostModel, SumRecomputeTwoDhL) {
+  EXPECT_EQ(decode_sum_recompute_flops(128, 1000), 2 * 128 * 1000);
+}
+
+TEST(CostModel, CrossoverAtSequence2Point5) {
+  // §5.3: 4 d_h L > 10(d_h + L) once L > 2.5 (for d_h = 128).
+  const std::int64_t d = 128;
+  EXPECT_LT(decode_dequant_flops(d, 2), decode_approx_flops_se(d, 2));
+  EXPECT_GT(decode_dequant_flops(d, 3), decode_approx_flops_se(d, 3));
+}
+
+TEST(CostModel, OrderOfMagnitudeGapBeyond30) {
+  // §5.3: dequantization exceeds the approximation by ~10x once L > 30
+  // (the exact crossover for d_h=128 sits between L=31 and L=32).
+  const std::int64_t d = 128;
+  for (const std::int64_t l : {32, 100, 1000, 16384}) {
+    EXPECT_GT(decode_dequant_flops(d, l), 10 * decode_approx_flops_se(d, l))
+        << l;
+  }
+  EXPECT_LT(decode_dequant_flops(d, 20), 10 * decode_approx_flops_se(d, 20));
+}
+
+TEST(CostModel, SumStorageBits) {
+  // b + ceil(log2 Π) (§5.3): 2-bit, Π=64 -> 8 bits; Π=128 -> 9 bits.
+  EXPECT_EQ(sum_storage_bits(2, 64), 8);
+  EXPECT_EQ(sum_storage_bits(2, 128), 9);
+  EXPECT_EQ(sum_storage_bits(8, 64), 14);
+  EXPECT_EQ(sum_storage_bits(2, 32), 7);
+}
+
+TEST(CostModel, SumStorageAlignment) {
+  // §6: 9-bit sums cannot align; INT16 is used. 8-bit sums fit one byte.
+  EXPECT_EQ(sum_storage_bytes(2, 64), 1);
+  EXPECT_EQ(sum_storage_bytes(2, 128), 2);
+  EXPECT_EQ(sum_storage_bytes(4, 64), 2);
+}
+
+TEST(CostModel, ApproxCheaperThanDequantGrowsWithL) {
+  // "The longer the sequence, the greater the reduction" (§5.3).
+  const std::int64_t d = 128;
+  std::int64_t prev_gap = 0;
+  for (const std::int64_t l : {100, 1000, 10000, 100000}) {
+    const std::int64_t gap =
+        decode_dequant_flops(d, l) - decode_approx_flops_se(d, l);
+    EXPECT_GT(gap, prev_gap);
+    prev_gap = gap;
+  }
+}
+
+}  // namespace
+}  // namespace hack

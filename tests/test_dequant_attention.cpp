@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "attention/dequant_attention.h"
+#include "attention/reference.h"
+#include "metrics/tensor_metrics.h"
+#include "tensor/ops.h"
+
+namespace hack {
+namespace {
+
+TEST(DequantAttention, Fp16CodecIsNearExact) {
+  Rng rng(1);
+  const std::size_t l = 24, d = 32;
+  const Matrix q = Matrix::random_gaussian(l, d, rng);
+  const Matrix k = Matrix::random_gaussian(l, d, rng);
+  const Matrix v = Matrix::random_gaussian(l, d, rng);
+
+  DequantKvState state(d, make_codec("fp16"));
+  Rng qrng(2);
+  state.append_tokens(k, v, qrng);
+  const Matrix out = dequant_attention(q, state, {.causal = true});
+  const Matrix ref = attention_reference(q, k, v, {.causal = true});
+  EXPECT_LT(relative_l2(out, ref), 1e-3);  // FP16 storage rounding only
+}
+
+TEST(DequantAttention, CacheGenTracksReference) {
+  Rng rng(3);
+  const std::size_t l = 64, d = 64;
+  const Matrix q = Matrix::random_gaussian(l, d, rng);
+  const Matrix k = Matrix::random_gaussian(l, d, rng);
+  const Matrix v = Matrix::random_gaussian(l, d, rng);
+  DequantKvState state(d, make_codec("cachegen"));
+  Rng qrng(4);
+  state.append_tokens(k, v, qrng);
+  const Matrix out = dequant_attention(q, state, {.causal = true});
+  const Matrix ref = attention_reference(q, k, v, {.causal = true});
+  // Worst-case (unstructured) data through a 2-bit codec.
+  EXPECT_GT(cosine_similarity(out, ref), 0.70);
+}
+
+TEST(DequantAttention, CountsDequantizationWork) {
+  Rng rng(5);
+  const std::size_t d = 32;
+  DequantKvState state(d, make_codec("kvquant"));
+  Rng qrng(6);
+  DequantAttnStats stats{};
+  const Matrix k = Matrix::random_gaussian(10, d, rng);
+  const Matrix v = Matrix::random_gaussian(10, d, rng);
+  state.append_tokens(k, v, qrng, &stats);
+  EXPECT_EQ(stats.encoded_values, 2 * 10 * 32);
+
+  const Matrix q = Matrix::random_gaussian(1, d, rng);
+  // Three decode iterations dequantize the whole cache three times (§2.2).
+  for (int i = 0; i < 3; ++i) {
+    (void)dequant_attention(q, state, {.causal = true, .key_offset = 9},
+                            &stats);
+  }
+  EXPECT_EQ(stats.dequant_calls, 3);
+  EXPECT_EQ(stats.dequantized_values, 3 * 2 * 10 * 32);
+}
+
+TEST(DequantAttention, StoredBytesReflectCompression) {
+  Rng rng(7);
+  const std::size_t l = 128, d = 64;
+  const Matrix k = Matrix::random_gaussian(l, d, rng);
+  const Matrix v = Matrix::random_gaussian(l, d, rng);
+
+  DequantKvState fp16(d, make_codec("fp16"));
+  DequantKvState cg(d, make_codec("cachegen"));
+  Rng q1(8), q2(8);
+  fp16.append_tokens(k, v, q1);
+  cg.append_tokens(k, v, q2);
+  // CacheGen lands well under a quarter of the FP16 footprint.
+  EXPECT_LT(cg.stored_bytes() * 4, fp16.stored_bytes());
+}
+
+TEST(DequantAttention, IncrementalAppendMatchesBatch) {
+  Rng rng(9);
+  const std::size_t l = 12, d = 32;
+  const Matrix q = Matrix::random_gaussian(1, d, rng);
+  const Matrix k = Matrix::random_gaussian(l, d, rng);
+  const Matrix v = Matrix::random_gaussian(l, d, rng);
+
+  DequantKvState batch(d, make_codec("fp16"));
+  DequantKvState stepped(d, make_codec("fp16"));
+  Rng q1(10), q2(10);
+  batch.append_tokens(k, v, q1);
+  for (std::size_t t = 0; t < l; ++t) {
+    stepped.append_tokens(take_rows(k, t, t + 1), take_rows(v, t, t + 1), q2);
+  }
+  const AttentionOptions opt{.causal = true, .key_offset = l - 1};
+  const Matrix o1 = dequant_attention(q, batch, opt);
+  const Matrix o2 = dequant_attention(q, stepped, opt);
+  EXPECT_EQ(max_abs_diff(o1, o2), 0.0f);  // FP16 codec is value-exact
+}
+
+TEST(DequantAttention, EmptyStateThrows) {
+  DequantKvState state(16, make_codec("fp16"));
+  Matrix q(1, 16, 0.0f);
+  EXPECT_THROW(dequant_attention(q, state, {}), CheckError);
+}
+
+TEST(DequantAttention, ShapeMismatchThrows) {
+  DequantKvState state(16, make_codec("fp16"));
+  Rng rng(11);
+  Matrix k(2, 16, 0.0f), v(3, 16, 0.0f);
+  EXPECT_THROW(state.append_tokens(k, v, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace hack

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "cluster/event_queue.h"
+
+namespace hack {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&](double) { order.push_back(3); });
+  q.schedule(1.0, [&](double) { order.push_back(1); });
+  q.schedule(2.0, [&](double) { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(1.0, [&, i](double) { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbacksMayScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void(double)> chain = [&](double now) {
+    ++fired;
+    if (fired < 5) {
+      q.schedule(now + 1.0, chain);
+    }
+  };
+  q.schedule(0.0, chain);
+  const double end = q.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(end, 4.0);
+}
+
+TEST(EventQueue, NowAdvancesMonotonically) {
+  EventQueue q;
+  double last = -1.0;
+  for (const double t : {5.0, 1.0, 3.0, 3.0, 9.0}) {
+    q.schedule(t, [&](double now) {
+      EXPECT_GE(now, last);
+      last = now;
+    });
+  }
+  q.run();
+  EXPECT_DOUBLE_EQ(last, 9.0);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule(5.0, [&](double) {
+    EXPECT_THROW(q.schedule(1.0, [](double) {}), CheckError);
+  });
+  q.run();
+}
+
+TEST(EventQueue, CountsProcessedEvents) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule(i, [](double) {});
+  q.run();
+  EXPECT_EQ(q.events_processed(), 7u);
+}
+
+}  // namespace
+}  // namespace hack

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/int_gemm.h"
+
+namespace hack {
+namespace {
+
+std::vector<std::uint8_t> random_codes(std::size_t n, int bits, Rng& rng) {
+  std::vector<std::uint8_t> codes(n);
+  for (auto& c : codes) {
+    c = static_cast<std::uint8_t>(rng.next_below(1u << bits));
+  }
+  return codes;
+}
+
+TEST(IntGemm, DotNtKnownValues) {
+  const std::vector<std::uint8_t> a = {1, 2, 3, 4};
+  const std::vector<std::uint8_t> b = {5, 6, 7, 8};
+  const CodeView av{a.data(), 1, 4};
+  const CodeView bv{b.data(), 1, 4};
+  EXPECT_EQ(int_dot_nt(av, bv, 0, 0, 0, 4), 1 * 5 + 2 * 6 + 3 * 7 + 4 * 8);
+  EXPECT_EQ(int_dot_nt(av, bv, 0, 0, 1, 3), 2 * 6 + 3 * 7);
+  EXPECT_EQ(int_dot_nt(av, bv, 0, 0, 2, 2), 0);
+}
+
+TEST(IntGemm, NnMatchesNaive) {
+  Rng rng(1);
+  const std::size_t m = 5, z = 48, n = 7;
+  const auto a = random_codes(m * z, 8, rng);
+  const auto b = random_codes(z * n, 8, rng);
+  const CodeView av{a.data(), m, z};
+  const CodeView bv{b.data(), z, n};
+  std::vector<std::int32_t> out(m * n, 0);
+  int_gemm_nn_block(av, bv, 0, z, out);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int32_t expect = 0;
+      for (std::size_t k = 0; k < z; ++k) {
+        expect += static_cast<std::int32_t>(a[i * z + k]) * b[k * n + j];
+      }
+      EXPECT_EQ(out[i * n + j], expect) << i << "," << j;
+    }
+  }
+}
+
+TEST(IntGemm, NtMatchesNaive) {
+  Rng rng(2);
+  const std::size_t m = 4, z = 64, n = 6;
+  const auto a = random_codes(m * z, 2, rng);
+  const auto b = random_codes(n * z, 2, rng);
+  const CodeView av{a.data(), m, z};
+  const CodeView bv{b.data(), n, z};
+  std::vector<std::int32_t> out(m * n, 0);
+  int_gemm_nt_block(av, bv, 0, z, out);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int32_t expect = 0;
+      for (std::size_t k = 0; k < z; ++k) {
+        expect += static_cast<std::int32_t>(a[i * z + k]) * b[j * z + k];
+      }
+      EXPECT_EQ(out[i * n + j], expect);
+    }
+  }
+}
+
+TEST(IntGemm, BlockDecompositionSumsToFull) {
+  // Computing per-partition blocks and accumulating equals one full pass —
+  // the property Eq. (4) relies on when splitting the inner dimension.
+  Rng rng(3);
+  const std::size_t m = 3, z = 96, n = 5;
+  const auto a = random_codes(m * z, 2, rng);
+  const auto b = random_codes(z * n, 2, rng);
+  const CodeView av{a.data(), m, z};
+  const CodeView bv{b.data(), z, n};
+
+  std::vector<std::int32_t> full(m * n, 0);
+  int_gemm_nn_block(av, bv, 0, z, full);
+
+  std::vector<std::int32_t> blocked(m * n, 0);
+  for (std::size_t begin = 0; begin < z; begin += 32) {
+    int_gemm_nn_block(av, bv, begin, begin + 32, blocked);
+  }
+  EXPECT_EQ(full, blocked);
+}
+
+TEST(IntGemm, AccumulatesIntoExistingOutput) {
+  const std::vector<std::uint8_t> a = {1, 1};
+  const std::vector<std::uint8_t> b = {2, 2};
+  const CodeView av{a.data(), 1, 2};
+  const CodeView bv{b.data(), 2, 1};
+  std::vector<std::int32_t> out(1, 100);
+  int_gemm_nn_block(av, bv, 0, 2, out);
+  EXPECT_EQ(out[0], 104);
+}
+
+TEST(IntGemm, NoOverflowAtMaxCodes) {
+  // Worst case 8-bit: 255*255*Z with Z=4096 is ~2.7e8 < int32 max.
+  const std::size_t z = 4096;
+  std::vector<std::uint8_t> a(z, 255), b(z, 255);
+  const CodeView av{a.data(), 1, z};
+  const CodeView bv{b.data(), 1, z};
+  const std::int32_t dot = int_dot_nt(av, bv, 0, 0, 0, z);
+  EXPECT_EQ(dot, 255 * 255 * static_cast<std::int32_t>(z));
+}
+
+TEST(IntGemm, ShapeChecks) {
+  const std::vector<std::uint8_t> a = {1, 2};
+  const CodeView av{a.data(), 1, 2};
+  const CodeView bv{a.data(), 1, 2};
+  std::vector<std::int32_t> bad_out(5, 0);
+  EXPECT_THROW(int_gemm_nt_block(av, bv, 0, 2, bad_out), CheckError);
+  std::vector<std::int32_t> out(1, 0);
+  EXPECT_THROW(int_gemm_nt_block(av, bv, 1, 3, out), CheckError);
+}
+
+}  // namespace
+}  // namespace hack

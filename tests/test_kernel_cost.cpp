@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "base/check.h"
+#include "cluster/kernel_cost.h"
+
+namespace hack {
+namespace {
+
+KernelCostModel model_for(const std::string& gpu, Method method) {
+  return make_cost_model(model_by_letter("L"), instance_for_gpu(gpu).gpu,
+                         method);
+}
+
+TEST(GpuSpecs, Table2Instances) {
+  ASSERT_EQ(instance_zoo().size(), 5u);
+  EXPECT_EQ(instance_for_gpu("A10G").name, "g5.12xlarge");
+  EXPECT_EQ(instance_for_gpu("A100").gpus, 8);
+  EXPECT_EQ(instance_for_gpu("V100").net_gbps, 10.0);
+  EXPECT_EQ(instance_for_gpu("T4").net_gbps, 50.0);
+  EXPECT_THROW(instance_for_gpu("H100"), CheckError);
+}
+
+TEST(GpuSpecs, V100LacksInt8TensorCores) {
+  EXPECT_FALSE(instance_for_gpu("V100").gpu.supports_int8());
+  for (const char* gpu : {"A10G", "T4", "L4", "A100"}) {
+    EXPECT_TRUE(instance_for_gpu(gpu).gpu.supports_int8()) << gpu;
+  }
+}
+
+TEST(MethodTraits, CompressionBands) {
+  // CacheGen/KVQuant ~86% compression; HACK 2-bit ~83% (codes+meta+sums).
+  for (const Method m : {Method::kCacheGen, Method::kKvQuant}) {
+    const MethodTraits t = method_traits(m);
+    EXPECT_GT(t.wire_fraction, 0.12);
+    EXPECT_LT(t.wire_fraction, 0.16);
+  }
+  const MethodTraits hack = method_traits(Method::kHack, 64, 2);
+  EXPECT_NEAR(hack.wire_fraction, 0.125 + 3.0 / 64.0, 1e-9);
+  EXPECT_DOUBLE_EQ(method_traits(Method::kBaseline).wire_fraction, 1.0);
+}
+
+TEST(MethodTraits, MiniFloatFractions) {
+  EXPECT_DOUBLE_EQ(method_traits(Method::kFp4).wire_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(method_traits(Method::kFp6).wire_fraction, 0.375);
+  EXPECT_DOUBLE_EQ(method_traits(Method::kFp8).wire_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(method_traits(Method::kFp8).matmul_speedup, 2.0);
+  EXPECT_DOUBLE_EQ(method_traits(Method::kFp4).matmul_speedup, 1.0);
+}
+
+TEST(MethodTraits, AblationFlags) {
+  EXPECT_TRUE(method_traits(Method::kHackNoSE).sum_recompute);
+  EXPECT_FALSE(method_traits(Method::kHack).sum_recompute);
+  EXPECT_TRUE(method_traits(Method::kHackNoRQE).requant_per_step);
+  // HACK/SE stores no sums -> slightly smaller wire size.
+  EXPECT_LT(method_traits(Method::kHackNoSE).wire_fraction,
+            method_traits(Method::kHack).wire_fraction);
+}
+
+TEST(KernelCost, HackSpeedsUpPrefillWhereInt8Exists) {
+  const double l = 16200;
+  const double base_a10g = model_for("A10G", Method::kBaseline).prefill_s(l);
+  const double hack_a10g = model_for("A10G", Method::kHack).prefill_s(l);
+  EXPECT_LT(hack_a10g, base_a10g);
+  // V100: no INT8 tensor cores, no prefill speedup (§7.2 / Fig. 12) — the
+  // quantized path even pays a small tile-fragmentation penalty.
+  const double base_v100 = model_for("V100", Method::kBaseline).prefill_s(l);
+  const double hack_v100 = model_for("V100", Method::kHack).prefill_s(l);
+  EXPECT_GE(hack_v100, base_v100);
+  EXPECT_LT(hack_v100, 1.15 * base_v100);
+}
+
+TEST(KernelCost, PrefillSpeedupGrowsWithSequenceLength) {
+  const auto base = model_for("A10G", Method::kBaseline);
+  const auto hack = model_for("A10G", Method::kHack);
+  const double short_gain =
+      1.0 - hack.prefill_s(315) / base.prefill_s(315);
+  const double long_gain =
+      1.0 - hack.prefill_s(16200) / base.prefill_s(16200);
+  EXPECT_GT(long_gain, short_gain);  // attention share grows with L^2
+}
+
+TEST(KernelCost, DequantOnlyForCodecMethods) {
+  const double l = 6300;
+  EXPECT_EQ(model_for("A100", Method::kBaseline).decode_dequant_s(l), 0.0);
+  EXPECT_EQ(model_for("A100", Method::kHack).decode_dequant_s(l), 0.0);
+  EXPECT_GT(model_for("A100", Method::kCacheGen).decode_dequant_s(l), 0.0);
+  EXPECT_GT(model_for("A100", Method::kKvQuant).decode_dequant_s(l), 0.0);
+}
+
+TEST(KernelCost, ApproxFarCheaperThanDequant) {
+  // The headline asymmetry: HACK's Eq. (4) approximation costs a small
+  // fraction of the codecs' per-iteration dequantization (§7.2).
+  const double l = 16200;
+  const double approx = model_for("A100", Method::kHack).decode_approx_s(l);
+  const double dequant =
+      model_for("A100", Method::kCacheGen).decode_dequant_s(l);
+  EXPECT_LT(approx * 5.0, dequant);
+}
+
+TEST(KernelCost, SumRecomputeInflatesApproxCost) {
+  const double l = 16200;
+  const double with_se = model_for("A100", Method::kHack).decode_approx_s(l);
+  const double no_se = model_for("A100", Method::kHackNoSE).decode_approx_s(l);
+  EXPECT_GT(no_se, 2.0 * with_se);
+}
+
+TEST(KernelCost, RequantCostIsPerIterationAndLengthIndependent) {
+  // RQE-off requantizes the (fixed-size) last block of V once per iteration;
+  // the cost lands in the per-iteration fixed term, not the per-request
+  // marginal, and does not scale with sequence length.
+  const auto no_rqe = model_for("A100", Method::kHackNoRQE);
+  const auto with_rqe = model_for("A100", Method::kHack);
+  EXPECT_GT(no_rqe.decode_iter_fixed_s(), with_rqe.decode_iter_fixed_s());
+  EXPECT_NEAR(no_rqe.decode_approx_s(315) - with_rqe.decode_approx_s(315),
+              no_rqe.decode_approx_s(16200) - with_rqe.decode_approx_s(16200),
+              1e-9);
+}
+
+TEST(KernelCost, KvReadScalesWithCompression) {
+  const double l = 16200;
+  const double base = model_for("A100", Method::kBaseline).decode_kv_read_s(l);
+  const double hack = model_for("A100", Method::kHack).decode_kv_read_s(l);
+  EXPECT_LT(hack, 0.25 * base);
+}
+
+TEST(KernelCost, QuantizationOnlyOncePerToken) {
+  // Prefill-side quantization is charged once; baseline pays none.
+  const auto base = model_for("A10G", Method::kBaseline);
+  const auto hack = model_for("A10G", Method::kHack);
+  EXPECT_EQ(base.prefill_quant_s(1000), 0.0);
+  EXPECT_GT(hack.prefill_quant_s(1000), 0.0);
+  // And it is small relative to the whole prefill stage (§7.2 pins the
+  // quantization share of JCT at 1.25-2.91%).
+  EXPECT_LT(hack.prefill_quant_s(16200), 0.10 * hack.prefill_s(16200));
+}
+
+TEST(KernelCost, WireBytesOrdering) {
+  const double l = 16200;
+  const double base = model_for("A10G", Method::kBaseline).kv_wire_bytes(l);
+  const double cg = model_for("A10G", Method::kCacheGen).kv_wire_bytes(l);
+  const double hack = model_for("A10G", Method::kHack).kv_wire_bytes(l);
+  const double fp8 = model_for("A10G", Method::kFp8).kv_wire_bytes(l);
+  EXPECT_LT(cg, hack);    // codecs squeeze slightly harder than 2-bit+meta
+  EXPECT_LT(hack, fp8);   // but all quantizers beat FP8
+  EXPECT_LT(fp8, base);
+}
+
+TEST(KernelCost, MemBytesIncludeHackOverheads) {
+  // Table 5: HACK slightly above CacheGen/KVQuant (sums + FP16 tail).
+  const double l = 16200;
+  const double cg = model_for("A100", Method::kCacheGen).kv_mem_bytes(l);
+  const double hack = model_for("A100", Method::kHack).kv_mem_bytes(l);
+  EXPECT_GT(hack, cg);
+  EXPECT_LT(hack, 1.5 * cg);
+}
+
+TEST(KernelCost, Fp8ConversionCostCharged) {
+  const double l = 6300;
+  EXPECT_GT(model_for("A100", Method::kFp8).decode_dequant_s(l), 0.0);
+}
+
+TEST(MethodNames, Stable) {
+  EXPECT_EQ(method_name(Method::kHack), "HACK");
+  EXPECT_EQ(method_name(Method::kHackNoSE), "HACK/SE");
+  EXPECT_EQ(method_name(Method::kHackNoRQE), "HACK/RQE");
+  EXPECT_EQ(method_name(Method::kCacheGen), "CacheGen");
+  EXPECT_TRUE(is_hack(Method::kHackNoRQE));
+  EXPECT_FALSE(is_hack(Method::kKvQuant));
+  EXPECT_TRUE(is_dequant_codec(Method::kCacheGen));
+  EXPECT_TRUE(is_minifloat(Method::kFp6));
+}
+
+}  // namespace
+}  // namespace hack

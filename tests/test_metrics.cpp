@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/check.h"
+
+#include "metrics/report.h"
+#include "metrics/stats.h"
+#include "metrics/text_metrics.h"
+
+namespace hack {
+namespace {
+
+TEST(Rouge1, IdenticalSequencesScoreOne) {
+  const std::vector<int> s = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(rouge1_f1(s, s), 1.0);
+}
+
+TEST(Rouge1, DisjointSequencesScoreZero) {
+  EXPECT_DOUBLE_EQ(rouge1_f1({1, 2}, {3, 4}), 0.0);
+}
+
+TEST(Rouge1, KnownOverlap) {
+  // candidate {1,2,3}, reference {2,3,4,5}: overlap 2,
+  // precision 2/3, recall 2/4 -> F1 = 2*(2/3)*(1/2)/(2/3+1/2) = 4/7.
+  EXPECT_NEAR(rouge1_f1({1, 2, 3}, {2, 3, 4, 5}), 4.0 / 7.0, 1e-12);
+}
+
+TEST(Rouge1, ClippedCounts) {
+  // Repeating a token in the candidate cannot inflate overlap past the
+  // reference count: overlap 1, precision 1/4, recall 1/4 -> F1 = 1/4.
+  EXPECT_NEAR(rouge1_f1({7, 7, 7, 7}, {7, 1, 2, 3}), 0.25, 1e-12);
+}
+
+TEST(Rouge1, EmptyEdgeCases) {
+  EXPECT_DOUBLE_EQ(rouge1_f1({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(rouge1_f1({}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(rouge1_f1({1}, {}), 0.0);
+}
+
+TEST(EditDistance, KnownValues) {
+  EXPECT_EQ(edit_distance({1, 2, 3}, {1, 2, 3}), 0u);
+  EXPECT_EQ(edit_distance({1, 2, 3}, {1, 3}), 1u);        // delete
+  EXPECT_EQ(edit_distance({1, 3}, {1, 2, 3}), 1u);        // insert
+  EXPECT_EQ(edit_distance({1, 2, 3}, {1, 9, 3}), 1u);     // substitute
+  EXPECT_EQ(edit_distance({}, {1, 2, 3}), 3u);
+  // "kitten" -> "sitting" classic: 3.
+  EXPECT_EQ(edit_distance({'k', 'i', 't', 't', 'e', 'n'},
+                          {'s', 'i', 't', 't', 'i', 'n', 'g'}),
+            3u);
+}
+
+TEST(EditDistance, SymmetryAndTriangle) {
+  const std::vector<int> a = {1, 2, 3, 4, 5};
+  const std::vector<int> b = {2, 3, 4, 6};
+  const std::vector<int> c = {9, 2, 3};
+  EXPECT_EQ(edit_distance(a, b), edit_distance(b, a));
+  EXPECT_LE(edit_distance(a, c),
+            edit_distance(a, b) + edit_distance(b, c));
+}
+
+TEST(EditSimilarity, NormalizedToUnitInterval) {
+  EXPECT_DOUBLE_EQ(edit_similarity({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(edit_similarity({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(edit_similarity({}, {}), 1.0);
+  EXPECT_NEAR(edit_similarity({1, 2, 3, 4}, {1, 2, 3, 9}), 0.75, 1e-12);
+}
+
+TEST(PrefixAgreement, MeasuresDivergencePoint) {
+  EXPECT_DOUBLE_EQ(prefix_agreement({1, 2, 3, 4}, {1, 2, 9, 9}), 0.5);
+  EXPECT_DOUBLE_EQ(prefix_agreement({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(prefix_agreement({9}, {1, 2}), 0.0);
+}
+
+TEST(Stats, KnownDistribution) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const SampleStats s = compute_stats(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 0.01);
+  EXPECT_NEAR(s.p90, 90.1, 0.01);
+  EXPECT_GT(s.stddev, 28.0);
+  EXPECT_LT(s.stddev, 29.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile({10.0, 20.0}, 1.0), 20.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  EXPECT_THROW(compute_stats({}), CheckError);
+  EXPECT_THROW(percentile({}, 0.5), CheckError);
+}
+
+TEST(Report, TableFormatsRowsAndCsv) {
+  Table t("Demo");
+  t.header({"name", "value"});
+  t.row({"alpha", "1.00"});
+  t.row({"beta", "2.50"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("csv,Demo,beta,2.50"), std::string::npos);
+}
+
+TEST(Report, RowWidthValidated) {
+  Table t("Bad");
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), CheckError);
+}
+
+TEST(Report, NumberFormatting) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(pct(0.415), "41.5%");
+  EXPECT_EQ(pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace hack

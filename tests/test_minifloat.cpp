@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.h"
+#include "quant/minifloat.h"
+
+namespace hack {
+namespace {
+
+TEST(MiniFloat, BitWidths) {
+  EXPECT_EQ(minifloat_bits(MiniFloatFormat::kFp8E4M3), 8);
+  EXPECT_EQ(minifloat_bits(MiniFloatFormat::kFp6E3M2), 6);
+  EXPECT_EQ(minifloat_bits(MiniFloatFormat::kFp4E2M1), 4);
+}
+
+TEST(MiniFloat, CompressionVsFp16) {
+  EXPECT_DOUBLE_EQ(minifloat_compression_vs_fp16(MiniFloatFormat::kFp8E4M3),
+                   0.5);
+  EXPECT_DOUBLE_EQ(minifloat_compression_vs_fp16(MiniFloatFormat::kFp6E3M2),
+                   0.625);
+  EXPECT_DOUBLE_EQ(minifloat_compression_vs_fp16(MiniFloatFormat::kFp4E2M1),
+                   0.75);
+}
+
+TEST(MiniFloat, ZeroAndSign) {
+  for (const auto format :
+       {MiniFloatFormat::kFp8E4M3, MiniFloatFormat::kFp6E3M2,
+        MiniFloatFormat::kFp4E2M1}) {
+    EXPECT_EQ(minifloat_round(0.0f, format), 0.0f);
+    EXPECT_EQ(minifloat_round(-1.0f, format), -1.0f);
+    EXPECT_EQ(minifloat_round(1.0f, format), 1.0f);
+  }
+}
+
+TEST(MiniFloat, Fp4ExactValues) {
+  // E2M1, bias 1: representable positives are
+  // subnormal 0.5; normals 1, 1.5, 2, 3, 4, 6.
+  const auto f = MiniFloatFormat::kFp4E2M1;
+  for (const float v : {0.5f, 1.0f, 1.5f, 2.0f, 3.0f, 4.0f, 6.0f}) {
+    EXPECT_EQ(minifloat_round(v, f), v) << v;
+    EXPECT_EQ(minifloat_round(-v, f), -v) << -v;
+  }
+}
+
+TEST(MiniFloat, Fp4SaturatesAtSix) {
+  const auto f = MiniFloatFormat::kFp4E2M1;
+  EXPECT_EQ(minifloat_round(100.0f, f), 6.0f);
+  EXPECT_EQ(minifloat_round(-100.0f, f), -6.0f);
+}
+
+TEST(MiniFloat, Fp8E4M3MaxFinite) {
+  // E4M3 with saturating all-ones exponent: max = 1.875 * 2^8 = 480.
+  const auto f = MiniFloatFormat::kFp8E4M3;
+  EXPECT_EQ(minifloat_round(1000.0f, f), 480.0f);
+  EXPECT_EQ(minifloat_round(480.0f, f), 480.0f);
+}
+
+TEST(MiniFloat, RoundingIsIdempotent) {
+  Rng rng(44);
+  for (const auto format :
+       {MiniFloatFormat::kFp8E4M3, MiniFloatFormat::kFp6E3M2,
+        MiniFloatFormat::kFp4E2M1}) {
+    for (int i = 0; i < 5000; ++i) {
+      const float v = (rng.next_float() - 0.5f) * 20.0f;
+      const float once = minifloat_round(v, format);
+      EXPECT_EQ(minifloat_round(once, format), once);
+    }
+  }
+}
+
+TEST(MiniFloat, EncodeFitsBitWidth) {
+  Rng rng(45);
+  for (const auto format :
+       {MiniFloatFormat::kFp8E4M3, MiniFloatFormat::kFp6E3M2,
+        MiniFloatFormat::kFp4E2M1}) {
+    const int bits = minifloat_bits(format);
+    for (int i = 0; i < 5000; ++i) {
+      const float v = (rng.next_float() - 0.5f) * 1000.0f;
+      EXPECT_LT(minifloat_encode(v, format), 1u << bits);
+    }
+  }
+}
+
+TEST(MiniFloat, MorePrecisionLessError) {
+  Rng rng(46);
+  double err[3] = {0, 0, 0};
+  const MiniFloatFormat formats[3] = {MiniFloatFormat::kFp8E4M3,
+                                      MiniFloatFormat::kFp6E3M2,
+                                      MiniFloatFormat::kFp4E2M1};
+  for (int i = 0; i < 20000; ++i) {
+    const float v = (rng.next_float() - 0.5f) * 4.0f;
+    for (int fidx = 0; fidx < 3; ++fidx) {
+      err[fidx] += std::fabs(minifloat_round(v, formats[fidx]) - v);
+    }
+  }
+  EXPECT_LT(err[0], err[1]);
+  EXPECT_LT(err[1], err[2]);
+}
+
+TEST(MiniFloat, RelativeErrorBoundForNormals) {
+  // For values within normal range, relative error <= 2^-(mantissa bits + 1).
+  Rng rng(47);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = 1.0f + rng.next_float() * 200.0f;  // FP8 normal range
+    const float r = minifloat_round(v, MiniFloatFormat::kFp8E4M3);
+    if (r < 480.0f) {  // skip the saturation zone
+      EXPECT_LE(std::fabs(r - v) / v, 1.0f / 16.0f + 1e-6f) << v;
+    }
+  }
+}
+
+TEST(MiniFloat, MatrixRounding) {
+  Rng rng(48);
+  const Matrix m = Matrix::random_gaussian(4, 8, rng);
+  const Matrix r = minifloat_round_matrix(m, MiniFloatFormat::kFp6E3M2);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(r.flat()[i],
+              minifloat_round(m.flat()[i], MiniFloatFormat::kFp6E3M2));
+  }
+}
+
+TEST(MiniFloat, NamesForReporting) {
+  EXPECT_EQ(minifloat_name(MiniFloatFormat::kFp8E4M3), "FP8");
+  EXPECT_EQ(minifloat_name(MiniFloatFormat::kFp6E3M2), "FP6");
+  EXPECT_EQ(minifloat_name(MiniFloatFormat::kFp4E2M1), "FP4");
+}
+
+}  // namespace
+}  // namespace hack

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "base/check.h"
+#include "model/config.h"
+#include "model/flops.h"
+
+namespace hack {
+namespace {
+
+TEST(ModelZoo, FivePaperModels) {
+  const auto& zoo = model_zoo();
+  ASSERT_EQ(zoo.size(), 5u);
+  EXPECT_EQ(zoo[0].letter, "M");
+  EXPECT_EQ(zoo[4].letter, "F");
+  EXPECT_EQ(model_by_letter("L").name, "Llama-3.1 70B");
+  EXPECT_THROW(model_by_letter("X"), CheckError);
+}
+
+TEST(ModelZoo, ArchitectureConsistency) {
+  for (const ModelConfig& m : model_zoo()) {
+    EXPECT_EQ(m.heads * m.d_head, m.hidden) << m.name;
+    EXPECT_EQ(m.heads % m.kv_heads, 0u) << m.name;
+    EXPECT_GT(m.params, 1e9) << m.name;
+  }
+}
+
+TEST(ModelZoo, FalconContextCap) {
+  // §2.1: Falcon-180B cannot process Cocktail (2K context limit).
+  EXPECT_LT(model_by_letter("F").max_context, 16200u);
+  EXPECT_GT(model_by_letter("L").max_context, 28800u);
+}
+
+TEST(ModelZoo, KvBytesPerTokenLlama70B) {
+  // 80 layers * 8 kv heads * 128 dims * 2 (K,V) * 2 bytes = 327,680 B.
+  const ModelConfig& l = model_by_letter("L");
+  EXPECT_DOUBLE_EQ(l.kv_bytes_per_token_fp16(), 327680.0);
+}
+
+TEST(Parallelism, Table3Entries) {
+  const ModelConfig& l = model_by_letter("L");
+  EXPECT_EQ(parallelism_for(l, GpuFamily::kA10gL4).tp, 4);
+  EXPECT_EQ(parallelism_for(l, GpuFamily::kA10gL4).pp, 2);
+  EXPECT_EQ(parallelism_for(l, GpuFamily::kV100T4).pp, 4);
+  EXPECT_EQ(parallelism_for(l, GpuFamily::kA100).pp, 1);
+
+  const ModelConfig& m = model_by_letter("M");
+  EXPECT_EQ(parallelism_for(m, GpuFamily::kA100).gpus(), 1);
+
+  const ModelConfig& f = model_by_letter("F");
+  EXPECT_EQ(parallelism_for(f, GpuFamily::kA10gL4).gpus(), 20);
+  EXPECT_EQ(parallelism_for(f, GpuFamily::kV100T4).gpus(), 32);
+  EXPECT_EQ(parallelism_for(f, GpuFamily::kA100).gpus(), 8);
+}
+
+TEST(Flops, PrefillScalesSuperlinearly) {
+  const ModelConfig& l = model_by_letter("L");
+  const double f1 = prefill_flops(l, 1000);
+  const double f2 = prefill_flops(l, 2000);
+  EXPECT_GT(f2, 2.0 * f1);  // attention's L^2 term
+}
+
+TEST(Flops, DecodeStepGrowsLinearlyWithContext) {
+  const ModelConfig& l = model_by_letter("L");
+  const double d1 = decode_step_flops(l, 1000);
+  const double d2 = decode_step_flops(l, 2000);
+  EXPECT_GT(d2, d1);
+  // Weight term dominates: growth is sub-2x.
+  EXPECT_LT(d2, 2.0 * d1);
+  EXPECT_NEAR(decode_step_attention_flops(l, 2000),
+              2.0 * decode_step_attention_flops(l, 1000), 1.0);
+}
+
+TEST(Flops, WeightsDominateShortContextDecode) {
+  const ModelConfig& l = model_by_letter("L");
+  EXPECT_GT(2.0 * l.params, decode_step_attention_flops(l, 315));
+}
+
+TEST(Flops, KvBytesLinear) {
+  const ModelConfig& l = model_by_letter("L");
+  EXPECT_DOUBLE_EQ(kv_bytes_fp16(l, 16200), 327680.0 * 16200);
+}
+
+TEST(Flops, HackApproxFarBelowDequant) {
+  // The core asymmetry the paper exploits, at model scale (§5.3).
+  const ModelConfig& l = model_by_letter("L");
+  for (const double len : {315.0, 6300.0, 16200.0}) {
+    EXPECT_LT(decode_hack_approx_flops(l, len),
+              decode_dequant_flops(l, len))
+        << len;
+  }
+}
+
+}  // namespace
+}  // namespace hack

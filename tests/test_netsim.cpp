@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "netsim/link.h"
+#include "netsim/transfer.h"
+
+namespace hack {
+namespace {
+
+constexpr double kGB = 1e9;
+
+TEST(Nic, TransferTimeMatchesRate) {
+  Nic nic(80.0, /*latency_s=*/0.0);  // 10 GB/s
+  const auto booking = nic.book(0.0, 10.0 * kGB);
+  EXPECT_DOUBLE_EQ(booking.start, 0.0);
+  EXPECT_NEAR(booking.finish, 1.0, 1e-9);
+}
+
+TEST(Nic, LatencyAdds) {
+  Nic nic(80.0, 0.001);
+  const auto booking = nic.book(0.0, 0.0);
+  EXPECT_NEAR(booking.finish, 0.001, 1e-12);
+}
+
+TEST(Nic, SerializesConcurrentTransfers) {
+  Nic nic(80.0, 0.0);
+  const auto first = nic.book(0.0, 10.0 * kGB);
+  const auto second = nic.book(0.0, 10.0 * kGB);  // queued behind first
+  EXPECT_NEAR(second.start, first.finish, 1e-9);
+  EXPECT_NEAR(second.finish, 2.0, 1e-9);
+}
+
+TEST(Nic, IdleGapRespectsReadyTime) {
+  Nic nic(80.0, 0.0);
+  (void)nic.book(0.0, 10.0 * kGB);
+  const auto late = nic.book(5.0, 10.0 * kGB);
+  EXPECT_DOUBLE_EQ(late.start, 5.0);
+}
+
+TEST(Nic, TracksTotalBytes) {
+  Nic nic(100.0, 0.0);
+  (void)nic.book(0.0, 123.0);
+  (void)nic.book(0.0, 877.0);
+  EXPECT_DOUBLE_EQ(nic.total_bytes(), 1000.0);
+}
+
+TEST(NcclTransfer, BottleneckIsSlowerNic) {
+  // 10 GB over a 10 GB/s sender into a 5 GB/s receiver: ~2s end to end
+  // (+ one pipeline-fill chunk on the sender).
+  Nic fast(80.0, 0.0), slow(40.0, 0.0);
+  const TransferResult result = nccl_transfer(fast, slow, 0.0, 10.0 * kGB, 8);
+  EXPECT_GT(result.finish, 2.0);
+  EXPECT_LT(result.finish, 2.3);
+}
+
+TEST(NcclTransfer, PipeliningBeatsSerial) {
+  // With chunking, total < sum of full store-and-forward times (2s + 2s).
+  Nic a(40.0, 0.0), b(40.0, 0.0);
+  const TransferResult result = nccl_transfer(a, b, 0.0, 10.0 * kGB, 16);
+  EXPECT_LT(result.duration(), 2.5);
+  EXPECT_GT(result.duration(), 2.0);  // can't beat the line rate
+}
+
+TEST(NcclTransfer, ContentionBetweenFlows) {
+  // Two transfers sharing the sender NIC take twice as long in aggregate.
+  Nic src(80.0, 0.0);
+  Nic dst1(400.0, 0.0), dst2(400.0, 0.0);
+  const TransferResult r1 = nccl_transfer(src, dst1, 0.0, 10.0 * kGB, 4);
+  const TransferResult r2 = nccl_transfer(src, dst2, 0.0, 10.0 * kGB, 4);
+  EXPECT_GT(r2.finish, 1.9);
+  EXPECT_GT(r2.finish, r1.finish);
+}
+
+TEST(NcclTransfer, ReadyTimeDelaysStart) {
+  Nic a(80.0, 0.0), b(80.0, 0.0);
+  const TransferResult r = nccl_transfer(a, b, 3.0, 1.0 * kGB, 4);
+  EXPECT_GE(r.start, 3.0);
+  EXPECT_GT(r.finish, 3.1);
+}
+
+TEST(NcclTransfer, ZeroBytesCostsOnlyLatency) {
+  Nic a(80.0, 1e-4), b(80.0, 1e-4);
+  const TransferResult r = nccl_transfer(a, b, 0.0, 0.0, 2);
+  EXPECT_LT(r.finish, 1e-3);
+}
+
+TEST(Nic, RejectsBadParameters) {
+  EXPECT_THROW(Nic(0.0), CheckError);
+  EXPECT_THROW(Nic(-5.0), CheckError);
+  Nic nic(10.0);
+  EXPECT_THROW(nic.book(0.0, -1.0), CheckError);
+}
+
+}  // namespace
+}  // namespace hack

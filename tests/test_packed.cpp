@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "quant/packed.h"
+
+namespace hack {
+namespace {
+
+TEST(PackedBits, SizeFormula) {
+  EXPECT_EQ(PackedBits(2, 4).byte_size(), 1u);
+  EXPECT_EQ(PackedBits(2, 5).byte_size(), 2u);
+  EXPECT_EQ(PackedBits(4, 2).byte_size(), 1u);
+  EXPECT_EQ(PackedBits(8, 3).byte_size(), 3u);
+  EXPECT_EQ(PackedBits(1, 8).byte_size(), 1u);
+  EXPECT_EQ(PackedBits(1, 9).byte_size(), 2u);
+}
+
+TEST(PackedBits, RoundTrip2Bit) {
+  const std::vector<std::uint8_t> codes = {0, 1, 2, 3, 3, 2, 1, 0, 2};
+  const PackedBits packed = PackedBits::pack(codes, 2);
+  EXPECT_EQ(packed.unpack(), codes);
+}
+
+TEST(PackedBits, RoundTrip4Bit) {
+  std::vector<std::uint8_t> codes;
+  for (int i = 0; i < 16; ++i) codes.push_back(static_cast<std::uint8_t>(i));
+  const PackedBits packed = PackedBits::pack(codes, 4);
+  EXPECT_EQ(packed.unpack(), codes);
+}
+
+TEST(PackedBits, RoundTripRandom) {
+  Rng rng(33);
+  for (const int bits : {1, 2, 4, 8}) {
+    std::vector<std::uint8_t> codes(257);
+    for (auto& c : codes) {
+      c = static_cast<std::uint8_t>(rng.next_below(1u << bits));
+    }
+    const PackedBits packed = PackedBits::pack(codes, bits);
+    EXPECT_EQ(packed.unpack(), codes) << "bits=" << bits;
+  }
+}
+
+TEST(PackedBits, GetSetIndividual) {
+  PackedBits packed(2, 10);
+  packed.set(3, 2);
+  packed.set(9, 1);
+  EXPECT_EQ(packed.get(3), 2);
+  EXPECT_EQ(packed.get(9), 1);
+  EXPECT_EQ(packed.get(0), 0);
+  packed.set(3, 0);
+  EXPECT_EQ(packed.get(3), 0);
+  EXPECT_EQ(packed.get(9), 1);  // untouched
+}
+
+TEST(PackedBits, RejectsOutOfRangeCode) {
+  PackedBits packed(2, 4);
+  EXPECT_THROW(packed.set(0, 4), CheckError);
+}
+
+TEST(PackedBits, RejectsOutOfRangeIndex) {
+  PackedBits packed(2, 4);
+  EXPECT_THROW(packed.get(4), CheckError);
+  EXPECT_THROW(packed.set(4, 0), CheckError);
+}
+
+TEST(PackedBits, RejectsInvalidWidth) {
+  EXPECT_THROW(PackedBits(3, 4), CheckError);
+  EXPECT_THROW(PackedBits(16, 4), CheckError);
+}
+
+TEST(PackedBits, CompressionRatioIs8OverBits) {
+  // 1024 2-bit codes: 256 bytes vs 1024 unpacked.
+  const PackedBits packed(2, 1024);
+  EXPECT_EQ(packed.byte_size(), 256u);
+}
+
+}  // namespace
+}  // namespace hack

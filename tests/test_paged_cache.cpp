@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "kvcache/paged_cache.h"
+#include "metrics/tensor_metrics.h"
+#include "tensor/ops.h"
+
+namespace hack {
+namespace {
+
+constexpr std::size_t kDHead = 16;
+constexpr std::size_t kBlockTokens = 4;
+
+struct CacheFixture {
+  CacheFixture(std::size_t blocks = 32)
+      : alloc(blocks, PagedKvCache::block_bytes_for(kDHead, kBlockTokens)),
+        cache(alloc, kDHead, kBlockTokens) {}
+  BlockAllocator alloc;
+  PagedKvCache cache;
+};
+
+Matrix tokens(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return Matrix::random_uniform(n, kDHead, rng, -2.0f, 2.0f);
+}
+
+TEST(PagedKvCache, AppendAndGatherRoundTrip) {
+  CacheFixture f;
+  const Matrix k = tokens(10, 1);
+  const Matrix v = tokens(10, 2);
+  ASSERT_TRUE(f.cache.append(7, k, v));
+  EXPECT_EQ(f.cache.tokens(7), 10u);
+  // FP16 storage: round-trip equals fp16-rounded source.
+  Matrix k16 = k, v16 = v;
+  k16.round_to_fp16();
+  v16.round_to_fp16();
+  EXPECT_EQ(max_abs_diff(f.cache.gather_k(7), k16), 0.0f);
+  EXPECT_EQ(max_abs_diff(f.cache.gather_v(7), v16), 0.0f);
+}
+
+TEST(PagedKvCache, BlockCountCeilsTokens) {
+  CacheFixture f;
+  ASSERT_TRUE(f.cache.append(1, tokens(9, 3), tokens(9, 4)));
+  EXPECT_EQ(f.cache.blocks_held(1), 3u);  // ceil(9/4)
+  ASSERT_TRUE(f.cache.append(1, tokens(3, 5), tokens(3, 6)));
+  EXPECT_EQ(f.cache.blocks_held(1), 3u);  // 12 tokens fill 3 blocks exactly
+  ASSERT_TRUE(f.cache.append(1, tokens(1, 7), tokens(1, 8)));
+  EXPECT_EQ(f.cache.blocks_held(1), 4u);
+}
+
+TEST(PagedKvCache, IncrementalAppendPreservesPrefix) {
+  CacheFixture f;
+  const Matrix k1 = tokens(6, 9), v1 = tokens(6, 10);
+  const Matrix k2 = tokens(5, 11), v2 = tokens(5, 12);
+  ASSERT_TRUE(f.cache.append(2, k1, v1));
+  ASSERT_TRUE(f.cache.append(2, k2, v2));
+  Matrix expect_k = vstack(k1, k2);
+  expect_k.round_to_fp16();
+  EXPECT_EQ(max_abs_diff(f.cache.gather_k(2), expect_k), 0.0f);
+}
+
+TEST(PagedKvCache, AppendFailsAtomicallyWhenFull) {
+  CacheFixture f(/*blocks=*/2);
+  ASSERT_TRUE(f.cache.append(1, tokens(8, 13), tokens(8, 14)));  // 2 blocks
+  EXPECT_FALSE(f.cache.append(1, tokens(1, 15), tokens(1, 16)));
+  EXPECT_EQ(f.cache.tokens(1), 8u);         // rolled back
+  EXPECT_EQ(f.alloc.blocks_free(), 0u);
+}
+
+TEST(PagedKvCache, ForkSharesBlocksCopyOnWrite) {
+  CacheFixture f;
+  ASSERT_TRUE(f.cache.append(1, tokens(8, 17), tokens(8, 18)));
+  const std::size_t used_before = f.alloc.blocks_in_use();
+  f.cache.fork(1, 2);
+  EXPECT_EQ(f.alloc.blocks_in_use(), used_before);  // shared, no copy yet
+  EXPECT_EQ(f.cache.tokens(2), 8u);
+  EXPECT_EQ(max_abs_diff(f.cache.gather_k(1), f.cache.gather_k(2)), 0.0f);
+
+  // Writing into the fork copies only the written block.
+  ASSERT_TRUE(f.cache.append(2, tokens(1, 19), tokens(1, 20)));
+  EXPECT_GT(f.alloc.blocks_in_use(), used_before);
+  // Original sequence unchanged.
+  EXPECT_EQ(f.cache.tokens(1), 8u);
+}
+
+TEST(PagedKvCache, CopyOnWritePreservesSharedPrefixData) {
+  CacheFixture f;
+  const Matrix k = tokens(6, 21), v = tokens(6, 22);
+  ASSERT_TRUE(f.cache.append(1, k, v));
+  f.cache.fork(1, 2);
+  // Appending into the fork's ragged last block must not corrupt sequence 1.
+  ASSERT_TRUE(f.cache.append(2, tokens(2, 23), tokens(2, 24)));
+  Matrix k16 = k;
+  k16.round_to_fp16();
+  EXPECT_EQ(max_abs_diff(f.cache.gather_k(1), k16), 0.0f);
+  EXPECT_EQ(f.cache.tokens(2), 8u);
+}
+
+TEST(PagedKvCache, DropReleasesBlocks) {
+  CacheFixture f;
+  ASSERT_TRUE(f.cache.append(5, tokens(12, 25), tokens(12, 26)));
+  const std::size_t used = f.alloc.blocks_in_use();
+  f.cache.drop(5);
+  EXPECT_EQ(f.alloc.blocks_in_use(), used - 3);
+  EXPECT_FALSE(f.cache.has_sequence(5));
+}
+
+TEST(PagedKvCache, DropForkKeepsOriginalAlive) {
+  CacheFixture f;
+  ASSERT_TRUE(f.cache.append(1, tokens(8, 27), tokens(8, 28)));
+  f.cache.fork(1, 2);
+  f.cache.drop(1);
+  // Fork still owns the shared blocks.
+  EXPECT_EQ(f.cache.tokens(2), 8u);
+  EXPECT_EQ(f.cache.gather_k(2).rows(), 8u);
+  f.cache.drop(2);
+  EXPECT_EQ(f.alloc.blocks_in_use(), 0u);
+}
+
+TEST(PagedKvCache, UnknownSequenceThrows) {
+  CacheFixture f;
+  EXPECT_THROW(f.cache.gather_k(99), CheckError);
+  EXPECT_THROW(f.cache.drop(99), CheckError);
+  EXPECT_THROW(f.cache.fork(99, 100), CheckError);
+}
+
+TEST(PagedKvCache, GeometryValidation) {
+  BlockAllocator small(4, 8);  // 8-byte blocks can't hold the geometry
+  EXPECT_THROW(PagedKvCache(small, kDHead, kBlockTokens), CheckError);
+}
+
+}  // namespace
+}  // namespace hack

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "quant/partition.h"
+
+namespace hack {
+namespace {
+
+TEST(PartitionScheme, EvenSplit) {
+  const PartitionScheme scheme(128, 32, /*allow_ragged_tail=*/false);
+  EXPECT_EQ(scheme.group_count(), 4u);
+  EXPECT_EQ(scheme.group_begin(0), 0u);
+  EXPECT_EQ(scheme.group_end(0), 32u);
+  EXPECT_EQ(scheme.group_begin(3), 96u);
+  EXPECT_EQ(scheme.group_end(3), 128u);
+  EXPECT_EQ(scheme.group_size(2), 32u);
+}
+
+TEST(PartitionScheme, RaggedTail) {
+  const PartitionScheme scheme(100, 32, /*allow_ragged_tail=*/true);
+  EXPECT_EQ(scheme.group_count(), 4u);
+  EXPECT_EQ(scheme.group_size(3), 4u);
+  EXPECT_EQ(scheme.group_end(3), 100u);
+}
+
+TEST(PartitionScheme, RaggedDisallowedThrows) {
+  EXPECT_THROW(PartitionScheme(100, 32, false), CheckError);
+}
+
+TEST(PartitionScheme, GroupOfMapsIndices) {
+  const PartitionScheme scheme(96, 16, false);
+  EXPECT_EQ(scheme.group_of(0), 0u);
+  EXPECT_EQ(scheme.group_of(15), 0u);
+  EXPECT_EQ(scheme.group_of(16), 1u);
+  EXPECT_EQ(scheme.group_of(95), 5u);
+  EXPECT_THROW(scheme.group_of(96), CheckError);
+}
+
+TEST(PartitionScheme, PiMustBeMultipleOf16) {
+  // §5.3: Π must be a multiple of 16 for GPU tile alignment.
+  EXPECT_THROW(PartitionScheme(64, 8, false), CheckError);
+  EXPECT_THROW(PartitionScheme(64, 20, false), CheckError);
+  EXPECT_THROW(PartitionScheme(64, 0, false), CheckError);
+  EXPECT_NO_THROW(PartitionScheme(64, 16, false));
+  EXPECT_NO_THROW(PartitionScheme(128, 64, false));
+}
+
+TEST(PartitionScheme, PiLargerThanInnerGivesOneRaggedGroup) {
+  const PartitionScheme scheme(40, 64, /*allow_ragged_tail=*/true);
+  EXPECT_EQ(scheme.group_count(), 1u);
+  EXPECT_EQ(scheme.group_size(0), 40u);
+}
+
+TEST(ValidPartitionSize, PaperSizes) {
+  EXPECT_TRUE(valid_partition_size(32));
+  EXPECT_TRUE(valid_partition_size(64));
+  EXPECT_TRUE(valid_partition_size(128));
+  EXPECT_FALSE(valid_partition_size(0));
+  EXPECT_FALSE(valid_partition_size(24));
+}
+
+struct GroupCountCase {
+  std::size_t inner;
+  std::size_t pi;
+  std::size_t expected_groups;
+};
+
+class PartitionSweep : public ::testing::TestWithParam<GroupCountCase> {};
+
+TEST_P(PartitionSweep, GroupInvariants) {
+  const auto [inner, pi, expected] = GetParam();
+  const PartitionScheme scheme(inner, pi, /*allow_ragged_tail=*/true);
+  EXPECT_EQ(scheme.group_count(), expected);
+  // Groups tile [0, inner) without gaps or overlap.
+  std::size_t covered = 0;
+  for (std::size_t g = 0; g < scheme.group_count(); ++g) {
+    EXPECT_EQ(scheme.group_begin(g), covered);
+    covered = scheme.group_end(g);
+    EXPECT_GT(scheme.group_size(g), 0u);
+  }
+  EXPECT_EQ(covered, inner);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, PartitionSweep,
+    ::testing::Values(GroupCountCase{128, 32, 4}, GroupCountCase{128, 64, 2},
+                      GroupCountCase{128, 128, 1}, GroupCountCase{64, 64, 1},
+                      GroupCountCase{65, 64, 2}, GroupCountCase{16, 16, 1},
+                      GroupCountCase{1000, 64, 16},
+                      GroupCountCase{1024, 16, 64}));
+
+}  // namespace
+}  // namespace hack

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "kvcache/quantized_cache.h"
+
+namespace hack {
+namespace {
+
+HackAttentionConfig small_config() {
+  HackAttentionConfig c;
+  c.pi = 16;
+  return c;
+}
+
+std::vector<Matrix> head_matrices(std::size_t count, std::size_t tokens,
+                                  std::size_t d_head, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Matrix> ms;
+  ms.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ms.push_back(Matrix::random_gaussian(tokens, d_head, rng));
+  }
+  return ms;
+}
+
+TEST(QuantizedKvCache, AdmitAndAppend) {
+  QuantizedKvCache cache(2, 2, 32, small_config(), 1 << 20);
+  ASSERT_TRUE(cache.admit(1));
+  EXPECT_TRUE(cache.resident(1));
+  Rng rng(1);
+  cache.append_tokens(1, head_matrices(4, 16, 32, 2),
+                      head_matrices(4, 16, 32, 3), rng);
+  EXPECT_EQ(cache.state(1, 0, 0).tokens(), 16u);
+  EXPECT_EQ(cache.state(1, 1, 1).tokens(), 16u);
+  EXPECT_GT(cache.usage(1).packed_kv_bytes, 0u);
+}
+
+TEST(QuantizedKvCache, UsageBreakdownCategories) {
+  QuantizedKvCache cache(1, 1, 32, small_config(), 1 << 20);
+  ASSERT_TRUE(cache.admit(1));
+  Rng rng(4);
+  // 20 tokens with Π=16: one quantized partition + 4-token FP16 tail.
+  cache.append_tokens(1, head_matrices(1, 20, 32, 5),
+                      head_matrices(1, 20, 32, 6), rng);
+  const QuantizedCacheUsage u = cache.usage(1);
+  EXPECT_GT(u.packed_kv_bytes, 0u);
+  EXPECT_GT(u.sum_cache_bytes, 0u);
+  EXPECT_EQ(u.fp16_tail_bytes, 4u * 32u * 2u);
+  EXPECT_EQ(u.total(),
+            u.packed_kv_bytes + u.sum_cache_bytes + u.fp16_tail_bytes);
+}
+
+TEST(QuantizedKvCache, BudgetBlocksAdmission) {
+  QuantizedKvCache cache(1, 1, 32, small_config(), /*budget=*/512);
+  ASSERT_TRUE(cache.admit(1));
+  Rng rng(7);
+  cache.append_tokens(1, head_matrices(1, 64, 32, 8),
+                      head_matrices(1, 64, 32, 9), rng);
+  ASSERT_GT(cache.gpu_bytes_in_use(), 512u);
+  EXPECT_FALSE(cache.admit(2));  // over budget -> swap to CPU (caller-side)
+  cache.drop(1);
+  EXPECT_TRUE(cache.admit(2));
+}
+
+TEST(QuantizedKvCache, TotalUsageSumsSequences) {
+  QuantizedKvCache cache(1, 2, 32, small_config(), 1 << 20);
+  ASSERT_TRUE(cache.admit(1));
+  ASSERT_TRUE(cache.admit(2));
+  Rng rng(10);
+  cache.append_tokens(1, head_matrices(2, 16, 32, 11),
+                      head_matrices(2, 16, 32, 12), rng);
+  cache.append_tokens(2, head_matrices(2, 32, 32, 13),
+                      head_matrices(2, 32, 32, 14), rng);
+  EXPECT_EQ(cache.total_usage().total(),
+            cache.usage(1).total() + cache.usage(2).total());
+}
+
+TEST(QuantizedKvCache, MisuseThrows) {
+  QuantizedKvCache cache(1, 1, 32, small_config(), 1 << 20);
+  EXPECT_THROW(cache.state(1, 0, 0), CheckError);  // not admitted
+  ASSERT_TRUE(cache.admit(1));
+  EXPECT_THROW(cache.admit(1), CheckError);        // double admit
+  EXPECT_THROW(cache.state(1, 1, 0), CheckError);  // layer out of range
+  Rng rng(15);
+  EXPECT_THROW(cache.append_tokens(1, head_matrices(2, 4, 32, 16),
+                                   head_matrices(2, 4, 32, 17), rng),
+               CheckError);                        // wrong head count
+  EXPECT_THROW(cache.drop(9), CheckError);
+}
+
+}  // namespace
+}  // namespace hack

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/tensor_metrics.h"
+#include "quant/quantizer.h"
+
+namespace hack {
+namespace {
+
+TEST(Quantizer, CodesWithinRange) {
+  Rng rng(1);
+  const Matrix m = Matrix::random_gaussian(8, 64, rng);
+  for (const int bits : {2, 4, 8}) {
+    Rng qrng(2);
+    const QuantizedMatrix q =
+        quantize(m, bits, 16, QuantAxis::kRow, Rounding::kStochastic, qrng);
+    for (const std::uint8_t code : q.codes) {
+      EXPECT_LT(code, 1u << bits);
+    }
+  }
+}
+
+TEST(Quantizer, RoundTripErrorBoundedByScale) {
+  Rng rng(3);
+  const Matrix m = Matrix::random_gaussian(16, 128, rng, 2.0f);
+  Rng qrng(4);
+  const QuantizedMatrix q =
+      quantize(m, 2, 32, QuantAxis::kRow, Rounding::kStochastic, qrng);
+  const Matrix recon = dequantize(q);
+  EXPECT_LE(max_abs_diff(recon, m), max_abs_error_bound(q));
+}
+
+TEST(Quantizer, NearestRoundingErrorHalfStep) {
+  Rng rng(5);
+  const Matrix m = Matrix::random_gaussian(8, 64, rng);
+  Rng qrng(6);
+  const QuantizedMatrix q =
+      quantize(m, 8, 16, QuantAxis::kRow, Rounding::kNearest, qrng);
+  const Matrix recon = dequantize(q);
+  // Nearest rounding: error <= scale/2 (+ FP16 metadata slack).
+  const std::size_t groups = q.group_count();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const float s = q.scale_of(r, c / 16);
+      EXPECT_LE(std::fabs(recon(r, c) - m(r, c)), 0.5f * s + 0.01f)
+          << r << "," << c << " groups=" << groups;
+    }
+  }
+}
+
+TEST(Quantizer, ExactOnConstantPartitions) {
+  // A constant partition has scale 0; dequantization returns the constant.
+  Matrix m(4, 32, 3.25f);
+  Rng qrng(7);
+  const QuantizedMatrix q =
+      quantize(m, 2, 16, QuantAxis::kRow, Rounding::kStochastic, qrng);
+  const Matrix recon = dequantize(q);
+  for (const float v : recon.flat()) EXPECT_EQ(v, 3.25f);
+}
+
+TEST(Quantizer, ExtremesRepresentedExactly) {
+  // Partition min maps to code 0 and max to the top code; both reconstruct
+  // to within FP16 metadata precision.
+  Matrix m(1, 16);
+  for (std::size_t c = 0; c < 16; ++c) {
+    m(0, c) = static_cast<float>(c);  // min 0, max 15
+  }
+  Rng qrng(8);
+  const QuantizedMatrix q =
+      quantize(m, 4, 16, QuantAxis::kRow, Rounding::kNearest, qrng);
+  const Matrix recon = dequantize(q);
+  EXPECT_NEAR(recon(0, 0), 0.0f, 1e-3f);
+  EXPECT_NEAR(recon(0, 15), 15.0f, 0.02f);
+}
+
+TEST(Quantizer, ColumnAxisPartitionsColumns) {
+  // Distinct column statistics must yield distinct per-column metadata.
+  Matrix m(32, 2);
+  for (std::size_t r = 0; r < 32; ++r) {
+    m(r, 0) = static_cast<float>(r);         // [0, 31]
+    m(r, 1) = 100.0f + static_cast<float>(r);  // [100, 131]
+  }
+  Rng qrng(9);
+  const QuantizedMatrix q =
+      quantize(m, 2, 32, QuantAxis::kCol, Rounding::kNearest, qrng);
+  EXPECT_EQ(q.group_count(), 1u);
+  EXPECT_NEAR(q.min_of(0, 0), 0.0f, 0.01f);
+  EXPECT_NEAR(q.min_of(1, 0), 100.0f, 0.1f);
+}
+
+TEST(Quantizer, StochasticRoundingIsUnbiasedPerElement) {
+  // Averaging many stochastic quantizations approaches the source value.
+  Matrix m(1, 16);
+  for (std::size_t c = 0; c < 16; ++c) m(0, c) = 0.1f * static_cast<float>(c);
+  Rng qrng(10);
+  Matrix sum(1, 16, 0.0f);
+  constexpr int kRuns = 3000;
+  for (int run = 0; run < kRuns; ++run) {
+    const QuantizedMatrix q =
+        quantize(m, 2, 16, QuantAxis::kRow, Rounding::kStochastic, qrng);
+    const Matrix recon = dequantize(q);
+    for (std::size_t c = 0; c < 16; ++c) sum(0, c) += recon(0, c);
+  }
+  for (std::size_t c = 0; c < 16; ++c) {
+    EXPECT_NEAR(sum(0, c) / kRuns, m(0, c), 0.02f) << c;
+  }
+}
+
+TEST(Quantizer, FinerPartitionsReduceError) {
+  Rng rng(11);
+  // Heavy-tailed data: per-partition ranges shrink with finer partitions.
+  Matrix m = Matrix::random_gaussian(8, 128, rng, 1.0f);
+  for (std::size_t i = 0; i < m.size(); i += 17) m.flat()[i] *= 4.0f;
+  double err_by_pi[3] = {0, 0, 0};
+  const std::size_t pis[3] = {32, 64, 128};
+  for (int p = 0; p < 3; ++p) {
+    Rng qrng(12);
+    const QuantizedMatrix q = quantize(m, 2, pis[p], QuantAxis::kRow,
+                                       Rounding::kStochastic, qrng);
+    err_by_pi[p] = relative_l2(dequantize(q), m);
+  }
+  EXPECT_LT(err_by_pi[0], err_by_pi[1]);
+  EXPECT_LT(err_by_pi[1], err_by_pi[2]);
+}
+
+TEST(Quantizer, MoreBitsReduceError) {
+  Rng rng(13);
+  const Matrix m = Matrix::random_gaussian(8, 64, rng);
+  double errs[3] = {0, 0, 0};
+  const int bits[3] = {2, 4, 8};
+  for (int i = 0; i < 3; ++i) {
+    Rng qrng(14);
+    const QuantizedMatrix q = quantize(m, bits[i], 16, QuantAxis::kRow,
+                                       Rounding::kStochastic, qrng);
+    errs[i] = relative_l2(dequantize(q), m);
+  }
+  EXPECT_LT(errs[1], errs[0]);
+  EXPECT_LT(errs[2], errs[1]);
+}
+
+TEST(Quantizer, PackedBytesMatchFormula) {
+  Rng rng(15);
+  const Matrix m = Matrix::random_gaussian(10, 64, rng);
+  Rng qrng(16);
+  const QuantizedMatrix q =
+      quantize(m, 2, 16, QuantAxis::kRow, Rounding::kStochastic, qrng);
+  // 64 codes * 2 bits = 16 bytes per row; 10 rows.
+  EXPECT_EQ(q.packed_code_bytes(), 160u);
+  // 4 groups * 10 rows * (min + scale) * 2 bytes.
+  EXPECT_EQ(q.metadata_bytes(), 160u);
+  EXPECT_EQ(q.stored_bytes(), 320u);
+}
+
+TEST(Quantizer, AppendRowsPreservesOldMetadata) {
+  Rng rng(17);
+  const Matrix a = Matrix::random_gaussian(4, 64, rng);
+  const Matrix b = Matrix::random_gaussian(2, 64, rng);
+  Rng qrng(18);
+  QuantizedMatrix qa =
+      quantize(a, 2, 32, QuantAxis::kRow, Rounding::kStochastic, qrng);
+  const std::vector<float> mins_before = qa.mins;
+  const QuantizedMatrix qb =
+      quantize(b, 2, 32, QuantAxis::kRow, Rounding::kStochastic, qrng);
+  append_rows(qa, qb);
+  EXPECT_EQ(qa.rows, 6u);
+  for (std::size_t i = 0; i < mins_before.size(); ++i) {
+    EXPECT_EQ(qa.mins[i], mins_before[i]);
+  }
+  // Reconstruction equals per-part reconstructions stacked.
+  const Matrix recon = dequantize(qa);
+  EXPECT_EQ(recon.rows(), 6u);
+}
+
+TEST(Quantizer, AppendInnerGroupsGrowsColumns) {
+  Rng rng(19);
+  const Matrix a = Matrix::random_gaussian(32, 8, rng);
+  const Matrix b = Matrix::random_gaussian(32, 8, rng);
+  Rng qrng(20);
+  QuantizedMatrix qa =
+      quantize(a, 2, 32, QuantAxis::kCol, Rounding::kStochastic, qrng);
+  const QuantizedMatrix qb =
+      quantize(b, 2, 32, QuantAxis::kCol, Rounding::kStochastic, qrng);
+  const Matrix ra = dequantize(qa);
+  const Matrix rb = dequantize(qb);
+  append_inner_groups(qa, qb);
+  EXPECT_EQ(qa.rows, 64u);
+  EXPECT_EQ(qa.group_count(), 2u);
+  const Matrix merged = dequantize(qa);
+  for (std::size_t r = 0; r < 32; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      EXPECT_EQ(merged(r, c), ra(r, c));
+      EXPECT_EQ(merged(32 + r, c), rb(r, c));
+    }
+  }
+}
+
+TEST(Quantizer, AppendInnerGroupsRejectsPartialPartitions) {
+  Rng rng(21);
+  const Matrix a = Matrix::random_gaussian(32, 4, rng);
+  const Matrix partial = Matrix::random_gaussian(20, 4, rng);
+  Rng qrng(22);
+  QuantizedMatrix qa =
+      quantize(a, 2, 32, QuantAxis::kCol, Rounding::kStochastic, qrng);
+  const QuantizedMatrix qp = quantize(partial, 2, 32, QuantAxis::kCol,
+                                      Rounding::kStochastic, qrng,
+                                      /*allow_ragged_tail=*/true);
+  EXPECT_THROW(append_inner_groups(qa, qp), CheckError);
+}
+
+struct QuantCase {
+  int bits;
+  std::size_t pi;
+  std::size_t rows;
+  std::size_t cols;
+  int axis;  // 0 = row, 1 = col
+};
+
+class QuantizerSweep : public ::testing::TestWithParam<QuantCase> {};
+
+TEST_P(QuantizerSweep, RoundTripWithinBound) {
+  const auto param = GetParam();
+  Rng rng(100 + param.bits);
+  const Matrix m =
+      Matrix::random_gaussian(param.rows, param.cols, rng, 1.5f);
+  Rng qrng(200 + param.pi);
+  const QuantizedMatrix q =
+      quantize(m, param.bits, param.pi,
+               param.axis == 0 ? QuantAxis::kRow : QuantAxis::kCol,
+               Rounding::kStochastic, qrng, /*allow_ragged_tail=*/true);
+  EXPECT_EQ(q.rows, param.rows);
+  EXPECT_EQ(q.cols, param.cols);
+  const Matrix recon = dequantize(q);
+  EXPECT_LE(max_abs_diff(recon, m), max_abs_error_bound(q));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QuantizerSweep,
+    ::testing::Values(QuantCase{2, 32, 7, 96, 0}, QuantCase{2, 64, 1, 128, 0},
+                      QuantCase{2, 128, 3, 128, 0}, QuantCase{4, 16, 5, 80, 0},
+                      QuantCase{8, 64, 2, 64, 0}, QuantCase{2, 32, 96, 7, 1},
+                      QuantCase{2, 64, 130, 5, 1}, QuantCase{4, 16, 50, 3, 1},
+                      QuantCase{8, 32, 64, 2, 1},
+                      QuantCase{2, 64, 100, 128, 0}));
+
+}  // namespace
+}  // namespace hack

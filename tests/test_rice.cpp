@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "codec/rice.h"
+
+namespace hack {
+namespace {
+
+TEST(Rice, RoundTripAcrossK) {
+  for (int k = 0; k <= 6; ++k) {
+    BitWriter w;
+    for (std::uint32_t v = 0; v < 200; ++v) {
+      rice_encode(w, v, k);
+    }
+    const auto bytes = w.finish();
+    BitReader r(bytes);
+    for (std::uint32_t v = 0; v < 200; ++v) {
+      EXPECT_EQ(rice_decode(r, k), v) << "k=" << k;
+    }
+  }
+}
+
+TEST(Rice, BitLengthMatchesEncoding) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t v = static_cast<std::uint32_t>(rng.next_below(1000));
+    const int k = static_cast<int>(rng.next_below(6));
+    BitWriter w;
+    rice_encode(w, v, k);
+    EXPECT_EQ(w.bit_count(), rice_bit_length(v, k)) << v << " k=" << k;
+  }
+}
+
+TEST(Rice, BestKMinimizesLength) {
+  Rng rng(2);
+  std::vector<std::uint32_t> values(500);
+  for (auto& v : values) {
+    v = static_cast<std::uint32_t>(rng.next_below(32));
+  }
+  const int best = rice_best_k(values);
+  auto total_bits = [&](int k) {
+    std::size_t bits = 0;
+    for (const auto v : values) bits += rice_bit_length(v, k);
+    return bits;
+  };
+  for (int k = 0; k <= 8; ++k) {
+    EXPECT_LE(total_bits(best), total_bits(k)) << "k=" << k;
+  }
+}
+
+TEST(Rice, GeometricDataCompressesBelowFixedWidth) {
+  // Zigzagged deltas of correlated sequences are geometric-ish: mostly 0/1.
+  Rng rng(3);
+  std::vector<std::uint32_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    // ~80% zeros, 15% ones, rest small.
+    const double u = rng.next_double();
+    values.push_back(u < 0.8 ? 0 : u < 0.95 ? 1 : 2 + rng.next_below(3));
+  }
+  const int k = rice_best_k(values);
+  std::size_t bits = 0;
+  for (const auto v : values) bits += rice_bit_length(v, k);
+  // A fixed 3-bit code would need 6000 bits; Rice should beat it well.
+  EXPECT_LT(bits, 4000u);
+}
+
+TEST(Rice, LargeOutlierStillDecodes) {
+  BitWriter w;
+  rice_encode(w, 5000, 2);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(rice_decode(r, 2), 5000u);
+}
+
+}  // namespace
+}  // namespace hack

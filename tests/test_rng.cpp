@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/rng.h"
+
+namespace hack {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(11);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 4000; ++i) {
+    ++seen[rng.next_below(8)];
+  }
+  for (const int count : seen) {
+    EXPECT_GT(count, 300);  // each bucket near 500 under uniformity
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.next_exponential(4.0);
+  }
+  EXPECT_NEAR(sum / kN, 0.25, 0.01);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(StochasticRound, IntegerFixedPoint) {
+  Rng rng(1);
+  EXPECT_EQ(stochastic_round(3.0, rng), 3);
+  EXPECT_EQ(stochastic_round(-2.0, rng), -2);
+  EXPECT_EQ(stochastic_round(0.0, rng), 0);
+}
+
+TEST(StochasticRound, AlwaysAdjacent) {
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = (rng.next_double() - 0.5) * 100.0;
+    const auto r = static_cast<double>(stochastic_round(x, rng));
+    EXPECT_TRUE(r == std::floor(x) || r == std::ceil(x)) << "x=" << x;
+  }
+}
+
+TEST(StochasticRound, UnbiasedEstimator) {
+  Rng rng(3);
+  const double x = 2.3;
+  double sum = 0.0;
+  constexpr int kN = 60000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(stochastic_round(x, rng));
+  }
+  EXPECT_NEAR(sum / kN, x, 0.01);
+}
+
+TEST(StochasticRound, NegativeValuesUnbiased) {
+  Rng rng(4);
+  const double x = -1.75;
+  double sum = 0.0;
+  constexpr int kN = 60000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(stochastic_round(x, rng));
+  }
+  EXPECT_NEAR(sum / kN, x, 0.01);
+}
+
+TEST(NearestRound, HalfwayAndExact) {
+  EXPECT_EQ(nearest_round(2.5), 3);  // llround: away from zero
+  EXPECT_EQ(nearest_round(-2.5), -3);
+  EXPECT_EQ(nearest_round(2.49), 2);
+  EXPECT_EQ(nearest_round(7.0), 7);
+}
+
+}  // namespace
+}  // namespace hack

@@ -1,0 +1,189 @@
+// End-to-end cluster simulator tests: conservation, determinism, and the
+// paper's directional results (method orderings, bottleneck shifts).
+#include <gtest/gtest.h>
+
+#include "base/check.h"
+#include "cluster/simulator.h"
+
+namespace hack {
+namespace {
+
+ClusterConfig quick_config(Method method, const std::string& dataset,
+                           const std::string& gpu = "A10G", int requests = 24) {
+  ClusterConfig c = standard_cluster(gpu, "L", dataset, method);
+  c.num_requests = requests;
+  c.seed = 7;
+  return c;
+}
+
+TEST(Simulator, AllRequestsCompleteExactlyOnce) {
+  const SimSummary s = run_cluster_sim(quick_config(Method::kBaseline, "IMDb"));
+  ASSERT_EQ(s.records.size(), 24u);
+  for (const RequestRecord& r : s.records) {
+    EXPECT_GT(r.completion, r.arrival);
+    EXPECT_GT(r.prefill_s, 0.0);
+    EXPECT_GT(r.comm_s, 0.0);
+    EXPECT_GT(r.decode_total_s, 0.0);
+  }
+}
+
+TEST(Simulator, DeterministicForSeed) {
+  const SimSummary a = run_cluster_sim(quick_config(Method::kHack, "arXiv"));
+  const SimSummary b = run_cluster_sim(quick_config(Method::kHack, "arXiv"));
+  ASSERT_EQ(a.records.size(), b.records.size());
+  EXPECT_DOUBLE_EQ(a.avg_jct_s, b.avg_jct_s);
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].completion, b.records[i].completion);
+  }
+}
+
+TEST(Simulator, JctComponentsAreConsistent) {
+  const SimSummary s =
+      run_cluster_sim(quick_config(Method::kCacheGen, "Cocktail"));
+  for (const RequestRecord& r : s.records) {
+    const double accounted = r.prefill_wait_s + r.prefill_s + r.quant_s +
+                             r.swap_wait_s + r.comm_s + r.decode_total_s;
+    EXPECT_NEAR(accounted, r.jct(), 1e-6 * r.jct());
+    // Component buckets live inside the decode phase.
+    EXPECT_LE(r.dequant_s + r.approx_s, r.decode_total_s + 1e-9);
+  }
+}
+
+TEST(Simulator, HackBeatsCodecsBeatBaseline) {
+  // Fig. 9's ordering on a long-sequence dataset.
+  const double base =
+      run_cluster_sim(quick_config(Method::kBaseline, "Cocktail")).avg_jct_s;
+  const double cg =
+      run_cluster_sim(quick_config(Method::kCacheGen, "Cocktail")).avg_jct_s;
+  const double kvq =
+      run_cluster_sim(quick_config(Method::kKvQuant, "Cocktail")).avg_jct_s;
+  const double hck =
+      run_cluster_sim(quick_config(Method::kHack, "Cocktail")).avg_jct_s;
+  EXPECT_LT(cg, base);
+  EXPECT_LT(kvq, base);
+  EXPECT_LT(hck, cg);
+  EXPECT_LT(hck, kvq);
+}
+
+TEST(Simulator, LongSequencesGainMoreFromHack) {
+  // §7.2: arXiv/Cocktail improvements exceed IMDb/HumanEval.
+  auto gain = [](const std::string& dataset) {
+    const double base =
+        run_cluster_sim(quick_config(Method::kBaseline, dataset)).avg_jct_s;
+    const double hck =
+        run_cluster_sim(quick_config(Method::kHack, dataset)).avg_jct_s;
+    return 1.0 - hck / base;
+  };
+  EXPECT_GT(gain("Cocktail"), gain("IMDb"));
+}
+
+TEST(Simulator, DequantRatioMattersForCodecs) {
+  // Fig. 2-4: codec methods pay a visible dequantization share; HACK's
+  // approximation share is far smaller (§7.2: 17-30% vs 1.5-3%).
+  const SimSummary cg =
+      run_cluster_sim(quick_config(Method::kCacheGen, "Cocktail"));
+  const SimSummary hck =
+      run_cluster_sim(quick_config(Method::kHack, "Cocktail"));
+  EXPECT_GT(cg.dequant_or_approx_ratio, 0.08);
+  EXPECT_LT(hck.dequant_or_approx_ratio, 0.5 * cg.dequant_or_approx_ratio);
+}
+
+TEST(Simulator, QuantMethodsCutCommRatio) {
+  const SimSummary base =
+      run_cluster_sim(quick_config(Method::kBaseline, "Cocktail"));
+  const SimSummary hck =
+      run_cluster_sim(quick_config(Method::kHack, "Cocktail"));
+  EXPECT_LT(hck.mean_comm_s, 0.35 * base.mean_comm_s);
+}
+
+TEST(Simulator, PeakMemoryOrdering) {
+  // Table 5: baseline >> quantized methods; HACK slightly above codecs.
+  const double base =
+      run_cluster_sim(quick_config(Method::kBaseline, "Cocktail"))
+          .peak_decode_mem_fraction;
+  const double cg =
+      run_cluster_sim(quick_config(Method::kCacheGen, "Cocktail"))
+          .peak_decode_mem_fraction;
+  const double hck = run_cluster_sim(quick_config(Method::kHack, "Cocktail"))
+                         .peak_decode_mem_fraction;
+  EXPECT_GT(base, hck);
+  EXPECT_GE(hck, cg - 1e-9);
+  EXPECT_LE(base, 1.0);
+}
+
+TEST(Simulator, V100SmallestHackVsCodecGain) {
+  // Fig. 12: no INT8 on V100 -> HACK's edge over CacheGen shrinks.
+  auto hack_vs_cg = [](const std::string& gpu) {
+    ClusterConfig cg_cfg = quick_config(Method::kCacheGen, "Cocktail", gpu);
+    ClusterConfig hk_cfg = quick_config(Method::kHack, "Cocktail", gpu);
+    const double cg = run_cluster_sim(cg_cfg).avg_jct_s;
+    const double hk = run_cluster_sim(hk_cfg).avg_jct_s;
+    return 1.0 - hk / cg;
+  };
+  const double gain_v100 = hack_vs_cg("V100");
+  const double gain_a10g = hack_vs_cg("A10G");
+  EXPECT_LT(gain_v100, gain_a10g);
+}
+
+TEST(Simulator, AblationsCostMore) {
+  // Fig. 13: disabling SE or RQE raises JCT.
+  const double hck =
+      run_cluster_sim(quick_config(Method::kHack, "Cocktail")).avg_jct_s;
+  const double no_se =
+      run_cluster_sim(quick_config(Method::kHackNoSE, "Cocktail")).avg_jct_s;
+  const double no_rqe =
+      run_cluster_sim(quick_config(Method::kHackNoRQE, "Cocktail")).avg_jct_s;
+  EXPECT_GT(no_se, hck);
+  EXPECT_GT(no_rqe, hck);
+}
+
+TEST(Simulator, PipeliningHidesCommAtLowLoad) {
+  ClusterConfig off = quick_config(Method::kBaseline, "Cocktail");
+  off.rps = 0.25 * off.rps;
+  ClusterConfig on = off;
+  on.pipelining = true;
+  const SimSummary s_off = run_cluster_sim(off);
+  const SimSummary s_on = run_cluster_sim(on);
+  EXPECT_LT(s_on.mean_comm_s, s_off.mean_comm_s);
+}
+
+TEST(Simulator, HigherLoadRaisesJct) {
+  ClusterConfig low = quick_config(Method::kBaseline, "arXiv");
+  low.rps *= 0.3;
+  ClusterConfig high = quick_config(Method::kBaseline, "arXiv");
+  const double jct_low = run_cluster_sim(low).avg_jct_s;
+  const double jct_high = run_cluster_sim(high).avg_jct_s;
+  EXPECT_GT(jct_high, jct_low);
+}
+
+TEST(Simulator, StandardClusterFleetSizes) {
+  const ClusterConfig a10g =
+      standard_cluster("A10G", "L", "Cocktail", Method::kBaseline);
+  // Ten g5 instances = 40 GPUs / (TP4*PP2) = 5 replicas.
+  EXPECT_EQ(a10g.prefill_replicas, 5);
+  // Two p4de = 16 A100 / TP4 = 4 decode replicas.
+  EXPECT_EQ(a10g.decode_replicas, 4);
+  EXPECT_GT(a10g.rps, 0.0);
+
+  const ClusterConfig v100 =
+      standard_cluster("V100", "L", "Cocktail", Method::kBaseline);
+  // Sixteen p3 = 64 GPUs / (TP4*PP4) = 4 replicas, 10 Gbps NIC.
+  EXPECT_EQ(v100.prefill_replicas, 4);
+  EXPECT_DOUBLE_EQ(v100.prefill_nic_gbps, 10.0);
+}
+
+TEST(Simulator, SwapPathActivatesUnderMemoryPressure) {
+  // One decode replica whose KV budget fits a single Cocktail request at a
+  // time: prefill outpaces decode admission, so KV parks in CPU memory.
+  ClusterConfig c = quick_config(Method::kBaseline, "Cocktail", "A10G", 30);
+  c.decode_replicas = 1;
+  c.activation_reserve_gb = 169.0;  // ~9.8 GB of KV budget (max request fits)
+  const SimSummary s = run_cluster_sim(c);
+  EXPECT_GT(s.swapped_requests, 0);
+  double total_swap_wait = 0.0;
+  for (const RequestRecord& r : s.records) total_swap_wait += r.swap_wait_s;
+  EXPECT_GT(total_swap_wait, 0.0);
+}
+
+}  // namespace
+}  // namespace hack

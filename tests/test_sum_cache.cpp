@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/sum_cache.h"
+
+namespace hack {
+namespace {
+
+QuantizedMatrix make_quantized(std::size_t rows, std::size_t cols,
+                               std::size_t pi, QuantAxis axis, Rng& rng,
+                               bool ragged = false) {
+  const Matrix m = Matrix::random_gaussian(rows, cols, rng);
+  Rng qrng = rng.fork();
+  return quantize(m, 2, pi, axis, Rounding::kStochastic, qrng, ragged);
+}
+
+std::int32_t naive_sum(const QuantizedMatrix& q, std::size_t outer,
+                       std::size_t group) {
+  const PartitionScheme scheme(q.inner(), q.pi, true);
+  std::int32_t acc = 0;
+  for (std::size_t z = scheme.group_begin(group); z < scheme.group_end(group);
+       ++z) {
+    acc += q.axis == QuantAxis::kRow ? q.code_at(outer, z) : q.code_at(z, outer);
+  }
+  return acc;
+}
+
+TEST(SumCache, MatchesNaiveRowAxis) {
+  Rng rng(1);
+  const QuantizedMatrix q = make_quantized(6, 64, 32, QuantAxis::kRow, rng);
+  const SumCache cache = SumCache::build(q);
+  EXPECT_EQ(cache.outer(), 6u);
+  EXPECT_EQ(cache.groups(), 2u);
+  for (std::size_t o = 0; o < 6; ++o) {
+    for (std::size_t g = 0; g < 2; ++g) {
+      EXPECT_EQ(cache.sum(o, g), naive_sum(q, o, g));
+    }
+  }
+}
+
+TEST(SumCache, MatchesNaiveColAxis) {
+  Rng rng(2);
+  const QuantizedMatrix q = make_quantized(96, 5, 32, QuantAxis::kCol, rng);
+  const SumCache cache = SumCache::build(q);
+  EXPECT_EQ(cache.outer(), 5u);
+  EXPECT_EQ(cache.groups(), 3u);
+  for (std::size_t o = 0; o < 5; ++o) {
+    for (std::size_t g = 0; g < 3; ++g) {
+      EXPECT_EQ(cache.sum(o, g), naive_sum(q, o, g));
+    }
+  }
+}
+
+TEST(SumCache, AppendRowsMatchesRebuild) {
+  Rng rng(3);
+  QuantizedMatrix q = make_quantized(4, 64, 64, QuantAxis::kRow, rng);
+  SumCache cache = SumCache::build(q);
+  const QuantizedMatrix extra = make_quantized(3, 64, 64, QuantAxis::kRow, rng);
+  cache.append_rows(extra);
+  append_rows(q, extra);
+  const SumCache rebuilt = SumCache::build(q);
+  EXPECT_EQ(cache.outer(), rebuilt.outer());
+  for (std::size_t o = 0; o < cache.outer(); ++o) {
+    EXPECT_EQ(cache.sum(o, 0), rebuilt.sum(o, 0));
+  }
+}
+
+TEST(SumCache, AppendInnerGroupsMatchesRebuild) {
+  Rng rng(4);
+  QuantizedMatrix q = make_quantized(64, 4, 32, QuantAxis::kCol, rng);
+  SumCache cache = SumCache::build(q);
+  const QuantizedMatrix extra = make_quantized(32, 4, 32, QuantAxis::kCol, rng);
+  cache.append_inner_groups(extra);
+  append_inner_groups(q, extra);
+  const SumCache rebuilt = SumCache::build(q);
+  EXPECT_EQ(cache.groups(), rebuilt.groups());
+  for (std::size_t o = 0; o < cache.outer(); ++o) {
+    for (std::size_t g = 0; g < cache.groups(); ++g) {
+      EXPECT_EQ(cache.sum(o, g), rebuilt.sum(o, g)) << o << "," << g;
+    }
+  }
+}
+
+TEST(SumCache, StorageIsInt16PerEntry) {
+  Rng rng(5);
+  const QuantizedMatrix q = make_quantized(8, 128, 64, QuantAxis::kRow, rng);
+  const SumCache cache = SumCache::build(q);
+  // 8 rows * 2 groups * 2 bytes.
+  EXPECT_EQ(cache.storage_bytes(), 32u);
+}
+
+TEST(SumCache, MaxPossibleSumFitsInt16) {
+  // Π=128 of 2-bit codes: max sum = 3*128 = 384; for 8-bit Π=64: 255*64 =
+  // 16320 < 32767. Both within the INT16 model (§6).
+  Matrix m(1, 128, 100.0f);
+  for (std::size_t c = 0; c < 128; ++c) m(0, c) = c % 2 ? 100.0f : -100.0f;
+  Rng qrng(6);
+  const QuantizedMatrix q =
+      quantize(m, 8, 64, QuantAxis::kRow, Rounding::kNearest, qrng);
+  EXPECT_NO_THROW(SumCache::build(q));
+}
+
+TEST(SumCache, IndexChecks) {
+  Rng rng(7);
+  const QuantizedMatrix q = make_quantized(2, 32, 32, QuantAxis::kRow, rng);
+  const SumCache cache = SumCache::build(q);
+  EXPECT_THROW(cache.sum(2, 0), CheckError);
+  EXPECT_THROW(cache.sum(0, 1), CheckError);
+}
+
+TEST(SumCache, RaggedTailGroups) {
+  Rng rng(8);
+  const QuantizedMatrix q =
+      make_quantized(5, 100, 32, QuantAxis::kRow, rng, /*ragged=*/true);
+  const SumCache cache = SumCache::build(q);
+  EXPECT_EQ(cache.groups(), 4u);
+  for (std::size_t o = 0; o < 5; ++o) {
+    EXPECT_EQ(cache.sum(o, 3), naive_sum(q, o, 3));
+  }
+}
+
+}  // namespace
+}  // namespace hack

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "base/check.h"
+#include "workload/trace.h"
+
+namespace hack {
+namespace {
+
+TEST(Trace, RecordSerializeParseRoundTrip) {
+  Rng rng(1);
+  const Trace original =
+      Trace::record(dataset_by_name("Cocktail"), 0.1, 25, rng);
+  const Trace replayed = Trace::parse(original.serialize());
+  EXPECT_TRUE(original == replayed);
+}
+
+TEST(Trace, CommentsAndBlankLinesIgnored) {
+  const Trace t = Trace::parse(
+      "# header comment\n"
+      "\n"
+      "1.5 100 20\n"
+      "  # indented comment\n"
+      "2.5 200 40\n");
+  ASSERT_EQ(t.requests.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.requests[0].time, 1.5);
+  EXPECT_DOUBLE_EQ(t.requests[1].shape.input_tokens, 200.0);
+}
+
+TEST(Trace, MalformedLineThrows) {
+  EXPECT_THROW(Trace::parse("1.5 abc 20\n"), CheckError);
+  EXPECT_THROW(Trace::parse("1.5 100\n"), CheckError);
+}
+
+TEST(Trace, OutOfOrderArrivalsRejected) {
+  EXPECT_THROW(Trace::parse("2.0 100 20\n1.0 100 20\n"), CheckError);
+}
+
+TEST(Trace, NonPositiveLengthsRejected) {
+  EXPECT_THROW(Trace::parse("1.0 0 20\n"), CheckError);
+  EXPECT_THROW(Trace::parse("1.0 100 0\n"), CheckError);
+}
+
+TEST(Trace, EmptyTraceIsValid) {
+  EXPECT_TRUE(Trace::parse("# nothing\n").requests.empty());
+}
+
+TEST(Trace, PrecisionPreserved) {
+  // Full double precision survives the text round trip.
+  Trace t;
+  t.requests.push_back(
+      {.time = 1.0 / 3.0, .shape = {.input_tokens = 7, .output_tokens = 3}});
+  const Trace round = Trace::parse(t.serialize());
+  EXPECT_DOUBLE_EQ(round.requests[0].time, 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace hack

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "base/check.h"
+#include "workload/arrivals.h"
+#include "workload/corpus.h"
+#include "workload/dataset.h"
+
+namespace hack {
+namespace {
+
+TEST(Datasets, Table4Zoo) {
+  ASSERT_EQ(dataset_zoo().size(), 4u);
+  EXPECT_EQ(dataset_by_name("IMDb").input.avg, 315);
+  EXPECT_EQ(dataset_by_name("Cocktail").input.max, 28800);
+  EXPECT_EQ(dataset_by_name("HumanEval").output.avg, 139);
+  EXPECT_THROW(dataset_by_name("SQuAD"), CheckError);
+}
+
+TEST(Datasets, LongSequenceClassification) {
+  EXPECT_FALSE(dataset_by_name("IMDb").long_sequence());
+  EXPECT_TRUE(dataset_by_name("arXiv").long_sequence());
+  EXPECT_TRUE(dataset_by_name("Cocktail").long_sequence());
+  EXPECT_FALSE(dataset_by_name("HumanEval").long_sequence());
+}
+
+TEST(SampleLength, RespectsBounds) {
+  Rng rng(1);
+  for (const DatasetSpec& d : dataset_zoo()) {
+    for (int i = 0; i < 2000; ++i) {
+      const double in_len = sample_length(d.input, rng);
+      EXPECT_GE(in_len, d.input.min) << d.name;
+      EXPECT_LE(in_len, d.input.max) << d.name;
+    }
+  }
+}
+
+TEST(SampleLength, MeanNearAverage) {
+  Rng rng(2);
+  for (const DatasetSpec& d : dataset_zoo()) {
+    double sum = 0.0;
+    constexpr int kN = 8000;
+    for (int i = 0; i < kN; ++i) {
+      sum += sample_length(d.input, rng);
+    }
+    const double mean = sum / kN;
+    // Truncation shifts the mean; stay within 25% of the published average.
+    EXPECT_NEAR(mean, d.input.avg, 0.25 * d.input.avg) << d.name;
+  }
+}
+
+TEST(Arrivals, PoissonRateMatches) {
+  Rng rng(3);
+  const auto arrivals =
+      generate_arrivals(dataset_by_name("IMDb"), 2.0, 4000, rng);
+  ASSERT_EQ(arrivals.size(), 4000u);
+  const double span = arrivals.back().time;
+  EXPECT_NEAR(4000.0 / span, 2.0, 0.15);
+  // Strictly increasing times.
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GT(arrivals[i].time, arrivals[i - 1].time);
+  }
+}
+
+TEST(Arrivals, DeterministicPerSeed) {
+  Rng r1(4), r2(4);
+  const auto a = generate_arrivals(dataset_by_name("arXiv"), 0.1, 50, r1);
+  const auto b = generate_arrivals(dataset_by_name("arXiv"), 0.1, 50, r2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].shape.input_tokens, b[i].shape.input_tokens);
+  }
+}
+
+TEST(Corpus, DeterministicPrompts) {
+  SyntheticCorpus c1({.vocab = 128}, 9);
+  SyntheticCorpus c2({.vocab = 128}, 9);
+  EXPECT_EQ(c1.prompt(3, 100), c2.prompt(3, 100));
+  EXPECT_NE(c1.prompt(3, 100), c1.prompt(4, 100));
+}
+
+TEST(Corpus, TokensWithinVocab) {
+  SyntheticCorpus corpus({.vocab = 64}, 10);
+  const auto prompt = corpus.prompt(0, 500);
+  ASSERT_EQ(prompt.size(), 500u);
+  for (const int tok : prompt) {
+    EXPECT_GE(tok, 0);
+    EXPECT_LT(tok, 64);
+  }
+}
+
+TEST(Corpus, MotifsCreateRepetition) {
+  // With motif replay, prompts repeat spans; a simple bigram-repeat count
+  // should far exceed an i.i.d. baseline.
+  SyntheticCorpus corpus({.vocab = 256, .motif_probability = 0.5}, 11);
+  const auto prompt = corpus.prompt(0, 2000);
+  std::size_t repeats = 0;
+  for (std::size_t i = 2; i < prompt.size(); ++i) {
+    for (std::size_t j = 1; j < i; ++j) {
+      if (prompt[i] == prompt[j] && prompt[i - 1] == prompt[j - 1]) {
+        ++repeats;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(repeats, 1000u);
+}
+
+}  // namespace
+}  // namespace hack
