@@ -2,11 +2,22 @@
 // paper's argument. The headline comparison is HQ_MatmulDecode vs
 // DequantThenMatmulDecode — computing on quantized KV versus the baselines'
 // dequantize-first path, at decode shapes (single query row, long KV).
+//
+// Before the google-benchmark suite runs, main() emits a JSON line per
+// layout comparing the seed scalar HQ-GEMM (hq_matmul_reference) against the
+// blocked engine at 1 thread and at full parallelism, at prefill shapes —
+// the old-vs-new speedup lands in the bench trajectory as
+// {"bench":"hq_gemm_prefill","layout":...,"speedup_blocked_1t":...,...}.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
 
 #include "attention/flash.h"
 #include "attention/hack_attention.h"
 #include "attention/reference.h"
+#include "base/thread_pool.h"
 #include "codec/cachegen.h"
 #include "codec/kvquant.h"
 #include "core/hq_matmul.h"
@@ -165,6 +176,137 @@ void BM_KvQuantRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_KvQuantRoundTrip);
 
+// --- Prefill-shape HQ-GEMM: seed scalar path vs the blocked engine. --------
+
+struct PrefillOperands {
+  QuantizedMatrix a;      // 8-bit row-axis P/Q operand, M x Z
+  QuantizedMatrix b_col;  // 2-bit col-axis V operand, Z x N
+  QuantizedMatrix b_row;  // 2-bit row-axis K operand, N x Z
+};
+
+PrefillOperands make_prefill_operands(std::size_t m, std::size_t z,
+                                      std::size_t n, std::size_t pi) {
+  Rng rng(42);
+  const Matrix a = Matrix::random_gaussian(m, z, rng);
+  const Matrix b = Matrix::random_gaussian(z, n, rng);
+  const Matrix bt = transpose(b);
+  Rng q1(43), q2(44), q3(45);
+  PrefillOperands ops;
+  ops.a = quantize(a, 8, pi, QuantAxis::kRow, Rounding::kStochastic, q1);
+  ops.b_col = quantize(b, 2, pi, QuantAxis::kCol, Rounding::kStochastic, q2);
+  ops.b_row = quantize(bt, 2, pi, QuantAxis::kRow, Rounding::kStochastic, q3);
+  return ops;
+}
+
+void BM_HqGemmPrefillScalarNn(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const PrefillOperands ops = make_prefill_operands(dim, 128, dim, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hq_matmul_reference(ops.a, ops.b_col));
+  }
+}
+BENCHMARK(BM_HqGemmPrefillScalarNn)->Arg(256)->Arg(512);
+
+void BM_HqGemmPrefillBlockedNn(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<int>(state.range(1));
+  const PrefillOperands ops = make_prefill_operands(dim, 128, dim, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hq_matmul(ops.a, ops.b_col, nullptr, nullptr, threads));
+  }
+}
+BENCHMARK(BM_HqGemmPrefillBlockedNn)
+    ->Args({256, 1})
+    ->Args({512, 1})
+    ->Args({512, 0});  // 0 = all lanes of the global pool
+
+void BM_HqGemmPrefillScalarNt(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const PrefillOperands ops = make_prefill_operands(dim, 128, dim, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hq_matmul_nt_reference(ops.a, ops.b_row));
+  }
+}
+BENCHMARK(BM_HqGemmPrefillScalarNt)->Arg(256)->Arg(512);
+
+void BM_HqGemmPrefillBlockedNt(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<int>(state.range(1));
+  const PrefillOperands ops = make_prefill_operands(dim, 128, dim, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hq_matmul_nt(ops.a, ops.b_row, nullptr, nullptr, threads));
+  }
+}
+BENCHMARK(BM_HqGemmPrefillBlockedNt)
+    ->Args({256, 1})
+    ->Args({512, 1})
+    ->Args({512, 0});
+
+// Best-of-reps wall time of `fn`, in milliseconds.
+double time_best_ms(const std::function<void()>& fn, int reps) {
+  fn();  // warm up caches and the thread pool
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+// The headline old-vs-new numbers, one JSON object per layout.
+void print_hq_gemm_comparison_json() {
+  const std::size_t m = 512, z = 128, n = 512, pi = 64;
+  const PrefillOperands ops = make_prefill_operands(m, z, n, pi);
+  const std::size_t lanes = ThreadPool::global().lanes();
+  const int reps = 3;
+
+  const struct {
+    const char* layout;
+    std::function<Matrix()> scalar, blocked_1t, blocked_mt;
+  } legs[] = {
+      {"nn",
+       [&] { return hq_matmul_reference(ops.a, ops.b_col); },
+       [&] { return hq_matmul(ops.a, ops.b_col, nullptr, nullptr, 1); },
+       [&] { return hq_matmul(ops.a, ops.b_col, nullptr, nullptr, 0); }},
+      {"nt",
+       [&] { return hq_matmul_nt_reference(ops.a, ops.b_row); },
+       [&] { return hq_matmul_nt(ops.a, ops.b_row, nullptr, nullptr, 1); },
+       [&] { return hq_matmul_nt(ops.a, ops.b_row, nullptr, nullptr, 0); }},
+  };
+  for (const auto& leg : legs) {
+    Matrix sink;
+    const double scalar_ms =
+        time_best_ms([&] { sink = leg.scalar(); }, reps);
+    const double blocked_1t_ms =
+        time_best_ms([&] { sink = leg.blocked_1t(); }, reps);
+    const double blocked_mt_ms =
+        time_best_ms([&] { sink = leg.blocked_mt(); }, reps);
+    benchmark::DoNotOptimize(sink);
+    std::printf(
+        "{\"bench\":\"hq_gemm_prefill\",\"layout\":\"%s\",\"m\":%zu,"
+        "\"n\":%zu,\"z\":%zu,\"pi\":%zu,\"a_bits\":8,\"b_bits\":2,"
+        "\"threads\":%zu,\"scalar_ms\":%.3f,\"blocked_1t_ms\":%.3f,"
+        "\"blocked_mt_ms\":%.3f,\"speedup_blocked_1t\":%.2f,"
+        "\"speedup_blocked_mt\":%.2f}\n",
+        leg.layout, m, n, z, pi, lanes, scalar_ms, blocked_1t_ms,
+        blocked_mt_ms, scalar_ms / blocked_1t_ms, scalar_ms / blocked_mt_ms);
+  }
+  std::fflush(stdout);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  print_hq_gemm_comparison_json();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -187,7 +187,7 @@ Matrix hack_attention(const Matrix& q, HackKvState& state,
   HqStats hq{};
   const SumCache* ks =
       cfg.summation_elimination ? &state.k_sums_ : nullptr;
-  Matrix scores = hq_matmul_nt(qq, state.k_, ks, &hq);
+  Matrix scores = hq_matmul_nt(qq, state.k_, ks, &hq, cfg.threads);
   add_hq_stats(stats, hq);
   scores = scale(scores, inv_sqrt_d);
 
@@ -208,7 +208,7 @@ Matrix hack_attention(const Matrix& q, HackKvState& state,
       const SumCache* vs =
           cfg.summation_elimination ? &state.v_sums_ : nullptr;
       HqStats hq_pv{};
-      out = hq_matmul(pq, state.v_q_, vs, &hq_pv);
+      out = hq_matmul(pq, state.v_q_, vs, &hq_pv, cfg.threads);
       add_hq_stats(stats, hq_pv);
     }
     // The last block of V is FP16; multiply it un-quantized (§5.3).
@@ -247,13 +247,14 @@ Matrix hack_attention(const Matrix& q, HackKvState& state,
       v_all.codes.insert(v_all.codes.end(), tail.codes.begin(),
                          tail.codes.end());
       v_all.rows += tail.rows;
+      v_all.groups = new_groups;
     }
     HACK_CHECK(v_all.rows == lkv, "RQE-off V store out of sync");
     QuantizedMatrix pq = quantize(p, cfg.q_bits, cfg.pi, QuantAxis::kRow,
                                   cfg.rounding, rng, /*allow_ragged_tail=*/true);
     count_quantized(stats, p.size());
     HqStats hq_pv{};
-    out = hq_matmul(pq, v_all, nullptr, &hq_pv);
+    out = hq_matmul(pq, v_all, nullptr, &hq_pv, cfg.threads);
     add_hq_stats(stats, hq_pv);
   }
   return out;

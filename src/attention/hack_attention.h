@@ -31,6 +31,11 @@ struct HackAttentionConfig {
   Rounding rounding = Rounding::kStochastic;
   bool summation_elimination = true;
   bool requant_elimination = true;
+  // HQ-GEMM parallelism for the prefill Q·Kᵀ and P·V matmuls: 0 = auto (the
+  // shared ThreadPool, sized by HACK_NUM_THREADS / the hardware), 1 = serial,
+  // N = N row bands. Decode's single-row matmuls always take the serial GEMV
+  // fast path.
+  int threads = 0;
 };
 
 // Work counters accumulated across kernel invocations; benchmarks and the

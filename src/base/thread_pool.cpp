@@ -1,0 +1,171 @@
+#include "base/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace hack {
+namespace {
+
+// Pool whose parallel_for machinery this thread is currently executing
+// inside (as dispatching caller or as worker). Nested parallel_for calls on
+// the same pool run their chunks inline instead of self-deadlocking on the
+// dispatch lock.
+thread_local const ThreadPool* active_pool = nullptr;
+
+}  // namespace
+
+// One parallel_for dispatch. Heap-allocated and shared with the workers so a
+// worker that wakes late and finds no chunk left can still touch the claim
+// counter (and the stored fn) safely after the caller has returned.
+struct ThreadPool::Batch {
+  RangeFn fn;
+  std::size_t n = 0;
+  std::size_t chunks = 0;
+  std::atomic<std::size_t> next{0};  // next unclaimed chunk
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t done = 0;  // finished chunks (guarded by mu)
+  std::exception_ptr error;  // first exception (guarded by mu)
+};
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::run_chunks(Batch& batch) {
+  for (;;) {
+    const std::size_t c = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= batch.chunks) {
+      return;
+    }
+    // Static partitioning: chunk c covers [c*n/chunks, (c+1)*n/chunks).
+    const std::size_t begin = c * batch.n / batch.chunks;
+    const std::size_t end = (c + 1) * batch.n / batch.chunks;
+    try {
+      if (begin < end) {
+        batch.fn(begin, end);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(batch.mu);
+      if (!batch.error) {
+        batch.error = std::current_exception();
+      }
+    }
+    std::size_t finished;
+    {
+      std::lock_guard<std::mutex> lock(batch.mu);
+      finished = ++batch.done;
+    }
+    if (finished == batch.chunks) {
+      batch.cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t chunks,
+                              const RangeFn& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (chunks == 0) {
+    chunks = lanes();
+  }
+  if (chunks > n) {
+    chunks = n;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->fn = fn;
+  batch->n = n;
+  batch->chunks = chunks;
+
+  if (threads_.empty() || chunks == 1 || active_pool == this) {
+    // No workers (or nothing to share, or nested): the caller runs every
+    // chunk. The chunk decomposition is identical to the threaded path, so
+    // results do not depend on pool size or nesting.
+    run_chunks(*batch);
+  } else {
+    // One parallel loop at a time per pool; concurrent callers queue here.
+    std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_ = batch;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    const ThreadPool* const prev = active_pool;
+    active_pool = this;
+    run_chunks(*batch);
+    active_pool = prev;
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->cv.wait(lock, [&] { return batch->done == batch->chunks; });
+  }
+
+  if (batch->error) {
+    std::rethrow_exception(batch->error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  active_pool = this;  // chunk bodies re-entering parallel_for stay inline
+  std::size_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) {
+        return;
+      }
+      seen_generation = generation_;
+      batch = batch_;
+    }
+    run_chunks(*batch);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_thread_count() - 1);
+  return pool;
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  const std::size_t override_count =
+      parse_thread_override(std::getenv("HACK_NUM_THREADS"));
+  if (override_count > 0) {
+    return override_count;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t ThreadPool::parse_thread_override(const char* value) {
+  if (value == nullptr || *value == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0' || parsed == 0 || parsed > 4096) {
+    return 0;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace hack

@@ -1,0 +1,92 @@
+// Reusable fixed-size thread pool with static-partition parallel_for.
+//
+// Built for the HQ-GEMM engine but generic: any subsystem that wants to split
+// an index range across cores can use it. Design choices:
+//   - Fixed worker count, created once; parallel loops are frequent and short,
+//     so thread churn per call would dominate.
+//   - parallel_for splits [0, n) into contiguous chunks (static partitioning;
+//     the kernels it serves have uniform per-index cost) and the calling
+//     thread works alongside the pool, so a pool of W workers gives W + 1
+//     lanes and `ThreadPool(0)` degenerates to plain serial execution.
+//   - Chunk decomposition depends only on the requested lane count, never on
+//     how many workers happen to exist, so results of floating-point loops
+//     are reproducible across machines with different core counts.
+//   - The first exception thrown by any chunk is rethrown on the caller after
+//     all chunks finish.
+//
+// The process-global pool (`ThreadPool::global()`) sizes itself from the
+// HACK_NUM_THREADS environment variable when set, else from
+// std::thread::hardware_concurrency().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hack {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` background threads. 0 is valid: every parallel_for then
+  // runs inline on the caller.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Background worker threads (excludes the caller).
+  std::size_t workers() const { return threads_.size(); }
+  // Execution lanes available to parallel_for: workers + the calling thread.
+  std::size_t lanes() const { return threads_.size() + 1; }
+
+  // The body of a parallel loop: processes indices [begin, end).
+  using RangeFn = std::function<void(std::size_t begin, std::size_t end)>;
+
+  // Splits [0, n) into min(chunks, n) contiguous ranges of near-equal size
+  // and runs `fn` once per range. The caller participates; workers pick up
+  // the remaining chunks. Blocks until every chunk is done; if any chunk
+  // threw, the first exception is rethrown here. `chunks == 0` means "use
+  // all lanes".
+  void parallel_for(std::size_t n, std::size_t chunks, const RangeFn& fn);
+
+  // Convenience overload: one chunk per lane.
+  void parallel_for(std::size_t n, const RangeFn& fn) {
+    parallel_for(n, lanes(), fn);
+  }
+
+  // Process-wide shared pool, created on first use with
+  // default_thread_count() - 1 workers.
+  static ThreadPool& global();
+
+  // Lane count for the global pool: HACK_NUM_THREADS when set and valid,
+  // else hardware_concurrency(), never less than 1.
+  static std::size_t default_thread_count();
+
+  // Parses a HACK_NUM_THREADS-style override. Returns 0 when `value` is
+  // null, empty, non-numeric, or out of range — meaning "no override".
+  // Exposed for tests.
+  static std::size_t parse_thread_override(const char* value);
+
+ private:
+  struct Batch;  // one parallel_for dispatch
+
+  void worker_loop();
+  static void run_chunks(Batch& batch);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex dispatch_mu_;  // serializes parallel_for dispatches on this pool
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::shared_ptr<Batch> batch_;  // most recently dispatched batch
+  std::size_t generation_ = 0;    // bumped per dispatch so workers re-wake
+  bool stop_ = false;
+};
+
+}  // namespace hack

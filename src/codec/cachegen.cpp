@@ -69,6 +69,7 @@ Matrix CacheGenCodec::decode(std::span<const std::uint8_t> blob) const {
   const std::size_t groups = scheme.group_count();
   q.mins.resize(q.rows * groups);
   q.scales.resize(q.rows * groups);
+  q.groups = groups;
   for (std::size_t i = 0; i < q.mins.size(); ++i) {
     q.mins[i] = Half::from_bits(static_cast<std::uint16_t>(r.read_bits(16)))
                     .to_float();

@@ -1,16 +1,18 @@
 #include "core/hq_matmul.h"
 
+#include "base/thread_pool.h"
 #include "core/int_gemm.h"
 
 namespace hack {
 namespace {
 
-// Shared Eq. (4) assembly. Layout differences between NN and NT are confined
-// to the integer GEMM and B-code addressing, expressed via `b_code`.
-template <typename BCodeAt>
-Matrix hq_matmul_impl(const QuantizedMatrix& a, const QuantizedMatrix& b,
-                      std::size_t n, const SumCache* b_sums, HqStats* stats,
-                      BCodeAt b_code) {
+// Shared Eq. (4) engine. Layout differences between NN (P·V) and NT (Q·Kᵀ)
+// are confined to the banded integer kernel and the Σ b' recompute loop,
+// selected at compile time.
+template <bool kNT>
+Matrix hq_matmul_blocked(const QuantizedMatrix& a, const QuantizedMatrix& b,
+                         std::size_t n, const SumCache* b_sums, HqStats* stats,
+                         int threads) {
   HACK_CHECK(a.axis == QuantAxis::kRow, "A must be row-axis quantized");
   HACK_CHECK(a.bits >= 1 && b.bits >= 1, "operands must be quantized");
   HACK_CHECK(a.pi == b.pi, "partition size mismatch: " << a.pi << " vs "
@@ -29,78 +31,133 @@ Matrix hq_matmul_impl(const QuantizedMatrix& a, const QuantizedMatrix& b,
 
   HqStats local{};
 
-  // Row sums of A codes per (i, g). A is small (L_Q rows; a single row in
-  // decode), so this is the MZ term of the approximation cost.
-  std::vector<std::int32_t> a_row_sums(m * groups, 0);
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t g = 0; g < groups; ++g) {
-      std::int32_t acc = 0;
-      for (std::size_t zz = scheme.group_begin(g); zz < scheme.group_end(g);
-           ++zz) {
-        acc += a.code_at(i, zz);
-      }
-      a_row_sums[i * groups + g] = acc;
-    }
-  }
-  local.approx_flops += static_cast<std::int64_t>(m) * z;  // MZ adds
+  const CodeView a_codes{a.codes.data(), a.rows, a.cols};
+  const CodeView b_codes{b.codes.data(), b.rows, b.cols};
 
-  // Column sums of B codes per (j, g): read from the cache (SE) or recompute.
+  // Σ b' per (j, g): read straight out of the SumCache's contiguous storage
+  // (it uses the same outer-major layout) or recompute from the codes.
   std::vector<std::int32_t> b_col_sums_storage;
   const std::int32_t* b_col_sums = nullptr;
   if (b_sums != nullptr) {
-    // SumCache stores outer-major [j * groups + g], same layout we index.
-    b_col_sums_storage.resize(n * groups);
-    for (std::size_t j = 0; j < n; ++j) {
-      for (std::size_t g = 0; g < groups; ++g) {
-        b_col_sums_storage[j * groups + g] = b_sums->sum(j, g);
-      }
-    }
-    b_col_sums = b_col_sums_storage.data();
+    b_col_sums = b_sums->data();
   } else {
     b_col_sums_storage.assign(n * groups, 0);
-    for (std::size_t j = 0; j < n; ++j) {
+    if constexpr (kNT) {
+      // B is N x Z: each (j, g) sum is a contiguous run of row j.
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::uint8_t* row = b.codes.data() + j * b.cols;
+        for (std::size_t g = 0; g < groups; ++g) {
+          std::int32_t acc = 0;
+          for (std::size_t zz = scheme.group_begin(g);
+               zz < scheme.group_end(g); ++zz) {
+            acc += row[zz];
+          }
+          b_col_sums_storage[j * groups + g] = acc;
+        }
+      }
+    } else {
+      // B is Z x N: stream the rows, scattering into per-column slots.
       for (std::size_t g = 0; g < groups; ++g) {
-        std::int32_t acc = 0;
         for (std::size_t zz = scheme.group_begin(g); zz < scheme.group_end(g);
              ++zz) {
-          acc += b_code(zz, j);
+          const std::uint8_t* row = b.codes.data() + zz * b.cols;
+          for (std::size_t j = 0; j < n; ++j) {
+            b_col_sums_storage[j * groups + g] += row[j];
+          }
         }
-        b_col_sums_storage[j * groups + g] = acc;
       }
     }
     b_col_sums = b_col_sums_storage.data();
     local.sum_flops += static_cast<std::int64_t>(n) * z;  // NZ adds
   }
 
-  Matrix c(m, n, 0.0f);
+  // Hoisted per-(j, g) Eq. (4) factors, group-major so the inner j-loop of
+  // the correction reads them contiguously:
+  //   B1 = s_b, B2 = m_b, B3 = s_b·Σb' + |g|·m_b.
+  std::vector<float> b1(groups * n), b2(groups * n), b3(groups * n);
   for (std::size_t g = 0; g < groups; ++g) {
-    const std::size_t z_begin = scheme.group_begin(g);
-    const std::size_t z_end = scheme.group_end(g);
-    const auto group_len = static_cast<float>(z_end - z_begin);
-    for (std::size_t i = 0; i < m; ++i) {
-      const float sa = a.scale_of(i, g);
-      const float ma = a.min_of(i, g);
-      const auto ra = static_cast<float>(a_row_sums[i * groups + g]);
-      for (std::size_t j = 0; j < n; ++j) {
-        std::int32_t dot = 0;
-        for (std::size_t zz = z_begin; zz < z_end; ++zz) {
-          dot += static_cast<std::int32_t>(a.code_at(i, zz)) *
-                 static_cast<std::int32_t>(b_code(zz, j));
+    const auto group_len = static_cast<float>(scheme.group_size(g));
+    float* f1 = b1.data() + g * n;
+    float* f2 = b2.data() + g * n;
+    float* f3 = b3.data() + g * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float sb = b.scales[j * groups + g];
+      const float mb = b.mins[j * groups + g];
+      f1[j] = sb;
+      f2[j] = mb;
+      f3[j] = sb * static_cast<float>(b_col_sums[j * groups + g]) +
+              group_len * mb;
+    }
+  }
+
+  Matrix c(m, n, 0.0f);
+
+  // One row band of C: integer GEMM per group into a band-local int32 tile,
+  // then the vectorizable three-term correction
+  //   C[i,j] += A1·B1[j]·dot + A2·B2[j] + A3·B3[j]
+  // with A1 = s_a, A2 = s_a·Σa', A3 = m_a. Every C row is produced entirely
+  // inside one band, so results do not depend on the band decomposition.
+  auto process_band = [&](std::size_t r0, std::size_t r1) {
+    const std::size_t band = r1 - r0;
+    // Σ a' per (band row, g): contiguous runs of each A row.
+    std::vector<std::int32_t> a_row_sums(band * groups, 0);
+    for (std::size_t i = r0; i < r1; ++i) {
+      const std::uint8_t* row = a.codes.data() + i * a.cols;
+      for (std::size_t g = 0; g < groups; ++g) {
+        std::int32_t acc = 0;
+        for (std::size_t zz = scheme.group_begin(g); zz < scheme.group_end(g);
+             ++zz) {
+          acc += row[zz];
         }
-        const float sb = b.scale_of(j, g);
-        const float mb = b.min_of(j, g);
-        // Eq. (4): four terms per (i, j, g).
-        c(i, j) += sa * sb * static_cast<float>(dot) + mb * sa * ra +
-                   ma * sb * static_cast<float>(b_col_sums[j * groups + g]) +
-                   group_len * ma * mb;
+        a_row_sums[(i - r0) * groups + g] = acc;
       }
     }
-    local.int_macs +=
-        static_cast<std::int64_t>(m) * n * (z_end - z_begin);
+
+    std::vector<std::int32_t> dot(band * n);
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::fill(dot.begin(), dot.end(), 0);
+      if constexpr (kNT) {
+        int_gemm_nt_rows(a_codes, b_codes, r0, r1, scheme.group_begin(g),
+                         scheme.group_end(g), dot.data(), b.bits);
+      } else {
+        int_gemm_nn_rows(a_codes, b_codes, r0, r1, scheme.group_begin(g),
+                         scheme.group_end(g), dot.data());
+      }
+      const float* f1 = b1.data() + g * n;
+      const float* f2 = b2.data() + g * n;
+      const float* f3 = b3.data() + g * n;
+      for (std::size_t i = r0; i < r1; ++i) {
+        const float sa = a.scales[i * groups + g];
+        const float a2 =
+            sa * static_cast<float>(a_row_sums[(i - r0) * groups + g]);
+        const float a3 = a.mins[i * groups + g];
+        float* crow = &c(i, 0);
+        const std::int32_t* drow = dot.data() + (i - r0) * n;
+        for (std::size_t j = 0; j < n; ++j) {
+          crow[j] += sa * f1[j] * static_cast<float>(drow[j]) + a2 * f2[j] +
+                     a3 * f3[j];
+        }
+      }
+    }
+  };
+
+  if (m == 1 || threads == 1) {
+    // Decode GEMV fast path / explicit serial: no pool dispatch, the banded
+    // kernels degrade to j-tiled dot loops over the single row.
+    process_band(0, m);
+  } else {
+    ThreadPool& pool = ThreadPool::global();
+    const std::size_t bands =
+        threads <= 0 ? pool.lanes() : static_cast<std::size_t>(threads);
+    pool.parallel_for(m, bands, process_band);
   }
-  // 9MN per Eq. (4): 2 for sa·sb·dot, 2+2 for the two affine terms, 2 for
-  // Z·ma·mb, 3 adds folding the terms together.
+
+  // Cost accounting (pinned by test_cost_model / test_hq_matmul):
+  //   MZ adds for Σ a', and 9MN for Eq. (4) — 2 for sa·sb·dot, 2+2 for the
+  //   two affine terms, 2 for Z·ma·mb, 3 adds folding the terms together.
+  local.approx_flops += static_cast<std::int64_t>(m) * z;
   local.approx_flops += 9 * static_cast<std::int64_t>(m) * n;
+  local.int_macs += static_cast<std::int64_t>(m) * n * z;
 
   if (stats != nullptr) {
     *stats = local;
@@ -111,24 +168,20 @@ Matrix hq_matmul_impl(const QuantizedMatrix& a, const QuantizedMatrix& b,
 }  // namespace
 
 Matrix hq_matmul(const QuantizedMatrix& a, const QuantizedMatrix& b,
-                 const SumCache* b_sums, HqStats* stats) {
+                 const SumCache* b_sums, HqStats* stats, int threads) {
   HACK_CHECK(b.axis == QuantAxis::kCol, "B must be col-axis quantized");
   HACK_CHECK(a.cols == b.rows, "hq_matmul shape mismatch: " << a.rows << "x"
                                << a.cols << " * " << b.rows << "x" << b.cols);
-  return hq_matmul_impl(
-      a, b, b.cols, b_sums, stats,
-      [&b](std::size_t zz, std::size_t j) { return b.code_at(zz, j); });
+  return hq_matmul_blocked<false>(a, b, b.cols, b_sums, stats, threads);
 }
 
 Matrix hq_matmul_nt(const QuantizedMatrix& a, const QuantizedMatrix& b,
-                    const SumCache* b_sums, HqStats* stats) {
+                    const SumCache* b_sums, HqStats* stats, int threads) {
   HACK_CHECK(b.axis == QuantAxis::kRow,
              "B must be row-axis quantized (token-per-row K layout)");
   HACK_CHECK(a.cols == b.cols, "hq_matmul_nt inner dim mismatch: " << a.cols
                                << " vs " << b.cols);
-  return hq_matmul_impl(
-      a, b, b.rows, b_sums, stats,
-      [&b](std::size_t zz, std::size_t j) { return b.code_at(j, zz); });
+  return hq_matmul_blocked<true>(a, b, b.rows, b_sums, stats, threads);
 }
 
 }  // namespace hack

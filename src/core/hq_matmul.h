@@ -12,6 +12,19 @@
 // materializing dequantized operands. Passing a prebuilt SumCache for B
 // enables summation elimination: the Σ b' term is read instead of recomputed,
 // reducing the approximation cost from 9MN + MZ + NZ to 9MN + MZ flops.
+//
+// Engine: the hot path is a blocked, multithreaded kernel. Per partition g
+// the integer part runs through the register-blocked CodeView kernels in
+// core/int_gemm.h, and the Eq. (4) correction collapses to
+//
+//   C[i,j] += A1[i]·B1[j]·dot + A2[i]·B2[j] + A3[i]·B3[j]
+//
+// with the per-(i,g) factors A1 = s_a, A2 = s_a·Σa', A3 = m_a and the
+// per-(j,g) factors B1 = s_b, B2 = m_b, B3 = s_b·Σb' + |g|·m_b hoisted out of
+// the inner loop. The M dimension splits into row bands dispatched on the
+// shared ThreadPool; a single-row A (the decode GEMV case) bypasses the pool
+// entirely. `hq_matmul_reference` keeps the original scalar triple loop for
+// equivalence tests and old-vs-new benchmarking.
 #pragma once
 
 #include <cstdint>
@@ -31,14 +44,34 @@ struct HqStats {
   std::int64_t sum_flops = 0;     // adds spent computing Σ b' (0 when cached)
 };
 
+// `threads` for the calls below: 0 = auto (one row band per lane of the
+// global ThreadPool, itself sized by HACK_NUM_THREADS / the hardware),
+// 1 = serial, N = split into N row bands. The band decomposition — and hence
+// the float result — depends only on the requested count, not on how many
+// worker threads actually exist.
+
 // C = A·B. A must be row-axis quantized (M x Z), B col-axis (Z x N), with
 // identical partition size. `b_sums`, when provided, must match B.
 Matrix hq_matmul(const QuantizedMatrix& a, const QuantizedMatrix& b,
-                 const SumCache* b_sums = nullptr, HqStats* stats = nullptr);
+                 const SumCache* b_sums = nullptr, HqStats* stats = nullptr,
+                 int threads = 0);
 
 // C = A·Bᵀ. A row-axis (M x Z), B row-axis (N x Z) — the Q·Kᵀ form where K
 // stores one token per row. `b_sums`, when provided, must match B.
 Matrix hq_matmul_nt(const QuantizedMatrix& a, const QuantizedMatrix& b,
-                    const SumCache* b_sums = nullptr, HqStats* stats = nullptr);
+                    const SumCache* b_sums = nullptr, HqStats* stats = nullptr,
+                    int threads = 0);
+
+// The original scalar Eq. (4) triple loop (seed implementation), kept as the
+// ground truth for randomized equivalence tests and as the baseline leg of
+// the kernel microbenchmarks. Same contracts and HqStats accounting as the
+// blocked engine.
+Matrix hq_matmul_reference(const QuantizedMatrix& a, const QuantizedMatrix& b,
+                           const SumCache* b_sums = nullptr,
+                           HqStats* stats = nullptr);
+Matrix hq_matmul_nt_reference(const QuantizedMatrix& a,
+                              const QuantizedMatrix& b,
+                              const SumCache* b_sums = nullptr,
+                              HqStats* stats = nullptr);
 
 }  // namespace hack

@@ -1,0 +1,131 @@
+// The seed scalar Eq. (4) implementation, kept verbatim as ground truth for
+// the blocked engine: randomized equivalence tests diff against it and the
+// microbenchmarks report old-vs-new speedup from it. Deliberately naive —
+// lambda-indirected triple loop, per-(i,j,g) metadata reads — do not
+// optimize.
+#include "core/hq_matmul.h"
+
+#include "core/int_gemm.h"
+
+namespace hack {
+namespace {
+
+template <typename BCodeAt>
+Matrix hq_matmul_reference_impl(const QuantizedMatrix& a,
+                                const QuantizedMatrix& b, std::size_t n,
+                                const SumCache* b_sums, HqStats* stats,
+                                BCodeAt b_code) {
+  HACK_CHECK(a.axis == QuantAxis::kRow, "A must be row-axis quantized");
+  HACK_CHECK(a.bits >= 1 && b.bits >= 1, "operands must be quantized");
+  HACK_CHECK(a.pi == b.pi, "partition size mismatch: " << a.pi << " vs "
+                            << b.pi);
+  const std::size_t m = a.rows;
+  const std::size_t z = a.cols;
+  const PartitionScheme scheme(z, a.pi, /*allow_ragged_tail=*/true);
+  const std::size_t groups = scheme.group_count();
+  HACK_CHECK(a.group_count() == groups, "A group count mismatch");
+  HACK_CHECK(b.group_count() == groups,
+             "B group count mismatch: " << b.group_count() << " vs " << groups);
+  if (b_sums != nullptr) {
+    HACK_CHECK(b_sums->outer() == n && b_sums->groups() == groups,
+               "SumCache does not match B");
+  }
+
+  HqStats local{};
+
+  // Row sums of A codes per (i, g).
+  std::vector<std::int32_t> a_row_sums(m * groups, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::int32_t acc = 0;
+      for (std::size_t zz = scheme.group_begin(g); zz < scheme.group_end(g);
+           ++zz) {
+        acc += a.code_at(i, zz);
+      }
+      a_row_sums[i * groups + g] = acc;
+    }
+  }
+  local.approx_flops += static_cast<std::int64_t>(m) * z;  // MZ adds
+
+  // Column sums of B codes per (j, g): read from the cache (SE) or recompute.
+  std::vector<std::int32_t> b_col_sums_storage;
+  const std::int32_t* b_col_sums = nullptr;
+  if (b_sums != nullptr) {
+    b_col_sums = b_sums->data();
+  } else {
+    b_col_sums_storage.assign(n * groups, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t g = 0; g < groups; ++g) {
+        std::int32_t acc = 0;
+        for (std::size_t zz = scheme.group_begin(g); zz < scheme.group_end(g);
+             ++zz) {
+          acc += b_code(zz, j);
+        }
+        b_col_sums_storage[j * groups + g] = acc;
+      }
+    }
+    b_col_sums = b_col_sums_storage.data();
+    local.sum_flops += static_cast<std::int64_t>(n) * z;  // NZ adds
+  }
+
+  Matrix c(m, n, 0.0f);
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t z_begin = scheme.group_begin(g);
+    const std::size_t z_end = scheme.group_end(g);
+    const auto group_len = static_cast<float>(z_end - z_begin);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float sa = a.scale_of(i, g);
+      const float ma = a.min_of(i, g);
+      const auto ra = static_cast<float>(a_row_sums[i * groups + g]);
+      for (std::size_t j = 0; j < n; ++j) {
+        std::int32_t dot = 0;
+        for (std::size_t zz = z_begin; zz < z_end; ++zz) {
+          dot += static_cast<std::int32_t>(a.code_at(i, zz)) *
+                 static_cast<std::int32_t>(b_code(zz, j));
+        }
+        const float sb = b.scale_of(j, g);
+        const float mb = b.min_of(j, g);
+        // Eq. (4): four terms per (i, j, g).
+        c(i, j) += sa * sb * static_cast<float>(dot) + mb * sa * ra +
+                   ma * sb * static_cast<float>(b_col_sums[j * groups + g]) +
+                   group_len * ma * mb;
+      }
+    }
+    local.int_macs +=
+        static_cast<std::int64_t>(m) * n * (z_end - z_begin);
+  }
+  // 9MN per Eq. (4): 2 for sa·sb·dot, 2+2 for the two affine terms, 2 for
+  // Z·ma·mb, 3 adds folding the terms together.
+  local.approx_flops += 9 * static_cast<std::int64_t>(m) * n;
+
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return c;
+}
+
+}  // namespace
+
+Matrix hq_matmul_reference(const QuantizedMatrix& a, const QuantizedMatrix& b,
+                           const SumCache* b_sums, HqStats* stats) {
+  HACK_CHECK(b.axis == QuantAxis::kCol, "B must be col-axis quantized");
+  HACK_CHECK(a.cols == b.rows, "hq_matmul shape mismatch: " << a.rows << "x"
+                               << a.cols << " * " << b.rows << "x" << b.cols);
+  return hq_matmul_reference_impl(
+      a, b, b.cols, b_sums, stats,
+      [&b](std::size_t zz, std::size_t j) { return b.code_at(zz, j); });
+}
+
+Matrix hq_matmul_nt_reference(const QuantizedMatrix& a,
+                              const QuantizedMatrix& b, const SumCache* b_sums,
+                              HqStats* stats) {
+  HACK_CHECK(b.axis == QuantAxis::kRow,
+             "B must be row-axis quantized (token-per-row K layout)");
+  HACK_CHECK(a.cols == b.cols, "hq_matmul_nt inner dim mismatch: " << a.cols
+                               << " vs " << b.cols);
+  return hq_matmul_reference_impl(
+      a, b, b.rows, b_sums, stats,
+      [&b](std::size_t zz, std::size_t j) { return b.code_at(j, zz); });
+}
+
+}  // namespace hack

@@ -1,6 +1,102 @@
 #include "core/int_gemm.h"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define HACK_X86_SIMD 1
+#include <immintrin.h>
+#endif
+
 namespace hack {
+namespace {
+
+#ifdef HACK_X86_SIMD
+
+bool cpu_has_avx2() {
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+}
+
+// NT band via the u8 x i8 multiply-add idiom. Requires every B code < 64 so
+// the adjacent-pair sums of pmaddubsw (<= 2 * 255 * 63 = 32130) fit int16.
+// A is the unsigned operand (full 8-bit range allowed).
+__attribute__((target("avx2"))) void int_gemm_nt_rows_avx2(
+    const CodeView& a, const CodeView& b, std::size_t i_begin,
+    std::size_t i_end, std::size_t z_begin, std::size_t z_end,
+    std::int32_t* out) {
+  const std::size_t n = b.rows;
+  const std::size_t zlen = z_end - z_begin;
+  const std::size_t zvec = zlen & ~static_cast<std::size_t>(31);
+  const __m256i ones = _mm256_set1_epi16(1);
+  for (std::size_t i = i_begin; i < i_end; ++i) {
+    const std::uint8_t* pa = a.data + i * a.cols + z_begin;
+    std::int32_t* dst = out + (i - i_begin) * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::uint8_t* pb0 = b.data + j * b.cols + z_begin;
+      const std::uint8_t* pb1 = pb0 + b.cols;
+      const std::uint8_t* pb2 = pb1 + b.cols;
+      const std::uint8_t* pb3 = pb2 + b.cols;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      for (std::size_t z = 0; z < zvec; z += 32) {
+        const __m256i av =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa + z));
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(
+                          av, _mm256_loadu_si256(
+                                  reinterpret_cast<const __m256i*>(pb0 + z))),
+                      ones));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(
+                          av, _mm256_loadu_si256(
+                                  reinterpret_cast<const __m256i*>(pb1 + z))),
+                      ones));
+        acc2 = _mm256_add_epi32(
+            acc2, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(
+                          av, _mm256_loadu_si256(
+                                  reinterpret_cast<const __m256i*>(pb2 + z))),
+                      ones));
+        acc3 = _mm256_add_epi32(
+            acc3, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(
+                          av, _mm256_loadu_si256(
+                                  reinterpret_cast<const __m256i*>(pb3 + z))),
+                      ones));
+      }
+      // Fold the four accumulators into one lane each.
+      const __m256i h01 = _mm256_hadd_epi32(acc0, acc1);
+      const __m256i h23 = _mm256_hadd_epi32(acc2, acc3);
+      const __m256i h = _mm256_hadd_epi32(h01, h23);
+      const __m128i sum = _mm_add_epi32(_mm256_castsi256_si128(h),
+                                        _mm256_extracti128_si256(h, 1));
+      alignas(16) std::int32_t lanes[4];
+      _mm_store_si128(reinterpret_cast<__m128i*>(lanes), sum);
+      std::int32_t c0 = lanes[0], c1 = lanes[1], c2 = lanes[2], c3 = lanes[3];
+      for (std::size_t z = zvec; z < zlen; ++z) {
+        const std::int32_t av = pa[z];
+        c0 += av * static_cast<std::int32_t>(pb0[z]);
+        c1 += av * static_cast<std::int32_t>(pb1[z]);
+        c2 += av * static_cast<std::int32_t>(pb2[z]);
+        c3 += av * static_cast<std::int32_t>(pb3[z]);
+      }
+      dst[j] += c0;
+      dst[j + 1] += c1;
+      dst[j + 2] += c2;
+      dst[j + 3] += c3;
+    }
+    for (; j < n; ++j) {
+      dst[j] += int_dot_nt(a, b, i, j, z_begin, z_end);
+    }
+  }
+}
+
+#endif  // HACK_X86_SIMD
+
+}  // namespace
 
 std::int32_t int_dot_nt(const CodeView& a, const CodeView& b, std::size_t i,
                         std::size_t j, std::size_t z_begin, std::size_t z_end) {
@@ -15,36 +111,166 @@ std::int32_t int_dot_nt(const CodeView& a, const CodeView& b, std::size_t i,
   return acc;
 }
 
-void int_gemm_nn_block(const CodeView& a, const CodeView& b,
-                       std::size_t z_begin, std::size_t z_end,
-                       std::vector<std::int32_t>& out) {
+void int_gemm_nn_rows(const CodeView& a, const CodeView& b,
+                      std::size_t i_begin, std::size_t i_end,
+                      std::size_t z_begin, std::size_t z_end,
+                      std::int32_t* out) {
   HACK_CHECK(a.cols == b.rows, "NN shape mismatch");
   HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
-  HACK_CHECK(out.size() == a.rows * b.cols, "output size mismatch");
-  for (std::size_t i = 0; i < a.rows; ++i) {
-    std::int32_t* dst = out.data() + i * b.cols;
+  HACK_CHECK(i_begin <= i_end && i_end <= a.rows, "bad row band");
+  const std::size_t n = b.cols;
+  // 4-row register tile: each B row streamed once feeds four C rows. The
+  // inner j-loop is a plain quad-axpy, which the compiler vectorizes.
+  std::size_t i = i_begin;
+  for (; i + 4 <= i_end; i += 4) {
+    std::int32_t* dst0 = out + (i - i_begin) * n;
+    std::int32_t* dst1 = dst0 + n;
+    std::int32_t* dst2 = dst1 + n;
+    std::int32_t* dst3 = dst2 + n;
+    const std::uint8_t* arow0 = a.data + i * a.cols;
     for (std::size_t z = z_begin; z < z_end; ++z) {
-      const std::int32_t aiz = a.at(i, z);
+      const std::int32_t a0 = arow0[z];
+      const std::int32_t a1 = arow0[a.cols + z];
+      const std::int32_t a2 = arow0[2 * a.cols + z];
+      const std::int32_t a3 = arow0[3 * a.cols + z];
+      if ((a0 | a1 | a2 | a3) == 0) continue;
+      const std::uint8_t* brow = b.data + z * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::int32_t bv = brow[j];
+        dst0[j] += a0 * bv;
+        dst1[j] += a1 * bv;
+        dst2[j] += a2 * bv;
+        dst3[j] += a3 * bv;
+      }
+    }
+  }
+  for (; i < i_end; ++i) {
+    std::int32_t* dst = out + (i - i_begin) * n;
+    const std::uint8_t* arow = a.data + i * a.cols;
+    for (std::size_t z = z_begin; z < z_end; ++z) {
+      const std::int32_t aiz = arow[z];
       if (aiz == 0) continue;
-      const std::uint8_t* brow = b.data + z * b.cols;
-      for (std::size_t j = 0; j < b.cols; ++j) {
+      const std::uint8_t* brow = b.data + z * n;
+      for (std::size_t j = 0; j < n; ++j) {
         dst[j] += aiz * static_cast<std::int32_t>(brow[j]);
       }
     }
   }
 }
 
-void int_gemm_nt_block(const CodeView& a, const CodeView& b,
+void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
+                      std::size_t i_begin, std::size_t i_end,
+                      std::size_t z_begin, std::size_t z_end,
+                      std::int32_t* out, int b_bits) {
+  HACK_CHECK(a.cols == b.cols, "NT inner dim mismatch");
+  HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
+  HACK_CHECK(i_begin <= i_end && i_end <= a.rows, "bad row band");
+#ifdef HACK_X86_SIMD
+  if (b_bits >= 1 && b_bits <= 6 && cpu_has_avx2()) {
+    int_gemm_nt_rows_avx2(a, b, i_begin, i_end, z_begin, z_end, out);
+    return;
+  }
+#else
+  (void)b_bits;
+#endif
+  const std::size_t n = b.rows;
+  const std::size_t zlen = z_end - z_begin;
+  // 4x4 register tile: 16 accumulators, each A/B row loaded once per z step
+  // instead of once per output.
+  std::size_t i = i_begin;
+  for (; i + 4 <= i_end; i += 4) {
+    const std::uint8_t* pa0 = a.data + i * a.cols + z_begin;
+    const std::uint8_t* pa1 = pa0 + a.cols;
+    const std::uint8_t* pa2 = pa1 + a.cols;
+    const std::uint8_t* pa3 = pa2 + a.cols;
+    std::int32_t* dst0 = out + (i - i_begin) * n;
+    std::int32_t* dst1 = dst0 + n;
+    std::int32_t* dst2 = dst1 + n;
+    std::int32_t* dst3 = dst2 + n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::uint8_t* pb0 = b.data + j * b.cols + z_begin;
+      const std::uint8_t* pb1 = pb0 + b.cols;
+      const std::uint8_t* pb2 = pb1 + b.cols;
+      const std::uint8_t* pb3 = pb2 + b.cols;
+      std::int32_t c00 = 0, c01 = 0, c02 = 0, c03 = 0;
+      std::int32_t c10 = 0, c11 = 0, c12 = 0, c13 = 0;
+      std::int32_t c20 = 0, c21 = 0, c22 = 0, c23 = 0;
+      std::int32_t c30 = 0, c31 = 0, c32 = 0, c33 = 0;
+      for (std::size_t z = 0; z < zlen; ++z) {
+        const std::int32_t a0 = pa0[z], a1 = pa1[z], a2 = pa2[z], a3 = pa3[z];
+        const std::int32_t b0 = pb0[z], b1 = pb1[z], b2 = pb2[z], b3 = pb3[z];
+        c00 += a0 * b0; c01 += a0 * b1; c02 += a0 * b2; c03 += a0 * b3;
+        c10 += a1 * b0; c11 += a1 * b1; c12 += a1 * b2; c13 += a1 * b3;
+        c20 += a2 * b0; c21 += a2 * b1; c22 += a2 * b2; c23 += a2 * b3;
+        c30 += a3 * b0; c31 += a3 * b1; c32 += a3 * b2; c33 += a3 * b3;
+      }
+      dst0[j] += c00; dst0[j + 1] += c01; dst0[j + 2] += c02; dst0[j + 3] += c03;
+      dst1[j] += c10; dst1[j + 1] += c11; dst1[j + 2] += c12; dst1[j + 3] += c13;
+      dst2[j] += c20; dst2[j + 1] += c21; dst2[j + 2] += c22; dst2[j + 3] += c23;
+      dst3[j] += c30; dst3[j + 1] += c31; dst3[j + 2] += c32; dst3[j + 3] += c33;
+    }
+    for (; j < n; ++j) {
+      const std::uint8_t* pb = b.data + j * b.cols + z_begin;
+      std::int32_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+      for (std::size_t z = 0; z < zlen; ++z) {
+        const std::int32_t bv = pb[z];
+        c0 += static_cast<std::int32_t>(pa0[z]) * bv;
+        c1 += static_cast<std::int32_t>(pa1[z]) * bv;
+        c2 += static_cast<std::int32_t>(pa2[z]) * bv;
+        c3 += static_cast<std::int32_t>(pa3[z]) * bv;
+      }
+      dst0[j] += c0;
+      dst1[j] += c1;
+      dst2[j] += c2;
+      dst3[j] += c3;
+    }
+  }
+  for (; i < i_end; ++i) {
+    // Tail rows (and the decode GEMV case): one A row against 4 B rows.
+    const std::uint8_t* pa = a.data + i * a.cols + z_begin;
+    std::int32_t* dst = out + (i - i_begin) * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::uint8_t* pb0 = b.data + j * b.cols + z_begin;
+      const std::uint8_t* pb1 = pb0 + b.cols;
+      const std::uint8_t* pb2 = pb1 + b.cols;
+      const std::uint8_t* pb3 = pb2 + b.cols;
+      std::int32_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+      for (std::size_t z = 0; z < zlen; ++z) {
+        const std::int32_t av = pa[z];
+        c0 += av * static_cast<std::int32_t>(pb0[z]);
+        c1 += av * static_cast<std::int32_t>(pb1[z]);
+        c2 += av * static_cast<std::int32_t>(pb2[z]);
+        c3 += av * static_cast<std::int32_t>(pb3[z]);
+      }
+      dst[j] += c0;
+      dst[j + 1] += c1;
+      dst[j + 2] += c2;
+      dst[j + 3] += c3;
+    }
+    for (; j < n; ++j) {
+      dst[j] += int_dot_nt(a, b, i, j, z_begin, z_end);
+    }
+  }
+}
+
+void int_gemm_nn_block(const CodeView& a, const CodeView& b,
                        std::size_t z_begin, std::size_t z_end,
                        std::vector<std::int32_t>& out) {
+  HACK_CHECK(a.cols == b.rows, "NN shape mismatch");
+  HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
+  HACK_CHECK(out.size() == a.rows * b.cols, "output size mismatch");
+  int_gemm_nn_rows(a, b, 0, a.rows, z_begin, z_end, out.data());
+}
+
+void int_gemm_nt_block(const CodeView& a, const CodeView& b,
+                       std::size_t z_begin, std::size_t z_end,
+                       std::vector<std::int32_t>& out, int b_bits) {
   HACK_CHECK(a.cols == b.cols, "NT inner dim mismatch");
   HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
   HACK_CHECK(out.size() == a.rows * b.rows, "output size mismatch");
-  for (std::size_t i = 0; i < a.rows; ++i) {
-    for (std::size_t j = 0; j < b.rows; ++j) {
-      out[i * b.rows + j] += int_dot_nt(a, b, i, j, z_begin, z_end);
-    }
-  }
+  int_gemm_nt_rows(a, b, 0, a.rows, z_begin, z_end, out.data(), b_bits);
 }
 
 }  // namespace hack

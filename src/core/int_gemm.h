@@ -7,6 +7,12 @@
 //   - NN: C = A * B where B is Z x N (P * V).
 // Block-range variants compute the partial dot over one partition's z-range,
 // which is how the per-group Eq. (4) correction is assembled.
+//
+// The row-range kernels (`int_gemm_*_rows`) are the engine room of the
+// blocked HQ-GEMM path: they compute a contiguous band of C rows with 4x4
+// register-blocked micro-tiles, so a thread pool can split the M dimension
+// into independent bands. The whole-matrix `int_gemm_*_block` entry points
+// are thin wrappers over the banded kernels.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +37,26 @@ struct CodeView {
 std::int32_t int_dot_nt(const CodeView& a, const CodeView& b, std::size_t i,
                         std::size_t j, std::size_t z_begin, std::size_t z_end);
 
+// Banded NN kernel: accumulates rows [i_begin, i_end) of C += A * B over the
+// z-range, where A is M x Z and B is Z x N, both row-major. `out` points at
+// the output band, row-major with leading dimension N: out[(i - i_begin) * N
+// + j] accumulates C[i][j].
+void int_gemm_nn_rows(const CodeView& a, const CodeView& b,
+                      std::size_t i_begin, std::size_t i_end,
+                      std::size_t z_begin, std::size_t z_end,
+                      std::int32_t* out);
+
+// Banded NT kernel: same contract with B stored N x Z (C += A * B^T).
+// `b_bits` is the bit width of B's codes (values < 2^b_bits). When B codes
+// fit 6 bits — the paper's 2-/4-bit KV caches — and the CPU supports AVX2,
+// the dot products run through the u8 x i8 multiply-add idiom (pmaddubsw:
+// 255 * 63 * 2 pair sums stay inside int16); otherwise a portable
+// register-blocked path is used. Both produce identical int32 results.
+void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
+                      std::size_t i_begin, std::size_t i_end,
+                      std::size_t z_begin, std::size_t z_end,
+                      std::int32_t* out, int b_bits = 8);
+
 // C[i][j] += over the z-range: A (M x Z) row-major times B (Z x N) row-major.
 // `out` is M x N row-major int32, accumulated into.
 void int_gemm_nn_block(const CodeView& a, const CodeView& b,
@@ -40,6 +66,6 @@ void int_gemm_nn_block(const CodeView& a, const CodeView& b,
 // Same for the NT layout: B is N x Z.
 void int_gemm_nt_block(const CodeView& a, const CodeView& b,
                        std::size_t z_begin, std::size_t z_end,
-                       std::vector<std::int32_t>& out);
+                       std::vector<std::int32_t>& out, int b_bits = 8);
 
 }  // namespace hack

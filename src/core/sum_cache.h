@@ -30,6 +30,10 @@ class SumCache {
     return sums_[outer_idx * groups_ + group];
   }
 
+  // Contiguous outer-major storage ([outer_idx * groups + group]), read
+  // directly by the HQ-GEMM kernels instead of copying entry by entry.
+  const std::int32_t* data() const { return sums_.data(); }
+
   // Extends the cache with the sums of newly appended data. For row-axis
   // matrices (K cache) `extra` adds outer entries; for col-axis matrices
   // (V cache) it adds groups to each existing outer entry.

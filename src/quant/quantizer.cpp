@@ -69,6 +69,7 @@ QuantizedMatrix quantize(const Matrix& m, int bits, std::size_t pi,
   q.codes.resize(m.size());
   q.mins.resize(outer * groups);
   q.scales.resize(outer * groups);
+  q.groups = groups;
 
   std::vector<float> scratch;
   std::vector<std::uint8_t> scratch_codes;
@@ -183,6 +184,7 @@ void append_inner_groups(QuantizedMatrix& q, const QuantizedMatrix& extra) {
   q.mins = std::move(mins);
   q.scales = std::move(scales);
   q.rows += extra.rows;
+  q.groups = new_groups;
 }
 
 }  // namespace hack

@@ -41,10 +41,16 @@ struct QuantizedMatrix {
   std::vector<float> mins;
   std::vector<float> scales;
 
+  // Cached partition count along the inner dimension. Maintained by
+  // quantize() and every mutator; 0 (e.g. on a hand-assembled matrix) falls
+  // back to deriving it from the metadata size, so group_count() stays a
+  // cheap field read on the hot path instead of a division per call.
+  std::size_t groups = 0;
+
   std::size_t outer() const { return axis == QuantAxis::kRow ? rows : cols; }
   std::size_t inner() const { return axis == QuantAxis::kRow ? cols : rows; }
   std::size_t group_count() const {
-    return mins.size() / (outer() == 0 ? 1 : outer());
+    return groups != 0 ? groups : mins.size() / (outer() == 0 ? 1 : outer());
   }
 
   std::uint8_t code_at(std::size_t r, std::size_t c) const {

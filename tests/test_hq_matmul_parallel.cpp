@@ -1,0 +1,142 @@
+// Randomized equivalence: the blocked, multithreaded HQ-GEMM engine must
+// match the seed scalar reference (hq_matmul_reference) across layouts,
+// ragged tails, SE on/off, band counts, and tile-remainder shapes. The two
+// paths reassociate the Eq. (4) float terms differently, so "match" means
+// within 1e-4 — the integer GEMM part is exact, only correction-term rounding
+// differs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/hq_matmul.h"
+#include "metrics/tensor_metrics.h"
+
+namespace hack {
+namespace {
+
+struct Operands {
+  QuantizedMatrix a;      // row-axis, M x Z
+  QuantizedMatrix b_col;  // col-axis, Z x N
+  QuantizedMatrix b_row;  // row-axis, N x Z
+};
+
+Operands make_operands(std::size_t m, std::size_t z, std::size_t n,
+                       std::size_t pi, int a_bits, int b_bits,
+                       std::uint64_t seed, bool ragged) {
+  Rng rng(seed);
+  const Matrix a_src = Matrix::random_gaussian(m, z, rng);
+  const Matrix b_src = Matrix::random_gaussian(z, n, rng);
+  Matrix bt(n, z);
+  for (std::size_t i = 0; i < z; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      bt(j, i) = b_src(i, j);
+    }
+  }
+  Rng q1(seed + 1), q2(seed + 2), q3(seed + 3);
+  Operands ops;
+  ops.a = quantize(a_src, a_bits, pi, QuantAxis::kRow, Rounding::kStochastic,
+                   q1, ragged);
+  ops.b_col = quantize(b_src, b_bits, pi, QuantAxis::kCol,
+                       Rounding::kStochastic, q2, ragged);
+  ops.b_row = quantize(bt, b_bits, pi, QuantAxis::kRow, Rounding::kStochastic,
+                       q3, ragged);
+  return ops;
+}
+
+void expect_close(const Matrix& got, const Matrix& want, const char* what) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  float max_diff = 0.0f;
+  float max_mag = 0.0f;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(got.flat()[i] - want.flat()[i]));
+    max_mag = std::max(max_mag, std::fabs(want.flat()[i]));
+  }
+  // 1e-4 relative to the result's magnitude (absolute for values near zero).
+  EXPECT_LT(max_diff, 1e-4f * std::max(1.0f, max_mag)) << what;
+}
+
+struct EquivCase {
+  std::size_t m, z, n, pi;
+  bool ragged;
+  int threads;
+};
+
+class HqMatmulEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(HqMatmulEquivalence, BlockedMatchesScalarReference) {
+  const EquivCase p = GetParam();
+  const Operands ops =
+      make_operands(p.m, p.z, p.n, p.pi, 8, 2, 4000 + p.m + p.z + p.n,
+                    p.ragged);
+
+  // SE off.
+  HqStats blocked{}, scalar{};
+  expect_close(hq_matmul(ops.a, ops.b_col, nullptr, &blocked, p.threads),
+               hq_matmul_reference(ops.a, ops.b_col, nullptr, &scalar), "NN");
+  EXPECT_EQ(blocked.int_macs, scalar.int_macs);
+  EXPECT_EQ(blocked.approx_flops, scalar.approx_flops);
+  EXPECT_EQ(blocked.sum_flops, scalar.sum_flops);
+
+  HqStats blocked_nt{}, scalar_nt{};
+  expect_close(hq_matmul_nt(ops.a, ops.b_row, nullptr, &blocked_nt, p.threads),
+               hq_matmul_nt_reference(ops.a, ops.b_row, nullptr, &scalar_nt),
+               "NT");
+  EXPECT_EQ(blocked_nt.int_macs, scalar_nt.int_macs);
+  EXPECT_EQ(blocked_nt.approx_flops, scalar_nt.approx_flops);
+  EXPECT_EQ(blocked_nt.sum_flops, scalar_nt.sum_flops);
+
+  // SE on: same values through the SumCache fast path.
+  const SumCache nn_sums = SumCache::build(ops.b_col);
+  const SumCache nt_sums = SumCache::build(ops.b_row);
+  HqStats se{};
+  expect_close(hq_matmul(ops.a, ops.b_col, &nn_sums, &se, p.threads),
+               hq_matmul_reference(ops.a, ops.b_col, &nn_sums), "NN+SE");
+  EXPECT_EQ(se.sum_flops, 0);
+  expect_close(hq_matmul_nt(ops.a, ops.b_row, &nt_sums, nullptr, p.threads),
+               hq_matmul_nt_reference(ops.a, ops.b_row, &nt_sums), "NT+SE");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HqMatmulEquivalence,
+    ::testing::Values(
+        // Decode GEMV path, serial and with a thread request to ignore.
+        EquivCase{1, 128, 333, 64, false, 0},
+        EquivCase{1, 64, 200, 64, false, 8},
+        // Tile remainders: m % 4 and n % 4 nonzero, tiny shapes.
+        EquivCase{2, 64, 3, 32, false, 1}, EquivCase{5, 96, 7, 32, false, 3},
+        EquivCase{7, 64, 9, 64, false, 4}, EquivCase{3, 32, 2, 16, false, 2},
+        // Ragged inner tails (Z not a multiple of Π).
+        EquivCase{6, 100, 11, 32, true, 3},
+        EquivCase{4, 72, 5, 64, true, 8},
+        EquivCase{1, 150, 40, 64, true, 0},
+        // Prefill-ish shapes with more bands than a small machine has cores.
+        EquivCase{64, 128, 48, 64, false, 8},
+        EquivCase{33, 128, 65, 32, false, 16},
+        EquivCase{16, 256, 16, 128, false, 0}));
+
+TEST(HqMatmulParallel, ThreadCountDoesNotChangeResults) {
+  // Same request, different band counts: every C row is produced entirely
+  // within one band, so results must be bit-identical.
+  const Operands ops = make_operands(31, 128, 29, 64, 8, 2, 99, false);
+  const Matrix serial = hq_matmul(ops.a, ops.b_col, nullptr, nullptr, 1);
+  for (const int threads : {2, 3, 8, 0}) {
+    const Matrix threaded =
+        hq_matmul(ops.a, ops.b_col, nullptr, nullptr, threads);
+    EXPECT_EQ(max_abs_diff(serial, threaded), 0.0f) << threads << " threads";
+  }
+}
+
+TEST(HqMatmulParallel, MixedPrecisionSweep) {
+  for (const int b_bits : {2, 4, 8}) {
+    const Operands ops = make_operands(9, 96, 13, 32, 8, b_bits,
+                                       700 + b_bits, /*ragged=*/false);
+    expect_close(hq_matmul(ops.a, ops.b_col, nullptr, nullptr, 4),
+                 hq_matmul_reference(ops.a, ops.b_col), "NN bits");
+    expect_close(hq_matmul_nt(ops.a, ops.b_row, nullptr, nullptr, 4),
+                 hq_matmul_nt_reference(ops.a, ops.b_row), "NT bits");
+  }
+}
+
+}  // namespace
+}  // namespace hack

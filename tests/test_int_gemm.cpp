@@ -104,6 +104,58 @@ TEST(IntGemm, NoOverflowAtMaxCodes) {
   EXPECT_EQ(dot, 255 * 255 * static_cast<std::int32_t>(z));
 }
 
+TEST(IntGemm, BandedRowsMatchFullKernel) {
+  // Computing C in row bands (the thread-pool decomposition) must equal one
+  // full-range call, for both layouts and any band split.
+  Rng rng(4);
+  const std::size_t m = 13, z = 96, n = 11;
+  const auto a = random_codes(m * z, 8, rng);
+  const auto b_nn = random_codes(z * n, 8, rng);
+  const auto b_nt = random_codes(n * z, 8, rng);
+  const CodeView av{a.data(), m, z};
+  const CodeView bv_nn{b_nn.data(), z, n};
+  const CodeView bv_nt{b_nt.data(), n, z};
+
+  std::vector<std::int32_t> full_nn(m * n, 0), full_nt(m * n, 0);
+  int_gemm_nn_block(av, bv_nn, 0, z, full_nn);
+  int_gemm_nt_block(av, bv_nt, 0, z, full_nt);
+
+  const std::size_t splits[] = {0, 1, 4, 5, 12, m};
+  std::vector<std::int32_t> banded_nn(m * n, 0), banded_nt(m * n, 0);
+  for (std::size_t s = 0; s + 1 < std::size(splits); ++s) {
+    const std::size_t i0 = splits[s], i1 = splits[s + 1];
+    int_gemm_nn_rows(av, bv_nn, i0, i1, 0, z, banded_nn.data() + i0 * n);
+    int_gemm_nt_rows(av, bv_nt, i0, i1, 0, z, banded_nt.data() + i0 * n);
+  }
+  EXPECT_EQ(full_nn, banded_nn);
+  EXPECT_EQ(full_nt, banded_nt);
+}
+
+TEST(IntGemm, NtSmallCodeFastPathMatchesGeneric) {
+  // b_bits <= 6 may take a SIMD multiply-add path; the int32 results must be
+  // identical to the generic kernel, including ragged z-ranges and row/col
+  // remainders.
+  Rng rng(5);
+  for (const int b_bits : {2, 4, 6}) {
+    const std::size_t m = 7, z = 130, n = 9;
+    const auto a = random_codes(m * z, 8, rng);
+    const auto b = random_codes(n * z, b_bits, rng);
+    const CodeView av{a.data(), m, z};
+    const CodeView bv{b.data(), n, z};
+    for (const auto& range :
+         {std::pair<std::size_t, std::size_t>{0, z}, {0, 64}, {64, 128},
+          {128, 130}, {3, 37}}) {
+      std::vector<std::int32_t> generic(m * n, 17), fast(m * n, 17);
+      int_gemm_nt_rows(av, bv, 0, m, range.first, range.second,
+                       generic.data(), /*b_bits=*/8);
+      int_gemm_nt_rows(av, bv, 0, m, range.first, range.second, fast.data(),
+                       b_bits);
+      EXPECT_EQ(generic, fast) << "b_bits=" << b_bits << " z-range ["
+                               << range.first << "," << range.second << ")";
+    }
+  }
+}
+
 TEST(IntGemm, ShapeChecks) {
   const std::vector<std::uint8_t> a = {1, 2};
   const CodeView av{a.data(), 1, 2};

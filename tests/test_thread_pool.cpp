@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "base/thread_pool.h"
+
+namespace hack {
+namespace {
+
+// Every index in [0, n) must be visited exactly once, whatever the pool size
+// and chunk count.
+void expect_full_coverage(ThreadPool& pool, std::size_t n,
+                          std::size_t chunks) {
+  std::vector<std::atomic<int>> visits(n);
+  pool.parallel_for(n, chunks, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LE(begin, end);
+    ASSERT_LE(end, n);
+    for (std::size_t i = begin; i < end; ++i) {
+      visits[i].fetch_add(1);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  EXPECT_EQ(pool.lanes(), 1u);
+  expect_full_coverage(pool, 100, 1);
+  // Chunk decomposition still honored serially.
+  expect_full_coverage(pool, 100, 7);
+}
+
+TEST(ThreadPool, SingleWorker) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.lanes(), 2u);
+  expect_full_coverage(pool, 1000, 2);
+}
+
+TEST(ThreadPool, ManyWorkers) {
+  ThreadPool pool(7);
+  expect_full_coverage(pool, 12345, 8);
+  // More chunks than lanes: workers drain the queue.
+  expect_full_coverage(pool, 12345, 64);
+  // More chunks than indices: clamped to one index per chunk.
+  expect_full_coverage(pool, 5, 100);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, 4, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<int> data(100000);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<long long> total{0};
+  pool.parallel_for(data.size(), 16, [&](std::size_t begin, std::size_t end) {
+    long long local = 0;
+    for (std::size_t i = begin; i < end; ++i) local += data[i];
+    total.fetch_add(local);
+  });
+  const long long expect =
+      std::accumulate(data.begin(), data.end(), 0LL);
+  EXPECT_EQ(total.load(), expect);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(100, 8,
+                        [&](std::size_t begin, std::size_t) {
+                          if (begin >= 50) {
+                            throw std::runtime_error("boom");
+                          }
+                        }),
+      std::runtime_error);
+  // The pool survives and keeps working after a throwing batch.
+  expect_full_coverage(pool, 64, 8);
+}
+
+TEST(ThreadPool, ExceptionPropagatesInline) {
+  ThreadPool pool(0);
+  EXPECT_THROW(pool.parallel_for(
+                   10, 2, [](std::size_t, std::size_t) { throw 42; }),
+               int);
+}
+
+TEST(ThreadPool, ChunkDecompositionIsPoolSizeIndependent) {
+  // The same (n, chunks) request must produce identical ranges on any pool —
+  // this is what makes threaded float kernels reproducible across machines.
+  auto ranges_of = [](ThreadPool& pool, std::size_t n, std::size_t chunks) {
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    pool.parallel_for(n, chunks, [&](std::size_t b, std::size_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      ranges.emplace_back(b, e);
+    });
+    std::sort(ranges.begin(), ranges.end());
+    return ranges;
+  };
+  ThreadPool serial(0), wide(6);
+  EXPECT_EQ(ranges_of(serial, 103, 8), ranges_of(wide, 103, 8));
+  EXPECT_EQ(ranges_of(serial, 8, 3), ranges_of(wide, 8, 3));
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A loop body calling parallel_for on its own pool must not deadlock on
+  // the dispatch lock; the nested loop runs inline with full coverage.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> visits(64 * 16);
+  pool.parallel_for(64, 8, [&](std::size_t ob, std::size_t oe) {
+    for (std::size_t o = ob; o < oe; ++o) {
+      pool.parallel_for(16, 4, [&, o](std::size_t ib, std::size_t ie) {
+        for (std::size_t i = ib; i < ie; ++i) {
+          visits[o * 16 + i].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, BackToBackBatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(64, 8, [&](std::size_t begin, std::size_t end) {
+      count.fetch_add(static_cast<int>(end - begin));
+    });
+    ASSERT_EQ(count.load(), 64) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ParseThreadOverride) {
+  EXPECT_EQ(ThreadPool::parse_thread_override(nullptr), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_override(""), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_override("4"), 4u);
+  EXPECT_EQ(ThreadPool::parse_thread_override("1"), 1u);
+  EXPECT_EQ(ThreadPool::parse_thread_override("0"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_override("-3"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_override("abc"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_override("8x"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_override("999999"), 0u);  // capped
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  ThreadPool& pool = ThreadPool::global();
+  EXPECT_GE(pool.lanes(), 1u);
+  EXPECT_EQ(&pool, &ThreadPool::global());
+  expect_full_coverage(pool, 1000, 0);  // chunks=0 -> all lanes
+}
+
+}  // namespace
+}  // namespace hack
