@@ -3,10 +3,58 @@
 // 200 Gbps per §7.6); prefill replicas are A10G pairs; RPS grows with p.
 // Paper shape: the baseline's JCT blows up with p (KV transfer and decode
 // memory saturate), while CacheGen/KVQuant/HACK grow slowly.
+//
+// Besides the cluster-sim tables, the binary emits JSON trajectory lines:
+//   {"bench":"fig14_jct_scalability","method":...,"jct_p1":...,"jct_p8":...}
+// and a kernel-level thread-scalability sweep of the batched multi-head
+// attention engine (one layer, prefill) so per-PR artifacts track how the
+// (head × row-band) decomposition scales:
+//   {"bench":"fig14_thread_scalability","threads":...,"layer_prefill_ms":...,
+//    "tokens_per_s":...}
+#include <chrono>
+#include <cstdio>
+
+#include "attention/layer_attention.h"
+#include "base/thread_pool.h"
 #include "bench_util.h"
 
 using namespace hack;
 using namespace hack::bench;
+
+namespace {
+
+void batched_engine_thread_sweep() {
+  const std::size_t heads = 8, kv_heads = 4, d_head = 128, context = 1024;
+  Rng rng(5);
+  const Matrix q = Matrix::random_gaussian(context, heads * d_head, rng);
+  const Matrix k = Matrix::random_gaussian(context, kv_heads * d_head, rng);
+  const Matrix v = Matrix::random_gaussian(context, kv_heads * d_head, rng);
+  for (const int threads : {1, 2, 4}) {
+    HackAttentionConfig cfg;
+    cfg.pi = 64;
+    cfg.threads = threads;
+    double best = 1e300;
+    for (int rep = 0; rep < 2; ++rep) {
+      HackLayerKvState layer(d_head, kv_heads, heads, cfg, 11);
+      const auto start = std::chrono::steady_clock::now();
+      (void)layer.prefill(q, k, v);
+      const auto stop = std::chrono::steady_clock::now();
+      best = std::min(
+          best,
+          std::chrono::duration<double, std::milli>(stop - start).count());
+    }
+    std::printf(
+        "{\"bench\":\"fig14_thread_scalability\",\"heads\":%zu,"
+        "\"kv_heads\":%zu,\"d_head\":%zu,\"context\":%zu,\"threads\":%d,"
+        "\"lanes\":%zu,\"layer_prefill_ms\":%.2f,\"tokens_per_s\":%.1f}\n",
+        heads, kv_heads, d_head, context, threads,
+        ThreadPool::global().lanes(), best,
+        1000.0 * static_cast<double>(context) / best);
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
 
 int main() {
   const Method methods[] = {Method::kBaseline, Method::kCacheGen,
@@ -36,7 +84,14 @@ int main() {
   s.header({"method", "growth"});
   for (int m = 0; m < 4; ++m) {
     s.row({method_name(methods[m]), pct(last[m] / first[m] - 1.0)});
+    std::printf(
+        "{\"bench\":\"fig14_jct_scalability\",\"method\":\"%s\","
+        "\"jct_p1\":%.2f,\"jct_p8\":%.2f,\"growth\":%.3f}\n",
+        method_name(methods[m]).c_str(), first[m], last[m],
+        last[m] / first[m] - 1.0);
   }
   s.print();
+
+  batched_engine_thread_sweep();
   return 0;
 }

@@ -1,0 +1,270 @@
+// Serving-shape throughput of the batched multi-head HQ-attention engine:
+// per-layer prefill and decode latency / tokens-per-second at realistic GQA
+// shapes (default 32 query heads over 8 KV heads, d_head 128), comparing one
+// HackLayerKvState batched launch against the pre-batching per-head loop
+// (append per KV head, then one hack_attention per query head).
+//
+// Emits one JSON line per (context, threads) leg:
+//
+//   {"bench":"serving_layer_prefill","heads":32,"kv_heads":8,"d_head":128,
+//    "context":4096,"threads":4,"lanes":4,"batched_ms":...,
+//    "per_head_1t_ms":...,"batched_tokens_per_s":...,
+//    "speedup_vs_per_head_1t":...,"wire_bytes":...}
+//   {"bench":"serving_layer_decode",...,"batched_ms":...,"per_head_1t_ms":...,
+//    "batched_tokens_per_s":...,"speedup_vs_per_head_1t":...}
+//
+// `per_head_1t_ms` is the serial per-head loop (threads=1) — the honest
+// baseline for "what one layer cost before batching". `speedup_vs_per_head_1t`
+// therefore folds in both the head-level parallelism (bounded by the machine's
+// cores / HACK_NUM_THREADS) and the fused-launch savings; `lanes` records how
+// many pool lanes actually existed so a 1-core CI box is readable as such.
+//
+// Usage: bench_serving_throughput [--quick] [--context=1024,4096]
+//                                 [--threads=1,2,4] [--heads=32] [--kv-heads=8]
+//   --quick shrinks to context 512 / threads {1,2} for CI smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attention/hack_attention.h"
+#include "attention/layer_attention.h"
+#include "base/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace hack;
+
+struct Shape {
+  std::size_t heads = 32;
+  std::size_t kv_heads = 8;
+  std::size_t d_head = 128;
+  std::size_t pi = 64;
+};
+
+struct Inputs {
+  Matrix q_all, k_all, v_all;
+};
+
+Inputs make_inputs(const Shape& s, std::size_t tokens, std::uint64_t seed) {
+  Rng rng(seed);
+  return {Matrix::random_gaussian(tokens, s.heads * s.d_head, rng),
+          Matrix::random_gaussian(tokens, s.kv_heads * s.d_head, rng),
+          Matrix::random_gaussian(tokens, s.kv_heads * s.d_head, rng)};
+}
+
+HackAttentionConfig make_config(const Shape& s, int threads) {
+  HackAttentionConfig cfg;
+  cfg.pi = s.pi;
+  cfg.threads = threads;
+  return cfg;
+}
+
+double time_best_ms(const std::function<void()>& fn, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  return best;
+}
+
+// The pre-batching model path for one layer: per-KV-head states appended and
+// attended in a serial query-head loop.
+struct PerHeadLayer {
+  Shape shape;
+  std::vector<HackKvState> states;
+  std::vector<Rng> rngs;
+
+  PerHeadLayer(const Shape& s, const HackAttentionConfig& cfg,
+               std::uint64_t seed)
+      : shape(s) {
+    for (std::size_t h = 0; h < s.kv_heads; ++h) {
+      states.emplace_back(s.d_head, cfg);
+      rngs.emplace_back(seed + h);
+    }
+  }
+
+  void append(const Inputs& in) {
+    const std::size_t d = shape.d_head;
+    for (std::size_t h = 0; h < shape.kv_heads; ++h) {
+      states[h].append_tokens(take_cols(in.k_all, h * d, (h + 1) * d),
+                              take_cols(in.v_all, h * d, (h + 1) * d),
+                              rngs[h]);
+    }
+  }
+
+  void attend(const Inputs& in, std::size_t key_offset) {
+    const std::size_t d = shape.d_head;
+    const std::size_t group = shape.heads / shape.kv_heads;
+    for (std::size_t g = 0; g < shape.kv_heads; ++g) {
+      for (std::size_t sub = 0; sub < group; ++sub) {
+        const std::size_t head = g * group + sub;
+        const Matrix o = hack_attention(
+            take_cols(in.q_all, head * d, (head + 1) * d), states[g],
+            {.causal = true, .key_offset = key_offset}, rngs[g]);
+        (void)o;
+      }
+    }
+  }
+};
+
+void run_prefill_legs(const Shape& shape, std::size_t context,
+                      const std::vector<int>& thread_legs) {
+  const Inputs in = make_inputs(shape, context, 1234);
+  const int reps = context >= 2048 ? 1 : 2;
+  const std::size_t lanes = ThreadPool::global().lanes();
+
+  // Serial per-head baseline, measured once per context.
+  const HackAttentionConfig cfg_1t = make_config(shape, 1);
+  const double per_head_1t_ms = time_best_ms(
+      [&] {
+        PerHeadLayer layer(shape, cfg_1t, 7);
+        layer.append(in);
+        layer.attend(in, 0);
+      },
+      reps);
+
+  std::size_t wire_bytes = 0;
+  for (const int threads : thread_legs) {
+    const HackAttentionConfig cfg = make_config(shape, threads);
+    const double batched_ms = time_best_ms(
+        [&] {
+          HackLayerKvState layer(shape.d_head, shape.kv_heads, shape.heads,
+                                 cfg, 7);
+          (void)layer.prefill(in.q_all, in.k_all, in.v_all);
+          wire_bytes = layer.wire_bytes();
+        },
+        reps);
+    std::printf(
+        "{\"bench\":\"serving_layer_prefill\",\"heads\":%zu,\"kv_heads\":%zu,"
+        "\"d_head\":%zu,\"pi\":%zu,\"context\":%zu,\"threads\":%d,"
+        "\"lanes\":%zu,\"batched_ms\":%.2f,\"per_head_1t_ms\":%.2f,"
+        "\"batched_tokens_per_s\":%.1f,\"speedup_vs_per_head_1t\":%.2f,"
+        "\"wire_bytes\":%zu}\n",
+        shape.heads, shape.kv_heads, shape.d_head, shape.pi, context, threads,
+        lanes, batched_ms, per_head_1t_ms,
+        1000.0 * static_cast<double>(context) / batched_ms,
+        per_head_1t_ms / batched_ms, wire_bytes);
+    std::fflush(stdout);
+  }
+}
+
+void run_decode_legs(const Shape& shape, std::size_t context,
+                     const std::vector<int>& thread_legs) {
+  const std::size_t steps = 16;
+  const std::size_t lanes = ThreadPool::global().lanes();
+
+  // Per-head baseline: prefill untimed, then `steps` single-token decodes.
+  const Inputs prompt = make_inputs(shape, context, 1234);
+  const HackAttentionConfig cfg_1t = make_config(shape, 1);
+  PerHeadLayer per_head(shape, cfg_1t, 7);
+  per_head.append(prompt);
+  std::vector<Inputs> tokens;
+  tokens.reserve(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    tokens.push_back(make_inputs(shape, 1, 9000 + t));
+  }
+  const double per_head_1t_ms =
+      time_best_ms(
+          [&] {
+            for (std::size_t t = 0; t < steps; ++t) {
+              per_head.append(tokens[t]);
+              per_head.attend(tokens[t], per_head.states[0].tokens() - 1);
+            }
+          },
+          1) /
+      static_cast<double>(steps);
+
+  for (const int threads : thread_legs) {
+    const HackAttentionConfig cfg = make_config(shape, threads);
+    HackLayerKvState layer(shape.d_head, shape.kv_heads, shape.heads, cfg, 7);
+    (void)layer.prefill(prompt.q_all, prompt.k_all, prompt.v_all);
+    const double batched_ms =
+        time_best_ms(
+            [&] {
+              for (std::size_t t = 0; t < steps; ++t) {
+                (void)layer.decode_step(tokens[t].q_all, tokens[t].k_all,
+                                        tokens[t].v_all);
+              }
+            },
+            1) /
+        static_cast<double>(steps);
+    std::printf(
+        "{\"bench\":\"serving_layer_decode\",\"heads\":%zu,\"kv_heads\":%zu,"
+        "\"d_head\":%zu,\"pi\":%zu,\"context\":%zu,\"threads\":%d,"
+        "\"lanes\":%zu,\"batched_ms\":%.3f,\"per_head_1t_ms\":%.3f,"
+        "\"batched_tokens_per_s\":%.1f,\"speedup_vs_per_head_1t\":%.2f}\n",
+        shape.heads, shape.kv_heads, shape.d_head, shape.pi, context, threads,
+        lanes, batched_ms, per_head_1t_ms, 1000.0 / batched_ms,
+        per_head_1t_ms / batched_ms);
+    std::fflush(stdout);
+  }
+}
+
+std::vector<std::size_t> parse_size_list(const char* s) {
+  std::vector<std::size_t> out;
+  for (const char* p = s; *p != '\0';) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(p, &end, 10);
+    if (end == p) break;
+    out.push_back(static_cast<std::size_t>(v));
+    p = *end == ',' ? end + 1 : end;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shape shape;
+  std::vector<std::size_t> contexts = {1024, 4096};
+  std::vector<int> thread_legs = {1, 2, 4};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      contexts = {512};
+      thread_legs = {1, 2};
+    } else if (arg.rfind("--context=", 0) == 0) {
+      contexts = parse_size_list(arg.c_str() + 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      thread_legs.clear();
+      for (const std::size_t t : parse_size_list(arg.c_str() + 10)) {
+        thread_legs.push_back(static_cast<int>(t));
+      }
+    } else if (arg.rfind("--heads=", 0) == 0) {
+      shape.heads = std::strtoul(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--kv-heads=", 0) == 0) {
+      shape.kv_heads = std::strtoul(arg.c_str() + 11, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (shape.heads == 0 || shape.kv_heads == 0 ||
+      shape.heads % shape.kv_heads != 0) {
+    std::fprintf(stderr, "heads must be a positive multiple of kv_heads\n");
+    return 1;
+  }
+  if (contexts.empty() || thread_legs.empty()) {
+    std::fprintf(stderr, "--context and --threads need at least one value\n");
+    return 1;
+  }
+
+  std::printf("batched layer vs per-head loop: %zu query heads / %zu KV heads"
+              ", d_head %zu, pool lanes %zu\n",
+              shape.heads, shape.kv_heads, shape.d_head,
+              ThreadPool::global().lanes());
+  for (const std::size_t context : contexts) {
+    run_prefill_legs(shape, context, thread_legs);
+    run_decode_legs(shape, context, thread_legs);
+  }
+  return 0;
+}

@@ -2,18 +2,12 @@
 
 #include <cmath>
 
+#include "attention/layer_attention.h"
 #include "tensor/half.h"
 #include "tensor/ops.h"
 
 namespace hack {
 namespace {
-
-void add_hq_stats(HackAttnStats* stats, const HqStats& hq) {
-  if (stats == nullptr) return;
-  stats->int_macs += hq.int_macs;
-  stats->approx_flops += hq.approx_flops;
-  stats->sum_recompute_flops += hq.sum_flops;
-}
 
 void count_quantized(HackAttnStats* stats, std::size_t values) {
   if (stats != nullptr) {
@@ -49,8 +43,10 @@ void HackKvState::append_tokens(const Matrix& k_new, const Matrix& v_new,
 
   // K: each token's row partitions along the fixed head dimension, so new
   // tokens form whole new partitions and old metadata never changes (§5.3).
-  QuantizedMatrix k_chunk = quantize(k_new, config_.kv_bits, config_.pi,
-                                     QuantAxis::kRow, config_.rounding, rng);
+  QuantizedMatrix k_chunk =
+      quantize(k_new, config_.kv_bits, config_.pi, QuantAxis::kRow,
+               config_.rounding, rng, /*allow_ragged_tail=*/false,
+               config_.threads);
   count_quantized(stats, k_new.size());
   if (!k_init_) {
     k_ = std::move(k_chunk);
@@ -79,8 +75,10 @@ void HackKvState::promote_full_partitions(Rng& rng, HackAttnStats* stats) {
   if (config_.requant_elimination) {
     while (v_tail_fp16_.rows() >= pi) {
       const Matrix chunk = take_rows(v_tail_fp16_, 0, pi);
-      QuantizedMatrix qchunk = quantize(chunk, config_.kv_bits, pi,
-                                        QuantAxis::kCol, config_.rounding, rng);
+      QuantizedMatrix qchunk =
+          quantize(chunk, config_.kv_bits, pi, QuantAxis::kCol,
+                   config_.rounding, rng, /*allow_ragged_tail=*/false,
+                   config_.threads);
       count_quantized(stats, chunk.size());
       if (!v_init_) {
         v_q_ = std::move(qchunk);
@@ -128,7 +126,7 @@ void HackKvState::requantize_tail(const Matrix& rows, Rng& rng,
       // The expensive path of Fig. 8: reconstruct the old values from their
       // codes, then requantize everything under the widened [min, max]. The
       // reconstruction error of each round compounds.
-      block = vstack(dequantize(v_tail_q_), incoming);
+      block = vstack(dequantize(v_tail_q_, config_.threads), incoming);
       if (stats != nullptr) {
         ++stats->requant_events;
         stats->requant_values += static_cast<std::int64_t>(block.size());
@@ -137,7 +135,8 @@ void HackKvState::requantize_tail(const Matrix& rows, Rng& rng,
       block = incoming;
     }
     v_tail_q_ = quantize(block, config_.kv_bits, pi, QuantAxis::kCol,
-                         config_.rounding, rng, /*allow_ragged_tail=*/true);
+                         config_.rounding, rng, /*allow_ragged_tail=*/true,
+                         config_.threads);
     v_tail_q_init_ = true;
     count_quantized(stats, block.size());
     if (v_tail_q_.rows >= pi) {
@@ -170,94 +169,49 @@ std::size_t HackKvState::wire_bytes() const {
   return packed_kv_bytes() + sum_cache_bytes() + fp16_tail_bytes();
 }
 
+QuantizedMatrix HackKvState::v_quantized_all() const {
+  HACK_CHECK(v_init_ || v_tail_q_init_, "RQE-off V store is empty");
+  if (!v_init_) {
+    return v_tail_q_;
+  }
+  QuantizedMatrix v_all = v_q_;
+  if (v_tail_q_init_) {
+    const QuantizedMatrix& tail = v_tail_q_;
+    const std::size_t old_groups = v_all.group_count();
+    const std::size_t new_groups = old_groups + 1;
+    std::vector<float> mins(v_all.cols * new_groups);
+    std::vector<float> scales(v_all.cols * new_groups);
+    for (std::size_t o = 0; o < v_all.cols; ++o) {
+      for (std::size_t g = 0; g < old_groups; ++g) {
+        mins[o * new_groups + g] = v_all.mins[o * old_groups + g];
+        scales[o * new_groups + g] = v_all.scales[o * old_groups + g];
+      }
+      mins[o * new_groups + old_groups] = tail.mins[o];
+      scales[o * new_groups + old_groups] = tail.scales[o];
+    }
+    v_all.mins = std::move(mins);
+    v_all.scales = std::move(scales);
+    v_all.codes.insert(v_all.codes.end(), tail.codes.begin(),
+                       tail.codes.end());
+    v_all.rows += tail.rows;
+    v_all.groups = new_groups;
+  }
+  return v_all;
+}
+
 Matrix hack_attention(const Matrix& q, HackKvState& state,
                       const AttentionOptions& options, Rng& rng,
                       HackAttnStats* stats) {
-  HACK_CHECK(q.cols() == state.d_head(), "query head dim mismatch");
-  HACK_CHECK(state.tokens() > 0, "attention over empty KV state");
-  const auto& cfg = state.config();
-  const std::size_t lq = q.rows();
-  const std::size_t lkv = state.tokens();
-  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(q.cols()));
-
-  // --- S = Q·Kᵀ through homomorphic quantization (step 3 in Fig. 5).
-  QuantizedMatrix qq = quantize(q, cfg.q_bits, cfg.pi, QuantAxis::kRow,
-                                cfg.rounding, rng);
-  count_quantized(stats, q.size());
-  HqStats hq{};
-  const SumCache* ks =
-      cfg.summation_elimination ? &state.k_sums_ : nullptr;
-  Matrix scores = hq_matmul_nt(qq, state.k_, ks, &hq, cfg.threads);
-  add_hq_stats(stats, hq);
-  scores = scale(scores, inv_sqrt_d);
-
-  // --- P = softmax(S) (step 4), computed in full precision as on the GPU.
-  Matrix p = options.causal ? softmax_rows_causal(scores, options.key_offset)
-                            : softmax_rows(scores);
-
-  // --- O = P·V, quantized part via Eq. (4), tail block per RQE setting.
-  Matrix out(lq, q.cols(), 0.0f);
-  const std::size_t vq_rows = state.quantized_v_rows();
-
-  if (cfg.requant_elimination) {
-    if (vq_rows > 0) {
-      QuantizedMatrix pq =
-          quantize(take_cols(p, 0, vq_rows), cfg.q_bits, cfg.pi,
-                   QuantAxis::kRow, cfg.rounding, rng);
-      count_quantized(stats, lq * vq_rows);
-      const SumCache* vs =
-          cfg.summation_elimination ? &state.v_sums_ : nullptr;
-      HqStats hq_pv{};
-      out = hq_matmul(pq, state.v_q_, vs, &hq_pv, cfg.threads);
-      add_hq_stats(stats, hq_pv);
-    }
-    // The last block of V is FP16; multiply it un-quantized (§5.3).
-    if (vq_rows < lkv) {
-      const Matrix p_tail = take_cols(p, vq_rows, lkv);
-      const Matrix tail_out = matmul(p_tail, state.v_tail_fp16_);
-      out = out.empty() ? tail_out : add(out, tail_out);
-      if (stats != nullptr) {
-        stats->fp16_tail_macs += static_cast<std::int64_t>(lq) *
-                                 (lkv - vq_rows) * q.cols();
-      }
-    }
-  } else {
-    // RQE disabled: V is quantized end-to-end (ragged tail group included),
-    // and P quantizes over the full sequence with a matching ragged tail.
-    QuantizedMatrix v_all = state.v_init_ ? state.v_q_ : state.v_tail_q_;
-    if (state.v_init_ && state.v_tail_q_init_) {
-      // Splice the ragged tail group onto the full-partition store. The tail
-      // violates the whole-group invariant of append_inner_groups, so splice
-      // manually: codes are row-contiguous, metadata gains one group.
-      const QuantizedMatrix& tail = state.v_tail_q_;
-      const std::size_t old_groups = v_all.group_count();
-      const std::size_t new_groups = old_groups + 1;
-      std::vector<float> mins(v_all.cols * new_groups);
-      std::vector<float> scales(v_all.cols * new_groups);
-      for (std::size_t o = 0; o < v_all.cols; ++o) {
-        for (std::size_t g = 0; g < old_groups; ++g) {
-          mins[o * new_groups + g] = v_all.mins[o * old_groups + g];
-          scales[o * new_groups + g] = v_all.scales[o * old_groups + g];
-        }
-        mins[o * new_groups + old_groups] = tail.mins[o];
-        scales[o * new_groups + old_groups] = tail.scales[o];
-      }
-      v_all.mins = std::move(mins);
-      v_all.scales = std::move(scales);
-      v_all.codes.insert(v_all.codes.end(), tail.codes.begin(),
-                         tail.codes.end());
-      v_all.rows += tail.rows;
-      v_all.groups = new_groups;
-    }
-    HACK_CHECK(v_all.rows == lkv, "RQE-off V store out of sync");
-    QuantizedMatrix pq = quantize(p, cfg.q_bits, cfg.pi, QuantAxis::kRow,
-                                  cfg.rounding, rng, /*allow_ragged_tail=*/true);
-    count_quantized(stats, p.size());
-    HqStats hq_pv{};
-    out = hq_matmul(pq, v_all, nullptr, &hq_pv, cfg.threads);
-    add_hq_stats(stats, hq_pv);
-  }
-  return out;
+  // Thin wrapper over the batched engine: one task, with the Q/P quantizer
+  // sub-streams forked here in the same order the layer engine uses, so a
+  // loop of per-head calls is bit-identical to one batched layer call.
+  Rng q_rng = rng.fork();
+  Rng p_rng = rng.fork();
+  HeadAttentionTask task{&q, &state, &q_rng, &p_rng};
+  std::vector<Matrix> outs;
+  hack_attention_batched({&task, 1}, options, outs, stats,
+                         state.config().threads);
+  return std::move(outs[0]);
 }
 
 Matrix hack_attn_prefill(const Matrix& q, const Matrix& k, const Matrix& v,

@@ -75,15 +75,23 @@ class HackKvState {
   std::size_t fp16_tail_bytes() const;   // RQE FP16 last block (0 when off)
   std::size_t wire_bytes() const;        // what prefill transmits to decode
 
-  // Read access for tests.
+  // Read access for tests and the batched attention engine.
   const QuantizedMatrix& k() const { return k_; }
   const QuantizedMatrix& v_quantized() const { return v_q_; }
   const Matrix& v_tail_fp16() const { return v_tail_fp16_; }
+  const SumCache& k_sums() const { return k_sums_; }
+  const SumCache& v_sums() const { return v_sums_; }
+  bool v_quantized_ready() const { return v_init_; }
+  bool v_tail_quantized_ready() const { return v_tail_q_init_; }
+  const QuantizedMatrix& v_tail_quantized() const { return v_tail_q_; }
+
+  // RQE-off view of V: the full-partition store with the ragged quantized
+  // tail group spliced on, covering every cached token. The tail violates the
+  // whole-group invariant of append_inner_groups, so the splice is done here:
+  // codes are row-contiguous, metadata gains one group.
+  QuantizedMatrix v_quantized_all() const;
 
  private:
-  friend Matrix hack_attention(const Matrix&, HackKvState&,
-                               const AttentionOptions&, Rng&, HackAttnStats*);
-
   // RQE-off path: folds `rows` new V rows into the ragged quantized tail by
   // dequantize -> append -> requantize (the expensive path of Fig. 8).
   void requantize_tail(const Matrix& rows, Rng& rng, HackAttnStats* stats);
@@ -111,6 +119,10 @@ class HackKvState {
 // Attention over the quantized state. Handles both prefill (q has L_Q rows,
 // key_offset 0) and decode (single-row q, key_offset = tokens - 1). The
 // state must already contain the K/V rows for all tokens q attends to.
+// Implemented as a single-task wrapper over the batched multi-head engine in
+// attention/layer_attention.h: it forks the Q/P quantizer sub-streams from
+// `rng` in the same order the layer engine does, so a serial loop of
+// per-head calls is bit-identical to one batched layer call.
 Matrix hack_attention(const Matrix& q, HackKvState& state,
                       const AttentionOptions& options, Rng& rng,
                       HackAttnStats* stats = nullptr);

@@ -1,0 +1,401 @@
+#include "attention/layer_attention.h"
+
+#include <cmath>
+#include <functional>
+#include <utility>
+
+#include "base/thread_pool.h"
+#include "core/hq_matmul.h"
+#include "tensor/ops.h"
+
+namespace hack {
+namespace {
+
+void add_hq(HackAttnStats& stats, const HqStats& hq) {
+  stats.int_macs += hq.int_macs;
+  stats.approx_flops += hq.approx_flops;
+  stats.sum_recompute_flops += hq.sum_flops;
+}
+
+void add_attn_stats(HackAttnStats& dst, const HackAttnStats& src) {
+  dst.quantized_values += src.quantized_values;
+  dst.int_macs += src.int_macs;
+  dst.approx_flops += src.approx_flops;
+  dst.sum_recompute_flops += src.sum_recompute_flops;
+  dst.fp16_tail_macs += src.fp16_tail_macs;
+  dst.requant_events += src.requant_events;
+  dst.requant_values += src.requant_values;
+}
+
+// Runs fn(t) for t in [0, n) on the shared pool; `threads` caps concurrency
+// (0 = auto: one dynamically claimed chunk per task). Every task is
+// independent — own output slot, own pre-forked RNG streams — so scheduling
+// cannot change results.
+void for_each_task(std::size_t n, int threads,
+                   const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads == 1 || n == 1) {
+    for (std::size_t t = 0; t < n; ++t) fn(t);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  pool.parallel_for(n, chunks_for_request(threads, n, /*auto_chunks=*/n),
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t t = begin; t < end; ++t) fn(t);
+                    });
+}
+
+}  // namespace
+
+namespace {
+
+// Per-chunk score-buffer budget. Each in-flight head holds an lq × lkv score
+// matrix, its softmax, and the P codes (4 + 4 + 1 ≈ 9 bytes per cell); a
+// launch that keeps the whole chunk inside the last-level cache streams the
+// softmax → quantize → P·V phases from cache instead of DRAM. Decode steps
+// and serving-sized prefill chunks fit a whole layer in one launch; huge
+// one-shot prefills fall back toward fewer heads per launch, where the
+// row-band decomposition already fills the pool. Chunking never changes
+// results: every head's streams are forked before the first chunk runs.
+inline constexpr std::size_t kBatchedScoreBudgetBytes = 96u << 20;
+
+std::size_t chunk_score_bytes(std::size_t lq, std::size_t lkv) {
+  return lq * lkv * 9;
+}
+
+// One chunk of heads through quantize-Q → batched Q·Kᵀ → softmax →
+// quantize-P → batched P·V → FP16 tail.
+void run_attention_chunk(std::span<HeadAttentionTask> tasks,
+                         std::span<const std::size_t> lq,
+                         std::span<const std::size_t> lkv,
+                         std::span<const std::size_t> vq_rows,
+                         const AttentionOptions& options,
+                         std::span<Matrix> outs, HackAttnStats& local,
+                         int threads) {
+  const std::size_t t_count = tasks.size();
+
+  // --- Quantize Q for every head (step 3 in Fig. 5). The sub-streams were
+  // forked before this call, so the head loop parallelizes without
+  // reordering any RNG stream.
+  std::vector<QuantizedMatrix> qq(t_count);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    local.quantized_values += static_cast<std::int64_t>(tasks[t].q->size());
+  }
+  for_each_task(t_count, threads, [&](std::size_t t) {
+    const HackAttentionConfig& cfg = tasks[t].state->config();
+    qq[t] = quantize(*tasks[t].q, cfg.q_bits, cfg.pi, QuantAxis::kRow,
+                     cfg.rounding, *tasks[t].q_rng,
+                     /*allow_ragged_tail=*/false, threads);
+  });
+
+  // --- S = Q·Kᵀ for all heads in one (head × row-band) launch.
+  std::vector<Matrix> scores(t_count);
+  {
+    std::vector<HqStats> hq_nt(t_count);
+    std::vector<HqGemmTask> gemm(t_count);
+    for (std::size_t t = 0; t < t_count; ++t) {
+      const HackKvState& st = *tasks[t].state;
+      gemm[t] = {&qq[t], &st.k(),
+                 st.config().summation_elimination ? &st.k_sums() : nullptr,
+                 &scores[t], &hq_nt[t]};
+    }
+    hq_matmul_nt_batched(gemm, threads);
+    for (const HqStats& hq : hq_nt) add_hq(local, hq);
+  }
+  qq.clear();
+
+  // --- P = softmax(S / √d) (step 4), head-parallel, full precision as on
+  // the GPU.
+  std::vector<Matrix> p(t_count);
+  for_each_task(t_count, threads, [&](std::size_t t) {
+    Matrix& s = scores[t];
+    const float inv_sqrt_d =
+        1.0f / std::sqrt(static_cast<float>(tasks[t].q->cols()));
+    for (float& v : s.flat()) v *= inv_sqrt_d;
+    p[t] = options.causal ? softmax_rows_causal(s, options.key_offset)
+                          : softmax_rows(s);
+    s = Matrix();  // scores for this head are dead; cap peak memory
+  });
+
+  // --- Quantize P per head. RQE-off heads multiply against the spliced
+  // (full + ragged tail) V store, built once per distinct KV head.
+  std::vector<QuantizedMatrix> pq(t_count);
+  std::vector<const HackKvState*> spliced_owner;
+  std::vector<QuantizedMatrix> spliced_v;
+  std::vector<std::size_t> spliced_of(t_count, 0);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    const HackKvState& st = *tasks[t].state;
+    if (st.config().requant_elimination) {
+      local.quantized_values +=
+          vq_rows[t] > 0
+              ? static_cast<std::int64_t>(lq[t]) * vq_rows[t]
+              : 0;
+      continue;
+    }
+    local.quantized_values += static_cast<std::int64_t>(lq[t]) * lkv[t];
+    std::size_t found = spliced_owner.size();
+    for (std::size_t s = 0; s < spliced_owner.size(); ++s) {
+      if (spliced_owner[s] == &st) {
+        found = s;
+        break;
+      }
+    }
+    if (found == spliced_owner.size()) {
+      spliced_owner.push_back(&st);
+      spliced_v.push_back(st.v_quantized_all());
+      HACK_CHECK(spliced_v.back().rows == lkv[t],
+                 "RQE-off V store out of sync");
+    }
+    spliced_of[t] = found;
+  }
+  for_each_task(t_count, threads, [&](std::size_t t) {
+    const HackAttentionConfig& cfg = tasks[t].state->config();
+    if (cfg.requant_elimination) {
+      if (vq_rows[t] > 0) {
+        pq[t] = quantize(take_cols(p[t], 0, vq_rows[t]), cfg.q_bits, cfg.pi,
+                         QuantAxis::kRow, cfg.rounding, *tasks[t].p_rng,
+                         /*allow_ragged_tail=*/false, threads);
+      }
+    } else {
+      pq[t] = quantize(p[t], cfg.q_bits, cfg.pi, QuantAxis::kRow, cfg.rounding,
+                       *tasks[t].p_rng, /*allow_ragged_tail=*/true, threads);
+    }
+  });
+
+  // --- O = P·V for all heads with quantized V rows, one batched launch.
+  std::vector<Matrix> oq(t_count);
+  {
+    std::vector<HqStats> hq_nn(t_count);
+    std::vector<HqGemmTask> gemm;
+    gemm.reserve(t_count);
+    std::vector<std::size_t> gemm_task;
+    for (std::size_t t = 0; t < t_count; ++t) {
+      const HackKvState& st = *tasks[t].state;
+      const HackAttentionConfig& cfg = st.config();
+      if (cfg.requant_elimination) {
+        if (vq_rows[t] == 0) continue;
+        gemm.push_back({&pq[t], &st.v_quantized(),
+                        cfg.summation_elimination ? &st.v_sums() : nullptr,
+                        &oq[t], &hq_nn[t]});
+      } else {
+        gemm.push_back(
+            {&pq[t], &spliced_v[spliced_of[t]], nullptr, &oq[t], &hq_nn[t]});
+      }
+      gemm_task.push_back(t);
+    }
+    hq_matmul_batched(gemm, threads);
+    for (const std::size_t t : gemm_task) add_hq(local, hq_nn[t]);
+  }
+  pq.clear();
+
+  // --- RQE FP16 tail (§5.3) and per-head output assembly, head-parallel.
+  std::vector<std::int64_t> tail_macs(t_count, 0);
+  for_each_task(t_count, threads, [&](std::size_t t) {
+    const HackKvState& st = *tasks[t].state;
+    Matrix out;
+    if (st.config().requant_elimination) {
+      out = vq_rows[t] > 0 ? std::move(oq[t])
+                           : Matrix(lq[t], tasks[t].q->cols(), 0.0f);
+      if (vq_rows[t] < lkv[t]) {
+        const Matrix p_tail = take_cols(p[t], vq_rows[t], lkv[t]);
+        out = add(out, matmul(p_tail, st.v_tail_fp16()));
+        tail_macs[t] = static_cast<std::int64_t>(lq[t]) *
+                       (lkv[t] - vq_rows[t]) * tasks[t].q->cols();
+      }
+    } else {
+      out = std::move(oq[t]);
+    }
+    outs[t] = std::move(out);
+    p[t] = Matrix();
+  });
+  for (const std::int64_t macs : tail_macs) local.fp16_tail_macs += macs;
+}
+
+}  // namespace
+
+void hack_attention_batched(std::span<HeadAttentionTask> tasks,
+                            const AttentionOptions& options,
+                            std::vector<Matrix>& outs, HackAttnStats* stats,
+                            int threads) {
+  const std::size_t t_count = tasks.size();
+  outs.assign(t_count, Matrix());
+  if (t_count == 0) return;
+
+  std::vector<std::size_t> lq(t_count), lkv(t_count), vq_rows(t_count);
+  for (std::size_t t = 0; t < t_count; ++t) {
+    const HeadAttentionTask& task = tasks[t];
+    HACK_CHECK(task.q != nullptr && task.state != nullptr &&
+                   task.q_rng != nullptr && task.p_rng != nullptr,
+               "attention task missing a field");
+    HACK_CHECK(task.q->cols() == task.state->d_head(),
+               "query head dim mismatch");
+    HACK_CHECK(task.state->tokens() > 0, "attention over empty KV state");
+    lq[t] = task.q->rows();
+    lkv[t] = task.state->tokens();
+    vq_rows[t] = task.state->quantized_v_rows();
+  }
+
+  HackAttnStats local{};
+  std::size_t begin = 0;
+  while (begin < t_count) {
+    std::size_t end = begin + 1;
+    std::size_t bytes = chunk_score_bytes(lq[begin], lkv[begin]);
+    while (end < t_count &&
+           bytes + chunk_score_bytes(lq[end], lkv[end]) <=
+               kBatchedScoreBudgetBytes) {
+      bytes += chunk_score_bytes(lq[end], lkv[end]);
+      ++end;
+    }
+    run_attention_chunk(
+        tasks.subspan(begin, end - begin),
+        std::span<const std::size_t>(lq).subspan(begin, end - begin),
+        std::span<const std::size_t>(lkv).subspan(begin, end - begin),
+        std::span<const std::size_t>(vq_rows).subspan(begin, end - begin),
+        options, std::span<Matrix>(outs).subspan(begin, end - begin), local,
+        threads);
+    begin = end;
+  }
+
+  if (stats != nullptr) {
+    add_attn_stats(*stats, local);
+  }
+}
+
+// ------------------------------------------------------------ layer state
+
+HackLayerKvState::HackLayerKvState(std::size_t d_head, std::size_t kv_heads,
+                                   std::size_t query_heads,
+                                   const HackAttentionConfig& config,
+                                   std::uint64_t seed)
+    : config_(config),
+      d_head_(d_head),
+      kv_heads_(kv_heads),
+      query_heads_(query_heads),
+      group_(kv_heads == 0 ? 0 : query_heads / kv_heads) {
+  HACK_CHECK(kv_heads > 0, "layer needs at least one KV head");
+  HACK_CHECK(query_heads > 0 && query_heads % kv_heads == 0,
+             "query_heads=" << query_heads << " must be a positive multiple "
+                            << "of kv_heads=" << kv_heads << " (GQA)");
+  states_.reserve(kv_heads);
+  rngs_.reserve(kv_heads);
+  for (std::size_t h = 0; h < kv_heads; ++h) {
+    states_.emplace_back(d_head, config);
+    rngs_.emplace_back(seed + h);
+  }
+}
+
+void HackLayerKvState::append_tokens(const Matrix& k_all, const Matrix& v_all,
+                                     HackAttnStats* stats) {
+  HACK_CHECK(k_all.rows() == v_all.rows(), "K/V row count mismatch");
+  HACK_CHECK(k_all.cols() == kv_heads_ * d_head_ &&
+                 v_all.cols() == kv_heads_ * d_head_,
+             "layer K/V width must be kv_heads * d_head");
+  std::vector<HackAttnStats> local(kv_heads_);
+  const auto append_head = [&](std::size_t h) {
+    states_[h].append_tokens(take_cols(k_all, h * d_head_, (h + 1) * d_head_),
+                             take_cols(v_all, h * d_head_, (h + 1) * d_head_),
+                             rngs_[h], stats != nullptr ? &local[h] : nullptr);
+  };
+  // Decode-step appends (one row per head) stay serial; prefill-sized chunks
+  // quantize every head in one pool pass. Either way each head consumes only
+  // its own stream, so the codes are identical.
+  if (config_.threads == 1 ||
+      k_all.size() + v_all.size() < kParallelQuantizeMinValues) {
+    for (std::size_t h = 0; h < kv_heads_; ++h) append_head(h);
+  } else {
+    for_each_task(kv_heads_, config_.threads, append_head);
+  }
+  if (stats != nullptr) {
+    for (const HackAttnStats& s : local) add_attn_stats(*stats, s);
+  }
+}
+
+Matrix HackLayerKvState::attend(const Matrix& q_all,
+                                const AttentionOptions& options,
+                                HackAttnStats* stats) {
+  HACK_CHECK(q_all.cols() == query_heads_ * d_head_,
+             "layer Q width must be query_heads * d_head");
+
+  // Fork the Q/P sub-streams in query-head order within each KV head — the
+  // exact master-stream consumption of serial per-head hack_attention calls.
+  std::vector<Rng> q_rngs, p_rngs;
+  q_rngs.reserve(query_heads_);
+  p_rngs.reserve(query_heads_);
+  for (std::size_t g = 0; g < kv_heads_; ++g) {
+    for (std::size_t sub = 0; sub < group_; ++sub) {
+      q_rngs.push_back(rngs_[g].fork());
+      p_rngs.push_back(rngs_[g].fork());
+    }
+  }
+
+  std::vector<Matrix> q_heads(query_heads_);
+  for (std::size_t t = 0; t < query_heads_; ++t) {
+    q_heads[t] = take_cols(q_all, t * d_head_, (t + 1) * d_head_);
+  }
+  std::vector<HeadAttentionTask> tasks(query_heads_);
+  for (std::size_t t = 0; t < query_heads_; ++t) {
+    tasks[t] = {&q_heads[t], &states_[t / group_], &q_rngs[t], &p_rngs[t]};
+  }
+  std::vector<Matrix> outs;
+  hack_attention_batched(tasks, options, outs, stats, config_.threads);
+
+  Matrix out(q_all.rows(), query_heads_ * d_head_);
+  for (std::size_t t = 0; t < query_heads_; ++t) {
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      const auto src = outs[t].row(r);
+      std::copy(src.begin(), src.end(), out.row(r).begin() + t * d_head_);
+    }
+  }
+  return out;
+}
+
+Matrix HackLayerKvState::prefill(const Matrix& q_all, const Matrix& k_all,
+                                 const Matrix& v_all, HackAttnStats* stats) {
+  HACK_CHECK(tokens() == 0, "prefill requires a fresh layer state");
+  append_tokens(k_all, v_all, stats);
+  return attend(q_all, AttentionOptions{.causal = true, .key_offset = 0},
+                stats);
+}
+
+Matrix HackLayerKvState::decode_step(const Matrix& q_all, const Matrix& k_all,
+                                     const Matrix& v_all,
+                                     HackAttnStats* stats) {
+  HACK_CHECK(q_all.rows() == 1 && k_all.rows() == 1 && v_all.rows() == 1,
+             "decode processes one token at a time");
+  append_tokens(k_all, v_all, stats);
+  return attend(q_all,
+                AttentionOptions{.causal = true, .key_offset = tokens() - 1},
+                stats);
+}
+
+std::size_t HackLayerKvState::packed_kv_bytes() const {
+  std::size_t total = 0;
+  for (const HackKvState& st : states_) total += st.packed_kv_bytes();
+  return total;
+}
+
+std::size_t HackLayerKvState::sum_cache_bytes() const {
+  std::size_t total = 0;
+  for (const HackKvState& st : states_) total += st.sum_cache_bytes();
+  return total;
+}
+
+std::size_t HackLayerKvState::fp16_tail_bytes() const {
+  std::size_t total = 0;
+  for (const HackKvState& st : states_) total += st.fp16_tail_bytes();
+  return total;
+}
+
+std::size_t HackLayerKvState::wire_bytes() const {
+  std::size_t total = 0;
+  for (const HackKvState& st : states_) total += st.wire_bytes();
+  return total;
+}
+
+const HackKvState& HackLayerKvState::head_state(std::size_t kv_head) const {
+  HACK_CHECK(kv_head < kv_heads_, "kv head " << kv_head << " out of "
+                                             << kv_heads_);
+  return states_[kv_head];
+}
+
+}  // namespace hack

@@ -1,0 +1,117 @@
+// Batched multi-head HACK attention: every head of a transformer layer runs
+// through one quantize pass and fused head-parallel HQ-GEMM launches.
+//
+// The per-head kernels in hack_attention.h process one (query head, KV head)
+// pair at a time; at serving shapes (tens of heads, single-row decode) that
+// hands the blocked HQ-GEMM engine tiny matmuls and leaves the ThreadPool
+// idle between launches. This module batches a whole layer:
+//
+//   - HackLayerKvState owns all KV-head states of a layer plus one RNG
+//     stream per KV head. Appended K/V is quantized for every head in one
+//     pass (head-parallel on the shared pool for prefill-sized chunks) and
+//     the stats of all heads roll up into a single HackAttnStats.
+//   - hack_attention_batched() is the engine: it forks the Q- and P-quantizer
+//     sub-streams for every head up front (in head order, so results are
+//     bit-identical to serial per-head calls for any thread count), quantizes
+//     all Q heads, then drives the prefill Q·Kᵀ and P·V of every head through
+//     hq_matmul_*_batched — a single parallel_for over (head × row-band) work
+//     items. Softmax and the RQE FP16-tail matmuls run head-parallel between
+//     the launches. Single-row queries take the same path, which makes decode
+//     one batched GEMV launch for all heads of the layer instead of H serial
+//     calls. Heads are launched in chunks capped at a fixed score-memory
+//     budget so the softmax → quantize → P·V phases stream from cache, not
+//     DRAM, at long contexts (see docs/perf.md); chunking cannot change
+//     results because all sub-streams are forked before the first chunk.
+//
+// hack_attention() in hack_attention.h is a thin wrapper over this engine
+// with a single task.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "attention/hack_attention.h"
+
+namespace hack {
+
+// One query head's attention problem over one KV head's quantized state.
+// `q_rng` / `p_rng` are the pre-forked sub-streams for quantizing Q and P.
+// Several tasks may share a `state` (GQA query heads reading one KV head);
+// the engine prepares that head's Eq. (4) factors once.
+struct HeadAttentionTask {
+  const Matrix* q = nullptr;     // [lq, d_head] slice for this query head
+  HackKvState* state = nullptr;  // KV head this query head attends over
+  Rng* q_rng = nullptr;
+  Rng* p_rng = nullptr;
+};
+
+// Runs every task's attention and writes outs[t] ([lq, d_head] per task).
+// `stats` (optional) accumulates the work of all tasks. `threads` follows the
+// HQ-GEMM convention: 0 = auto (all lanes of the shared pool), 1 = serial,
+// N = N-way decomposition. Outputs are bit-identical for any thread count.
+void hack_attention_batched(std::span<HeadAttentionTask> tasks,
+                            const AttentionOptions& options,
+                            std::vector<Matrix>& outs,
+                            HackAttnStats* stats = nullptr, int threads = 0);
+
+// All KV-head states of one transformer layer, with the batched engine wired
+// through append/attend. Matrix arguments are head-major slabs: K/V are
+// [n, kv_heads * d_head], Q and the attention output [lq, query_heads *
+// d_head], query head h reading KV head h / (query_heads / kv_heads).
+//
+// RNG discipline: KV head h draws from an independent stream seeded
+// `seed + h`, used for its K/V quantization on append and forked (in query-
+// head order) into the engine's Q/P sub-streams on attend. A layer therefore
+// produces bit-identical output to query_heads serial hack_attention calls
+// over per-head HackKvStates seeded the same way.
+class HackLayerKvState {
+ public:
+  HackLayerKvState(std::size_t d_head, std::size_t kv_heads,
+                   std::size_t query_heads, const HackAttentionConfig& config,
+                   std::uint64_t seed);
+
+  const HackAttentionConfig& config() const { return config_; }
+  std::size_t d_head() const { return d_head_; }
+  std::size_t kv_heads() const { return kv_heads_; }
+  std::size_t query_heads() const { return query_heads_; }
+  std::size_t tokens() const { return states_.empty() ? 0 : states_[0].tokens(); }
+
+  // Appends `n` new tokens' K/V rows for every KV head in one pass.
+  void append_tokens(const Matrix& k_all, const Matrix& v_all,
+                     HackAttnStats* stats = nullptr);
+
+  // Attention of all query heads over the cached tokens, batched.
+  Matrix attend(const Matrix& q_all, const AttentionOptions& options,
+                HackAttnStats* stats = nullptr);
+
+  // Fused prefill: ingests the prompt's K/V and attends causally from
+  // key_offset 0. The state must be fresh.
+  Matrix prefill(const Matrix& q_all, const Matrix& k_all,
+                 const Matrix& v_all, HackAttnStats* stats = nullptr);
+
+  // One decode step: appends the new token's K/V rows (one per KV head) and
+  // returns the single-row attention output for all query heads.
+  Matrix decode_step(const Matrix& q_all, const Matrix& k_all,
+                     const Matrix& v_all, HackAttnStats* stats = nullptr);
+
+  // Memory accounting summed over KV heads (per-layer wire/cache footprint).
+  std::size_t packed_kv_bytes() const;
+  std::size_t sum_cache_bytes() const;
+  std::size_t fp16_tail_bytes() const;
+  std::size_t wire_bytes() const;
+
+  // Per-KV-head access for tests.
+  const HackKvState& head_state(std::size_t kv_head) const;
+
+ private:
+  HackAttentionConfig config_;
+  std::size_t d_head_;
+  std::size_t kv_heads_;
+  std::size_t query_heads_;
+  std::size_t group_;  // query heads per KV head
+  std::vector<HackKvState> states_;
+  std::vector<Rng> rngs_;
+};
+
+}  // namespace hack

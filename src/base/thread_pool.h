@@ -19,6 +19,7 @@
 // std::thread::hardware_concurrency().
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -28,6 +29,17 @@
 #include <vector>
 
 namespace hack {
+
+// Maps the public `threads` request convention used across the library
+// (0 = auto, 1 = serial on the caller, N = at most N concurrent chunks) onto
+// a parallel_for chunk count. `auto_chunks` is what "auto" means at the call
+// site: the pool's lane count for static band splits, or one chunk per item
+// for dynamically claimed work lists.
+inline std::size_t chunks_for_request(int threads, std::size_t n,
+                                      std::size_t auto_chunks) {
+  return threads <= 0 ? std::min(n, auto_chunks)
+                      : std::min(n, static_cast<std::size_t>(threads));
+}
 
 class ThreadPool {
  public:

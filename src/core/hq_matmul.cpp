@@ -1,5 +1,8 @@
 #include "core/hq_matmul.h"
 
+#include <algorithm>
+#include <memory>
+
 #include "base/thread_pool.h"
 #include "core/int_gemm.h"
 
@@ -8,180 +11,307 @@ namespace {
 
 // Shared Eq. (4) engine. Layout differences between NN (P·V) and NT (Q·Kᵀ)
 // are confined to the banded integer kernel and the Σ b' recompute loop,
-// selected at compile time.
+// selected at compile time. The engine is split into a B-side preparation —
+// reusable across every task that multiplies against the same B, e.g. GQA
+// query heads sharing one KV head — and a band processor that the single and
+// batched entry points dispatch over.
+
 template <bool kNT>
-Matrix hq_matmul_blocked(const QuantizedMatrix& a, const QuantizedMatrix& b,
-                         std::size_t n, const SumCache* b_sums, HqStats* stats,
-                         int threads) {
+void validate_operands(const QuantizedMatrix& a, const QuantizedMatrix& b) {
   HACK_CHECK(a.axis == QuantAxis::kRow, "A must be row-axis quantized");
   HACK_CHECK(a.bits >= 1 && b.bits >= 1, "operands must be quantized");
   HACK_CHECK(a.pi == b.pi, "partition size mismatch: " << a.pi << " vs "
                             << b.pi);
-  const std::size_t m = a.rows;
-  const std::size_t z = a.cols;
-  const PartitionScheme scheme(z, a.pi, /*allow_ragged_tail=*/true);
-  const std::size_t groups = scheme.group_count();
-  HACK_CHECK(a.group_count() == groups, "A group count mismatch");
-  HACK_CHECK(b.group_count() == groups,
-             "B group count mismatch: " << b.group_count() << " vs " << groups);
-  if (b_sums != nullptr) {
-    HACK_CHECK(b_sums->outer() == n && b_sums->groups() == groups,
-               "SumCache does not match B");
-  }
-
-  HqStats local{};
-
-  const CodeView a_codes{a.codes.data(), a.rows, a.cols};
-  const CodeView b_codes{b.codes.data(), b.rows, b.cols};
-
-  // Σ b' per (j, g): read straight out of the SumCache's contiguous storage
-  // (it uses the same outer-major layout) or recompute from the codes.
-  std::vector<std::int32_t> b_col_sums_storage;
-  const std::int32_t* b_col_sums = nullptr;
-  if (b_sums != nullptr) {
-    b_col_sums = b_sums->data();
+  if constexpr (kNT) {
+    HACK_CHECK(b.axis == QuantAxis::kRow,
+               "B must be row-axis quantized (token-per-row K layout)");
+    HACK_CHECK(a.cols == b.cols, "hq_matmul_nt inner dim mismatch: " << a.cols
+                                 << " vs " << b.cols);
   } else {
-    b_col_sums_storage.assign(n * groups, 0);
-    if constexpr (kNT) {
-      // B is N x Z: each (j, g) sum is a contiguous run of row j.
-      for (std::size_t j = 0; j < n; ++j) {
-        const std::uint8_t* row = b.codes.data() + j * b.cols;
+    HACK_CHECK(b.axis == QuantAxis::kCol, "B must be col-axis quantized");
+    HACK_CHECK(a.cols == b.rows, "hq_matmul shape mismatch: " << a.rows << "x"
+                                 << a.cols << " * " << b.rows << "x"
+                                 << b.cols);
+  }
+}
+
+// Hoisted per-(j, g) Eq. (4) factors and Σ b' for one B operand:
+//   B1 = s_b, B2 = m_b, B3 = s_b·Σb' + |g|·m_b,
+// group-major so the inner j-loop of the correction reads them contiguously.
+template <bool kNT>
+struct PreparedB {
+  const QuantizedMatrix* b;
+  const SumCache* b_sums;  // identity of the prep, for sharing across tasks
+  std::size_t n;
+  std::size_t z;
+  PartitionScheme scheme;
+  std::vector<float> b1, b2, b3;
+  std::int64_t sum_flops = 0;  // NZ adds paid here when no SumCache was given
+
+  PreparedB(const QuantizedMatrix& bm, const SumCache* sums)
+      : b(&bm),
+        b_sums(sums),
+        n(kNT ? bm.rows : bm.cols),
+        z(kNT ? bm.cols : bm.rows),
+        scheme(z, bm.pi, /*allow_ragged_tail=*/true) {
+    const std::size_t groups = scheme.group_count();
+    HACK_CHECK(bm.group_count() == groups,
+               "B group count mismatch: " << bm.group_count() << " vs "
+                                          << groups);
+    if (sums != nullptr) {
+      HACK_CHECK(sums->outer() == n && sums->groups() == groups,
+                 "SumCache does not match B");
+    }
+
+    // Σ b' per (j, g): read straight out of the SumCache's contiguous storage
+    // (it uses the same outer-major layout) or recompute from the codes.
+    std::vector<std::int32_t> b_col_sums_storage;
+    const std::int32_t* b_col_sums = nullptr;
+    if (sums != nullptr) {
+      b_col_sums = sums->data();
+    } else {
+      b_col_sums_storage.assign(n * groups, 0);
+      if constexpr (kNT) {
+        // B is N x Z: each (j, g) sum is a contiguous run of row j.
+        for (std::size_t j = 0; j < n; ++j) {
+          const std::uint8_t* row = bm.codes.data() + j * bm.cols;
+          for (std::size_t g = 0; g < groups; ++g) {
+            std::int32_t acc = 0;
+            for (std::size_t zz = scheme.group_begin(g);
+                 zz < scheme.group_end(g); ++zz) {
+              acc += row[zz];
+            }
+            b_col_sums_storage[j * groups + g] = acc;
+          }
+        }
+      } else {
+        // B is Z x N: stream the rows, scattering into per-column slots.
         for (std::size_t g = 0; g < groups; ++g) {
-          std::int32_t acc = 0;
           for (std::size_t zz = scheme.group_begin(g);
                zz < scheme.group_end(g); ++zz) {
-            acc += row[zz];
-          }
-          b_col_sums_storage[j * groups + g] = acc;
-        }
-      }
-    } else {
-      // B is Z x N: stream the rows, scattering into per-column slots.
-      for (std::size_t g = 0; g < groups; ++g) {
-        for (std::size_t zz = scheme.group_begin(g); zz < scheme.group_end(g);
-             ++zz) {
-          const std::uint8_t* row = b.codes.data() + zz * b.cols;
-          for (std::size_t j = 0; j < n; ++j) {
-            b_col_sums_storage[j * groups + g] += row[j];
+            const std::uint8_t* row = bm.codes.data() + zz * bm.cols;
+            for (std::size_t j = 0; j < n; ++j) {
+              b_col_sums_storage[j * groups + g] += row[j];
+            }
           }
         }
       }
-    }
-    b_col_sums = b_col_sums_storage.data();
-    local.sum_flops += static_cast<std::int64_t>(n) * z;  // NZ adds
-  }
-
-  // Hoisted per-(j, g) Eq. (4) factors, group-major so the inner j-loop of
-  // the correction reads them contiguously:
-  //   B1 = s_b, B2 = m_b, B3 = s_b·Σb' + |g|·m_b.
-  std::vector<float> b1(groups * n), b2(groups * n), b3(groups * n);
-  for (std::size_t g = 0; g < groups; ++g) {
-    const auto group_len = static_cast<float>(scheme.group_size(g));
-    float* f1 = b1.data() + g * n;
-    float* f2 = b2.data() + g * n;
-    float* f3 = b3.data() + g * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float sb = b.scales[j * groups + g];
-      const float mb = b.mins[j * groups + g];
-      f1[j] = sb;
-      f2[j] = mb;
-      f3[j] = sb * static_cast<float>(b_col_sums[j * groups + g]) +
-              group_len * mb;
-    }
-  }
-
-  Matrix c(m, n, 0.0f);
-
-  // One row band of C: integer GEMM per group into a band-local int32 tile,
-  // then the vectorizable three-term correction
-  //   C[i,j] += A1·B1[j]·dot + A2·B2[j] + A3·B3[j]
-  // with A1 = s_a, A2 = s_a·Σa', A3 = m_a. Every C row is produced entirely
-  // inside one band, so results do not depend on the band decomposition.
-  auto process_band = [&](std::size_t r0, std::size_t r1) {
-    const std::size_t band = r1 - r0;
-    // Σ a' per (band row, g): contiguous runs of each A row.
-    std::vector<std::int32_t> a_row_sums(band * groups, 0);
-    for (std::size_t i = r0; i < r1; ++i) {
-      const std::uint8_t* row = a.codes.data() + i * a.cols;
-      for (std::size_t g = 0; g < groups; ++g) {
-        std::int32_t acc = 0;
-        for (std::size_t zz = scheme.group_begin(g); zz < scheme.group_end(g);
-             ++zz) {
-          acc += row[zz];
-        }
-        a_row_sums[(i - r0) * groups + g] = acc;
-      }
+      b_col_sums = b_col_sums_storage.data();
+      sum_flops = static_cast<std::int64_t>(n) * z;  // NZ adds
     }
 
-    std::vector<std::int32_t> dot(band * n);
+    b1.resize(groups * n);
+    b2.resize(groups * n);
+    b3.resize(groups * n);
     for (std::size_t g = 0; g < groups; ++g) {
-      std::fill(dot.begin(), dot.end(), 0);
-      if constexpr (kNT) {
-        int_gemm_nt_rows(a_codes, b_codes, r0, r1, scheme.group_begin(g),
-                         scheme.group_end(g), dot.data(), b.bits);
-      } else {
-        int_gemm_nn_rows(a_codes, b_codes, r0, r1, scheme.group_begin(g),
-                         scheme.group_end(g), dot.data());
-      }
-      const float* f1 = b1.data() + g * n;
-      const float* f2 = b2.data() + g * n;
-      const float* f3 = b3.data() + g * n;
-      for (std::size_t i = r0; i < r1; ++i) {
-        const float sa = a.scales[i * groups + g];
-        const float a2 =
-            sa * static_cast<float>(a_row_sums[(i - r0) * groups + g]);
-        const float a3 = a.mins[i * groups + g];
-        float* crow = &c(i, 0);
-        const std::int32_t* drow = dot.data() + (i - r0) * n;
-        for (std::size_t j = 0; j < n; ++j) {
-          crow[j] += sa * f1[j] * static_cast<float>(drow[j]) + a2 * f2[j] +
-                     a3 * f3[j];
-        }
+      const auto group_len = static_cast<float>(scheme.group_size(g));
+      float* f1 = b1.data() + g * n;
+      float* f2 = b2.data() + g * n;
+      float* f3 = b3.data() + g * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float sb = bm.scales[j * groups + g];
+        const float mb = bm.mins[j * groups + g];
+        f1[j] = sb;
+        f2[j] = mb;
+        f3[j] = sb * static_cast<float>(b_col_sums[j * groups + g]) +
+                group_len * mb;
       }
     }
-  };
+  }
+};
 
+// One row band of C: integer GEMM per group into a band-local int32 tile,
+// then the vectorizable three-term correction
+//   C[i,j] += A1·B1[j]·dot + A2·B2[j] + A3·B3[j]
+// with A1 = s_a, A2 = s_a·Σa', A3 = m_a. Every C row is produced entirely
+// inside one band, so results do not depend on the band decomposition.
+template <bool kNT>
+void process_band(const QuantizedMatrix& a, const PreparedB<kNT>& pb,
+                  std::size_t r0, std::size_t r1, Matrix& c) {
+  const std::size_t n = pb.n;
+  const std::size_t groups = pb.scheme.group_count();
+  const CodeView a_codes{a.codes.data(), a.rows, a.cols};
+  const CodeView b_codes{pb.b->codes.data(), pb.b->rows, pb.b->cols};
+
+  const std::size_t band = r1 - r0;
+  // Σ a' per (band row, g): contiguous runs of each A row.
+  std::vector<std::int32_t> a_row_sums(band * groups, 0);
+  for (std::size_t i = r0; i < r1; ++i) {
+    const std::uint8_t* row = a.codes.data() + i * a.cols;
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::int32_t acc = 0;
+      for (std::size_t zz = pb.scheme.group_begin(g);
+           zz < pb.scheme.group_end(g); ++zz) {
+        acc += row[zz];
+      }
+      a_row_sums[(i - r0) * groups + g] = acc;
+    }
+  }
+
+  std::vector<std::int32_t> dot(band * n);
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::fill(dot.begin(), dot.end(), 0);
+    if constexpr (kNT) {
+      int_gemm_nt_rows(a_codes, b_codes, r0, r1, pb.scheme.group_begin(g),
+                       pb.scheme.group_end(g), dot.data(), pb.b->bits);
+    } else {
+      int_gemm_nn_rows(a_codes, b_codes, r0, r1, pb.scheme.group_begin(g),
+                       pb.scheme.group_end(g), dot.data(), pb.b->bits);
+    }
+    const float* f1 = pb.b1.data() + g * n;
+    const float* f2 = pb.b2.data() + g * n;
+    const float* f3 = pb.b3.data() + g * n;
+    for (std::size_t i = r0; i < r1; ++i) {
+      const float sa = a.scales[i * groups + g];
+      const float a2 =
+          sa * static_cast<float>(a_row_sums[(i - r0) * groups + g]);
+      const float a3 = a.mins[i * groups + g];
+      float* crow = &c(i, 0);
+      const std::int32_t* drow = dot.data() + (i - r0) * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += sa * f1[j] * static_cast<float>(drow[j]) + a2 * f2[j] +
+                   a3 * f3[j];
+      }
+    }
+  }
+}
+
+// Cost accounting for one task (pinned by test_cost_model / test_hq_matmul):
+//   MZ adds for Σ a', and 9MN for Eq. (4) — 2 for sa·sb·dot, 2+2 for the
+//   two affine terms, 2 for Z·ma·mb, 3 adds folding the terms together.
+void fill_stats(HqStats* stats, std::size_t m, std::size_t n, std::size_t z,
+                std::int64_t sum_flops) {
+  if (stats == nullptr) return;
+  HqStats local{};
+  local.sum_flops = sum_flops;
+  local.approx_flops = static_cast<std::int64_t>(m) * z +
+                       9 * static_cast<std::int64_t>(m) * n;
+  local.int_macs = static_cast<std::int64_t>(m) * n * z;
+  *stats = local;
+}
+
+template <bool kNT>
+Matrix hq_matmul_single(const QuantizedMatrix& a, const QuantizedMatrix& b,
+                        const SumCache* b_sums, HqStats* stats, int threads) {
+  validate_operands<kNT>(a, b);
+  const PreparedB<kNT> pb(b, b_sums);
+  const std::size_t m = a.rows;
+  HACK_CHECK(a.group_count() == pb.scheme.group_count(),
+             "A group count mismatch");
+
+  Matrix c(m, pb.n, 0.0f);
   if (m == 1 || threads == 1) {
     // Decode GEMV fast path / explicit serial: no pool dispatch, the banded
     // kernels degrade to j-tiled dot loops over the single row.
-    process_band(0, m);
+    process_band<kNT>(a, pb, 0, m, c);
   } else {
     ThreadPool& pool = ThreadPool::global();
-    const std::size_t bands =
-        threads <= 0 ? pool.lanes() : static_cast<std::size_t>(threads);
-    pool.parallel_for(m, bands, process_band);
+    pool.parallel_for(m, chunks_for_request(threads, m, pool.lanes()),
+                      [&](std::size_t r0, std::size_t r1) {
+                        process_band<kNT>(a, pb, r0, r1, c);
+                      });
   }
-
-  // Cost accounting (pinned by test_cost_model / test_hq_matmul):
-  //   MZ adds for Σ a', and 9MN for Eq. (4) — 2 for sa·sb·dot, 2+2 for the
-  //   two affine terms, 2 for Z·ma·mb, 3 adds folding the terms together.
-  local.approx_flops += static_cast<std::int64_t>(m) * z;
-  local.approx_flops += 9 * static_cast<std::int64_t>(m) * n;
-  local.int_macs += static_cast<std::int64_t>(m) * n * z;
-
-  if (stats != nullptr) {
-    *stats = local;
-  }
+  fill_stats(stats, m, pb.n, pb.z, pb.sum_flops);
   return c;
+}
+
+template <bool kNT>
+void hq_matmul_batch(std::span<HqGemmTask> tasks, int threads) {
+  if (tasks.empty()) return;
+
+  // B-side preparation, shared across tasks with the same (b, b_sums) pair.
+  std::vector<std::unique_ptr<PreparedB<kNT>>> preps;
+  std::vector<std::size_t> prep_of(tasks.size());
+  std::vector<bool> charges_sum_flops(tasks.size(), false);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const HqGemmTask& task = tasks[t];
+    HACK_CHECK(task.a != nullptr && task.b != nullptr && task.c != nullptr,
+               "batched HQ-GEMM task missing an operand");
+    validate_operands<kNT>(*task.a, *task.b);
+    std::size_t found = preps.size();
+    for (std::size_t p = 0; p < preps.size(); ++p) {
+      if (preps[p]->b == task.b && preps[p]->b_sums == task.b_sums) {
+        found = p;
+        break;
+      }
+    }
+    if (found == preps.size()) {
+      preps.push_back(std::make_unique<PreparedB<kNT>>(*task.b, task.b_sums));
+      charges_sum_flops[t] = true;  // first user pays the Σ b' recompute
+    }
+    prep_of[t] = found;
+    HACK_CHECK(task.a->group_count() == preps[found]->scheme.group_count(),
+               "A group count mismatch");
+    *task.c = Matrix(task.a->rows, preps[found]->n, 0.0f);
+  }
+
+  // Work items: each task's M splits into row bands; single-row tasks (the
+  // batched decode GEMV case) contribute exactly one item. The split depends
+  // only on the requested thread count — and every C row lives entirely
+  // inside one item — so results are independent of the actual pool size.
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t lanes =
+      threads <= 0 ? pool.lanes() : static_cast<std::size_t>(threads);
+  const std::size_t bands_per_task = std::max<std::size_t>(
+      1, (2 * lanes + tasks.size() - 1) / tasks.size());
+
+  struct Item {
+    std::size_t task, r0, r1;
+  };
+  std::vector<Item> items;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const std::size_t m = tasks[t].a->rows;
+    const std::size_t bands = std::min(m, bands_per_task);
+    for (std::size_t band = 0; band < bands; ++band) {
+      items.push_back({t, band * m / bands, (band + 1) * m / bands});
+    }
+  }
+
+  const auto run_item = [&](const Item& it) {
+    process_band<kNT>(*tasks[it.task].a, *preps[prep_of[it.task]], it.r0,
+                      it.r1, *tasks[it.task].c);
+  };
+  if (threads == 1 || items.size() == 1) {
+    for (const Item& it : items) run_item(it);
+  } else {
+    // threads <= 0: one chunk per item, claimed dynamically, so a slow head
+    // does not serialize the rest of the layer. threads = N: N contiguous
+    // chunks, capping concurrency at the requested width.
+    pool.parallel_for(items.size(),
+                      chunks_for_request(threads, items.size(),
+                                         /*auto_chunks=*/items.size()),
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          run_item(items[i]);
+                        }
+                      });
+  }
+
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const PreparedB<kNT>& pb = *preps[prep_of[t]];
+    fill_stats(tasks[t].stats, tasks[t].a->rows, pb.n, pb.z,
+               charges_sum_flops[t] ? pb.sum_flops : 0);
+  }
 }
 
 }  // namespace
 
 Matrix hq_matmul(const QuantizedMatrix& a, const QuantizedMatrix& b,
                  const SumCache* b_sums, HqStats* stats, int threads) {
-  HACK_CHECK(b.axis == QuantAxis::kCol, "B must be col-axis quantized");
-  HACK_CHECK(a.cols == b.rows, "hq_matmul shape mismatch: " << a.rows << "x"
-                               << a.cols << " * " << b.rows << "x" << b.cols);
-  return hq_matmul_blocked<false>(a, b, b.cols, b_sums, stats, threads);
+  return hq_matmul_single<false>(a, b, b_sums, stats, threads);
 }
 
 Matrix hq_matmul_nt(const QuantizedMatrix& a, const QuantizedMatrix& b,
                     const SumCache* b_sums, HqStats* stats, int threads) {
-  HACK_CHECK(b.axis == QuantAxis::kRow,
-             "B must be row-axis quantized (token-per-row K layout)");
-  HACK_CHECK(a.cols == b.cols, "hq_matmul_nt inner dim mismatch: " << a.cols
-                               << " vs " << b.cols);
-  return hq_matmul_blocked<true>(a, b, b.rows, b_sums, stats, threads);
+  return hq_matmul_single<true>(a, b, b_sums, stats, threads);
+}
+
+void hq_matmul_batched(std::span<HqGemmTask> tasks, int threads) {
+  hq_matmul_batch<false>(tasks, threads);
+}
+
+void hq_matmul_nt_batched(std::span<HqGemmTask> tasks, int threads) {
+  hq_matmul_batch<true>(tasks, threads);
 }
 
 }  // namespace hack

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "core/sum_cache.h"
 #include "quant/quantizer.h"
@@ -61,6 +62,30 @@ Matrix hq_matmul(const QuantizedMatrix& a, const QuantizedMatrix& b,
 Matrix hq_matmul_nt(const QuantizedMatrix& a, const QuantizedMatrix& b,
                     const SumCache* b_sums = nullptr, HqStats* stats = nullptr,
                     int threads = 0);
+
+// One C = A·B (or A·Bᵀ) problem of a batched launch. Shapes follow the
+// single-call contracts above; `c` is resized and filled by the call, `stats`
+// (optional) receives this task's counters. When several tasks share the same
+// (b, b_sums) pair — GQA query heads attending one KV head — the hoisted
+// Eq. (4) B factors are prepared once, and any Σ b' recompute cost is charged
+// to the first task using that pair.
+struct HqGemmTask {
+  const QuantizedMatrix* a = nullptr;
+  const QuantizedMatrix* b = nullptr;
+  const SumCache* b_sums = nullptr;
+  Matrix* c = nullptr;
+  HqStats* stats = nullptr;
+};
+
+// Batched heads-in-one-launch variants: every task's M dimension splits into
+// row bands and all (task × band) work items are dispatched through a single
+// parallel_for on the shared ThreadPool, so many small matmuls (one per
+// attention head of a layer) fill the pool instead of paying one dispatch
+// each. Single-row tasks get exactly one work item — the batched decode GEMV
+// path. Results are bit-identical to the equivalent single calls for any
+// thread count.
+void hq_matmul_batched(std::span<HqGemmTask> tasks, int threads = 0);
+void hq_matmul_nt_batched(std::span<HqGemmTask> tasks, int threads = 0);
 
 // The original scalar Eq. (4) triple loop (seed implementation), kept as the
 // ground truth for randomized equivalence tests and as the baseline leg of

@@ -1,5 +1,7 @@
 #include "core/int_gemm.h"
 
+#include <algorithm>
+
 #if defined(__x86_64__) && defined(__GNUC__)
 #define HACK_X86_SIMD 1
 #include <immintrin.h>
@@ -8,11 +10,173 @@
 namespace hack {
 namespace {
 
+// Portable NN band: 4-row register tile; each B row streamed once feeds four
+// C rows. The inner j-loop is a plain quad-axpy, which the compiler
+// vectorizes.
+void int_gemm_nn_rows_portable(const CodeView& a, const CodeView& b,
+                               std::size_t i_begin, std::size_t i_end,
+                               std::size_t z_begin, std::size_t z_end,
+                               std::int32_t* out) {
+  const std::size_t n = b.cols;
+  std::size_t i = i_begin;
+  for (; i + 4 <= i_end; i += 4) {
+    std::int32_t* dst0 = out + (i - i_begin) * n;
+    std::int32_t* dst1 = dst0 + n;
+    std::int32_t* dst2 = dst1 + n;
+    std::int32_t* dst3 = dst2 + n;
+    const std::uint8_t* arow0 = a.data + i * a.cols;
+    for (std::size_t z = z_begin; z < z_end; ++z) {
+      const std::int32_t a0 = arow0[z];
+      const std::int32_t a1 = arow0[a.cols + z];
+      const std::int32_t a2 = arow0[2 * a.cols + z];
+      const std::int32_t a3 = arow0[3 * a.cols + z];
+      if ((a0 | a1 | a2 | a3) == 0) continue;
+      const std::uint8_t* brow = b.data + z * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::int32_t bv = brow[j];
+        dst0[j] += a0 * bv;
+        dst1[j] += a1 * bv;
+        dst2[j] += a2 * bv;
+        dst3[j] += a3 * bv;
+      }
+    }
+  }
+  for (; i < i_end; ++i) {
+    std::int32_t* dst = out + (i - i_begin) * n;
+    const std::uint8_t* arow = a.data + i * a.cols;
+    for (std::size_t z = z_begin; z < z_end; ++z) {
+      const std::int32_t aiz = arow[z];
+      if (aiz == 0) continue;
+      const std::uint8_t* brow = b.data + z * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        dst[j] += aiz * static_cast<std::int32_t>(brow[j]);
+      }
+    }
+  }
+}
+
 #ifdef HACK_X86_SIMD
 
 bool cpu_has_avx2() {
   static const bool ok = __builtin_cpu_supports("avx2");
   return ok;
+}
+
+// NN band via explicit widening multiplies. B rows are consumed in z-pairs:
+// the bytes of two consecutive B rows are interleaved to [b_z0[j], b_z1[j]]
+// (the signed operand of pmaddubsw, which is why this path requires B codes
+// < 64) and multiplied against the broadcast A pair [a_i[z0], a_i[z1]] (the
+// unsigned operand, full 8-bit range). Each resulting int16 lane holds the
+// per-column partial a0·b_z0[j] + a1·b_z1[j] (<= 2·255·63 = 32130, no
+// saturation), which is widened in j-order into int32 accumulators held in
+// registers across the z-chunk.
+inline constexpr std::size_t kNnZChunk = 256;  // even, so pairs stay aligned
+
+__attribute__((target("avx2"))) void int_gemm_nn_rows_avx2(
+    const CodeView& a, const CodeView& b, std::size_t i_begin,
+    std::size_t i_end, std::size_t z_begin, std::size_t z_end,
+    std::int32_t* out) {
+  const std::size_t n = b.cols;
+  const std::size_t jvec = n & ~static_cast<std::size_t>(15);
+
+  std::size_t i = i_begin;
+  for (; i + 4 <= i_end; i += 4) {
+    for (std::size_t zc = z_begin; zc < z_end; zc += kNnZChunk) {
+      const std::size_t zc_end = std::min(zc + kNnZChunk, z_end);
+      const std::size_t pairs = (zc_end - zc) / 2;
+      const bool odd = ((zc_end - zc) & 1) != 0;
+
+      // Broadcast-ready (a[z0] | a[z1] << 8) pairs for the four tile rows.
+      std::uint16_t apair[4][kNnZChunk / 2];
+      for (std::size_t r = 0; r < 4; ++r) {
+        const std::uint8_t* ar = a.data + (i + r) * a.cols + zc;
+        for (std::size_t p = 0; p < pairs; ++p) {
+          apair[r][p] = static_cast<std::uint16_t>(
+              ar[2 * p] | (static_cast<std::uint16_t>(ar[2 * p + 1]) << 8));
+        }
+      }
+
+      for (std::size_t j = 0; j < jvec; j += 16) {
+        __m256i acc_lo[4], acc_hi[4];
+        for (std::size_t r = 0; r < 4; ++r) {
+          std::int32_t* dst = out + (i + r - i_begin) * n + j;
+          acc_lo[r] =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst));
+          acc_hi[r] =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + 8));
+        }
+        for (std::size_t p = 0; p < pairs; ++p) {
+          if ((apair[0][p] | apair[1][p] | apair[2][p] | apair[3][p]) == 0) {
+            continue;
+          }
+          const std::uint8_t* brow0 = b.data + (zc + 2 * p) * n + j;
+          const std::uint8_t* brow1 = brow0 + n;
+          const __m128i b0 =
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(brow0));
+          const __m128i b1 =
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(brow1));
+          const __m256i inter = _mm256_set_m128i(_mm_unpackhi_epi8(b0, b1),
+                                                 _mm_unpacklo_epi8(b0, b1));
+          for (std::size_t r = 0; r < 4; ++r) {
+            const __m256i prod = _mm256_maddubs_epi16(
+                _mm256_set1_epi16(static_cast<short>(apair[r][p])), inter);
+            acc_lo[r] = _mm256_add_epi32(
+                acc_lo[r], _mm256_cvtepi16_epi32(_mm256_castsi256_si128(prod)));
+            acc_hi[r] = _mm256_add_epi32(
+                acc_hi[r],
+                _mm256_cvtepi16_epi32(_mm256_extracti128_si256(prod, 1)));
+          }
+        }
+        if (odd) {
+          const std::size_t z = zc_end - 1;
+          const std::uint8_t* brow = b.data + z * n + j;
+          const __m256i bw = _mm256_cvtepu8_epi16(
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(brow)));
+          for (std::size_t r = 0; r < 4; ++r) {
+            const std::int32_t av = a.data[(i + r) * a.cols + z];
+            if (av == 0) continue;
+            const __m256i prod =
+                _mm256_mullo_epi16(_mm256_set1_epi16(static_cast<short>(av)),
+                                   bw);  // <= 255·63, fits int16
+            acc_lo[r] = _mm256_add_epi32(
+                acc_lo[r], _mm256_cvtepi16_epi32(_mm256_castsi256_si128(prod)));
+            acc_hi[r] = _mm256_add_epi32(
+                acc_hi[r],
+                _mm256_cvtepi16_epi32(_mm256_extracti128_si256(prod, 1)));
+          }
+        }
+        for (std::size_t r = 0; r < 4; ++r) {
+          std::int32_t* dst = out + (i + r - i_begin) * n + j;
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), acc_lo[r]);
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 8), acc_hi[r]);
+        }
+      }
+
+      // Remaining columns: scalar quad-axpy over this z-chunk.
+      if (jvec < n) {
+        const std::uint8_t* arow0 = a.data + i * a.cols;
+        for (std::size_t z = zc; z < zc_end; ++z) {
+          const std::int32_t a0 = arow0[z];
+          const std::int32_t a1 = arow0[a.cols + z];
+          const std::int32_t a2 = arow0[2 * a.cols + z];
+          const std::int32_t a3 = arow0[3 * a.cols + z];
+          if ((a0 | a1 | a2 | a3) == 0) continue;
+          const std::uint8_t* brow = b.data + z * n;
+          for (std::size_t j = jvec; j < n; ++j) {
+            const std::int32_t bv = brow[j];
+            out[(i - i_begin) * n + j] += a0 * bv;
+            out[(i + 1 - i_begin) * n + j] += a1 * bv;
+            out[(i + 2 - i_begin) * n + j] += a2 * bv;
+            out[(i + 3 - i_begin) * n + j] += a3 * bv;
+          }
+        }
+      }
+    }
+  }
+  if (i < i_end) {
+    int_gemm_nn_rows_portable(a, b, i, i_end, z_begin, z_end,
+                              out + (i - i_begin) * n);
+  }
 }
 
 // NT band via the u8 x i8 multiply-add idiom. Requires every B code < 64 so
@@ -114,48 +278,19 @@ std::int32_t int_dot_nt(const CodeView& a, const CodeView& b, std::size_t i,
 void int_gemm_nn_rows(const CodeView& a, const CodeView& b,
                       std::size_t i_begin, std::size_t i_end,
                       std::size_t z_begin, std::size_t z_end,
-                      std::int32_t* out) {
+                      std::int32_t* out, int b_bits) {
   HACK_CHECK(a.cols == b.rows, "NN shape mismatch");
   HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
   HACK_CHECK(i_begin <= i_end && i_end <= a.rows, "bad row band");
-  const std::size_t n = b.cols;
-  // 4-row register tile: each B row streamed once feeds four C rows. The
-  // inner j-loop is a plain quad-axpy, which the compiler vectorizes.
-  std::size_t i = i_begin;
-  for (; i + 4 <= i_end; i += 4) {
-    std::int32_t* dst0 = out + (i - i_begin) * n;
-    std::int32_t* dst1 = dst0 + n;
-    std::int32_t* dst2 = dst1 + n;
-    std::int32_t* dst3 = dst2 + n;
-    const std::uint8_t* arow0 = a.data + i * a.cols;
-    for (std::size_t z = z_begin; z < z_end; ++z) {
-      const std::int32_t a0 = arow0[z];
-      const std::int32_t a1 = arow0[a.cols + z];
-      const std::int32_t a2 = arow0[2 * a.cols + z];
-      const std::int32_t a3 = arow0[3 * a.cols + z];
-      if ((a0 | a1 | a2 | a3) == 0) continue;
-      const std::uint8_t* brow = b.data + z * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const std::int32_t bv = brow[j];
-        dst0[j] += a0 * bv;
-        dst1[j] += a1 * bv;
-        dst2[j] += a2 * bv;
-        dst3[j] += a3 * bv;
-      }
-    }
+#ifdef HACK_X86_SIMD
+  if (b_bits >= 1 && b_bits <= 6 && cpu_has_avx2()) {
+    int_gemm_nn_rows_avx2(a, b, i_begin, i_end, z_begin, z_end, out);
+    return;
   }
-  for (; i < i_end; ++i) {
-    std::int32_t* dst = out + (i - i_begin) * n;
-    const std::uint8_t* arow = a.data + i * a.cols;
-    for (std::size_t z = z_begin; z < z_end; ++z) {
-      const std::int32_t aiz = arow[z];
-      if (aiz == 0) continue;
-      const std::uint8_t* brow = b.data + z * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        dst[j] += aiz * static_cast<std::int32_t>(brow[j]);
-      }
-    }
-  }
+#else
+  (void)b_bits;
+#endif
+  int_gemm_nn_rows_portable(a, b, i_begin, i_end, z_begin, z_end, out);
 }
 
 void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
@@ -257,11 +392,11 @@ void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
 
 void int_gemm_nn_block(const CodeView& a, const CodeView& b,
                        std::size_t z_begin, std::size_t z_end,
-                       std::vector<std::int32_t>& out) {
+                       std::vector<std::int32_t>& out, int b_bits) {
   HACK_CHECK(a.cols == b.rows, "NN shape mismatch");
   HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
   HACK_CHECK(out.size() == a.rows * b.cols, "output size mismatch");
-  int_gemm_nn_rows(a, b, 0, a.rows, z_begin, z_end, out.data());
+  int_gemm_nn_rows(a, b, 0, a.rows, z_begin, z_end, out.data(), b_bits);
 }
 
 void int_gemm_nt_block(const CodeView& a, const CodeView& b,

@@ -40,11 +40,15 @@ std::int32_t int_dot_nt(const CodeView& a, const CodeView& b, std::size_t i,
 // Banded NN kernel: accumulates rows [i_begin, i_end) of C += A * B over the
 // z-range, where A is M x Z and B is Z x N, both row-major. `out` points at
 // the output band, row-major with leading dimension N: out[(i - i_begin) * N
-// + j] accumulates C[i][j].
+// + j] accumulates C[i][j]. `b_bits` is the bit width of B's codes: when they
+// fit 6 bits (the paper's 2-/4-bit V cache) and the CPU supports AVX2, the
+// kernel runs an explicit widening-multiply path (z-pairs through pmaddubsw,
+// widened to int32 in j-order); otherwise the portable 4-row axpy tile is
+// used. Both produce identical int32 results.
 void int_gemm_nn_rows(const CodeView& a, const CodeView& b,
                       std::size_t i_begin, std::size_t i_end,
                       std::size_t z_begin, std::size_t z_end,
-                      std::int32_t* out);
+                      std::int32_t* out, int b_bits = 8);
 
 // Banded NT kernel: same contract with B stored N x Z (C += A * B^T).
 // `b_bits` is the bit width of B's codes (values < 2^b_bits). When B codes
@@ -61,7 +65,7 @@ void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
 // `out` is M x N row-major int32, accumulated into.
 void int_gemm_nn_block(const CodeView& a, const CodeView& b,
                        std::size_t z_begin, std::size_t z_end,
-                       std::vector<std::int32_t>& out);
+                       std::vector<std::int32_t>& out, int b_bits = 8);
 
 // Same for the NT layout: B is N x Z.
 void int_gemm_nt_block(const CodeView& a, const CodeView& b,

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "attention/layer_attention.h"
 #include "attention/reference.h"
 #include "tensor/half.h"
 #include "tensor/ops.h"
@@ -117,6 +118,81 @@ class MiniFloatBackend : public HeadBackend {
   Matrix k_, v_;
 };
 
+// ------------------------------------------------------------ layer backends
+
+// The pre-batching model path: one HeadBackend per KV head, appended and
+// attended in a serial loop. Still the route for every non-HACK method.
+class PerHeadLayerBackend : public LayerBackend {
+ public:
+  PerHeadLayerBackend(const BackendFactory& factory, std::size_t d_head,
+                      std::size_t kv_heads, std::size_t query_heads)
+      : d_head_(d_head), kv_heads_(kv_heads), group_(query_heads / kv_heads) {
+    heads_.reserve(kv_heads);
+    for (std::size_t h = 0; h < kv_heads; ++h) {
+      heads_.push_back(factory(d_head));
+    }
+  }
+
+  void append(const Matrix& k_all, const Matrix& v_all) override {
+    for (std::size_t h = 0; h < kv_heads_; ++h) {
+      heads_[h]->append(take_cols(k_all, h * d_head_, (h + 1) * d_head_),
+                        take_cols(v_all, h * d_head_, (h + 1) * d_head_));
+    }
+  }
+
+  Matrix attend(const Matrix& q_all, std::size_t key_offset) override {
+    Matrix out(q_all.rows(), kv_heads_ * group_ * d_head_);
+    for (std::size_t g = 0; g < kv_heads_; ++g) {
+      for (std::size_t sub = 0; sub < group_; ++sub) {
+        const std::size_t head = g * group_ + sub;
+        const Matrix o = heads_[g]->attend(
+            take_cols(q_all, head * d_head_, (head + 1) * d_head_),
+            key_offset);
+        for (std::size_t r = 0; r < out.rows(); ++r) {
+          const auto src = o.row(r);
+          std::copy(src.begin(), src.end(),
+                    out.row(r).begin() + head * d_head_);
+        }
+      }
+    }
+    return out;
+  }
+
+  std::size_t stored_bytes() const override {
+    std::size_t total = 0;
+    for (const auto& head : heads_) total += head->stored_bytes();
+    return total;
+  }
+
+ private:
+  std::size_t d_head_;
+  std::size_t kv_heads_;
+  std::size_t group_;
+  std::vector<std::unique_ptr<HeadBackend>> heads_;
+};
+
+// The batched HACK path: all heads of the layer through HackLayerKvState.
+class HackLayerBackend : public LayerBackend {
+ public:
+  HackLayerBackend(std::size_t d_head, std::size_t kv_heads,
+                   std::size_t query_heads, const HackAttentionConfig& config,
+                   std::uint64_t seed)
+      : state_(d_head, kv_heads, query_heads, config, seed) {}
+
+  void append(const Matrix& k_all, const Matrix& v_all) override {
+    state_.append_tokens(k_all, v_all, &stats_);
+  }
+  Matrix attend(const Matrix& q_all, std::size_t key_offset) override {
+    return state_.attend(q_all, {.causal = true, .key_offset = key_offset},
+                         &stats_);
+  }
+  std::size_t stored_bytes() const override { return state_.wire_bytes(); }
+
+ private:
+  HackLayerKvState state_;
+  HackAttnStats stats_;
+};
+
 // ------------------------------------------------------------ small kernels
 
 std::vector<float> rms_norm(std::span<const float> x,
@@ -176,10 +252,36 @@ BackendFactory make_minifloat_backend(MiniFloatFormat format) {
   };
 }
 
+LayerBackendFactory per_head_layer_factory(BackendFactory factory) {
+  return [factory = std::move(factory)](std::size_t d_head,
+                                        std::size_t kv_heads,
+                                        std::size_t query_heads) {
+    return std::make_unique<PerHeadLayerBackend>(factory, d_head, kv_heads,
+                                                 query_heads);
+  };
+}
+
+LayerBackendFactory make_hack_layer_backend(HackAttentionConfig config,
+                                            std::uint64_t seed) {
+  auto counter = std::make_shared<std::uint64_t>(seed);
+  return [config, counter](std::size_t d_head, std::size_t kv_heads,
+                           std::size_t query_heads) {
+    // Mirror the per-head counter: one stream per KV head, layer-major.
+    const std::uint64_t base = *counter;
+    *counter += kv_heads;
+    return std::make_unique<HackLayerBackend>(d_head, kv_heads, query_heads,
+                                              config, base);
+  };
+}
+
 // ----------------------------------------------------------------- model
 
 TinyTransformer::TinyTransformer(const TinyConfig& config,
                                  BackendFactory factory)
+    : TinyTransformer(config, per_head_layer_factory(std::move(factory))) {}
+
+TinyTransformer::TinyTransformer(const TinyConfig& config,
+                                 LayerBackendFactory factory)
     : config_(config) {
   HACK_CHECK(config.heads % config.kv_heads == 0,
              "heads must be a multiple of kv_heads (GQA)");
@@ -207,9 +309,9 @@ TinyTransformer::TinyTransformer(const TinyConfig& config,
   }
   norm_final_.assign(d, 1.0f);
 
-  backends_.reserve(config.layers * config.kv_heads);
-  for (std::size_t i = 0; i < config.layers * config.kv_heads; ++i) {
-    backends_.push_back(factory(config.d_head));
+  backends_.reserve(config.layers);
+  for (std::size_t i = 0; i < config.layers; ++i) {
+    backends_.push_back(factory(config.d_head, config.kv_heads, config.heads));
   }
 }
 
@@ -239,8 +341,6 @@ Matrix TinyTransformer::forward(const std::vector<int>& tokens,
                                 std::size_t start_pos) {
   HACK_CHECK(!tokens.empty(), "empty token batch");
   const std::size_t d = config_.d_model();
-  const std::size_t dh = config_.d_head;
-  const std::size_t group = config_.heads / config_.kv_heads;
 
   Matrix x(tokens.size(), d);
   for (std::size_t t = 0; t < tokens.size(); ++t) {
@@ -260,23 +360,9 @@ Matrix TinyTransformer::forward(const std::vector<int>& tokens,
     apply_rope(q, config_.heads, start_pos);
     apply_rope(k, config_.kv_heads, start_pos);
 
-    Matrix attn_out(tokens.size(), config_.heads * dh);
-    for (std::size_t g = 0; g < config_.kv_heads; ++g) {
-      HeadBackend& backend = *backends_[layer * config_.kv_heads + g];
-      backend.append(take_cols(k, g * dh, (g + 1) * dh),
-                     take_cols(v, g * dh, (g + 1) * dh));
-      for (std::size_t sub = 0; sub < group; ++sub) {
-        const std::size_t head = g * group + sub;
-        const Matrix o =
-            backend.attend(take_cols(q, head * dh, (head + 1) * dh),
-                           start_pos);
-        for (std::size_t r = 0; r < tokens.size(); ++r) {
-          for (std::size_t c = 0; c < dh; ++c) {
-            attn_out(r, head * dh + c) = o(r, c);
-          }
-        }
-      }
-    }
+    LayerBackend& backend = *backends_[layer];
+    backend.append(k, v);
+    const Matrix attn_out = backend.attend(q, start_pos);
     x = add(x, matmul(attn_out, lw.wo));
 
     const Matrix h2 = rms_norm_rows(x, lw.norm_mlp);

@@ -51,6 +51,29 @@ class HeadBackend {
 using BackendFactory =
     std::function<std::unique_ptr<HeadBackend>(std::size_t d_head)>;
 
+// All KV heads of one transformer layer behind one interface. The model
+// appends a layer's K/V once ([n, kv_heads * d_head] slabs) and attends all
+// query heads in one call ([n, heads * d_head] in, same shape out) — which
+// lets the HACK backend run the batched multi-head engine
+// (attention/layer_attention.h) instead of a per-head loop.
+class LayerBackend {
+ public:
+  virtual ~LayerBackend() = default;
+
+  // Appends new tokens' K/V rows for every KV head.
+  virtual void append(const Matrix& k_all, const Matrix& v_all) = 0;
+
+  // Causal attention of all query heads over the cached tokens; `key_offset`
+  // is the timeline index of q_all's first row.
+  virtual Matrix attend(const Matrix& q_all, std::size_t key_offset) = 0;
+
+  // Bytes this layer's caches occupy in stored (possibly compressed) form.
+  virtual std::size_t stored_bytes() const = 0;
+};
+
+using LayerBackendFactory = std::function<std::unique_ptr<LayerBackend>(
+    std::size_t d_head, std::size_t kv_heads, std::size_t query_heads)>;
+
 // Factories for each method. Stochastic backends fork deterministic RNG
 // streams from `seed`.
 BackendFactory make_exact_backend();
@@ -60,6 +83,19 @@ BackendFactory make_hack_backend(HackAttentionConfig config,
 BackendFactory make_codec_backend(std::shared_ptr<const KvCodec> codec,
                                   std::uint64_t seed);
 BackendFactory make_minifloat_backend(MiniFloatFormat format);
+
+// Adapts a per-head factory into a layer backend that loops KV heads on
+// append and query heads on attend — the pre-batching model behavior, still
+// used by every non-HACK method.
+LayerBackendFactory per_head_layer_factory(BackendFactory factory);
+
+// Native batched HACK layer backend over HackLayerKvState: one quantize pass
+// and fused head-parallel HQ-GEMM launches per layer. Seeded so that KV head
+// h of layer l draws the same stream as the per-head backend
+// make_hack_backend(config, seed) would give it — generation is
+// bit-identical between the two, the batched path just runs wider.
+LayerBackendFactory make_hack_layer_backend(HackAttentionConfig config,
+                                            std::uint64_t seed);
 
 struct TinyConfig {
   std::size_t vocab = 256;   // byte-level tokens
@@ -76,6 +112,9 @@ struct TinyConfig {
 
 class TinyTransformer {
  public:
+  TinyTransformer(const TinyConfig& config, LayerBackendFactory factory);
+  // Per-head compatibility constructor: wraps `factory` in
+  // per_head_layer_factory.
   TinyTransformer(const TinyConfig& config, BackendFactory factory);
 
   const TinyConfig& config() const { return config_; }
@@ -113,8 +152,7 @@ class TinyTransformer {
   Matrix embedding_;                 // vocab x d_model (tied LM head)
   std::vector<LayerWeights> layers_;
   std::vector<float> norm_final_;
-  // backends_[layer * kv_heads + kv_head]
-  std::vector<std::unique_ptr<HeadBackend>> backends_;
+  std::vector<std::unique_ptr<LayerBackend>> backends_;  // one per layer
   std::size_t position_ = 0;
 };
 

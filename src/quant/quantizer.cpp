@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/thread_pool.h"
 #include "tensor/half.h"
 
 namespace hack {
@@ -49,7 +50,7 @@ void quantize_partition(std::span<const float> values,
 
 QuantizedMatrix quantize(const Matrix& m, int bits, std::size_t pi,
                          QuantAxis axis, Rounding rounding, Rng& rng,
-                         bool allow_ragged_tail) {
+                         bool allow_ragged_tail, int threads) {
   HACK_CHECK(bits == 2 || bits == 4 || bits == 8,
              "unsupported quantization width: " << bits);
   HACK_CHECK(!m.empty(), "cannot quantize an empty matrix");
@@ -71,9 +72,10 @@ QuantizedMatrix quantize(const Matrix& m, int bits, std::size_t pi,
   q.scales.resize(outer * groups);
   q.groups = groups;
 
-  std::vector<float> scratch;
-  std::vector<std::uint8_t> scratch_codes;
-  for (std::size_t o = 0; o < outer; ++o) {
+  // Quantizes one outer slice's partitions from `slice_rng`.
+  const auto quantize_slice = [&](std::size_t o, Rng& slice_rng,
+                                  std::vector<float>& scratch,
+                                  std::vector<std::uint8_t>& scratch_codes) {
     for (std::size_t g = 0; g < groups; ++g) {
       const std::size_t begin = scheme.group_begin(g);
       const std::size_t len = scheme.group_size(g);
@@ -84,8 +86,8 @@ QuantizedMatrix quantize(const Matrix& m, int bits, std::size_t pi,
                                              : m(begin + t, o);
       }
       float part_min = 0.0f, part_scale = 0.0f;
-      quantize_partition(scratch, scratch_codes, bits, rounding, rng, part_min,
-                         part_scale);
+      quantize_partition(scratch, scratch_codes, bits, rounding, slice_rng,
+                         part_min, part_scale);
       q.mins[o * groups + g] = part_min;
       q.scales[o * groups + g] = part_scale;
       for (std::size_t t = 0; t < len; ++t) {
@@ -94,23 +96,68 @@ QuantizedMatrix quantize(const Matrix& m, int bits, std::size_t pi,
         q.codes[r * q.cols + c] = scratch_codes[t];
       }
     }
+  };
+
+  if (outer < 2 || m.size() < kParallelQuantizeMinValues) {
+    // Serial path on the caller's stream: byte-identical to the original
+    // implementation, no pool dispatch for decode-step appends.
+    std::vector<float> scratch;
+    std::vector<std::uint8_t> scratch_codes;
+    for (std::size_t o = 0; o < outer; ++o) {
+      quantize_slice(o, rng, scratch, scratch_codes);
+    }
+    return q;
+  }
+
+  // Parallel path: sub-streams are forked in slice order before dispatch, so
+  // the result depends only on the caller's rng state — not on the pool size,
+  // the `threads` request, or scheduling.
+  std::vector<Rng> slice_rngs;
+  slice_rngs.reserve(outer);
+  for (std::size_t o = 0; o < outer; ++o) {
+    slice_rngs.push_back(rng.fork());
+  }
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    std::vector<float> scratch;
+    std::vector<std::uint8_t> scratch_codes;
+    for (std::size_t o = begin; o < end; ++o) {
+      quantize_slice(o, slice_rngs[o], scratch, scratch_codes);
+    }
+  };
+  if (threads == 1) {
+    run_range(0, outer);
+  } else {
+    ThreadPool& pool = ThreadPool::global();
+    pool.parallel_for(outer, chunks_for_request(threads, outer, pool.lanes()),
+                      run_range);
   }
   return q;
 }
 
-Matrix dequantize(const QuantizedMatrix& q) {
+Matrix dequantize(const QuantizedMatrix& q, int threads) {
   Matrix m(q.rows, q.cols);
   const std::size_t groups = q.group_count();
   const PartitionScheme scheme(q.inner(), q.pi, /*allow_ragged_tail=*/true);
   HACK_CHECK(scheme.group_count() == groups, "inconsistent group count");
-  for (std::size_t r = 0; r < q.rows; ++r) {
-    for (std::size_t c = 0; c < q.cols; ++c) {
-      const std::size_t o = q.axis == QuantAxis::kRow ? r : c;
-      const std::size_t z = q.axis == QuantAxis::kRow ? c : r;
-      const std::size_t g = scheme.group_of(z);
-      m(r, c) = q.scale_of(o, g) * static_cast<float>(q.code_at(r, c)) +
-                q.min_of(o, g);
+  const auto dequantize_rows = [&](std::size_t r_begin, std::size_t r_end) {
+    for (std::size_t r = r_begin; r < r_end; ++r) {
+      for (std::size_t c = 0; c < q.cols; ++c) {
+        const std::size_t o = q.axis == QuantAxis::kRow ? r : c;
+        const std::size_t z = q.axis == QuantAxis::kRow ? c : r;
+        const std::size_t g = scheme.group_of(z);
+        m(r, c) = q.scale_of(o, g) * static_cast<float>(q.code_at(r, c)) +
+                  q.min_of(o, g);
+      }
     }
+  };
+  if (threads == 1 || q.rows < 2 ||
+      q.rows * q.cols < kParallelQuantizeMinValues) {
+    dequantize_rows(0, q.rows);
+  } else {
+    ThreadPool& pool = ThreadPool::global();
+    pool.parallel_for(q.rows,
+                      chunks_for_request(threads, q.rows, pool.lanes()),
+                      dequantize_rows);
   }
   return m;
 }

@@ -79,12 +79,26 @@ struct QuantizedMatrix {
 // Quantizes `m` along `axis` with partition size `pi` and `bits` precision.
 // `allow_ragged_tail` allows the final partition to be shorter than Π (used
 // by the growing V cache).
+//
+// Matrices of at least kParallelQuantizeMinValues values (and >= 2 outer
+// slices) run the outer-slice loop on the shared ThreadPool: one sub-Rng is
+// forked from `rng` per outer slice, in slice order, before any work is
+// dispatched, so the codes depend only on the seed — never on the pool size
+// or the `threads` request (0 = auto, 1 = serial, N = N chunks). Smaller
+// matrices — decode-step appends — take the serial path on the caller's rng
+// directly, byte-for-byte identical to the original implementation, and pay
+// no pool overhead.
 QuantizedMatrix quantize(const Matrix& m, int bits, std::size_t pi,
                          QuantAxis axis, Rounding rounding, Rng& rng,
-                         bool allow_ragged_tail = false);
+                         bool allow_ragged_tail = false, int threads = 0);
 
-// Reconstructs the real-valued matrix: x ≈ scale * code + min.
-Matrix dequantize(const QuantizedMatrix& q);
+// Size threshold (in values) at which quantize()/dequantize() move their
+// outer loops onto the shared ThreadPool.
+inline constexpr std::size_t kParallelQuantizeMinValues = 64 * 1024;
+
+// Reconstructs the real-valued matrix: x ≈ scale * code + min. Row-parallel
+// on the shared ThreadPool above the same size threshold as quantize().
+Matrix dequantize(const QuantizedMatrix& q, int threads = 0);
 
 // Worst-case absolute reconstruction error for one partition of `q`:
 // stochastic rounding perturbs by at most one code step (= scale).

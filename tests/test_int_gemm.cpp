@@ -156,6 +156,51 @@ TEST(IntGemm, NtSmallCodeFastPathMatchesGeneric) {
   }
 }
 
+TEST(IntGemm, NnSmallCodeFastPathMatchesGeneric) {
+  // b_bits <= 6 may take the explicit AVX2 widening-multiply path (z-pairs
+  // through pmaddubsw); the int32 results must be identical to the generic
+  // kernel, including odd z-ranges, column remainders, and row remainders.
+  Rng rng(6);
+  for (const int b_bits : {2, 4, 6}) {
+    const std::size_t m = 7, z = 131, n = 37;  // n % 16 != 0, odd z tail
+    const auto a = random_codes(m * z, 8, rng);
+    const auto b = random_codes(z * n, b_bits, rng);
+    const CodeView av{a.data(), m, z};
+    const CodeView bv{b.data(), z, n};
+    for (const auto& range :
+         {std::pair<std::size_t, std::size_t>{0, z}, {0, 64}, {64, 128},
+          {128, 131}, {3, 38}}) {
+      std::vector<std::int32_t> generic(m * n, 17), fast(m * n, 17);
+      int_gemm_nn_rows(av, bv, 0, m, range.first, range.second,
+                       generic.data(), /*b_bits=*/8);
+      int_gemm_nn_rows(av, bv, 0, m, range.first, range.second, fast.data(),
+                       b_bits);
+      EXPECT_EQ(generic, fast) << "b_bits=" << b_bits << " z-range ["
+                               << range.first << "," << range.second << ")";
+    }
+  }
+}
+
+TEST(IntGemm, NnFastPathLongZAccumulates) {
+  // z longer than the AVX2 kernel's chunk (256) with saturating-range codes:
+  // accumulation across chunk boundaries must stay exact.
+  Rng rng(7);
+  const std::size_t m = 5, z = 700, n = 16;
+  auto a = random_codes(m * z, 8, rng);
+  auto b = random_codes(z * n, 6, rng);
+  // Force worst-case magnitudes on a stripe to stress the int16 headroom.
+  for (std::size_t i = 0; i < z; ++i) {
+    a[i] = 255;
+    b[i * n] = 63;
+  }
+  const CodeView av{a.data(), m, z};
+  const CodeView bv{b.data(), z, n};
+  std::vector<std::int32_t> generic(m * n, 0), fast(m * n, 0);
+  int_gemm_nn_rows(av, bv, 0, m, 0, z, generic.data(), /*b_bits=*/8);
+  int_gemm_nn_rows(av, bv, 0, m, 0, z, fast.data(), /*b_bits=*/6);
+  EXPECT_EQ(generic, fast);
+}
+
 TEST(IntGemm, ShapeChecks) {
   const std::vector<std::uint8_t> a = {1, 2};
   const CodeView av{a.data(), 1, 2};

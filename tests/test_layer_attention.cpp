@@ -1,0 +1,203 @@
+// Tests for the batched multi-head attention engine: a HackLayerKvState must
+// produce bit-identical outputs to serial per-head hack_attention /
+// hack_attn_decode calls over HackKvStates with matching RNG seeds, for any
+// GQA grouping, RQE/SE setting, and thread count.
+#include <gtest/gtest.h>
+
+#include "attention/hack_attention.h"
+#include "attention/layer_attention.h"
+#include "tensor/ops.h"
+
+namespace hack {
+namespace {
+
+constexpr std::uint64_t kSeed = 77;
+
+struct LayerInputs {
+  Matrix q_all;  // [l, heads * d_head]
+  Matrix k_all;  // [l, kv_heads * d_head]
+  Matrix v_all;
+};
+
+LayerInputs make_layer_inputs(std::size_t l, std::size_t d_head,
+                              std::size_t heads, std::size_t kv_heads,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  return {Matrix::random_gaussian(l, heads * d_head, rng),
+          Matrix::random_gaussian(l, kv_heads * d_head, rng),
+          Matrix::random_gaussian(l, kv_heads * d_head, rng)};
+}
+
+// The per-head reference: one HackKvState + Rng(kSeed + h) per KV head,
+// appended and attended in serial head order — exactly what the batched
+// layer must reproduce bit-for-bit.
+Matrix per_head_prefill(const LayerInputs& in, std::size_t d_head,
+                        std::size_t heads, std::size_t kv_heads,
+                        const HackAttentionConfig& cfg,
+                        HackAttnStats* stats = nullptr) {
+  const std::size_t group = heads / kv_heads;
+  const std::size_t l = in.q_all.rows();
+  Matrix out(l, heads * d_head);
+  for (std::size_t g = 0; g < kv_heads; ++g) {
+    HackKvState state(d_head, cfg);
+    Rng rng(kSeed + g);
+    state.append_tokens(take_cols(in.k_all, g * d_head, (g + 1) * d_head),
+                        take_cols(in.v_all, g * d_head, (g + 1) * d_head),
+                        rng, stats);
+    for (std::size_t sub = 0; sub < group; ++sub) {
+      const std::size_t head = g * group + sub;
+      const Matrix o = hack_attention(
+          take_cols(in.q_all, head * d_head, (head + 1) * d_head), state,
+          {.causal = true, .key_offset = 0}, rng, stats);
+      for (std::size_t r = 0; r < l; ++r) {
+        std::copy(o.row(r).begin(), o.row(r).end(),
+                  out.row(r).begin() + head * d_head);
+      }
+    }
+  }
+  return out;
+}
+
+struct EquivCase {
+  std::size_t heads, kv_heads;
+  bool rqe, se;
+};
+
+class LayerEquivalence : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(LayerEquivalence, BatchedPrefillBitIdenticalToPerHead) {
+  const EquivCase& c = GetParam();
+  const std::size_t d_head = 64;
+  // 70 tokens with Π=32: two full V partitions plus a 6-row tail, so the
+  // FP16-tail (RQE on) and ragged-group (RQE off) paths both run.
+  const LayerInputs in = make_layer_inputs(70, d_head, c.heads, c.kv_heads, 3);
+
+  HackAttentionConfig cfg;
+  cfg.pi = 32;
+  cfg.requant_elimination = c.rqe;
+  cfg.summation_elimination = c.se;
+  cfg.rounding = Rounding::kStochastic;
+
+  HackAttnStats per_head_stats{};
+  const Matrix expected = per_head_prefill(in, d_head, c.heads, c.kv_heads,
+                                           cfg, &per_head_stats);
+
+  for (const int threads : {1, 2, 0}) {
+    HackAttentionConfig tcfg = cfg;
+    tcfg.threads = threads;
+    HackLayerKvState layer(d_head, c.kv_heads, c.heads, tcfg, kSeed);
+    HackAttnStats batched_stats{};
+    const Matrix got = layer.prefill(in.q_all, in.k_all, in.v_all,
+                                     &batched_stats);
+    EXPECT_TRUE(got == expected)
+        << "heads=" << c.heads << " kv=" << c.kv_heads << " rqe=" << c.rqe
+        << " se=" << c.se << " threads=" << threads;
+    // The roll-up counts the same work the serial loop did (Σ b' recompute
+    // sharing aside, which GQA legitimately amortizes).
+    EXPECT_EQ(batched_stats.int_macs, per_head_stats.int_macs);
+    EXPECT_EQ(batched_stats.quantized_values, per_head_stats.quantized_values);
+    EXPECT_EQ(batched_stats.fp16_tail_macs, per_head_stats.fp16_tail_macs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gqa, LayerEquivalence,
+    ::testing::Values(EquivCase{4, 4, true, true},    // MHA
+                      EquivCase{8, 2, true, true},    // GQA 4:1
+                      EquivCase{6, 3, true, true},    // GQA 2:1
+                      EquivCase{8, 2, false, true},   // RQE off
+                      EquivCase{8, 2, true, false},   // SE off
+                      EquivCase{4, 2, false, false}));
+
+TEST(LayerAttention, BatchedDecodeMatchesSerialDecodeCalls) {
+  // One batched decode launch per step must equal H serial hack_attn_decode
+  // calls on per-head states, token for token, bit for bit.
+  const std::size_t d_head = 64, heads = 4;  // heads == kv_heads
+  HackAttentionConfig cfg;
+  cfg.pi = 32;
+
+  HackLayerKvState layer(d_head, heads, heads, cfg, kSeed);
+  std::vector<HackKvState> states(heads, HackKvState(d_head, cfg));
+  std::vector<Rng> rngs;
+  for (std::size_t h = 0; h < heads; ++h) rngs.emplace_back(kSeed + h);
+
+  // Prefill both sides with the same prompt.
+  const LayerInputs prompt = make_layer_inputs(48, d_head, heads, heads, 9);
+  const Matrix batched_prefill =
+      layer.prefill(prompt.q_all, prompt.k_all, prompt.v_all);
+  Matrix serial_prefill(48, heads * d_head);
+  for (std::size_t h = 0; h < heads; ++h) {
+    Matrix o = hack_attn_prefill(
+        take_cols(prompt.q_all, h * d_head, (h + 1) * d_head),
+        take_cols(prompt.k_all, h * d_head, (h + 1) * d_head),
+        take_cols(prompt.v_all, h * d_head, (h + 1) * d_head), states[h],
+        rngs[h]);
+    for (std::size_t r = 0; r < o.rows(); ++r) {
+      std::copy(o.row(r).begin(), o.row(r).end(),
+                serial_prefill.row(r).begin() + h * d_head);
+    }
+  }
+  EXPECT_TRUE(batched_prefill == serial_prefill);
+
+  for (std::size_t step = 0; step < 8; ++step) {
+    const LayerInputs tok = make_layer_inputs(1, d_head, heads, heads,
+                                              100 + step);
+    const Matrix batched = layer.decode_step(tok.q_all, tok.k_all, tok.v_all);
+    Matrix serial(1, heads * d_head);
+    for (std::size_t h = 0; h < heads; ++h) {
+      const Matrix o = hack_attn_decode(
+          take_cols(tok.q_all, h * d_head, (h + 1) * d_head),
+          take_cols(tok.k_all, h * d_head, (h + 1) * d_head),
+          take_cols(tok.v_all, h * d_head, (h + 1) * d_head), states[h],
+          rngs[h]);
+      std::copy(o.row(0).begin(), o.row(0).end(),
+                serial.row(0).begin() + h * d_head);
+    }
+    EXPECT_TRUE(batched == serial) << "decode step " << step;
+  }
+
+  // Per-layer accounting is the sum of the per-head states'.
+  std::size_t wire = 0;
+  for (const HackKvState& st : states) wire += st.wire_bytes();
+  EXPECT_EQ(layer.wire_bytes(), wire);
+  EXPECT_EQ(layer.tokens(), states[0].tokens());
+}
+
+TEST(LayerAttention, LargePrefillParallelAppendMatchesSerialHeads) {
+  // A prompt big enough to cross the parallel-quantize threshold: the layer
+  // appends all heads on the pool, the reference one head at a time — codes
+  // and outputs must still match exactly.
+  const std::size_t d_head = 64, heads = 4, kv_heads = 2;
+  const LayerInputs in = make_layer_inputs(512, d_head, heads, kv_heads, 21);
+  HackAttentionConfig cfg;
+  cfg.pi = 32;
+
+  const Matrix expected = per_head_prefill(in, d_head, heads, kv_heads, cfg);
+  HackLayerKvState layer(d_head, kv_heads, heads, cfg, kSeed);
+  const Matrix got = layer.prefill(in.q_all, in.k_all, in.v_all);
+  EXPECT_TRUE(got == expected);
+
+  // And the cached codes themselves are identical per head.
+  for (std::size_t g = 0; g < kv_heads; ++g) {
+    HackKvState ref(d_head, cfg);
+    Rng rng(kSeed + g);
+    ref.append_tokens(take_cols(in.k_all, g * d_head, (g + 1) * d_head),
+                      take_cols(in.v_all, g * d_head, (g + 1) * d_head), rng);
+    EXPECT_EQ(layer.head_state(g).k().codes, ref.k().codes);
+    EXPECT_EQ(layer.head_state(g).v_quantized().codes,
+              ref.v_quantized().codes);
+  }
+}
+
+TEST(LayerAttention, RejectsBadGeometry) {
+  HackAttentionConfig cfg;
+  cfg.pi = 32;
+  EXPECT_THROW(HackLayerKvState(64, 3, 4, cfg, 0), CheckError);  // 3 ∤ 4
+  EXPECT_THROW(HackLayerKvState(64, 0, 4, cfg, 0), CheckError);
+  HackLayerKvState layer(64, 2, 4, cfg, 0);
+  const LayerInputs in = make_layer_inputs(8, 64, 4, 2, 1);
+  EXPECT_THROW(layer.append_tokens(in.k_all, in.q_all), CheckError);  // width
+}
+
+}  // namespace
+}  // namespace hack

@@ -243,5 +243,46 @@ INSTANTIATE_TEST_SUITE_P(
                       QuantCase{8, 32, 64, 2, 1},
                       QuantCase{2, 64, 100, 128, 0}));
 
+TEST(Quantizer, ParallelPathDeterministicAcrossThreadRequests) {
+  // Above kParallelQuantizeMinValues the outer-slice loop moves onto the
+  // shared pool with one sub-Rng forked per slice; the codes must depend
+  // only on the seed, never on the requested thread count or pool size.
+  Rng rng(40);
+  const Matrix m = Matrix::random_gaussian(1200, 128, rng);  // 153k values
+  ASSERT_GE(m.size(), kParallelQuantizeMinValues);
+  Rng r1(41), r2(41), r3(41);
+  const QuantizedMatrix serial =
+      quantize(m, 2, 64, QuantAxis::kRow, Rounding::kStochastic, r1,
+               /*allow_ragged_tail=*/false, /*threads=*/1);
+  const QuantizedMatrix auto_threads =
+      quantize(m, 2, 64, QuantAxis::kRow, Rounding::kStochastic, r2,
+               /*allow_ragged_tail=*/false, /*threads=*/0);
+  const QuantizedMatrix three =
+      quantize(m, 2, 64, QuantAxis::kRow, Rounding::kStochastic, r3,
+               /*allow_ragged_tail=*/false, /*threads=*/3);
+  EXPECT_EQ(serial.codes, auto_threads.codes);
+  EXPECT_EQ(serial.mins, auto_threads.mins);
+  EXPECT_EQ(serial.scales, auto_threads.scales);
+  EXPECT_EQ(serial.codes, three.codes);
+
+  // And the callers' master streams advanced identically.
+  EXPECT_EQ(r1.next_u64(), r2.next_u64());
+
+  // Col-axis too (the V-cache layout).
+  Rng c1(42), c2(42);
+  const QuantizedMatrix col_serial =
+      quantize(m, 2, 64, QuantAxis::kCol, Rounding::kStochastic, c1,
+               /*allow_ragged_tail=*/true, /*threads=*/1);
+  const QuantizedMatrix col_auto =
+      quantize(m, 2, 64, QuantAxis::kCol, Rounding::kStochastic, c2,
+               /*allow_ragged_tail=*/true, /*threads=*/0);
+  EXPECT_EQ(col_serial.codes, col_auto.codes);
+
+  // dequantize parallelizes over rows; serial and pooled must agree exactly.
+  const Matrix d1 = dequantize(serial, /*threads=*/1);
+  const Matrix d0 = dequantize(serial, /*threads=*/0);
+  EXPECT_TRUE(d1 == d0);
+}
+
 }  // namespace
 }  // namespace hack

@@ -128,6 +128,21 @@ TEST(TinyTransformer, HackBackendDeterministicForSeed) {
   EXPECT_EQ(a.generate(prompt, 12), b.generate(prompt, 12));
 }
 
+TEST(TinyTransformer, HackLayerBackendMatchesPerHeadGeneration) {
+  // The batched layer backend must generate exactly the tokens of the
+  // per-head backend: same seeds, same RNG stream discipline, wider launch.
+  TinyConfig cfg = small_config();
+  cfg.heads = 4;
+  cfg.kv_heads = 2;  // GQA so the batched path shares KV heads
+  const auto prompt = make_prompt(40, cfg.vocab, 13);
+  HackAttentionConfig hc;
+  hc.pi = 32;
+  TinyTransformer per_head(cfg, make_hack_backend(hc, 7));
+  TinyTransformer batched(cfg, make_hack_layer_backend(hc, 7));
+  EXPECT_EQ(per_head.generate(prompt, 16), batched.generate(prompt, 16));
+  EXPECT_EQ(per_head.kv_stored_bytes(), batched.kv_stored_bytes());
+}
+
 TEST(TinyTransformer, CodecBackendRuns) {
   const TinyConfig cfg = small_config();
   const auto prompt = make_prompt(24, cfg.vocab, 9);
