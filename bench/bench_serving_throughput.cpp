@@ -19,7 +19,17 @@
 // cores / HACK_NUM_THREADS) and the fused-launch savings; `lanes` records how
 // many pool lanes actually existed so a 1-core CI box is readable as such.
 //
-// Usage: bench_serving_throughput [--quick] [--context=1024,4096]
+// `--long` runs the streaming-softmax long-context sweep instead (default
+// ctx 4096/16384 at 32Q/8KV heads, d_head 128, auto threads): tiled prefill
+// tokens/s plus the modeled peak attention working-set bytes per layer of
+// the tiled engine vs the PR 2 untiled engine (full per-head score buffers,
+// 96 MiB head chunking), one JSON line per context:
+//
+//   {"bench":"serving_longctx_prefill","context":16384,...,"tile":1600,
+//    "batched_ms":...,"batched_tokens_per_s":...,"tiled_ws_bytes":...,
+//    "untiled_ws_bytes":...,"ws_shrink":...,"peak_rss_mib":...}
+//
+// Usage: bench_serving_throughput [--quick] [--long] [--context=1024,4096]
 //                                 [--threads=1,2,4] [--heads=32] [--kv-heads=8]
 //   --quick shrinks to context 512 / threads {1,2} for CI smoke runs.
 #include <chrono>
@@ -29,6 +39,8 @@
 #include <functional>
 #include <string>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include "attention/hack_attention.h"
 #include "attention/layer_attention.h"
@@ -209,6 +221,53 @@ void run_decode_legs(const Shape& shape, std::size_t context,
   }
 }
 
+double peak_rss_mib() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // ru_maxrss is KiB
+}
+
+// Long-context streaming prefill: tiled tokens/s plus the modeled per-layer
+// peak attention working set, tiled vs the PR 2 untiled engine. The untiled
+// leg is not run (at 16k it would materialize a 2.3 GiB score buffer per
+// head); its working set comes from the retired engine's chunking model.
+void run_longctx_legs(const Shape& shape,
+                      const std::vector<std::size_t>& contexts) {
+  const std::size_t lanes = ThreadPool::global().lanes();
+  for (const std::size_t context : contexts) {
+    const Inputs in = make_inputs(shape, context, 1234);
+    const HackAttentionConfig cfg = make_config(shape, /*threads=*/0);
+    const std::size_t tile = attention_tile_tokens(cfg, context);
+    double batched_ms = 0.0;
+    {
+      const auto start = std::chrono::steady_clock::now();
+      HackLayerKvState layer(shape.d_head, shape.kv_heads, shape.heads, cfg,
+                             7);
+      (void)layer.prefill(in.q_all, in.k_all, in.v_all);
+      const auto stop = std::chrono::steady_clock::now();
+      batched_ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+    }
+    const std::size_t tiled_ws = tiled_attention_working_set_bytes(
+        context, context, shape.heads, shape.d_head, tile, lanes);
+    const std::size_t untiled_ws =
+        untiled_attention_working_set_bytes(context, context, shape.heads);
+    std::printf(
+        "{\"bench\":\"serving_longctx_prefill\",\"heads\":%zu,"
+        "\"kv_heads\":%zu,\"d_head\":%zu,\"pi\":%zu,\"context\":%zu,"
+        "\"lanes\":%zu,\"tile\":%zu,\"batched_ms\":%.2f,"
+        "\"batched_tokens_per_s\":%.1f,\"tiled_ws_bytes\":%zu,"
+        "\"untiled_ws_bytes\":%zu,\"ws_shrink\":%.1f,\"peak_rss_mib\":%.1f}\n",
+        shape.heads, shape.kv_heads, shape.d_head, shape.pi, context, lanes,
+        tile, batched_ms,
+        1000.0 * static_cast<double>(context) / batched_ms, tiled_ws,
+        untiled_ws,
+        static_cast<double>(untiled_ws) / static_cast<double>(tiled_ws),
+        peak_rss_mib());
+    std::fflush(stdout);
+  }
+}
+
 std::vector<std::size_t> parse_size_list(const char* s) {
   std::vector<std::size_t> out;
   for (const char* p = s; *p != '\0';) {
@@ -227,11 +286,14 @@ int main(int argc, char** argv) {
   Shape shape;
   std::vector<std::size_t> contexts = {1024, 4096};
   std::vector<int> thread_legs = {1, 2, 4};
+  bool long_sweep = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       contexts = {512};
       thread_legs = {1, 2};
+    } else if (arg == "--long") {
+      long_sweep = true;
     } else if (arg.rfind("--context=", 0) == 0) {
       contexts = parse_size_list(arg.c_str() + 10);
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -256,6 +318,19 @@ int main(int argc, char** argv) {
   if (contexts.empty() || thread_legs.empty()) {
     std::fprintf(stderr, "--context and --threads need at least one value\n");
     return 1;
+  }
+
+  if (long_sweep) {
+    std::vector<std::size_t> long_contexts = contexts;
+    if (long_contexts == std::vector<std::size_t>{1024, 4096}) {
+      long_contexts = {4096, 16384};  // default --long sweep
+    }
+    std::printf("streaming-softmax long-context prefill: %zu query heads / "
+                "%zu KV heads, d_head %zu, pool lanes %zu\n",
+                shape.heads, shape.kv_heads, shape.d_head,
+                ThreadPool::global().lanes());
+    run_longctx_legs(shape, long_contexts);
+    return 0;
   }
 
   std::printf("batched layer vs per-head loop: %zu query heads / %zu KV heads"

@@ -12,16 +12,21 @@
 //     the stats of all heads roll up into a single HackAttnStats.
 //   - hack_attention_batched() is the engine: it forks the Q- and P-quantizer
 //     sub-streams for every head up front (in head order, so results are
-//     bit-identical to serial per-head calls for any thread count), quantizes
-//     all Q heads, then drives the prefill Q·Kᵀ and P·V of every head through
-//     hq_matmul_*_batched — a single parallel_for over (head × row-band) work
-//     items. Softmax and the RQE FP16-tail matmuls run head-parallel between
-//     the launches. Single-row queries take the same path, which makes decode
-//     one batched GEMV launch for all heads of the layer instead of H serial
-//     calls. Heads are launched in chunks capped at a fixed score-memory
-//     budget so the softmax → quantize → P·V phases stream from cache, not
-//     DRAM, at long contexts (see docs/perf.md); chunking cannot change
-//     results because all sub-streams are forked before the first chunk.
+//     bit-identical to serial per-head calls for any thread count) and
+//     quantizes all Q heads. Multi-row (prefill) tasks then run a
+//     streaming-softmax pass: each (head × q-row-band) work item walks the
+//     key dimension in KV tiles, computing the Q·Kᵀ score tile, folding it
+//     into a running row-max / rescaled-accumulator online softmax
+//     (flash-style), quantizing the tile's softmax weights per absolute
+//     Π-aligned segment, and accumulating the Eq. (4) P·V contribution —
+//     all inside the item, so per-head score memory is O(q_rows · tile)
+//     instead of O(L²) and the softmax → quantize → P·V phases stay
+//     cache-resident at 16k+ contexts. Single-row queries keep the flat
+//     path, which makes decode one batched GEMV launch for all heads.
+//     P-tile sub-streams are forked per (head, tile, row) before dispatch
+//     order matters, so outputs are bit-identical for any thread count and
+//     any band decomposition (tile width does change the P codes, by
+//     design — outputs agree within quantization noise).
 //
 // hack_attention() in hack_attention.h is a thin wrapper over this engine
 // with a single task.
@@ -54,6 +59,33 @@ void hack_attention_batched(std::span<HeadAttentionTask> tasks,
                             const AttentionOptions& options,
                             std::vector<Matrix>& outs,
                             HackAttnStats* stats = nullptr, int threads = 0);
+
+// Resolved KV-tile width for a streaming prefill over `lkv` cached tokens:
+// config.tile_tokens when set, else the HACK_ATTN_TILE_TOKENS environment
+// override, else an L2-aware heuristic — the largest whole-Π tile whose
+// per-band score + P-code state (≈ 5 bytes/cell over a 64-row q band) fits
+// half the per-core L2, clamped to [Π, 4096]. Whole-Π tiles keep every
+// quantization segment SumCache-readable; the cap bounds the diagonal-tile
+// overshoot of causal masking.
+std::size_t attention_tile_tokens(const HackAttentionConfig& config,
+                                  std::size_t lkv);
+
+// Modeled peak attention working set (bytes) of one batched multi-head
+// launch, for the bench comparison and capacity planning. The tiled model
+// counts the at-most-`lanes` in-flight (head × q-row-band) items, each
+// holding a band × tile score/P-code block (5 B/cell), the band × d_head
+// int32 P·V accumulator tile, and per-segment factor vectors. The untiled
+// model is the PR 2 engine: every in-flight head held full lq × lkv score,
+// softmax, and P-code buffers (9 B/cell), chunked at a 96 MiB budget with a
+// one-head floor.
+std::size_t tiled_attention_working_set_bytes(std::size_t lq, std::size_t lkv,
+                                              std::size_t query_heads,
+                                              std::size_t d_head,
+                                              std::size_t tile,
+                                              std::size_t lanes);
+std::size_t untiled_attention_working_set_bytes(std::size_t lq,
+                                                std::size_t lkv,
+                                                std::size_t query_heads);
 
 // All KV-head states of one transformer layer, with the batched engine wired
 // through append/attend. Matrix arguments are head-major slabs: K/V are

@@ -24,6 +24,17 @@ void BitWriter::write_unary(std::uint32_t count) {
   write_bit(false);
 }
 
+void BitWriter::align_to_byte() {
+  const int pad = (8 - pending_bits_ % 8) % 8;
+  if (pad > 0) write_bits(0, pad);
+}
+
+void BitWriter::append_aligned_bytes(std::span<const std::uint8_t> bytes) {
+  HACK_CHECK(pending_bits_ == 0, "append_aligned_bytes on unaligned stream");
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+  bit_count_ += 8 * bytes.size();
+}
+
 std::vector<std::uint8_t> BitWriter::finish() {
   if (pending_bits_ > 0) {
     bytes_.push_back(static_cast<std::uint8_t>(pending_ & 0xff));
@@ -54,6 +65,18 @@ std::uint32_t BitReader::read_unary() {
     HACK_CHECK(count < (1u << 24), "unary run too long; corrupt stream");
   }
   return count;
+}
+
+void BitReader::align_to_byte() {
+  bit_pos_ = (bit_pos_ + 7) / 8 * 8;
+}
+
+std::span<const std::uint8_t> BitReader::view_aligned_bytes(std::size_t count) {
+  HACK_CHECK(bit_pos_ % 8 == 0, "view_aligned_bytes on unaligned stream");
+  const std::size_t byte = bit_pos_ / 8;
+  HACK_CHECK(byte + count <= bytes_.size(), "bitstream exhausted");
+  bit_pos_ += 8 * count;
+  return bytes_.subspan(byte, count);
 }
 
 std::uint32_t zigzag_encode(std::int32_t v) {

@@ -24,6 +24,13 @@ class BitWriter {
   // Appends `count` one-bits followed by a zero (unary coding).
   void write_unary(std::uint32_t count);
 
+  // Pads with zero bits to the next byte boundary (no-op when aligned).
+  void align_to_byte();
+
+  // Appends whole bytes verbatim; the stream must be byte-aligned. This is
+  // how the codecs splice in code sections that were bit-packed in parallel.
+  void append_aligned_bytes(std::span<const std::uint8_t> bytes);
+
   // Flushes to a byte boundary and returns the buffer.
   std::vector<std::uint8_t> finish();
 
@@ -43,6 +50,13 @@ class BitReader {
   std::uint64_t read_bits(int width);
   bool read_bit() { return read_bits(1) != 0; }
   std::uint32_t read_unary();
+
+  // Skips padding to the next byte boundary (no-op when aligned).
+  void align_to_byte();
+
+  // Returns a view of the next `count` whole bytes and advances past them;
+  // the stream must be byte-aligned. The view aliases the reader's buffer.
+  std::span<const std::uint8_t> view_aligned_bytes(std::size_t count);
 
   std::size_t bits_consumed() const { return bit_pos_; }
 

@@ -1,5 +1,6 @@
 #include "codec/cachegen.h"
 
+#include "base/thread_pool.h"
 #include "codec/rice.h"
 #include "quant/quantizer.h"
 #include "tensor/half.h"
@@ -13,6 +14,25 @@ namespace {
 //   rice-coded zigzag deltas, channel-major (delta across tokens per channel)
 constexpr std::uint32_t kMagic = 0x4347u;  // "CG"
 
+// Each channel's delta chain is independent of every other channel's, so the
+// symbol-building (encode) and code-reconstruction (decode) loops run
+// channel-parallel on the shared pool for prefill-sized chunks — the same
+// outer-slice recipe as quantize()/dequantize(), with the same threshold.
+// Output slots are disjoint per channel, so scheduling cannot change the
+// blob or the reconstruction.
+void for_each_channel(std::size_t cols, std::size_t values,
+                      const std::function<void(std::size_t)>& fn) {
+  if (cols < 2 || values < kParallelQuantizeMinValues) {
+    for (std::size_t c = 0; c < cols; ++c) fn(c);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  pool.parallel_for(cols, pool.lanes(),
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t c = begin; c < end; ++c) fn(c);
+                    });
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> CacheGenCodec::encode(const Matrix& chunk,
@@ -24,17 +44,19 @@ std::vector<std::uint8_t> CacheGenCodec::encode(const Matrix& chunk,
                                      Rounding::kStochastic, rng,
                                      /*allow_ragged_tail=*/true);
 
-  // Delta across tokens per channel: code[t][c] - code[t-1][c].
-  std::vector<std::uint32_t> symbols;
-  symbols.reserve(q.codes.size());
-  for (std::size_t c = 0; c < q.cols; ++c) {
+  // Delta across tokens per channel: code[t][c] - code[t-1][c]. Channel
+  // slots are disjoint (channel-major layout), so the chains build in
+  // parallel.
+  std::vector<std::uint32_t> symbols(q.codes.size());
+  for_each_channel(q.cols, q.codes.size(), [&](std::size_t c) {
     std::int32_t prev = 0;
+    std::uint32_t* dst = symbols.data() + c * q.rows;
     for (std::size_t t = 0; t < q.rows; ++t) {
       const std::int32_t code = q.code_at(t, c);
-      symbols.push_back(zigzag_encode(code - prev));
+      dst[t] = zigzag_encode(code - prev);
       prev = code;
     }
-  }
+  });
   const int k = rice_best_k(symbols);
 
   BitWriter w;
@@ -76,17 +98,23 @@ Matrix CacheGenCodec::decode(std::span<const std::uint8_t> blob) const {
     q.scales[i] = Half::from_bits(static_cast<std::uint16_t>(r.read_bits(16)))
                       .to_float();
   }
+  // The Rice stream is inherently serial (variable-length symbols), so drain
+  // it into the channel-major delta buffer first; the per-channel prefix
+  // reconstruction then runs channel-parallel, and dequantize() already
+  // row-parallelizes.
+  std::vector<std::uint32_t> symbols(q.rows * q.cols);
+  for (std::uint32_t& s : symbols) s = rice_decode(r, k);
   q.codes.resize(q.rows * q.cols);
-  for (std::size_t c = 0; c < q.cols; ++c) {
+  for_each_channel(q.cols, q.codes.size(), [&](std::size_t c) {
     std::int32_t prev = 0;
+    const std::uint32_t* src = symbols.data() + c * q.rows;
     for (std::size_t t = 0; t < q.rows; ++t) {
-      const std::int32_t delta = zigzag_decode(rice_decode(r, k));
-      const std::int32_t code = prev + delta;
+      const std::int32_t code = prev + zigzag_decode(src[t]);
       HACK_CHECK(code >= 0 && code < (1 << q.bits), "corrupt CacheGen stream");
       q.codes[t * q.cols + c] = static_cast<std::uint8_t>(code);
       prev = code;
     }
-  }
+  });
   return dequantize(q);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/thread_pool.h"
 #include "codec/bitstream.h"
 #include "quant/packed.h"
 #include "quant/quantizer.h"
@@ -11,12 +12,38 @@
 namespace hack {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x4b51u;  // "KQ"
+// "KR": bumped from "KQ" when the code section gained byte-alignment padding
+// — a v1 blob decoded by this reader would silently skip valid code bits, so
+// cross-version blobs must fail the magic check loudly instead.
+constexpr std::uint32_t kMagic = 0x4b52u;
 
 struct Outlier {
   std::uint32_t flat_index;
   float value;
 };
+
+// The code section of a KVQuant blob is byte-aligned and fixed-width, so it
+// carves into independent whole-byte chunks: each chunk packs (encode) or
+// unpacks (decode) its own code range through the bulk PackedBits paths,
+// chunk-parallel on the shared pool above the quantizer's size threshold.
+// Chunk boundaries land on byte edges, so the bytes are identical to a
+// serial pass.
+void for_each_code_chunk(std::size_t n_codes, int bits,
+                         const std::function<void(std::size_t, std::size_t)>&
+                             fn /* code range [begin, end) */) {
+  const std::size_t per_byte = 8 / static_cast<std::size_t>(bits);
+  const std::size_t n_bytes = (n_codes + per_byte - 1) / per_byte;
+  if (n_codes < kParallelQuantizeMinValues || n_bytes < 2) {
+    fn(0, n_codes);
+    return;
+  }
+  ThreadPool& pool = ThreadPool::global();
+  pool.parallel_for(n_bytes, pool.lanes(),
+                    [&](std::size_t byte0, std::size_t byte1) {
+                      fn(byte0 * per_byte,
+                         std::min(byte1 * per_byte, n_codes));
+                    });
+}
 
 }  // namespace
 
@@ -72,9 +99,17 @@ std::vector<std::uint8_t> KvQuantCodec::encode(const Matrix& chunk,
     w.write_bits(o.flat_index, 32);
     w.write_bits(Half(o.value).bits(), 16);
   }
-  for (const std::uint8_t code : q.codes) {
-    w.write_bits(code, bits_);
-  }
+  // Codes: byte-aligned fixed-width section, bit-packed chunk-parallel.
+  w.align_to_byte();
+  const std::size_t per_byte = 8 / static_cast<std::size_t>(bits_);
+  std::vector<std::uint8_t> packed(
+      (q.codes.size() * static_cast<std::size_t>(bits_) + 7) / 8);
+  for_each_code_chunk(q.codes.size(), bits_,
+                      [&](std::size_t c0, std::size_t c1) {
+                        pack_codes(std::span(q.codes).subspan(c0, c1 - c0),
+                                   bits_, packed.data() + c0 / per_byte);
+                      });
+  w.append_aligned_bytes(packed);
   return w.finish();
 }
 
@@ -85,6 +120,11 @@ Matrix KvQuantCodec::decode(std::span<const std::uint8_t> blob) const {
   q.rows = static_cast<std::size_t>(r.read_bits(32));
   q.cols = static_cast<std::size_t>(r.read_bits(32));
   q.bits = static_cast<int>(r.read_bits(8));
+  // The encoder only emits quantize()-supported widths; anything else is a
+  // corrupt blob and must throw here rather than reach the 8 / bits chunk
+  // arithmetic below.
+  HACK_CHECK(q.bits == 2 || q.bits == 4 || q.bits == 8,
+             "corrupt KVQuant blob: bits=" << q.bits);
   q.pi = static_cast<std::size_t>(r.read_bits(8)) * 16;
   q.axis = r.read_bits(1) != 0 ? QuantAxis::kCol : QuantAxis::kRow;
   const std::size_t outlier_count = static_cast<std::size_t>(r.read_bits(32));
@@ -109,9 +149,15 @@ Matrix KvQuantCodec::decode(std::span<const std::uint8_t> blob) const {
                   .to_float();
   }
   q.codes.resize(q.rows * q.cols);
-  for (std::uint8_t& code : q.codes) {
-    code = static_cast<std::uint8_t>(r.read_bits(q.bits));
-  }
+  r.align_to_byte();
+  const std::size_t per_byte = 8 / static_cast<std::size_t>(q.bits);
+  const std::span<const std::uint8_t> packed = r.view_aligned_bytes(
+      (q.codes.size() * static_cast<std::size_t>(q.bits) + 7) / 8);
+  for_each_code_chunk(q.codes.size(), q.bits,
+                      [&](std::size_t c0, std::size_t c1) {
+                        unpack_codes(packed.subspan(c0 / per_byte), q.bits,
+                                     c1 - c0, q.codes.data() + c0);
+                      });
 
   Matrix out = dequantize(q);
   for (const Outlier& o : outliers) {

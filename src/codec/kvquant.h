@@ -15,9 +15,15 @@ namespace hack {
 
 class KvQuantCodec : public KvCodec {
  public:
+  // `bits` must be a quantize()-supported width (2/4/8) — also what the
+  // byte-aligned code section of the blob format requires; checked here so a
+  // misconfigured codec fails at construction, not mid-encode.
   explicit KvQuantCodec(int bits = 2, std::size_t pi = 64,
                         double outlier_fraction = 0.01)
-      : bits_(bits), pi_(pi), outlier_fraction_(outlier_fraction) {}
+      : bits_(bits), pi_(pi), outlier_fraction_(outlier_fraction) {
+    HACK_CHECK(bits == 2 || bits == 4 || bits == 8,
+               "KvQuantCodec bits must be 2, 4, or 8, got " << bits);
+  }
 
   std::string name() const override { return "kvquant"; }
   std::vector<std::uint8_t> encode(const Matrix& chunk, KvKind kind,

@@ -13,8 +13,9 @@ namespace {
 // are confined to the banded integer kernel and the Σ b' recompute loop,
 // selected at compile time. The engine is split into a B-side preparation —
 // reusable across every task that multiplies against the same B, e.g. GQA
-// query heads sharing one KV head — and a band processor that the single and
-// batched entry points dispatch over.
+// query heads sharing one KV head, and across every KV tile of a streaming
+// pass — and a band processor that the single, batched, and tiled entry
+// points dispatch over.
 
 template <bool kNT>
 void validate_operands(const QuantizedMatrix& a, const QuantizedMatrix& b) {
@@ -120,55 +121,73 @@ struct PreparedB {
   }
 };
 
-// One row band of C: integer GEMM per group into a band-local int32 tile,
-// then the vectorizable three-term correction
+// One row band of C restricted to output columns [j0, j1): integer GEMM per
+// group into a band-local int32 tile, then the vectorizable three-term
+// correction
 //   C[i,j] += A1·B1[j]·dot + A2·B2[j] + A3·B3[j]
-// with A1 = s_a, A2 = s_a·Σa', A3 = m_a. Every C row is produced entirely
-// inside one band, so results do not depend on the band decomposition.
+// with A1 = s_a, A2 = s_a·Σa', A3 = m_a. `out` points at the band's first
+// output row with leading dimension `ldc`; `a_sums_full`, when given, is the
+// whole-matrix hq_a_row_sums(a) hoisted by a streaming caller (null =
+// compute the band's Σ a' here). Every C row is produced entirely inside one
+// band — and each output column value is independent of [j0, j1) — so
+// results depend neither on the band decomposition nor on the tiling.
 template <bool kNT>
 void process_band(const QuantizedMatrix& a, const PreparedB<kNT>& pb,
-                  std::size_t r0, std::size_t r1, Matrix& c) {
-  const std::size_t n = pb.n;
+                  const std::int32_t* a_sums_full, std::size_t r0,
+                  std::size_t r1, std::size_t j0, std::size_t j1, float* out,
+                  std::size_t ldc) {
+  const std::size_t n_tile = j1 - j0;
   const std::size_t groups = pb.scheme.group_count();
   const CodeView a_codes{a.codes.data(), a.rows, a.cols};
   const CodeView b_codes{pb.b->codes.data(), pb.b->rows, pb.b->cols};
-
-  const std::size_t band = r1 - r0;
-  // Σ a' per (band row, g): contiguous runs of each A row.
-  std::vector<std::int32_t> a_row_sums(band * groups, 0);
-  for (std::size_t i = r0; i < r1; ++i) {
-    const std::uint8_t* row = a.codes.data() + i * a.cols;
-    for (std::size_t g = 0; g < groups; ++g) {
-      std::int32_t acc = 0;
-      for (std::size_t zz = pb.scheme.group_begin(g);
-           zz < pb.scheme.group_end(g); ++zz) {
-        acc += row[zz];
-      }
-      a_row_sums[(i - r0) * groups + g] = acc;
-    }
+  if constexpr (!kNT) {
+    HACK_CHECK(j0 == 0 && j1 == pb.n, "NN bands cover all output columns");
   }
 
-  std::vector<std::int32_t> dot(band * n);
+  const std::size_t band = r1 - r0;
+  // Σ a' per (band row, g): hoisted by the caller or computed from the
+  // contiguous runs of each A row.
+  std::vector<std::int32_t> a_sums_local;
+  const std::int32_t* asum = a_sums_full;
+  std::size_t asum_r0 = 0;
+  if (asum == nullptr) {
+    a_sums_local.assign(band * groups, 0);
+    for (std::size_t i = r0; i < r1; ++i) {
+      const std::uint8_t* row = a.codes.data() + i * a.cols;
+      for (std::size_t g = 0; g < groups; ++g) {
+        std::int32_t acc = 0;
+        for (std::size_t zz = pb.scheme.group_begin(g);
+             zz < pb.scheme.group_end(g); ++zz) {
+          acc += row[zz];
+        }
+        a_sums_local[(i - r0) * groups + g] = acc;
+      }
+    }
+    asum = a_sums_local.data();
+    asum_r0 = r0;
+  }
+
+  std::vector<std::int32_t> dot(band * n_tile);
   for (std::size_t g = 0; g < groups; ++g) {
     std::fill(dot.begin(), dot.end(), 0);
     if constexpr (kNT) {
       int_gemm_nt_rows(a_codes, b_codes, r0, r1, pb.scheme.group_begin(g),
-                       pb.scheme.group_end(g), dot.data(), pb.b->bits);
+                       pb.scheme.group_end(g), dot.data(), pb.b->bits, j0, j1);
     } else {
       int_gemm_nn_rows(a_codes, b_codes, r0, r1, pb.scheme.group_begin(g),
                        pb.scheme.group_end(g), dot.data(), pb.b->bits);
     }
-    const float* f1 = pb.b1.data() + g * n;
-    const float* f2 = pb.b2.data() + g * n;
-    const float* f3 = pb.b3.data() + g * n;
+    const float* f1 = pb.b1.data() + g * pb.n + j0;
+    const float* f2 = pb.b2.data() + g * pb.n + j0;
+    const float* f3 = pb.b3.data() + g * pb.n + j0;
     for (std::size_t i = r0; i < r1; ++i) {
       const float sa = a.scales[i * groups + g];
       const float a2 =
-          sa * static_cast<float>(a_row_sums[(i - r0) * groups + g]);
+          sa * static_cast<float>(asum[(i - asum_r0) * groups + g]);
       const float a3 = a.mins[i * groups + g];
-      float* crow = &c(i, 0);
-      const std::int32_t* drow = dot.data() + (i - r0) * n;
-      for (std::size_t j = 0; j < n; ++j) {
+      float* crow = out + (i - r0) * ldc;
+      const std::int32_t* drow = dot.data() + (i - r0) * n_tile;
+      for (std::size_t j = 0; j < n_tile; ++j) {
         crow[j] += sa * f1[j] * static_cast<float>(drow[j]) + a2 * f2[j] +
                    a3 * f3[j];
       }
@@ -200,34 +219,122 @@ Matrix hq_matmul_single(const QuantizedMatrix& a, const QuantizedMatrix& b,
              "A group count mismatch");
 
   Matrix c(m, pb.n, 0.0f);
+  float* c0 = c.flat().data();
   if (m == 1 || threads == 1) {
     // Decode GEMV fast path / explicit serial: no pool dispatch, the banded
     // kernels degrade to j-tiled dot loops over the single row.
-    process_band<kNT>(a, pb, 0, m, c);
+    process_band<kNT>(a, pb, nullptr, 0, m, 0, pb.n, c0, pb.n);
   } else {
     ThreadPool& pool = ThreadPool::global();
     pool.parallel_for(m, chunks_for_request(threads, m, pool.lanes()),
                       [&](std::size_t r0, std::size_t r1) {
-                        process_band<kNT>(a, pb, r0, r1, c);
+                        process_band<kNT>(a, pb, nullptr, r0, r1, 0, pb.n,
+                                          c0 + r0 * pb.n, pb.n);
                       });
   }
   fill_stats(stats, m, pb.n, pb.z, pb.sum_flops);
   return c;
 }
 
+// Segment-quantized A validation for the NN KV-tile path: A's columns are the
+// tile, its partitions the kv_tile_segments of the range, so every A group
+// lines up with exactly one absolute B group.
+struct NnTilePrep {
+  const QuantizedMatrix* b;
+  const SumCache* b_sums;
+  std::size_t k0, k1;
+  std::vector<KvSegment> segments;
+  KvTileBSums seg_sums;
+};
+
 template <bool kNT>
 void hq_matmul_batch(std::span<HqGemmTask> tasks, int threads) {
   if (tasks.empty()) return;
 
-  // B-side preparation, shared across tasks with the same (b, b_sums) pair.
-  std::vector<std::unique_ptr<PreparedB<kNT>>> preps;
-  std::vector<std::size_t> prep_of(tasks.size());
-  std::vector<bool> charges_sum_flops(tasks.size(), false);
+  // Resolve KV ranges and validate per task.
+  std::vector<std::size_t> kr0(tasks.size()), kr1(tasks.size());
+  std::vector<bool> tiled(tasks.size(), false);
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     const HqGemmTask& task = tasks[t];
     HACK_CHECK(task.a != nullptr && task.b != nullptr && task.c != nullptr,
                "batched HQ-GEMM task missing an operand");
-    validate_operands<kNT>(*task.a, *task.b);
+    // Token rows of B: the N dimension for NT (K stores one token per row)
+    // and the contraction dimension for NN (V rows are sequence positions).
+    const std::size_t b_tokens = task.b->rows;
+    kr0[t] = task.k_begin;
+    kr1[t] = task.k_end == kKvRangeFull ? b_tokens : task.k_end;
+    HACK_CHECK(kr0[t] <= kr1[t] && kr1[t] <= b_tokens,
+               "KV tile [" << kr0[t] << ", " << kr1[t] << ") out of "
+                           << b_tokens << " token rows");
+    tiled[t] = !(kr0[t] == 0 && kr1[t] == b_tokens);
+    if (!tiled[t] || kNT) {
+      validate_operands<kNT>(*task.a, *task.b);
+    } else {
+      // NN tile: A is the [M x tile] block, checked against the segment
+      // geometry below instead of against B's full inner extent.
+      HACK_CHECK(task.a->axis == QuantAxis::kRow,
+                 "A must be row-axis quantized");
+      HACK_CHECK(task.b->axis == QuantAxis::kCol,
+                 "B must be col-axis quantized");
+      HACK_CHECK(task.a->pi == task.b->pi, "partition size mismatch");
+      HACK_CHECK(task.a->cols == kr1[t] - kr0[t],
+                 "NN tile A width " << task.a->cols << " != tile "
+                                    << kr1[t] - kr0[t]);
+    }
+  }
+
+  // B-side preparation, shared across tasks with the same (b, b_sums) pair —
+  // NT tiles reuse the full-B prep since K partitions run along d_head.
+  std::vector<std::unique_ptr<PreparedB<kNT>>> preps;
+  std::vector<std::unique_ptr<NnTilePrep>> tile_preps;
+  std::vector<std::size_t> prep_of(tasks.size(), kKvRangeFull);
+  std::vector<std::size_t> tile_prep_of(tasks.size(), kKvRangeFull);
+  std::vector<bool> charges_sum_flops(tasks.size(), false);
+  std::vector<std::vector<std::int32_t>> a_seg_sums(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const HqGemmTask& task = tasks[t];
+    if (!kNT && tiled[t]) {
+      std::size_t found = tile_preps.size();
+      for (std::size_t p = 0; p < tile_preps.size(); ++p) {
+        if (tile_preps[p]->b == task.b && tile_preps[p]->b_sums == task.b_sums &&
+            tile_preps[p]->k0 == kr0[t] && tile_preps[p]->k1 == kr1[t]) {
+          found = p;
+          break;
+        }
+      }
+      if (found == tile_preps.size()) {
+        auto prep = std::make_unique<NnTilePrep>(NnTilePrep{
+            task.b, task.b_sums, kr0[t], kr1[t],
+            kv_tile_segments(kr0[t], kr1[t], task.b->rows, task.b->pi),
+            {}});
+        prep->seg_sums =
+            kv_tile_b_sums(*task.b, task.b_sums, prep->segments);
+        tile_preps.push_back(std::move(prep));
+        charges_sum_flops[t] = true;  // first user pays the Σ b' reduce
+      }
+      tile_prep_of[t] = found;
+      const std::size_t segs = tile_preps[found]->segments.size();
+      HACK_CHECK(task.a->group_count() == segs,
+                 "NN tile A must be quantized per kv_tile_segments: "
+                     << task.a->group_count() << " groups vs " << segs
+                     << " segments");
+      // Σ a' per (row, segment) — the tile path's analogue of the band-local
+      // row sums, computed once per task.
+      a_seg_sums[t].assign(task.a->rows * segs, 0);
+      for (std::size_t i = 0; i < task.a->rows; ++i) {
+        const std::uint8_t* row = task.a->codes.data() + i * task.a->cols;
+        for (std::size_t s = 0; s < segs; ++s) {
+          const KvSegment& seg = tile_preps[found]->segments[s];
+          std::int32_t acc = 0;
+          for (std::size_t z = seg.begin; z < seg.end; ++z) {
+            acc += row[z - kr0[t]];
+          }
+          a_seg_sums[t][i * segs + s] = acc;
+        }
+      }
+      *task.c = Matrix(task.a->rows, task.b->cols, 0.0f);
+      continue;
+    }
     std::size_t found = preps.size();
     for (std::size_t p = 0; p < preps.size(); ++p) {
       if (preps[p]->b == task.b && preps[p]->b_sums == task.b_sums) {
@@ -242,7 +349,8 @@ void hq_matmul_batch(std::span<HqGemmTask> tasks, int threads) {
     prep_of[t] = found;
     HACK_CHECK(task.a->group_count() == preps[found]->scheme.group_count(),
                "A group count mismatch");
-    *task.c = Matrix(task.a->rows, preps[found]->n, 0.0f);
+    *task.c = Matrix(task.a->rows, kNT ? kr1[t] - kr0[t] : preps[found]->n,
+                     0.0f);
   }
 
   // Work items: each task's M splits into row bands; single-row tasks (the
@@ -267,12 +375,35 @@ void hq_matmul_batch(std::span<HqGemmTask> tasks, int threads) {
     }
   }
 
-  const auto run_item = [&](const Item& it) {
-    process_band<kNT>(*tasks[it.task].a, *preps[prep_of[it.task]], it.r0,
-                      it.r1, *tasks[it.task].c);
+  const auto run_item = [&](std::size_t idx) {
+    const Item& it = items[idx];
+    const HqGemmTask& task = tasks[it.task];
+    float* c0 = task.c->flat().data();
+    if (!kNT && tiled[it.task]) {
+      const NnTilePrep& tp = *tile_preps[tile_prep_of[it.task]];
+      const std::size_t segs = tp.segments.size();
+      const std::size_t n = task.b->cols;
+      hq_nn_tile_accumulate(
+          task.a->codes.data() + it.r0 * task.a->cols, it.r1 - it.r0,
+          std::span<const float>(task.a->mins).subspan(it.r0 * segs,
+                                                       (it.r1 - it.r0) * segs),
+          std::span<const float>(task.a->scales)
+              .subspan(it.r0 * segs, (it.r1 - it.r0) * segs),
+          std::span<const std::int32_t>(a_seg_sums[it.task])
+              .subspan(it.r0 * segs, (it.r1 - it.r0) * segs),
+          *task.b, tp.segments, tp.seg_sums.sums, tp.k0, tp.k1,
+          c0 + it.r0 * n);
+      return;
+    }
+    const PreparedB<kNT>& pb = *preps[prep_of[it.task]];
+    const std::size_t j0 = kNT ? kr0[it.task] : 0;
+    const std::size_t j1 = kNT ? kr1[it.task] : pb.n;
+    const std::size_t ldc = j1 - j0;
+    process_band<kNT>(*task.a, pb, nullptr, it.r0, it.r1, j0, j1,
+                      c0 + it.r0 * ldc, ldc);
   };
   if (threads == 1 || items.size() == 1) {
-    for (const Item& it : items) run_item(it);
+    for (std::size_t i = 0; i < items.size(); ++i) run_item(i);
   } else {
     // threads <= 0: one chunk per item, claimed dynamically, so a slow head
     // does not serialize the rest of the layer. threads = N: N contiguous
@@ -282,19 +413,180 @@ void hq_matmul_batch(std::span<HqGemmTask> tasks, int threads) {
                                          /*auto_chunks=*/items.size()),
                       [&](std::size_t begin, std::size_t end) {
                         for (std::size_t i = begin; i < end; ++i) {
-                          run_item(items[i]);
+                          run_item(i);
                         }
                       });
   }
 
   for (std::size_t t = 0; t < tasks.size(); ++t) {
+    if (!kNT && tiled[t]) {
+      const NnTilePrep& tp = *tile_preps[tile_prep_of[t]];
+      fill_stats(tasks[t].stats, tasks[t].a->rows, tasks[t].b->cols,
+                 kr1[t] - kr0[t],
+                 charges_sum_flops[t] ? tp.seg_sums.sum_flops : 0);
+      continue;
+    }
     const PreparedB<kNT>& pb = *preps[prep_of[t]];
-    fill_stats(tasks[t].stats, tasks[t].a->rows, pb.n, pb.z,
-               charges_sum_flops[t] ? pb.sum_flops : 0);
+    fill_stats(tasks[t].stats, tasks[t].a->rows, kNT ? kr1[t] - kr0[t] : pb.n,
+               pb.z, charges_sum_flops[t] ? pb.sum_flops : 0);
   }
 }
 
 }  // namespace
+
+std::vector<KvSegment> kv_tile_segments(std::size_t k_begin, std::size_t k_end,
+                                        std::size_t rows, std::size_t pi) {
+  HACK_CHECK(pi > 0, "partition size must be positive");
+  HACK_CHECK(k_begin <= k_end && k_end <= rows,
+             "KV tile [" << k_begin << ", " << k_end << ") out of " << rows);
+  std::vector<KvSegment> segs;
+  std::size_t pos = k_begin;
+  while (pos < k_end) {
+    const std::size_t g = pos / pi;
+    const std::size_t g_begin = g * pi;
+    const std::size_t g_end = std::min(g_begin + pi, rows);
+    const std::size_t end = std::min(g_end, k_end);
+    segs.push_back({pos, end, g, pos == g_begin && end == g_end});
+    pos = end;
+  }
+  return segs;
+}
+
+struct HqNtPrep::Impl {
+  PreparedB<true> pb;
+  Impl(const QuantizedMatrix& b, const SumCache* sums) : pb(b, sums) {}
+};
+
+HqNtPrep::HqNtPrep(const QuantizedMatrix& b, const SumCache* b_sums)
+    : impl_(std::make_unique<Impl>(b, b_sums)) {}
+HqNtPrep::~HqNtPrep() = default;
+HqNtPrep::HqNtPrep(HqNtPrep&&) noexcept = default;
+HqNtPrep& HqNtPrep::operator=(HqNtPrep&&) noexcept = default;
+std::size_t HqNtPrep::n() const { return impl_->pb.n; }
+std::int64_t HqNtPrep::sum_flops() const { return impl_->pb.sum_flops; }
+
+std::vector<std::int32_t> hq_a_row_sums(const QuantizedMatrix& a) {
+  HACK_CHECK(a.axis == QuantAxis::kRow, "A must be row-axis quantized");
+  const PartitionScheme scheme(a.cols, a.pi, /*allow_ragged_tail=*/true);
+  const std::size_t groups = scheme.group_count();
+  HACK_CHECK(a.group_count() == groups, "A group count mismatch");
+  std::vector<std::int32_t> sums(a.rows * groups, 0);
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    const std::uint8_t* row = a.codes.data() + i * a.cols;
+    for (std::size_t g = 0; g < groups; ++g) {
+      std::int32_t acc = 0;
+      for (std::size_t z = scheme.group_begin(g); z < scheme.group_end(g);
+           ++z) {
+        acc += row[z];
+      }
+      sums[i * groups + g] = acc;
+    }
+  }
+  return sums;
+}
+
+void hq_nt_score_tile(const QuantizedMatrix& a, const HqNtPrep& prep,
+                      std::span<const std::int32_t> a_sums, std::size_t r0,
+                      std::size_t r1, std::size_t k_begin, std::size_t k_end,
+                      float* out) {
+  const PreparedB<true>& pb = prep.impl().pb;
+  HACK_CHECK(k_begin <= k_end && k_end <= pb.n, "bad KV tile");
+  HACK_CHECK(r0 <= r1 && r1 <= a.rows, "bad row band");
+  HACK_CHECK(a_sums.size() == a.rows * pb.scheme.group_count(),
+             "a_sums must be hq_a_row_sums(a)");
+  const std::size_t tile = k_end - k_begin;
+  std::fill(out, out + (r1 - r0) * tile, 0.0f);
+  process_band<true>(a, pb, a_sums.data(), r0, r1, k_begin, k_end, out, tile);
+}
+
+KvTileBSums kv_tile_b_sums(const QuantizedMatrix& b, const SumCache* b_sums,
+                           std::span<const KvSegment> segments) {
+  HACK_CHECK(b.axis == QuantAxis::kCol, "B must be col-axis quantized");
+  const std::size_t n = b.cols;
+  KvTileBSums out;
+  out.sums.assign(segments.size() * n, 0);
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const KvSegment& seg = segments[s];
+    HACK_CHECK(seg.end <= b.rows && seg.begin < seg.end, "bad segment");
+    std::int32_t* dst = out.sums.data() + s * n;
+    if (seg.whole_group && b_sums != nullptr) {
+      HACK_CHECK(b_sums->outer() == n && seg.group < b_sums->groups(),
+                 "SumCache does not match B");
+      for (std::size_t j = 0; j < n; ++j) dst[j] = b_sums->sum(j, seg.group);
+    } else {
+      for (std::size_t z = seg.begin; z < seg.end; ++z) {
+        const std::uint8_t* row = b.codes.data() + z * n;
+        for (std::size_t j = 0; j < n; ++j) dst[j] += row[j];
+      }
+      out.sum_flops += static_cast<std::int64_t>(seg.end - seg.begin) * n;
+    }
+  }
+  return out;
+}
+
+void hq_nn_tile_accumulate(const std::uint8_t* a_codes, std::size_t a_rows,
+                           std::span<const float> a_mins,
+                           std::span<const float> a_scales,
+                           std::span<const std::int32_t> a_code_sums,
+                           const QuantizedMatrix& b,
+                           std::span<const KvSegment> segments,
+                           std::span<const std::int32_t> b_seg_sums,
+                           std::size_t k_begin, std::size_t k_end,
+                           float* out) {
+  HACK_CHECK(b.axis == QuantAxis::kCol, "B must be col-axis quantized");
+  HACK_CHECK(k_begin <= k_end && k_end <= b.rows, "bad KV tile");
+  const std::size_t n = b.cols;
+  const std::size_t tile = k_end - k_begin;
+  const std::size_t seg_count = segments.size();
+  HACK_CHECK(a_mins.size() == a_rows * seg_count &&
+                 a_scales.size() == a_rows * seg_count &&
+                 a_code_sums.size() == a_rows * seg_count,
+             "A metadata must be laid out per segment");
+  HACK_CHECK(b_seg_sums.size() == seg_count * n,
+             "b_seg_sums must be kv_tile_b_sums of the segments");
+  const std::size_t b_groups = b.group_count();
+  const CodeView av{a_codes, a_rows, tile};
+  const CodeView bv{b.codes.data(), b.rows, b.cols};
+
+  std::vector<std::int32_t> dot(a_rows * n);
+  std::vector<float> f1(n), f2(n), f3(n);
+  for (std::size_t s = 0; s < seg_count; ++s) {
+    const KvSegment& seg = segments[s];
+    HACK_CHECK(seg.begin >= k_begin && seg.end <= k_end && seg.begin < seg.end,
+               "segment outside the tile");
+    HACK_CHECK(seg.group < b_groups, "segment group out of range");
+    const std::size_t len = seg.end - seg.begin;
+
+    const std::int32_t* bsum = b_seg_sums.data() + s * n;
+    const auto flen = static_cast<float>(len);
+    for (std::size_t j = 0; j < n; ++j) {
+      const float sb = b.scales[j * b_groups + seg.group];
+      const float mb = b.mins[j * b_groups + seg.group];
+      f1[j] = sb;
+      f2[j] = mb;
+      f3[j] = sb * static_cast<float>(bsum[j]) + flen * mb;
+    }
+
+    std::fill(dot.begin(), dot.end(), 0);
+    int_gemm_nn_rows(av, bv, 0, a_rows, seg.begin - k_begin,
+                     seg.end - k_begin, dot.data(), b.bits,
+                     /*b_row_offset=*/k_begin);
+    for (std::size_t i = 0; i < a_rows; ++i) {
+      const float sa = a_scales[i * seg_count + s];
+      const float ma = a_mins[i * seg_count + s];
+      // Fully masked rows quantize to (0, 0, codes 0): their Eq. (4)
+      // contribution is exactly zero, skip the axpy.
+      if (sa == 0.0f && ma == 0.0f) continue;
+      const float a2 = sa * static_cast<float>(a_code_sums[i * seg_count + s]);
+      float* crow = out + i * n;
+      const std::int32_t* drow = dot.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += sa * f1[j] * static_cast<float>(drow[j]) + a2 * f2[j] +
+                   ma * f3[j];
+      }
+    }
+  }
+}
 
 Matrix hq_matmul(const QuantizedMatrix& a, const QuantizedMatrix& b,
                  const SumCache* b_sums, HqStats* stats, int threads) {

@@ -28,14 +28,38 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "core/sum_cache.h"
 #include "quant/quantizer.h"
 #include "tensor/matrix.h"
 
 namespace hack {
+
+// Sentinel for "the whole KV extent" in the tile-view parameters below.
+inline constexpr std::size_t kKvRangeFull = static_cast<std::size_t>(-1);
+
+// One absolutely-aligned segment of a KV tile: contraction positions
+// [begin, end) (absolute token indices), lying entirely inside B partition
+// group `group`. `whole_group` marks segments that cover their group exactly,
+// whose Σ b' can be read from a SumCache; partial segments (a tile boundary
+// cut through the group) recompute the segment sum from the codes.
+struct KvSegment {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t group = 0;
+  bool whole_group = false;
+};
+
+// Splits the KV tile [k_begin, k_end) at the absolute partition boundaries of
+// a col-axis quantized store with `rows` token rows and partition size `pi`
+// (the final group may be ragged, as in the RQE-off spliced V store). The
+// returned segments tile [k_begin, k_end) exactly, in order.
+std::vector<KvSegment> kv_tile_segments(std::size_t k_begin, std::size_t k_end,
+                                        std::size_t rows, std::size_t pi);
 
 // Operation counters filled by the HQ kernels; tests pin these against the
 // closed-form costs in core/cost_model.h.
@@ -69,12 +93,27 @@ Matrix hq_matmul_nt(const QuantizedMatrix& a, const QuantizedMatrix& b,
 // (b, b_sums) pair — GQA query heads attending one KV head — the hoisted
 // Eq. (4) B factors are prepared once, and any Σ b' recompute cost is charged
 // to the first task using that pair.
+//
+// `[k_begin, k_end)` is the KV tile view over B's token rows (kKvRangeFull =
+// no tiling, the PR 2 contract):
+//   - NT (Q·Kᵀ): restricts the score columns — C becomes M x (k_end -
+//     k_begin), the tile of the score matrix against K rows [k_begin, k_end).
+//     A is unchanged (its partitions run along d_head, never cut by the KV
+//     dimension), and the shared B prep still covers all of B.
+//   - NN (P·V): restricts the contraction — A must be M x (k_end - k_begin)
+//     with its metadata laid out per kv_tile_segments(k_begin, k_end, b.rows,
+//     b.pi) segment ([row * segments + seg], ragged head group allowed), so
+//     every A partition lines up with one absolute B group. C stays M x N.
+//     Whole-group segments read Σ b' from `b_sums`; partial ones recompute it
+//     (charged to the task's sum_flops).
 struct HqGemmTask {
   const QuantizedMatrix* a = nullptr;
   const QuantizedMatrix* b = nullptr;
   const SumCache* b_sums = nullptr;
   Matrix* c = nullptr;
   HqStats* stats = nullptr;
+  std::size_t k_begin = 0;
+  std::size_t k_end = kKvRangeFull;
 };
 
 // Batched heads-in-one-launch variants: every task's M dimension splits into
@@ -86,6 +125,75 @@ struct HqGemmTask {
 // thread count.
 void hq_matmul_batched(std::span<HqGemmTask> tasks, int threads = 0);
 void hq_matmul_nt_batched(std::span<HqGemmTask> tasks, int threads = 0);
+
+// ---- streaming-attention building blocks -----------------------------------
+// The tiled softmax engine in attention/layer_attention.cpp walks KV tiles
+// inside one pool work item, so it needs the Eq. (4) machinery exposed at a
+// finer grain than a whole hq_matmul call: a reusable B-side prep, hoisted
+// A row sums, and per-tile score / accumulate kernels.
+
+// Opaque hoisted NT B-side prep (the Q·Kᵀ factors of one KV head): built once
+// per (K, SumCache) pair and reused across GQA query heads and every KV tile.
+// sum_flops() reports the Σ b' adds paid at build time when no SumCache was
+// given (charge it once per prep, not per tile).
+class HqNtPrep {
+ public:
+  HqNtPrep(const QuantizedMatrix& b, const SumCache* b_sums);
+  ~HqNtPrep();
+  HqNtPrep(HqNtPrep&&) noexcept;
+  HqNtPrep& operator=(HqNtPrep&&) noexcept;
+
+  std::size_t n() const;          // B token rows
+  std::int64_t sum_flops() const;
+
+  struct Impl;
+  const Impl& impl() const { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+// Σ a' per (row, group) of a row-axis quantized A, contiguous
+// [row * group_count + group] — hoisted out of the tile loop so the per-tile
+// correction never re-reduces the Q codes.
+std::vector<std::int32_t> hq_a_row_sums(const QuantizedMatrix& a);
+
+// Score tile: overwrites out[(i - r0) * (k_end - k_begin) + (j - k_begin)]
+// with Eq. (4)(A·Bᵀ)[i, j] for rows [r0, r1) and B token rows
+// [k_begin, k_end). `a_sums` is hq_a_row_sums(a). Bit-identical to the
+// corresponding columns of a full hq_matmul_nt call.
+void hq_nt_score_tile(const QuantizedMatrix& a, const HqNtPrep& prep,
+                      std::span<const std::int32_t> a_sums, std::size_t r0,
+                      std::size_t r1, std::size_t k_begin, std::size_t k_end,
+                      float* out);
+
+// Precomputed Σ b' per (segment, column) of one KV tile — shared across row
+// bands and across the GQA query heads reading one KV head. Whole-group
+// segments read the SumCache when given; boundary-cut segments (and every
+// segment when `b_sums` is null, the RQE-off spliced store) are reduced from
+// the codes once, with the add count recorded in sum_flops for SE-off
+// accounting.
+struct KvTileBSums {
+  std::vector<std::int32_t> sums;  // [seg * b.cols + j]
+  std::int64_t sum_flops = 0;
+};
+KvTileBSums kv_tile_b_sums(const QuantizedMatrix& b, const SumCache* b_sums,
+                           std::span<const KvSegment> segments);
+
+// P·V tile: accumulates out[i * b.cols + j] += Eq. (4)(A_tile ·
+// B[k_begin:k_end, :]) where A_tile is a [rows x (k_end - k_begin)] code
+// block (tile-relative columns) quantized per `segments`
+// (= kv_tile_segments(k_begin, k_end, b.rows, b.pi)); `a_mins` / `a_scales` /
+// `a_code_sums` are indexed [row * segments.size() + seg] and `b_seg_sums`
+// is kv_tile_b_sums(b, ..., segments).
+void hq_nn_tile_accumulate(const std::uint8_t* a_codes, std::size_t a_rows,
+                           std::span<const float> a_mins,
+                           std::span<const float> a_scales,
+                           std::span<const std::int32_t> a_code_sums,
+                           const QuantizedMatrix& b,
+                           std::span<const KvSegment> segments,
+                           std::span<const std::int32_t> b_seg_sums,
+                           std::size_t k_begin, std::size_t k_end, float* out);
 
 // The original scalar Eq. (4) triple loop (seed implementation), kept as the
 // ground truth for randomized equivalence tests and as the baseline leg of

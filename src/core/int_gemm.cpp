@@ -278,37 +278,50 @@ std::int32_t int_dot_nt(const CodeView& a, const CodeView& b, std::size_t i,
 void int_gemm_nn_rows(const CodeView& a, const CodeView& b,
                       std::size_t i_begin, std::size_t i_end,
                       std::size_t z_begin, std::size_t z_end,
-                      std::int32_t* out, int b_bits) {
-  HACK_CHECK(a.cols == b.rows, "NN shape mismatch");
+                      std::int32_t* out, int b_bits,
+                      std::size_t b_row_offset) {
   HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
+  HACK_CHECK(b_row_offset + z_end <= b.rows,
+             "B row range " << b_row_offset << "+" << z_end << " out of "
+                            << b.rows);
   HACK_CHECK(i_begin <= i_end && i_end <= a.rows, "bad row band");
+  // The kernels only ever index B at `data + z * cols`, so a KV-tile offset
+  // is a plain row-shifted view.
+  const CodeView bv{b.data + b_row_offset * b.cols, b.rows - b_row_offset,
+                    b.cols};
 #ifdef HACK_X86_SIMD
   if (b_bits >= 1 && b_bits <= 6 && cpu_has_avx2()) {
-    int_gemm_nn_rows_avx2(a, b, i_begin, i_end, z_begin, z_end, out);
+    int_gemm_nn_rows_avx2(a, bv, i_begin, i_end, z_begin, z_end, out);
     return;
   }
 #else
   (void)b_bits;
 #endif
-  int_gemm_nn_rows_portable(a, b, i_begin, i_end, z_begin, z_end, out);
+  int_gemm_nn_rows_portable(a, bv, i_begin, i_end, z_begin, z_end, out);
 }
 
 void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
                       std::size_t i_begin, std::size_t i_end,
                       std::size_t z_begin, std::size_t z_end,
-                      std::int32_t* out, int b_bits) {
+                      std::int32_t* out, int b_bits, std::size_t j_begin,
+                      std::size_t j_end) {
+  if (j_end == kIntGemmFull) j_end = b.rows;
   HACK_CHECK(a.cols == b.cols, "NT inner dim mismatch");
   HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
   HACK_CHECK(i_begin <= i_end && i_end <= a.rows, "bad row band");
+  HACK_CHECK(j_begin <= j_end && j_end <= b.rows, "bad B row range");
+  // Output columns [j_begin, j_end) come from the row-shifted view of B.
+  const CodeView bv{b.data + j_begin * b.cols, j_end - j_begin, b.cols};
 #ifdef HACK_X86_SIMD
   if (b_bits >= 1 && b_bits <= 6 && cpu_has_avx2()) {
-    int_gemm_nt_rows_avx2(a, b, i_begin, i_end, z_begin, z_end, out);
+    int_gemm_nt_rows_avx2(a, bv, i_begin, i_end, z_begin, z_end, out);
     return;
   }
 #else
   (void)b_bits;
 #endif
-  const std::size_t n = b.rows;
+  const CodeView& b_tile = bv;
+  const std::size_t n = b_tile.rows;
   const std::size_t zlen = z_end - z_begin;
   // 4x4 register tile: 16 accumulators, each A/B row loaded once per z step
   // instead of once per output.
@@ -324,10 +337,10 @@ void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
     std::int32_t* dst3 = dst2 + n;
     std::size_t j = 0;
     for (; j + 4 <= n; j += 4) {
-      const std::uint8_t* pb0 = b.data + j * b.cols + z_begin;
-      const std::uint8_t* pb1 = pb0 + b.cols;
-      const std::uint8_t* pb2 = pb1 + b.cols;
-      const std::uint8_t* pb3 = pb2 + b.cols;
+      const std::uint8_t* pb0 = b_tile.data + j * b_tile.cols + z_begin;
+      const std::uint8_t* pb1 = pb0 + b_tile.cols;
+      const std::uint8_t* pb2 = pb1 + b_tile.cols;
+      const std::uint8_t* pb3 = pb2 + b_tile.cols;
       std::int32_t c00 = 0, c01 = 0, c02 = 0, c03 = 0;
       std::int32_t c10 = 0, c11 = 0, c12 = 0, c13 = 0;
       std::int32_t c20 = 0, c21 = 0, c22 = 0, c23 = 0;
@@ -346,7 +359,7 @@ void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
       dst3[j] += c30; dst3[j + 1] += c31; dst3[j + 2] += c32; dst3[j + 3] += c33;
     }
     for (; j < n; ++j) {
-      const std::uint8_t* pb = b.data + j * b.cols + z_begin;
+      const std::uint8_t* pb = b_tile.data + j * b_tile.cols + z_begin;
       std::int32_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
       for (std::size_t z = 0; z < zlen; ++z) {
         const std::int32_t bv = pb[z];
@@ -367,10 +380,10 @@ void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
     std::int32_t* dst = out + (i - i_begin) * n;
     std::size_t j = 0;
     for (; j + 4 <= n; j += 4) {
-      const std::uint8_t* pb0 = b.data + j * b.cols + z_begin;
-      const std::uint8_t* pb1 = pb0 + b.cols;
-      const std::uint8_t* pb2 = pb1 + b.cols;
-      const std::uint8_t* pb3 = pb2 + b.cols;
+      const std::uint8_t* pb0 = b_tile.data + j * b_tile.cols + z_begin;
+      const std::uint8_t* pb1 = pb0 + b_tile.cols;
+      const std::uint8_t* pb2 = pb1 + b_tile.cols;
+      const std::uint8_t* pb3 = pb2 + b_tile.cols;
       std::int32_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
       for (std::size_t z = 0; z < zlen; ++z) {
         const std::int32_t av = pa[z];
@@ -385,7 +398,7 @@ void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
       dst[j + 3] += c3;
     }
     for (; j < n; ++j) {
-      dst[j] += int_dot_nt(a, b, i, j, z_begin, z_end);
+      dst[j] += int_dot_nt(a, b_tile, i, j, z_begin, z_end);
     }
   }
 }

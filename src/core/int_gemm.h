@@ -37,29 +37,42 @@ struct CodeView {
 std::int32_t int_dot_nt(const CodeView& a, const CodeView& b, std::size_t i,
                         std::size_t j, std::size_t z_begin, std::size_t z_end);
 
+// Sentinel for "the whole extent" in the offset/range parameters below.
+inline constexpr std::size_t kIntGemmFull = static_cast<std::size_t>(-1);
+
 // Banded NN kernel: accumulates rows [i_begin, i_end) of C += A * B over the
-// z-range, where A is M x Z and B is Z x N, both row-major. `out` points at
-// the output band, row-major with leading dimension N: out[(i - i_begin) * N
-// + j] accumulates C[i][j]. `b_bits` is the bit width of B's codes: when they
-// fit 6 bits (the paper's 2-/4-bit V cache) and the CPU supports AVX2, the
-// kernel runs an explicit widening-multiply path (z-pairs through pmaddubsw,
-// widened to int32 in j-order); otherwise the portable 4-row axpy tile is
-// used. Both produce identical int32 results.
+// z-range, where A is M x Z and B is row-major with N columns. `out` points
+// at the output band, row-major with leading dimension N: out[(i - i_begin) *
+// N + j] accumulates C[i][j]. `b_row_offset` is the column-offset stride into
+// B's token rows: A column z multiplies B row `b_row_offset + z`, which is
+// how a KV-tile view contracts a [M x tile] A block against the middle of a
+// tall V store (0 recovers the classic A-cols == B-rows contract). `b_bits`
+// is the bit width of B's codes: when they fit 6 bits (the paper's 2-/4-bit
+// V cache) and the CPU supports AVX2, the kernel runs an explicit
+// widening-multiply path (z-pairs through pmaddubsw, widened to int32 in
+// j-order); otherwise the portable 4-row axpy tile is used. Both produce
+// identical int32 results.
 void int_gemm_nn_rows(const CodeView& a, const CodeView& b,
                       std::size_t i_begin, std::size_t i_end,
                       std::size_t z_begin, std::size_t z_end,
-                      std::int32_t* out, int b_bits = 8);
+                      std::int32_t* out, int b_bits = 8,
+                      std::size_t b_row_offset = 0);
 
 // Banded NT kernel: same contract with B stored N x Z (C += A * B^T).
-// `b_bits` is the bit width of B's codes (values < 2^b_bits). When B codes
-// fit 6 bits — the paper's 2-/4-bit KV caches — and the CPU supports AVX2,
-// the dot products run through the u8 x i8 multiply-add idiom (pmaddubsw:
-// 255 * 63 * 2 pair sums stay inside int16); otherwise a portable
-// register-blocked path is used. Both produce identical int32 results.
+// `[j_begin, j_end)` restricts the output columns to that range of B rows —
+// the KV-tile view of a Q·Kᵀ score block — with `out` leading dimension
+// shrinking to j_end - j_begin (kIntGemmFull = all of B). `b_bits` is the bit
+// width of B's codes (values < 2^b_bits). When B codes fit 6 bits — the
+// paper's 2-/4-bit KV caches — and the CPU supports AVX2, the dot products
+// run through the u8 x i8 multiply-add idiom (pmaddubsw: 255 * 63 * 2 pair
+// sums stay inside int16); otherwise a portable register-blocked path is
+// used. Both produce identical int32 results.
 void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
                       std::size_t i_begin, std::size_t i_end,
                       std::size_t z_begin, std::size_t z_end,
-                      std::int32_t* out, int b_bits = 8);
+                      std::int32_t* out, int b_bits = 8,
+                      std::size_t j_begin = 0,
+                      std::size_t j_end = kIntGemmFull);
 
 // C[i][j] += over the z-range: A (M x Z) row-major times B (Z x N) row-major.
 // `out` is M x N row-major int32, accumulated into.

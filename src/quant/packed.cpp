@@ -1,28 +1,182 @@
 #include "quant/packed.h"
 
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define HACK_PACKED_X86_SIMD 1
+#include <immintrin.h>
+#endif
+
 namespace hack {
+namespace {
+
+bool valid_code_width(int bits) {
+  return bits == 1 || bits == 2 || bits == 4 || bits == 8;
+}
+
+std::size_t packed_bytes(int bits, std::size_t count) {
+  return (count * static_cast<std::size_t>(bits) + 7) / 8;
+}
+
+void unpack_codes_scalar(const std::uint8_t* bytes, int bits,
+                         std::size_t count, std::uint8_t* out) {
+  const std::uint8_t mask = static_cast<std::uint8_t>((1u << bits) - 1);
+  const std::size_t per_byte = 8 / static_cast<std::size_t>(bits);
+  std::size_t i = 0;
+  for (std::size_t byte = 0; i < count; ++byte) {
+    const std::uint8_t v = bytes[byte];
+    for (std::size_t k = 0; k < per_byte && i < count; ++k, ++i) {
+      out[i] = static_cast<std::uint8_t>(
+          (v >> (k * static_cast<std::size_t>(bits))) & mask);
+    }
+  }
+}
+
+#ifdef HACK_PACKED_X86_SIMD
+
+bool packed_cpu_has_avx2() {
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+}
+
+// 4-bit: each input byte holds [lo nibble = code 2i, hi nibble = code 2i+1],
+// so a 16-byte load expands to 32 codes via two shifts/masks and a byte
+// interleave — all in registers.
+__attribute__((target("avx2"))) void unpack4_avx2(const std::uint8_t* bytes,
+                                                  std::size_t n_bytes,
+                                                  std::uint8_t* out) {
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t byte = 0;
+  for (; byte + 16 <= n_bytes; byte += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + byte));
+    const __m128i lo = _mm_and_si128(v, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), mask);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 2 * byte),
+                     _mm_unpacklo_epi8(lo, hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 2 * byte + 16),
+                     _mm_unpackhi_epi8(lo, hi));
+  }
+  if (byte < n_bytes) {
+    unpack_codes_scalar(bytes + byte, 4, (n_bytes - byte) * 2,
+                        out + 2 * byte);
+  }
+}
+
+// 2-bit: each input byte holds codes [4i, 4i+1, 4i+2, 4i+3] in ascending bit
+// pairs. Four shift/mask planes zipped twice (8-bit then 16-bit interleave)
+// restore code order, 64 codes per 16-byte load.
+__attribute__((target("avx2"))) void unpack2_avx2(const std::uint8_t* bytes,
+                                                  std::size_t n_bytes,
+                                                  std::uint8_t* out) {
+  const __m128i mask = _mm_set1_epi8(0x03);
+  std::size_t byte = 0;
+  for (; byte + 16 <= n_bytes; byte += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + byte));
+    const __m128i c0 = _mm_and_si128(v, mask);
+    const __m128i c1 = _mm_and_si128(_mm_srli_epi16(v, 2), mask);
+    const __m128i c2 = _mm_and_si128(_mm_srli_epi16(v, 4), mask);
+    const __m128i c3 = _mm_and_si128(_mm_srli_epi16(v, 6), mask);
+    // [c0 c1] byte-zips and [c2 c3] byte-zips, then 16-bit zips give
+    // (c0,c1,c2,c3) per source byte in order.
+    const __m128i lo01 = _mm_unpacklo_epi8(c0, c1);
+    const __m128i hi01 = _mm_unpackhi_epi8(c0, c1);
+    const __m128i lo23 = _mm_unpacklo_epi8(c2, c3);
+    const __m128i hi23 = _mm_unpackhi_epi8(c2, c3);
+    std::uint8_t* dst = out + 4 * byte;
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst),
+                     _mm_unpacklo_epi16(lo01, lo23));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 16),
+                     _mm_unpackhi_epi16(lo01, lo23));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 32),
+                     _mm_unpacklo_epi16(hi01, hi23));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 48),
+                     _mm_unpackhi_epi16(hi01, hi23));
+  }
+  if (byte < n_bytes) {
+    unpack_codes_scalar(bytes + byte, 2, (n_bytes - byte) * 4,
+                        out + 4 * byte);
+  }
+}
+
+#endif  // HACK_PACKED_X86_SIMD
+
+}  // namespace
+
+void pack_codes(std::span<const std::uint8_t> codes, int bits_per_code,
+                std::uint8_t* out_bytes) {
+  HACK_CHECK(valid_code_width(bits_per_code),
+             "bits per code must divide 8, got " << bits_per_code);
+  if (bits_per_code == 8) {
+    std::memcpy(out_bytes, codes.data(), codes.size());
+    return;
+  }
+  const std::uint8_t mask =
+      static_cast<std::uint8_t>((1u << bits_per_code) - 1);
+  const std::size_t per_byte = 8 / static_cast<std::size_t>(bits_per_code);
+  const std::size_t n_bytes = packed_bytes(bits_per_code, codes.size());
+  std::memset(out_bytes, 0, n_bytes);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    HACK_CHECK(codes[i] <= mask, "code " << int(codes[i]) << " exceeds "
+                                         << bits_per_code << "-bit range");
+    out_bytes[i / per_byte] = static_cast<std::uint8_t>(
+        out_bytes[i / per_byte] |
+        (codes[i] << ((i % per_byte) * static_cast<std::size_t>(bits_per_code))));
+  }
+}
+
+void unpack_codes(std::span<const std::uint8_t> bytes, int bits_per_code,
+                  std::size_t count, std::uint8_t* out_codes) {
+  HACK_CHECK(valid_code_width(bits_per_code),
+             "bits per code must divide 8, got " << bits_per_code);
+  HACK_CHECK(bytes.size() >= packed_bytes(bits_per_code, count),
+             "packed buffer too small: " << bytes.size() << " bytes for "
+                                         << count << " codes");
+  if (bits_per_code == 8) {
+    std::memcpy(out_codes, bytes.data(), count);
+    return;
+  }
+#ifdef HACK_PACKED_X86_SIMD
+  if (packed_cpu_has_avx2() &&
+      (bits_per_code == 2 || bits_per_code == 4)) {
+    const std::size_t per_byte = 8 / static_cast<std::size_t>(bits_per_code);
+    // Whole input bytes run the vector path; a trailing partial byte (count
+    // not a multiple of codes-per-byte) finishes scalar.
+    const std::size_t whole_bytes = count / per_byte;
+    if (bits_per_code == 4) {
+      unpack4_avx2(bytes.data(), whole_bytes, out_codes);
+    } else {
+      unpack2_avx2(bytes.data(), whole_bytes, out_codes);
+    }
+    const std::size_t done = whole_bytes * per_byte;
+    if (done < count) {
+      unpack_codes_scalar(bytes.data() + whole_bytes, bits_per_code,
+                          count - done, out_codes + done);
+    }
+    return;
+  }
+#endif
+  unpack_codes_scalar(bytes.data(), bits_per_code, count, out_codes);
+}
 
 PackedBits::PackedBits(int bits_per_code, std::size_t count)
     : bits_(bits_per_code), count_(count) {
-  HACK_CHECK(bits_ == 1 || bits_ == 2 || bits_ == 4 || bits_ == 8,
+  HACK_CHECK(valid_code_width(bits_),
              "bits per code must divide 8, got " << bits_);
-  bytes_.assign((count * static_cast<std::size_t>(bits_) + 7) / 8, 0);
+  bytes_.assign(packed_bytes(bits_, count), 0);
 }
 
 PackedBits PackedBits::pack(std::span<const std::uint8_t> codes,
                             int bits_per_code) {
   PackedBits packed(bits_per_code, codes.size());
-  for (std::size_t i = 0; i < codes.size(); ++i) {
-    packed.set(i, codes[i]);
-  }
+  pack_codes(codes, bits_per_code, packed.bytes_.data());
   return packed;
 }
 
 std::vector<std::uint8_t> PackedBits::unpack() const {
   std::vector<std::uint8_t> codes(count_);
-  for (std::size_t i = 0; i < count_; ++i) {
-    codes[i] = get(i);
-  }
+  unpack_codes(bytes_, bits_, count_, codes.data());
   return codes;
 }
 

@@ -14,6 +14,21 @@
 
 namespace hack {
 
+// Bulk (de)packing over raw byte ranges — the engine room of PackedBits and
+// of the KV codecs' parallel chunk loops, which carve a blob's byte-aligned
+// code section into independent ranges. `count` codes of `bits_per_code`
+// bits each (1/2/4/8); `bytes` must hold ceil(count * bits / 8) bytes.
+//
+// unpack_codes is the first step toward a fused packed-consume kernel: for 2-
+// and 4-bit codes it runs an AVX2 shift/mask fast path (selected at runtime)
+// that expands a 16-byte load into 64 / 32 codes in registers, with a scalar
+// fallback elsewhere. pack_codes validates ranges and packs little-endian
+// within each byte, matching PackedBits' layout.
+void pack_codes(std::span<const std::uint8_t> codes, int bits_per_code,
+                std::uint8_t* out_bytes);
+void unpack_codes(std::span<const std::uint8_t> bytes, int bits_per_code,
+                  std::size_t count, std::uint8_t* out_codes);
+
 class PackedBits {
  public:
   PackedBits(int bits_per_code, std::size_t count);
@@ -22,7 +37,8 @@ class PackedBits {
   static PackedBits pack(std::span<const std::uint8_t> codes,
                          int bits_per_code);
 
-  // Unpacks all codes back into bytes (values < 2^bits).
+  // Unpacks all codes back into bytes (values < 2^bits) through the bulk
+  // unpack_codes path.
   std::vector<std::uint8_t> unpack() const;
 
   std::uint8_t get(std::size_t index) const;

@@ -14,11 +14,14 @@ struct MinMax {
   float max;
 };
 
+}  // namespace
+
 // Quantizes one partition: values[i] -> codes via (min, scale) in FP16.
-void quantize_partition(std::span<const float> values,
-                        std::span<std::uint8_t> codes, int bits,
-                        Rounding rounding, Rng& rng, float& out_min,
-                        float& out_scale) {
+void quantize_span(std::span<const float> values,
+                   std::span<std::uint8_t> codes, int bits, Rounding rounding,
+                   Rng& rng, float& out_min, float& out_scale) {
+  HACK_CHECK(!values.empty() && codes.size() == values.size(),
+             "quantize_span needs matching non-empty spans");
   const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
   const float lo = *lo_it;
   const float hi = *hi_it;
@@ -45,8 +48,6 @@ void quantize_partition(std::span<const float> values,
     codes[i] = static_cast<std::uint8_t>(code);
   }
 }
-
-}  // namespace
 
 QuantizedMatrix quantize(const Matrix& m, int bits, std::size_t pi,
                          QuantAxis axis, Rounding rounding, Rng& rng,
@@ -86,8 +87,8 @@ QuantizedMatrix quantize(const Matrix& m, int bits, std::size_t pi,
                                              : m(begin + t, o);
       }
       float part_min = 0.0f, part_scale = 0.0f;
-      quantize_partition(scratch, scratch_codes, bits, rounding, slice_rng,
-                         part_min, part_scale);
+      quantize_span(scratch, scratch_codes, bits, rounding, slice_rng,
+                    part_min, part_scale);
       q.mins[o * groups + g] = part_min;
       q.scales[o * groups + g] = part_scale;
       for (std::size_t t = 0; t < len; ++t) {

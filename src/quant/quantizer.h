@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "base/rng.h"
@@ -91,6 +92,16 @@ struct QuantizedMatrix {
 QuantizedMatrix quantize(const Matrix& m, int bits, std::size_t pi,
                          QuantAxis axis, Rounding rounding, Rng& rng,
                          bool allow_ragged_tail = false, int threads = 0);
+
+// Quantizes one contiguous partition of values with exactly the full-matrix
+// path's semantics: [min, max] over the span, FP16-rounded metadata, codes
+// computed against the rounded (min, scale) with the requested rounding rule.
+// `codes` must have values.size() entries; the FP16 metadata lands in
+// (out_min, out_scale). The streaming attention engine uses this to quantize
+// softmax tiles segment by segment.
+void quantize_span(std::span<const float> values, std::span<std::uint8_t> codes,
+                   int bits, Rounding rounding, Rng& rng, float& out_min,
+                   float& out_scale);
 
 // Size threshold (in values) at which quantize()/dequantize() move their
 // outer loops onto the shared ThreadPool.

@@ -153,6 +153,38 @@ TEST(Codecs, DecodeRejectsWrongMagic) {
   EXPECT_THROW(make_codec("fp16")->decode(cg_blob), CheckError);
 }
 
+TEST(Codecs, KvQuantRejectsCorruptBitsField) {
+  // The bits byte sits at bit offset 80 (magic + rows + cols) = byte 10.
+  // A corrupt width must throw before the decoder's 8 / bits chunk math.
+  Rng rng(61);
+  const Matrix chunk = correlated_chunk(32, 64, 0.9, 62);
+  auto blob = KvQuantCodec().encode(chunk, KvKind::kKey, rng);
+  blob[10] = 0;
+  EXPECT_THROW(KvQuantCodec().decode(blob), CheckError);
+  blob[10] = 16;
+  EXPECT_THROW(KvQuantCodec().decode(blob), CheckError);
+  EXPECT_THROW(KvQuantCodec(3), CheckError);  // constructor validates too
+}
+
+TEST(Codecs, ParallelChunkLoopsAreDeterministicAtPrefillSize) {
+  // A chunk past the parallel threshold (≥ 64k values) runs the channel-/
+  // byte-chunk loops on the shared pool; the blob and the reconstruction
+  // must be identical to what a same-seed encode produces on any schedule,
+  // and the roundtrip must still land on the source.
+  const Matrix chunk = correlated_chunk(768, 128, 0.9, 321);  // 98k values
+  for (const char* name : {"cachegen", "kvquant"}) {
+    const auto codec = make_codec(name);
+    Rng r1(55), r2(55);
+    const auto blob1 = codec->encode(chunk, KvKind::kKey, r1);
+    const auto blob2 = codec->encode(chunk, KvKind::kKey, r2);
+    EXPECT_EQ(blob1, blob2) << name;
+    const Matrix recon1 = codec->decode(blob1);
+    const Matrix recon2 = codec->decode(blob1);
+    EXPECT_TRUE(recon1 == recon2) << name;
+    EXPECT_GT(cosine_similarity(recon1, chunk), 0.75) << name;
+  }
+}
+
 struct CodecCase {
   const char* name;
   std::size_t tokens;

@@ -257,8 +257,11 @@ TEST(HackAttention, StatsCountFp16TailWork) {
   Rng rng(28);
   HackAttnStats stats{};
   (void)hack_attn_prefill(in.q, in.k, in.v, state, rng, &stats);
-  // Tail of 8 tokens: 40 query rows x 8 tail tokens x 64 dims.
-  EXPECT_EQ(stats.fp16_tail_macs, 40 * 8 * 64);
+  // Tail of 8 tokens at positions [32, 40): the streaming engine multiplies
+  // only the causally visible slice, so row r (0-based) touches
+  // min(r + 1, 40) - 32 tail tokens when r >= 32 — Σ_{r=32}^{39} (r - 31)
+  // = 36 visible (row, token) pairs x 64 dims.
+  EXPECT_EQ(stats.fp16_tail_macs, 36 * 64);
 }
 
 class HackAttentionPiSweep : public ::testing::TestWithParam<std::size_t> {};

@@ -178,6 +178,160 @@ TEST(HqMatmul, MismatchedSumCacheThrows) {
   EXPECT_THROW(hq_matmul(ops.a, ops.b_col, &wrong), CheckError);
 }
 
+TEST(HqMatmul, KvTileSegmentsGeometry) {
+  // 70 rows, Π = 32: groups [0,32) [32,64) [64,70) — the RQE-off spliced
+  // store shape. A tile cutting through groups yields partial segments.
+  const auto segs = kv_tile_segments(10, 70, 70, 32);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].begin, 10u);
+  EXPECT_EQ(segs[0].end, 32u);
+  EXPECT_EQ(segs[0].group, 0u);
+  EXPECT_FALSE(segs[0].whole_group);
+  EXPECT_EQ(segs[1].begin, 32u);
+  EXPECT_EQ(segs[1].end, 64u);
+  EXPECT_TRUE(segs[1].whole_group);
+  EXPECT_EQ(segs[2].begin, 64u);
+  EXPECT_EQ(segs[2].end, 70u);
+  EXPECT_EQ(segs[2].group, 2u);
+  EXPECT_TRUE(segs[2].whole_group);  // the ragged final group, covered whole
+
+  EXPECT_TRUE(kv_tile_segments(32, 32, 70, 32).empty());
+  const auto one = kv_tile_segments(33, 34, 70, 32);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_FALSE(one[0].whole_group);
+  EXPECT_EQ(one[0].group, 1u);
+}
+
+TEST(HqMatmul, NtBatchedKvTileMatchesFullColumnsExactly) {
+  // The NT tile view restricts output columns; per-column arithmetic is
+  // unchanged, so the tile must be bit-identical to the full result's slice.
+  const Operands ops = make_operands(8, 64, 33, 32, 8, 2, 40);
+  const SumCache sums = SumCache::build(ops.b_row);
+  Matrix full;
+  HqGemmTask full_task{&ops.a, &ops.b_row, &sums, &full, nullptr};
+  hq_matmul_nt_batched({&full_task, 1});
+
+  for (const auto [k0, k1] : {std::pair<std::size_t, std::size_t>{0, 33},
+                              {5, 20},
+                              {32, 33},
+                              {0, 1}}) {
+    Matrix tile;
+    HqStats stats{};
+    HqGemmTask task{&ops.a, &ops.b_row, &sums, &tile, &stats, k0, k1};
+    hq_matmul_nt_batched({&task, 1});
+    ASSERT_EQ(tile.rows(), ops.a.rows);
+    ASSERT_EQ(tile.cols(), k1 - k0);
+    for (std::size_t i = 0; i < tile.rows(); ++i) {
+      for (std::size_t j = k0; j < k1; ++j) {
+        ASSERT_EQ(tile(i, j - k0), full(i, j)) << k0 << " " << k1;
+      }
+    }
+    EXPECT_EQ(stats.int_macs,
+              static_cast<std::int64_t>(ops.a.rows) * (k1 - k0) * 64);
+  }
+}
+
+// Builds the segment-quantized A block the NN tile contract requires: each
+// kv_tile_segment of the float source quantized as its own (possibly ragged)
+// group, metadata [row x segments] — what the streaming engine produces for
+// a softmax tile.
+QuantizedMatrix quantize_per_segment(const Matrix& a_tile,
+                                     std::span<const KvSegment> segs,
+                                     std::size_t k0, std::size_t pi, int bits,
+                                     Rng& rng) {
+  QuantizedMatrix q;
+  q.rows = a_tile.rows();
+  q.cols = a_tile.cols();
+  q.bits = bits;
+  q.axis = QuantAxis::kRow;
+  q.pi = pi;
+  q.groups = segs.size();
+  q.codes.assign(q.rows * q.cols, 0);
+  q.mins.assign(q.rows * segs.size(), 0.0f);
+  q.scales.assign(q.rows * segs.size(), 0.0f);
+  std::vector<float> vals;
+  std::vector<std::uint8_t> codes;
+  for (std::size_t i = 0; i < q.rows; ++i) {
+    for (std::size_t s = 0; s < segs.size(); ++s) {
+      const std::size_t len = segs[s].end - segs[s].begin;
+      vals.resize(len);
+      codes.resize(len);
+      for (std::size_t z = 0; z < len; ++z) {
+        vals[z] = a_tile(i, segs[s].begin - k0 + z);
+      }
+      quantize_span(vals, codes, bits, Rounding::kStochastic, rng,
+                    q.mins[i * segs.size() + s], q.scales[i * segs.size() + s]);
+      std::copy(codes.begin(), codes.end(),
+                q.codes.begin() + i * q.cols + (segs[s].begin - k0));
+    }
+  }
+  return q;
+}
+
+TEST(HqMatmul, NnBatchedKvTileMatchesDequantReference) {
+  // Ragged-tail V store (70 rows, Π=32) contracted over tiles that cut
+  // through groups: Eq. (4) per segment must equal dequantize-then-multiply
+  // of the tile slice, with and without a SumCache serving the whole-group
+  // segments.
+  Rng rng(77);
+  const std::size_t z = 70, n = 9, m = 6, pi = 32;
+  const Matrix b_src = Matrix::random_gaussian(z, n, rng);
+  Rng bq(78);
+  const QuantizedMatrix b = quantize(b_src, 2, pi, QuantAxis::kCol,
+                                     Rounding::kStochastic, bq,
+                                     /*allow_ragged_tail=*/true);
+  const SumCache sums = SumCache::build(b);
+  const Matrix b_deq = dequantize(b);
+
+  for (const auto [k0, k1] : {std::pair<std::size_t, std::size_t>{0, 70},
+                              {10, 55},
+                              {32, 64},
+                              {63, 70}}) {
+    const auto segs = kv_tile_segments(k0, k1, z, pi);
+    const Matrix a_src =
+        Matrix::random_gaussian(m, k1 - k0, rng);  // softmax-tile stand-in
+    Rng aq(100 + k0);
+    const QuantizedMatrix a =
+        quantize_per_segment(a_src, segs, k0, pi, 8, aq);
+
+    for (const SumCache* cache : {static_cast<const SumCache*>(nullptr),
+                                  &sums}) {
+      Matrix c;
+      HqStats stats{};
+      HqGemmTask task{&a, &b, cache, &c, &stats, k0, k1};
+      hq_matmul_batched({&task, 1});
+      ASSERT_EQ(c.rows(), m);
+      ASSERT_EQ(c.cols(), n);
+
+      // Dequantize A through the segment metadata and multiply the slice.
+      Matrix expected(m, n, 0.0f);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t s = 0; s < segs.size(); ++s) {
+          for (std::size_t zz = segs[s].begin; zz < segs[s].end; ++zz) {
+            const float av =
+                a.scales[i * segs.size() + s] *
+                    static_cast<float>(a.codes[i * a.cols + (zz - k0)]) +
+                a.mins[i * segs.size() + s];
+            for (std::size_t j = 0; j < n; ++j) {
+              expected(i, j) += av * b_deq(zz, j);
+            }
+          }
+        }
+      }
+      EXPECT_LT(relative_l2(c, expected), 2e-4)
+          << "k0=" << k0 << " k1=" << k1 << " cache=" << (cache != nullptr);
+      // With a SumCache only boundary-cut segments pay Σ b' adds.
+      std::int64_t partial_adds = 0;
+      for (const KvSegment& s : segs) {
+        if (!s.whole_group || cache == nullptr) {
+          partial_adds += static_cast<std::int64_t>(s.end - s.begin) * n;
+        }
+      }
+      EXPECT_EQ(stats.sum_flops, partial_adds);
+    }
+  }
+}
+
 struct HqCase {
   std::size_t m, z, n, pi;
   int a_bits, b_bits;

@@ -64,6 +64,66 @@ TEST(IntGemm, NtMatchesNaive) {
   }
 }
 
+TEST(IntGemm, NtJRangeMatchesFullColumns) {
+  // The KV-tile view: restricting output columns to B rows [j0, j1) must
+  // reproduce exactly those columns of the full kernel, for both the AVX2
+  // small-code path (2-bit B) and the generic path (8-bit B).
+  Rng rng(11);
+  const std::size_t m = 6, z = 96, n = 37;
+  for (const int b_bits : {2, 8}) {
+    const auto a = random_codes(m * z, 8, rng);
+    const auto b = random_codes(n * z, b_bits, rng);
+    const CodeView av{a.data(), m, z};
+    const CodeView bv{b.data(), n, z};
+    std::vector<std::int32_t> full(m * n, 0);
+    int_gemm_nt_rows(av, bv, 0, m, 0, z, full.data(), b_bits);
+    for (const auto [j0, j1] : {std::pair<std::size_t, std::size_t>{0, n},
+                                {5, 21},
+                                {n - 1, n},
+                                {0, 1},
+                                {16, 16}}) {
+      std::vector<std::int32_t> tile(m * (j1 - j0), 0);
+      int_gemm_nt_rows(av, bv, 0, m, 0, z, tile.data(), b_bits, j0, j1);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = j0; j < j1; ++j) {
+          ASSERT_EQ(tile[i * (j1 - j0) + (j - j0)], full[i * n + j])
+              << "b_bits=" << b_bits << " j0=" << j0 << " j1=" << j1;
+        }
+      }
+    }
+  }
+}
+
+TEST(IntGemm, NnRowOffsetMatchesShiftedContraction) {
+  // b_row_offset contracts A columns against B rows [offset, offset + z):
+  // the KV-tile P·V case, where A is a tile-local block and B the tall V
+  // store. Check against the naive shifted loop for both kernel paths.
+  Rng rng(12);
+  const std::size_t m = 5, z_tile = 40, n = 19, b_rows = 100;
+  for (const int b_bits : {2, 8}) {
+    const auto a = random_codes(m * z_tile, 8, rng);
+    const auto b = random_codes(b_rows * n, b_bits, rng);
+    const CodeView av{a.data(), m, z_tile};
+    const CodeView bv{b.data(), b_rows, n};
+    for (const std::size_t offset : {std::size_t{0}, std::size_t{7},
+                                     std::size_t{60}}) {
+      std::vector<std::int32_t> out(m * n, 0);
+      int_gemm_nn_rows(av, bv, 0, m, 0, z_tile, out.data(), b_bits, offset);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          std::int32_t expect = 0;
+          for (std::size_t k = 0; k < z_tile; ++k) {
+            expect += static_cast<std::int32_t>(a[i * z_tile + k]) *
+                      b[(offset + k) * n + j];
+          }
+          ASSERT_EQ(out[i * n + j], expect)
+              << "b_bits=" << b_bits << " offset=" << offset;
+        }
+      }
+    }
+  }
+}
+
 TEST(IntGemm, BlockDecompositionSumsToFull) {
   // Computing per-partition blocks and accumulating equals one full pass —
   // the property Eq. (4) relies on when splitting the inner dimension.

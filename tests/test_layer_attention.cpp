@@ -1,17 +1,81 @@
 // Tests for the batched multi-head attention engine: a HackLayerKvState must
 // produce bit-identical outputs to serial per-head hack_attention /
 // hack_attn_decode calls over HackKvStates with matching RNG seeds, for any
-// GQA grouping, RQE/SE setting, and thread count.
+// GQA grouping, RQE/SE setting, and thread count — and the streaming-softmax
+// tiled prefill must agree with the untiled (full score materialization)
+// pipeline within quantization noise for every tile width, with the cached
+// K/V codes bit-identical regardless of tiling.
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
 
 #include "attention/hack_attention.h"
 #include "attention/layer_attention.h"
+#include "core/hq_matmul.h"
 #include "tensor/ops.h"
 
 namespace hack {
 namespace {
 
 constexpr std::uint64_t kSeed = 77;
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.flat().size(); ++i) {
+    m = std::max(m, std::fabs(a.flat()[i] - b.flat()[i]));
+  }
+  return m;
+}
+
+// The untiled (PR 2) prefill pipeline for one head, rebuilt from public
+// pieces: full Q·Kᵀ score materialization, exact row softmax over the whole
+// context, one P quantization pass, one P·V launch, FP16 tail matmul. The
+// tiled engine replaces the softmax/P phases but must land within
+// quantization noise of this for any tile width.
+Matrix untiled_reference_attention(const Matrix& q, const HackKvState& st,
+                                   const AttentionOptions& options, Rng q_rng,
+                                   Rng p_rng) {
+  const HackAttentionConfig& cfg = st.config();
+  const std::size_t lq = q.rows();
+  const std::size_t lkv = st.tokens();
+  const QuantizedMatrix qq = quantize(q, cfg.q_bits, cfg.pi, QuantAxis::kRow,
+                                      cfg.rounding, q_rng,
+                                      /*allow_ragged_tail=*/false);
+  Matrix s = hq_matmul_nt(
+      qq, st.k(), cfg.summation_elimination ? &st.k_sums() : nullptr);
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(q.cols()));
+  for (float& v : s.flat()) v *= inv_sqrt_d;
+  const Matrix p = options.causal
+                       ? softmax_rows_causal(s, options.key_offset)
+                       : softmax_rows(s);
+  const std::size_t vq_rows = st.quantized_v_rows();
+  Matrix out;
+  if (cfg.requant_elimination) {
+    if (vq_rows > 0) {
+      const QuantizedMatrix pq =
+          quantize(take_cols(p, 0, vq_rows), cfg.q_bits, cfg.pi,
+                   QuantAxis::kRow, cfg.rounding, p_rng,
+                   /*allow_ragged_tail=*/false);
+      out = hq_matmul(pq, st.v_quantized(),
+                      cfg.summation_elimination ? &st.v_sums() : nullptr);
+    } else {
+      out = Matrix(lq, q.cols(), 0.0f);
+    }
+    if (vq_rows < lkv) {
+      out = add(out, matmul(take_cols(p, vq_rows, lkv), st.v_tail_fp16()));
+    }
+  } else {
+    const QuantizedMatrix v_all = st.v_quantized_all();
+    const QuantizedMatrix pq =
+        quantize(p, cfg.q_bits, cfg.pi, QuantAxis::kRow, cfg.rounding, p_rng,
+                 /*allow_ragged_tail=*/true);
+    out = hq_matmul(pq, v_all);
+  }
+  return out;
+}
 
 struct LayerInputs {
   Matrix q_all;  // [l, heads * d_head]
@@ -188,6 +252,204 @@ TEST(LayerAttention, LargePrefillParallelAppendMatchesSerialHeads) {
               ref.v_quantized().codes);
   }
 }
+
+// ---- streaming-softmax tiled prefill ---------------------------------------
+
+struct TiledCase {
+  std::size_t heads, kv_heads;
+  bool rqe, se;
+};
+
+class TiledEquivalence : public ::testing::TestWithParam<TiledCase> {};
+
+// Tiling changes which values the P quantizer sees (unnormalized exp weights
+// per tile instead of one normalized softmax row), so tiled and untiled
+// differ by two independent 8-bit stochastic quantization draws — an
+// irreducible ≈ (max_p / 255) · √Π · ‖V‖ noise floor, NOT a tiling bug. The
+// sweep therefore runs V at σ = 1/32 (the magnitude of value projections in
+// trained models; unit-σ i.i.d. V is the quantizer's worst case), where that
+// floor sits near 5e-4, and pins 1e-3 max-abs. UnitVarianceV below covers
+// σ = 1 against the proportionally scaled bound.
+TEST_P(TiledEquivalence, TiledMatchesUntiledAcrossTileWidths) {
+  const TiledCase& c = GetParam();
+  const std::size_t d_head = 64, l = 70;  // ragged V tail at Π=32
+  LayerInputs in = make_layer_inputs(l, d_head, c.heads, c.kv_heads, 3);
+  in.v_all = scale(in.v_all, 1.0f / 32.0f);
+
+  HackAttentionConfig cfg;
+  cfg.pi = 32;
+  cfg.requant_elimination = c.rqe;
+  cfg.summation_elimination = c.se;
+
+  // Untiled reference: the PR 2 full-score pipeline, per head, with the
+  // exact RNG forking discipline of the engine.
+  Matrix ref(l, c.heads * d_head);
+  const std::size_t group = c.heads / c.kv_heads;
+  std::vector<HackKvState> ref_states;
+  for (std::size_t g = 0; g < c.kv_heads; ++g) {
+    HackKvState& st = ref_states.emplace_back(d_head, cfg);
+    Rng rng(kSeed + g);
+    st.append_tokens(take_cols(in.k_all, g * d_head, (g + 1) * d_head),
+                     take_cols(in.v_all, g * d_head, (g + 1) * d_head), rng);
+    for (std::size_t sub = 0; sub < group; ++sub) {
+      const std::size_t head = g * group + sub;
+      Rng q_rng = rng.fork();
+      Rng p_rng = rng.fork();
+      const Matrix o = untiled_reference_attention(
+          take_cols(in.q_all, head * d_head, (head + 1) * d_head), st,
+          {.causal = true, .key_offset = 0}, q_rng, p_rng);
+      for (std::size_t r = 0; r < l; ++r) {
+        std::copy(o.row(r).begin(), o.row(r).end(),
+                  ref.row(r).begin() + head * d_head);
+      }
+    }
+  }
+
+  // Tile sweep: single-token tiles, a prime that cuts every Π group, exactly
+  // L, and wider than L (one tile). All must agree with the untiled pipeline
+  // within quantization noise, be bit-identical across thread counts, and
+  // leave the cached K/V codes untouched by the tiling.
+  for (const std::size_t tile : {std::size_t{1}, std::size_t{37},
+                                 std::size_t{70}, std::size_t{128}}) {
+    HackAttentionConfig tcfg = cfg;
+    tcfg.tile_tokens = tile;
+    Matrix first;
+    for (const int threads : {1, 2, 0}) {
+      tcfg.threads = threads;
+      HackLayerKvState layer(d_head, c.kv_heads, c.heads, tcfg, kSeed);
+      const Matrix got = layer.prefill(in.q_all, in.k_all, in.v_all);
+      if (first.empty()) {
+        first = got;
+        EXPECT_LE(max_abs_diff(got, ref), 1e-3f)
+            << "tile=" << tile << " heads=" << c.heads << " rqe=" << c.rqe
+            << " se=" << c.se;
+        for (std::size_t g = 0; g < c.kv_heads; ++g) {
+          EXPECT_EQ(layer.head_state(g).k().codes, ref_states[g].k().codes)
+              << "tile=" << tile;
+          if (ref_states[g].quantized_v_rows() > 0) {
+            EXPECT_EQ(layer.head_state(g).v_quantized().codes,
+                      ref_states[g].v_quantized().codes)
+                << "tile=" << tile;
+          }
+        }
+      } else {
+        EXPECT_TRUE(got == first)
+            << "tile=" << tile << " threads=" << threads
+            << ": banding changed the tiled result";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TiledEquivalence,
+    ::testing::Values(TiledCase{4, 4, true, true},    // MHA
+                      TiledCase{8, 2, true, true},    // GQA 4:1
+                      TiledCase{8, 2, false, true},   // RQE off (spliced V)
+                      TiledCase{8, 2, true, false},   // SE off
+                      TiledCase{4, 2, false, false}));
+
+TEST(LayerAttention, TiledTracksUntiledAtUnitVarianceV) {
+  // Unit-σ V: the same comparison at the quantizer's worst case, against the
+  // noise-floor-scaled bound (32 × the sweep's 1e-3) plus a relative check
+  // that a structural bug (dropped tile, bad rescale, wrong segment) would
+  // blow through.
+  const std::size_t d_head = 64, l = 70, heads = 4, kv_heads = 2;
+  const LayerInputs in = make_layer_inputs(l, d_head, heads, kv_heads, 3);
+  HackAttentionConfig cfg;
+  cfg.pi = 32;
+  cfg.tile_tokens = 37;
+
+  Matrix ref(l, heads * d_head);
+  for (std::size_t g = 0; g < kv_heads; ++g) {
+    HackKvState st(d_head, cfg);
+    Rng rng(kSeed + g);
+    st.append_tokens(take_cols(in.k_all, g * d_head, (g + 1) * d_head),
+                     take_cols(in.v_all, g * d_head, (g + 1) * d_head), rng);
+    for (std::size_t sub = 0; sub < heads / kv_heads; ++sub) {
+      const std::size_t head = g * (heads / kv_heads) + sub;
+      Rng q_rng = rng.fork();
+      Rng p_rng = rng.fork();
+      const Matrix o = untiled_reference_attention(
+          take_cols(in.q_all, head * d_head, (head + 1) * d_head), st,
+          {.causal = true, .key_offset = 0}, q_rng, p_rng);
+      for (std::size_t r = 0; r < l; ++r) {
+        std::copy(o.row(r).begin(), o.row(r).end(),
+                  ref.row(r).begin() + head * d_head);
+      }
+    }
+  }
+  HackLayerKvState layer(d_head, kv_heads, heads, cfg, kSeed);
+  const Matrix got = layer.prefill(in.q_all, in.k_all, in.v_all);
+  EXPECT_LE(max_abs_diff(got, ref), 32.0f * 1e-3f);
+  float num = 0.0f, den = 0.0f;
+  for (std::size_t i = 0; i < ref.flat().size(); ++i) {
+    const float d = got.flat()[i] - ref.flat()[i];
+    num += d * d;
+    den += ref.flat()[i] * ref.flat()[i];
+  }
+  EXPECT_LT(std::sqrt(num / den), 0.02f);
+}
+
+TEST(LayerAttention, TileWidthResolutionPrecedence) {
+  HackAttentionConfig cfg;
+  cfg.pi = 64;
+  cfg.tile_tokens = 123;
+  EXPECT_EQ(attention_tile_tokens(cfg, 4096), 123u);  // explicit config wins
+  cfg.tile_tokens = 0;
+  const std::size_t auto_tile = attention_tile_tokens(cfg, 4096);
+  EXPECT_GE(auto_tile, 64u);               // at least one partition
+  EXPECT_LE(auto_tile, 4096u);             // bounded
+  EXPECT_EQ(auto_tile % 64, 0u);           // whole-Π: segments stay whole
+}
+
+TEST(LayerAttention, WorkingSetModelMeetsLongContextBound) {
+  // The acceptance shape: ctx 16384, 32 query heads over 8 KV heads,
+  // d_head 128. The tiled model must be ≥ 8× under the PR 2 engine's
+  // whole-score buffers for any plausible lane count.
+  HackAttentionConfig cfg;
+  cfg.pi = 64;
+  const std::size_t tile = attention_tile_tokens(cfg, 16384);
+  const std::size_t untiled =
+      untiled_attention_working_set_bytes(16384, 16384, 32);
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{8},
+                                  std::size_t{64}}) {
+    const std::size_t tiled =
+        tiled_attention_working_set_bytes(16384, 16384, 32, 128, tile, lanes);
+    EXPECT_GE(untiled, 8 * tiled) << "lanes=" << lanes << " tile=" << tile;
+  }
+}
+
+#ifdef NDEBUG
+TEST(LayerAttention, LongContextStreamingSmoke) {
+  // Release-only: an 8k-token context streamed through the tiled engine at
+  // two tile widths. Guards against accumulator drift and masking bugs that
+  // only show up at depth; tolerance covers two independent P quantization
+  // draws.
+  const std::size_t d_head = 64, lkv = 8192, lq = 2048;
+  Rng rng(5);
+  const Matrix k = Matrix::random_gaussian(lkv, d_head, rng);
+  const Matrix v =
+      scale(Matrix::random_gaussian(lkv, d_head, rng), 1.0f / 32.0f);
+  const Matrix q = Matrix::random_gaussian(lq, d_head, rng);
+
+  Matrix outs[2];
+  const std::size_t tiles[2] = {512, 1024};
+  for (int i = 0; i < 2; ++i) {
+    HackAttentionConfig cfg;
+    cfg.pi = 64;
+    cfg.tile_tokens = tiles[i];
+    HackLayerKvState layer(d_head, 1, 1, cfg, kSeed);
+    layer.append_tokens(k, v);
+    outs[i] = layer.attend(q, {.causal = true, .key_offset = lkv - lq});
+    ASSERT_EQ(outs[i].rows(), lq);
+    for (const float x : outs[i].flat()) {
+      ASSERT_TRUE(std::isfinite(x)) << "tile=" << tiles[i];
+    }
+  }
+  EXPECT_LE(max_abs_diff(outs[0], outs[1]), 1e-3f);
+}
+#endif  // NDEBUG
 
 TEST(LayerAttention, RejectsBadGeometry) {
   HackAttentionConfig cfg;

@@ -74,5 +74,67 @@ TEST(PackedBits, CompressionRatioIs8OverBits) {
   EXPECT_EQ(packed.byte_size(), 256u);
 }
 
+TEST(PackedBits, BulkUnpackMatchesPerIndexGet) {
+  // The batch path (AVX2 shift/mask for 2-/4-bit where available, scalar
+  // otherwise) must agree with the bit-addressed get() for every code,
+  // across sizes that exercise full vector blocks, vector remainders, and
+  // trailing partial bytes.
+  Rng rng(91);
+  for (const int bits : {1, 2, 4, 8}) {
+    for (const std::size_t count :
+         {std::size_t{1}, std::size_t{15}, std::size_t{64}, std::size_t{127},
+          std::size_t{128}, std::size_t{1000}, std::size_t{4099}}) {
+      std::vector<std::uint8_t> codes(count);
+      for (auto& c : codes) {
+        c = static_cast<std::uint8_t>(rng.next_below(1u << bits));
+      }
+      const PackedBits packed = PackedBits::pack(codes, bits);
+      const std::vector<std::uint8_t> bulk = packed.unpack();
+      ASSERT_EQ(bulk.size(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(bulk[i], packed.get(i)) << "bits=" << bits << " count="
+                                          << count << " i=" << i;
+        ASSERT_EQ(bulk[i], codes[i]);
+      }
+    }
+  }
+}
+
+TEST(PackedBits, FreeFunctionsRoundTripSubranges) {
+  // pack_codes/unpack_codes operate on raw byte ranges — the codecs carve a
+  // blob's code section into byte-aligned chunks and (de)pack them
+  // independently. Packing two halves separately must equal packing whole.
+  Rng rng(17);
+  for (const int bits : {2, 4}) {
+    const std::size_t per_byte = 8 / static_cast<std::size_t>(bits);
+    const std::size_t count = 512 + per_byte;  // split lands on a byte edge
+    std::vector<std::uint8_t> codes(count);
+    for (auto& c : codes) {
+      c = static_cast<std::uint8_t>(rng.next_below(1u << bits));
+    }
+    std::vector<std::uint8_t> whole((count * bits + 7) / 8);
+    pack_codes(codes, bits, whole.data());
+
+    const std::size_t half_codes = (count / 2 / per_byte) * per_byte;
+    std::vector<std::uint8_t> split(whole.size());
+    pack_codes(std::span(codes).subspan(0, half_codes), bits, split.data());
+    pack_codes(std::span(codes).subspan(half_codes), bits,
+               split.data() + half_codes * bits / 8);
+    EXPECT_EQ(split, whole) << "bits=" << bits;
+
+    std::vector<std::uint8_t> out(count);
+    unpack_codes(std::span(split).subspan(half_codes * bits / 8), bits,
+                 count - half_codes, out.data() + half_codes);
+    unpack_codes(split, bits, half_codes, out.data());
+    EXPECT_EQ(out, codes) << "bits=" << bits;
+  }
+}
+
+TEST(PackedBits, BulkPackRejectsOutOfRangeCode) {
+  const std::vector<std::uint8_t> codes = {1, 4};
+  std::vector<std::uint8_t> bytes(1);
+  EXPECT_THROW(pack_codes(codes, 2, bytes.data()), CheckError);
+}
+
 }  // namespace
 }  // namespace hack
