@@ -29,14 +29,35 @@
 //    "batched_ms":...,"batched_tokens_per_s":...,"tiled_ws_bytes":...,
 //    "untiled_ws_bytes":...,"ws_shrink":...,"peak_rss_mib":...}
 //
-// Usage: bench_serving_throughput [--quick] [--long] [--context=1024,4096]
-//                                 [--threads=1,2,4] [--heads=32] [--kv-heads=8]
-//   --quick shrinks to context 512 / threads {1,2} for CI smoke runs.
+// `--continuous` runs the end-to-end serving comparison instead: N requests
+// from an open-loop arrival process (Poisson or trace replay) through the
+// full tiny-transformer model (shared weights, HACK batched layer backends),
+// once as a serial per-request loop (FCFS queue, one TinyTransformer at a
+// time) and once through the continuous-batching ServingEngine. One JSON
+// line per leg plus a ratio line:
+//
+//   {"bench":"serving_continuous","mode":"serial"|"continuous","requests":8,
+//    "heads":32,...,"lanes":4,"decode_tokens_per_s":...,"tokens_per_s":...,
+//    "ttft_p50_s":...,"ttft_p99_s":...,"tbt_p50_s":...,"jct_p99_s":...,
+//    "goodput_rps":...,"kv_bytes_admitted":...,"weights_mib":...}
+//   {"bench":"serving_continuous_speedup","decode_speedup":...,
+//    "jct_p50_speedup":...}
+//
+// Usage: bench_serving_throughput [--quick] [--long|--continuous]
+//          [--context=1024,4096] [--threads=1,2,4] [--heads=32] [--kv-heads=8]
+//          [--requests=8] [--input=128] [--output=32] [--layers=2]
+//          [--arrival=poisson:<rps>|trace:<file>] [--max-active=8]
+//          [--chunk=128] [--kv-blocks=0]
+//   --quick shrinks to context 512 / threads {1,2} (or input 48 / output 12
+//   in --continuous mode) for CI smoke runs.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -45,7 +66,11 @@
 #include "attention/hack_attention.h"
 #include "attention/layer_attention.h"
 #include "base/thread_pool.h"
+#include "metrics/stats.h"
+#include "model/tiny_transformer.h"
+#include "serving/engine.h"
 #include "tensor/ops.h"
+#include "workload/trace.h"
 
 namespace {
 
@@ -268,6 +293,234 @@ void run_longctx_legs(const Shape& shape,
   }
 }
 
+// ------------------------------------------------- continuous serving mode
+
+struct ContOptions {
+  std::size_t requests = 8;
+  std::size_t input = 128;    // mean prompt tokens
+  std::size_t output = 32;    // mean output tokens
+  std::size_t layers = 2;
+  std::string arrival = "poisson:8";
+  std::size_t max_active = 8;
+  std::size_t chunk = 128;
+  std::size_t kv_blocks = 0;  // 0: no KV admission control
+};
+
+std::vector<ServingRequest> make_continuous_requests(const ContOptions& o) {
+  std::vector<ArrivalRecord> arrivals;
+  if (o.arrival.rfind("trace:", 0) == 0) {
+    const std::string path = o.arrival.substr(6);
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open trace file %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    arrivals = Trace::parse(buf.str()).requests;
+  } else if (o.arrival.rfind("poisson:", 0) == 0) {
+    const double rps = std::strtod(o.arrival.c_str() + 8, nullptr);
+    if (rps <= 0.0) {
+      std::fprintf(stderr, "bad poisson rate in %s\n", o.arrival.c_str());
+      std::exit(1);
+    }
+    const auto mean = [](std::size_t v) { return static_cast<double>(v); };
+    const DatasetSpec spec{
+        "bench",
+        {mean(o.input), mean(std::max<std::size_t>(o.input / 2, 1)),
+         mean(o.input * 2)},
+        {mean(o.output), mean(std::max<std::size_t>(o.output / 2, 1)),
+         mean(o.output * 2)}};
+    Rng rng(42);
+    arrivals = generate_arrivals(spec, rps, static_cast<int>(o.requests), rng);
+  } else {
+    std::fprintf(stderr, "bad --arrival (want poisson:<rps> or trace:<file>)"
+                 ": %s\n", o.arrival.c_str());
+    std::exit(1);
+  }
+  return requests_from_arrivals(arrivals, /*vocab=*/256, /*prompt_seed=*/7777,
+                                /*max_input=*/o.input * 2,
+                                /*max_output=*/o.output * 2);
+}
+
+struct LegSummary {
+  double decode_tokens_per_s = 0.0;
+  double pure_decode_tokens_per_s = 0.0;  // decode steps without a prefill
+  double tokens_per_s = 0.0;
+  double goodput_rps = 0.0;
+  double makespan_s = 0.0;
+  std::size_t total_tokens = 0;
+  SampleStats ttft, tbt, jct;
+  std::size_t kv_bytes_admitted = 0;
+  std::size_t peak_running = 1;
+};
+
+double wall_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The pre-engine serving loop: one request at a time, FCFS. Service times
+// are measured wall-clock; queueing is accounted on a virtual timeline from
+// the arrival stamps, exactly like a single-worker queue.
+LegSummary run_serial_leg(const std::shared_ptr<const TinyModelWeights>& w,
+                          const std::function<LayerBackendFactory()>& maker,
+                          std::vector<ServingRequest> requests) {
+  std::sort(requests.begin(), requests.end(),
+            [](const ServingRequest& a, const ServingRequest& b) {
+              return a.arrival_time_s < b.arrival_time_s;
+            });
+  LegSummary leg;
+  std::vector<double> ttft, tbt, jct;
+  double cursor = 0.0, decode_time = 0.0;
+  std::size_t decode_tokens = 0;
+  for (const ServingRequest& req : requests) {
+    TinyTransformer model(w, maker());
+    double t0 = wall_s();
+    std::vector<float> logits = model.prefill(req.prompt);
+    int token = argmax_logits(logits);
+    const double prefill_s = wall_s() - t0;  // includes the first token
+    std::size_t generated = 1;
+    double decode_s = 0.0;
+    while (generated < req.max_new_tokens) {
+      t0 = wall_s();
+      logits = model.decode_step(token);
+      token = argmax_logits(logits);
+      const double step = wall_s() - t0;
+      decode_s += step;
+      tbt.push_back(step);
+      ++generated;
+    }
+    const double start = std::max(req.arrival_time_s, cursor);
+    ttft.push_back(start + prefill_s - req.arrival_time_s);
+    jct.push_back(start + prefill_s + decode_s - req.arrival_time_s);
+    cursor = start + prefill_s + decode_s;
+    decode_time += decode_s;
+    decode_tokens += generated - 1;
+    leg.total_tokens += generated;
+  }
+  leg.makespan_s = cursor;
+  if (decode_time > 0.0) {
+    leg.decode_tokens_per_s =
+        static_cast<double>(decode_tokens) / decode_time;
+    leg.pure_decode_tokens_per_s = leg.decode_tokens_per_s;  // no mixing
+  }
+  if (cursor > 0.0) {
+    leg.tokens_per_s = static_cast<double>(leg.total_tokens) / cursor;
+    leg.goodput_rps = static_cast<double>(requests.size()) / cursor;
+  }
+  leg.ttft = compute_stats(std::move(ttft));
+  if (!tbt.empty()) leg.tbt = compute_stats(std::move(tbt));
+  leg.jct = compute_stats(std::move(jct));
+  return leg;
+}
+
+LegSummary summarize_report(const ServingReport& report) {
+  LegSummary leg;
+  leg.decode_tokens_per_s = report.decode_tokens_per_s;
+  leg.pure_decode_tokens_per_s = report.pure_decode_tokens_per_s;
+  leg.tokens_per_s = report.tokens_per_s;
+  leg.goodput_rps = report.goodput_rps;
+  leg.makespan_s = report.makespan_s;
+  leg.total_tokens = report.total_generated;
+  leg.ttft = report.ttft_s;
+  leg.tbt = report.tbt_s;
+  leg.jct = report.jct_s;
+  leg.kv_bytes_admitted = report.engine.kv_bytes_admitted;
+  leg.peak_running = report.engine.peak_running;
+  return leg;
+}
+
+void print_continuous_leg(const char* mode, const Shape& shape,
+                          const ContOptions& o, const LegSummary& leg,
+                          double weights_mib) {
+  std::printf(
+      "{\"bench\":\"serving_continuous\",\"mode\":\"%s\",\"requests\":%zu,"
+      "\"heads\":%zu,\"kv_heads\":%zu,\"d_head\":%zu,\"layers\":%zu,"
+      "\"input_mean\":%zu,\"output_mean\":%zu,\"arrival\":\"%s\","
+      "\"max_active\":%zu,\"chunk\":%zu,\"lanes\":%zu,"
+      "\"decode_tokens_per_s\":%.1f,\"pure_decode_tokens_per_s\":%.1f,"
+      "\"tokens_per_s\":%.1f,"
+      "\"goodput_rps\":%.2f,\"makespan_s\":%.3f,\"total_tokens\":%zu,"
+      "\"ttft_p50_s\":%.4f,\"ttft_p90_s\":%.4f,\"ttft_p99_s\":%.4f,"
+      "\"tbt_p50_s\":%.4f,\"tbt_p99_s\":%.4f,"
+      "\"jct_p50_s\":%.4f,\"jct_p99_s\":%.4f,"
+      "\"peak_running\":%zu,\"kv_bytes_admitted\":%zu,"
+      "\"weights_mib\":%.1f}\n",
+      mode, o.requests, shape.heads, shape.kv_heads, shape.d_head, o.layers,
+      o.input, o.output, o.arrival.c_str(), o.max_active, o.chunk,
+      ThreadPool::global().lanes(), leg.decode_tokens_per_s,
+      leg.pure_decode_tokens_per_s,
+      leg.tokens_per_s, leg.goodput_rps, leg.makespan_s, leg.total_tokens,
+      leg.ttft.p50, leg.ttft.p90, leg.ttft.p99, leg.tbt.p50, leg.tbt.p99,
+      leg.jct.p50, leg.jct.p99, leg.peak_running, leg.kv_bytes_admitted,
+      weights_mib);
+  std::fflush(stdout);
+}
+
+void run_continuous_mode(const Shape& shape, const ContOptions& o) {
+  TinyConfig cfg;
+  cfg.vocab = 256;
+  cfg.layers = o.layers;
+  cfg.heads = shape.heads;
+  cfg.kv_heads = shape.kv_heads;
+  cfg.d_head = shape.d_head;
+  cfg.d_ff = 512;
+  const auto weights = make_tiny_weights(cfg);
+  const double weights_mib =
+      static_cast<double>(weights->weight_bytes()) / (1024.0 * 1024.0);
+  HackAttentionConfig attn;
+  attn.pi = shape.pi;
+  const auto maker = [attn] { return make_hack_layer_backend(attn, 7); };
+  const auto requests = make_continuous_requests(o);
+
+  std::printf("continuous serving: %zu requests (%s), %zuQ/%zuKV d_head %zu,"
+              " %zu layers, pool lanes %zu, weights %.1f MiB (one shared "
+              "instance)\n",
+              o.requests, o.arrival.c_str(), shape.heads, shape.kv_heads,
+              shape.d_head, o.layers, ThreadPool::global().lanes(),
+              weights_mib);
+
+  const LegSummary serial = run_serial_leg(weights, maker, requests);
+  print_continuous_leg("serial", shape, o, serial, weights_mib);
+
+  ServingEngineConfig ec;
+  ec.scheduler.max_active = o.max_active;
+  ec.scheduler.prefill_chunk_tokens = o.chunk;
+  std::unique_ptr<BlockAllocator> alloc;
+  if (o.kv_blocks > 0) {
+    // Accounting blocks: FP16 K+V bytes of block_tokens tokens across all
+    // layers and KV heads.
+    const std::size_t block_bytes = ec.scheduler.block_tokens *
+                                    shape.kv_heads * shape.d_head * 2 * 2 *
+                                    o.layers;
+    alloc = std::make_unique<BlockAllocator>(o.kv_blocks, block_bytes);
+  }
+  ServingEngine engine(weights, maker, ec, alloc.get());
+  for (const ServingRequest& req : requests) engine.submit(req);
+  const LegSummary cont = summarize_report(engine.run());
+  print_continuous_leg("continuous", shape, o, cont, weights_mib);
+
+  std::printf(
+      "{\"bench\":\"serving_continuous_speedup\",\"lanes\":%zu,"
+      "\"decode_speedup\":%.2f,\"pure_decode_speedup\":%.2f,"
+      "\"tokens_speedup\":%.2f,"
+      "\"jct_p50_speedup\":%.2f,\"ttft_p50_ratio\":%.2f}\n",
+      ThreadPool::global().lanes(),
+      serial.decode_tokens_per_s > 0.0
+          ? cont.decode_tokens_per_s / serial.decode_tokens_per_s
+          : 0.0,
+      serial.pure_decode_tokens_per_s > 0.0
+          ? cont.pure_decode_tokens_per_s / serial.pure_decode_tokens_per_s
+          : 0.0,
+      serial.tokens_per_s > 0.0 ? cont.tokens_per_s / serial.tokens_per_s
+                                : 0.0,
+      cont.jct.p50 > 0.0 ? serial.jct.p50 / cont.jct.p50 : 0.0,
+      serial.ttft.p50 > 0.0 ? cont.ttft.p50 / serial.ttft.p50 : 0.0);
+  std::fflush(stdout);
+}
+
 std::vector<std::size_t> parse_size_list(const char* s) {
   std::vector<std::size_t> out;
   for (const char* p = s; *p != '\0';) {
@@ -287,13 +540,37 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> contexts = {1024, 4096};
   std::vector<int> thread_legs = {1, 2, 4};
   bool long_sweep = false;
+  bool continuous = false;
+  ContOptions cont;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
+      // Applied at parse time, like every other flag, so an explicit later
+      // --context/--input/--output still wins.
       contexts = {512};
       thread_legs = {1, 2};
+      cont.input = 48;  // requests stay as given: concurrency is the point
+      cont.output = 12;
     } else if (arg == "--long") {
       long_sweep = true;
+    } else if (arg == "--continuous") {
+      continuous = true;
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      cont.requests = std::strtoul(arg.c_str() + 11, nullptr, 10);
+    } else if (arg.rfind("--input=", 0) == 0) {
+      cont.input = std::strtoul(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--output=", 0) == 0) {
+      cont.output = std::strtoul(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--layers=", 0) == 0) {
+      cont.layers = std::strtoul(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--arrival=", 0) == 0) {
+      cont.arrival = arg.substr(10);
+    } else if (arg.rfind("--max-active=", 0) == 0) {
+      cont.max_active = std::strtoul(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--chunk=", 0) == 0) {
+      cont.chunk = std::strtoul(arg.c_str() + 8, nullptr, 10);
+    } else if (arg.rfind("--kv-blocks=", 0) == 0) {
+      cont.kv_blocks = std::strtoul(arg.c_str() + 12, nullptr, 10);
     } else if (arg.rfind("--context=", 0) == 0) {
       contexts = parse_size_list(arg.c_str() + 10);
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -318,6 +595,15 @@ int main(int argc, char** argv) {
   if (contexts.empty() || thread_legs.empty()) {
     std::fprintf(stderr, "--context and --threads need at least one value\n");
     return 1;
+  }
+
+  if (continuous) {
+    if (cont.requests == 0 || cont.output == 0) {
+      std::fprintf(stderr, "--requests and --output must be positive\n");
+      return 1;
+    }
+    run_continuous_mode(shape, cont);
+    return 0;
   }
 
   if (long_sweep) {

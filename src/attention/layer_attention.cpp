@@ -34,22 +34,11 @@ void add_attn_stats(HackAttnStats& dst, const HackAttnStats& src) {
   dst.requant_values += src.requant_values;
 }
 
-// Runs fn(t) for t in [0, n) on the shared pool; `threads` caps concurrency
-// (0 = auto: one dynamically claimed chunk per task). Every task is
-// independent — own output slot, own pre-forked RNG streams — so scheduling
-// cannot change results.
+// Every task is independent — own output slot, own pre-forked RNG streams —
+// so the shared pool fan-out cannot change results.
 void for_each_task(std::size_t n, int threads,
                    const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
-  if (threads == 1 || n == 1) {
-    for (std::size_t t = 0; t < n; ++t) fn(t);
-    return;
-  }
-  ThreadPool& pool = ThreadPool::global();
-  pool.parallel_for(n, chunks_for_request(threads, n, /*auto_chunks=*/n),
-                    [&](std::size_t begin, std::size_t end) {
-                      for (std::size_t t = begin; t < end; ++t) fn(t);
-                    });
+  parallel_for_each_index(n, threads, fn);
 }
 
 }  // namespace
@@ -67,7 +56,7 @@ void run_flat_attention(std::span<HeadAttentionTask> tasks,
                         std::span<const std::size_t> lq,
                         std::span<const std::size_t> lkv,
                         std::span<const std::size_t> vq_rows,
-                        const AttentionOptions& options,
+                        std::span<const AttentionOptions> opts,
                         std::span<Matrix> outs, HackAttnStats& local,
                         int threads) {
   const std::size_t t_count = tasks.size();
@@ -110,7 +99,7 @@ void run_flat_attention(std::span<HeadAttentionTask> tasks,
     const float inv_sqrt_d =
         1.0f / std::sqrt(static_cast<float>(tasks[t].q->cols()));
     for (float& v : s.flat()) v *= inv_sqrt_d;
-    p[t] = options.causal ? softmax_rows_causal(s, options.key_offset)
+    p[t] = opts[t].causal ? softmax_rows_causal(s, opts[t].key_offset)
                           : softmax_rows(s);
     s = Matrix();  // scores for this head are dead; cap peak memory
   });
@@ -261,7 +250,7 @@ struct TiledStatePrep {
 void run_tiled_attention(std::span<HeadAttentionTask> tasks,
                          std::span<const std::size_t> lq,
                          std::span<const std::size_t> lkv,
-                         const AttentionOptions& options,
+                         std::span<const AttentionOptions> opts,
                          std::span<Matrix> outs, HackAttnStats& local,
                          int threads) {
   const std::size_t t_count = tasks.size();
@@ -396,12 +385,12 @@ void run_tiled_attention(std::span<HeadAttentionTask> tasks,
   }
 
   std::vector<HackAttnStats> item_stats(items.size());
-  const bool causal = options.causal;
-  const std::size_t ko = options.key_offset;
 
   const auto run_item = [&](std::size_t idx) {
     const Item& it = items[idx];
     const std::size_t t = it.task;
+    const bool causal = opts[t].causal;
+    const std::size_t ko = opts[t].key_offset;
     const HeadAttentionTask& task = tasks[t];
     const TiledStatePrep& sp = *preps[prep_of[t]];
     const HackAttentionConfig& cfg = task.state->config();
@@ -645,6 +634,7 @@ void hack_attention_batched(std::span<HeadAttentionTask> tasks,
   if (t_count == 0) return;
 
   std::vector<std::size_t> lq(t_count), lkv(t_count), vq_rows(t_count);
+  std::vector<AttentionOptions> opts(t_count);
   for (std::size_t t = 0; t < t_count; ++t) {
     const HeadAttentionTask& task = tasks[t];
     HACK_CHECK(task.q != nullptr && task.state != nullptr &&
@@ -656,6 +646,7 @@ void hack_attention_batched(std::span<HeadAttentionTask> tasks,
     lq[t] = task.q->rows();
     lkv[t] = task.state->tokens();
     vq_rows[t] = task.state->quantized_v_rows();
+    opts[t] = task.options != nullptr ? *task.options : options;
   }
 
   HackAttnStats local{};
@@ -673,18 +664,20 @@ void hack_attention_batched(std::span<HeadAttentionTask> tasks,
     std::vector<HeadAttentionTask> sub_tasks(idx.size());
     std::vector<std::size_t> sub_lq(idx.size()), sub_lkv(idx.size()),
         sub_vq(idx.size());
+    std::vector<AttentionOptions> sub_opts(idx.size());
     std::vector<Matrix> sub_outs(idx.size());
     for (std::size_t k = 0; k < idx.size(); ++k) {
       sub_tasks[k] = tasks[idx[k]];
       sub_lq[k] = lq[idx[k]];
       sub_lkv[k] = lkv[idx[k]];
       sub_vq[k] = vq_rows[idx[k]];
+      sub_opts[k] = opts[idx[k]];
     }
     if (tiled) {
-      run_tiled_attention(sub_tasks, sub_lq, sub_lkv, options, sub_outs,
+      run_tiled_attention(sub_tasks, sub_lq, sub_lkv, sub_opts, sub_outs,
                           local, threads);
     } else {
-      run_flat_attention(sub_tasks, sub_lq, sub_lkv, sub_vq, options,
+      run_flat_attention(sub_tasks, sub_lq, sub_lkv, sub_vq, sub_opts,
                          sub_outs, local, threads);
     }
     for (std::size_t k = 0; k < idx.size(); ++k) {
@@ -748,15 +741,10 @@ void HackLayerKvState::append_tokens(const Matrix& k_all, const Matrix& v_all,
   }
 }
 
-Matrix HackLayerKvState::attend(const Matrix& q_all,
-                                const AttentionOptions& options,
-                                HackAttnStats* stats) {
-  HACK_CHECK(q_all.cols() == query_heads_ * d_head_,
-             "layer Q width must be query_heads * d_head");
-
-  // Fork the Q/P sub-streams in query-head order within each KV head — the
-  // exact master-stream consumption of serial per-head hack_attention calls.
-  std::vector<Rng> q_rngs, p_rngs;
+void HackLayerKvState::fork_attend_streams(std::vector<Rng>& q_rngs,
+                                           std::vector<Rng>& p_rngs) {
+  q_rngs.clear();
+  p_rngs.clear();
   q_rngs.reserve(query_heads_);
   p_rngs.reserve(query_heads_);
   for (std::size_t g = 0; g < kv_heads_; ++g) {
@@ -765,25 +753,18 @@ Matrix HackLayerKvState::attend(const Matrix& q_all,
       p_rngs.push_back(rngs_[g].fork());
     }
   }
+}
 
-  std::vector<Matrix> q_heads(query_heads_);
-  for (std::size_t t = 0; t < query_heads_; ++t) {
-    q_heads[t] = take_cols(q_all, t * d_head_, (t + 1) * d_head_);
-  }
-  std::vector<HeadAttentionTask> tasks(query_heads_);
-  for (std::size_t t = 0; t < query_heads_; ++t) {
-    tasks[t] = {&q_heads[t], &states_[t / group_], &q_rngs[t], &p_rngs[t]};
-  }
-  std::vector<Matrix> outs;
-  hack_attention_batched(tasks, options, outs, stats, config_.threads);
-
-  Matrix out(q_all.rows(), query_heads_ * d_head_);
-  for (std::size_t t = 0; t < query_heads_; ++t) {
-    for (std::size_t r = 0; r < out.rows(); ++r) {
-      const auto src = outs[t].row(r);
-      std::copy(src.begin(), src.end(), out.row(r).begin() + t * d_head_);
-    }
-  }
+Matrix HackLayerKvState::attend(const Matrix& q_all,
+                                const AttentionOptions& options,
+                                HackAttnStats* stats) {
+  // A solo attend is a multi-sequence batch of one; routing it through
+  // MultiAttendBatch keeps the solo and fused paths one implementation (and
+  // bit-identical by construction).
+  Matrix out;
+  MultiAttendBatch batch;
+  batch.add(*this, q_all, options, &out);
+  batch.run(config_.threads, stats);
   return out;
 }
 
@@ -834,6 +815,71 @@ const HackKvState& HackLayerKvState::head_state(std::size_t kv_head) const {
   HACK_CHECK(kv_head < kv_heads_, "kv head " << kv_head << " out of "
                                              << kv_heads_);
   return states_[kv_head];
+}
+
+HackKvState& HackLayerKvState::head_state_mut(std::size_t kv_head) {
+  HACK_CHECK(kv_head < kv_heads_, "kv head " << kv_head << " out of "
+                                             << kv_heads_);
+  return states_[kv_head];
+}
+
+// --------------------------------------------------------- multi-seq batch
+
+void MultiAttendBatch::add(HackLayerKvState& state, const Matrix& q_all,
+                           const AttentionOptions& options, Matrix* out) {
+  HACK_CHECK(out != nullptr, "staged attend needs an output slot");
+  HACK_CHECK(q_all.cols() == state.query_heads() * state.d_head(),
+             "layer Q width must be query_heads * d_head");
+  auto seq = std::make_unique<StagedSeq>();
+  seq->state = &state;
+  seq->q_all = &q_all;
+  seq->options = options;
+  seq->out = out;
+  // Fork this sequence's Q/P sub-streams now, in stage order — the same
+  // master-stream draws its solo attend would make at this point.
+  state.fork_attend_streams(seq->q_rngs, seq->p_rngs);
+  const std::size_t d_head = state.d_head();
+  seq->q_heads.reserve(state.query_heads());
+  for (std::size_t t = 0; t < state.query_heads(); ++t) {
+    seq->q_heads.push_back(take_cols(q_all, t * d_head, (t + 1) * d_head));
+  }
+  seqs_.push_back(std::move(seq));
+}
+
+void MultiAttendBatch::run(int threads, HackAttnStats* stats) {
+  std::size_t task_count = 0;
+  for (const auto& seq : seqs_) task_count += seq->state->query_heads();
+  std::vector<HeadAttentionTask> tasks;
+  tasks.reserve(task_count);
+  for (auto& seq : seqs_) {
+    HackLayerKvState& st = *seq->state;
+    const std::size_t group = st.query_heads() / st.kv_heads();
+    for (std::size_t t = 0; t < st.query_heads(); ++t) {
+      tasks.push_back({&seq->q_heads[t], &st.head_state_mut(t / group),
+                       &seq->q_rngs[t], &seq->p_rngs[t], &seq->options});
+    }
+  }
+
+  std::vector<Matrix> outs;
+  hack_attention_batched(tasks, AttentionOptions{}, outs, stats, threads);
+
+  // Scatter each sequence's per-head outputs back into its head-major slab.
+  std::size_t base = 0;
+  for (auto& seq : seqs_) {
+    const HackLayerKvState& st = *seq->state;
+    const std::size_t d_head = st.d_head();
+    Matrix& out = *seq->out;
+    out = Matrix(seq->q_all->rows(), st.query_heads() * d_head);
+    for (std::size_t t = 0; t < st.query_heads(); ++t) {
+      const Matrix& head_out = outs[base + t];
+      for (std::size_t r = 0; r < out.rows(); ++r) {
+        const auto src = head_out.row(r);
+        std::copy(src.begin(), src.end(), out.row(r).begin() + t * d_head);
+      }
+    }
+    base += st.query_heads();
+  }
+  seqs_.clear();
 }
 
 }  // namespace hack

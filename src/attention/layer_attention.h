@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -44,11 +45,18 @@ namespace hack {
 // `q_rng` / `p_rng` are the pre-forked sub-streams for quantizing Q and P.
 // Several tasks may share a `state` (GQA query heads reading one KV head);
 // the engine prepares that head's Eq. (4) factors once.
+//
+// `options` (optional) overrides the launch-level AttentionOptions for this
+// task alone. Multi-sequence launches use it: tasks of different serving
+// sequences carry different key offsets (and cache lengths) yet run in one
+// batched dispatch. Every task's computation touches only its own inputs, so
+// outputs are identical whether tasks launch together or one call at a time.
 struct HeadAttentionTask {
   const Matrix* q = nullptr;     // [lq, d_head] slice for this query head
   HackKvState* state = nullptr;  // KV head this query head attends over
   Rng* q_rng = nullptr;
   Rng* p_rng = nullptr;
+  const AttentionOptions* options = nullptr;  // null: use the call-level one
 };
 
 // Runs every task's attention and writes outs[t] ([lq, d_head] per task).
@@ -136,6 +144,16 @@ class HackLayerKvState {
   // Per-KV-head access for tests.
   const HackKvState& head_state(std::size_t kv_head) const;
 
+  // Mutable per-KV-head access for the multi-sequence attention batch.
+  HackKvState& head_state_mut(std::size_t kv_head);
+
+  // Forks the Q/P quantizer sub-streams exactly as one attend() call would:
+  // query-head order within each KV head, two forks per query head. The
+  // multi-sequence batch calls this once per staged attend, so a sequence's
+  // master-stream consumption is identical whether its attends run solo or
+  // fused with other sequences.
+  void fork_attend_streams(std::vector<Rng>& q_rngs, std::vector<Rng>& p_rngs);
+
  private:
   HackAttentionConfig config_;
   std::size_t d_head_;
@@ -144,6 +162,46 @@ class HackLayerKvState {
   std::size_t group_;  // query heads per KV head
   std::vector<HackKvState> states_;
   std::vector<Rng> rngs_;
+};
+
+// Cross-sequence fused attention: the layer attends of several sequences —
+// each over its own HackLayerKvState, with its own query rows and key offset
+// — staged into one hack_attention_batched launch. This is what keeps the
+// thread pool fed under continuous batching: at decode shapes one sequence
+// contributes query_heads single-row tasks, so a batch of N sequences gives
+// the engine N × query_heads independent (head × q-band) work items in a
+// single dispatch instead of N small ones.
+//
+// add() forks the sequence's Q/P quantizer sub-streams immediately (the same
+// draws its solo attend() would make) and run() launches everything batched;
+// because every task computes only from its own inputs, each sequence's
+// output is bit-identical to a solo attend() on its state. attend() itself
+// is a batch of one.
+class MultiAttendBatch {
+ public:
+  // Stages one sequence's layer attend. `q_all` is [lq, query_heads *
+  // d_head]; `out` receives the same shape on run(). References must stay
+  // valid until run() returns.
+  void add(HackLayerKvState& state, const Matrix& q_all,
+           const AttentionOptions& options, Matrix* out);
+
+  std::size_t sequences() const { return seqs_.size(); }
+
+  // Launches every staged attend as one batched engine call. `threads`
+  // follows the library convention (0 = auto, 1 = serial, N = N-way);
+  // `stats` (optional) accumulates the work of all staged sequences.
+  void run(int threads = 0, HackAttnStats* stats = nullptr);
+
+ private:
+  struct StagedSeq {
+    HackLayerKvState* state = nullptr;
+    const Matrix* q_all = nullptr;
+    AttentionOptions options;
+    Matrix* out = nullptr;
+    std::vector<Matrix> q_heads;  // per-query-head column slices
+    std::vector<Rng> q_rngs, p_rngs;
+  };
+  std::vector<std::unique_ptr<StagedSeq>> seqs_;  // stable addresses
 };
 
 }  // namespace hack

@@ -121,6 +121,24 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t chunks,
   }
 }
 
+const ThreadPool* ThreadPool::current() { return active_pool; }
+
+void parallel_for_each_index(std::size_t n, int threads,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (threads == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool::global().parallel_for(
+      n, chunks_for_request(threads, n, /*auto_chunks=*/n),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      });
+}
+
 void ThreadPool::worker_loop() {
   active_pool = this;  // chunk bodies re-entering parallel_for stay inline
   std::size_t seen_generation = 0;

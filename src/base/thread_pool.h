@@ -41,6 +41,16 @@ inline std::size_t chunks_for_request(int threads, std::size_t n,
                       : std::min(n, static_cast<std::size_t>(threads));
 }
 
+// Runs fn(i) for every i in [0, n) on the global pool, following the public
+// `threads` request convention (0 = auto with one dynamically claimed chunk
+// per index, 1 = serial on the caller, N = at most N concurrent chunks).
+// The shared workhorse behind per-head attention tasks and per-sequence
+// serving-engine lanes: every index is an independent work item, so
+// scheduling cannot change results, and bodies may re-enter parallel_for
+// (the re-entrancy guard runs nested loops inline).
+void parallel_for_each_index(std::size_t n, int threads,
+                             const std::function<void(std::size_t)>& fn);
+
 class ThreadPool {
  public:
   // Spawns `workers` background threads. 0 is valid: every parallel_for then
@@ -70,6 +80,19 @@ class ThreadPool {
   void parallel_for(std::size_t n, const RangeFn& fn) {
     parallel_for(n, lanes(), fn);
   }
+
+  // Re-entrancy guard state. A parallel_for issued from inside this pool's
+  // own machinery (a worker running a chunk, or the dispatching caller) runs
+  // all its chunks inline on the current thread instead of deadlocking on
+  // the dispatch lock — with the same chunk decomposition, so results do not
+  // change. The serving engine leans on this: a per-sequence step task may
+  // call quantize/matmul, which themselves try to go parallel.
+  //
+  // current() is the pool whose parallel_for machinery this thread is
+  // executing inside (nullptr outside any); in_parallel_region() asks the
+  // same of a specific pool.
+  static const ThreadPool* current();
+  bool in_parallel_region() const { return current() == this; }
 
   // Process-wide shared pool, created on first use with
   // default_thread_count() - 1 workers.

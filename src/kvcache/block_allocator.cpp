@@ -5,7 +5,8 @@
 namespace hack {
 
 BlockAllocator::BlockAllocator(std::size_t num_blocks, std::size_t block_bytes)
-    : block_bytes_(block_bytes), ref_counts_(num_blocks, 0) {
+    : block_bytes_(block_bytes), ref_counts_(num_blocks, 0),
+      min_free_(num_blocks) {
   HACK_CHECK(num_blocks > 0 && block_bytes > 0, "empty allocator");
   free_list_.reserve(num_blocks);
   // Hand out low ids first: push high ids first so pop_back yields low.
@@ -16,12 +17,14 @@ BlockAllocator::BlockAllocator(std::size_t num_blocks, std::size_t block_bytes)
 
 BlockId BlockAllocator::allocate() {
   if (free_list_.empty()) {
+    ++failed_allocations_;
     return kInvalidBlock;
   }
   const BlockId id = free_list_.back();
   free_list_.pop_back();
   ref_counts_[id] = 1;
   peak_in_use_ = std::max(peak_in_use_, blocks_in_use());
+  min_free_ = std::min(min_free_, blocks_free());
   return id;
 }
 

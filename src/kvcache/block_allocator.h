@@ -28,6 +28,16 @@ class BlockAllocator {
   std::size_t bytes_in_use() const { return blocks_in_use() * block_bytes_; }
   std::size_t peak_blocks_in_use() const { return peak_in_use_; }
 
+  // Free-block watermark: the lowest blocks_free() ever observed. The serving
+  // scheduler's admission control reads this to see how close the pool came
+  // to exhaustion under a workload.
+  std::size_t min_free_watermark() const { return min_free_; }
+
+  // Cumulative allocate() calls that failed on an empty pool (the OOM signal
+  // that triggers CPU swap / admission backpressure in the disaggregated
+  // flow).
+  std::size_t failed_allocations() const { return failed_allocations_; }
+
   bool can_allocate(std::size_t count) const { return count <= blocks_free(); }
 
   // Allocates one block with refcount 1; returns kInvalidBlock when full.
@@ -46,6 +56,8 @@ class BlockAllocator {
   std::vector<int> ref_counts_;
   std::vector<BlockId> free_list_;
   std::size_t peak_in_use_ = 0;
+  std::size_t min_free_ = 0;
+  std::size_t failed_allocations_ = 0;
 };
 
 }  // namespace hack

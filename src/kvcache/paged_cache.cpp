@@ -45,6 +45,7 @@ void PagedKvCache::make_unique(Table& table, std::size_t block_idx) {
   storage_[copy] = storage_[old_id];
   allocator_.release(old_id);
   table.blocks[block_idx] = copy;
+  ++cow_copies_;
 }
 
 bool PagedKvCache::append(SeqId seq, const Matrix& k_new, const Matrix& v_new) {
@@ -54,10 +55,18 @@ bool PagedKvCache::append(SeqId seq, const Matrix& k_new, const Matrix& v_new) {
   Table& table = tables_[seq];
 
   // Pre-flight: count blocks needed so failure leaves the table untouched.
+  // Besides fresh blocks this counts the copy-on-write copies the write loop
+  // will make for shared blocks in the written range — without them a forked
+  // sequence could pass the check and then hit exhaustion mid-write.
   const std::size_t total_after = table.tokens + k_new.rows();
   const std::size_t blocks_after = (total_after + block_tokens_ - 1) / block_tokens_;
-  const std::size_t need = blocks_after - table.blocks.size();
+  std::size_t need = blocks_after - table.blocks.size();
+  const std::size_t first_written = table.tokens / block_tokens_;
+  for (std::size_t idx = first_written; idx < table.blocks.size(); ++idx) {
+    if (allocator_.ref_count(table.blocks[idx]) > 1) ++need;
+  }
   if (!allocator_.can_allocate(need)) {
+    ++oom_appends_;
     if (table.blocks.empty() && table.tokens == 0) tables_.erase(seq);
     return false;
   }

@@ -36,8 +36,18 @@ class PagedKvCache {
   std::size_t tokens(SeqId seq) const;
 
   // Appends K/V rows ([n, d_head] each) for `seq`, allocating blocks as
-  // needed. Returns false (and rolls back) if the pool runs out.
+  // needed. Returns false (and rolls back; the sequence is untouched) if the
+  // pool cannot cover the append — including the copy-on-write copies a
+  // forked sequence's shared blocks would need, which the preflight counts so
+  // exhaustion can never strike mid-write.
   bool append(SeqId seq, const Matrix& k_new, const Matrix& v_new);
+
+  // Cumulative append() calls refused for lack of free blocks (each one a
+  // clean rollback the scheduler's admission control should have prevented).
+  std::size_t oom_appends() const { return oom_appends_; }
+
+  // Cumulative copy-on-write block copies (a fork wrote into a shared block).
+  std::size_t cow_copies() const { return cow_copies_; }
 
   // Reconstructs the sequence's K (or V) as an [tokens, d_head] matrix.
   Matrix gather_k(SeqId seq) const;
@@ -69,6 +79,8 @@ class PagedKvCache {
   BlockAllocator& allocator_;
   std::size_t d_head_;
   std::size_t block_tokens_;
+  std::size_t oom_appends_ = 0;
+  std::size_t cow_copies_ = 0;
   std::unordered_map<SeqId, Table> tables_;
   // Backing storage for every block in the pool, FP16 bits.
   std::vector<std::vector<std::uint16_t>> storage_;

@@ -15,100 +15,21 @@
 //   - HACK (homomorphic quantized attention, any HackAttentionConfig)
 //   - codec (CacheGen/KVQuant: compress on append, dequantize to attend)
 //   - mini-float (FP4/6/8 storage)
+//
+// TinyTransformer is a convenience wrapper over the shared-weights model in
+// model/session.h: one TinyModelWeights (possibly shared with other
+// instances) plus one TinyModelSession, with the classic whole-model
+// prefill / decode_step / generate API. Serving-scale code (the continuous
+// batching engine in serving/engine.h) uses the session API directly so N
+// concurrent requests share a single weight instance.
 #pragma once
 
-#include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
-#include "attention/dequant_attention.h"
-#include "attention/hack_attention.h"
-#include "codec/codec.h"
-#include "quant/minifloat.h"
-#include "tensor/matrix.h"
+#include "model/session.h"
 
 namespace hack {
-
-// One KV head's cache + attention kernel. With grouped-query attention a
-// single backend serves every query head in its group: the model appends the
-// group's K/V once, then attends once per query head.
-class HeadBackend {
- public:
-  virtual ~HeadBackend() = default;
-
-  // Appends new tokens' K/V rows ([n, d_head] each) to the cache.
-  virtual void append(const Matrix& k_new, const Matrix& v_new) = 0;
-
-  // Causal attention of q over all cached tokens; `key_offset` is the
-  // timeline index of q's first row.
-  virtual Matrix attend(const Matrix& q, std::size_t key_offset) = 0;
-
-  // Bytes the cache occupies in its stored (possibly compressed) form.
-  virtual std::size_t stored_bytes() const = 0;
-};
-
-using BackendFactory =
-    std::function<std::unique_ptr<HeadBackend>(std::size_t d_head)>;
-
-// All KV heads of one transformer layer behind one interface. The model
-// appends a layer's K/V once ([n, kv_heads * d_head] slabs) and attends all
-// query heads in one call ([n, heads * d_head] in, same shape out) — which
-// lets the HACK backend run the batched multi-head engine
-// (attention/layer_attention.h) instead of a per-head loop.
-class LayerBackend {
- public:
-  virtual ~LayerBackend() = default;
-
-  // Appends new tokens' K/V rows for every KV head.
-  virtual void append(const Matrix& k_all, const Matrix& v_all) = 0;
-
-  // Causal attention of all query heads over the cached tokens; `key_offset`
-  // is the timeline index of q_all's first row.
-  virtual Matrix attend(const Matrix& q_all, std::size_t key_offset) = 0;
-
-  // Bytes this layer's caches occupy in stored (possibly compressed) form.
-  virtual std::size_t stored_bytes() const = 0;
-};
-
-using LayerBackendFactory = std::function<std::unique_ptr<LayerBackend>(
-    std::size_t d_head, std::size_t kv_heads, std::size_t query_heads)>;
-
-// Factories for each method. Stochastic backends fork deterministic RNG
-// streams from `seed`.
-BackendFactory make_exact_backend();
-BackendFactory make_fp16_backend();
-BackendFactory make_hack_backend(HackAttentionConfig config,
-                                 std::uint64_t seed);
-BackendFactory make_codec_backend(std::shared_ptr<const KvCodec> codec,
-                                  std::uint64_t seed);
-BackendFactory make_minifloat_backend(MiniFloatFormat format);
-
-// Adapts a per-head factory into a layer backend that loops KV heads on
-// append and query heads on attend — the pre-batching model behavior, still
-// used by every non-HACK method.
-LayerBackendFactory per_head_layer_factory(BackendFactory factory);
-
-// Native batched HACK layer backend over HackLayerKvState: one quantize pass
-// and fused head-parallel HQ-GEMM launches per layer. Seeded so that KV head
-// h of layer l draws the same stream as the per-head backend
-// make_hack_backend(config, seed) would give it — generation is
-// bit-identical between the two, the batched path just runs wider.
-LayerBackendFactory make_hack_layer_backend(HackAttentionConfig config,
-                                            std::uint64_t seed);
-
-struct TinyConfig {
-  std::size_t vocab = 256;   // byte-level tokens
-  std::size_t layers = 2;
-  std::size_t heads = 4;
-  std::size_t kv_heads = 2;  // GQA: heads % kv_heads == 0
-  std::size_t d_head = 64;
-  std::size_t d_ff = 512;
-  float rope_base = 10000.0f;
-  std::uint64_t weight_seed = 0x7acc5eedULL;
-
-  std::size_t d_model() const { return heads * d_head; }
-};
 
 class TinyTransformer {
  public:
@@ -116,9 +37,16 @@ class TinyTransformer {
   // Per-head compatibility constructor: wraps `factory` in
   // per_head_layer_factory.
   TinyTransformer(const TinyConfig& config, BackendFactory factory);
+  // Shared-weights constructor: N instances built from the same weights
+  // pointer hold no per-instance parameter copies.
+  TinyTransformer(std::shared_ptr<const TinyModelWeights> weights,
+                  LayerBackendFactory factory);
 
-  const TinyConfig& config() const { return config_; }
-  std::size_t tokens_processed() const { return position_; }
+  const TinyConfig& config() const { return session_.config(); }
+  std::size_t tokens_processed() const { return session_.position(); }
+
+  TinyModelSession& session() { return session_; }
+  const TinyModelSession& session() const { return session_; }
 
   // Processes the prompt and returns the logits row for its last token.
   std::vector<float> prefill(const std::vector<int>& prompt);
@@ -132,28 +60,13 @@ class TinyTransformer {
                             std::size_t max_new_tokens, int eos = -1);
 
   // Total stored KV bytes across all heads/layers.
-  std::size_t kv_stored_bytes() const;
+  std::size_t kv_stored_bytes() const { return session_.kv_stored_bytes(); }
 
  private:
-  struct LayerWeights {
-    Matrix wq, wk, wv, wo;          // attention projections
-    Matrix w_gate, w_up, w_down;    // SwiGLU
-    std::vector<float> norm_attn;   // RMSNorm gains
-    std::vector<float> norm_mlp;
-  };
-
   // Runs `tokens` rows through the stack; returns final hidden states.
-  Matrix forward(const std::vector<int>& tokens, std::size_t start_pos);
-  std::vector<float> logits_for_last(const Matrix& hidden);
+  Matrix forward(const std::vector<int>& tokens);
 
-  void apply_rope(Matrix& x, std::size_t head_count, std::size_t start_pos) const;
-
-  TinyConfig config_;
-  Matrix embedding_;                 // vocab x d_model (tied LM head)
-  std::vector<LayerWeights> layers_;
-  std::vector<float> norm_final_;
-  std::vector<std::unique_ptr<LayerBackend>> backends_;  // one per layer
-  std::size_t position_ = 0;
+  TinyModelSession session_;
 };
 
 }  // namespace hack

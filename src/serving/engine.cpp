@@ -1,0 +1,400 @@
+#include "serving/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "attention/layer_attention.h"
+#include "base/thread_pool.h"
+
+namespace hack {
+namespace {
+
+double steady_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// One admitted request's execution state: its session (KV backends +
+// position), its KV block reservation, and the token feeding the next
+// decode step.
+struct ServingEngine::RunningSeq {
+  RunningSeq(std::size_t record_idx,
+             std::shared_ptr<const TinyModelWeights> weights,
+             const LayerBackendFactory& factory)
+      : record(record_idx), session(std::move(weights), factory) {}
+
+  std::size_t record;  // index into records_
+  TinyModelSession session;
+  std::vector<BlockId> blocks;
+  int last_token = -1;
+};
+
+ServingEngine::ServingEngine(
+    std::shared_ptr<const TinyModelWeights> weights,
+    std::function<LayerBackendFactory()> make_backend_factory,
+    ServingEngineConfig config, BlockAllocator* allocator)
+    : weights_(std::move(weights)),
+      make_backend_factory_(std::move(make_backend_factory)),
+      config_(config),
+      scheduler_(config.scheduler),
+      allocator_(allocator) {
+  HACK_CHECK(weights_ != nullptr, "engine needs model weights");
+  HACK_CHECK(make_backend_factory_ != nullptr,
+             "engine needs a backend factory maker");
+}
+
+ServingEngine::~ServingEngine() = default;
+
+double ServingEngine::now_s() const { return steady_now_s() - run_start_s_; }
+
+void ServingEngine::submit(ServingRequest request) {
+  HACK_CHECK(!request.prompt.empty(), "request needs a non-empty prompt");
+  ServingRecord record;
+  record.request = std::move(request);
+  records_.push_back(std::move(record));
+}
+
+void ServingEngine::admit_arrivals(std::vector<std::size_t>& queued,
+                                   double now) {
+  std::vector<std::size_t> ready;
+  for (const std::size_t idx : queued) {
+    if (records_[idx].request.arrival_time_s <= now) ready.push_back(idx);
+  }
+  std::sort(ready.begin(), ready.end(), [&](std::size_t a, std::size_t b) {
+    const double ta = records_[a].request.arrival_time_s;
+    const double tb = records_[b].request.arrival_time_s;
+    return ta != tb ? ta < tb : a < b;
+  });
+  for (const std::size_t idx : ready) {
+    ServingRecord& rec = records_[idx];
+    if (!scheduler_.can_ever_admit(rec.request, allocator_)) {
+      rec.state = RequestState::kRejected;
+      rec.finish_time_s = now;
+      ++stats_.rejected;
+      continue;
+    }
+    if (!scheduler_.can_admit(rec.request, running_.size(), allocator_)) {
+      break;  // FCFS: later arrivals wait behind the head of the line
+    }
+    auto seq = std::make_unique<RunningSeq>(idx, weights_,
+                                            make_backend_factory_());
+    if (allocator_ != nullptr) {
+      const std::size_t need = scheduler_.blocks_needed(rec.request);
+      seq->blocks.reserve(need);
+      for (std::size_t b = 0; b < need; ++b) {
+        const BlockId id = allocator_->allocate();
+        HACK_CHECK(id != kInvalidBlock, "allocator lied about capacity");
+        seq->blocks.push_back(id);
+      }
+      rec.kv_blocks = need;
+      stats_.kv_bytes_admitted += need * allocator_->block_bytes();
+    }
+    rec.state = RequestState::kPrefill;
+    rec.admit_time_s = now;
+    running_.push_back(std::move(seq));
+    stats_.peak_running = std::max(stats_.peak_running, running_.size());
+  }
+}
+
+void ServingEngine::finish_sequence(RunningSeq& seq, double now) {
+  ServingRecord& rec = records_[seq.record];
+  rec.state = RequestState::kFinished;
+  rec.finish_time_s = now;
+  if (allocator_ != nullptr) {
+    for (const BlockId id : seq.blocks) allocator_->release(id);
+    stats_.kv_bytes_released += seq.blocks.size() * allocator_->block_bytes();
+    seq.blocks.clear();
+  }
+}
+
+void ServingEngine::execute_step(const StepPlan& plan) {
+  const double step_begin = now_s();
+
+  struct Lane {
+    std::size_t run_idx = 0;
+    bool is_prefill = false;
+    std::size_t chunk_begin = 0, chunk_end = 0;  // prompt rows (prefill)
+    bool completes_prefill = false;
+    bool emits = false;  // computes logits + greedy token for its last row
+    std::size_t start_pos = 0, rows = 0;
+    Matrix x;
+    int token = -1;
+  };
+
+  // Decode lanes first; the (at most one) prefill lane last, so the phase
+  // runner can execute it inline on the caller where its big row-parallel
+  // matmuls can use the whole pool instead of being nested into one lane.
+  std::vector<Lane> lanes;
+  lanes.reserve(plan.decode.size() + 1);
+  for (const std::size_t idx : plan.decode) {
+    Lane lane;
+    lane.run_idx = idx;
+    lane.rows = 1;
+    lane.emits = true;
+    lanes.push_back(std::move(lane));
+  }
+  if (plan.prefill != kNoSequence) {
+    RunningSeq& seq = *running_[plan.prefill];
+    const ServingRecord& rec = records_[seq.record];
+    Lane lane;
+    lane.run_idx = plan.prefill;
+    lane.is_prefill = true;
+    lane.chunk_begin = plan.prefill_begin;
+    lane.chunk_end = plan.prefill_end;
+    lane.rows = plan.prefill_end - plan.prefill_begin;
+    lane.completes_prefill = plan.prefill_end == rec.request.prompt.size();
+    lane.emits = lane.completes_prefill && rec.request.max_new_tokens > 0;
+    lanes.push_back(std::move(lane));
+  }
+  const std::size_t n_lanes = lanes.size();
+  const bool has_prefill = plan.prefill != kNoSequence;
+  const std::size_t n_light = has_prefill ? n_lanes - 1 : n_lanes;
+  const int threads = config_.threads;
+
+  // Phase runner: decode lanes fan out as pool tasks; the prefill lane runs
+  // on the caller afterwards with the pool at its disposal.
+  const auto run_lanes = [&](const std::function<void(std::size_t)>& fn) {
+    parallel_for_each_index(n_light, threads, fn);
+    if (has_prefill) fn(n_lanes - 1);
+  };
+
+  // --- Embed inputs.
+  run_lanes([&](std::size_t i) {
+    Lane& lane = lanes[i];
+    RunningSeq& seq = *running_[lane.run_idx];
+    lane.start_pos = seq.session.position();
+    if (lane.is_prefill) {
+      HACK_CHECK(lane.chunk_begin == lane.start_pos,
+                 "prefill chunk out of order");
+      const auto& prompt = records_[seq.record].request.prompt;
+      lane.x = weights_->embed(
+          {prompt.begin() + static_cast<std::ptrdiff_t>(lane.chunk_begin),
+           prompt.begin() + static_cast<std::ptrdiff_t>(lane.chunk_end)});
+    } else {
+      lane.x = weights_->embed({seq.last_token});
+    }
+  });
+
+  // --- Layer loop: per-sequence phase A, one fused (or per-sequence)
+  // attention launch, per-sequence phase B.
+  const std::size_t n_layers = weights_->config().layers;
+  const bool fused = config_.fused_attention && n_layers > 0 &&
+                     running_[lanes[0].run_idx]
+                             ->session.backend(0)
+                             .hack_state() != nullptr;
+  std::vector<Matrix> q(n_lanes), attn(n_lanes);
+  std::vector<AttentionOptions> attn_opts(n_lanes);
+  for (std::size_t layer = 0; layer < n_layers; ++layer) {
+    run_lanes([&](std::size_t i) {
+      q[i] = running_[lanes[i].run_idx]->session.project_and_append(
+          layer, lanes[i].x, lanes[i].start_pos);
+    });
+    if (fused) {
+      MultiAttendBatch batch;
+      for (std::size_t i = 0; i < n_lanes; ++i) {
+        HackLayerKvState* state =
+            running_[lanes[i].run_idx]->session.backend(layer).hack_state();
+        HACK_CHECK(state != nullptr, "mixed backends in a fused step");
+        attn_opts[i] = {.causal = true, .key_offset = lanes[i].start_pos};
+        batch.add(*state, q[i], attn_opts[i], &attn[i]);
+      }
+      batch.run(threads);
+      ++stats_.fused_attend_launches;
+    } else {
+      run_lanes([&](std::size_t i) {
+        attn[i] = running_[lanes[i].run_idx]->session.backend(layer).attend(
+            q[i], lanes[i].start_pos);
+      });
+    }
+    run_lanes([&](std::size_t i) {
+      lanes[i].x = running_[lanes[i].run_idx]->session.finish_layer(
+          layer, std::move(lanes[i].x), attn[i]);
+    });
+  }
+
+  // --- Commit positions; logits + greedy token for emitting lanes.
+  run_lanes([&](std::size_t i) {
+    Lane& lane = lanes[i];
+    RunningSeq& seq = *running_[lane.run_idx];
+    seq.session.advance(lane.rows);
+    if (lane.emits) {
+      const std::vector<float> logits =
+          seq.session.logits_for_row(lane.x, lane.rows - 1);
+      lane.token = argmax_logits(logits);
+    }
+  });
+
+  // --- Bookkeeping (serial: timestamps, state transitions, removals).
+  const double now = now_s();
+  std::size_t emitted_this_step = 0;
+  std::vector<std::size_t> finished;
+  for (const Lane& lane : lanes) {
+    RunningSeq& seq = *running_[lane.run_idx];
+    ServingRecord& rec = records_[seq.record];
+    if (lane.is_prefill) {
+      rec.prefill_done = lane.chunk_end;
+      ++stats_.prefill_chunks;
+      if (!lane.completes_prefill) continue;
+      if (rec.request.max_new_tokens == 0) {
+        finish_sequence(seq, now);
+        finished.push_back(lane.run_idx);
+        continue;
+      }
+      rec.state = RequestState::kDecoding;
+    }
+    // Greedy emission, exactly TinyTransformer::generate's rules: an eos
+    // argmax stops without being recorded; max_new_tokens bounds the count.
+    if (lane.token == rec.request.eos) {
+      finish_sequence(seq, now);
+      finished.push_back(lane.run_idx);
+      continue;
+    }
+    rec.generated.push_back(lane.token);
+    rec.token_times_s.push_back(now);
+    if (rec.first_token_time_s < 0) rec.first_token_time_s = now;
+    ++total_generated_;
+    ++emitted_this_step;
+    if (rec.generated.size() >= rec.request.max_new_tokens) {
+      finish_sequence(seq, now);
+      finished.push_back(lane.run_idx);
+    } else {
+      seq.last_token = lane.token;
+    }
+  }
+  std::sort(finished.begin(), finished.end());
+  for (auto it = finished.rbegin(); it != finished.rend(); ++it) {
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(*it));
+  }
+
+  ++stats_.steps;
+  if (!plan.decode.empty()) {
+    decode_time_s_ += now - step_begin;
+    decode_step_tokens_ += emitted_this_step;
+    if (plan.prefill == kNoSequence) {
+      pure_decode_time_s_ += now - step_begin;
+      pure_decode_tokens_ += emitted_this_step;
+    }
+  }
+}
+
+ServingReport ServingEngine::run() {
+  HACK_CHECK(running_.empty(), "run() while an episode is active");
+  run_start_s_ = steady_now_s();
+  stats_ = {};
+  total_generated_ = 0;
+  decode_time_s_ = 0.0;
+  decode_step_tokens_ = 0;
+  pure_decode_time_s_ = 0.0;
+  pure_decode_tokens_ = 0;
+  double last_finish_s = 0.0;
+
+  for (;;) {
+    std::vector<std::size_t> queued;
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      if (records_[i].state == RequestState::kQueued) queued.push_back(i);
+    }
+    if (queued.empty() && running_.empty()) break;
+
+    const double scan_now = now_s();
+    admit_arrivals(queued, scan_now);
+
+    if (running_.empty()) {
+      // A ready request that an idle engine cannot admit is a wedge (e.g. an
+      // external tenant of a shared allocator holding every block), not a
+      // queue: fail loudly instead of spinning. Judged at the admission
+      // scan's own timestamp — a request whose arrival lands between two
+      // clock reads is a race, not a wedge, and the next scan admits it.
+      const double now = scan_now;
+      for (const std::size_t idx : queued) {
+        const ServingRecord& rec = records_[idx];
+        HACK_CHECK(rec.state != RequestState::kQueued ||
+                       rec.request.arrival_time_s > now,
+                   "admission wedged: request " << rec.request.id
+                       << " is due but cannot be admitted into an idle "
+                          "engine");
+      }
+    }
+
+    std::vector<Scheduler::SeqView> views;
+    views.reserve(running_.size());
+    for (const auto& seq : running_) {
+      const ServingRecord& rec = records_[seq->record];
+      views.push_back({rec.state, rec.request.prompt.size(),
+                       rec.prefill_done});
+    }
+    const StepPlan plan = scheduler_.plan(views);
+    if (plan.empty()) {
+      // Nothing runnable: wait for the next arrival (there must be one —
+      // otherwise admission is wedged, e.g. an external allocator tenant
+      // holding every block).
+      double next = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < records_.size(); ++i) {
+        if (records_[i].state == RequestState::kQueued) {
+          next = std::min(next, records_[i].request.arrival_time_s);
+        }
+      }
+      if (next == std::numeric_limits<double>::infinity()) break;  // all done
+      HACK_CHECK(running_.empty(),
+                 "empty plan with sequences in the running batch");
+      const double wait = next - now_s();
+      if (wait > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+      }
+      continue;  // the arrival is due now; the next scan admits it
+    }
+
+    execute_step(plan);
+    for (const auto& rec : records_) {
+      if (rec.done()) last_finish_s = std::max(last_finish_s,
+                                               rec.finish_time_s);
+    }
+  }
+
+  ServingReport report;
+  report.requests = records_;
+  report.makespan_s = last_finish_s;
+  report.total_generated = total_generated_;
+  report.decode_time_s = decode_time_s_;
+  if (last_finish_s > 0.0) {
+    report.tokens_per_s =
+        static_cast<double>(total_generated_) / last_finish_s;
+  }
+  if (decode_time_s_ > 0.0) {
+    report.decode_tokens_per_s =
+        static_cast<double>(decode_step_tokens_) / decode_time_s_;
+  }
+  report.pure_decode_time_s = pure_decode_time_s_;
+  if (pure_decode_time_s_ > 0.0) {
+    report.pure_decode_tokens_per_s =
+        static_cast<double>(pure_decode_tokens_) / pure_decode_time_s_;
+  }
+  std::vector<double> ttft, jct, tbt;
+  std::size_t finished_count = 0;
+  for (const ServingRecord& rec : records_) {
+    if (rec.state != RequestState::kFinished) continue;
+    ++finished_count;
+    if (rec.first_token_time_s >= 0.0) ttft.push_back(rec.ttft_s());
+    jct.push_back(rec.jct_s());
+    const std::vector<double> gaps = rec.tbt_s();
+    tbt.insert(tbt.end(), gaps.begin(), gaps.end());
+  }
+  if (last_finish_s > 0.0) {
+    report.goodput_rps =
+        static_cast<double>(finished_count) / last_finish_s;
+  }
+  // Rollups stay default (count 0) over empty sample sets — a run can
+  // legitimately finish with no tokens (all rejected, or max_new 0) or no
+  // token gaps (single-token outputs).
+  if (!ttft.empty()) report.ttft_s = compute_stats(std::move(ttft));
+  if (!jct.empty()) report.jct_s = compute_stats(std::move(jct));
+  if (!tbt.empty()) report.tbt_s = compute_stats(std::move(tbt));
+  report.engine = stats_;
+  return report;
+}
+
+}  // namespace hack

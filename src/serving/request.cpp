@@ -1,0 +1,55 @@
+#include "serving/request.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "workload/corpus.h"
+
+namespace hack {
+
+const char* request_state_name(RequestState state) {
+  switch (state) {
+    case RequestState::kQueued: return "queued";
+    case RequestState::kPrefill: return "prefill";
+    case RequestState::kDecoding: return "decoding";
+    case RequestState::kFinished: return "finished";
+    case RequestState::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+std::vector<double> ServingRecord::tbt_s() const {
+  std::vector<double> gaps;
+  if (token_times_s.size() < 2) return gaps;
+  gaps.reserve(token_times_s.size() - 1);
+  for (std::size_t i = 1; i < token_times_s.size(); ++i) {
+    gaps.push_back(token_times_s[i] - token_times_s[i - 1]);
+  }
+  return gaps;
+}
+
+std::vector<ServingRequest> requests_from_arrivals(
+    const std::vector<ArrivalRecord>& arrivals, std::size_t vocab,
+    std::uint64_t prompt_seed, std::size_t max_input,
+    std::size_t max_output) {
+  SyntheticCorpus corpus({.vocab = vocab}, prompt_seed);
+  std::vector<ServingRequest> requests;
+  requests.reserve(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const ArrivalRecord& a = arrivals[i];
+    auto clamp_len = [](double sampled, std::size_t cap) {
+      std::size_t n = sampled < 1.0 ? 1 : static_cast<std::size_t>(sampled);
+      if (cap > 0) n = std::min(n, cap);
+      return std::max<std::size_t>(n, 1);
+    };
+    ServingRequest req;
+    req.id = i;
+    req.arrival_time_s = a.time;
+    req.prompt = corpus.prompt(i, clamp_len(a.shape.input_tokens, max_input));
+    req.max_new_tokens = clamp_len(a.shape.output_tokens, max_output);
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+}  // namespace hack

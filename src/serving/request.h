@@ -1,0 +1,80 @@
+// Serving-request lifecycle and per-request metrics.
+//
+// The disaggregated serving loop the paper assumes (§2, §7) is request-
+// granular: requests arrive on an open-loop process, wait for admission,
+// prefill (possibly in bounded chunks so decode steps stay interleaved),
+// decode token by token, and finish. This header defines that lifecycle —
+//
+//   kQueued ──admit──▶ kPrefill ──prompt done──▶ kDecoding ──eos/max──▶ kFinished
+//      └──────────────── never fits the KV pool ────────────────▶ kRejected
+//
+// — plus the timestamps the serving metrics are computed from: TTFT (arrival
+// to first generated token), TBT (gaps between consecutive tokens), and JCT
+// (arrival to finish). The continuous-batching engine (serving/engine.h)
+// owns a ServingRecord per submitted request and stamps it as the request
+// moves through the states.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/arrivals.h"
+
+namespace hack {
+
+enum class RequestState {
+  kQueued,    // submitted, waiting for admission into the running batch
+  kPrefill,   // admitted; prompt ingested in bounded chunks
+  kDecoding,  // prompt done; generating one token per engine step
+  kFinished,  // hit eos or max_new_tokens
+  kRejected,  // can never fit the KV block pool; terminal, zero tokens
+};
+
+const char* request_state_name(RequestState state);
+
+// What a client submits.
+struct ServingRequest {
+  std::uint64_t id = 0;
+  std::vector<int> prompt;
+  std::size_t max_new_tokens = 0;
+  int eos = -1;               // stop token (< 0: none)
+  double arrival_time_s = 0.0;  // engine-clock instant the request appears
+};
+
+// Engine-side progress + measured lifecycle of one request. Timestamps are
+// engine-clock seconds (run() start = 0); -1 marks "not yet".
+struct ServingRecord {
+  ServingRequest request;
+  RequestState state = RequestState::kQueued;
+
+  std::size_t prefill_done = 0;      // prompt rows already through the stack
+  std::vector<int> generated;        // tokens emitted so far (prompt excluded)
+
+  double admit_time_s = -1.0;        // entered the running batch
+  double first_token_time_s = -1.0;
+  double finish_time_s = -1.0;
+  std::vector<double> token_times_s;  // one stamp per generated token
+
+  std::size_t kv_blocks = 0;         // blocks reserved for this request
+
+  bool done() const {
+    return state == RequestState::kFinished ||
+           state == RequestState::kRejected;
+  }
+  double ttft_s() const { return first_token_time_s - request.arrival_time_s; }
+  double jct_s() const { return finish_time_s - request.arrival_time_s; }
+  // Gaps between consecutive generated tokens (empty below two tokens).
+  std::vector<double> tbt_s() const;
+};
+
+// Turns an arrival process (workload/arrivals.h: open-loop Poisson, or a
+// replayed trace) into engine-ready requests: prompt tokens drawn from the
+// synthetic corpus, lengths from the arrival's sampled shape. `max_output`
+// caps output lengths (0 = no cap) so bench runs stay bounded; prompts are
+// clamped to [1, max_input] the same way when max_input > 0.
+std::vector<ServingRequest> requests_from_arrivals(
+    const std::vector<ArrivalRecord>& arrivals, std::size_t vocab,
+    std::uint64_t prompt_seed, std::size_t max_input = 0,
+    std::size_t max_output = 0);
+
+}  // namespace hack

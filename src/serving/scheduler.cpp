@@ -1,0 +1,76 @@
+#include "serving/scheduler.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace hack {
+
+Scheduler::Scheduler(const SchedulerConfig& config) : config_(config) {
+  HACK_CHECK(config.max_active > 0, "scheduler needs at least one slot");
+  HACK_CHECK(config.prefill_chunk_tokens > 0, "prefill chunk must be > 0");
+  HACK_CHECK(config.block_tokens > 0, "block_tokens must be > 0");
+}
+
+std::size_t Scheduler::chunk_end(std::size_t begin,
+                                 std::size_t prompt_len) const {
+  HACK_CHECK(begin < prompt_len, "chunk past the prompt");
+  std::size_t take = std::min(config_.prefill_chunk_tokens,
+                              prompt_len - begin);
+  if (take < prompt_len - begin) {
+    // Mid-prompt chunk: never a single row (the flat decode kernel would
+    // take it; whole-prompt prefill runs every row through the streaming
+    // kernel)...
+    take = std::max<std::size_t>(take, 2);
+    // ...and never leave a single trailing row behind — absorb it.
+    if (prompt_len - begin - take == 1) take = prompt_len - begin;
+  }
+  return begin + take;
+}
+
+StepPlan Scheduler::plan(std::span<const SeqView> running) const {
+  StepPlan plan;
+  for (std::size_t i = 0; i < running.size(); ++i) {
+    const SeqView& seq = running[i];
+    switch (seq.state) {
+      case RequestState::kDecoding:
+        plan.decode.push_back(i);
+        break;
+      case RequestState::kPrefill:
+        if (plan.prefill == kNoSequence) {
+          plan.prefill = i;
+          plan.prefill_begin = seq.prefill_done;
+          plan.prefill_end = chunk_end(seq.prefill_done, seq.prompt_len);
+        }
+        break;
+      default:
+        HACK_CHECK(false, "sequence " << i << " in the running batch is "
+                                      << request_state_name(seq.state));
+    }
+  }
+  return plan;
+}
+
+std::size_t Scheduler::blocks_needed(const ServingRequest& request) const {
+  const std::size_t tokens = request.prompt.size() + request.max_new_tokens;
+  return (tokens + config_.block_tokens - 1) / config_.block_tokens;
+}
+
+bool Scheduler::can_admit(const ServingRequest& request,
+                          std::size_t running_count,
+                          const BlockAllocator* allocator) const {
+  if (running_count >= config_.max_active) return false;
+  if (allocator == nullptr) return true;
+  const std::size_t need = blocks_needed(request);
+  return allocator->can_allocate(need) &&
+         allocator->blocks_free() - need >= config_.free_block_floor;
+}
+
+bool Scheduler::can_ever_admit(const ServingRequest& request,
+                               const BlockAllocator* allocator) const {
+  if (allocator == nullptr) return true;
+  const std::size_t need = blocks_needed(request);
+  return need + config_.free_block_floor <= allocator->num_blocks();
+}
+
+}  // namespace hack

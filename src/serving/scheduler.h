@@ -1,0 +1,103 @@
+// Iteration-level scheduler for the continuous-batching engine.
+//
+// Continuous batching (Orca-style, the policy FlowKV/KVServe assume under
+// their disaggregated codecs) schedules work per model iteration, not per
+// request: every engine step carries the single-token decode rows of all
+// running sequences plus at most one bounded chunk of one prefilling
+// sequence's prompt. Decodes never wait for a whole prompt to clear
+// (bounded TBT), and the prefill chunk keeps new sequences flowing in
+// (bounded TTFT) without monopolizing a step.
+//
+// The scheduler is deliberately pure: given views of the running sequences
+// it returns a StepPlan, and given a request it answers admission-control
+// questions against the KV block pool (free-block watermark in
+// kvcache/block_allocator.h). The engine owns the clock, the sessions, and
+// the mutation.
+//
+// Chunk policy: prompts are ingested in chunks of at most
+// `prefill_chunk_tokens` rows, with two determinism-preserving rules —
+// a chunk of a multi-token prompt is never a single row, and a chunk never
+// leaves a single trailing row for the next step (it absorbs it instead).
+// Single-row launches take the attention engine's flat decode kernel, whose
+// float path differs from the streaming prefill kernel; the rules keep every
+// prompt row of a chunked prefill on the same kernel a whole-prompt prefill
+// would use, which is what makes chunked generation bit-identical to
+// `generate()` under deterministic rounding (docs/serving.md).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "kvcache/block_allocator.h"
+#include "serving/request.h"
+
+namespace hack {
+
+struct SchedulerConfig {
+  // Max sequences holding KV concurrently (admitted but unfinished).
+  std::size_t max_active = 8;
+  // Per-step cap on prompt rows ingested (one sequence's chunk); the policy
+  // above may stretch a chunk by one row to avoid a 1-row remainder.
+  std::size_t prefill_chunk_tokens = 128;
+  // KV accounting granularity: tokens per block when reserving from the
+  // allocator. One sequence's worst case is ceil((prompt + max_new) /
+  // block_tokens) blocks.
+  std::size_t block_tokens = 16;
+  // Admission keeps at least this many blocks free after a reservation —
+  // headroom the engine never hands out (e.g. for bursts on a shared pool).
+  std::size_t free_block_floor = 0;
+};
+
+inline constexpr std::size_t kNoSequence = static_cast<std::size_t>(-1);
+
+// One engine iteration's work assignment, as indices into the engine's
+// running-sequence list.
+struct StepPlan {
+  std::vector<std::size_t> decode;       // sequences decoding one token
+  std::size_t prefill = kNoSequence;     // sequence getting a prompt chunk
+  std::size_t prefill_begin = 0;         // prompt row range [begin, end)
+  std::size_t prefill_end = 0;
+  bool empty() const { return decode.empty() && prefill == kNoSequence; }
+};
+
+class Scheduler {
+ public:
+  // What the scheduler needs to know about one running sequence.
+  struct SeqView {
+    RequestState state = RequestState::kQueued;
+    std::size_t prompt_len = 0;
+    std::size_t prefill_done = 0;
+  };
+
+  explicit Scheduler(const SchedulerConfig& config);
+
+  const SchedulerConfig& config() const { return config_; }
+
+  // Plans one iteration over the running sequences (engine order): every
+  // kDecoding sequence decodes; the first kPrefill sequence gets the next
+  // chunk of its prompt.
+  StepPlan plan(std::span<const SeqView> running) const;
+
+  // The next chunk [begin, end) of a prompt, honoring the chunk policy.
+  std::size_t chunk_end(std::size_t begin, std::size_t prompt_len) const;
+
+  // Worst-case KV block reservation for a request.
+  std::size_t blocks_needed(const ServingRequest& request) const;
+
+  // Whether a request may be admitted now: a running-batch slot is open and
+  // the reservation fits without dipping below the free-block floor.
+  // `allocator` may be null (no KV accounting — admission is slots-only).
+  bool can_admit(const ServingRequest& request, std::size_t running_count,
+                 const BlockAllocator* allocator) const;
+
+  // Whether a request could EVER be admitted (fits an empty pool). False
+  // means reject outright rather than queue forever.
+  bool can_ever_admit(const ServingRequest& request,
+                      const BlockAllocator* allocator) const;
+
+ private:
+  SchedulerConfig config_;
+};
+
+}  // namespace hack

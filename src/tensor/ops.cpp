@@ -3,7 +3,34 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/thread_pool.h"
+
 namespace hack {
+namespace {
+
+// MAC count above which a dense matmul fans its output rows out over the
+// shared pool. Every output row is computed by the same serial inner code
+// whatever the row partitioning, so the threaded result is bit-identical to
+// the serial one; below the threshold the dispatch overhead dominates (and
+// single-row products — the decode path — never split).
+inline constexpr std::size_t kParallelMatmulMinMacs = std::size_t{1} << 21;
+
+// Runs fn(i) for every output row, pool-parallel when the product is large
+// enough. Nested calls (e.g. from a per-sequence serving-engine task) run
+// inline on the caller via the pool's re-entrancy guard.
+void for_each_row(std::size_t m, std::size_t macs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (m <= 1 || macs < kParallelMatmulMinMacs) {
+    for (std::size_t i = 0; i < m; ++i) fn(i);
+    return;
+  }
+  ThreadPool::global().parallel_for(
+      m, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      });
+}
+
+}  // namespace
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
   HACK_CHECK(a.cols() == b.rows(), "matmul shape mismatch: " << a.rows() << "x"
@@ -12,7 +39,7 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   const std::size_t m = a.rows(), z = a.cols(), n = b.cols();
   Matrix c(m, n);
   // ikj loop order keeps the B row contiguous in the inner loop.
-  for (std::size_t i = 0; i < m; ++i) {
+  for_each_row(m, m * z * n, [&](std::size_t i) {
     for (std::size_t k = 0; k < z; ++k) {
       const float aik = a(i, k);
       if (aik == 0.0f) continue;
@@ -20,7 +47,7 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
         c(i, j) += aik * b(k, j);
       }
     }
-  }
+  });
   return c;
 }
 
@@ -29,7 +56,7 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
                                    << a.cols() << " vs " << b.cols());
   const std::size_t m = a.rows(), z = a.cols(), n = b.rows();
   Matrix c(m, n);
-  for (std::size_t i = 0; i < m; ++i) {
+  for_each_row(m, m * z * n, [&](std::size_t i) {
     for (std::size_t j = 0; j < n; ++j) {
       float acc = 0.0f;
       for (std::size_t k = 0; k < z; ++k) {
@@ -37,7 +64,7 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
       }
       c(i, j) = acc;
     }
-  }
+  });
   return c;
 }
 

@@ -5,10 +5,14 @@
 
 namespace hack {
 
-// C = A * B. A is MxZ, B is ZxN.
+// C = A * B. A is MxZ, B is ZxN. Large products (>= ~2M MACs, M >= 2) fan
+// their output rows out over the shared ThreadPool; each row runs the same
+// serial inner loop, so results are bit-identical to the serial path for any
+// pool size (single-row decode GEMVs never split).
 Matrix matmul(const Matrix& a, const Matrix& b);
 
 // C = A * B^T. A is MxZ, B is NxZ. Attention computes Q K^T in this form.
+// Row-parallel above the same threshold as matmul, same bit-identity.
 Matrix matmul_nt(const Matrix& a, const Matrix& b);
 
 Matrix transpose(const Matrix& a);

@@ -74,6 +74,33 @@ TEST(BlockAllocator, MisuseThrows) {
   EXPECT_THROW(alloc.release(a), CheckError);     // double free
 }
 
+TEST(BlockAllocator, WatermarkTracksMinimumFree) {
+  BlockAllocator alloc(4, 64);
+  EXPECT_EQ(alloc.min_free_watermark(), 4u);
+  const BlockId a = alloc.allocate();
+  const BlockId b = alloc.allocate();
+  const BlockId c = alloc.allocate();
+  EXPECT_EQ(alloc.min_free_watermark(), 1u);
+  alloc.release(a);
+  alloc.release(b);
+  alloc.release(c);
+  // Releases never raise the watermark back up.
+  EXPECT_EQ(alloc.min_free_watermark(), 1u);
+  (void)alloc.allocate();
+  EXPECT_EQ(alloc.min_free_watermark(), 1u);
+}
+
+TEST(BlockAllocator, FailedAllocationsAccumulate) {
+  BlockAllocator alloc(2, 64);
+  EXPECT_EQ(alloc.failed_allocations(), 0u);
+  (void)alloc.allocate();
+  (void)alloc.allocate();
+  EXPECT_EQ(alloc.allocate(), kInvalidBlock);
+  EXPECT_EQ(alloc.allocate(), kInvalidBlock);
+  EXPECT_EQ(alloc.failed_allocations(), 2u);
+  EXPECT_EQ(alloc.min_free_watermark(), 0u);
+}
+
 TEST(BlockAllocator, CanAllocatePredicate) {
   BlockAllocator alloc(3, 64);
   EXPECT_TRUE(alloc.can_allocate(3));

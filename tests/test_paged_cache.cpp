@@ -64,6 +64,52 @@ TEST(PagedKvCache, AppendFailsAtomicallyWhenFull) {
   EXPECT_FALSE(f.cache.append(1, tokens(1, 15), tokens(1, 16)));
   EXPECT_EQ(f.cache.tokens(1), 8u);         // rolled back
   EXPECT_EQ(f.alloc.blocks_free(), 0u);
+  EXPECT_EQ(f.cache.oom_appends(), 1u);
+}
+
+TEST(PagedKvCache, OomCounterAndDataSurviveRefusal) {
+  CacheFixture f(/*blocks=*/3);
+  const Matrix k = tokens(10, 40), v = tokens(10, 41);
+  ASSERT_TRUE(f.cache.append(1, k, v));  // 3 blocks, pool exhausted
+  // Repeated refusals accumulate and never disturb the stored sequence.
+  EXPECT_FALSE(f.cache.append(1, tokens(4, 42), tokens(4, 43)));
+  EXPECT_FALSE(f.cache.append(2, tokens(1, 44), tokens(1, 45)));
+  EXPECT_EQ(f.cache.oom_appends(), 2u);
+  EXPECT_FALSE(f.cache.has_sequence(2));  // refused fresh sequence left no table
+  Matrix k16 = k;
+  k16.round_to_fp16();
+  EXPECT_EQ(max_abs_diff(f.cache.gather_k(1), k16), 0.0f);
+  // A fitting append still succeeds afterwards (2 free slots in block 3).
+  ASSERT_TRUE(f.cache.append(1, tokens(2, 46), tokens(2, 47)));
+  EXPECT_EQ(f.cache.tokens(1), 12u);
+  EXPECT_EQ(f.alloc.failed_allocations(), 0u);  // preflight, never mid-write
+}
+
+TEST(PagedKvCache, CowAwarePreflightRefusesCleanly) {
+  // A forked sequence appending into a shared ragged block needs a CoW copy;
+  // with zero free blocks the preflight must refuse instead of crashing
+  // mid-write, leaving both sequences intact.
+  CacheFixture f(/*blocks=*/2);
+  const Matrix k = tokens(6, 50), v = tokens(6, 51);
+  ASSERT_TRUE(f.cache.append(1, k, v));  // 2 blocks (6 tokens over 4/block)
+  f.cache.fork(1, 2);
+  ASSERT_EQ(f.alloc.blocks_free(), 0u);
+  EXPECT_FALSE(f.cache.append(2, tokens(1, 52), tokens(1, 53)));
+  EXPECT_EQ(f.cache.oom_appends(), 1u);
+  EXPECT_EQ(f.cache.tokens(2), 6u);
+  EXPECT_EQ(f.cache.cow_copies(), 0u);  // nothing was copied
+  Matrix k16 = k;
+  k16.round_to_fp16();
+  EXPECT_EQ(max_abs_diff(f.cache.gather_k(1), k16), 0.0f);
+  EXPECT_EQ(max_abs_diff(f.cache.gather_k(2), k16), 0.0f);
+}
+
+TEST(PagedKvCache, CowCopiesCounted) {
+  CacheFixture f;
+  ASSERT_TRUE(f.cache.append(1, tokens(6, 54), tokens(6, 55)));
+  f.cache.fork(1, 2);
+  ASSERT_TRUE(f.cache.append(2, tokens(1, 56), tokens(1, 57)));
+  EXPECT_EQ(f.cache.cow_copies(), 1u);  // the shared ragged block was copied
 }
 
 TEST(PagedKvCache, ForkSharesBlocksCopyOnWrite) {

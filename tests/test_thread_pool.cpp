@@ -134,6 +134,82 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
   }
 }
 
+TEST(ThreadPool, CurrentReportsParallelRegion) {
+  ThreadPool pool(2);
+  EXPECT_EQ(ThreadPool::current(), nullptr);
+  EXPECT_FALSE(pool.in_parallel_region());
+  std::atomic<int> inside{0}, outside{0};
+  pool.parallel_for(32, 8, [&](std::size_t, std::size_t) {
+    (pool.in_parallel_region() ? inside : outside).fetch_add(1);
+  });
+  EXPECT_GT(inside.load(), 0);
+  EXPECT_EQ(outside.load(), 0);
+  EXPECT_EQ(ThreadPool::current(), nullptr);  // cleared after the dispatch
+}
+
+TEST(ThreadPool, DeepNestedParallelForTerminates) {
+  // Scheduler-driven launches can nest three levels deep (engine step task →
+  // matmul → quantize slice); every level must fall back to inline execution
+  // with exact coverage instead of deadlocking the shared pool.
+  ThreadPool pool(3);
+  constexpr std::size_t kA = 8, kB = 4, kC = 4;
+  std::vector<std::atomic<int>> visits(kA * kB * kC);
+  pool.parallel_for(kA, 4, [&](std::size_t ab, std::size_t ae) {
+    for (std::size_t a = ab; a < ae; ++a) {
+      EXPECT_TRUE(pool.in_parallel_region());
+      pool.parallel_for(kB, 2, [&, a](std::size_t bb, std::size_t be) {
+        for (std::size_t b = bb; b < be; ++b) {
+          pool.parallel_for(kC, 2, [&, a, b](std::size_t cb, std::size_t ce) {
+            for (std::size_t c = cb; c < ce; ++c) {
+              visits[(a * kB + b) * kC + c].fetch_add(1);
+            }
+          });
+        }
+      });
+    }
+  });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesThroughOuterLoop) {
+  // An exception thrown inside a nested (inline) parallel_for surfaces from
+  // the nested call, crosses the outer chunk boundary, and reaches the
+  // outermost caller; the pool keeps working afterwards.
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(16, 4,
+                        [&](std::size_t begin, std::size_t) {
+                          pool.parallel_for(
+                              8, 2, [&](std::size_t ib, std::size_t) {
+                                if (begin >= 8 && ib >= 4) {
+                                  throw std::runtime_error("nested boom");
+                                }
+                              });
+                        }),
+      std::runtime_error);
+  expect_full_coverage(pool, 64, 8);
+}
+
+TEST(ThreadPool, NestedOnGlobalPoolFromEngineStyleTasks) {
+  // The serving engine's shape: per-sequence tasks on the global pool whose
+  // bodies call library kernels that re-enter global().parallel_for. Total
+  // work must be exact and the dispatch must terminate.
+  ThreadPool& pool = ThreadPool::global();
+  std::atomic<long long> total{0};
+  pool.parallel_for(6, 6, [&](std::size_t sb, std::size_t se) {
+    for (std::size_t s = sb; s < se; ++s) {
+      pool.parallel_for(1000, 0, [&](std::size_t b, std::size_t e) {
+        long long local = 0;
+        for (std::size_t i = b; i < e; ++i) local += static_cast<long long>(i);
+        total.fetch_add(local);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 6LL * (999LL * 1000LL / 2));
+}
+
 TEST(ThreadPool, BackToBackBatches) {
   ThreadPool pool(4);
   for (int round = 0; round < 50; ++round) {
