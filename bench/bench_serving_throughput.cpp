@@ -43,13 +43,26 @@
 //   {"bench":"serving_continuous_speedup","decode_speedup":...,
 //    "jct_p50_speedup":...}
 //
-// Usage: bench_serving_throughput [--quick] [--long|--continuous]
+// `--disagg` runs the disaggregated prefill→decode split (serving/disagg.h)
+// instead, once per KV bit-width {2,4,8}: every request prefills on one
+// worker, ships its serialized KV wire blob (kvcache/kv_wire.h) over the
+// netsim NCCL-style link, and decodes on the other — with the decode tokens
+// checked bit-for-bit against a solo single-node run. One JSON line per
+// bit-width with the measured wire bytes by section and the handoff timing:
+//
+//   {"bench":"serving_disagg","kv_bits":2,"requests":4,...,
+//    "wire_bytes_total":...,"fp16_kv_bytes_total":...,"wire_vs_fp16":...,
+//    "wire_codes_bytes":...,"wire_metadata_bytes":...,"wire_sums_bytes":...,
+//    "wire_tail_bytes":...,"transfer_ms_mean":...,"ttft_p50_s":...,
+//    "bit_identical":true}
+//
+// Usage: bench_serving_throughput [--quick] [--long|--continuous|--disagg]
 //          [--context=1024,4096] [--threads=1,2,4] [--heads=32] [--kv-heads=8]
 //          [--requests=8] [--input=128] [--output=32] [--layers=2]
 //          [--arrival=poisson:<rps>|trace:<file>] [--max-active=8]
 //          [--chunk=128] [--kv-blocks=0]
 //   --quick shrinks to context 512 / threads {1,2} (or input 48 / output 12
-//   in --continuous mode) for CI smoke runs.
+//   in --continuous and --disagg modes) for CI smoke runs.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -68,6 +81,7 @@
 #include "base/thread_pool.h"
 #include "metrics/stats.h"
 #include "model/tiny_transformer.h"
+#include "serving/disagg.h"
 #include "serving/engine.h"
 #include "tensor/ops.h"
 #include "workload/trace.h"
@@ -521,6 +535,93 @@ void run_continuous_mode(const Shape& shape, const ContOptions& o) {
   std::fflush(stdout);
 }
 
+// ------------------------------------------------ disaggregated handoff mode
+
+void run_disagg_mode(const Shape& shape, const ContOptions& o) {
+  TinyConfig cfg;
+  cfg.vocab = 256;
+  cfg.layers = o.layers;
+  cfg.heads = shape.heads;
+  cfg.kv_heads = shape.kv_heads;
+  cfg.d_head = shape.d_head;
+  cfg.d_ff = 512;
+  const auto weights = make_tiny_weights(cfg);
+  const auto requests = make_continuous_requests(o);
+
+  std::printf("disaggregated prefill→decode: %zu requests (%s), %zuQ/%zuKV "
+              "d_head %zu, %zu layers, pool lanes %zu\n",
+              o.requests, o.arrival.c_str(), shape.heads, shape.kv_heads,
+              shape.d_head, o.layers, ThreadPool::global().lanes());
+
+  for (const int kv_bits : {2, 4, 8}) {
+    DisaggConfig dc;
+    dc.attn.pi = shape.pi;
+    dc.attn.kv_bits = kv_bits;
+    dc.decode_kv_blocks = o.kv_blocks;
+    DisaggEngine engine(weights, dc);
+    const DisaggReport report = engine.run(requests);
+
+    // The property the wire exists for: every admitted request's decode-side
+    // tokens equal its solo single-node run. Requests the decode pool
+    // rejected are a capacity event, not a correctness one — they are
+    // counted separately and excluded from the byte/time aggregates (like
+    // report.wire_bytes_total already excludes them).
+    bool bit_identical = true;
+    std::size_t rejected = 0;
+    KvWireSections sections;
+    double prefill_s = 0.0, serialize_s = 0.0, transfer_s = 0.0,
+           deserialize_s = 0.0, decode_s = 0.0;
+    for (const DisaggRecord& rec : report.requests) {
+      if (rec.rejected) {
+        ++rejected;
+        continue;
+      }
+      TinyTransformer solo(
+          weights, make_hack_layer_backend(dc.attn, dc.backend_seed));
+      if (solo.generate(rec.request.prompt, rec.request.max_new_tokens,
+                        rec.request.eos) != rec.generated) {
+        bit_identical = false;
+      }
+      sections.framing += rec.sections.framing;
+      sections.rng_streams += rec.sections.rng_streams;
+      sections.packed_codes += rec.sections.packed_codes;
+      sections.metadata += rec.sections.metadata;
+      sections.sums += rec.sections.sums;
+      sections.fp16_tail += rec.sections.fp16_tail;
+      prefill_s += rec.prefill_s;
+      serialize_s += rec.serialize_s;
+      transfer_s += rec.transfer_s;
+      deserialize_s += rec.deserialize_s;
+      decode_s += rec.decode_s;
+    }
+    const double n =
+        std::max<double>(1.0, static_cast<double>(report.requests.size() -
+                                                  rejected));
+    std::printf(
+        "{\"bench\":\"serving_disagg\",\"kv_bits\":%d,\"requests\":%zu,"
+        "\"heads\":%zu,\"kv_heads\":%zu,\"d_head\":%zu,\"pi\":%zu,"
+        "\"layers\":%zu,\"input_mean\":%zu,\"output_mean\":%zu,\"lanes\":%zu,"
+        "\"wire_bytes_total\":%zu,\"fp16_kv_bytes_total\":%zu,"
+        "\"wire_vs_fp16\":%.4f,\"wire_codes_bytes\":%zu,"
+        "\"wire_metadata_bytes\":%zu,\"wire_sums_bytes\":%zu,"
+        "\"wire_tail_bytes\":%zu,\"prefill_s_mean\":%.3f,"
+        "\"serialize_s_mean\":%.4f,\"transfer_ms_mean\":%.3f,"
+        "\"deserialize_s_mean\":%.4f,\"decode_s_mean\":%.3f,"
+        "\"ttft_p50_s\":%.4f,\"ttft_p99_s\":%.4f,\"jct_p50_s\":%.4f,"
+        "\"makespan_s\":%.3f,\"rejected\":%zu,\"bit_identical\":%s}\n",
+        kv_bits, o.requests, shape.heads, shape.kv_heads, shape.d_head,
+        shape.pi, o.layers, o.input, o.output,
+        ThreadPool::global().lanes(), report.wire_bytes_total,
+        report.fp16_kv_bytes_total, report.wire_vs_fp16,
+        sections.packed_codes, sections.metadata, sections.sums,
+        sections.fp16_tail, prefill_s / n, serialize_s / n,
+        1000.0 * transfer_s / n, deserialize_s / n, decode_s / n,
+        report.ttft_s.p50, report.ttft_s.p99, report.jct_s.p50,
+        report.makespan_s, rejected, bit_identical ? "true" : "false");
+    std::fflush(stdout);
+  }
+}
+
 std::vector<std::size_t> parse_size_list(const char* s) {
   std::vector<std::size_t> out;
   for (const char* p = s; *p != '\0';) {
@@ -541,6 +642,7 @@ int main(int argc, char** argv) {
   std::vector<int> thread_legs = {1, 2, 4};
   bool long_sweep = false;
   bool continuous = false;
+  bool disagg = false;
   ContOptions cont;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -555,6 +657,8 @@ int main(int argc, char** argv) {
       long_sweep = true;
     } else if (arg == "--continuous") {
       continuous = true;
+    } else if (arg == "--disagg") {
+      disagg = true;
     } else if (arg.rfind("--requests=", 0) == 0) {
       cont.requests = std::strtoul(arg.c_str() + 11, nullptr, 10);
     } else if (arg.rfind("--input=", 0) == 0) {
@@ -597,12 +701,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (continuous) {
+  if (continuous || disagg) {
     if (cont.requests == 0 || cont.output == 0) {
       std::fprintf(stderr, "--requests and --output must be positive\n");
       return 1;
     }
-    run_continuous_mode(shape, cont);
+    if (disagg) {
+      run_disagg_mode(shape, cont);
+    } else {
+      run_continuous_mode(shape, cont);
+    }
     return 0;
   }
 

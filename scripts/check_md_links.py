@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's markdown files resolve.
+
+Scans README.md, docs/*.md, and the other top-level .md files for inline
+markdown links `[text](target)`, skips external schemes (http/https/mailto)
+and pure in-page anchors, and verifies every relative target exists on disk
+(anchors are stripped before the check). Exits non-zero listing the broken
+links, so CI fails when a doc rename orphans a cross-reference.
+
+Usage: python3 scripts/check_md_links.py [repo_root]
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(root):
+    for name in sorted(os.listdir(root)):
+        if name.endswith(".md"):
+            yield os.path.join(root, name)
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                yield os.path.join(docs, name)
+
+
+def check(root):
+    broken = []
+    checked = 0
+    for path in markdown_files(root):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK_RE.findall(text):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            checked += 1
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target.split("#", 1)[0])
+            )
+            if not os.path.exists(resolved):
+                broken.append((os.path.relpath(path, root), target))
+    for path, target in broken:
+        print(f"BROKEN: {path} -> {target}")
+    print(f"{checked} relative links checked, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(sys.argv[1] if len(sys.argv) > 1 else os.getcwd()))

@@ -199,6 +199,55 @@ QuantizedMatrix HackKvState::v_quantized_all() const {
   return v_all;
 }
 
+void HackKvState::restore(std::size_t tokens, QuantizedMatrix k,
+                          SumCache k_sums, QuantizedMatrix v_q,
+                          SumCache v_sums, Matrix v_tail_fp16,
+                          QuantizedMatrix v_tail_q, bool v_tail_q_present) {
+  HACK_CHECK(tokens > 0, "restoring an empty state");
+  HACK_CHECK(k.rows == tokens && k.cols == d_head_ &&
+                 k.axis == QuantAxis::kRow && k.bits == config_.kv_bits &&
+                 k.pi == config_.pi,
+             "restored K section does not match this state's geometry");
+  HACK_CHECK(k_sums.outer() == k.outer() && k_sums.groups() == k.group_count(),
+             "restored K sums do not match the K section");
+  const std::size_t v_q_rows = v_q.codes.empty() ? 0 : v_q.rows;
+  if (v_q_rows > 0) {
+    HACK_CHECK(v_q.cols == d_head_ && v_q.axis == QuantAxis::kCol &&
+                   v_q.bits == config_.kv_bits && v_q.pi == config_.pi &&
+                   v_q.rows % config_.pi == 0,
+               "restored V section does not match this state's geometry");
+    HACK_CHECK(v_sums.outer() == v_q.outer() &&
+                   v_sums.groups() == v_q.group_count(),
+               "restored V sums do not match the V section");
+  }
+  const std::size_t tail_rows =
+      config_.requant_elimination
+          ? v_tail_fp16.rows()
+          : (v_tail_q_present ? v_tail_q.rows : 0);
+  HACK_CHECK(v_q_rows + tail_rows == tokens,
+             "restored V rows " << v_q_rows << "+" << tail_rows
+                                << " do not cover " << tokens << " tokens");
+  if (config_.requant_elimination) {
+    HACK_CHECK(!v_tail_q_present,
+               "RQE-on state cannot carry a requantized tail");
+    HACK_CHECK(v_tail_fp16.empty() || v_tail_fp16.cols() == d_head_,
+               "restored FP16 tail width mismatch");
+  } else {
+    HACK_CHECK(v_tail_fp16.empty(), "RQE-off state cannot carry an FP16 tail");
+  }
+
+  tokens_ = tokens;
+  k_ = std::move(k);
+  k_sums_ = std::move(k_sums);
+  k_init_ = true;
+  v_q_ = std::move(v_q);
+  v_sums_ = std::move(v_sums);
+  v_init_ = v_q_rows > 0;
+  v_tail_fp16_ = std::move(v_tail_fp16);
+  v_tail_q_ = std::move(v_tail_q);
+  v_tail_q_init_ = v_tail_q_present;
+}
+
 Matrix hack_attention(const Matrix& q, HackKvState& state,
                       const AttentionOptions& options, Rng& rng,
                       HackAttnStats* stats) {

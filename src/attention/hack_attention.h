@@ -83,6 +83,7 @@ class HackKvState {
   std::size_t wire_bytes() const;        // what prefill transmits to decode
 
   // Read access for tests and the batched attention engine.
+  bool k_ready() const { return k_init_; }
   const QuantizedMatrix& k() const { return k_; }
   const QuantizedMatrix& v_quantized() const { return v_q_; }
   const Matrix& v_tail_fp16() const { return v_tail_fp16_; }
@@ -97,6 +98,16 @@ class HackKvState {
   // whole-group invariant of append_inner_groups, so the splice is done here:
   // codes are row-contiguous, metadata gains one group.
   QuantizedMatrix v_quantized_all() const;
+
+  // Replaces the state's contents with rehydrated wire-format sections
+  // (kvcache/kv_wire.h) — the decode-instance half of the disaggregated
+  // handoff. The codes, metadata, SE sums, and FP16 tail land exactly as the
+  // prefill instance shipped them; no value is requantized. Shapes are
+  // validated against this state's config. `v_tail_q_present` distinguishes
+  // an absent RQE-off tail from an empty one (tokens a multiple of Π).
+  void restore(std::size_t tokens, QuantizedMatrix k, SumCache k_sums,
+               QuantizedMatrix v_q, SumCache v_sums, Matrix v_tail_fp16,
+               QuantizedMatrix v_tail_q, bool v_tail_q_present);
 
  private:
   // RQE-off path: folds `rows` new V rows into the ragged quantized tail by

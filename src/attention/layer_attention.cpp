@@ -823,6 +823,18 @@ HackKvState& HackLayerKvState::head_state_mut(std::size_t kv_head) {
   return states_[kv_head];
 }
 
+const Rng& HackLayerKvState::head_rng(std::size_t kv_head) const {
+  HACK_CHECK(kv_head < kv_heads_, "kv head " << kv_head << " out of "
+                                             << kv_heads_);
+  return rngs_[kv_head];
+}
+
+void HackLayerKvState::set_head_rng(std::size_t kv_head, const Rng& rng) {
+  HACK_CHECK(kv_head < kv_heads_, "kv head " << kv_head << " out of "
+                                             << kv_heads_);
+  rngs_[kv_head] = rng;
+}
+
 // --------------------------------------------------------- multi-seq batch
 
 void MultiAttendBatch::add(HackLayerKvState& state, const Matrix& q_all,

@@ -147,6 +147,13 @@ class HackLayerKvState {
   // Mutable per-KV-head access for the multi-sequence attention batch.
   HackKvState& head_state_mut(std::size_t kv_head);
 
+  // KV head h's master RNG stream. The KV wire format ships its raw state so
+  // a rehydrated decode instance draws the exact sequence the prefill
+  // instance would have drawn next — what makes the handoff bit-identical
+  // under stochastic rounding.
+  const Rng& head_rng(std::size_t kv_head) const;
+  void set_head_rng(std::size_t kv_head, const Rng& rng);
+
   // Forks the Q/P quantizer sub-streams exactly as one attend() call would:
   // query-head order within each KV head, two forks per query head. The
   // multi-sequence batch calls this once per staged attend, so a sequence's

@@ -84,6 +84,12 @@ Rng Rng::fork() {
   return Rng(next_u64());
 }
 
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) {
+  HACK_CHECK(state[0] != 0 || state[1] != 0 || state[2] != 0 || state[3] != 0,
+             "all-zero xoshiro256** state is a fixed point");
+  state_ = state;
+}
+
 std::int64_t stochastic_round(double x, Rng& rng) {
   const double lo = std::floor(x);
   const double frac = x - lo;

@@ -39,6 +39,12 @@ class Rng {
   // because the child is seeded from a full 64-bit draw.
   Rng fork();
 
+  // Raw xoshiro256** state words. The KV wire format (kvcache/kv_wire.h)
+  // ships these so a rehydrated decode instance resumes every stochastic
+  // stream exactly where the prefill instance left it.
+  std::array<std::uint64_t, 4> state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state);
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

@@ -6,6 +6,11 @@
 // prompts). Decode replicas run batched iterations: every iteration all
 // resident requests advance one token; iteration time is the shared weight
 // stream plus each request's marginal KV/dequant/approx/compute cost.
+//
+// These analytical replicas model whole fleets; the *real* engine's
+// prefill/decode split lives in serving/disagg.h, which reuses the same Nic
+// model so the simulator's and the real engine's KV transfers are timed by
+// one link abstraction.
 #pragma once
 
 #include <cstdint>

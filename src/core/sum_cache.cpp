@@ -35,6 +35,21 @@ SumCache SumCache::build(const QuantizedMatrix& q) {
   return cache;
 }
 
+SumCache SumCache::from_parts(std::size_t outer, std::size_t groups,
+                              std::vector<std::int32_t> sums) {
+  HACK_CHECK(sums.size() == outer * groups,
+             "sum count " << sums.size() << " != " << outer << "x" << groups);
+  for (const std::int32_t s : sums) {
+    HACK_CHECK(s >= 0 && s <= std::numeric_limits<std::int16_t>::max(),
+               "restored partition sum " << s << " outside INT16 storage");
+  }
+  SumCache cache;
+  cache.outer_ = outer;
+  cache.groups_ = groups;
+  cache.sums_ = std::move(sums);
+  return cache;
+}
+
 void SumCache::append_rows(const QuantizedMatrix& extra) {
   HACK_CHECK(extra.axis == QuantAxis::kRow, "append_rows needs row-axis data");
   HACK_CHECK(extra.group_count() == groups_, "group count mismatch");

@@ -22,6 +22,12 @@ class SumCache {
   // Computes code sums over each (outer index, partition) of q.
   static SumCache build(const QuantizedMatrix& q);
 
+  // Rehydrates a cache from wire-format sections (kvcache/kv_wire.h): the
+  // shipped SE sums land here directly instead of being recomputed from the
+  // codes, which is the whole point of transmitting them.
+  static SumCache from_parts(std::size_t outer, std::size_t groups,
+                             std::vector<std::int32_t> sums);
+
   std::size_t outer() const { return outer_; }
   std::size_t groups() const { return groups_; }
 

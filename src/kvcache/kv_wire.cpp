@@ -1,0 +1,408 @@
+#include "kvcache/kv_wire.h"
+
+#include <cstring>
+
+#include "model/session.h"
+#include "quant/packed.h"
+#include "tensor/half.h"
+
+namespace hack {
+namespace {
+
+std::size_t packed_code_section_bytes(int bits, std::size_t count) {
+  return (count * static_cast<std::size_t>(bits) + 7) / 8;
+}
+
+// Bump-pointer little-endian writer with per-section byte accounting.
+struct Writer {
+  std::vector<std::uint8_t> buf;
+  KvWireSections sections;
+
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf.insert(buf.end(), p, p + n);
+  }
+  void u8(std::uint8_t v) { buf.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf.push_back(static_cast<std::uint8_t>(v));
+    buf.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  // FP16 (min, scale) metadata: the floats are already fp16_round()ed by the
+  // quantizer, so binary16 bit patterns round-trip them exactly.
+  void halves(std::span<const float> values) {
+    for (const float v : values) u16(Half(v).bits());
+    sections.metadata += 2 * values.size();
+  }
+  void fp16_rows(const Matrix& m) {
+    for (const float v : m.flat()) u16(Half(v).bits());
+    sections.fp16_tail += 2 * m.size();
+  }
+  void sum_entries(const SumCache& s) {
+    const std::size_t count = s.outer() * s.groups();
+    const std::int32_t* data = s.data();
+    for (std::size_t i = 0; i < count; ++i) {
+      HACK_CHECK(data[i] >= 0 && data[i] <= 0xFFFF,
+                 "partition sum " << data[i] << " outside the wire's u16");
+      u16(static_cast<std::uint16_t>(data[i]));
+    }
+    sections.sums += 2 * count;
+  }
+  void packed(std::span<const std::uint8_t> codes, int bits) {
+    const std::size_t bytes = packed_code_section_bytes(bits, codes.size());
+    const std::size_t at = buf.size();
+    buf.resize(at + bytes, 0);
+    if (!codes.empty()) pack_codes(codes, bits, buf.data() + at);
+    sections.packed_codes += bytes;
+  }
+};
+
+// Bounds-checked little-endian reader.
+struct Reader {
+  std::span<const std::uint8_t> buf;
+  std::size_t pos = 0;
+
+  std::span<const std::uint8_t> take(std::size_t n) {
+    HACK_CHECK(pos + n <= buf.size(),
+               "truncated KV wire blob: need " << n << " bytes at offset "
+                                               << pos << " of " << buf.size());
+    const auto out = buf.subspan(pos, n);
+    pos += n;
+    return out;
+  }
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() {
+    const auto b = take(2);
+    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  }
+  std::uint32_t u32() {
+    const auto b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    const auto b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+  std::vector<float> halves(std::size_t count) {
+    std::vector<float> out(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = Half::from_bits(u16()).to_float();
+    }
+    return out;
+  }
+  std::vector<std::uint8_t> packed(int bits, std::size_t count) {
+    const auto bytes = take(packed_code_section_bytes(bits, count));
+    return PackedBits::from_bytes(bits, count, bytes).unpack();
+  }
+};
+
+constexpr std::uint8_t kFlagSe = 1u << 0;
+constexpr std::uint8_t kFlagRqe = 1u << 1;
+constexpr std::uint8_t kFlagStochastic = 1u << 2;
+
+constexpr std::uint8_t kTailNone = 0;
+constexpr std::uint8_t kTailFp16 = 1;
+constexpr std::uint8_t kTailRaggedQuantized = 2;
+
+// Fixed header size: 7 × u32 + 4 × u8 + 2 × u64.
+constexpr std::size_t kHeaderBytes = 7 * 4 + 4 + 2 * 8;
+
+void write_quantized(Writer& w, const QuantizedMatrix& q) {
+  w.packed(q.codes, q.bits);
+  w.halves(q.mins);
+  w.halves(q.scales);
+}
+
+QuantizedMatrix read_quantized(Reader& r, std::size_t rows, std::size_t cols,
+                               int bits, QuantAxis axis, std::size_t pi,
+                               std::size_t groups) {
+  QuantizedMatrix q;
+  q.rows = rows;
+  q.cols = cols;
+  q.bits = bits;
+  q.axis = axis;
+  q.pi = pi;
+  q.groups = groups;
+  q.codes = r.packed(bits, rows * cols);
+  const std::size_t meta = q.outer() * groups;
+  q.mins = r.halves(meta);
+  q.scales = r.halves(meta);
+  return q;
+}
+
+SumCache read_sums(Reader& r, std::size_t outer, std::size_t groups) {
+  const std::size_t count = outer * groups;
+  std::vector<std::int32_t> sums(count);
+  for (std::size_t i = 0; i < count; ++i) sums[i] = r.u16();
+  return SumCache::from_parts(outer, groups, std::move(sums));
+}
+
+const HackAttentionConfig& checked_shared_config(
+    std::span<HackLayerKvState* const> layers) {
+  HACK_CHECK(!layers.empty(), "KV wire needs at least one layer");
+  const HackLayerKvState& first = *layers[0];
+  for (const HackLayerKvState* layer : layers) {
+    HACK_CHECK(layer != nullptr, "null layer state");
+    const HackAttentionConfig& c = layer->config();
+    const HackAttentionConfig& f = first.config();
+    HACK_CHECK(c.pi == f.pi && c.q_bits == f.q_bits &&
+                   c.kv_bits == f.kv_bits && c.rounding == f.rounding &&
+                   c.summation_elimination == f.summation_elimination &&
+                   c.requant_elimination == f.requant_elimination &&
+                   layer->d_head() == first.d_head() &&
+                   layer->kv_heads() == first.kv_heads() &&
+                   layer->query_heads() == first.query_heads() &&
+                   layer->tokens() == first.tokens(),
+               "layers disagree on config/geometry/tokens; one wire blob "
+               "ships one sequence");
+  }
+  return first.config();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_kv_wire(
+    std::span<HackLayerKvState* const> layers, KvWireSections* sections) {
+  const HackAttentionConfig& config = checked_shared_config(layers);
+  const HackLayerKvState& first = *layers[0];
+  const std::uint64_t tokens = first.tokens();
+  HACK_CHECK(tokens > 0, "serializing an empty KV cache; run prefill first");
+
+  Writer w;
+  w.u32(kKvWireMagic);
+  w.u32(kKvWireVersion);
+  w.u32(static_cast<std::uint32_t>(layers.size()));
+  w.u32(static_cast<std::uint32_t>(first.kv_heads()));
+  w.u32(static_cast<std::uint32_t>(first.query_heads()));
+  w.u32(static_cast<std::uint32_t>(first.d_head()));
+  w.u32(static_cast<std::uint32_t>(config.pi));
+  w.u8(static_cast<std::uint8_t>(config.q_bits));
+  w.u8(static_cast<std::uint8_t>(config.kv_bits));
+  std::uint8_t flags = 0;
+  if (config.summation_elimination) flags |= kFlagSe;
+  if (config.requant_elimination) flags |= kFlagRqe;
+  if (config.rounding == Rounding::kStochastic) flags |= kFlagStochastic;
+  w.u8(flags);
+  w.u8(0);  // reserved
+  w.u64(tokens);
+  const std::size_t payload_at = w.buf.size();
+  w.u64(0);  // payload_bytes, patched below
+
+  for (HackLayerKvState* layer : layers) {
+    for (std::size_t h = 0; h < layer->kv_heads(); ++h) {
+      const HackKvState& st = layer->head_state(h);
+      HACK_CHECK(st.k_ready() && st.tokens() == tokens,
+                 "head state out of step with the sequence");
+
+      const auto rng_state = layer->head_rng(h).state();
+      for (const std::uint64_t word : rng_state) w.u64(word);
+      w.sections.rng_streams += 32;
+
+      // K: row-axis codes over d_head, whole partitions only.
+      write_quantized(w, st.k());
+      if (config.summation_elimination) w.sum_entries(st.k_sums());
+
+      // V: the full-partition col-axis store.
+      const std::size_t v_rows =
+          st.v_quantized_ready() ? st.v_quantized().rows : 0;
+      w.u64(v_rows);
+      if (v_rows > 0) {
+        write_quantized(w, st.v_quantized());
+        if (config.summation_elimination) w.sum_entries(st.v_sums());
+      }
+
+      // V tail: FP16 rows (RQE on) or one ragged quantized group (RQE off).
+      if (config.requant_elimination && st.v_tail_fp16().rows() > 0) {
+        w.u8(kTailFp16);
+        w.u64(st.v_tail_fp16().rows());
+        w.fp16_rows(st.v_tail_fp16());
+      } else if (!config.requant_elimination && st.v_tail_quantized_ready()) {
+        w.u8(kTailRaggedQuantized);
+        w.u64(st.v_tail_quantized().rows);
+        write_quantized(w, st.v_tail_quantized());
+      } else {
+        w.u8(kTailNone);
+        w.u64(0);
+      }
+    }
+  }
+
+  const std::uint64_t total = w.buf.size();
+  for (int i = 0; i < 8; ++i) {
+    w.buf[payload_at + i] = static_cast<std::uint8_t>(total >> (8 * i));
+  }
+  w.sections.framing =
+      total - w.sections.rng_streams - w.sections.packed_codes -
+      w.sections.metadata - w.sections.sums - w.sections.fp16_tail;
+  if (sections != nullptr) *sections = w.sections;
+  return std::move(w.buf);
+}
+
+KvWireInfo parse_kv_wire_header(std::span<const std::uint8_t> blob) {
+  Reader r{blob};
+  HACK_CHECK(blob.size() >= kHeaderBytes, "blob shorter than the wire header");
+  KvWireInfo info;
+  HACK_CHECK(r.u32() == kKvWireMagic, "not a HACK KV wire blob (bad magic)");
+  info.version = r.u32();
+  HACK_CHECK(info.version == kKvWireVersion,
+             "unsupported KV wire version " << info.version);
+  info.layers = r.u32();
+  info.kv_heads = r.u32();
+  info.query_heads = r.u32();
+  info.d_head = r.u32();
+  info.pi = r.u32();
+  info.q_bits = r.u8();
+  info.kv_bits = r.u8();
+  const std::uint8_t flags = r.u8();
+  info.summation_elimination = (flags & kFlagSe) != 0;
+  info.requant_elimination = (flags & kFlagRqe) != 0;
+  info.stochastic_rounding = (flags & kFlagStochastic) != 0;
+  (void)r.u8();  // reserved
+  info.tokens = r.u64();
+  info.payload_bytes = r.u64();
+  HACK_CHECK(info.payload_bytes == blob.size(),
+             "blob holds " << blob.size() << " bytes, header claims "
+                           << info.payload_bytes);
+  return info;
+}
+
+void deserialize_kv_wire(std::span<const std::uint8_t> blob,
+                         std::span<HackLayerKvState* const> layers) {
+  const KvWireInfo info = parse_kv_wire_header(blob);
+  HACK_CHECK(info.layers == layers.size(),
+             "blob carries " << info.layers << " layers, target has "
+                             << layers.size());
+  const HackAttentionConfig& config = checked_shared_config(layers);
+  const HackLayerKvState& first = *layers[0];
+  HACK_CHECK(first.tokens() == 0, "rehydrating into a non-fresh state");
+  HACK_CHECK(
+      info.kv_heads == first.kv_heads() &&
+          info.query_heads == first.query_heads() &&
+          info.d_head == first.d_head() && info.pi == config.pi &&
+          info.q_bits == config.q_bits && info.kv_bits == config.kv_bits &&
+          info.summation_elimination == config.summation_elimination &&
+          info.requant_elimination == config.requant_elimination &&
+          info.stochastic_rounding ==
+              (config.rounding == Rounding::kStochastic),
+      "decode-side config/geometry does not match the wire header; the "
+      "handoff contract requires identical HackAttentionConfig on both "
+      "workers");
+
+  const std::size_t tokens = info.tokens;
+  const std::size_t d_head = info.d_head;
+  const std::size_t k_groups = d_head / info.pi;
+
+  Reader r{blob};
+  r.pos = kHeaderBytes;
+  for (HackLayerKvState* layer : layers) {
+    for (std::size_t h = 0; h < info.kv_heads; ++h) {
+      std::array<std::uint64_t, 4> rng_state;
+      for (std::uint64_t& word : rng_state) word = r.u64();
+      Rng rng(0);
+      rng.set_state(rng_state);
+      layer->set_head_rng(h, rng);
+
+      QuantizedMatrix k = read_quantized(r, tokens, d_head, info.kv_bits,
+                                         QuantAxis::kRow, info.pi, k_groups);
+      SumCache k_sums = info.summation_elimination
+                            ? read_sums(r, tokens, k_groups)
+                            : SumCache::build(k);
+
+      const std::size_t v_rows = r.u64();
+      HACK_CHECK(v_rows % info.pi == 0 && v_rows <= tokens,
+                 "V section rows " << v_rows << " not a whole-Π prefix of "
+                                   << tokens << " tokens");
+      QuantizedMatrix v_q;
+      SumCache v_sums;
+      if (v_rows > 0) {
+        v_q = read_quantized(r, v_rows, d_head, info.kv_bits, QuantAxis::kCol,
+                             info.pi, v_rows / info.pi);
+        v_sums = info.summation_elimination
+                     ? read_sums(r, d_head, v_rows / info.pi)
+                     : SumCache::build(v_q);
+      }
+
+      const std::uint8_t tail_kind = r.u8();
+      const std::size_t tail_rows = r.u64();
+      Matrix tail_fp16;
+      QuantizedMatrix tail_q;
+      if (tail_kind == kTailFp16) {
+        HACK_CHECK(info.requant_elimination && tail_rows > 0 &&
+                       tail_rows < info.pi,
+                   "FP16 tail of " << tail_rows << " rows is invalid");
+        const std::vector<float> values = r.halves(tail_rows * d_head);
+        tail_fp16 = Matrix::from_rows(tail_rows, d_head, values);
+      } else if (tail_kind == kTailRaggedQuantized) {
+        HACK_CHECK(!info.requant_elimination && tail_rows > 0 &&
+                       tail_rows < info.pi,
+                   "ragged tail of " << tail_rows << " rows is invalid");
+        tail_q = read_quantized(r, tail_rows, d_head, info.kv_bits,
+                                QuantAxis::kCol, info.pi, 1);
+      } else {
+        HACK_CHECK(tail_kind == kTailNone && tail_rows == 0,
+                   "unknown tail kind " << int(tail_kind));
+      }
+
+      layer->head_state_mut(h).restore(
+          tokens, std::move(k), std::move(k_sums), std::move(v_q),
+          std::move(v_sums), std::move(tail_fp16), std::move(tail_q),
+          tail_kind == kTailRaggedQuantized);
+    }
+  }
+  HACK_CHECK(r.pos == blob.size(),
+             "blob has " << blob.size() - r.pos << " trailing bytes");
+}
+
+std::vector<std::uint8_t> serialize_session_kv(TinyModelSession& session,
+                                               KvWireSections* sections) {
+  std::vector<HackLayerKvState*> layers;
+  layers.reserve(session.layers());
+  for (std::size_t l = 0; l < session.layers(); ++l) {
+    HackLayerKvState* state = session.backend(l).hack_state();
+    HACK_CHECK(state != nullptr,
+               "KV wire serialization needs batched HACK layer backends "
+               "(make_hack_layer_backend)");
+    layers.push_back(state);
+  }
+  HACK_CHECK(!layers.empty() && layers[0]->tokens() == session.position(),
+             "session position out of step with its KV state; commit the "
+             "prefill chunk (advance) before serializing");
+  return serialize_kv_wire(layers, sections);
+}
+
+void deserialize_session_kv(std::span<const std::uint8_t> blob,
+                            TinyModelSession& session) {
+  HACK_CHECK(session.position() == 0,
+             "rehydrating into a used session; construct a fresh one");
+  std::vector<HackLayerKvState*> layers;
+  layers.reserve(session.layers());
+  for (std::size_t l = 0; l < session.layers(); ++l) {
+    HackLayerKvState* state = session.backend(l).hack_state();
+    HACK_CHECK(state != nullptr,
+               "KV wire rehydration needs batched HACK layer backends "
+               "(make_hack_layer_backend)");
+    layers.push_back(state);
+  }
+  deserialize_kv_wire(blob, layers);
+  session.restore_position(parse_kv_wire_header(blob).tokens);
+}
+
+int kv_wire_transfer_chunks(std::size_t blob_bytes, std::size_t chunk_bytes) {
+  HACK_CHECK(chunk_bytes > 0, "transfer chunk size must be positive");
+  const std::size_t chunks = (blob_bytes + chunk_bytes - 1) / chunk_bytes;
+  if (chunks < 1) return 1;
+  if (chunks > 64) return 64;
+  return static_cast<int>(chunks);
+}
+
+}  // namespace hack

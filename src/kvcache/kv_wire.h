@@ -1,0 +1,115 @@
+// Versioned KV wire format — what a prefill instance ships to decode.
+//
+// The paper's disaggregated flow (§2, §6) transfers the *quantized* KV cache
+// between workers: the decode side attends homomorphically on the very codes
+// that crossed the wire, never dequantizing or requantizing them. This module
+// is that wire: it serializes every transformer layer's HACK KV state — the
+// packed code planes, the FP16 (min, scale) metadata, the SE partition sums,
+// the RQE FP16 tail of V, and each KV head's RNG stream position — into one
+// contiguous versioned blob, and rehydrates it into a fresh decode-side state
+// that continues generation bit-identically to the single-node engine
+// (pinned in tests/test_kv_wire.cpp; contract in docs/disaggregation.md).
+//
+// Layout (all integers little-endian):
+//
+//   header   magic "HKVW" u32 · version u32 · layers u32 · kv_heads u32 ·
+//            query_heads u32 · d_head u32 · pi u32 ·
+//            q_bits u8 · kv_bits u8 · flags u8 (bit0 SE, bit1 RQE,
+//            bit2 stochastic rounding) · reserved u8 ·
+//            tokens u64 · payload_bytes u64
+//   body     layers × kv_heads head records, layer-major:
+//     rng    4 × u64                      xoshiro256** state after prefill
+//     K      packed codes (kv_bits × tokens·d_head) ·
+//            mins, scales (binary16 × tokens·(d_head/Π)) ·
+//            [SE] sums (u16 × tokens·(d_head/Π))
+//     V      v_q_rows u64 (multiple of Π) ·
+//            packed codes (kv_bits × v_q_rows·d_head) ·
+//            mins, scales (binary16 × d_head·(v_q_rows/Π)) ·
+//            [SE] sums (u16 × d_head·(v_q_rows/Π))
+//     tail   kind u8 (0 none · 1 FP16 rows, RQE on · 2 ragged quantized
+//            group, RQE off) · rows u64 · payload (binary16 × rows·d_head,
+//            or packed codes + per-column binary16 (min, scale))
+//
+// With SE off the sums are not transmitted (the decode side recomputes them
+// per iteration, exactly like the paper's ablation); rehydration rebuilds the
+// bookkeeping caches from the codes, which is bit-identical. The blob rides
+// the netsim NCCL-style pipelined transfer in `kv_wire_transfer_chunks`-sized
+// chunks (serving/disagg.h drives that end to end).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "attention/layer_attention.h"
+
+namespace hack {
+
+class TinyModelSession;
+
+inline constexpr std::uint32_t kKvWireMagic = 0x57564B48u;  // "HKVW"
+inline constexpr std::uint32_t kKvWireVersion = 1u;
+
+// Byte accounting of one serialized blob, by section kind. `framing` is the
+// header plus the per-record length/kind fields — the format's own overhead.
+struct KvWireSections {
+  std::size_t framing = 0;
+  std::size_t rng_streams = 0;
+  std::size_t packed_codes = 0;
+  std::size_t metadata = 0;   // FP16 (min, scale) pairs
+  std::size_t sums = 0;       // SE partition sums
+  std::size_t fp16_tail = 0;  // RQE FP16 tail rows of V
+
+  std::size_t total() const {
+    return framing + rng_streams + packed_codes + metadata + sums + fp16_tail;
+  }
+};
+
+// Parsed header of a blob (validated magic/version/length).
+struct KvWireInfo {
+  std::uint32_t version = 0;
+  std::size_t layers = 0;
+  std::size_t kv_heads = 0;
+  std::size_t query_heads = 0;
+  std::size_t d_head = 0;
+  std::size_t pi = 0;
+  int q_bits = 0;
+  int kv_bits = 0;
+  bool summation_elimination = false;
+  bool requant_elimination = false;
+  bool stochastic_rounding = false;
+  std::uint64_t tokens = 0;
+  std::uint64_t payload_bytes = 0;
+};
+
+// Serializes the given layers' KV states (one HackLayerKvState per
+// transformer layer, all sharing one config and token count) into a wire
+// blob. `sections` (optional) receives the byte accounting.
+std::vector<std::uint8_t> serialize_kv_wire(
+    std::span<HackLayerKvState* const> layers,
+    KvWireSections* sections = nullptr);
+
+// Validates and parses the fixed header. Throws CheckError on a foreign or
+// truncated blob.
+KvWireInfo parse_kv_wire_header(std::span<const std::uint8_t> blob);
+
+// Rehydrates `layers` (fresh, zero-token states whose config and geometry
+// must match the header) from a blob. Codes, metadata, sums, tails, and RNG
+// stream positions land exactly as shipped.
+void deserialize_kv_wire(std::span<const std::uint8_t> blob,
+                         std::span<HackLayerKvState* const> layers);
+
+// Session-level wrappers: serialize every layer of a (HACK layer backend)
+// session after prefill, or rehydrate a fresh session — including its
+// timeline position — so decoding continues where the prefill worker stopped.
+std::vector<std::uint8_t> serialize_session_kv(
+    TinyModelSession& session, KvWireSections* sections = nullptr);
+void deserialize_session_kv(std::span<const std::uint8_t> blob,
+                            TinyModelSession& session);
+
+// How many pipeline chunks a blob of `blob_bytes` rides the netsim NCCL-style
+// transfer in: ceil(blob/chunk), clamped to [1, 64] so tiny blobs don't pay
+// per-chunk latency and huge ones don't book unbounded events.
+int kv_wire_transfer_chunks(std::size_t blob_bytes, std::size_t chunk_bytes);
+
+}  // namespace hack

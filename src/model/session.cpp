@@ -433,7 +433,22 @@ Matrix TinyModelSession::forward_layer(std::size_t layer, const Matrix& x,
   return finish_layer(layer, Matrix(x), attn_out);
 }
 
+Matrix TinyModelSession::forward_rows(const std::vector<int>& tokens) {
+  const std::size_t start_pos = position_;
+  Matrix x = weights_->embed(tokens);
+  for (std::size_t layer = 0; layer < backends_.size(); ++layer) {
+    x = forward_layer(layer, x, start_pos);
+  }
+  advance(tokens.size());
+  return x;
+}
+
 void TinyModelSession::advance(std::size_t rows) { position_ += rows; }
+
+void TinyModelSession::restore_position(std::size_t position) {
+  HACK_CHECK(position_ == 0, "restore_position on a used session");
+  position_ = position;
+}
 
 std::vector<float> TinyModelSession::logits_for_row(const Matrix& hidden,
                                                     std::size_t row) const {

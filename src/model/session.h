@@ -215,8 +215,22 @@ class TinyModelSession {
   Matrix forward_layer(std::size_t layer, const Matrix& x,
                        std::size_t start_pos);
 
+  // Runs a token chunk through the whole stack at the current position and
+  // commits it: embed → forward_layer per layer → advance. Returns the final
+  // hidden states. TinyTransformer::forward and the disaggregated workers
+  // (serving/disagg.h) share this one implementation, which is what keeps
+  // their per-layer call sequences — and thus their stochastic quantizer
+  // draws — identical across the worker boundary.
+  Matrix forward_rows(const std::vector<int>& tokens);
+
   // Commits a chunk: position() += rows.
   void advance(std::size_t rows);
+
+  // Rehydration hook for the disaggregated handoff (kvcache/kv_wire.h): a
+  // fresh decode-side session imports the prefill instance's per-layer KV
+  // state, then jumps its timeline position here. Only a fresh session may
+  // jump; a used one would desynchronize from its backends.
+  void restore_position(std::size_t position);
 
   // Final norm + tied LM head for row `row` of a hidden-state chunk.
   std::vector<float> logits_for_row(const Matrix& hidden,

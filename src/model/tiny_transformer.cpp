@@ -16,13 +16,7 @@ TinyTransformer::TinyTransformer(
     : session_(std::move(weights), factory) {}
 
 Matrix TinyTransformer::forward(const std::vector<int>& tokens) {
-  const std::size_t start_pos = session_.position();
-  Matrix x = session_.weights().embed(tokens);
-  for (std::size_t layer = 0; layer < session_.layers(); ++layer) {
-    x = session_.forward_layer(layer, x, start_pos);
-  }
-  session_.advance(tokens.size());
-  return x;
+  return session_.forward_rows(tokens);
 }
 
 std::vector<float> TinyTransformer::prefill(const std::vector<int>& prompt) {

@@ -6,6 +6,12 @@
 // chunk i+1 leaves the sender. End-to-end time is governed by the slower of
 // the two NICs plus one chunk of pipeline fill, and both NICs' busy horizons
 // advance so concurrent transfers contend realistically.
+//
+// Two callers ride this model: the analytical cluster simulator
+// (cluster/simulator.h) with modeled byte counts, and the real serving
+// engine's disaggregated split (serving/disagg.h), whose byte counts are
+// measured KV wire blobs (kvcache/kv_wire.h) — the transfer timing feeds its
+// TTFT accounting.
 #pragma once
 
 #include "netsim/link.h"

@@ -174,6 +174,20 @@ PackedBits PackedBits::pack(std::span<const std::uint8_t> codes,
   return packed;
 }
 
+PackedBits PackedBits::from_bytes(int bits_per_code, std::size_t count,
+                                  std::span<const std::uint8_t> bytes) {
+  PackedBits packed(bits_per_code, count);
+  HACK_CHECK(bytes.size() == packed.bytes_.size(),
+             "packed section holds " << bytes.size() << " bytes, expected "
+                                     << packed.bytes_.size() << " for "
+                                     << count << " " << bits_per_code
+                                     << "-bit codes");
+  if (!bytes.empty()) {
+    std::memcpy(packed.bytes_.data(), bytes.data(), bytes.size());
+  }
+  return packed;
+}
+
 std::vector<std::uint8_t> PackedBits::unpack() const {
   std::vector<std::uint8_t> codes(count_);
   unpack_codes(bytes_, bits_, count_, codes.data());

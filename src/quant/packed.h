@@ -37,6 +37,13 @@ class PackedBits {
   static PackedBits pack(std::span<const std::uint8_t> codes,
                          int bits_per_code);
 
+  // Adopts an already-packed byte range — e.g. a code section of the KV wire
+  // format (kvcache/kv_wire.h) — without a pack/unpack round trip. `bytes`
+  // must hold exactly ceil(count * bits / 8) bytes in PackedBits' layout
+  // (little-endian within each byte).
+  static PackedBits from_bytes(int bits_per_code, std::size_t count,
+                               std::span<const std::uint8_t> bytes);
+
   // Unpacks all codes back into bytes (values < 2^bits) through the bulk
   // unpack_codes path.
   std::vector<std::uint8_t> unpack() const;

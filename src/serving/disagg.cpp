@@ -1,0 +1,205 @@
+#include "serving/disagg.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "netsim/transfer.h"
+#include "serving/scheduler.h"
+
+namespace hack {
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+PrefillWorker::PrefillWorker(std::shared_ptr<const TinyModelWeights> weights,
+                             const DisaggConfig& config)
+    : weights_(std::move(weights)), config_(config),
+      nic_(config.prefill_nic_gbps) {}
+
+PrefillWorker::Result PrefillWorker::prefill(const ServingRequest& request) {
+  HACK_CHECK(!request.prompt.empty(), "prefill needs a non-empty prompt");
+  TinyModelSession session(
+      weights_, make_hack_layer_backend(config_.attn, config_.backend_seed));
+
+  Result result;
+  const auto compute_start = std::chrono::steady_clock::now();
+  SchedulerConfig chunk_cfg;
+  chunk_cfg.prefill_chunk_tokens = config_.prefill_chunk_tokens == 0
+                                       ? request.prompt.size()
+                                       : config_.prefill_chunk_tokens;
+  const Scheduler chunker(chunk_cfg);
+  std::vector<float> last_logits;
+  std::size_t begin = 0;
+  while (begin < request.prompt.size()) {
+    const std::size_t end = chunker.chunk_end(begin, request.prompt.size());
+    const std::vector<int> chunk(request.prompt.begin() + begin,
+                                 request.prompt.begin() + end);
+    const Matrix hidden = session.forward_rows(chunk);
+    if (end == request.prompt.size()) {
+      last_logits = session.logits_for_row(hidden, hidden.rows() - 1);
+    }
+    ++result.prefill_chunks;
+    begin = end;
+  }
+  result.first_token = argmax_logits(last_logits);
+  result.prefill_s = seconds_since(compute_start);
+
+  const auto serialize_start = std::chrono::steady_clock::now();
+  result.blob = serialize_session_kv(session, &result.sections);
+  result.serialize_s = seconds_since(serialize_start);
+  return result;
+}
+
+DecodeWorker::DecodeWorker(std::shared_ptr<const TinyModelWeights> weights,
+                           const DisaggConfig& config)
+    : weights_(std::move(weights)), config_(config),
+      nic_(config.decode_nic_gbps) {
+  if (config_.decode_kv_blocks > 0) {
+    // Accounting blocks sized like the serving engine's: FP16 K+V bytes of
+    // block_tokens tokens across all layers and KV heads.
+    const TinyConfig& c = weights_->config();
+    allocator_ = std::make_unique<BlockAllocator>(
+        config_.decode_kv_blocks,
+        config_.block_tokens * c.kv_heads * c.d_head * 2 * 2 * c.layers);
+  }
+}
+
+DecodeWorker::Result DecodeWorker::decode(std::span<const std::uint8_t> blob,
+                                          int first_token,
+                                          const ServingRequest& request) {
+  Result result;
+  const KvWireInfo info = parse_kv_wire_header(blob);
+
+  // Worst-case block reservation, like the engine's admission control:
+  // prompt tokens already in the blob plus every token we may yet append.
+  std::vector<BlockId> reserved;
+  if (allocator_ != nullptr) {
+    const std::size_t need =
+        (info.tokens + request.max_new_tokens + config_.block_tokens - 1) /
+        config_.block_tokens;
+    if (!allocator_->can_allocate(need)) {
+      return result;  // not admitted
+    }
+    for (std::size_t i = 0; i < need; ++i) {
+      reserved.push_back(allocator_->allocate());
+    }
+    result.kv_blocks = reserved.size();
+  }
+  result.admitted = true;
+
+  const auto deser_start = std::chrono::steady_clock::now();
+  TinyModelSession session(
+      weights_, make_hack_layer_backend(config_.attn, config_.backend_seed));
+  deserialize_session_kv(blob, session);
+  result.deserialize_s = seconds_since(deser_start);
+
+  // The continuation of TinyTransformer::generate after its prefill: the
+  // prefill worker already took the argmax of the prompt logits, so the loop
+  // below replays generate()'s decode iterations exactly — same eos/max
+  // semantics, same per-step call sequence, same stochastic draws (the wire
+  // restored every RNG stream).
+  const auto decode_start = std::chrono::steady_clock::now();
+  int token = first_token;
+  for (std::size_t i = 0; i < request.max_new_tokens; ++i) {
+    if (token == request.eos) break;
+    result.generated.push_back(token);
+    const Matrix hidden = session.forward_rows({token});
+    token = argmax_logits(session.logits_for_row(hidden, hidden.rows() - 1));
+  }
+  result.decode_s = seconds_since(decode_start);
+
+  for (const BlockId id : reserved) allocator_->release(id);
+  return result;
+}
+
+DisaggEngine::DisaggEngine(std::shared_ptr<const TinyModelWeights> weights,
+                           DisaggConfig config)
+    : weights_(std::move(weights)), config_(config),
+      prefill_(weights_, config_), decode_(weights_, config_) {}
+
+DisaggReport DisaggEngine::run(std::vector<ServingRequest> requests) {
+  std::sort(requests.begin(), requests.end(),
+            [](const ServingRequest& a, const ServingRequest& b) {
+              return a.arrival_time_s < b.arrival_time_s;
+            });
+
+  DisaggReport report;
+  std::vector<double> ttfts, jcts;
+  const TinyConfig& c = weights_->config();
+  for (const ServingRequest& request : requests) {
+    DisaggRecord rec;
+    rec.request = request;
+
+    // Prefill occupies its worker for the measured compute + serialize time;
+    // the transfer then rides the NICs while the worker takes the next
+    // prompt (the overlap the paper's pipelining discussion assumes).
+    const double prefill_start =
+        std::max(request.arrival_time_s, prefill_free_s_);
+    PrefillWorker::Result pre = prefill_.prefill(request);
+    rec.prefill_s = pre.prefill_s;
+    rec.serialize_s = pre.serialize_s;
+    rec.prefill_chunks = pre.prefill_chunks;
+    rec.wire_bytes = pre.blob.size();
+    rec.sections = pre.sections;
+    rec.fp16_kv_bytes = parse_kv_wire_header(pre.blob).tokens * c.kv_heads *
+                        c.d_head * 2 * 2 * c.layers;
+    prefill_free_s_ = prefill_start + pre.prefill_s + pre.serialize_s;
+
+    const TransferResult transfer = nccl_transfer(
+        prefill_.nic(), decode_.nic(), prefill_free_s_,
+        static_cast<double>(pre.blob.size()),
+        kv_wire_transfer_chunks(pre.blob.size(), config_.transfer_chunk_bytes));
+    rec.transfer_s = transfer.duration();
+    report.transfer_s_total += rec.transfer_s;
+
+    DecodeWorker::Result dec =
+        decode_.decode(pre.blob, pre.first_token, request);
+    rec.deserialize_s = dec.deserialize_s;
+    rec.decode_s = dec.decode_s;
+    rec.decode_kv_blocks = dec.kv_blocks;
+    if (!dec.admitted) {
+      rec.rejected = true;
+      report.requests.push_back(std::move(rec));
+      continue;
+    }
+    rec.generated = std::move(dec.generated);
+
+    const double decode_ready =
+        std::max(transfer.finish, decode_free_s_) + dec.deserialize_s;
+    const double decode_end = decode_ready + dec.decode_s;
+    decode_free_s_ = decode_end;
+    rec.ttft_s = decode_ready - request.arrival_time_s;
+    rec.jct_s = decode_end - request.arrival_time_s;
+    ttfts.push_back(rec.ttft_s);
+    jcts.push_back(rec.jct_s);
+
+    report.total_generated += rec.generated.size();
+    report.wire_bytes_total += rec.wire_bytes;
+    report.fp16_kv_bytes_total += rec.fp16_kv_bytes;
+    report.makespan_s = std::max(report.makespan_s, decode_end);
+    report.requests.push_back(std::move(rec));
+  }
+
+  if (report.fp16_kv_bytes_total > 0) {
+    report.wire_vs_fp16 =
+        static_cast<double>(report.wire_bytes_total) /
+        static_cast<double>(report.fp16_kv_bytes_total);
+  }
+  if (!ttfts.empty()) report.ttft_s = compute_stats(std::move(ttfts));
+  if (!jcts.empty()) report.jct_s = compute_stats(std::move(jcts));
+  return report;
+}
+
+DisaggRecord DisaggEngine::serve(const ServingRequest& request) {
+  DisaggReport report = run({request});
+  HACK_CHECK(report.requests.size() == 1, "single-request episode");
+  return std::move(report.requests[0]);
+}
+
+}  // namespace hack

@@ -1,0 +1,189 @@
+// Disaggregated prefill → decode serving over the HACK KV wire format.
+//
+// The paper's headline deployment (§2, §6, §7) runs prefill and decode on
+// separate workers and ships the *quantized* KV cache between them. This
+// module is that path for the real engine, not the analytical simulator:
+//
+//   PrefillWorker   runs (optionally chunked) prefill through a
+//                   TinyModelSession, emits the first token, and serializes
+//                   the per-layer HACK KV state into a KV wire blob
+//                   (kvcache/kv_wire.h) — every byte measured, not modeled.
+//   DecodeWorker    reserves KV blocks from its own BlockAllocator pool (the
+//                   same substrate PagedKvCache rides), rehydrates the blob
+//                   into a fresh session, and decodes to completion. The
+//                   codes on the wire are the codes attention consumes —
+//                   nothing is dequantized or requantized in the handoff, so
+//                   generation is bit-identical to the single-node engine
+//                   (pinned in tests/test_kv_wire.cpp).
+//   DisaggEngine    orchestrates both workers on one timeline: compute is
+//                   measured wall-clock, the transfer is the netsim
+//                   NCCL-style pipelined model (netsim/transfer.h) over each
+//                   worker's NIC — bytes real, timing simulated — and the
+//                   prefill worker starts the next request's prompt while
+//                   the previous blob is still in flight (transfer overlap,
+//                   the NIC busy horizons serialize contending transfers).
+//
+// TTFT here charges what single-node serving never shows: the first token is
+// counted as delivered only when the KV blob has landed and rehydrated on the
+// decode worker. docs/disaggregation.md walks the format and the contract.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "kvcache/block_allocator.h"
+#include "kvcache/kv_wire.h"
+#include "metrics/stats.h"
+#include "model/session.h"
+#include "netsim/link.h"
+#include "serving/request.h"
+
+namespace hack {
+
+struct DisaggConfig {
+  // Quantization config shared by both workers — the wire header pins it and
+  // rehydration rejects a mismatch.
+  HackAttentionConfig attn;
+  // Backend factory seed; identical on both workers so the decode-side
+  // session is the one the prefill session would have become.
+  std::uint64_t backend_seed = 7;
+  // Prefill chunking (0 = whole prompt in one pass). Chunks follow the
+  // serving scheduler's policy (never a 1-row chunk or remainder), so a
+  // chunked prefill here matches the continuous-batching engine's schedule.
+  std::size_t prefill_chunk_tokens = 0;
+  // NIC line rates for the netsim-timed KV transfer.
+  double prefill_nic_gbps = 100.0;
+  double decode_nic_gbps = 100.0;
+  // Pipelining granularity of the transfer (kv_wire_transfer_chunks).
+  std::size_t transfer_chunk_bytes = 1 << 20;
+  // Decode-side KV block admission: tokens per accounting block, and the
+  // pool size (0 = unlimited, no admission control).
+  std::size_t block_tokens = 16;
+  std::size_t decode_kv_blocks = 0;
+};
+
+// One request's measured + modeled lifecycle through the disaggregated path.
+struct DisaggRecord {
+  ServingRequest request;
+  bool rejected = false;           // decode pool could not hold the request
+  std::vector<int> generated;      // first (prefill-side) token included
+
+  std::size_t wire_bytes = 0;      // serialized blob size, measured
+  KvWireSections sections;         // per-section byte accounting
+  std::size_t fp16_kv_bytes = 0;   // FP16 K+V footprint of the same tokens
+  std::size_t prefill_chunks = 0;
+  std::size_t decode_kv_blocks = 0;
+
+  double prefill_s = 0.0;          // measured compute
+  double serialize_s = 0.0;        // measured
+  double transfer_s = 0.0;         // netsim-modeled wire time
+  double deserialize_s = 0.0;      // measured
+  double decode_s = 0.0;           // measured compute
+
+  double ttft_s = 0.0;  // arrival → first token deliverable at decode worker
+  double jct_s = 0.0;   // arrival → last token
+
+  // Compression ratio the wire actually achieved for this request.
+  double wire_vs_fp16() const {
+    return fp16_kv_bytes == 0
+               ? 0.0
+               : static_cast<double>(wire_bytes) /
+                     static_cast<double>(fp16_kv_bytes);
+  }
+};
+
+struct DisaggReport {
+  std::vector<DisaggRecord> requests;  // arrival order
+  std::size_t total_generated = 0;
+  std::size_t wire_bytes_total = 0;
+  std::size_t fp16_kv_bytes_total = 0;
+  double wire_vs_fp16 = 0.0;
+  double makespan_s = 0.0;
+  double transfer_s_total = 0.0;
+  SampleStats ttft_s;
+  SampleStats jct_s;
+};
+
+// The prefill half: prompt in, first token + wire blob out.
+class PrefillWorker {
+ public:
+  struct Result {
+    std::vector<std::uint8_t> blob;
+    KvWireSections sections;
+    int first_token = -1;
+    std::size_t prefill_chunks = 0;
+    double prefill_s = 0.0;    // measured model compute
+    double serialize_s = 0.0;  // measured serialization
+  };
+
+  PrefillWorker(std::shared_ptr<const TinyModelWeights> weights,
+                const DisaggConfig& config);
+
+  Result prefill(const ServingRequest& request);
+
+  Nic& nic() { return nic_; }
+
+ private:
+  std::shared_ptr<const TinyModelWeights> weights_;
+  DisaggConfig config_;
+  Nic nic_;
+};
+
+// The decode half: wire blob in, remaining tokens out — bit-identical to the
+// single-node continuation.
+class DecodeWorker {
+ public:
+  struct Result {
+    bool admitted = false;
+    std::vector<int> generated;  // first token included when admitted
+    std::size_t kv_blocks = 0;
+    double deserialize_s = 0.0;  // measured rehydration
+    double decode_s = 0.0;       // measured model compute
+  };
+
+  DecodeWorker(std::shared_ptr<const TinyModelWeights> weights,
+               const DisaggConfig& config);
+
+  Result decode(std::span<const std::uint8_t> blob, int first_token,
+                const ServingRequest& request);
+
+  Nic& nic() { return nic_; }
+  const BlockAllocator* allocator() const { return allocator_.get(); }
+
+ private:
+  std::shared_ptr<const TinyModelWeights> weights_;
+  DisaggConfig config_;
+  Nic nic_;
+  std::unique_ptr<BlockAllocator> allocator_;  // null: no admission control
+};
+
+// Orchestrates the two workers over a request timeline with transfer overlap.
+class DisaggEngine {
+ public:
+  DisaggEngine(std::shared_ptr<const TinyModelWeights> weights,
+               DisaggConfig config = {});
+
+  PrefillWorker& prefill_worker() { return prefill_; }
+  DecodeWorker& decode_worker() { return decode_; }
+
+  // Serves every request FCFS on its arrival timeline and returns the
+  // episode's records + rollups. Compute times are measured on this machine;
+  // transfer times come from the netsim NIC model.
+  DisaggReport run(std::vector<ServingRequest> requests);
+
+  // Single-request convenience. Worker busy horizons persist across calls,
+  // so back-to-back serves share one timeline like run() would.
+  DisaggRecord serve(const ServingRequest& request);
+
+ private:
+  std::shared_ptr<const TinyModelWeights> weights_;
+  DisaggConfig config_;
+  PrefillWorker prefill_;
+  DecodeWorker decode_;
+  double prefill_free_s_ = 0.0;
+  double decode_free_s_ = 0.0;
+};
+
+}  // namespace hack
