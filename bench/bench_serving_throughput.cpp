@@ -54,13 +54,21 @@
 //    "wire_bytes_total":...,"fp16_kv_bytes_total":...,"wire_vs_fp16":...,
 //    "wire_codes_bytes":...,"wire_metadata_bytes":...,"wire_sums_bytes":...,
 //    "wire_tail_bytes":...,"transfer_ms_mean":...,"ttft_p50_s":...,
-//    "bit_identical":true}
+//    "retries":...,"chunks_dropped":...,"chunks_corrupted":...,
+//    "crc_failures":...,"retransmitted_bytes":...,"fallbacks":...,
+//    "deadline_misses":...,"failed_allocations":...,"min_free_watermark":...,
+//    "oom_appends":...,"bit_identical":true}
+//
+// `--drop=`/`--corrupt=` inject that probability of chunk loss/corruption on
+// the disagg transfer path (seeded by `--fault-seed=`, so a chaos leg is
+// reproducible); the recovery layer must still deliver bit_identical=true.
 //
 // Usage: bench_serving_throughput [--quick] [--long|--continuous|--disagg]
 //          [--context=1024,4096] [--threads=1,2,4] [--heads=32] [--kv-heads=8]
 //          [--requests=8] [--input=128] [--output=32] [--layers=2]
 //          [--arrival=poisson:<rps>|trace:<file>] [--max-active=8]
-//          [--chunk=128] [--kv-blocks=0]
+//          [--chunk=128] [--kv-blocks=0] [--chunk-bytes=1048576]
+//          [--drop=0.0] [--corrupt=0.0] [--fault-seed=24301]
 //   --quick shrinks to context 512 / threads {1,2} (or input 48 / output 12
 //   in --continuous and --disagg modes) for CI smoke runs.
 #include <algorithm>
@@ -318,6 +326,14 @@ struct ContOptions {
   std::size_t max_active = 8;
   std::size_t chunk = 128;
   std::size_t kv_blocks = 0;  // 0: no KV admission control
+  // --disagg chaos knobs: injected chunk drop/corrupt probabilities and the
+  // fault-schedule seed (deterministic: one seed, one schedule).
+  double drop = 0.0;
+  double corrupt = 0.0;
+  std::uint64_t fault_seed = 0x5EED;
+  // Transfer pipelining granularity; small values give a chaos leg many
+  // chunks (and so many fault-injection opportunities) per blob.
+  std::size_t chunk_bytes = 1 << 20;
 };
 
 std::vector<ServingRequest> make_continuous_requests(const ContOptions& o) {
@@ -558,6 +574,10 @@ void run_disagg_mode(const Shape& shape, const ContOptions& o) {
     dc.attn.pi = shape.pi;
     dc.attn.kv_bits = kv_bits;
     dc.decode_kv_blocks = o.kv_blocks;
+    dc.transfer_chunk_bytes = o.chunk_bytes;
+    dc.transfer_faults.chunk_drop_prob = o.drop;
+    dc.transfer_faults.chunk_corrupt_prob = o.corrupt;
+    dc.transfer_faults.seed = o.fault_seed;
     DisaggEngine engine(weights, dc);
     const DisaggReport report = engine.run(requests);
 
@@ -608,7 +628,14 @@ void run_disagg_mode(const Shape& shape, const ContOptions& o) {
         "\"serialize_s_mean\":%.4f,\"transfer_ms_mean\":%.3f,"
         "\"deserialize_s_mean\":%.4f,\"decode_s_mean\":%.3f,"
         "\"ttft_p50_s\":%.4f,\"ttft_p99_s\":%.4f,\"jct_p50_s\":%.4f,"
-        "\"makespan_s\":%.3f,\"rejected\":%zu,\"bit_identical\":%s}\n",
+        "\"makespan_s\":%.3f,\"rejected\":%zu,"
+        "\"drop_prob\":%.3f,\"corrupt_prob\":%.3f,\"fault_seed\":%llu,"
+        "\"retries\":%zu,\"chunks_dropped\":%zu,\"chunks_corrupted\":%zu,"
+        "\"crc_failures\":%zu,\"retransmitted_bytes\":%zu,"
+        "\"prefill_crashes\":%zu,\"decode_crashes\":%zu,\"fallbacks\":%zu,"
+        "\"deadline_misses\":%zu,\"failed_allocations\":%zu,"
+        "\"min_free_watermark\":%zu,\"oom_appends\":%zu,"
+        "\"bit_identical\":%s}\n",
         kv_bits, o.requests, shape.heads, shape.kv_heads, shape.d_head,
         shape.pi, o.layers, o.input, o.output,
         ThreadPool::global().lanes(), report.wire_bytes_total,
@@ -617,7 +644,14 @@ void run_disagg_mode(const Shape& shape, const ContOptions& o) {
         sections.fp16_tail, prefill_s / n, serialize_s / n,
         1000.0 * transfer_s / n, deserialize_s / n, decode_s / n,
         report.ttft_s.p50, report.ttft_s.p99, report.jct_s.p50,
-        report.makespan_s, rejected, bit_identical ? "true" : "false");
+        report.makespan_s, rejected, o.drop, o.corrupt,
+        static_cast<unsigned long long>(o.fault_seed), report.retries_total,
+        report.chunks_dropped_total, report.chunks_corrupted_total,
+        report.crc_failures_total, report.retransmitted_bytes_total,
+        report.prefill_crashes_total, report.decode_crashes_total,
+        report.fallbacks, report.deadline_misses,
+        report.decode_failed_allocations, report.decode_min_free_watermark,
+        report.decode_oom_appends, bit_identical ? "true" : "false");
     std::fflush(stdout);
   }
 }
@@ -675,6 +709,14 @@ int main(int argc, char** argv) {
       cont.chunk = std::strtoul(arg.c_str() + 8, nullptr, 10);
     } else if (arg.rfind("--kv-blocks=", 0) == 0) {
       cont.kv_blocks = std::strtoul(arg.c_str() + 12, nullptr, 10);
+    } else if (arg.rfind("--drop=", 0) == 0) {
+      cont.drop = std::strtod(arg.c_str() + 7, nullptr);
+    } else if (arg.rfind("--corrupt=", 0) == 0) {
+      cont.corrupt = std::strtod(arg.c_str() + 10, nullptr);
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      cont.fault_seed = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--chunk-bytes=", 0) == 0) {
+      cont.chunk_bytes = std::strtoul(arg.c_str() + 14, nullptr, 10);
     } else if (arg.rfind("--context=", 0) == 0) {
       contexts = parse_size_list(arg.c_str() + 10);
     } else if (arg.rfind("--threads=", 0) == 0) {

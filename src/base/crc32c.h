@@ -1,0 +1,21 @@
+// CRC32C (Castagnoli) — the wire-integrity checksum.
+//
+// The KV wire format v2 (kvcache/kv_wire.h) protects its header and every
+// per-(layer × KV head) record with a CRC32C so a corrupted or truncated blob
+// is a *typed error* at the receiver, never undefined behavior. Castagnoli's
+// polynomial (0x1EDC6F41, reflected 0x82F63B78) is the one iSCSI, ext4, and
+// RDMA NICs use; this is the portable slice-by-one table implementation —
+// the blobs it guards are megabytes moved once per request, so checksum
+// throughput is nowhere near the critical path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hack {
+
+// CRC32C of `data[0, n)`. Chain incremental updates by passing the previous
+// return value as `seed` (the default starts a fresh checksum).
+std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+}  // namespace hack

@@ -1,13 +1,29 @@
 #include "kvcache/kv_wire.h"
 
 #include <cstring>
+#include <sstream>
 
+#include "base/crc32c.h"
 #include "model/session.h"
 #include "quant/packed.h"
 #include "tensor/half.h"
 
 namespace hack {
 namespace {
+
+[[noreturn]] void wire_fail(KvWireErrorCode code, const std::string& what) {
+  throw KvWireError(code, "KV wire [" + std::string(kv_wire_error_name(code)) +
+                              "]: " + what);
+}
+
+#define KV_WIRE_CHECK(cond, code, ...)            \
+  do {                                            \
+    if (!(cond)) {                                \
+      ::std::ostringstream kv_wire_os_;           \
+      kv_wire_os_ << __VA_ARGS__;                 \
+      wire_fail(code, kv_wire_os_.str());         \
+    }                                             \
+  } while (false)
 
 std::size_t packed_code_section_bytes(int bits, std::size_t count) {
   return (count * static_cast<std::size_t>(bits) + 7) / 8;
@@ -32,6 +48,12 @@ struct Writer {
   }
   void u64(std::uint64_t v) {
     for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void patch_u32(std::size_t at, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  void patch_u64(std::size_t at, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
   }
 
   // FP16 (min, scale) metadata: the floats are already fp16_round()ed by the
@@ -63,15 +85,19 @@ struct Writer {
   }
 };
 
-// Bounds-checked little-endian reader.
+// Bounds-checked little-endian reader. Every take() validates against the
+// remaining bytes *before* touching (or allocating for) them, so a malformed
+// length field is a typed kTruncated error, never an out-of-bounds read or a
+// runaway allocation.
 struct Reader {
   std::span<const std::uint8_t> buf;
   std::size_t pos = 0;
 
+  std::size_t remaining() const { return buf.size() - pos; }
   std::span<const std::uint8_t> take(std::size_t n) {
-    HACK_CHECK(pos + n <= buf.size(),
-               "truncated KV wire blob: need " << n << " bytes at offset "
-                                               << pos << " of " << buf.size());
+    KV_WIRE_CHECK(n <= remaining(), KvWireErrorCode::kTruncated,
+                  "need " << n << " bytes at offset " << pos << " of "
+                          << buf.size());
     const auto out = buf.subspan(pos, n);
     pos += n;
     return out;
@@ -94,9 +120,12 @@ struct Reader {
     return v;
   }
   std::vector<float> halves(std::size_t count) {
+    const auto b = take(2 * count);  // bounds before allocation
     std::vector<float> out(count);
     for (std::size_t i = 0; i < count; ++i) {
-      out[i] = Half::from_bits(u16()).to_float();
+      out[i] = Half::from_bits(
+                   static_cast<std::uint16_t>(b[2 * i] | (b[2 * i + 1] << 8)))
+                   .to_float();
     }
     return out;
   }
@@ -114,8 +143,11 @@ constexpr std::uint8_t kTailNone = 0;
 constexpr std::uint8_t kTailFp16 = 1;
 constexpr std::uint8_t kTailRaggedQuantized = 2;
 
-// Fixed header size: 7 × u32 + 4 × u8 + 2 × u64.
-constexpr std::size_t kHeaderBytes = 7 * 4 + 4 + 2 * 8;
+// v1 fixed header: 7 × u32 + 4 × u8 + 2 × u64. v2 appends header_crc (u32)
+// and frames each record with record_bytes (u64) + record_crc (u32).
+constexpr std::size_t kHeaderBytesV1 = 7 * 4 + 4 + 2 * 8;
+constexpr std::size_t kHeaderBytesV2 = kHeaderBytesV1 + 4;
+constexpr std::size_t kRecordFramingBytes = 8 + 4;
 
 void write_quantized(Writer& w, const QuantizedMatrix& q) {
   w.packed(q.codes, q.bits);
@@ -142,8 +174,11 @@ QuantizedMatrix read_quantized(Reader& r, std::size_t rows, std::size_t cols,
 
 SumCache read_sums(Reader& r, std::size_t outer, std::size_t groups) {
   const std::size_t count = outer * groups;
+  const auto b = r.take(2 * count);  // bounds before allocation
   std::vector<std::int32_t> sums(count);
-  for (std::size_t i = 0; i < count; ++i) sums[i] = r.u16();
+  for (std::size_t i = 0; i < count; ++i) {
+    sums[i] = static_cast<std::int32_t>(b[2 * i] | (b[2 * i + 1] << 8));
+  }
   return SumCache::from_parts(outer, groups, std::move(sums));
 }
 
@@ -169,18 +204,101 @@ const HackAttentionConfig& checked_shared_config(
   return first.config();
 }
 
+// Parses one (layer × KV head) record from `r` into the layer's head `h`.
+// For v2 the caller hands a sub-reader whose span is exactly the
+// CRC-verified record; for v1 it is the tail of the blob.
+void read_head_record(Reader& r, const KvWireInfo& info,
+                      HackLayerKvState* layer, std::size_t h) {
+  const std::size_t tokens = info.tokens;
+  const std::size_t d_head = info.d_head;
+  const std::size_t k_groups = d_head / info.pi;
+
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) word = r.u64();
+  Rng rng(0);
+  rng.set_state(rng_state);
+  layer->set_head_rng(h, rng);
+
+  QuantizedMatrix k = read_quantized(r, tokens, d_head, info.kv_bits,
+                                     QuantAxis::kRow, info.pi, k_groups);
+  SumCache k_sums = info.summation_elimination
+                        ? read_sums(r, tokens, k_groups)
+                        : SumCache::build(k);
+
+  const std::uint64_t v_rows = r.u64();
+  KV_WIRE_CHECK(v_rows % info.pi == 0 && v_rows <= tokens,
+                KvWireErrorCode::kBadSection,
+                "V section rows " << v_rows << " not a whole-Π prefix of "
+                                  << tokens << " tokens");
+  QuantizedMatrix v_q;
+  SumCache v_sums;
+  if (v_rows > 0) {
+    v_q = read_quantized(r, v_rows, d_head, info.kv_bits, QuantAxis::kCol,
+                         info.pi, v_rows / info.pi);
+    v_sums = info.summation_elimination
+                 ? read_sums(r, d_head, v_rows / info.pi)
+                 : SumCache::build(v_q);
+  }
+
+  const std::uint8_t tail_kind = r.u8();
+  const std::uint64_t tail_rows = r.u64();
+  Matrix tail_fp16;
+  QuantizedMatrix tail_q;
+  if (tail_kind == kTailFp16) {
+    KV_WIRE_CHECK(info.requant_elimination && tail_rows > 0 &&
+                      tail_rows < info.pi,
+                  KvWireErrorCode::kBadSection,
+                  "FP16 tail of " << tail_rows << " rows is invalid");
+    const std::vector<float> values = r.halves(tail_rows * d_head);
+    tail_fp16 = Matrix::from_rows(tail_rows, d_head, values);
+  } else if (tail_kind == kTailRaggedQuantized) {
+    KV_WIRE_CHECK(!info.requant_elimination && tail_rows > 0 &&
+                      tail_rows < info.pi,
+                  KvWireErrorCode::kBadSection,
+                  "ragged tail of " << tail_rows << " rows is invalid");
+    tail_q = read_quantized(r, tail_rows, d_head, info.kv_bits,
+                            QuantAxis::kCol, info.pi, 1);
+  } else {
+    KV_WIRE_CHECK(tail_kind == kTailNone && tail_rows == 0,
+                  KvWireErrorCode::kBadSection,
+                  "unknown tail kind " << int(tail_kind));
+  }
+
+  layer->head_state_mut(h).restore(
+      tokens, std::move(k), std::move(k_sums), std::move(v_q),
+      std::move(v_sums), std::move(tail_fp16), std::move(tail_q),
+      tail_kind == kTailRaggedQuantized);
+}
+
 }  // namespace
 
+const char* kv_wire_error_name(KvWireErrorCode code) {
+  switch (code) {
+    case KvWireErrorCode::kBadMagic: return "bad-magic";
+    case KvWireErrorCode::kBadVersion: return "bad-version";
+    case KvWireErrorCode::kBadGeometry: return "bad-geometry";
+    case KvWireErrorCode::kBadCrc: return "bad-crc";
+    case KvWireErrorCode::kTruncated: return "truncated";
+    case KvWireErrorCode::kTrailingBytes: return "trailing-bytes";
+    case KvWireErrorCode::kBadSection: return "bad-section";
+  }
+  return "unknown";
+}
+
 std::vector<std::uint8_t> serialize_kv_wire(
-    std::span<HackLayerKvState* const> layers, KvWireSections* sections) {
+    std::span<HackLayerKvState* const> layers, KvWireSections* sections,
+    std::uint32_t version) {
+  HACK_CHECK(version == kKvWireVersion || version == kKvWireVersionLegacy,
+             "cannot write KV wire version " << version);
   const HackAttentionConfig& config = checked_shared_config(layers);
   const HackLayerKvState& first = *layers[0];
   const std::uint64_t tokens = first.tokens();
   HACK_CHECK(tokens > 0, "serializing an empty KV cache; run prefill first");
+  const bool v2 = version == kKvWireVersion;
 
   Writer w;
   w.u32(kKvWireMagic);
-  w.u32(kKvWireVersion);
+  w.u32(version);
   w.u32(static_cast<std::uint32_t>(layers.size()));
   w.u32(static_cast<std::uint32_t>(first.kv_heads()));
   w.u32(static_cast<std::uint32_t>(first.query_heads()));
@@ -197,12 +315,23 @@ std::vector<std::uint8_t> serialize_kv_wire(
   w.u64(tokens);
   const std::size_t payload_at = w.buf.size();
   w.u64(0);  // payload_bytes, patched below
+  const std::size_t header_crc_at = w.buf.size();
+  if (v2) w.u32(0);  // header_crc, patched below
 
   for (HackLayerKvState* layer : layers) {
     for (std::size_t h = 0; h < layer->kv_heads(); ++h) {
       const HackKvState& st = layer->head_state(h);
       HACK_CHECK(st.k_ready() && st.tokens() == tokens,
                  "head state out of step with the sequence");
+
+      // v2 record framing: length + CRC precede the payload so the reader
+      // can verify integrity before interpreting a single record byte.
+      const std::size_t framing_at = w.buf.size();
+      if (v2) {
+        w.u64(0);  // record_bytes, patched below
+        w.u32(0);  // record_crc, patched below
+      }
+      const std::size_t record_at = w.buf.size();
 
       const auto rng_state = layer->head_rng(h).state();
       for (const std::uint64_t word : rng_state) w.u64(word);
@@ -234,12 +363,22 @@ std::vector<std::uint8_t> serialize_kv_wire(
         w.u8(kTailNone);
         w.u64(0);
       }
+
+      if (v2) {
+        const std::size_t record_bytes = w.buf.size() - record_at;
+        w.patch_u64(framing_at, record_bytes);
+        w.patch_u32(framing_at + 8,
+                    crc32c(w.buf.data() + record_at, record_bytes));
+      }
     }
   }
 
   const std::uint64_t total = w.buf.size();
-  for (int i = 0; i < 8; ++i) {
-    w.buf[payload_at + i] = static_cast<std::uint8_t>(total >> (8 * i));
+  w.patch_u64(payload_at, total);
+  if (v2) {
+    // The header CRC covers every header byte before it — payload_bytes
+    // included, so a truncating edit cannot fix up the length unnoticed.
+    w.patch_u32(header_crc_at, crc32c(w.buf.data(), kHeaderBytesV1));
   }
   w.sections.framing =
       total - w.sections.rng_streams - w.sections.packed_codes -
@@ -249,13 +388,18 @@ std::vector<std::uint8_t> serialize_kv_wire(
 }
 
 KvWireInfo parse_kv_wire_header(std::span<const std::uint8_t> blob) {
+  KV_WIRE_CHECK(blob.size() >= kHeaderBytesV1, KvWireErrorCode::kTruncated,
+                "blob of " << blob.size() << " bytes is shorter than the "
+                           << kHeaderBytesV1 << "-byte wire header");
   Reader r{blob};
-  HACK_CHECK(blob.size() >= kHeaderBytes, "blob shorter than the wire header");
   KvWireInfo info;
-  HACK_CHECK(r.u32() == kKvWireMagic, "not a HACK KV wire blob (bad magic)");
+  KV_WIRE_CHECK(r.u32() == kKvWireMagic, KvWireErrorCode::kBadMagic,
+                "not a HACK KV wire blob");
   info.version = r.u32();
-  HACK_CHECK(info.version == kKvWireVersion,
-             "unsupported KV wire version " << info.version);
+  KV_WIRE_CHECK(
+      info.version == kKvWireVersion || info.version == kKvWireVersionLegacy,
+      KvWireErrorCode::kBadVersion,
+      "unsupported KV wire version " << info.version);
   info.layers = r.u32();
   info.kv_heads = r.u32();
   info.query_heads = r.u32();
@@ -270,22 +414,41 @@ KvWireInfo parse_kv_wire_header(std::span<const std::uint8_t> blob) {
   (void)r.u8();  // reserved
   info.tokens = r.u64();
   info.payload_bytes = r.u64();
-  HACK_CHECK(info.payload_bytes == blob.size(),
-             "blob holds " << blob.size() << " bytes, header claims "
-                           << info.payload_bytes);
+  info.header_bytes =
+      info.version == kKvWireVersion ? kHeaderBytesV2 : kHeaderBytesV1;
+  if (info.version == kKvWireVersion) {
+    KV_WIRE_CHECK(blob.size() >= kHeaderBytesV2, KvWireErrorCode::kTruncated,
+                  "v2 blob shorter than its CRC-framed header");
+    const std::uint32_t stored = r.u32();
+    const std::uint32_t computed = crc32c(blob.data(), kHeaderBytesV1);
+    KV_WIRE_CHECK(stored == computed, KvWireErrorCode::kBadCrc,
+                  "header CRC mismatch: stored " << stored << ", computed "
+                                                 << computed);
+  }
+  if (blob.size() < info.payload_bytes) {
+    wire_fail(KvWireErrorCode::kTruncated,
+              "blob holds " + std::to_string(blob.size()) +
+                  " bytes, header claims " +
+                  std::to_string(info.payload_bytes));
+  }
+  if (blob.size() > info.payload_bytes) {
+    wire_fail(KvWireErrorCode::kTrailingBytes,
+              "blob has " + std::to_string(blob.size() - info.payload_bytes) +
+                  " trailing bytes past the framed payload");
+  }
   return info;
 }
 
 void deserialize_kv_wire(std::span<const std::uint8_t> blob,
                          std::span<HackLayerKvState* const> layers) {
   const KvWireInfo info = parse_kv_wire_header(blob);
-  HACK_CHECK(info.layers == layers.size(),
-             "blob carries " << info.layers << " layers, target has "
-                             << layers.size());
+  KV_WIRE_CHECK(info.layers == layers.size(), KvWireErrorCode::kBadGeometry,
+                "blob carries " << info.layers << " layers, target has "
+                                << layers.size());
   const HackAttentionConfig& config = checked_shared_config(layers);
   const HackLayerKvState& first = *layers[0];
   HACK_CHECK(first.tokens() == 0, "rehydrating into a non-fresh state");
-  HACK_CHECK(
+  KV_WIRE_CHECK(
       info.kv_heads == first.kv_heads() &&
           info.query_heads == first.query_heads() &&
           info.d_head == first.d_head() && info.pi == config.pi &&
@@ -294,77 +457,56 @@ void deserialize_kv_wire(std::span<const std::uint8_t> blob,
           info.requant_elimination == config.requant_elimination &&
           info.stochastic_rounding ==
               (config.rounding == Rounding::kStochastic),
+      KvWireErrorCode::kBadGeometry,
       "decode-side config/geometry does not match the wire header; the "
       "handoff contract requires identical HackAttentionConfig on both "
       "workers");
-
-  const std::size_t tokens = info.tokens;
-  const std::size_t d_head = info.d_head;
-  const std::size_t k_groups = d_head / info.pi;
+  // Sanity-bound tokens against the blob before any size arithmetic: each of
+  // the blob's tokens costs at least one K code (kv_bits × d_head bits) per
+  // record, so a corrupted v1 header (v2 headers are CRC-checked) cannot
+  // trigger runaway allocations downstream.
+  const std::size_t min_bits_per_token =
+      static_cast<std::size_t>(info.kv_bits) * info.d_head;
+  KV_WIRE_CHECK(
+      info.tokens <= blob.size() * 8 / min_bits_per_token,
+      KvWireErrorCode::kBadSection,
+      "token count " << info.tokens << " cannot fit a " << blob.size()
+                     << "-byte blob");
 
   Reader r{blob};
-  r.pos = kHeaderBytes;
+  r.pos = info.header_bytes;
+  const bool v2 = info.version == kKvWireVersion;
   for (HackLayerKvState* layer : layers) {
     for (std::size_t h = 0; h < info.kv_heads; ++h) {
-      std::array<std::uint64_t, 4> rng_state;
-      for (std::uint64_t& word : rng_state) word = r.u64();
-      Rng rng(0);
-      rng.set_state(rng_state);
-      layer->set_head_rng(h, rng);
-
-      QuantizedMatrix k = read_quantized(r, tokens, d_head, info.kv_bits,
-                                         QuantAxis::kRow, info.pi, k_groups);
-      SumCache k_sums = info.summation_elimination
-                            ? read_sums(r, tokens, k_groups)
-                            : SumCache::build(k);
-
-      const std::size_t v_rows = r.u64();
-      HACK_CHECK(v_rows % info.pi == 0 && v_rows <= tokens,
-                 "V section rows " << v_rows << " not a whole-Π prefix of "
-                                   << tokens << " tokens");
-      QuantizedMatrix v_q;
-      SumCache v_sums;
-      if (v_rows > 0) {
-        v_q = read_quantized(r, v_rows, d_head, info.kv_bits, QuantAxis::kCol,
-                             info.pi, v_rows / info.pi);
-        v_sums = info.summation_elimination
-                     ? read_sums(r, d_head, v_rows / info.pi)
-                     : SumCache::build(v_q);
-      }
-
-      const std::uint8_t tail_kind = r.u8();
-      const std::size_t tail_rows = r.u64();
-      Matrix tail_fp16;
-      QuantizedMatrix tail_q;
-      if (tail_kind == kTailFp16) {
-        HACK_CHECK(info.requant_elimination && tail_rows > 0 &&
-                       tail_rows < info.pi,
-                   "FP16 tail of " << tail_rows << " rows is invalid");
-        const std::vector<float> values = r.halves(tail_rows * d_head);
-        tail_fp16 = Matrix::from_rows(tail_rows, d_head, values);
-      } else if (tail_kind == kTailRaggedQuantized) {
-        HACK_CHECK(!info.requant_elimination && tail_rows > 0 &&
-                       tail_rows < info.pi,
-                   "ragged tail of " << tail_rows << " rows is invalid");
-        tail_q = read_quantized(r, tail_rows, d_head, info.kv_bits,
-                                QuantAxis::kCol, info.pi, 1);
+      if (v2) {
+        // Verify the record CRC before parsing a single payload byte; a
+        // corrupted length field fails either the bounds check (kTruncated)
+        // or, with overwhelming probability, the checksum (kBadCrc).
+        const std::uint64_t record_bytes = r.u64();
+        const std::uint32_t stored = r.u32();
+        const auto record = r.take(record_bytes);
+        const std::uint32_t computed = crc32c(record.data(), record.size());
+        KV_WIRE_CHECK(stored == computed, KvWireErrorCode::kBadCrc,
+                      "record CRC mismatch at layer-head record (stored "
+                          << stored << ", computed " << computed << ")");
+        Reader record_reader{record};
+        read_head_record(record_reader, info, layer, h);
+        KV_WIRE_CHECK(record_reader.pos == record.size(),
+                      KvWireErrorCode::kBadSection,
+                      "record has " << record.size() - record_reader.pos
+                                    << " unparsed bytes");
       } else {
-        HACK_CHECK(tail_kind == kTailNone && tail_rows == 0,
-                   "unknown tail kind " << int(tail_kind));
+        read_head_record(r, info, layer, h);
       }
-
-      layer->head_state_mut(h).restore(
-          tokens, std::move(k), std::move(k_sums), std::move(v_q),
-          std::move(v_sums), std::move(tail_fp16), std::move(tail_q),
-          tail_kind == kTailRaggedQuantized);
     }
   }
-  HACK_CHECK(r.pos == blob.size(),
-             "blob has " << blob.size() - r.pos << " trailing bytes");
+  KV_WIRE_CHECK(r.pos == blob.size(), KvWireErrorCode::kTrailingBytes,
+                "blob has " << blob.size() - r.pos << " trailing bytes");
 }
 
 std::vector<std::uint8_t> serialize_session_kv(TinyModelSession& session,
-                                               KvWireSections* sections) {
+                                               KvWireSections* sections,
+                                               std::uint32_t version) {
   std::vector<HackLayerKvState*> layers;
   layers.reserve(session.layers());
   for (std::size_t l = 0; l < session.layers(); ++l) {
@@ -377,7 +519,7 @@ std::vector<std::uint8_t> serialize_session_kv(TinyModelSession& session,
   HACK_CHECK(!layers.empty() && layers[0]->tokens() == session.position(),
              "session position out of step with its KV state; commit the "
              "prefill chunk (advance) before serializing");
-  return serialize_kv_wire(layers, sections);
+  return serialize_kv_wire(layers, sections, version);
 }
 
 void deserialize_session_kv(std::span<const std::uint8_t> blob,

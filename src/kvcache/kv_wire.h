@@ -30,6 +30,21 @@
 //            group, RQE off) · rows u64 · payload (binary16 × rows·d_head,
 //            or packed codes + per-column binary16 (min, scale))
 //
+// Version 2 adds integrity framing so a corrupted or truncated blob is a
+// *typed error* at the receiver, never UB:
+//
+//   header   as v1, then header_crc u32 — CRC32C over the preceding bytes
+//   record   each (layer × KV head) record is preceded by
+//            record_bytes u64 · record_crc u32; the CRC covers the record
+//            payload, which is only *parsed* after the checksum matches.
+//
+// A v2 reader still accepts v1 blobs (PR 5's bytes) with the CRC checks
+// skipped — the compatibility path is pinned in tests/test_kv_wire.cpp.
+// Deserialization failures throw KvWireError with a precise KvWireErrorCode
+// (bad magic / version / geometry / CRC / truncation / malformed section);
+// the disagg recovery layer (serving/disagg.h) catches kBadCrc to drive
+// full-blob retransmission.
+//
 // With SE off the sums are not transmitted (the decode side recomputes them
 // per iteration, exactly like the paper's ablation); rehydration rebuilds the
 // bookkeeping caches from the codes, which is bit-identical. The blob rides
@@ -39,16 +54,50 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "attention/layer_attention.h"
+#include "base/check.h"
 
 namespace hack {
 
 class TinyModelSession;
 
 inline constexpr std::uint32_t kKvWireMagic = 0x57564B48u;  // "HKVW"
-inline constexpr std::uint32_t kKvWireVersion = 1u;
+inline constexpr std::uint32_t kKvWireVersion = 2u;
+// PR 5's CRC-less format; the reader keeps accepting it (writers can emit it
+// through serialize_kv_wire's `version` parameter for compatibility tests).
+inline constexpr std::uint32_t kKvWireVersionLegacy = 1u;
+
+// Why a wire-blob deserialization failed. Every failure mode a corrupted,
+// truncated, or foreign blob can produce maps to exactly one code — the
+// corruption sweep in tests/test_kv_wire.cpp pins that no input reaches
+// undefined behavior or an untyped assert.
+enum class KvWireErrorCode {
+  kBadMagic,      // not a HACK KV wire blob
+  kBadVersion,    // version field is neither v1 nor v2
+  kBadGeometry,   // header geometry/config disagrees with the target states
+  kBadCrc,        // header or record checksum mismatch (v2 only)
+  kTruncated,     // blob shorter than its framing claims
+  kTrailingBytes, // blob longer than its framing claims
+  kBadSection,    // a section field violates a format invariant
+};
+
+const char* kv_wire_error_name(KvWireErrorCode code);
+
+// Typed wire failure. Derives from CheckError so pre-v2 callers that caught
+// the generic error keep working; new callers branch on code() — the disagg
+// retry policy retransmits on kBadCrc/kTruncated and gives up on the rest.
+class KvWireError : public CheckError {
+ public:
+  KvWireError(KvWireErrorCode code, const std::string& what)
+      : CheckError(what), code_(code) {}
+  KvWireErrorCode code() const { return code_; }
+
+ private:
+  KvWireErrorCode code_;
+};
 
 // Byte accounting of one serialized blob, by section kind. `framing` is the
 // header plus the per-record length/kind fields — the format's own overhead.
@@ -80,22 +129,28 @@ struct KvWireInfo {
   bool stochastic_rounding = false;
   std::uint64_t tokens = 0;
   std::uint64_t payload_bytes = 0;
+  std::size_t header_bytes = 0;  // 48 (v1) or 52 (v2, incl. header_crc)
 };
 
 // Serializes the given layers' KV states (one HackLayerKvState per
 // transformer layer, all sharing one config and token count) into a wire
-// blob. `sections` (optional) receives the byte accounting.
+// blob. `sections` (optional) receives the byte accounting. `version` picks
+// the wire format: v2 (default, CRC-framed) or v1 (PR 5's CRC-less bytes,
+// kept writable so the compatibility read path stays testable).
 std::vector<std::uint8_t> serialize_kv_wire(
     std::span<HackLayerKvState* const> layers,
-    KvWireSections* sections = nullptr);
+    KvWireSections* sections = nullptr,
+    std::uint32_t version = kKvWireVersion);
 
-// Validates and parses the fixed header. Throws CheckError on a foreign or
-// truncated blob.
+// Validates and parses the fixed header — including the v2 header CRC.
+// Throws KvWireError on a foreign, corrupted, or truncated blob.
 KvWireInfo parse_kv_wire_header(std::span<const std::uint8_t> blob);
 
 // Rehydrates `layers` (fresh, zero-token states whose config and geometry
 // must match the header) from a blob. Codes, metadata, sums, tails, and RNG
-// stream positions land exactly as shipped.
+// stream positions land exactly as shipped. Every record's CRC is verified
+// (v2) before its bytes are interpreted; any corruption or truncation throws
+// KvWireError with the matching code.
 void deserialize_kv_wire(std::span<const std::uint8_t> blob,
                          std::span<HackLayerKvState* const> layers);
 
@@ -103,7 +158,8 @@ void deserialize_kv_wire(std::span<const std::uint8_t> blob,
 // session after prefill, or rehydrate a fresh session — including its
 // timeline position — so decoding continues where the prefill worker stopped.
 std::vector<std::uint8_t> serialize_session_kv(
-    TinyModelSession& session, KvWireSections* sections = nullptr);
+    TinyModelSession& session, KvWireSections* sections = nullptr,
+    std::uint32_t version = kKvWireVersion);
 void deserialize_session_kv(std::span<const std::uint8_t> blob,
                             TinyModelSession& session);
 

@@ -1,0 +1,69 @@
+#include "netsim/fault.h"
+
+#include "base/check.h"
+
+namespace hack {
+
+FaultModel::FaultModel(FaultConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  HACK_CHECK(config_.chunk_drop_prob >= 0.0 && config_.chunk_drop_prob <= 1.0,
+             "drop probability " << config_.chunk_drop_prob << " outside [0,1]");
+  HACK_CHECK(
+      config_.chunk_corrupt_prob >= 0.0 && config_.chunk_corrupt_prob <= 1.0,
+      "corrupt probability " << config_.chunk_corrupt_prob << " outside [0,1]");
+  HACK_CHECK(
+      config_.latency_spike_prob >= 0.0 && config_.latency_spike_prob <= 1.0,
+      "spike probability " << config_.latency_spike_prob << " outside [0,1]");
+  HACK_CHECK(config_.latency_spike_s >= 0.0, "negative latency spike");
+  for (const LinkDownWindow& w : config_.down_windows) {
+    HACK_CHECK(w.end_s >= w.start_s, "down window ends before it starts");
+  }
+}
+
+void FaultModel::script_fate(std::size_t chunk_ordinal, ChunkFate fate) {
+  HACK_CHECK(chunk_ordinal >= ordinal_,
+             "chunk " << chunk_ordinal << " already drawn (at ordinal "
+                      << ordinal_ << ")");
+  scripted_[chunk_ordinal] = fate;
+}
+
+ChunkEvent FaultModel::next_chunk() {
+  // Fixed draw order and count per chunk, independent of the outcome.
+  const double drop_draw = rng_.next_double();
+  const double corrupt_draw = rng_.next_double();
+  const double spike_draw = rng_.next_double();
+  const std::uint64_t entropy = rng_.next_u64();
+
+  ChunkEvent event;
+  event.corrupt_entropy = entropy;
+  const auto scripted = scripted_.find(ordinal_);
+  if (scripted != scripted_.end()) {
+    event.fate = scripted->second;
+  } else if (drop_draw < config_.chunk_drop_prob) {
+    event.fate = ChunkFate::kDropped;
+  } else if (corrupt_draw < config_.chunk_corrupt_prob) {
+    event.fate = ChunkFate::kCorrupted;
+  }
+  if (spike_draw < config_.latency_spike_prob) {
+    event.spike_s = config_.latency_spike_s;
+    ++stats_.latency_spikes;
+  }
+
+  ++ordinal_;
+  ++stats_.chunks_seen;
+  if (event.fate == ChunkFate::kDropped) ++stats_.drops;
+  if (event.fate == ChunkFate::kCorrupted) ++stats_.corruptions;
+  return event;
+}
+
+double FaultModel::down_delay(double t) {
+  for (const LinkDownWindow& w : config_.down_windows) {
+    if (t >= w.start_s && t < w.end_s) {
+      ++stats_.down_delays;
+      return w.end_s - t;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace hack

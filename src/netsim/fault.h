@@ -1,0 +1,105 @@
+// Deterministic fault injection for the netsim NIC/link model.
+//
+// Production disaggregation lives or dies on transfer faults: NCCL flakes,
+// links brown out, packets corrupt in flight (the HACK paper's §6 transfer is
+// exactly the component that fails at fleet scale; FlowKV treats KV-transfer
+// failure handling as a first-class scheduling input). This module injects
+// those faults *deterministically*: a seeded FaultModel draws one fate per
+// chunk — drop, corrupt, latency spike — from its own Rng in a fixed draw
+// order, plus scheduled link-down windows, so a chaos run with the same seed
+// replays the identical fault schedule every time. Tests script exact fates
+// per chunk ordinal on top of the probabilistic draws.
+//
+// The model also keeps a ledger of everything it injected (FaultStats); the
+// disagg recovery layer's report counters are asserted against this ledger —
+// "the report matches the injected schedule exactly" is the contract in
+// tests/test_disagg_faults.cpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace hack {
+
+// During [start_s, end_s) the link carries nothing; chunks ready inside the
+// window wait for it to close (a modeled switch reboot / cable flap).
+struct LinkDownWindow {
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct FaultConfig {
+  double chunk_drop_prob = 0.0;      // chunk vanishes in flight
+  double chunk_corrupt_prob = 0.0;   // chunk arrives with flipped bits
+  double latency_spike_prob = 0.0;   // chunk arrival delayed by spike_s
+  double latency_spike_s = 0.0;
+  std::vector<LinkDownWindow> down_windows;
+  std::uint64_t seed = 0x5EED;
+};
+
+enum class ChunkFate {
+  kDelivered,
+  kDropped,
+  kCorrupted,
+};
+
+// What the model actually injected — the ground truth the recovery layer's
+// counters are verified against.
+struct FaultStats {
+  std::size_t chunks_seen = 0;
+  std::size_t drops = 0;
+  std::size_t corruptions = 0;
+  std::size_t latency_spikes = 0;
+  std::size_t down_delays = 0;  // chunks that waited out a down window
+};
+
+// One chunk's injected outcome. `corrupt_entropy` is a deterministic 64-bit
+// draw the caller uses to pick which byte/bit to flip when fate is
+// kCorrupted (the model does not see payload bytes; the transport does).
+struct ChunkEvent {
+  ChunkFate fate = ChunkFate::kDelivered;
+  double spike_s = 0.0;
+  std::uint64_t corrupt_entropy = 0;
+};
+
+class FaultModel {
+ public:
+  explicit FaultModel(FaultConfig config = {});
+
+  const FaultConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+  std::size_t ordinal() const { return ordinal_; }
+
+  // Scripts an exact fate for the chunk with the given lifetime ordinal
+  // (0-based across every transfer this model sees). Scripted fates override
+  // the probabilistic draw but consume the same Rng draws, so scripting one
+  // chunk never shifts the fates of the others.
+  void script_fate(std::size_t chunk_ordinal, ChunkFate fate);
+
+  // Draws the next chunk's fate. Always consumes exactly three uniform draws
+  // (drop, corrupt, spike) plus one entropy draw — outcome-independent draw
+  // count keeps the stream aligned with any scripted overrides.
+  ChunkEvent next_chunk();
+
+  // Extra wait before a chunk ready at `t` may start sending: the remainder
+  // of any down window containing t. Counted in stats() when positive.
+  double down_delay(double t);
+
+  bool active() const {
+    return config_.chunk_drop_prob > 0.0 || config_.chunk_corrupt_prob > 0.0 ||
+           config_.latency_spike_prob > 0.0 || !config_.down_windows.empty() ||
+           !scripted_.empty();
+  }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  std::size_t ordinal_ = 0;
+  std::map<std::size_t, ChunkFate> scripted_;
+  FaultStats stats_;
+};
+
+}  // namespace hack

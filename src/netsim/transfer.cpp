@@ -1,5 +1,7 @@
 #include "netsim/transfer.h"
 
+#include <algorithm>
+
 namespace hack {
 
 TransferResult nccl_transfer(Nic& src, Nic& dst, double ready_time,
@@ -21,6 +23,47 @@ TransferResult nccl_transfer(Nic& src, Nic& dst, double ready_time,
     chunk_ready = out.finish;
   }
   return result;
+}
+
+FaultyTransferResult nccl_transfer_faulty(Nic& src, Nic& dst,
+                                          double ready_time, double bytes,
+                                          int chunks, FaultModel* faults) {
+  HACK_CHECK(chunks > 0, "transfer needs at least one chunk");
+  const double chunk_bytes = bytes / chunks;
+  FaultyTransferResult out;
+  out.result.bytes = bytes;
+  out.chunks.reserve(static_cast<std::size_t>(chunks));
+  double chunk_ready = ready_time;
+  bool first = true;
+  for (int i = 0; i < chunks; ++i) {
+    ChunkEvent event;  // default: clean delivery
+    double down_s = 0.0;
+    if (faults != nullptr) {
+      event = faults->next_chunk();
+      down_s = faults->down_delay(chunk_ready);
+    }
+    out.fault_delay_s += down_s;
+    const Nic::Booking send = src.book(chunk_ready + down_s, chunk_bytes);
+    if (first) {
+      out.result.start = send.start;
+      first = false;
+    }
+    if (event.fate == ChunkFate::kDropped) {
+      // The chunk burned sender wire time but never occupies the receiver;
+      // the sender is free to push the next chunk immediately.
+      out.result.finish = std::max(out.result.finish, send.finish);
+    } else {
+      out.fault_delay_s += event.spike_s;
+      const Nic::Booking recv =
+          dst.book(send.finish + event.spike_s, chunk_bytes);
+      out.result.finish = std::max(out.result.finish, recv.finish);
+    }
+    out.chunks.push_back(event);
+    // Pipelining: the receive (or loss) of chunk i overlaps the send of
+    // chunk i+1, exactly like the fault-free model.
+    chunk_ready = send.finish;
+  }
+  return out;
 }
 
 }  // namespace hack

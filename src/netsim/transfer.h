@@ -14,6 +14,9 @@
 // TTFT accounting.
 #pragma once
 
+#include <vector>
+
+#include "netsim/fault.h"
 #include "netsim/link.h"
 
 namespace hack {
@@ -28,5 +31,33 @@ struct TransferResult {
 
 TransferResult nccl_transfer(Nic& src, Nic& dst, double ready_time,
                              double bytes, int chunks = 8);
+
+// One transfer attempt under fault injection. Dropped chunks consumed sender
+// wire time but never reached the receiver; corrupted chunks arrived with
+// flipped bits (the caller owns the payload — corrupt_entropy picks where);
+// the recovery layer (serving/disagg.h) retransmits accordingly. `finish` is
+// when the last chunk that *did* arrive landed (or the last send completed
+// when everything dropped).
+struct FaultyTransferResult {
+  TransferResult result;
+  // Per-chunk injected outcome, index-aligned with the attempt's chunks.
+  std::vector<ChunkEvent> chunks;
+  double fault_delay_s = 0.0;  // latency spikes + down-window waits, summed
+
+  bool clean() const {
+    for (const ChunkEvent& c : chunks) {
+      if (c.fate != ChunkFate::kDelivered) return false;
+    }
+    return true;
+  }
+};
+
+// nccl_transfer with a FaultModel in the path. A null `faults` (or an
+// inactive model) reproduces nccl_transfer's timing exactly. Chunk fates are
+// drawn in send order, so the model's ordinal stream maps 1:1 onto the
+// chunks the wire actually carried.
+FaultyTransferResult nccl_transfer_faulty(Nic& src, Nic& dst,
+                                          double ready_time, double bytes,
+                                          int chunks, FaultModel* faults);
 
 }  // namespace hack

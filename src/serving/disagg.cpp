@@ -15,6 +15,80 @@ double seconds_since(const std::chrono::steady_clock::time_point& start) {
       .count();
 }
 
+// A contiguous byte span of the blob carried by one transfer chunk.
+struct ChunkRange {
+  std::size_t off = 0;
+  std::size_t len = 0;
+};
+
+std::vector<ChunkRange> chunk_ranges(std::size_t bytes, int chunks) {
+  std::vector<ChunkRange> ranges(static_cast<std::size_t>(chunks));
+  for (int i = 0; i < chunks; ++i) {
+    const std::size_t begin = bytes * static_cast<std::size_t>(i) /
+                              static_cast<std::size_t>(chunks);
+    const std::size_t end = bytes * (static_cast<std::size_t>(i) + 1) /
+                            static_cast<std::size_t>(chunks);
+    ranges[static_cast<std::size_t>(i)] = {begin, end - begin};
+  }
+  return ranges;
+}
+
+// Flips one deterministically chosen bit inside the chunk's byte range — the
+// transport-level realization of a FaultModel kCorrupted fate.
+void corrupt_range(std::vector<std::uint8_t>& wire, const ChunkRange& range,
+                   std::uint64_t entropy) {
+  if (range.len == 0) return;
+  const std::size_t byte = range.off + static_cast<std::size_t>(entropy % range.len);
+  const unsigned bit = static_cast<unsigned>((entropy >> 32) % 8);
+  wire[byte] ^= static_cast<std::uint8_t>(1u << bit);
+}
+
+// The continuation of TinyTransformer::generate after its prefill: rehydrate
+// the blob into a fresh session and replay generate()'s decode iterations
+// exactly — same eos/max semantics, same per-step call sequence, same
+// stochastic draws (the wire restored every RNG stream). Shared by the
+// decode worker and the prefill worker's local fallback so both paths are
+// bit-identical by construction.
+struct BlobDecode {
+  std::vector<int> generated;
+  double deserialize_s = 0.0;
+  double decode_s = 0.0;
+};
+
+BlobDecode decode_blob(const std::shared_ptr<const TinyModelWeights>& weights,
+                       const DisaggConfig& config,
+                       std::span<const std::uint8_t> blob, int first_token,
+                       const ServingRequest& request) {
+  BlobDecode out;
+  const auto deser_start = std::chrono::steady_clock::now();
+  TinyModelSession session(
+      weights, make_hack_layer_backend(config.attn, config.backend_seed));
+  deserialize_session_kv(blob, session);
+  out.deserialize_s = seconds_since(deser_start);
+
+  const auto decode_start = std::chrono::steady_clock::now();
+  int token = first_token;
+  for (std::size_t i = 0; i < request.max_new_tokens; ++i) {
+    if (token == request.eos) break;
+    out.generated.push_back(token);
+    const Matrix hidden = session.forward_rows({token});
+    token = argmax_logits(session.logits_for_row(hidden, hidden.rows() - 1));
+  }
+  out.decode_s = seconds_since(decode_start);
+  return out;
+}
+
+// Consumes one scripted crash if armed for this request index.
+void maybe_crash(std::map<std::size_t, std::size_t>& crashes,
+                 std::size_t request_index, const char* worker) {
+  const auto it = crashes.find(request_index);
+  if (it != crashes.end() && it->second > 0) {
+    --it->second;
+    throw WorkerCrash(std::string(worker) + " worker crashed at request " +
+                      std::to_string(request_index));
+  }
+}
+
 }  // namespace
 
 PrefillWorker::PrefillWorker(std::shared_ptr<const TinyModelWeights> weights,
@@ -22,7 +96,14 @@ PrefillWorker::PrefillWorker(std::shared_ptr<const TinyModelWeights> weights,
     : weights_(std::move(weights)), config_(config),
       nic_(config.prefill_nic_gbps) {}
 
-PrefillWorker::Result PrefillWorker::prefill(const ServingRequest& request) {
+void PrefillWorker::inject_crash(std::size_t request_index,
+                                 std::size_t times) {
+  crashes_[request_index] += times;
+}
+
+PrefillWorker::Result PrefillWorker::prefill(const ServingRequest& request,
+                                             std::size_t request_index) {
+  maybe_crash(crashes_, request_index, "prefill");
   HACK_CHECK(!request.prompt.empty(), "prefill needs a non-empty prompt");
   TinyModelSession session(
       weights_, make_hack_layer_backend(config_.attn, config_.backend_seed));
@@ -56,6 +137,14 @@ PrefillWorker::Result PrefillWorker::prefill(const ServingRequest& request) {
   return result;
 }
 
+PrefillWorker::LocalDecode PrefillWorker::local_decode(
+    std::span<const std::uint8_t> blob, int first_token,
+    const ServingRequest& request) {
+  const BlobDecode d =
+      decode_blob(weights_, config_, blob, first_token, request);
+  return {d.generated, d.deserialize_s, d.decode_s};
+}
+
 DecodeWorker::DecodeWorker(std::shared_ptr<const TinyModelWeights> weights,
                            const DisaggConfig& config)
     : weights_(std::move(weights)), config_(config),
@@ -70,10 +159,18 @@ DecodeWorker::DecodeWorker(std::shared_ptr<const TinyModelWeights> weights,
   }
 }
 
+void DecodeWorker::inject_crash(std::size_t request_index, std::size_t times) {
+  crashes_[request_index] += times;
+}
+
 DecodeWorker::Result DecodeWorker::decode(std::span<const std::uint8_t> blob,
                                           int first_token,
-                                          const ServingRequest& request) {
+                                          const ServingRequest& request,
+                                          std::size_t request_index) {
+  maybe_crash(crashes_, request_index, "decode");
   Result result;
+  // Integrity gate: the header parse throws KvWireError on a corrupted or
+  // truncated blob before any admission state is touched.
   const KvWireInfo info = parse_kv_wire_header(blob);
 
   // Worst-case block reservation, like the engine's admission control:
@@ -93,26 +190,18 @@ DecodeWorker::Result DecodeWorker::decode(std::span<const std::uint8_t> blob,
   }
   result.admitted = true;
 
-  const auto deser_start = std::chrono::steady_clock::now();
-  TinyModelSession session(
-      weights_, make_hack_layer_backend(config_.attn, config_.backend_seed));
-  deserialize_session_kv(blob, session);
-  result.deserialize_s = seconds_since(deser_start);
-
-  // The continuation of TinyTransformer::generate after its prefill: the
-  // prefill worker already took the argmax of the prompt logits, so the loop
-  // below replays generate()'s decode iterations exactly — same eos/max
-  // semantics, same per-step call sequence, same stochastic draws (the wire
-  // restored every RNG stream).
-  const auto decode_start = std::chrono::steady_clock::now();
-  int token = first_token;
-  for (std::size_t i = 0; i < request.max_new_tokens; ++i) {
-    if (token == request.eos) break;
-    result.generated.push_back(token);
-    const Matrix hidden = session.forward_rows({token});
-    token = argmax_logits(session.logits_for_row(hidden, hidden.rows() - 1));
+  BlobDecode d;
+  try {
+    d = decode_blob(weights_, config_, blob, first_token, request);
+  } catch (...) {
+    // Record CRC / section failures surface here; hand back the reserved
+    // blocks before propagating so a retransmit retry sees a clean pool.
+    for (const BlockId id : reserved) allocator_->release(id);
+    throw;
   }
-  result.decode_s = seconds_since(decode_start);
+  result.deserialize_s = d.deserialize_s;
+  result.decode_s = d.decode_s;
+  result.generated = std::move(d.generated);
 
   for (const BlockId id : reserved) allocator_->release(id);
   return result;
@@ -121,7 +210,15 @@ DecodeWorker::Result DecodeWorker::decode(std::span<const std::uint8_t> blob,
 DisaggEngine::DisaggEngine(std::shared_ptr<const TinyModelWeights> weights,
                            DisaggConfig config)
     : weights_(std::move(weights)), config_(config),
-      prefill_(weights_, config_), decode_(weights_, config_) {}
+      prefill_(weights_, config_), decode_(weights_, config_),
+      faults_(config_.transfer_faults), backoff_rng_(config_.retry.jitter_seed) {}
+
+double DisaggEngine::next_backoff(std::size_t round) {
+  const RetryPolicy& p = config_.retry;
+  double backoff = p.backoff_base_s;
+  for (std::size_t i = 0; i < round; ++i) backoff *= p.backoff_mult;
+  return backoff * (1.0 + p.backoff_jitter * backoff_rng_.next_double());
+}
 
 DisaggReport DisaggEngine::run(std::vector<ServingRequest> requests) {
   std::sort(requests.begin(), requests.end(),
@@ -132,16 +229,46 @@ DisaggReport DisaggEngine::run(std::vector<ServingRequest> requests) {
   DisaggReport report;
   std::vector<double> ttfts, jcts;
   const TinyConfig& c = weights_->config();
-  for (const ServingRequest& request : requests) {
+  const RetryPolicy& policy = config_.retry;
+  for (std::size_t index = 0; index < requests.size(); ++index) {
+    const ServingRequest& request = requests[index];
     DisaggRecord rec;
     rec.request = request;
+    std::size_t budget = policy.max_retries;
 
-    // Prefill occupies its worker for the measured compute + serialize time;
-    // the transfer then rides the NICs while the worker takes the next
-    // prompt (the overlap the paper's pipelining discussion assumes).
+    // Prefill occupies its worker for the measured compute + serialize time
+    // (plus any crash-recovery backoffs); the transfer then rides the NICs
+    // while the worker takes the next prompt (the overlap the paper's
+    // pipelining discussion assumes).
     const double prefill_start =
         std::max(request.arrival_time_s, prefill_free_s_);
-    PrefillWorker::Result pre = prefill_.prefill(request);
+    double prefill_backoffs = 0.0;
+    PrefillWorker::Result pre;
+    bool prefilled = false;
+    while (!prefilled) {
+      try {
+        pre = prefill_.prefill(request, index);
+        prefilled = true;
+      } catch (const WorkerCrash&) {
+        ++rec.prefill_crashes;
+        if (budget == 0) break;
+        --budget;
+        const double wait = next_backoff(rec.retries);
+        ++rec.retries;
+        rec.backoff_s += wait;
+        prefill_backoffs += wait;
+        // The restarted worker re-runs the whole prefill — nothing of the
+        // crashed attempt survives, so the next attempt is bit-identical.
+      }
+    }
+    if (!prefilled) {
+      // No KV state exists anywhere; there is nothing to degrade to.
+      rec.rejected = true;
+      report.retries_total += rec.retries;
+      report.prefill_crashes_total += rec.prefill_crashes;
+      report.requests.push_back(std::move(rec));
+      continue;
+    }
     rec.prefill_s = pre.prefill_s;
     rec.serialize_s = pre.serialize_s;
     rec.prefill_chunks = pre.prefill_chunks;
@@ -149,40 +276,169 @@ DisaggReport DisaggEngine::run(std::vector<ServingRequest> requests) {
     rec.sections = pre.sections;
     rec.fp16_kv_bytes = parse_kv_wire_header(pre.blob).tokens * c.kv_heads *
                         c.d_head * 2 * 2 * c.layers;
-    prefill_free_s_ = prefill_start + pre.prefill_s + pre.serialize_s;
+    prefill_free_s_ =
+        prefill_start + prefill_backoffs + pre.prefill_s + pre.serialize_s;
 
-    const TransferResult transfer = nccl_transfer(
-        prefill_.nic(), decode_.nic(), prefill_free_s_,
-        static_cast<double>(pre.blob.size()),
-        kv_wire_transfer_chunks(pre.blob.size(), config_.transfer_chunk_bytes));
-    rec.transfer_s = transfer.duration();
+    // Transfer + decode under the retry policy. `wire` is the receiver-side
+    // reassembly buffer; retransmissions always source the pristine blob.
+    const int chunks =
+        kv_wire_transfer_chunks(pre.blob.size(), config_.transfer_chunk_bytes);
+    const std::vector<ChunkRange> all_ranges =
+        chunk_ranges(pre.blob.size(), chunks);
+    const double transfer_epoch = prefill_free_s_;
+    double ready = transfer_epoch;
+    double first_start = -1.0;
+    double last_finish = transfer_epoch;
+    bool first_transmission = true;
+
+    const auto deadline_passed = [&] {
+      return policy.transfer_deadline_s > 0.0 &&
+             last_finish - transfer_epoch > policy.transfer_deadline_s;
+    };
+    // Books one delivery pass: transmits `pending` ranges, retransmitting
+    // dropped chunks (with backoff) until all land or the budget/deadline
+    // gives out. Corrupted chunks land with a bit flipped — detection is the
+    // receiver's CRC check, not the transport's.
+    const auto deliver = [&](std::vector<std::uint8_t>& wire) {
+      std::vector<ChunkRange> pending = all_ranges;
+      while (true) {
+        double bytes = 0.0;
+        for (const ChunkRange& r : pending) bytes += static_cast<double>(r.len);
+        if (!first_transmission) {
+          rec.retransmitted_bytes += static_cast<std::size_t>(bytes);
+        }
+        const FaultyTransferResult attempt = nccl_transfer_faulty(
+            prefill_.nic(), decode_.nic(), ready, bytes,
+            static_cast<int>(pending.size()), &faults_);
+        first_transmission = false;
+        if (first_start < 0.0) first_start = attempt.result.start;
+        last_finish = std::max(last_finish, attempt.result.finish);
+
+        std::vector<ChunkRange> still_pending;
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+          const ChunkEvent& event = attempt.chunks[i];
+          if (event.fate == ChunkFate::kDropped) {
+            ++rec.chunks_dropped;
+            still_pending.push_back(pending[i]);
+          } else if (event.fate == ChunkFate::kCorrupted) {
+            ++rec.chunks_corrupted;
+            corrupt_range(wire, pending[i], event.corrupt_entropy);
+          }
+        }
+        if (still_pending.empty()) return true;
+        if (deadline_passed()) {
+          rec.deadline_missed = true;
+          return false;
+        }
+        if (budget == 0) return false;
+        --budget;
+        const double wait = next_backoff(rec.retries);
+        ++rec.retries;
+        rec.backoff_s += wait;
+        ready = last_finish + wait;
+        pending = std::move(still_pending);
+      }
+    };
+
+    DecodeWorker::Result dec;
+    bool delivered = false;
+    bool failed = false;
+    while (!delivered && !failed) {
+      std::vector<std::uint8_t> wire = pre.blob;
+      if (!deliver(wire)) {
+        failed = true;
+        break;
+      }
+      if (deadline_passed()) {
+        rec.deadline_missed = true;
+        failed = true;
+        break;
+      }
+      bool retransmit = false;
+      try {
+        dec = decode_.decode(wire, pre.first_token, request, index);
+        if (!dec.admitted) {
+          failed = true;  // pool rejection → graceful degradation
+          break;
+        }
+        delivered = true;
+      } catch (const WorkerCrash&) {
+        // The restarted worker lost its receive buffer with the crash.
+        ++rec.decode_crashes;
+        retransmit = true;
+      } catch (const KvWireError&) {
+        // Corruption survived the transport; the typed CRC/section error is
+        // the signal for a full-blob retransmit.
+        ++rec.crc_failures;
+        retransmit = true;
+      }
+      if (retransmit) {
+        if (budget == 0) {
+          failed = true;
+          break;
+        }
+        --budget;
+        const double wait = next_backoff(rec.retries);
+        ++rec.retries;
+        rec.backoff_s += wait;
+        ready = last_finish + wait;
+      }
+    }
+    rec.transfer_s = first_start < 0.0 ? 0.0 : last_finish - first_start;
     report.transfer_s_total += rec.transfer_s;
 
-    DecodeWorker::Result dec =
-        decode_.decode(pre.blob, pre.first_token, request);
-    rec.deserialize_s = dec.deserialize_s;
-    rec.decode_s = dec.decode_s;
-    rec.decode_kv_blocks = dec.kv_blocks;
-    if (!dec.admitted) {
+    double first_token_at = 0.0;
+    double finish_at = 0.0;
+    if (delivered) {
+      rec.deserialize_s = dec.deserialize_s;
+      rec.decode_s = dec.decode_s;
+      rec.decode_kv_blocks = dec.kv_blocks;
+      rec.generated = std::move(dec.generated);
+      first_token_at =
+          std::max(last_finish, decode_free_s_) + dec.deserialize_s;
+      finish_at = first_token_at + dec.decode_s;
+      decode_free_s_ = finish_at;
+    } else if (policy.fallback_local) {
+      // Graceful degradation: the prefill worker decodes from its own copy
+      // of the blob — bit-identical to the decode worker's continuation, at
+      // the cost of occupying the prefill worker.
+      rec.fallback_local = true;
+      ++report.fallbacks;
+      const PrefillWorker::LocalDecode fb =
+          prefill_.local_decode(pre.blob, pre.first_token, request);
+      rec.deserialize_s = fb.deserialize_s;
+      rec.decode_s = fb.decode_s;
+      rec.generated = fb.generated;
+      const double fallback_start = std::max(last_finish, prefill_free_s_);
+      first_token_at = fallback_start + fb.deserialize_s;
+      finish_at = first_token_at + fb.decode_s;
+      prefill_free_s_ = finish_at;
+    } else {
       rec.rejected = true;
+    }
+
+    report.retries_total += rec.retries;
+    report.chunks_dropped_total += rec.chunks_dropped;
+    report.chunks_corrupted_total += rec.chunks_corrupted;
+    report.crc_failures_total += rec.crc_failures;
+    report.prefill_crashes_total += rec.prefill_crashes;
+    report.decode_crashes_total += rec.decode_crashes;
+    report.retransmitted_bytes_total += rec.retransmitted_bytes;
+    if (rec.deadline_missed) ++report.deadline_misses;
+    if (rec.rejected) {
       report.requests.push_back(std::move(rec));
       continue;
     }
-    rec.generated = std::move(dec.generated);
 
-    const double decode_ready =
-        std::max(transfer.finish, decode_free_s_) + dec.deserialize_s;
-    const double decode_end = decode_ready + dec.decode_s;
-    decode_free_s_ = decode_end;
-    rec.ttft_s = decode_ready - request.arrival_time_s;
-    rec.jct_s = decode_end - request.arrival_time_s;
+    rec.ttft_s = first_token_at - request.arrival_time_s;
+    rec.jct_s = finish_at - request.arrival_time_s;
     ttfts.push_back(rec.ttft_s);
     jcts.push_back(rec.jct_s);
 
     report.total_generated += rec.generated.size();
     report.wire_bytes_total += rec.wire_bytes;
     report.fp16_kv_bytes_total += rec.fp16_kv_bytes;
-    report.makespan_s = std::max(report.makespan_s, decode_end);
+    report.makespan_s = std::max(report.makespan_s, finish_at);
     report.requests.push_back(std::move(rec));
   }
 
@@ -193,6 +449,13 @@ DisaggReport DisaggEngine::run(std::vector<ServingRequest> requests) {
   }
   if (!ttfts.empty()) report.ttft_s = compute_stats(std::move(ttfts));
   if (!jcts.empty()) report.jct_s = compute_stats(std::move(jcts));
+  if (decode_.allocator() != nullptr) {
+    report.decode_failed_allocations = decode_.allocator()->failed_allocations();
+    report.decode_min_free_watermark = decode_.allocator()->min_free_watermark();
+  }
+  if (decode_.observed_paged_cache() != nullptr) {
+    report.decode_oom_appends = decode_.observed_paged_cache()->oom_appends();
+  }
   return report;
 }
 

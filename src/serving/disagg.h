@@ -23,24 +23,63 @@
 //                   the previous blob is still in flight (transfer overlap,
 //                   the NIC busy horizons serialize contending transfers).
 //
+// The engine is fault-tolerant: a seeded FaultModel (netsim/fault.h) can
+// drop, corrupt, or delay transfer chunks and crash either worker at a
+// scripted request index, and a RetryPolicy drives the recovery —
+// chunk-level retransmit on drop, full-blob retransmit on a wire CRC
+// failure (KvWireError) or a decode-worker crash, re-prefill on a
+// prefill-worker crash, exponential backoff with Rng jitter between rounds,
+// and a per-request transfer deadline. When retries exhaust, the deadline
+// passes, or the decode pool rejects admission, the request degrades
+// gracefully to a *local* decode on the prefill worker instead of being
+// dropped — still bit-identical, since the fallback rehydrates the same
+// blob the wire would have carried. tests/test_disagg_faults.cpp pins the
+// contract: under any injected schedule that doesn't exhaust retries, every
+// request completes bit-identical to the fault-free run and the report's
+// fault counters equal the FaultModel's injection ledger exactly.
+//
 // TTFT here charges what single-node serving never shows: the first token is
 // counted as delivered only when the KV blob has landed and rehydrated on the
 // decode worker. docs/disaggregation.md walks the format and the contract.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "base/rng.h"
 #include "kvcache/block_allocator.h"
 #include "kvcache/kv_wire.h"
+#include "kvcache/paged_cache.h"
 #include "metrics/stats.h"
 #include "model/session.h"
+#include "netsim/fault.h"
 #include "netsim/link.h"
 #include "serving/request.h"
 
 namespace hack {
+
+// Bounded-retry recovery policy for the transfer/decode path. One retry
+// budget per request covers every recovery round — chunk retransmits,
+// full-blob retransmits, worker restarts.
+struct RetryPolicy {
+  std::size_t max_retries = 3;
+  // Backoff before recovery round k (0-based): base · mult^k · (1 + jitter·u)
+  // with u drawn from the engine's seeded Rng — deterministic per run.
+  double backoff_base_s = 1e-3;
+  double backoff_mult = 2.0;
+  double backoff_jitter = 0.5;
+  std::uint64_t jitter_seed = 0xB0FF;
+  // Wall of simulated time from the first transfer attempt's start to full
+  // delivery; exceeded → deadline miss → fallback. 0 disables.
+  double transfer_deadline_s = 0.0;
+  // Degrade to prefill-worker-local decode instead of dropping the request
+  // when retries exhaust / the deadline passes / the decode pool rejects.
+  bool fallback_local = true;
+};
 
 struct DisaggConfig {
   // Quantization config shared by both workers — the wire header pins it and
@@ -62,12 +101,23 @@ struct DisaggConfig {
   // pool size (0 = unlimited, no admission control).
   std::size_t block_tokens = 16;
   std::size_t decode_kv_blocks = 0;
+  // Fault injection on the transfer path (default: a perfect wire) and the
+  // recovery policy that answers it.
+  FaultConfig transfer_faults;
+  RetryPolicy retry;
+};
+
+// Thrown by a worker whose scripted crash fires (inject_crash). The engine
+// catches it and re-runs the failed stage under the RetryPolicy.
+struct WorkerCrash : public std::runtime_error {
+  explicit WorkerCrash(const std::string& what) : std::runtime_error(what) {}
 };
 
 // One request's measured + modeled lifecycle through the disaggregated path.
 struct DisaggRecord {
   ServingRequest request;
-  bool rejected = false;           // decode pool could not hold the request
+  bool rejected = false;           // dropped: prefill retries exhausted, or
+                                   // failure with fallback_local disabled
   std::vector<int> generated;      // first (prefill-side) token included
 
   std::size_t wire_bytes = 0;      // serialized blob size, measured
@@ -78,12 +128,24 @@ struct DisaggRecord {
 
   double prefill_s = 0.0;          // measured compute
   double serialize_s = 0.0;        // measured
-  double transfer_s = 0.0;         // netsim-modeled wire time
+  double transfer_s = 0.0;         // netsim-modeled wire time, retries incl.
   double deserialize_s = 0.0;      // measured
   double decode_s = 0.0;           // measured compute
 
   double ttft_s = 0.0;  // arrival → first token deliverable at decode worker
   double jct_s = 0.0;   // arrival → last token
+
+  // Fault + recovery accounting for this request.
+  std::size_t retries = 0;             // recovery rounds consumed
+  std::size_t chunks_dropped = 0;      // injected drops seen on the wire
+  std::size_t chunks_corrupted = 0;    // injected corruptions seen
+  std::size_t crc_failures = 0;        // blob rejections (KvWireError)
+  std::size_t prefill_crashes = 0;
+  std::size_t decode_crashes = 0;
+  std::size_t retransmitted_bytes = 0; // wire bytes past the first copy
+  double backoff_s = 0.0;              // modeled backoff waits, summed
+  bool deadline_missed = false;
+  bool fallback_local = false;         // decoded on the prefill worker
 
   // Compression ratio the wire actually achieved for this request.
   double wire_vs_fp16() const {
@@ -104,6 +166,24 @@ struct DisaggReport {
   double transfer_s_total = 0.0;
   SampleStats ttft_s;
   SampleStats jct_s;
+
+  // Fault/recovery rollups (sums of the per-request counters).
+  std::size_t retries_total = 0;
+  std::size_t chunks_dropped_total = 0;
+  std::size_t chunks_corrupted_total = 0;
+  std::size_t crc_failures_total = 0;
+  std::size_t prefill_crashes_total = 0;
+  std::size_t decode_crashes_total = 0;
+  std::size_t retransmitted_bytes_total = 0;
+  std::size_t fallbacks = 0;
+  std::size_t deadline_misses = 0;
+
+  // Decode-side admission pressure, read off the worker's pool after the
+  // episode (and a PagedKvCache when one is observed): how close the pool
+  // came to exhaustion alongside the fault counters above.
+  std::size_t decode_failed_allocations = 0;
+  std::size_t decode_min_free_watermark = 0;
+  std::size_t decode_oom_appends = 0;
 };
 
 // The prefill half: prompt in, first token + wire blob out.
@@ -118,10 +198,28 @@ class PrefillWorker {
     double serialize_s = 0.0;  // measured serialization
   };
 
+  // The graceful-degradation path: rehydrate + decode locally.
+  struct LocalDecode {
+    std::vector<int> generated;
+    double deserialize_s = 0.0;
+    double decode_s = 0.0;
+  };
+
   PrefillWorker(std::shared_ptr<const TinyModelWeights> weights,
                 const DisaggConfig& config);
 
-  Result prefill(const ServingRequest& request);
+  // Throws WorkerCrash if a crash is scripted for `request_index` with
+  // attempts remaining; the engine retries (re-prefill) under its policy.
+  Result prefill(const ServingRequest& request, std::size_t request_index = 0);
+
+  // Fallback decode on this worker from the locally retained blob —
+  // bit-identical to what the decode worker would have produced.
+  LocalDecode local_decode(std::span<const std::uint8_t> blob,
+                           int first_token, const ServingRequest& request);
+
+  // Scripts `times` crashes for the request at arrival-order index
+  // `request_index`; each prefill() attempt consumes one.
+  void inject_crash(std::size_t request_index, std::size_t times = 1);
 
   Nic& nic() { return nic_; }
 
@@ -129,6 +227,7 @@ class PrefillWorker {
   std::shared_ptr<const TinyModelWeights> weights_;
   DisaggConfig config_;
   Nic nic_;
+  std::map<std::size_t, std::size_t> crashes_;  // request index → remaining
 };
 
 // The decode half: wire blob in, remaining tokens out — bit-identical to the
@@ -146,8 +245,18 @@ class DecodeWorker {
   DecodeWorker(std::shared_ptr<const TinyModelWeights> weights,
                const DisaggConfig& config);
 
+  // Throws WorkerCrash on a scripted crash (the buffered blob is lost with
+  // the worker — recovery needs a full retransmit), and KvWireError when the
+  // blob fails its integrity checks.
   Result decode(std::span<const std::uint8_t> blob, int first_token,
-                const ServingRequest& request);
+                const ServingRequest& request, std::size_t request_index = 0);
+
+  void inject_crash(std::size_t request_index, std::size_t times = 1);
+
+  // Registers a paged cache whose oom_appends should surface in the report's
+  // admission-pressure counters (not owned; may be null).
+  void observe_paged_cache(const PagedKvCache* cache) { observed_ = cache; }
+  const PagedKvCache* observed_paged_cache() const { return observed_; }
 
   Nic& nic() { return nic_; }
   const BlockAllocator* allocator() const { return allocator_.get(); }
@@ -157,9 +266,12 @@ class DecodeWorker {
   DisaggConfig config_;
   Nic nic_;
   std::unique_ptr<BlockAllocator> allocator_;  // null: no admission control
+  std::map<std::size_t, std::size_t> crashes_;
+  const PagedKvCache* observed_ = nullptr;
 };
 
-// Orchestrates the two workers over a request timeline with transfer overlap.
+// Orchestrates the two workers over a request timeline with transfer overlap
+// and fault recovery.
 class DisaggEngine {
  public:
   DisaggEngine(std::shared_ptr<const TinyModelWeights> weights,
@@ -168,9 +280,15 @@ class DisaggEngine {
   PrefillWorker& prefill_worker() { return prefill_; }
   DecodeWorker& decode_worker() { return decode_; }
 
+  // The transfer-path fault injector (seeded from config.transfer_faults).
+  // Tests script exact chunk fates here and assert the report's counters
+  // against fault_model().stats().
+  FaultModel& fault_model() { return faults_; }
+
   // Serves every request FCFS on its arrival timeline and returns the
   // episode's records + rollups. Compute times are measured on this machine;
-  // transfer times come from the netsim NIC model.
+  // transfer times come from the netsim NIC model. Crash-plan request
+  // indices refer to positions in this run's arrival order.
   DisaggReport run(std::vector<ServingRequest> requests);
 
   // Single-request convenience. Worker busy horizons persist across calls,
@@ -182,8 +300,12 @@ class DisaggEngine {
   DisaggConfig config_;
   PrefillWorker prefill_;
   DecodeWorker decode_;
+  FaultModel faults_;
+  Rng backoff_rng_;
   double prefill_free_s_ = 0.0;
   double decode_free_s_ = 0.0;
+
+  double next_backoff(std::size_t round);
 };
 
 }  // namespace hack

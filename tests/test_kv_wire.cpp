@@ -12,6 +12,8 @@
 // rounding modes, including ragged (non-multiple-of-Π) contexts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "base/check.h"
 #include "kvcache/kv_wire.h"
 #include "model/tiny_transformer.h"
@@ -190,6 +192,121 @@ TEST(KvWire, HeaderParsesAndRejectsForeignBlobs) {
   mismatched.push_back(
       std::make_unique<HackLayerKvState>(64, 2, 4, other_bits, 2));
   EXPECT_THROW(deserialize_kv_wire(blob, pointers(mismatched)), CheckError);
+}
+
+// Every single-bit flip and every truncation point must surface as a typed
+// KvWireError with a precise code — never UB, an untyped assert, or a
+// silently corrupted rehydration. This is the integrity contract the disagg
+// recovery layer retries on.
+TEST(KvWire, CorruptionSweepYieldsTypedErrors) {
+  const HackAttentionConfig cfg = wire_config(4, true, true);
+  const auto layers = make_prefilled_layers(2, 64, 2, 4, 40, cfg, 5);
+  const auto blob = serialize_kv_wire(pointers(layers));
+
+  const auto fresh_targets = [&] {
+    std::vector<std::unique_ptr<HackLayerKvState>> fresh;
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      fresh.push_back(std::make_unique<HackLayerKvState>(64, 2, 4, cfg, 777));
+    }
+    return fresh;
+  };
+  const auto deserialize_code =
+      [&](std::span<const std::uint8_t> bytes) -> KvWireErrorCode {
+    const auto fresh = fresh_targets();
+    try {
+      deserialize_kv_wire(bytes, pointers(fresh));
+    } catch (const KvWireError& e) {
+      return e.code();
+    }
+    ADD_FAILURE() << "corrupted blob deserialized without an error";
+    return KvWireErrorCode::kBadMagic;
+  };
+
+  // Bit flips: every header byte, and the body on a stride (every record is
+  // CRC-framed, so any body flip trips its record's checksum — or the bounds
+  // check when the flip lands in a record_bytes length field).
+  for (std::size_t byte = 0; byte < blob.size();
+       byte += (byte < 52 ? 1 : 7)) {
+    for (const std::uint8_t mask : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      auto corrupted = blob;
+      corrupted[byte] ^= mask;
+      SCOPED_TRACE(testing::Message() << "flip byte " << byte << " mask "
+                                      << int(mask));
+      const KvWireErrorCode code = deserialize_code(corrupted);
+      if (byte < 4) {
+        EXPECT_EQ(code, KvWireErrorCode::kBadMagic);
+      } else if (byte < 8) {
+        EXPECT_EQ(code, KvWireErrorCode::kBadVersion);
+      } else if (byte < 52) {
+        // Geometry, flags, token count, payload length, or the stored CRC
+        // itself: the header checksum catches all of them.
+        EXPECT_EQ(code, KvWireErrorCode::kBadCrc);
+      } else {
+        EXPECT_TRUE(code == KvWireErrorCode::kBadCrc ||
+                    code == KvWireErrorCode::kTruncated)
+            << kv_wire_error_name(code);
+      }
+    }
+  }
+
+  // Truncation at every prefix length (strided): always kTruncated.
+  for (std::size_t len = 0; len < blob.size(); len += 13) {
+    SCOPED_TRACE(testing::Message() << "truncate to " << len);
+    EXPECT_EQ(deserialize_code({blob.data(), len}),
+              KvWireErrorCode::kTruncated);
+  }
+
+  // Trailing garbage past the framed payload.
+  auto padded = blob;
+  padded.push_back(0);
+  EXPECT_EQ(deserialize_code(padded), KvWireErrorCode::kTrailingBytes);
+
+  // The pristine blob still round-trips after all that.
+  const auto fresh = fresh_targets();
+  deserialize_kv_wire(blob, pointers(fresh));
+  expect_states_equal(layers[0]->head_state(0), fresh[0]->head_state(0));
+}
+
+// The v2 reader keeps accepting PR 5's CRC-less v1 blobs. The v1 writer path
+// is the unchanged v1 serializer, so these are authentic v1 bytes.
+TEST(KvWire, LegacyV1BlobsStillDeserialize) {
+  const HackAttentionConfig cfg = wire_config(2, true, true);
+  const auto layers = make_prefilled_layers(2, 64, 2, 4, 70, cfg, 21);
+
+  KvWireSections v1_sections, v2_sections;
+  const auto v1 =
+      serialize_kv_wire(pointers(layers), &v1_sections, kKvWireVersionLegacy);
+  const auto v2 = serialize_kv_wire(pointers(layers), &v2_sections);
+
+  const KvWireInfo info = parse_kv_wire_header(v1);
+  EXPECT_EQ(info.version, kKvWireVersionLegacy);
+  EXPECT_EQ(info.header_bytes, 48u);
+  EXPECT_EQ(parse_kv_wire_header(v2).header_bytes, 52u);
+  // v2's integrity framing is the only difference: header CRC (4 bytes) plus
+  // 12 bytes of length+CRC per (layer × KV head) record.
+  EXPECT_EQ(v2.size(), v1.size() + 4 + 12 * 2 * 2);
+  EXPECT_EQ(v2_sections.framing, v1_sections.framing + 4 + 12 * 2 * 2);
+  // The payload bytes themselves are identical — v2 wraps, never rewrites.
+  EXPECT_TRUE(std::equal(v1.begin() + 48, v1.begin() + 48 + 32,
+                         v2.begin() + 52 + 12));
+
+  std::vector<std::unique_ptr<HackLayerKvState>> fresh;
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    fresh.push_back(std::make_unique<HackLayerKvState>(64, 2, 4, cfg, 9));
+  }
+  deserialize_kv_wire(v1, pointers(fresh));
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    for (std::size_t h = 0; h < 2; ++h) {
+      SCOPED_TRACE(testing::Message() << "layer " << l << " head " << h);
+      expect_states_equal(layers[l]->head_state(h),
+                          fresh[l]->head_state(h));
+      EXPECT_EQ(layers[l]->head_rng(h).state(), fresh[l]->head_rng(h).state());
+    }
+  }
+
+  // A v1 blob has no CRCs: a body flip is *not* detected at the wire layer
+  // (that is exactly why v2 exists), but header truncation still is.
+  EXPECT_THROW(parse_kv_wire_header({v1.data(), v1.size() - 1}), KvWireError);
 }
 
 TEST(KvWire, PackedBitsViewRoundTripsWireSections) {
@@ -422,10 +539,21 @@ TEST(DisaggHandoff, DecodePoolRejectsOversizedRequests) {
   req.prompt = SyntheticCorpus({.vocab = tc.vocab}, 9).prompt(0, 40);
   req.max_new_tokens = 8;
 
+  // Default policy: the rejection degrades gracefully to a local decode on
+  // the prefill worker — the request still completes.
   DisaggEngine engine(weights, dc);
   const DisaggRecord rec = engine.serve(req);
-  EXPECT_TRUE(rec.rejected);
-  EXPECT_TRUE(rec.generated.empty());
+  EXPECT_FALSE(rec.rejected);
+  EXPECT_TRUE(rec.fallback_local);
+  EXPECT_FALSE(rec.generated.empty());
+
+  // With fallback disabled, the old drop semantics hold.
+  DisaggConfig strict = dc;
+  strict.retry.fallback_local = false;
+  DisaggEngine engine_strict(weights, strict);
+  const DisaggRecord rec_strict = engine_strict.serve(req);
+  EXPECT_TRUE(rec_strict.rejected);
+  EXPECT_TRUE(rec_strict.generated.empty());
 
   // A pool that fits admits, decodes, and releases every block.
   DisaggConfig roomy = dc;
@@ -433,8 +561,11 @@ TEST(DisaggHandoff, DecodePoolRejectsOversizedRequests) {
   DisaggEngine engine2(weights, roomy);
   const DisaggRecord rec2 = engine2.serve(req);
   EXPECT_FALSE(rec2.rejected);
+  EXPECT_FALSE(rec2.fallback_local);
   EXPECT_EQ(rec2.decode_kv_blocks, 3u);  // ceil(48 / 16)
   EXPECT_EQ(engine2.decode_worker().allocator()->blocks_in_use(), 0u);
+  // The fallback's output matches the admitted decode bit for bit.
+  EXPECT_EQ(rec.generated, rec2.generated);
 }
 
 TEST(DisaggHandoff, TimelineOverlapsTransfersWithNextPrefill) {

@@ -90,5 +90,175 @@ TEST(Nic, RejectsBadParameters) {
   EXPECT_THROW(nic.book(0.0, -1.0), CheckError);
 }
 
+// ------------------------------------------------------------ transfer edges
+
+TEST(NcclTransfer, ZeroByteTransferIsWellDefined) {
+  Nic a(80.0, 1e-4), b(80.0, 1e-4);
+  const FaultyTransferResult r =
+      nccl_transfer_faulty(a, b, 0.0, 0.0, 2, nullptr);
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.chunks.size(), 2u);
+  EXPECT_LT(r.result.finish, 1e-3);  // latency only, no wire time
+  EXPECT_DOUBLE_EQ(r.result.bytes, 0.0);
+}
+
+TEST(NcclTransfer, SingleChunkMatchesStoreAndForward) {
+  // One chunk cannot pipeline: finish = send + receive back to back.
+  Nic a(80.0, 0.0), b(80.0, 0.0);  // 10 GB/s each
+  const TransferResult r = nccl_transfer(a, b, 0.0, 10.0 * kGB, 1);
+  EXPECT_NEAR(r.finish, 2.0, 1e-9);
+}
+
+TEST(NcclTransfer, MoreChunksThanBytesStillDelivers) {
+  // 3 bytes over 8 chunks: fractional chunk_bytes, every chunk booked.
+  Nic a(80.0, 1e-6), b(80.0, 1e-6);
+  const FaultyTransferResult r =
+      nccl_transfer_faulty(a, b, 0.0, 3.0, 8, nullptr);
+  EXPECT_EQ(r.chunks.size(), 8u);
+  EXPECT_GT(r.result.finish, r.result.start);
+  EXPECT_NEAR(a.total_bytes(), 3.0, 1e-9);
+}
+
+TEST(NcclTransfer, FaultFreeModelMatchesCleanTransfer) {
+  // A null fault model and an inactive one both reproduce nccl_transfer's
+  // timing exactly — fault injection is free when off.
+  Nic a1(40.0, 1e-5), b1(40.0, 1e-5);
+  Nic a2(40.0, 1e-5), b2(40.0, 1e-5);
+  Nic a3(40.0, 1e-5), b3(40.0, 1e-5);
+  const TransferResult clean = nccl_transfer(a1, b1, 0.5, 2.0 * kGB, 8);
+  const FaultyTransferResult null_model =
+      nccl_transfer_faulty(a2, b2, 0.5, 2.0 * kGB, 8, nullptr);
+  FaultModel inactive;
+  EXPECT_FALSE(inactive.active());
+  const FaultyTransferResult off =
+      nccl_transfer_faulty(a3, b3, 0.5, 2.0 * kGB, 8, &inactive);
+  EXPECT_DOUBLE_EQ(null_model.result.start, clean.start);
+  EXPECT_DOUBLE_EQ(null_model.result.finish, clean.finish);
+  EXPECT_DOUBLE_EQ(off.result.start, clean.start);
+  EXPECT_DOUBLE_EQ(off.result.finish, clean.finish);
+  EXPECT_TRUE(off.clean());
+  EXPECT_EQ(inactive.stats().chunks_seen, 8u);
+}
+
+TEST(NcclTransfer, ConcurrentTransfersContendDuringRetransmit) {
+  // A retransmit round on flow 1 shares the sender NIC with flow 2's fresh
+  // transfer: the NIC busy horizon serializes them, so the retransmit lands
+  // after flow 2's booking — contention is modeled, not wished away.
+  Nic src(80.0, 0.0);  // 10 GB/s shared sender
+  Nic dst1(400.0, 0.0), dst2(400.0, 0.0);
+
+  FaultModel faults;
+  faults.script_fate(3, ChunkFate::kDropped);  // last chunk of flow 1 drops
+  const FaultyTransferResult first =
+      nccl_transfer_faulty(src, dst1, 0.0, 8.0 * kGB, 4, &faults);
+  ASSERT_FALSE(first.clean());
+
+  // Flow 2 books the shared sender before flow 1's retransmit goes out.
+  const FaultyTransferResult second =
+      nccl_transfer_faulty(src, dst2, 0.0, 8.0 * kGB, 4, &faults);
+  const FaultyTransferResult retransmit = nccl_transfer_faulty(
+      src, dst1, first.result.finish, 2.0 * kGB, 1, &faults);
+  EXPECT_TRUE(retransmit.clean());
+  // The sender was busy with flow 2's sends until ~1.6s (8 GB at 10 GB/s
+  // after flow 1's 0.8s); the retransmit queues behind that horizon even
+  // though it was ready at flow 1's 0.8s finish.
+  EXPECT_NEAR(retransmit.result.start, 1.6, 1e-9);
+  EXPECT_GT(retransmit.result.start, first.result.finish + 0.5);
+  EXPECT_GT(second.result.finish, 1.6);  // flow 2's last receive trails
+  EXPECT_NEAR(src.total_bytes(), 18.0 * kGB, 1.0);
+}
+
+// ------------------------------------------------------------- fault model
+
+TEST(FaultModel, SameSeedReplaysSameSchedule) {
+  FaultConfig cfg;
+  cfg.chunk_drop_prob = 0.3;
+  cfg.chunk_corrupt_prob = 0.2;
+  cfg.latency_spike_prob = 0.1;
+  cfg.latency_spike_s = 0.05;
+  cfg.seed = 1234;
+  FaultModel a(cfg), b(cfg);
+  for (int i = 0; i < 200; ++i) {
+    const ChunkEvent ea = a.next_chunk();
+    const ChunkEvent eb = b.next_chunk();
+    EXPECT_EQ(ea.fate, eb.fate);
+    EXPECT_DOUBLE_EQ(ea.spike_s, eb.spike_s);
+    EXPECT_EQ(ea.corrupt_entropy, eb.corrupt_entropy);
+  }
+  EXPECT_EQ(a.stats().drops, b.stats().drops);
+  EXPECT_EQ(a.stats().corruptions, b.stats().corruptions);
+  EXPECT_GT(a.stats().drops, 0u);  // 0.3 over 200 draws
+  EXPECT_EQ(a.stats().chunks_seen, 200u);
+}
+
+TEST(FaultModel, ScriptedFatesOverrideWithoutShiftingTheStream) {
+  FaultConfig cfg;
+  cfg.chunk_drop_prob = 0.25;
+  cfg.seed = 77;
+  FaultModel plain(cfg);
+  std::vector<ChunkFate> baseline;
+  for (int i = 0; i < 50; ++i) baseline.push_back(plain.next_chunk().fate);
+
+  FaultModel scripted(cfg);
+  scripted.script_fate(10, ChunkFate::kCorrupted);
+  scripted.script_fate(20, ChunkFate::kDropped);
+  for (int i = 0; i < 50; ++i) {
+    const ChunkEvent e = scripted.next_chunk();
+    if (i == 10) {
+      EXPECT_EQ(e.fate, ChunkFate::kCorrupted);
+    } else if (i == 20) {
+      EXPECT_EQ(e.fate, ChunkFate::kDropped);
+    } else {
+      // Every unscripted chunk keeps its baseline fate.
+      EXPECT_EQ(e.fate, baseline[static_cast<std::size_t>(i)]) << "chunk " << i;
+    }
+  }
+  // Scripting a chunk that was already drawn is a caller bug.
+  EXPECT_THROW(scripted.script_fate(5, ChunkFate::kDropped), CheckError);
+}
+
+TEST(FaultModel, DownWindowDelaysAndLedgers) {
+  FaultConfig cfg;
+  cfg.down_windows = {{1.0, 1.5}};
+  FaultModel faults(cfg);
+  EXPECT_TRUE(faults.active());
+  EXPECT_DOUBLE_EQ(faults.down_delay(0.5), 0.0);
+  EXPECT_NEAR(faults.down_delay(1.2), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(faults.down_delay(1.5), 0.0);  // window is half-open
+  EXPECT_EQ(faults.stats().down_delays, 1u);
+
+  Nic a(80.0, 0.0), b(80.0, 0.0);
+  const FaultyTransferResult r =
+      nccl_transfer_faulty(a, b, 1.2, 1.0 * kGB, 1, &faults);
+  EXPECT_GE(r.result.start, 1.5);  // waited out the window
+  EXPECT_NEAR(r.fault_delay_s, 0.3, 1e-9);
+}
+
+TEST(FaultModel, DroppedChunksNeverReachTheReceiver) {
+  FaultModel faults;
+  for (std::size_t i = 0; i < 4; ++i) faults.script_fate(i, ChunkFate::kDropped);
+  Nic a(80.0, 0.0), b(80.0, 0.0);
+  const FaultyTransferResult r =
+      nccl_transfer_faulty(a, b, 0.0, 4.0 * kGB, 4, &faults);
+  EXPECT_FALSE(r.clean());
+  EXPECT_EQ(faults.stats().drops, 4u);
+  EXPECT_NEAR(a.total_bytes(), 4.0 * kGB, 1.0);  // sender burned wire time
+  EXPECT_DOUBLE_EQ(b.total_bytes(), 0.0);        // receiver saw nothing
+  // Finish is the last *send* when everything dropped.
+  EXPECT_NEAR(r.result.finish, 0.4, 1e-9);
+}
+
+TEST(FaultModel, RejectsBadProbabilities) {
+  FaultConfig cfg;
+  cfg.chunk_drop_prob = 1.5;
+  EXPECT_THROW(FaultModel{cfg}, CheckError);
+  FaultConfig neg;
+  neg.chunk_corrupt_prob = -0.1;
+  EXPECT_THROW(FaultModel{neg}, CheckError);
+  FaultConfig window;
+  window.down_windows = {{2.0, 1.0}};
+  EXPECT_THROW(FaultModel{window}, CheckError);
+}
+
 }  // namespace
 }  // namespace hack
