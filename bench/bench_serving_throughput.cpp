@@ -63,7 +63,26 @@
 // the disagg transfer path (seeded by `--fault-seed=`, so a chaos leg is
 // reproducible); the recovery layer must still deliver bit_identical=true.
 //
+// `--fleet=NxM` runs the multi-replica fleet (serving/fleet.h) instead: N
+// prefill × M decode workers, health-gated dispatch (`--policy=` picks the
+// decode policy), per-link fault injection from the same --drop/--corrupt
+// knobs, and `--kill=worker:request,...` schedules worker crashes (e.g.
+// --kill=prefill0:1,decode1:2 crashes prefill0 at request 1 and decode1 at
+// request 2). One fleet JSON line with throughput, tail latency, and the
+// failover/reroute/shed counters, plus one line per worker:
+//
+//   {"bench":"serving_fleet","prefill_workers":2,"decode_workers":2,
+//    "policy":"round_robin","kills":"prefill0:1,decode1:2","tokens_per_s":...,
+//    "ttft_p50_s":...,"ttft_p99_s":...,"reroutes":...,"prefill_failovers":...,
+//    "shed":...,"re_prefills":...,"re_prefills_from_decode":0,
+//    "health_transitions":...,"bit_identical":true}
+//   {"bench":"serving_fleet_worker","worker":"decode1","role":"decode",
+//    "served":...,"crashes":...,"transfer_failures":...,"utilization":...,
+//    "final_health":"down"}
+//
 // Usage: bench_serving_throughput [--quick] [--long|--continuous|--disagg]
+//          [--fleet=NxM] [--kill=worker:request,...]
+//          [--policy=round_robin|least_bytes|free_blocks]
 //          [--context=1024,4096] [--threads=1,2,4] [--heads=32] [--kv-heads=8]
 //          [--requests=8] [--input=128] [--output=32] [--layers=2]
 //          [--arrival=poisson:<rps>|trace:<file>] [--max-active=8]
@@ -91,6 +110,7 @@
 #include "model/tiny_transformer.h"
 #include "serving/disagg.h"
 #include "serving/engine.h"
+#include "serving/fleet.h"
 #include "tensor/ops.h"
 #include "workload/trace.h"
 
@@ -334,6 +354,12 @@ struct ContOptions {
   // Transfer pipelining granularity; small values give a chaos leg many
   // chunks (and so many fault-injection opportunities) per blob.
   std::size_t chunk_bytes = 1 << 20;
+  // --fleet mode: worker counts (0x0 = fleet mode off), the decode dispatch
+  // policy, and the raw --kill=worker:request,... crash schedule.
+  std::size_t fleet_prefill = 0;
+  std::size_t fleet_decode = 0;
+  std::string fleet_policy = "round_robin";
+  std::string kills;
 };
 
 std::vector<ServingRequest> make_continuous_requests(const ContOptions& o) {
@@ -656,6 +682,165 @@ void run_disagg_mode(const Shape& shape, const ContOptions& o) {
   }
 }
 
+// --------------------------------------------------- multi-replica fleet mode
+
+// Applies a --kill=worker:request,... schedule ("prefill0:1,decode1:2") to a
+// freshly built engine. Exits on malformed specs or unknown worker names so a
+// CI chaos leg fails loudly instead of running a vacuous schedule.
+void apply_kill_schedule(FleetEngine& engine, const std::string& kills) {
+  std::stringstream ss(kills);
+  std::string spec;
+  while (std::getline(ss, spec, ',')) {
+    if (spec.empty()) continue;
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "bad --kill spec (want worker:request): %s\n",
+                   spec.c_str());
+      std::exit(1);
+    }
+    const std::string worker = spec.substr(0, colon);
+    const std::size_t request =
+        std::strtoul(spec.c_str() + colon + 1, nullptr, 10);
+    if (worker.rfind("prefill", 0) == 0) {
+      const std::size_t idx =
+          std::strtoul(worker.c_str() + 7, nullptr, 10);
+      if (idx >= engine.prefill_count()) {
+        std::fprintf(stderr, "no such worker: %s\n", worker.c_str());
+        std::exit(1);
+      }
+      engine.prefill_worker(idx).inject_crash(request);
+    } else if (worker.rfind("decode", 0) == 0) {
+      const std::size_t idx = std::strtoul(worker.c_str() + 6, nullptr, 10);
+      if (idx >= engine.decode_count()) {
+        std::fprintf(stderr, "no such worker: %s\n", worker.c_str());
+        std::exit(1);
+      }
+      engine.decode_worker(idx).inject_crash(request);
+    } else {
+      std::fprintf(stderr, "bad --kill worker (want prefillN/decodeM): %s\n",
+                   worker.c_str());
+      std::exit(1);
+    }
+  }
+}
+
+void run_fleet_mode(const Shape& shape, const ContOptions& o) {
+  TinyConfig cfg;
+  cfg.vocab = 256;
+  cfg.layers = o.layers;
+  cfg.heads = shape.heads;
+  cfg.kv_heads = shape.kv_heads;
+  cfg.d_head = shape.d_head;
+  cfg.d_ff = 512;
+  const auto weights = make_tiny_weights(cfg);
+  const auto requests = make_continuous_requests(o);
+
+  FleetConfig fc;
+  fc.worker.attn.pi = shape.pi;
+  fc.worker.attn.kv_bits = 4;
+  fc.worker.decode_kv_blocks = o.kv_blocks;
+  fc.worker.transfer_chunk_bytes = o.chunk_bytes;
+  fc.worker.transfer_faults.chunk_drop_prob = o.drop;
+  fc.worker.transfer_faults.chunk_corrupt_prob = o.corrupt;
+  fc.worker.transfer_faults.seed = o.fault_seed;
+  fc.prefill_workers = o.fleet_prefill;
+  fc.decode_workers = o.fleet_decode;
+  // Prefill dispatch stays round-robin so a --kill schedule addressed by
+  // worker name is reproducible; --policy picks the decode-side policy.
+  fc.prefill_policy = &dispatch_round_robin;
+  if (o.fleet_policy == "round_robin") {
+    fc.decode_policy = &dispatch_round_robin;
+  } else if (o.fleet_policy == "least_bytes") {
+    fc.decode_policy = &dispatch_least_outstanding_bytes;
+  } else if (o.fleet_policy == "free_blocks") {
+    fc.decode_policy = &dispatch_most_free_blocks;
+  } else {
+    std::fprintf(stderr, "bad --policy (want round_robin|least_bytes|"
+                 "free_blocks): %s\n", o.fleet_policy.c_str());
+    std::exit(1);
+  }
+  // A chaos schedule needs budget to route around: scale retries with the
+  // injected rates rather than failing the bit-identity gate on exhaustion.
+  if (o.drop > 0.0 || o.corrupt > 0.0 || !o.kills.empty()) {
+    fc.worker.retry.max_retries = 16;
+  }
+
+  std::printf("fleet serving: %zu prefill × %zu decode workers, %zu requests "
+              "(%s), policy %s, kills \"%s\"\n",
+              fc.prefill_workers, fc.decode_workers, o.requests,
+              o.arrival.c_str(), dispatch_policy_name(fc.decode_policy),
+              o.kills.c_str());
+
+  FleetEngine engine(weights, fc);
+  apply_kill_schedule(engine, o.kills);
+  const FleetReport report = engine.run(requests);
+
+  // The fleet-wide contract: every non-rejected request — rerouted, failed
+  // over, or degraded to a local decode — matches its solo single-node run
+  // bit for bit.
+  bool bit_identical = true;
+  for (const FleetRecord& rec : report.requests) {
+    if (rec.d.rejected) continue;
+    TinyTransformer solo(weights, make_hack_layer_backend(
+                                      fc.worker.attn, fc.worker.backend_seed));
+    if (solo.generate(rec.d.request.prompt, rec.d.request.max_new_tokens,
+                      rec.d.request.eos) != rec.d.generated) {
+      bit_identical = false;
+    }
+  }
+
+  const double tokens_per_s =
+      report.makespan_s > 0.0
+          ? static_cast<double>(report.total_generated) / report.makespan_s
+          : 0.0;
+  std::printf(
+      "{\"bench\":\"serving_fleet\",\"prefill_workers\":%zu,"
+      "\"decode_workers\":%zu,\"policy\":\"%s\",\"kills\":\"%s\","
+      "\"requests\":%zu,\"kv_bits\":4,\"layers\":%zu,\"input_mean\":%zu,"
+      "\"output_mean\":%zu,\"lanes\":%zu,\"drop_prob\":%.3f,"
+      "\"corrupt_prob\":%.3f,\"fault_seed\":%llu,\"tokens_per_s\":%.1f,"
+      "\"total_tokens\":%zu,\"makespan_s\":%.3f,\"ttft_p50_s\":%.4f,"
+      "\"ttft_p99_s\":%.4f,\"jct_p50_s\":%.4f,\"jct_p99_s\":%.4f,"
+      "\"wire_bytes_total\":%zu,\"reroutes\":%zu,\"prefill_failovers\":%zu,"
+      "\"shed\":%zu,\"re_prefills\":%zu,\"re_prefills_from_decode\":%zu,"
+      "\"health_transitions\":%zu,\"retries\":%zu,\"chunks_dropped\":%zu,"
+      "\"chunks_corrupted\":%zu,\"crc_failures\":%zu,"
+      "\"prefill_crashes\":%zu,\"decode_crashes\":%zu,"
+      "\"retransmitted_bytes\":%zu,\"fallbacks\":%zu,\"rejected\":%zu,"
+      "\"bit_identical\":%s}\n",
+      fc.prefill_workers, fc.decode_workers,
+      dispatch_policy_name(fc.decode_policy), o.kills.c_str(), o.requests,
+      o.layers, o.input, o.output, ThreadPool::global().lanes(), o.drop,
+      o.corrupt, static_cast<unsigned long long>(o.fault_seed), tokens_per_s,
+      report.total_generated, report.makespan_s, report.ttft_s.p50,
+      report.ttft_s.p99, report.jct_s.p50, report.jct_s.p99,
+      report.wire_bytes_total, report.reroutes_total,
+      report.prefill_failovers_total, report.shed_total,
+      report.re_prefills_total, report.re_prefills_from_decode_crashes,
+      report.health_transitions_total, report.retries_total,
+      report.chunks_dropped_total, report.chunks_corrupted_total,
+      report.crc_failures_total, report.prefill_crashes_total,
+      report.decode_crashes_total, report.retransmitted_bytes_total,
+      report.fallbacks, report.rejected, bit_identical ? "true" : "false");
+  const auto print_worker = [](const FleetWorkerStats& s, const char* role) {
+    std::printf(
+        "{\"bench\":\"serving_fleet_worker\",\"worker\":\"%s\","
+        "\"role\":\"%s\",\"served\":%zu,\"crashes\":%zu,"
+        "\"transfer_failures\":%zu,\"busy_s\":%.3f,\"utilization\":%.3f,"
+        "\"health_transitions\":%zu,\"final_health\":\"%s\"}\n",
+        s.name.c_str(), role, s.served, s.crashes, s.transfer_failures,
+        s.busy_s, s.utilization, s.transitions.size(),
+        worker_health_name(s.final_health));
+  };
+  for (const FleetWorkerStats& s : report.prefill_workers) {
+    print_worker(s, "prefill");
+  }
+  for (const FleetWorkerStats& s : report.decode_workers) {
+    print_worker(s, "decode");
+  }
+  std::fflush(stdout);
+}
+
 std::vector<std::size_t> parse_size_list(const char* s) {
   std::vector<std::size_t> out;
   for (const char* p = s; *p != '\0';) {
@@ -693,6 +878,19 @@ int main(int argc, char** argv) {
       continuous = true;
     } else if (arg == "--disagg") {
       disagg = true;
+    } else if (arg.rfind("--fleet=", 0) == 0) {
+      const char* spec = arg.c_str() + 8;
+      char* end = nullptr;
+      cont.fleet_prefill = std::strtoul(spec, &end, 10);
+      if (end == spec || (*end != 'x' && *end != 'X')) {
+        std::fprintf(stderr, "bad --fleet (want NxM): %s\n", arg.c_str());
+        return 1;
+      }
+      cont.fleet_decode = std::strtoul(end + 1, nullptr, 10);
+    } else if (arg.rfind("--kill=", 0) == 0) {
+      cont.kills = arg.substr(7);
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      cont.fleet_policy = arg.substr(9);
     } else if (arg.rfind("--requests=", 0) == 0) {
       cont.requests = std::strtoul(arg.c_str() + 11, nullptr, 10);
     } else if (arg.rfind("--input=", 0) == 0) {
@@ -743,12 +941,19 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (continuous || disagg) {
+  const bool fleet = cont.fleet_prefill > 0 || cont.fleet_decode > 0;
+  if (continuous || disagg || fleet) {
     if (cont.requests == 0 || cont.output == 0) {
       std::fprintf(stderr, "--requests and --output must be positive\n");
       return 1;
     }
-    if (disagg) {
+    if (fleet) {
+      if (cont.fleet_prefill == 0 || cont.fleet_decode == 0) {
+        std::fprintf(stderr, "--fleet needs at least 1x1\n");
+        return 1;
+      }
+      run_fleet_mode(shape, cont);
+    } else if (disagg) {
       run_disagg_mode(shape, cont);
     } else {
       run_continuous_mode(shape, cont);

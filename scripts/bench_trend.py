@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Diff committed bench baselines against a fresh run's BENCH_*.json artifacts.
+
+Every bench in this repo emits one JSON object per line (the CI workflow
+greps them out of the tool's stdout with `grep '^{'`). This script compares
+the throughput-style metrics of two such directories:
+
+    python3 scripts/bench_trend.py \
+        --baseline bench/baselines --current bench-json [--threshold 0.10]
+
+Matching is structural, not positional: a line is keyed by its "bench" name
+plus any discriminator fields it carries (mode, kv_bits, context, worker,
+policy, ...), so reordering lines or adding new legs never misattributes a
+number. For each matched pair, every higher-is-better metric present in
+*both* lines must satisfy
+
+    current >= baseline * (1 - threshold)
+
+or the script exits non-zero listing each regression. Everything that can't
+be compared — files or lines present on only one side, metrics missing from
+one line — is a warning, not a failure: baselines are generated on whatever
+machine cut them, and CI runners grow new legs faster than baselines are
+refreshed. Only a matched metric that actually regressed fails the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+# Fields that identify *which* measurement a line is, as opposed to the
+# measurement itself. Any of these present in a JSON line joins the match key.
+DISCRIMINATORS = (
+    "bench", "mode", "name", "label", "fig", "table", "section",
+    "kv_bits", "q_bits", "bits", "pi", "context", "threads", "requests",
+    "engine", "policy", "kills", "prefill_workers", "decode_workers",
+    "worker", "role", "arrival", "dataset", "model", "gpus",
+)
+
+# Higher-is-better metrics to trend. Latency-style fields are deliberately
+# absent: tail latencies on shared CI runners are too noisy to gate on.
+THROUGHPUT_KEYS = (
+    "tokens_per_s", "decode_tokens_per_s", "prefill_tokens_per_s",
+    "batched_tokens_per_s", "goodput_rps", "items_per_second",
+    "tokens_per_second", "speedup",
+)
+
+
+def load_lines(path: pathlib.Path):
+    """Parse a BENCH_*.json file of JSON lines into {match_key: line_dict}."""
+    out = {}
+    for raw in path.read_text().splitlines():
+        raw = raw.strip()
+        if not raw.startswith("{"):
+            continue
+        try:
+            obj = json.loads(raw)
+        except json.JSONDecodeError:
+            print(f"warning: {path.name}: unparseable line skipped", file=sys.stderr)
+            continue
+        key = tuple((k, obj[k]) for k in DISCRIMINATORS if k in obj)
+        if key in out:
+            print(f"warning: {path.name}: duplicate key {key}; keeping first",
+                  file=sys.stderr)
+            continue
+        out[key] = obj
+    return out
+
+
+def fmt_key(key) -> str:
+    return ",".join(f"{k}={v}" for k, v in key) or "<unkeyed>"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True, type=pathlib.Path,
+                    help="directory of committed BENCH_*.json baselines")
+    ap.add_argument("--current", required=True, type=pathlib.Path,
+                    help="directory of freshly generated BENCH_*.json files")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="max allowed fractional throughput drop (default 0.10)")
+    args = ap.parse_args()
+
+    baseline_files = sorted(args.baseline.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"warning: no BENCH_*.json baselines under {args.baseline}; "
+              "nothing to trend", file=sys.stderr)
+        return 0
+
+    regressions = []
+    compared = 0
+    for bpath in baseline_files:
+        cpath = args.current / bpath.name
+        if not cpath.exists():
+            print(f"warning: {bpath.name}: no current-run counterpart under "
+                  f"{args.current}", file=sys.stderr)
+            continue
+        base = load_lines(bpath)
+        cur = load_lines(cpath)
+        for key, bline in base.items():
+            cline = cur.get(key)
+            if cline is None:
+                print(f"warning: {bpath.name}: baseline line [{fmt_key(key)}] "
+                      "missing from current run", file=sys.stderr)
+                continue
+            for metric in THROUGHPUT_KEYS:
+                if metric not in bline or metric not in cline:
+                    continue
+                bval, cval = bline[metric], cline[metric]
+                if not isinstance(bval, (int, float)) or bval <= 0:
+                    continue
+                compared += 1
+                floor = bval * (1.0 - args.threshold)
+                status = "REGRESSION" if cval < floor else "ok"
+                print(f"{status:10s} {bpath.name} [{fmt_key(key)}] {metric}: "
+                      f"baseline {bval:.4g} -> current {cval:.4g} "
+                      f"({(cval / bval - 1.0) * 100.0:+.1f}%)")
+                if cval < floor:
+                    regressions.append((bpath.name, key, metric, bval, cval))
+
+    print(f"\n{compared} metric(s) compared, {len(regressions)} regression(s) "
+          f"beyond {args.threshold * 100.0:.0f}%")
+    if regressions:
+        for fname, key, metric, bval, cval in regressions:
+            print(f"FAIL: {fname} [{fmt_key(key)}] {metric} fell "
+                  f"{(1.0 - cval / bval) * 100.0:.1f}% "
+                  f"({bval:.4g} -> {cval:.4g})", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,20 @@
 
 namespace hack {
 
+FaultConfig fault_config_for_link(const FaultConfig& base,
+                                  std::uint64_t link_id) {
+  // splitmix64 finalizer over the link id; link 0 keeps the base seed so a
+  // single-link fleet replays exactly the schedule the 1×1 engine saw.
+  FaultConfig out = base;
+  if (link_id != 0) {
+    std::uint64_t z = link_id + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    out.seed = base.seed ^ (z ^ (z >> 31));
+  }
+  return out;
+}
+
 FaultModel::FaultModel(FaultConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
   HACK_CHECK(config_.chunk_drop_prob >= 0.0 && config_.chunk_drop_prob <= 1.0,

@@ -65,6 +65,15 @@ struct ChunkEvent {
   std::uint64_t corrupt_entropy = 0;
 };
 
+// Derives the fault config for one link of a multi-link fleet from a shared
+// base config: same probabilities and down windows, but the seed is mixed
+// with the link id (splitmix64 finalizer) so every link draws an independent,
+// replayable fate stream. Injecting extra faults on link A never shifts the
+// chunk fates link B draws — the same decoupling rule the retry-jitter
+// streams follow (docs/robustness.md).
+FaultConfig fault_config_for_link(const FaultConfig& base,
+                                  std::uint64_t link_id);
+
 class FaultModel {
  public:
   explicit FaultModel(FaultConfig config = {});

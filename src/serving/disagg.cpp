@@ -80,20 +80,40 @@ BlobDecode decode_blob(const std::shared_ptr<const TinyModelWeights>& weights,
 
 // Consumes one scripted crash if armed for this request index.
 void maybe_crash(std::map<std::size_t, std::size_t>& crashes,
-                 std::size_t request_index, const char* worker) {
+                 std::size_t request_index, const std::string& worker) {
   const auto it = crashes.find(request_index);
   if (it != crashes.end() && it->second > 0) {
     --it->second;
-    throw WorkerCrash(std::string(worker) + " worker crashed at request " +
+    throw WorkerCrash(worker + " worker crashed at request " +
                       std::to_string(request_index));
   }
 }
 
 }  // namespace
 
+Rng retry_jitter_rng(const RetryPolicy& policy, std::uint64_t request_index) {
+  // splitmix64 finalizer over the index; index 0 keeps the bare seed so
+  // single-request episodes replay the pre-fleet stream.
+  std::uint64_t mixed = policy.jitter_seed;
+  if (request_index != 0) {
+    std::uint64_t z = request_index + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    mixed ^= z ^ (z >> 31);
+  }
+  return Rng(mixed);
+}
+
+double retry_backoff_s(const RetryPolicy& policy, std::size_t round,
+                       Rng& jitter) {
+  double backoff = policy.backoff_base_s;
+  for (std::size_t i = 0; i < round; ++i) backoff *= policy.backoff_mult;
+  return backoff * (1.0 + policy.backoff_jitter * jitter.next_double());
+}
+
 PrefillWorker::PrefillWorker(std::shared_ptr<const TinyModelWeights> weights,
-                             const DisaggConfig& config)
-    : weights_(std::move(weights)), config_(config),
+                             const DisaggConfig& config, std::string name)
+    : weights_(std::move(weights)), config_(config), name_(std::move(name)),
       nic_(config.prefill_nic_gbps) {}
 
 void PrefillWorker::inject_crash(std::size_t request_index,
@@ -103,7 +123,7 @@ void PrefillWorker::inject_crash(std::size_t request_index,
 
 PrefillWorker::Result PrefillWorker::prefill(const ServingRequest& request,
                                              std::size_t request_index) {
-  maybe_crash(crashes_, request_index, "prefill");
+  maybe_crash(crashes_, request_index, name_);
   HACK_CHECK(!request.prompt.empty(), "prefill needs a non-empty prompt");
   TinyModelSession session(
       weights_, make_hack_layer_backend(config_.attn, config_.backend_seed));
@@ -146,8 +166,8 @@ PrefillWorker::LocalDecode PrefillWorker::local_decode(
 }
 
 DecodeWorker::DecodeWorker(std::shared_ptr<const TinyModelWeights> weights,
-                           const DisaggConfig& config)
-    : weights_(std::move(weights)), config_(config),
+                           const DisaggConfig& config, std::string name)
+    : weights_(std::move(weights)), config_(config), name_(std::move(name)),
       nic_(config.decode_nic_gbps) {
   if (config_.decode_kv_blocks > 0) {
     // Accounting blocks sized like the serving engine's: FP16 K+V bytes of
@@ -163,11 +183,21 @@ void DecodeWorker::inject_crash(std::size_t request_index, std::size_t times) {
   crashes_[request_index] += times;
 }
 
+std::size_t DecodeWorker::blocks_needed(std::size_t blob_tokens,
+                                        std::size_t max_new_tokens) const {
+  return (blob_tokens + max_new_tokens + config_.block_tokens - 1) /
+         config_.block_tokens;
+}
+
+std::size_t DecodeWorker::free_kv_blocks() const {
+  return allocator_ == nullptr ? SIZE_MAX : allocator_->blocks_free();
+}
+
 DecodeWorker::Result DecodeWorker::decode(std::span<const std::uint8_t> blob,
                                           int first_token,
                                           const ServingRequest& request,
                                           std::size_t request_index) {
-  maybe_crash(crashes_, request_index, "decode");
+  maybe_crash(crashes_, request_index, name_);
   Result result;
   // Integrity gate: the header parse throws KvWireError on a corrupted or
   // truncated blob before any admission state is touched.
@@ -178,8 +208,7 @@ DecodeWorker::Result DecodeWorker::decode(std::span<const std::uint8_t> blob,
   std::vector<BlockId> reserved;
   if (allocator_ != nullptr) {
     const std::size_t need =
-        (info.tokens + request.max_new_tokens + config_.block_tokens - 1) /
-        config_.block_tokens;
+        blocks_needed(info.tokens, request.max_new_tokens);
     if (!allocator_->can_allocate(need)) {
       return result;  // not admitted
     }
@@ -211,14 +240,7 @@ DisaggEngine::DisaggEngine(std::shared_ptr<const TinyModelWeights> weights,
                            DisaggConfig config)
     : weights_(std::move(weights)), config_(config),
       prefill_(weights_, config_), decode_(weights_, config_),
-      faults_(config_.transfer_faults), backoff_rng_(config_.retry.jitter_seed) {}
-
-double DisaggEngine::next_backoff(std::size_t round) {
-  const RetryPolicy& p = config_.retry;
-  double backoff = p.backoff_base_s;
-  for (std::size_t i = 0; i < round; ++i) backoff *= p.backoff_mult;
-  return backoff * (1.0 + p.backoff_jitter * backoff_rng_.next_double());
-}
+      faults_(config_.transfer_faults) {}
 
 DisaggReport DisaggEngine::run(std::vector<ServingRequest> requests) {
   std::sort(requests.begin(), requests.end(),
@@ -235,6 +257,7 @@ DisaggReport DisaggEngine::run(std::vector<ServingRequest> requests) {
     DisaggRecord rec;
     rec.request = request;
     std::size_t budget = policy.max_retries;
+    Rng jitter = retry_jitter_rng(policy, index);
 
     // Prefill occupies its worker for the measured compute + serialize time
     // (plus any crash-recovery backoffs); the transfer then rides the NICs
@@ -253,7 +276,7 @@ DisaggReport DisaggEngine::run(std::vector<ServingRequest> requests) {
         ++rec.prefill_crashes;
         if (budget == 0) break;
         --budget;
-        const double wait = next_backoff(rec.retries);
+        const double wait = retry_backoff_s(policy, rec.retries, jitter);
         ++rec.retries;
         rec.backoff_s += wait;
         prefill_backoffs += wait;
@@ -332,7 +355,7 @@ DisaggReport DisaggEngine::run(std::vector<ServingRequest> requests) {
         }
         if (budget == 0) return false;
         --budget;
-        const double wait = next_backoff(rec.retries);
+        const double wait = retry_backoff_s(policy, rec.retries, jitter);
         ++rec.retries;
         rec.backoff_s += wait;
         ready = last_finish + wait;
@@ -378,7 +401,7 @@ DisaggReport DisaggEngine::run(std::vector<ServingRequest> requests) {
           break;
         }
         --budget;
-        const double wait = next_backoff(rec.retries);
+        const double wait = retry_backoff_s(policy, rec.retries, jitter);
         ++rec.retries;
         rec.backoff_s += wait;
         ready = last_finish + wait;

@@ -68,7 +68,12 @@ namespace hack {
 struct RetryPolicy {
   std::size_t max_retries = 3;
   // Backoff before recovery round k (0-based): base · mult^k · (1 + jitter·u)
-  // with u drawn from the engine's seeded Rng — deterministic per run.
+  // with u drawn from a *per-request* seeded Rng — deterministic per run.
+  // Each request's jitter stream is derived from (jitter_seed, arrival-order
+  // index) via retry_jitter_rng, so two requests retrying concurrently on
+  // different links draw independent, replayable streams: injecting a fault
+  // into one request never shifts another request's backoff draws
+  // (seed-derivation rule in docs/robustness.md).
   double backoff_base_s = 1e-3;
   double backoff_mult = 2.0;
   double backoff_jitter = 0.5;
@@ -80,6 +85,13 @@ struct RetryPolicy {
   // when retries exhaust / the deadline passes / the decode pool rejects.
   bool fallback_local = true;
 };
+
+// The per-request backoff-jitter stream: jitter_seed mixed with the request's
+// arrival-order index through the splitmix64 finalizer (index 0 keeps the
+// bare seed, so single-request episodes replay PR 6 streams). Shared by
+// DisaggEngine and FleetEngine so a request's draws are identical wherever
+// it is served.
+Rng retry_jitter_rng(const RetryPolicy& policy, std::uint64_t request_index);
 
 struct DisaggConfig {
   // Quantization config shared by both workers — the wire header pins it and
@@ -205,8 +217,12 @@ class PrefillWorker {
     double decode_s = 0.0;
   };
 
+  // `name` addresses this worker in a fleet — it tags WorkerCrash messages
+  // and the per-worker report rows (serving/fleet.h).
   PrefillWorker(std::shared_ptr<const TinyModelWeights> weights,
-                const DisaggConfig& config);
+                const DisaggConfig& config, std::string name = "prefill");
+
+  const std::string& name() const { return name_; }
 
   // Throws WorkerCrash if a crash is scripted for `request_index` with
   // attempts remaining; the engine retries (re-prefill) under its policy.
@@ -226,6 +242,7 @@ class PrefillWorker {
  private:
   std::shared_ptr<const TinyModelWeights> weights_;
   DisaggConfig config_;
+  std::string name_;
   Nic nic_;
   std::map<std::size_t, std::size_t> crashes_;  // request index → remaining
 };
@@ -243,7 +260,18 @@ class DecodeWorker {
   };
 
   DecodeWorker(std::shared_ptr<const TinyModelWeights> weights,
-               const DisaggConfig& config);
+               const DisaggConfig& config, std::string name = "decode");
+
+  const std::string& name() const { return name_; }
+
+  // Admission preflight for load-aware dispatch: worst-case block need of a
+  // request (prompt tokens already in the blob + every token it may append),
+  // and the pool's current headroom (SIZE_MAX when admission control is off).
+  // decode() still re-checks — the preflight is advisory, the reservation is
+  // the word.
+  std::size_t blocks_needed(std::size_t blob_tokens,
+                            std::size_t max_new_tokens) const;
+  std::size_t free_kv_blocks() const;
 
   // Throws WorkerCrash on a scripted crash (the buffered blob is lost with
   // the worker — recovery needs a full retransmit), and KvWireError when the
@@ -264,6 +292,7 @@ class DecodeWorker {
  private:
   std::shared_ptr<const TinyModelWeights> weights_;
   DisaggConfig config_;
+  std::string name_;
   Nic nic_;
   std::unique_ptr<BlockAllocator> allocator_;  // null: no admission control
   std::map<std::size_t, std::size_t> crashes_;
@@ -301,11 +330,13 @@ class DisaggEngine {
   PrefillWorker prefill_;
   DecodeWorker decode_;
   FaultModel faults_;
-  Rng backoff_rng_;
   double prefill_free_s_ = 0.0;
   double decode_free_s_ = 0.0;
-
-  double next_backoff(std::size_t round);
 };
+
+// One backoff wait: base · mult^round · (1 + jitter · u) with u drawn from
+// the request's jitter stream (retry_jitter_rng). Shared by both engines.
+double retry_backoff_s(const RetryPolicy& policy, std::size_t round,
+                       Rng& jitter);
 
 }  // namespace hack

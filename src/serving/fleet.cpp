@@ -1,0 +1,711 @@
+#include "serving/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/check.h"
+#include "netsim/transfer.h"
+
+namespace hack {
+namespace {
+
+// A contiguous byte span of the blob carried by one transfer chunk (the
+// same framing DisaggEngine uses — retransmissions address these ranges).
+struct ChunkRange {
+  std::size_t off = 0;
+  std::size_t len = 0;
+};
+
+std::vector<ChunkRange> chunk_ranges(std::size_t bytes, int chunks) {
+  std::vector<ChunkRange> ranges(static_cast<std::size_t>(chunks));
+  for (int i = 0; i < chunks; ++i) {
+    const std::size_t begin = bytes * static_cast<std::size_t>(i) /
+                              static_cast<std::size_t>(chunks);
+    const std::size_t end = bytes * (static_cast<std::size_t>(i) + 1) /
+                            static_cast<std::size_t>(chunks);
+    ranges[static_cast<std::size_t>(i)] = {begin, end - begin};
+  }
+  return ranges;
+}
+
+void corrupt_range(std::vector<std::uint8_t>& wire, const ChunkRange& range,
+                   std::uint64_t entropy) {
+  if (range.len == 0) return;
+  const std::size_t byte =
+      range.off + static_cast<std::size_t>(entropy % range.len);
+  const unsigned bit = static_cast<unsigned>((entropy >> 32) % 8);
+  wire[byte] ^= static_cast<std::uint8_t>(1u << bit);
+}
+
+// Lower is better; policies never see kDown workers but rank them anyway so
+// a custom policy handed a full snapshot set stays well-defined.
+int health_rank(WorkerHealth health) {
+  switch (health) {
+    case WorkerHealth::kHealthy:
+      return 0;
+    case WorkerHealth::kRecovering:
+      return 1;
+    case WorkerHealth::kSuspect:
+      return 2;
+    case WorkerHealth::kDown:
+      return 3;
+  }
+  return 4;
+}
+
+int best_rank(std::span<const WorkerSnapshot> candidates) {
+  int best = 4;
+  for (const WorkerSnapshot& s : candidates) {
+    best = std::min(best, health_rank(s.health));
+  }
+  return best;
+}
+
+}  // namespace
+
+const char* worker_health_name(WorkerHealth health) {
+  switch (health) {
+    case WorkerHealth::kHealthy:
+      return "healthy";
+    case WorkerHealth::kSuspect:
+      return "suspect";
+    case WorkerHealth::kDown:
+      return "down";
+    case WorkerHealth::kRecovering:
+      return "recovering";
+  }
+  return "unknown";
+}
+
+std::size_t dispatch_round_robin(const DispatchContext& context,
+                                 std::span<const WorkerSnapshot> candidates) {
+  HACK_CHECK(!candidates.empty(), "dispatch over an empty candidate set");
+  const int best = best_rank(candidates);
+  const std::size_t n = candidates.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const WorkerSnapshot& s =
+        candidates[(context.rr_cursor + k) % n];
+    if (health_rank(s.health) == best) return s.index;
+  }
+  return candidates[0].index;  // unreachable: best came from candidates
+}
+
+std::size_t dispatch_least_outstanding_bytes(
+    const DispatchContext& context,
+    std::span<const WorkerSnapshot> candidates) {
+  (void)context;
+  HACK_CHECK(!candidates.empty(), "dispatch over an empty candidate set");
+  const int best = best_rank(candidates);
+  const WorkerSnapshot* pick = nullptr;
+  for (const WorkerSnapshot& s : candidates) {
+    if (health_rank(s.health) != best) continue;
+    if (pick == nullptr || s.outstanding_bytes < pick->outstanding_bytes ||
+        (s.outstanding_bytes == pick->outstanding_bytes &&
+         (s.free_at_s < pick->free_at_s ||
+          (s.free_at_s == pick->free_at_s && s.index < pick->index)))) {
+      pick = &s;
+    }
+  }
+  return pick->index;
+}
+
+std::size_t dispatch_most_free_blocks(
+    const DispatchContext& context,
+    std::span<const WorkerSnapshot> candidates) {
+  (void)context;
+  HACK_CHECK(!candidates.empty(), "dispatch over an empty candidate set");
+  const int best = best_rank(candidates);
+  const WorkerSnapshot* pick = nullptr;
+  for (const WorkerSnapshot& s : candidates) {
+    if (health_rank(s.health) != best) continue;
+    if (pick == nullptr || s.free_kv_blocks > pick->free_kv_blocks ||
+        (s.free_kv_blocks == pick->free_kv_blocks &&
+         (s.outstanding_bytes < pick->outstanding_bytes ||
+          (s.outstanding_bytes == pick->outstanding_bytes &&
+           s.index < pick->index)))) {
+      pick = &s;
+    }
+  }
+  return pick->index;
+}
+
+const char* dispatch_policy_name(DispatchPolicyFn policy) {
+  if (policy == &dispatch_round_robin) return "round_robin";
+  if (policy == &dispatch_least_outstanding_bytes) {
+    return "least_outstanding_bytes";
+  }
+  if (policy == &dispatch_most_free_blocks) return "most_free_blocks";
+  return "custom";
+}
+
+void FleetEngine::HealthTracker::transition(WorkerHealth to, double t) {
+  if (to == state) return;
+  transitions.push_back({t, state, to});
+  state = to;
+}
+
+void FleetEngine::HealthTracker::refresh(double t,
+                                         const HealthPolicy& policy) {
+  if (state == WorkerHealth::kDown &&
+      t >= down_since_s + policy.down_cooldown_s) {
+    // The transition is stamped when the cooldown elapsed, not when the
+    // engine happened to look.
+    transition(WorkerHealth::kRecovering,
+               down_since_s + policy.down_cooldown_s);
+    probation = 0;
+    consecutive_failures = 0;
+  }
+}
+
+void FleetEngine::HealthTracker::on_success(double t,
+                                            const HealthPolicy& policy) {
+  consecutive_failures = 0;
+  if (state == WorkerHealth::kSuspect) {
+    transition(WorkerHealth::kHealthy, t);
+  } else if (state == WorkerHealth::kRecovering) {
+    if (++probation >= policy.probation_successes) {
+      transition(WorkerHealth::kHealthy, t);
+    }
+  }
+}
+
+void FleetEngine::HealthTracker::on_failure(double t,
+                                            const HealthPolicy& policy,
+                                            bool fatal) {
+  ++consecutive_failures;
+  if (fatal || consecutive_failures >= policy.down_after) {
+    transition(WorkerHealth::kDown, t);
+    down_since_s = t;
+  } else if (state == WorkerHealth::kHealthy &&
+             consecutive_failures >= policy.suspect_after) {
+    transition(WorkerHealth::kSuspect, t);
+  }
+}
+
+FleetEngine::FleetEngine(std::shared_ptr<const TinyModelWeights> weights,
+                         FleetConfig config)
+    : weights_(std::move(weights)), config_(std::move(config)) {
+  HACK_CHECK(config_.prefill_workers >= 1,
+             "fleet needs at least one prefill worker");
+  HACK_CHECK(config_.decode_workers >= 1,
+             "fleet needs at least one decode worker");
+  HACK_CHECK(config_.decode_pool_blocks.empty() ||
+                 config_.decode_pool_blocks.size() == config_.decode_workers,
+             "decode_pool_blocks must name every decode worker ("
+                 << config_.decode_pool_blocks.size() << " sizes for "
+                 << config_.decode_workers << " workers)");
+  for (std::size_t i = 0; i < config_.prefill_workers; ++i) {
+    prefill_.push_back(std::make_unique<PrefillWorker>(
+        weights_, config_.worker, "prefill" + std::to_string(i)));
+  }
+  for (std::size_t j = 0; j < config_.decode_workers; ++j) {
+    DisaggConfig wc = config_.worker;
+    if (!config_.decode_pool_blocks.empty()) {
+      wc.decode_kv_blocks = config_.decode_pool_blocks[j];
+    }
+    decode_.push_back(std::make_unique<DecodeWorker>(
+        weights_, wc, "decode" + std::to_string(j)));
+  }
+  // Link (p, d) gets link id p·M + d — link 0 is (prefill0, decode0) and
+  // keeps the base seed, so a 1×1 fleet replays DisaggEngine's exact fault
+  // schedule.
+  for (std::size_t p = 0; p < config_.prefill_workers; ++p) {
+    for (std::size_t d = 0; d < config_.decode_workers; ++d) {
+      links_.push_back(std::make_unique<FaultModel>(fault_config_for_link(
+          config_.worker.transfer_faults, p * config_.decode_workers + d)));
+    }
+  }
+  prefill_book_.resize(config_.prefill_workers);
+  decode_book_.resize(config_.decode_workers);
+}
+
+FaultModel& FleetEngine::link_faults(std::size_t prefill, std::size_t decode) {
+  return *links_.at(prefill * decode_.size() + decode);
+}
+
+void FleetEngine::set_link_faults(std::size_t prefill, std::size_t decode,
+                                  const FaultConfig& config) {
+  links_.at(prefill * decode_.size() + decode) =
+      std::make_unique<FaultModel>(config);
+}
+
+FaultStats FleetEngine::fault_ledger() const {
+  FaultStats total;
+  for (const auto& link : links_) {
+    const FaultStats& s = link->stats();
+    total.chunks_seen += s.chunks_seen;
+    total.drops += s.drops;
+    total.corruptions += s.corruptions;
+    total.latency_spikes += s.latency_spikes;
+    total.down_delays += s.down_delays;
+  }
+  return total;
+}
+
+WorkerSnapshot FleetEngine::snapshot(const WorkerBook& book, std::size_t index,
+                                     double t,
+                                     std::size_t free_blocks) const {
+  WorkerSnapshot s;
+  s.index = index;
+  s.health = book.health.state;
+  s.free_at_s = book.free_s;
+  for (const Commitment& c : book.commitments) {
+    if (c.until_s > t) {
+      s.outstanding_bytes += c.bytes;
+      ++s.active_requests;
+    }
+  }
+  s.served_requests = book.served;
+  s.free_kv_blocks = free_blocks;
+  return s;
+}
+
+std::size_t FleetEngine::pick_prefill(const DispatchContext& context,
+                                      double t) {
+  std::vector<WorkerSnapshot> candidates;
+  for (std::size_t i = 0; i < prefill_.size(); ++i) {
+    WorkerBook& book = prefill_book_[i];
+    book.health.refresh(t, config_.health);
+    if (book.health.state == WorkerHealth::kDown) continue;
+    candidates.push_back(snapshot(book, i, t, SIZE_MAX));
+  }
+  if (candidates.empty()) return kNoWorker;
+  DispatchContext ctx = context;
+  ctx.rr_cursor = rr_prefill_++;
+  const std::size_t pick = config_.prefill_policy(ctx, candidates);
+  for (const WorkerSnapshot& s : candidates) {
+    if (s.index == pick) return pick;
+  }
+  HACK_CHECK(false, "prefill dispatch policy picked ineligible worker "
+                        << pick);
+  return kNoWorker;
+}
+
+std::size_t FleetEngine::pick_decode(const DispatchContext& context,
+                                     double t) {
+  std::vector<WorkerSnapshot> candidates;
+  for (std::size_t j = 0; j < decode_.size(); ++j) {
+    WorkerBook& book = decode_book_[j];
+    book.health.refresh(t, config_.health);
+    if (book.health.state == WorkerHealth::kDown) continue;
+    const std::size_t free = decode_[j]->free_kv_blocks();
+    if (context.need_kv_blocks > free) continue;  // pool cannot admit
+    candidates.push_back(snapshot(book, j, t, free));
+  }
+  if (candidates.empty()) return kNoWorker;
+  DispatchContext ctx = context;
+  ctx.rr_cursor = rr_decode_++;
+  const std::size_t pick = config_.decode_policy(ctx, candidates);
+  for (const WorkerSnapshot& s : candidates) {
+    if (s.index == pick) return pick;
+  }
+  HACK_CHECK(false, "decode dispatch policy picked ineligible worker "
+                        << pick);
+  return kNoWorker;
+}
+
+double FleetEngine::earliest_recovery(
+    const std::vector<WorkerBook>& books) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const WorkerBook& b : books) {
+    if (b.health.state == WorkerHealth::kDown) {
+      best = std::min(best,
+                      b.health.down_since_s + config_.health.down_cooldown_s);
+    }
+  }
+  return best;
+}
+
+std::size_t FleetEngine::decode_pool_capacity(std::size_t j) const {
+  const BlockAllocator* pool = decode_[j]->allocator();
+  return pool == nullptr ? SIZE_MAX : pool->num_blocks();
+}
+
+FleetReport FleetEngine::run(std::vector<ServingRequest> requests) {
+  std::sort(requests.begin(), requests.end(),
+            [](const ServingRequest& a, const ServingRequest& b) {
+              return a.arrival_time_s < b.arrival_time_s;
+            });
+
+  FleetReport report;
+  std::vector<double> ttfts, jcts;
+  const TinyConfig& c = weights_->config();
+  const RetryPolicy& policy = config_.worker.retry;
+  const HealthPolicy& hp = config_.health;
+
+  // Sums every per-request counter into the report; called once per request
+  // on every exit path.
+  const auto rollup = [&](const FleetRecord& rec) {
+    report.retries_total += rec.d.retries;
+    report.chunks_dropped_total += rec.d.chunks_dropped;
+    report.chunks_corrupted_total += rec.d.chunks_corrupted;
+    report.crc_failures_total += rec.d.crc_failures;
+    report.prefill_crashes_total += rec.d.prefill_crashes;
+    report.decode_crashes_total += rec.d.decode_crashes;
+    report.retransmitted_bytes_total += rec.d.retransmitted_bytes;
+    report.reroutes_total += rec.reroutes;
+    report.prefill_failovers_total += rec.prefill_failovers;
+    report.re_prefills_total += rec.re_prefills;
+    if (rec.shed) ++report.shed_total;
+    if (rec.d.deadline_missed) ++report.deadline_misses;
+    if (rec.d.rejected) ++report.rejected;
+    if (rec.d.fallback_local) ++report.fallbacks;
+  };
+
+  for (std::size_t index = 0; index < requests.size(); ++index) {
+    const ServingRequest& request = requests[index];
+    FleetRecord rec;
+    rec.d.request = request;
+    std::size_t budget = policy.max_retries;
+    Rng jitter = retry_jitter_rng(policy, index);
+
+    // Fleet-wide admission preflight: a request whose worst-case block need
+    // exceeds every decode pool can never be served disaggregated — shed it
+    // now (reject outright, or mark it for the local-decode path) instead of
+    // burning transfer retries discovering the same thing.
+    const std::size_t need = decode_[0]->blocks_needed(
+        request.prompt.size(), request.max_new_tokens);
+    bool fits_somewhere = false;
+    for (std::size_t j = 0; j < decode_.size(); ++j) {
+      if (need <= decode_pool_capacity(j)) {
+        fits_somewhere = true;
+        break;
+      }
+    }
+    if (!fits_somewhere && !policy.fallback_local) {
+      rec.shed = true;
+      rec.d.rejected = true;
+      rollup(rec);
+      report.requests.push_back(std::move(rec));
+      continue;
+    }
+
+    // ---- Prefill: dispatch, re-dispatching to a sibling on a crash. ----
+    double prefill_ready = request.arrival_time_s;
+    PrefillWorker::Result pre;
+    std::size_t pworker = kNoWorker;
+    bool prefilled = false;
+    bool prefill_exhausted = false;
+    while (!prefilled && !prefill_exhausted) {
+      DispatchContext ctx;
+      ctx.request_index = index;
+      ctx.prompt_tokens = request.prompt.size();
+      ctx.need_kv_blocks = need;
+      const std::size_t pick = pick_prefill(ctx, prefill_ready);
+      if (pick == kNoWorker) {
+        // Every prefill worker is down. Wait out the earliest cooldown if
+        // the budget allows — a retry round, never a deadlock.
+        const double recover = earliest_recovery(prefill_book_);
+        if (budget == 0 || !std::isfinite(recover)) {
+          prefill_exhausted = true;
+          break;
+        }
+        --budget;
+        const double wait = retry_backoff_s(policy, rec.d.retries, jitter);
+        ++rec.d.retries;
+        rec.d.backoff_s += wait;
+        prefill_ready = std::max(prefill_ready, recover) + wait;
+        continue;
+      }
+      rec.prefill_route.push_back(pick);
+      if (rec.prefill_route.size() > 1 &&
+          pick != rec.prefill_route[rec.prefill_route.size() - 2]) {
+        ++rec.prefill_failovers;
+      }
+      WorkerBook& book = prefill_book_[pick];
+      const double start = std::max(prefill_ready, book.free_s);
+      try {
+        pre = prefill_[pick]->prefill(request, index);
+        prefilled = true;
+        pworker = pick;
+        book.health.on_success(start, hp);
+        const double busy = pre.prefill_s + pre.serialize_s;
+        book.free_s = start + busy;
+        book.busy_s += busy;
+        book.commitments.push_back({book.free_s, pre.blob.size()});
+        ++book.served;
+      } catch (const WorkerCrash&) {
+        ++rec.d.prefill_crashes;
+        ++book.crashes;
+        book.health.on_failure(start, hp, /*fatal=*/true);
+        if (budget == 0) {
+          prefill_exhausted = true;
+          break;
+        }
+        --budget;
+        const double wait = retry_backoff_s(policy, rec.d.retries, jitter);
+        ++rec.d.retries;
+        rec.d.backoff_s += wait;
+        // A prefill crash leaves no KV state anywhere — the prompt must run
+        // again, on whichever sibling the policy picks next.
+        ++rec.re_prefills;
+        prefill_ready = start + wait;
+      }
+    }
+    if (prefill_exhausted) {
+      rec.d.rejected = true;  // no KV state exists; nothing to degrade to
+      rollup(rec);
+      report.requests.push_back(std::move(rec));
+      continue;
+    }
+    rec.prefill_worker = pworker;
+    rec.d.prefill_s = pre.prefill_s;
+    rec.d.serialize_s = pre.serialize_s;
+    rec.d.prefill_chunks = pre.prefill_chunks;
+    rec.d.wire_bytes = pre.blob.size();
+    rec.d.sections = pre.sections;
+    rec.d.fp16_kv_bytes = parse_kv_wire_header(pre.blob).tokens * c.kv_heads *
+                          c.d_head * 2 * 2 * c.layers;
+
+    // ---- Transfer + decode: route the blob, re-route on failure. ----
+    const int chunks = kv_wire_transfer_chunks(
+        pre.blob.size(), config_.worker.transfer_chunk_bytes);
+    const std::vector<ChunkRange> all_ranges =
+        chunk_ranges(pre.blob.size(), chunks);
+    const double transfer_epoch = prefill_book_[pworker].free_s;
+    double ready = transfer_epoch;
+    double first_start = -1.0;
+    double last_finish = transfer_epoch;
+    bool first_transmission = true;
+
+    const auto deadline_passed = [&] {
+      return policy.transfer_deadline_s > 0.0 &&
+             last_finish - transfer_epoch > policy.transfer_deadline_s;
+    };
+    // Books one delivery pass to decode worker j over link (pworker, j),
+    // retransmitting dropped chunk ranges until all land or the budget or
+    // deadline gives out. Retransmit rounds and waited-out link-down windows
+    // are transfer failures against j's health.
+    const auto deliver = [&](std::vector<std::uint8_t>& wire, std::size_t j) {
+      FaultModel* fm = link(pworker, j);
+      WorkerBook& book = decode_book_[j];
+      std::vector<ChunkRange> pending = all_ranges;
+      while (true) {
+        double bytes = 0.0;
+        for (const ChunkRange& r : pending) {
+          bytes += static_cast<double>(r.len);
+        }
+        if (!first_transmission) {
+          rec.d.retransmitted_bytes += static_cast<std::size_t>(bytes);
+        }
+        const std::size_t down_before = fm->stats().down_delays;
+        const FaultyTransferResult attempt = nccl_transfer_faulty(
+            prefill_[pworker]->nic(), decode_[j]->nic(), ready, bytes,
+            static_cast<int>(pending.size()), fm);
+        first_transmission = false;
+        if (first_start < 0.0) first_start = attempt.result.start;
+        last_finish = std::max(last_finish, attempt.result.finish);
+        if (fm->stats().down_delays > down_before) {
+          ++book.transfer_failures;
+          book.health.on_failure(attempt.result.start, hp, /*fatal=*/false);
+        }
+
+        std::vector<ChunkRange> still_pending;
+        for (std::size_t i = 0; i < pending.size(); ++i) {
+          const ChunkEvent& event = attempt.chunks[i];
+          if (event.fate == ChunkFate::kDropped) {
+            ++rec.d.chunks_dropped;
+            still_pending.push_back(pending[i]);
+          } else if (event.fate == ChunkFate::kCorrupted) {
+            ++rec.d.chunks_corrupted;
+            corrupt_range(wire, pending[i], event.corrupt_entropy);
+          }
+        }
+        if (still_pending.empty()) return true;
+        ++book.transfer_failures;
+        book.health.on_failure(last_finish, hp, /*fatal=*/false);
+        if (deadline_passed()) {
+          rec.d.deadline_missed = true;
+          return false;
+        }
+        if (budget == 0) return false;
+        --budget;
+        const double wait = retry_backoff_s(policy, rec.d.retries, jitter);
+        ++rec.d.retries;
+        rec.d.backoff_s += wait;
+        ready = last_finish + wait;
+        pending = std::move(still_pending);
+      }
+    };
+
+    DecodeWorker::Result dec;
+    std::size_t dworker = kNoWorker;
+    bool delivered = false;
+    bool failed = false;
+    while (!delivered && !failed) {
+      DispatchContext ctx;
+      ctx.request_index = index;
+      ctx.prompt_tokens = request.prompt.size();
+      ctx.need_kv_blocks = need;
+      const std::size_t pick = pick_decode(ctx, ready);
+      if (pick == kNoWorker) {
+        // No decode worker can admit the blob right now. If a down worker
+        // whose pool could hold it will recover, waiting is a retry round;
+        // otherwise the fleet sheds the request.
+        double recover = std::numeric_limits<double>::infinity();
+        for (std::size_t j = 0; j < decode_.size(); ++j) {
+          if (decode_book_[j].health.state == WorkerHealth::kDown &&
+              need <= decode_pool_capacity(j)) {
+            recover = std::min(recover,
+                               decode_book_[j].health.down_since_s +
+                                   hp.down_cooldown_s);
+          }
+        }
+        if (budget == 0 || !std::isfinite(recover)) {
+          rec.shed = true;
+          failed = true;
+          break;
+        }
+        --budget;
+        const double wait = retry_backoff_s(policy, rec.d.retries, jitter);
+        ++rec.d.retries;
+        rec.d.backoff_s += wait;
+        ready = std::max(ready, recover) + wait;
+        continue;
+      }
+      rec.decode_route.push_back(pick);
+      if (rec.decode_route.size() > 1 &&
+          pick != rec.decode_route[rec.decode_route.size() - 2]) {
+        // The serialized blob changes destination: a reroute, not a
+        // re-prefill — the prompt never runs again for a decode failure.
+        ++rec.reroutes;
+      }
+      std::vector<std::uint8_t> wire = pre.blob;
+      if (!deliver(wire, pick)) {
+        failed = true;
+        break;
+      }
+      if (deadline_passed()) {
+        rec.d.deadline_missed = true;
+        failed = true;
+        break;
+      }
+      WorkerBook& book = decode_book_[pick];
+      bool retransmit = false;
+      try {
+        dec = decode_[pick]->decode(wire, pre.first_token, request, index);
+        if (!dec.admitted) {
+          // The reservation lost to the preflight — pool pressure; shed.
+          rec.shed = true;
+          failed = true;
+          break;
+        }
+        delivered = true;
+        dworker = pick;
+        book.health.on_success(last_finish, hp);
+      } catch (const WorkerCrash&) {
+        // The worker lost its receive buffer with the crash; the pristine
+        // blob still sits on the prefill worker, so the next round routes
+        // it to whichever replica the policy picks — rehydrate elsewhere.
+        ++rec.d.decode_crashes;
+        ++book.crashes;
+        book.health.on_failure(last_finish, hp, /*fatal=*/true);
+        retransmit = true;
+      } catch (const KvWireError&) {
+        ++rec.d.crc_failures;
+        ++book.transfer_failures;
+        book.health.on_failure(last_finish, hp, /*fatal=*/false);
+        retransmit = true;
+      }
+      if (retransmit) {
+        if (budget == 0) {
+          failed = true;
+          break;
+        }
+        --budget;
+        const double wait = retry_backoff_s(policy, rec.d.retries, jitter);
+        ++rec.d.retries;
+        rec.d.backoff_s += wait;
+        ready = last_finish + wait;
+      }
+    }
+    rec.d.transfer_s = first_start < 0.0 ? 0.0 : last_finish - first_start;
+
+    double first_token_at = 0.0;
+    double finish_at = 0.0;
+    if (delivered) {
+      rec.decode_worker = dworker;
+      rec.d.deserialize_s = dec.deserialize_s;
+      rec.d.decode_s = dec.decode_s;
+      rec.d.decode_kv_blocks = dec.kv_blocks;
+      rec.d.generated = std::move(dec.generated);
+      WorkerBook& book = decode_book_[dworker];
+      first_token_at = std::max(last_finish, book.free_s) + dec.deserialize_s;
+      finish_at = first_token_at + dec.decode_s;
+      book.free_s = finish_at;
+      book.busy_s += dec.deserialize_s + dec.decode_s;
+      book.commitments.push_back({finish_at, rec.d.wire_bytes});
+      ++book.served;
+    } else if (policy.fallback_local) {
+      // Shed-to-local / exhausted-budget degradation: the prefill worker
+      // that made the blob decodes it — still bit-identical.
+      rec.d.fallback_local = true;
+      const PrefillWorker::LocalDecode fb =
+          prefill_[pworker]->local_decode(pre.blob, pre.first_token, request);
+      rec.d.deserialize_s = fb.deserialize_s;
+      rec.d.decode_s = fb.decode_s;
+      rec.d.generated = fb.generated;
+      WorkerBook& book = prefill_book_[pworker];
+      const double fallback_start = std::max(last_finish, book.free_s);
+      first_token_at = fallback_start + fb.deserialize_s;
+      finish_at = first_token_at + fb.decode_s;
+      book.busy_s += fb.deserialize_s + fb.decode_s;
+      book.free_s = finish_at;
+      // served already counted this request at prefill time.
+    } else {
+      rec.d.rejected = true;
+    }
+
+    rollup(rec);
+    if (rec.d.rejected) {
+      report.requests.push_back(std::move(rec));
+      continue;
+    }
+
+    rec.d.ttft_s = first_token_at - request.arrival_time_s;
+    rec.d.jct_s = finish_at - request.arrival_time_s;
+    ttfts.push_back(rec.d.ttft_s);
+    jcts.push_back(rec.d.jct_s);
+
+    report.total_generated += rec.d.generated.size();
+    report.wire_bytes_total += rec.d.wire_bytes;
+    report.fp16_kv_bytes_total += rec.d.fp16_kv_bytes;
+    report.makespan_s = std::max(report.makespan_s, finish_at);
+    report.requests.push_back(std::move(rec));
+  }
+
+  if (!ttfts.empty()) report.ttft_s = compute_stats(std::move(ttfts));
+  if (!jcts.empty()) report.jct_s = compute_stats(std::move(jcts));
+
+  const auto worker_stats = [&](const WorkerBook& book,
+                                const std::string& name) {
+    FleetWorkerStats s;
+    s.name = name;
+    s.served = book.served;
+    s.crashes = book.crashes;
+    s.transfer_failures = book.transfer_failures;
+    s.busy_s = book.busy_s;
+    s.utilization =
+        report.makespan_s > 0.0 ? book.busy_s / report.makespan_s : 0.0;
+    s.final_health = book.health.state;
+    s.transitions = book.health.transitions;
+    report.health_transitions_total += s.transitions.size();
+    return s;
+  };
+  for (std::size_t i = 0; i < prefill_.size(); ++i) {
+    report.prefill_workers.push_back(
+        worker_stats(prefill_book_[i], prefill_[i]->name()));
+  }
+  for (std::size_t j = 0; j < decode_.size(); ++j) {
+    FleetWorkerStats s = worker_stats(decode_book_[j], decode_[j]->name());
+    if (decode_[j]->allocator() != nullptr) {
+      s.failed_allocations = decode_[j]->allocator()->failed_allocations();
+      s.min_free_watermark = decode_[j]->allocator()->min_free_watermark();
+    }
+    report.decode_workers.push_back(std::move(s));
+  }
+  return report;
+}
+
+}  // namespace hack
