@@ -66,23 +66,35 @@
 // `--fleet=NxM` runs the multi-replica fleet (serving/fleet.h) instead: N
 // prefill × M decode workers, health-gated dispatch (`--policy=` picks the
 // decode policy), per-link fault injection from the same --drop/--corrupt
-// knobs, and `--kill=worker:request,...` schedules worker crashes (e.g.
-// --kill=prefill0:1,decode1:2 crashes prefill0 at request 1 and decode1 at
-// request 2). One fleet JSON line with throughput, tail latency, and the
-// failover/reroute/shed counters, plus one line per worker:
+// knobs, and `--kill=worker:request[@token],...` schedules worker crashes
+// (e.g. --kill=prefill0:1,decode1:2 crashes prefill0 at request 1 and
+// decode1 at request 2; decode1:2@6 crashes decode1 mid-decode, after
+// request 2's sixth generated token). `--checkpoint-every=K` turns on the
+// mid-decode checkpoint cadence: every K decoded tokens the decode worker
+// cuts an incremental compressed-KV delta and ships it back to the request's
+// prefill worker, so a mid-decode crash resumes on a replica from base+delta
+// instead of re-prefilling. One fleet JSON line with throughput, tail
+// latency, the failover/reroute/shed counters, and the checkpoint economics
+// (delta bytes per checkpoint, resume rehydration latency, migrations),
+// plus one line per worker:
 //
 //   {"bench":"serving_fleet","prefill_workers":2,"decode_workers":2,
-//    "policy":"round_robin","kills":"prefill0:1,decode1:2","tokens_per_s":...,
+//    "policy":"round_robin","kills":"prefill0:1,decode1:2@6","tokens_per_s":...,
 //    "ttft_p50_s":...,"ttft_p99_s":...,"reroutes":...,"prefill_failovers":...,
 //    "shed":...,"re_prefills":...,"re_prefills_from_decode":0,
-//    "health_transitions":...,"bit_identical":true}
+//    "health_transitions":...,"checkpoint_every":4,"checkpoints":...,
+//    "checkpoint_bytes":...,"delta_bytes_per_checkpoint":...,
+//    "checkpoint_failures":...,"resumes":...,"resume_latency_mean_s":...,
+//    "tokens_replayed":...,"tokens_recomputed":...,"migrations":...,
+//    "drains":...,"bit_identical":true}
 //   {"bench":"serving_fleet_worker","worker":"decode1","role":"decode",
-//    "served":...,"crashes":...,"transfer_failures":...,"utilization":...,
-//    "final_health":"down"}
+//    "served":...,"crashes":...,"transfer_failures":...,"drains":...,
+//    "utilization":...,"final_health":"down"}
 //
 // Usage: bench_serving_throughput [--quick] [--long|--continuous|--disagg]
-//          [--fleet=NxM] [--kill=worker:request,...]
+//          [--fleet=NxM] [--kill=worker:request[@token],...]
 //          [--policy=round_robin|least_bytes|free_blocks]
+//          [--checkpoint-every=0]
 //          [--context=1024,4096] [--threads=1,2,4] [--heads=32] [--kv-heads=8]
 //          [--requests=8] [--input=128] [--output=32] [--layers=2]
 //          [--arrival=poisson:<rps>|trace:<file>] [--max-active=8]
@@ -355,11 +367,14 @@ struct ContOptions {
   // chunks (and so many fault-injection opportunities) per blob.
   std::size_t chunk_bytes = 1 << 20;
   // --fleet mode: worker counts (0x0 = fleet mode off), the decode dispatch
-  // policy, and the raw --kill=worker:request,... crash schedule.
+  // policy, and the raw --kill=worker:request[@token],... crash schedule.
   std::size_t fleet_prefill = 0;
   std::size_t fleet_decode = 0;
   std::string fleet_policy = "round_robin";
   std::string kills;
+  // Mid-decode checkpoint cadence (tokens between incremental KV delta
+  // cuts); 0 disables checkpointing, mid-decode crashes then re-prefill.
+  std::size_t checkpoint_every = 0;
 };
 
 std::vector<ServingRequest> make_continuous_requests(const ContOptions& o) {
@@ -684,9 +699,13 @@ void run_disagg_mode(const Shape& shape, const ContOptions& o) {
 
 // --------------------------------------------------- multi-replica fleet mode
 
-// Applies a --kill=worker:request,... schedule ("prefill0:1,decode1:2") to a
-// freshly built engine. Exits on malformed specs or unknown worker names so a
-// CI chaos leg fails loudly instead of running a vacuous schedule.
+// Applies a --kill=worker:request[@token],... schedule ("prefill0:1,
+// decode1:2@6") to a freshly built engine. A bare worker:request crashes the
+// worker when the request's work starts on it; worker:request@token arms a
+// mid-decode crash that fires after the request's token'th generated token
+// (decode workers only — prefill has no mid-decode). Exits on malformed
+// specs or unknown worker names so a CI chaos leg fails loudly instead of
+// running a vacuous schedule.
 void apply_kill_schedule(FleetEngine& engine, const std::string& kills) {
   std::stringstream ss(kills);
   std::string spec;
@@ -694,14 +713,37 @@ void apply_kill_schedule(FleetEngine& engine, const std::string& kills) {
     if (spec.empty()) continue;
     const std::size_t colon = spec.find(':');
     if (colon == std::string::npos) {
-      std::fprintf(stderr, "bad --kill spec (want worker:request): %s\n",
+      std::fprintf(stderr,
+                   "bad --kill spec (want worker:request[@token]): %s\n",
                    spec.c_str());
       std::exit(1);
     }
     const std::string worker = spec.substr(0, colon);
+    char* after_request = nullptr;
     const std::size_t request =
-        std::strtoul(spec.c_str() + colon + 1, nullptr, 10);
+        std::strtoul(spec.c_str() + colon + 1, &after_request, 10);
+    bool mid_decode = false;
+    std::size_t token = 0;
+    if (after_request != nullptr && *after_request == '@') {
+      mid_decode = true;
+      token = std::strtoul(after_request + 1, nullptr, 10);
+      if (token == 0) {
+        std::fprintf(stderr, "bad --kill token (want @N with N>=1): %s\n",
+                     spec.c_str());
+        std::exit(1);
+      }
+    } else if (after_request != nullptr && *after_request != '\0') {
+      std::fprintf(stderr, "bad --kill spec (want worker:request[@token]): "
+                   "%s\n", spec.c_str());
+      std::exit(1);
+    }
     if (worker.rfind("prefill", 0) == 0) {
+      if (mid_decode) {
+        std::fprintf(stderr,
+                     "--kill @token applies to decode workers only: %s\n",
+                     spec.c_str());
+        std::exit(1);
+      }
       const std::size_t idx =
           std::strtoul(worker.c_str() + 7, nullptr, 10);
       if (idx >= engine.prefill_count()) {
@@ -715,7 +757,11 @@ void apply_kill_schedule(FleetEngine& engine, const std::string& kills) {
         std::fprintf(stderr, "no such worker: %s\n", worker.c_str());
         std::exit(1);
       }
-      engine.decode_worker(idx).inject_crash(request);
+      if (mid_decode) {
+        engine.decode_worker(idx).inject_crash_at_token(request, token);
+      } else {
+        engine.decode_worker(idx).inject_crash(request);
+      }
     } else {
       std::fprintf(stderr, "bad --kill worker (want prefillN/decodeM): %s\n",
                    worker.c_str());
@@ -743,6 +789,7 @@ void run_fleet_mode(const Shape& shape, const ContOptions& o) {
   fc.worker.transfer_faults.chunk_drop_prob = o.drop;
   fc.worker.transfer_faults.chunk_corrupt_prob = o.corrupt;
   fc.worker.transfer_faults.seed = o.fault_seed;
+  fc.worker.checkpoint_every_tokens = o.checkpoint_every;
   fc.prefill_workers = o.fleet_prefill;
   fc.decode_workers = o.fleet_decode;
   // Prefill dispatch stays round-robin so a --kill schedule addressed by
@@ -793,6 +840,24 @@ void run_fleet_mode(const Shape& shape, const ContOptions& o) {
       report.makespan_s > 0.0
           ? static_cast<double>(report.total_generated) / report.makespan_s
           : 0.0;
+  // Checkpoint economics: mean delta size per cut, and the measured
+  // rehydration (base deserialize + delta apply) latency of requests whose
+  // final attempt was a resume.
+  const double delta_bytes_per_checkpoint =
+      static_cast<double>(report.checkpoint_bytes_total) /
+      static_cast<double>(std::max<std::size_t>(report.checkpoints_total, 1));
+  double resume_latency_sum = 0.0;
+  std::size_t resumed_requests = 0;
+  for (const FleetRecord& rec : report.requests) {
+    if (rec.d.resumes > 0 && !rec.d.fallback_local) {
+      resume_latency_sum += rec.d.deserialize_s;
+      ++resumed_requests;
+    }
+  }
+  const double resume_latency_mean_s =
+      resumed_requests > 0
+          ? resume_latency_sum / static_cast<double>(resumed_requests)
+          : 0.0;
   std::printf(
       "{\"bench\":\"serving_fleet\",\"prefill_workers\":%zu,"
       "\"decode_workers\":%zu,\"policy\":\"%s\",\"kills\":\"%s\","
@@ -807,6 +872,11 @@ void run_fleet_mode(const Shape& shape, const ContOptions& o) {
       "\"chunks_corrupted\":%zu,\"crc_failures\":%zu,"
       "\"prefill_crashes\":%zu,\"decode_crashes\":%zu,"
       "\"retransmitted_bytes\":%zu,\"fallbacks\":%zu,\"rejected\":%zu,"
+      "\"checkpoint_every\":%zu,\"checkpoints\":%zu,"
+      "\"checkpoint_bytes\":%zu,\"delta_bytes_per_checkpoint\":%.1f,"
+      "\"checkpoint_failures\":%zu,\"resumes\":%zu,"
+      "\"resume_latency_mean_s\":%.6f,\"tokens_replayed\":%zu,"
+      "\"tokens_recomputed\":%zu,\"migrations\":%zu,\"drains\":%zu,"
       "\"bit_identical\":%s}\n",
       fc.prefill_workers, fc.decode_workers,
       dispatch_policy_name(fc.decode_policy), o.kills.c_str(), o.requests,
@@ -821,15 +891,22 @@ void run_fleet_mode(const Shape& shape, const ContOptions& o) {
       report.chunks_dropped_total, report.chunks_corrupted_total,
       report.crc_failures_total, report.prefill_crashes_total,
       report.decode_crashes_total, report.retransmitted_bytes_total,
-      report.fallbacks, report.rejected, bit_identical ? "true" : "false");
+      report.fallbacks, report.rejected, o.checkpoint_every,
+      report.checkpoints_total, report.checkpoint_bytes_total,
+      delta_bytes_per_checkpoint, report.checkpoint_failures_total,
+      report.resumes_total, resume_latency_mean_s,
+      report.tokens_replayed_total, report.tokens_recomputed_total,
+      report.migrations_total, report.drain_events_total,
+      bit_identical ? "true" : "false");
   const auto print_worker = [](const FleetWorkerStats& s, const char* role) {
     std::printf(
         "{\"bench\":\"serving_fleet_worker\",\"worker\":\"%s\","
         "\"role\":\"%s\",\"served\":%zu,\"crashes\":%zu,"
-        "\"transfer_failures\":%zu,\"busy_s\":%.3f,\"utilization\":%.3f,"
-        "\"health_transitions\":%zu,\"final_health\":\"%s\"}\n",
+        "\"transfer_failures\":%zu,\"drains\":%zu,\"busy_s\":%.3f,"
+        "\"utilization\":%.3f,\"health_transitions\":%zu,"
+        "\"final_health\":\"%s\"}\n",
         s.name.c_str(), role, s.served, s.crashes, s.transfer_failures,
-        s.busy_s, s.utilization, s.transitions.size(),
+        s.drains, s.busy_s, s.utilization, s.transitions.size(),
         worker_health_name(s.final_health));
   };
   for (const FleetWorkerStats& s : report.prefill_workers) {
@@ -889,6 +966,8 @@ int main(int argc, char** argv) {
       cont.fleet_decode = std::strtoul(end + 1, nullptr, 10);
     } else if (arg.rfind("--kill=", 0) == 0) {
       cont.kills = arg.substr(7);
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      cont.checkpoint_every = std::strtoul(arg.c_str() + 19, nullptr, 10);
     } else if (arg.rfind("--policy=", 0) == 0) {
       cont.fleet_policy = arg.substr(9);
     } else if (arg.rfind("--requests=", 0) == 0) {

@@ -16,11 +16,16 @@ number. For each matched pair, every higher-is-better metric present in
 
     current >= baseline * (1 - threshold)
 
-or the script exits non-zero listing each regression. Everything that can't
-be compared — files or lines present on only one side, metrics missing from
-one line — is a warning, not a failure: baselines are generated on whatever
-machine cut them, and CI runners grow new legs faster than baselines are
-refreshed. Only a matched metric that actually regressed fails the build.
+or the script exits non-zero listing each regression.
+
+Missing *files* are hard errors with a per-leg message: a committed baseline
+whose BENCH_*.json artifact never materialised means the CI leg silently
+failed or was renamed, and a missing/empty baseline directory means the
+checkout is broken — both exit non-zero naming the leg, never a stack trace.
+Finer-grained gaps — a current artifact with no committed baseline yet, or
+lines/metrics present on only one side — warn only: baselines are generated
+on whatever machine cut them, and CI runners grow new legs faster than
+baselines are refreshed.
 """
 
 from __future__ import annotations
@@ -83,19 +88,44 @@ def main() -> int:
                     help="max allowed fractional throughput drop (default 0.10)")
     args = ap.parse_args()
 
+    # Directory-level problems are configuration bugs, not trend data: name
+    # the path and exit instead of limping on (or raising) further down.
+    if not args.baseline.is_dir():
+        print(f"error: baseline directory {args.baseline} does not exist",
+              file=sys.stderr)
+        return 2
+    if not args.current.is_dir():
+        print(f"error: current-run directory {args.current} does not exist "
+              "(did every bench leg fail before writing artifacts?)",
+              file=sys.stderr)
+        return 2
     baseline_files = sorted(args.baseline.glob("BENCH_*.json"))
     if not baseline_files:
-        print(f"warning: no BENCH_*.json baselines under {args.baseline}; "
-              "nothing to trend", file=sys.stderr)
-        return 0
+        print(f"error: no BENCH_*.json baselines under {args.baseline}; "
+              "the committed baselines are missing from this checkout",
+              file=sys.stderr)
+        return 2
 
+    # New legs may run before their baseline is cut — warn per leg so the
+    # gap is visible in the log, but never fail for it.
+    for cpath in sorted(args.current.glob("BENCH_*.json")):
+        if not (args.baseline / cpath.name).exists():
+            print(f"warning: {cpath.name}: no committed baseline under "
+                  f"{args.baseline}; leg not trended", file=sys.stderr)
+
+    missing = []
     regressions = []
     compared = 0
     for bpath in baseline_files:
         cpath = args.current / bpath.name
         if not cpath.exists():
-            print(f"warning: {bpath.name}: no current-run counterpart under "
-                  f"{args.current}", file=sys.stderr)
+            # The committed baseline promises this leg exists; a missing
+            # artifact means the leg silently failed, was renamed, or its
+            # output redirect broke. That must fail the build loudly.
+            print(f"error: {bpath.name}: committed baseline has no "
+                  f"current-run artifact under {args.current} — did the "
+                  "bench leg fail or get renamed?", file=sys.stderr)
+            missing.append(bpath.name)
             continue
         base = load_lines(bpath)
         cur = load_lines(cpath)
@@ -121,14 +151,16 @@ def main() -> int:
                     regressions.append((bpath.name, key, metric, bval, cval))
 
     print(f"\n{compared} metric(s) compared, {len(regressions)} regression(s) "
-          f"beyond {args.threshold * 100.0:.0f}%")
-    if regressions:
-        for fname, key, metric, bval, cval in regressions:
-            print(f"FAIL: {fname} [{fmt_key(key)}] {metric} fell "
-                  f"{(1.0 - cval / bval) * 100.0:.1f}% "
-                  f"({bval:.4g} -> {cval:.4g})", file=sys.stderr)
-        return 1
-    return 0
+          f"beyond {args.threshold * 100.0:.0f}%, "
+          f"{len(missing)} missing artifact(s)")
+    for fname, key, metric, bval, cval in regressions:
+        print(f"FAIL: {fname} [{fmt_key(key)}] {metric} fell "
+              f"{(1.0 - cval / bval) * 100.0:.1f}% "
+              f"({bval:.4g} -> {cval:.4g})", file=sys.stderr)
+    for fname in missing:
+        print(f"FAIL: {fname}: baseline exists but the run produced no "
+              "artifact", file=sys.stderr)
+    return 1 if regressions or missing else 0
 
 
 if __name__ == "__main__":

@@ -45,6 +45,32 @@
 // the disagg recovery layer (serving/disagg.h) catches kBadCrc to drive
 // full-blob retransmission.
 //
+// Version 3 is the *delta* format — a mid-decode checkpoint. It carries only
+// what changed since a base sequence position (the blob a prefill worker
+// already shipped): the K rows and whole-Π V partitions appended past the
+// base, the entire current V tail (tails mutate in place, so deltas replace
+// them), each KV head's current RNG stream words, and the decoded-token
+// suffix that produced the new entries. K appends are contiguous in the
+// row-major store; V metadata is column-outer, so the delta gathers each
+// column's new groups and apply_kv_delta re-interleaves them. Layout:
+//
+//   header   as v1 (version 3, tokens = total at the checkpoint), then
+//            base_tokens u64 · header_crc u32 (CRC32C over all prior bytes)
+//   suffix   one CRC-framed record: count u64 · next_token u32 ·
+//            count × token u32 — the greedy tokens decoded since the base,
+//            plus the already-computed next input token
+//   body     layers × kv_heads CRC-framed delta records, layer-major:
+//     rng    4 × u64                      current stream words (replace)
+//     K      packed codes, mins/scales, [SE] sums for rows [base, tokens)
+//     V      new_v_rows u64 (multiple of Π) · packed codes ·
+//            per-column gathered mins/scales ([SE] sums) of the new groups
+//     tail   the full current tail, exactly as v1/v2 encode it (replace)
+//
+// apply_kv_delta rehydrates a state currently holding exactly base_tokens
+// into the checkpointed state, bit-identical to a full-blob restore of the
+// same session (pinned in tests/test_kv_wire.cpp) — so a decode replica can
+// resume generation from base blob + latest delta without re-prefilling.
+//
 // With SE off the sums are not transmitted (the decode side recomputes them
 // per iteration, exactly like the paper's ablation); rehydration rebuilds the
 // bookkeeping caches from the codes, which is bit-identical. The blob rides
@@ -69,6 +95,10 @@ inline constexpr std::uint32_t kKvWireVersion = 2u;
 // PR 5's CRC-less format; the reader keeps accepting it (writers can emit it
 // through serialize_kv_wire's `version` parameter for compatibility tests).
 inline constexpr std::uint32_t kKvWireVersionLegacy = 1u;
+// The incremental-checkpoint format: only entries appended since a base
+// position. Written by serialize_kv_delta, consumed by apply_kv_delta;
+// deserialize_kv_wire rejects it with a typed kBadVersion error.
+inline constexpr std::uint32_t kKvWireVersionDelta = 3u;
 
 // Why a wire-blob deserialization failed. Every failure mode a corrupted,
 // truncated, or foreign blob can produce maps to exactly one code — the
@@ -76,7 +106,8 @@ inline constexpr std::uint32_t kKvWireVersionLegacy = 1u;
 // undefined behavior or an untyped assert.
 enum class KvWireErrorCode {
   kBadMagic,      // not a HACK KV wire blob
-  kBadVersion,    // version field is neither v1 nor v2
+  kBadVersion,    // version field is not v1/v2/v3, or a delta blob reached
+                  // the full-restore path (and vice versa)
   kBadGeometry,   // header geometry/config disagrees with the target states
   kBadCrc,        // header or record checksum mismatch (v2 only)
   kTruncated,     // blob shorter than its framing claims
@@ -129,7 +160,10 @@ struct KvWireInfo {
   bool stochastic_rounding = false;
   std::uint64_t tokens = 0;
   std::uint64_t payload_bytes = 0;
-  std::size_t header_bytes = 0;  // 48 (v1) or 52 (v2, incl. header_crc)
+  // v3 only: the sequence position the delta applies at (0 for v1/v2).
+  std::uint64_t base_tokens = 0;
+  std::size_t header_bytes = 0;  // 48 (v1), 52 (v2, incl. header_crc), or
+                                 // 60 (v3, incl. base_tokens + header_crc)
 };
 
 // Serializes the given layers' KV states (one HackLayerKvState per
@@ -154,6 +188,37 @@ KvWireInfo parse_kv_wire_header(std::span<const std::uint8_t> blob);
 void deserialize_kv_wire(std::span<const std::uint8_t> blob,
                          std::span<HackLayerKvState* const> layers);
 
+// Walks every CRC frame of a v2/v3 blob — header and records — without
+// rehydrating anything. The checkpoint store's admission gate: a delta whose
+// bytes were corrupted in flight is rejected here (KvWireError) instead of
+// poisoning the store and failing the eventual resume.
+void verify_kv_wire(std::span<const std::uint8_t> blob);
+
+// The decoded-token suffix a delta checkpoint carries alongside the KV
+// entries: the greedy tokens generated since the base position (exactly
+// tokens − base_tokens of them — each decoded token appended one KV row) and
+// the already-computed next input token, so a resuming replica continues the
+// decode loop mid-stride, bit-identically.
+struct KvDeltaSuffix {
+  std::vector<int> generated;
+  int next_token = -1;
+};
+
+// Serializes a wire v3 delta of `layers` (currently at some tokens >
+// base_tokens) against the base position — only the KV entries appended past
+// `base_tokens`, plus RNG streams, the full current V tail, and `suffix`.
+std::vector<std::uint8_t> serialize_kv_delta(
+    std::span<HackLayerKvState* const> layers, std::uint64_t base_tokens,
+    const KvDeltaSuffix& suffix, KvWireSections* sections = nullptr);
+
+// Applies a v3 delta onto `layers`, which must hold exactly the blob's
+// base_tokens (i.e. be a rehydrated copy of the base blob). After the call
+// the states are bit-identical to the checkpointed originals — same codes,
+// metadata, sums, tails, and RNG words a full-blob restore would produce.
+// Returns the decoded-token suffix. Throws KvWireError on any mismatch.
+KvDeltaSuffix apply_kv_delta(std::span<const std::uint8_t> blob,
+                             std::span<HackLayerKvState* const> layers);
+
 // Session-level wrappers: serialize every layer of a (HACK layer backend)
 // session after prefill, or rehydrate a fresh session — including its
 // timeline position — so decoding continues where the prefill worker stopped.
@@ -162,6 +227,15 @@ std::vector<std::uint8_t> serialize_session_kv(
     std::uint32_t version = kKvWireVersion);
 void deserialize_session_kv(std::span<const std::uint8_t> blob,
                             TinyModelSession& session);
+
+// Delta wrappers: serialize a checkpoint of a mid-decode session, or apply
+// one onto a session previously rehydrated from the base blob (its position
+// advances to the checkpointed token count).
+std::vector<std::uint8_t> serialize_session_kv_delta(
+    TinyModelSession& session, std::uint64_t base_tokens,
+    const KvDeltaSuffix& suffix, KvWireSections* sections = nullptr);
+KvDeltaSuffix apply_session_kv_delta(std::span<const std::uint8_t> blob,
+                                     TinyModelSession& session);
 
 // How many pipeline chunks a blob of `blob_bytes` rides the netsim NCCL-style
 // transfer in: ceil(blob/chunk), clamped to [1, 64] so tiny blobs don't pay

@@ -89,6 +89,69 @@ void maybe_crash(std::map<std::size_t, std::size_t>& crashes,
   }
 }
 
+// The decode loop proper, shared by decode() and resume(): continue from an
+// already-generated prefix (empty on a fresh decode, the replayed suffix on
+// a resume) with the session's KV rows matching it. Cuts a v3 delta against
+// `base_tokens` (the prefill handoff position) every K tokens when a sink is
+// installed — after the token's KV row is committed and the next input token
+// computed, so base + delta reproduces the loop state exactly. Capture time
+// is excluded from decode_s (checkpointing is overhead traffic, not model
+// compute).
+struct DecodeLoop {
+  std::vector<int> generated;
+  double decode_s = 0.0;
+  bool drained = false;
+};
+
+DecodeLoop run_decode_loop(TinyModelSession& session,
+                           std::vector<int> generated, int token,
+                           const ServingRequest& request,
+                           const DisaggConfig& config,
+                           std::uint64_t base_tokens,
+                           const CheckpointSink& sink,
+                           std::map<std::size_t, std::size_t>& mid_crashes,
+                           std::size_t request_index,
+                           const std::string& worker_name) {
+  DecodeLoop out;
+  out.generated = std::move(generated);
+  const std::size_t cadence = config.checkpoint_every_tokens;
+  const auto decode_start = std::chrono::steady_clock::now();
+  double capture_s = 0.0;
+  while (out.generated.size() < request.max_new_tokens &&
+         token != request.eos) {
+    out.generated.push_back(token);
+    const Matrix hidden = session.forward_rows({token});
+    token = argmax_logits(session.logits_for_row(hidden, hidden.rows() - 1));
+    const bool more = out.generated.size() < request.max_new_tokens &&
+                      token != request.eos;
+    if (sink && cadence > 0 && more && out.generated.size() % cadence == 0) {
+      const auto capture_start = std::chrono::steady_clock::now();
+      DecodeCheckpoint ckpt;
+      ckpt.tokens_decoded = out.generated.size();
+      ckpt.delta = serialize_session_kv_delta(
+          session, base_tokens, {out.generated, token}, &ckpt.sections);
+      capture_s += seconds_since(capture_start);
+      if (!sink(std::move(ckpt))) {
+        out.drained = true;
+        break;
+      }
+    }
+    // Scripted mid-decode crash: fires at an exact decoded-token count,
+    // after any checkpoint due at that count left the worker.
+    const auto it = mid_crashes.find(request_index);
+    if (it != mid_crashes.end() && it->second == out.generated.size()) {
+      mid_crashes.erase(it);
+      throw MidDecodeCrash(worker_name + " worker crashed mid-decode at " +
+                               std::to_string(out.generated.size()) +
+                               " tokens of request " +
+                               std::to_string(request_index),
+                           out.generated.size());
+    }
+  }
+  out.decode_s = seconds_since(decode_start) - capture_s;
+  return out;
+}
+
 }  // namespace
 
 Rng retry_jitter_rng(const RetryPolicy& policy, std::uint64_t request_index) {
@@ -183,6 +246,12 @@ void DecodeWorker::inject_crash(std::size_t request_index, std::size_t times) {
   crashes_[request_index] += times;
 }
 
+void DecodeWorker::inject_crash_at_token(std::size_t request_index,
+                                         std::size_t token_index) {
+  HACK_CHECK(token_index > 0, "a mid-decode crash needs at least one token");
+  mid_crashes_[request_index] = token_index;
+}
+
 std::size_t DecodeWorker::blocks_needed(std::size_t blob_tokens,
                                         std::size_t max_new_tokens) const {
   return (blob_tokens + max_new_tokens + config_.block_tokens - 1) /
@@ -196,7 +265,8 @@ std::size_t DecodeWorker::free_kv_blocks() const {
 DecodeWorker::Result DecodeWorker::decode(std::span<const std::uint8_t> blob,
                                           int first_token,
                                           const ServingRequest& request,
-                                          std::size_t request_index) {
+                                          std::size_t request_index,
+                                          const CheckpointSink& sink) {
   maybe_crash(crashes_, request_index, name_);
   Result result;
   // Integrity gate: the header parse throws KvWireError on a corrupted or
@@ -219,18 +289,77 @@ DecodeWorker::Result DecodeWorker::decode(std::span<const std::uint8_t> blob,
   }
   result.admitted = true;
 
-  BlobDecode d;
   try {
-    d = decode_blob(weights_, config_, blob, first_token, request);
+    const auto deser_start = std::chrono::steady_clock::now();
+    TinyModelSession session(
+        weights_, make_hack_layer_backend(config_.attn, config_.backend_seed));
+    deserialize_session_kv(blob, session);
+    result.deserialize_s = seconds_since(deser_start);
+
+    DecodeLoop loop =
+        run_decode_loop(session, {}, first_token, request, config_,
+                        info.tokens, sink, mid_crashes_, request_index, name_);
+    result.decode_s = loop.decode_s;
+    result.generated = std::move(loop.generated);
+    result.drained = loop.drained;
   } catch (...) {
-    // Record CRC / section failures surface here; hand back the reserved
-    // blocks before propagating so a retransmit retry sees a clean pool.
+    // Record CRC / section failures and scripted crashes surface here; hand
+    // back the reserved blocks before propagating so a retry sees a clean
+    // pool.
     for (const BlockId id : reserved) allocator_->release(id);
     throw;
   }
-  result.deserialize_s = d.deserialize_s;
-  result.decode_s = d.decode_s;
-  result.generated = std::move(d.generated);
+
+  for (const BlockId id : reserved) allocator_->release(id);
+  return result;
+}
+
+DecodeWorker::Result DecodeWorker::resume(
+    std::span<const std::uint8_t> base_blob,
+    std::span<const std::uint8_t> delta_blob, const ServingRequest& request,
+    std::size_t request_index, const CheckpointSink& sink) {
+  maybe_crash(crashes_, request_index, name_);
+  Result result;
+  const KvWireInfo base_info = parse_kv_wire_header(base_blob);
+
+  // Same worst-case reservation as a fresh decode: the base's prompt tokens
+  // plus everything the request may still append (replayed rows included).
+  std::vector<BlockId> reserved;
+  if (allocator_ != nullptr) {
+    const std::size_t need =
+        blocks_needed(base_info.tokens, request.max_new_tokens);
+    if (!allocator_->can_allocate(need)) {
+      return result;  // not admitted
+    }
+    for (std::size_t i = 0; i < need; ++i) {
+      reserved.push_back(allocator_->allocate());
+    }
+    result.kv_blocks = reserved.size();
+  }
+  result.admitted = true;
+
+  try {
+    const auto deser_start = std::chrono::steady_clock::now();
+    TinyModelSession session(
+        weights_, make_hack_layer_backend(config_.attn, config_.backend_seed));
+    deserialize_session_kv(base_blob, session);
+    const KvDeltaSuffix suffix = apply_session_kv_delta(delta_blob, session);
+    result.deserialize_s = seconds_since(deser_start);
+    result.replayed_tokens = suffix.generated.size();
+
+    // Continue the decode loop mid-stride: the suffix tokens count toward
+    // max_new and the next input token is the one the crashed worker had
+    // already computed — bit-identical to the uninterrupted run.
+    DecodeLoop loop = run_decode_loop(
+        session, suffix.generated, suffix.next_token, request, config_,
+        base_info.tokens, sink, mid_crashes_, request_index, name_);
+    result.decode_s = loop.decode_s;
+    result.generated = std::move(loop.generated);
+    result.drained = loop.drained;
+  } catch (...) {
+    for (const BlockId id : reserved) allocator_->release(id);
+    throw;
+  }
 
   for (const BlockId id : reserved) allocator_->release(id);
   return result;
@@ -304,10 +433,6 @@ DisaggReport DisaggEngine::run(std::vector<ServingRequest> requests) {
 
     // Transfer + decode under the retry policy. `wire` is the receiver-side
     // reassembly buffer; retransmissions always source the pristine blob.
-    const int chunks =
-        kv_wire_transfer_chunks(pre.blob.size(), config_.transfer_chunk_bytes);
-    const std::vector<ChunkRange> all_ranges =
-        chunk_ranges(pre.blob.size(), chunks);
     const double transfer_epoch = prefill_free_s_;
     double ready = transfer_epoch;
     double first_start = -1.0;
@@ -318,22 +443,28 @@ DisaggReport DisaggEngine::run(std::vector<ServingRequest> requests) {
       return policy.transfer_deadline_s > 0.0 &&
              last_finish - transfer_epoch > policy.transfer_deadline_s;
     };
-    // Books one delivery pass: transmits `pending` ranges, retransmitting
-    // dropped chunks (with backoff) until all land or the budget/deadline
-    // gives out. Corrupted chunks land with a bit flipped — detection is the
-    // receiver's CRC check, not the transport's.
-    const auto deliver = [&](std::vector<std::uint8_t>& wire) {
-      std::vector<ChunkRange> pending = all_ranges;
+    // Books delivery of one blob over the faulty link: transmits its chunk
+    // ranges, retransmitting dropped chunks (with backoff) until all land or
+    // the budget/deadline gives out. Corrupted chunks land with a bit
+    // flipped — detection is the receiver's CRC check, not the transport's.
+    // `first` feeds the retransmitted_bytes ledger: request-scoped for the
+    // base blob (a post-crash redelivery is a retransmission), per-delivery
+    // for checkpoint traffic (each delta's first copy is new bytes).
+    const auto deliver_blob = [&](std::vector<std::uint8_t>& wire, Nic& src,
+                                  Nic& dst, bool& first) {
+      const int chunks =
+          kv_wire_transfer_chunks(wire.size(), config_.transfer_chunk_bytes);
+      std::vector<ChunkRange> pending = chunk_ranges(wire.size(), chunks);
       while (true) {
         double bytes = 0.0;
         for (const ChunkRange& r : pending) bytes += static_cast<double>(r.len);
-        if (!first_transmission) {
+        if (!first) {
           rec.retransmitted_bytes += static_cast<std::size_t>(bytes);
         }
         const FaultyTransferResult attempt = nccl_transfer_faulty(
-            prefill_.nic(), decode_.nic(), ready, bytes,
-            static_cast<int>(pending.size()), &faults_);
-        first_transmission = false;
+            src, dst, ready, bytes, static_cast<int>(pending.size()),
+            &faults_);
+        first = false;
         if (first_start < 0.0) first_start = attempt.result.start;
         last_finish = std::max(last_finish, attempt.result.finish);
 
@@ -362,6 +493,60 @@ DisaggReport DisaggEngine::run(std::vector<ServingRequest> requests) {
         pending = std::move(still_pending);
       }
     };
+    const auto deliver = [&](std::vector<std::uint8_t>& wire) {
+      return deliver_blob(wire, prefill_.nic(), decode_.nic(),
+                          first_transmission);
+    };
+
+    // Checkpoint store: the standby (prefill side here) keeps the latest
+    // *verified* delta; a resuming worker needs base + this blob only. The
+    // sink buffers cuts during the worker call; the engine books their
+    // deliveries afterwards, in cut order — checkpoints that left a crashing
+    // worker before it died still reach the store.
+    std::vector<std::uint8_t> stored_delta;
+    std::size_t stored_tokens = 0;
+    std::vector<DecodeCheckpoint> cut;
+    CheckpointSink sink;
+    if (config_.checkpoint_every_tokens > 0) {
+      sink = [&cut](DecodeCheckpoint c) {
+        cut.push_back(std::move(c));
+        return true;  // the single-pair engine never drains
+      };
+    }
+    const auto book_checkpoints = [&] {
+      for (DecodeCheckpoint& c : cut) {
+        ++rec.checkpoints;
+        rec.checkpoint_bytes += c.delta.size();
+        bool stored = false;
+        while (!stored) {
+          std::vector<std::uint8_t> wire = c.delta;
+          bool first = true;
+          if (!deliver_blob(wire, decode_.nic(), prefill_.nic(), first)) break;
+          try {
+            // Admission gate: a delta is stored only after its CRC frames
+            // verify on the delivered bytes — a corrupted delivery costs a
+            // redelivery round, never a poisoned store.
+            verify_kv_wire(wire);
+          } catch (const KvWireError&) {
+            ++rec.crc_failures;
+            if (budget == 0) break;
+            --budget;
+            const double wait = retry_backoff_s(policy, rec.retries, jitter);
+            ++rec.retries;
+            rec.backoff_s += wait;
+            ready = last_finish + wait;
+            continue;
+          }
+          stored_delta = std::move(wire);
+          stored_tokens = c.tokens_decoded;
+          stored = true;
+        }
+        // Budget exhausted before the delta landed: the store keeps the
+        // previous checkpoint; a resume just replays a longer window.
+        if (!stored) ++rec.checkpoint_failures;
+      }
+      cut.clear();
+    };
 
     DecodeWorker::Result dec;
     bool delivered = false;
@@ -378,21 +563,57 @@ DisaggReport DisaggEngine::run(std::vector<ServingRequest> requests) {
         break;
       }
       bool retransmit = false;
+      // A restarted worker resumes from base + stored delta when the store
+      // has one (only ever true after a crash); the delta ships back over
+      // the link first. If its delivery exhausts the budget, fall back to a
+      // full recompute from the base blob — the previously salvaged tokens
+      // are recomputed after all.
+      bool resume_now = stored_tokens > 0;
+      std::vector<std::uint8_t> delta_wire;
+      if (resume_now) {
+        delta_wire = stored_delta;
+        bool first = true;
+        if (!deliver_blob(delta_wire, prefill_.nic(), decode_.nic(), first)) {
+          resume_now = false;
+          rec.tokens_recomputed += stored_tokens;
+        }
+      }
       try {
-        dec = decode_.decode(wire, pre.first_token, request, index);
+        if (resume_now) {
+          dec = decode_.resume(wire, delta_wire, request, index, sink);
+        } else {
+          dec = decode_.decode(wire, pre.first_token, request, index, sink);
+        }
+        book_checkpoints();
         if (!dec.admitted) {
           failed = true;  // pool rejection → graceful degradation
           break;
         }
+        if (resume_now) {
+          ++rec.resumes;
+          rec.tokens_replayed += dec.replayed_tokens;
+        }
         delivered = true;
+      } catch (const MidDecodeCrash& crash) {
+        // Mid-generation death: tokens past the last stored checkpoint are
+        // the lost window. Checkpoints cut before the crash had already left
+        // the worker — book them into the store now.
+        ++rec.decode_crashes;
+        book_checkpoints();
+        rec.tokens_recomputed +=
+            crash.tokens_decoded - std::min(stored_tokens,
+                                            crash.tokens_decoded);
+        retransmit = true;
       } catch (const WorkerCrash&) {
         // The restarted worker lost its receive buffer with the crash.
         ++rec.decode_crashes;
+        cut.clear();
         retransmit = true;
       } catch (const KvWireError&) {
         // Corruption survived the transport; the typed CRC/section error is
         // the signal for a full-blob retransmit.
         ++rec.crc_failures;
+        cut.clear();
         retransmit = true;
       }
       if (retransmit) {
@@ -447,6 +668,12 @@ DisaggReport DisaggEngine::run(std::vector<ServingRequest> requests) {
     report.prefill_crashes_total += rec.prefill_crashes;
     report.decode_crashes_total += rec.decode_crashes;
     report.retransmitted_bytes_total += rec.retransmitted_bytes;
+    report.checkpoints_total += rec.checkpoints;
+    report.checkpoint_bytes_total += rec.checkpoint_bytes;
+    report.checkpoint_failures_total += rec.checkpoint_failures;
+    report.resumes_total += rec.resumes;
+    report.tokens_replayed_total += rec.tokens_replayed;
+    report.tokens_recomputed_total += rec.tokens_recomputed;
     if (rec.deadline_missed) ++report.deadline_misses;
     if (rec.rejected) {
       report.requests.push_back(std::move(rec));

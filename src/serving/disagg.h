@@ -44,6 +44,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <span>
@@ -117,12 +118,42 @@ struct DisaggConfig {
   // recovery policy that answers it.
   FaultConfig transfer_faults;
   RetryPolicy retry;
+  // Mid-decode checkpoint cadence: every K decoded tokens the decode worker
+  // cuts a wire v3 delta (KV entries since the prefill handoff + RNG streams
+  // + the decoded suffix) and hands it to the engine's checkpoint sink, which
+  // ships it to the standby store over the same faulty link. 0 disables —
+  // the pre-checkpoint behavior, byte for byte.
+  std::size_t checkpoint_every_tokens = 0;
 };
+
+// One cut checkpoint: the v3 delta blob against the request's base (prefill)
+// blob, and how many tokens had been decoded at the cut.
+struct DecodeCheckpoint {
+  std::vector<std::uint8_t> delta;
+  std::size_t tokens_decoded = 0;
+  KvWireSections sections;
+};
+
+// Receives each checkpoint as it is cut, mid-decode. Returning false tells
+// the worker to stop decoding at this consistent cut — the proactive-drain
+// signal: the engine migrates the request (base + this delta) to a healthy
+// replica instead of letting the suspect worker finish.
+using CheckpointSink = std::function<bool(DecodeCheckpoint)>;
 
 // Thrown by a worker whose scripted crash fires (inject_crash). The engine
 // catches it and re-runs the failed stage under the RetryPolicy.
 struct WorkerCrash : public std::runtime_error {
   explicit WorkerCrash(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A decode worker dying *mid-generation* (inject_crash_at_token): unlike a
+// WorkerCrash at request start, tokens were already decoded and checkpoints
+// may have left the worker — the engine resumes from base + latest delta on
+// a replica instead of recomputing from the blob.
+struct MidDecodeCrash : public WorkerCrash {
+  MidDecodeCrash(const std::string& what, std::size_t tokens_decoded)
+      : WorkerCrash(what), tokens_decoded(tokens_decoded) {}
+  std::size_t tokens_decoded = 0;
 };
 
 // One request's measured + modeled lifecycle through the disaggregated path.
@@ -159,6 +190,15 @@ struct DisaggRecord {
   bool deadline_missed = false;
   bool fallback_local = false;         // decoded on the prefill worker
 
+  // Checkpoint / resume accounting (zero unless checkpoint_every_tokens > 0).
+  std::size_t checkpoints = 0;         // deltas cut by the decode worker
+  std::size_t checkpoint_bytes = 0;    // summed delta blob sizes
+  std::size_t checkpoint_failures = 0; // deltas that never reached the store
+  std::size_t resumes = 0;             // decodes restarted from base + delta
+  std::size_t tokens_replayed = 0;     // suffix tokens replayed on resume
+  std::size_t tokens_recomputed = 0;   // decoded tokens lost past the last
+                                       // stored checkpoint (the lost window)
+
   // Compression ratio the wire actually achieved for this request.
   double wire_vs_fp16() const {
     return fp16_kv_bytes == 0
@@ -189,6 +229,12 @@ struct DisaggReport {
   std::size_t retransmitted_bytes_total = 0;
   std::size_t fallbacks = 0;
   std::size_t deadline_misses = 0;
+  std::size_t checkpoints_total = 0;
+  std::size_t checkpoint_bytes_total = 0;
+  std::size_t checkpoint_failures_total = 0;
+  std::size_t resumes_total = 0;
+  std::size_t tokens_replayed_total = 0;
+  std::size_t tokens_recomputed_total = 0;
 
   // Decode-side admission pressure, read off the worker's pool after the
   // episode (and a PagedKvCache when one is observed): how close the pool
@@ -255,8 +301,11 @@ class DecodeWorker {
     bool admitted = false;
     std::vector<int> generated;  // first token included when admitted
     std::size_t kv_blocks = 0;
-    double deserialize_s = 0.0;  // measured rehydration
-    double decode_s = 0.0;       // measured model compute
+    double deserialize_s = 0.0;  // measured rehydration (base + delta apply)
+    double decode_s = 0.0;       // measured model compute, checkpoint
+                                 // capture time excluded
+    bool drained = false;        // the sink stopped the decode at a cut
+    std::size_t replayed_tokens = 0;  // suffix tokens replayed (resume only)
   };
 
   DecodeWorker(std::shared_ptr<const TinyModelWeights> weights,
@@ -274,12 +323,34 @@ class DecodeWorker {
   std::size_t free_kv_blocks() const;
 
   // Throws WorkerCrash on a scripted crash (the buffered blob is lost with
-  // the worker — recovery needs a full retransmit), and KvWireError when the
-  // blob fails its integrity checks.
+  // the worker — recovery needs a full retransmit), MidDecodeCrash on a
+  // scripted mid-generation crash (inject_crash_at_token), and KvWireError
+  // when the blob fails its integrity checks. When `sink` is set and
+  // checkpoint_every_tokens > 0, a v3 delta is cut every K decoded tokens
+  // (after the token's KV row is committed and the next input token is
+  // known) and handed to the sink; a false return drains the decode at that
+  // consistent cut.
   Result decode(std::span<const std::uint8_t> blob, int first_token,
-                const ServingRequest& request, std::size_t request_index = 0);
+                const ServingRequest& request, std::size_t request_index = 0,
+                const CheckpointSink& sink = {});
+
+  // Crash-resume: rehydrate the base blob, apply the latest delta
+  // checkpoint (replaying its decoded-token suffix), and continue the decode
+  // loop mid-stride — bit-identical to the uninterrupted run, with at most
+  // checkpoint-window tokens recomputed. Admission re-reserves the same
+  // worst-case blocks decode() would.
+  Result resume(std::span<const std::uint8_t> base_blob,
+                std::span<const std::uint8_t> delta_blob,
+                const ServingRequest& request, std::size_t request_index = 0,
+                const CheckpointSink& sink = {});
 
   void inject_crash(std::size_t request_index, std::size_t times = 1);
+
+  // Scripts a crash that fires after exactly `token_index` tokens of
+  // `request_index` have been decoded (and any due checkpoint at that count
+  // has been cut). Consumed once.
+  void inject_crash_at_token(std::size_t request_index,
+                             std::size_t token_index);
 
   // Registers a paged cache whose oom_appends should surface in the report's
   // admission-pressure counters (not owned; may be null).
@@ -296,6 +367,7 @@ class DecodeWorker {
   Nic nic_;
   std::unique_ptr<BlockAllocator> allocator_;  // null: no admission control
   std::map<std::size_t, std::size_t> crashes_;
+  std::map<std::size_t, std::size_t> mid_crashes_;  // index → token count
   const PagedKvCache* observed_ = nullptr;
 };
 

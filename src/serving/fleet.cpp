@@ -271,6 +271,15 @@ std::size_t FleetEngine::pick_prefill(const DispatchContext& context,
     candidates.push_back(snapshot(book, i, t, SIZE_MAX));
   }
   if (candidates.empty()) return kNoWorker;
+  // Probe-then-readmit: the stock policies all prefer the best health tier,
+  // so a recovering worker can never win a dispatch while a healthy sibling
+  // exists — it would sit on probation forever. Route this request at the
+  // lowest-index recovering candidate as its probe; one success
+  // (HealthPolicy::probation_successes) earns healthy back, one failure
+  // sends it straight down again.
+  for (const WorkerSnapshot& s : candidates) {
+    if (s.health == WorkerHealth::kRecovering) return s.index;
+  }
   DispatchContext ctx = context;
   ctx.rr_cursor = rr_prefill_++;
   const std::size_t pick = config_.prefill_policy(ctx, candidates);
@@ -294,6 +303,12 @@ std::size_t FleetEngine::pick_decode(const DispatchContext& context,
     candidates.push_back(snapshot(book, j, t, free));
   }
   if (candidates.empty()) return kNoWorker;
+  // Probe-then-readmit, as in pick_prefill: a recovering worker gets the
+  // next admissible request as its probation probe instead of starving
+  // behind healthy siblings.
+  for (const WorkerSnapshot& s : candidates) {
+    if (s.health == WorkerHealth::kRecovering) return s.index;
+  }
   DispatchContext ctx = context;
   ctx.rr_cursor = rr_decode_++;
   const std::size_t pick = config_.decode_policy(ctx, candidates);
@@ -347,6 +362,14 @@ FleetReport FleetEngine::run(std::vector<ServingRequest> requests) {
     report.reroutes_total += rec.reroutes;
     report.prefill_failovers_total += rec.prefill_failovers;
     report.re_prefills_total += rec.re_prefills;
+    report.checkpoints_total += rec.d.checkpoints;
+    report.checkpoint_bytes_total += rec.d.checkpoint_bytes;
+    report.checkpoint_failures_total += rec.d.checkpoint_failures;
+    report.resumes_total += rec.d.resumes;
+    report.tokens_replayed_total += rec.d.tokens_replayed;
+    report.tokens_recomputed_total += rec.d.tokens_recomputed;
+    report.migrations_total += rec.migrations;
+    report.drain_events_total += rec.drains;
     if (rec.shed) ++report.shed_total;
     if (rec.d.deadline_missed) ++report.deadline_misses;
     if (rec.d.rejected) ++report.rejected;
@@ -459,10 +482,6 @@ FleetReport FleetEngine::run(std::vector<ServingRequest> requests) {
                           c.d_head * 2 * 2 * c.layers;
 
     // ---- Transfer + decode: route the blob, re-route on failure. ----
-    const int chunks = kv_wire_transfer_chunks(
-        pre.blob.size(), config_.worker.transfer_chunk_bytes);
-    const std::vector<ChunkRange> all_ranges =
-        chunk_ranges(pre.blob.size(), chunks);
     const double transfer_epoch = prefill_book_[pworker].free_s;
     double ready = transfer_epoch;
     double first_start = -1.0;
@@ -473,27 +492,31 @@ FleetReport FleetEngine::run(std::vector<ServingRequest> requests) {
       return policy.transfer_deadline_s > 0.0 &&
              last_finish - transfer_epoch > policy.transfer_deadline_s;
     };
-    // Books one delivery pass to decode worker j over link (pworker, j),
+    // Books one delivery pass of `wire` from src to dst over `fm`,
     // retransmitting dropped chunk ranges until all land or the budget or
     // deadline gives out. Retransmit rounds and waited-out link-down windows
-    // are transfer failures against j's health.
-    const auto deliver = [&](std::vector<std::uint8_t>& wire, std::size_t j) {
-      FaultModel* fm = link(pworker, j);
-      WorkerBook& book = decode_book_[j];
-      std::vector<ChunkRange> pending = all_ranges;
+    // are transfer failures against `book`'s health (the decode-side worker
+    // of the link, whichever direction the bytes flow). `first` feeds the
+    // retransmitted_bytes ledger: request-scoped for the base blob, fresh
+    // per checkpoint-delta delivery (a delta's first copy is new bytes).
+    const auto deliver_blob = [&](std::vector<std::uint8_t>& wire, Nic& src,
+                                  Nic& dst, FaultModel* fm, WorkerBook& book,
+                                  bool& first) {
+      const int chunks = kv_wire_transfer_chunks(
+          wire.size(), config_.worker.transfer_chunk_bytes);
+      std::vector<ChunkRange> pending = chunk_ranges(wire.size(), chunks);
       while (true) {
         double bytes = 0.0;
         for (const ChunkRange& r : pending) {
           bytes += static_cast<double>(r.len);
         }
-        if (!first_transmission) {
+        if (!first) {
           rec.d.retransmitted_bytes += static_cast<std::size_t>(bytes);
         }
         const std::size_t down_before = fm->stats().down_delays;
         const FaultyTransferResult attempt = nccl_transfer_faulty(
-            prefill_[pworker]->nic(), decode_[j]->nic(), ready, bytes,
-            static_cast<int>(pending.size()), fm);
-        first_transmission = false;
+            src, dst, ready, bytes, static_cast<int>(pending.size()), fm);
+        first = false;
         if (first_start < 0.0) first_start = attempt.result.start;
         last_finish = std::max(last_finish, attempt.result.finish);
         if (fm->stats().down_delays > down_before) {
@@ -527,6 +550,71 @@ FleetReport FleetEngine::run(std::vector<ServingRequest> requests) {
         ready = last_finish + wait;
         pending = std::move(still_pending);
       }
+    };
+    // The prefill→decode handoff to worker j over link (pworker, j).
+    const auto deliver = [&](std::vector<std::uint8_t>& wire, std::size_t j) {
+      return deliver_blob(wire, prefill_[pworker]->nic(), decode_[j]->nic(),
+                          link(pworker, j), decode_book_[j],
+                          first_transmission);
+    };
+
+    // Checkpoint store: the request's prefill worker doubles as the standby
+    // — it already holds the pristine base blob, so base + latest verified
+    // delta is everything a resuming replica needs. The sink buffers cuts
+    // during the worker call (returning false at a cut is the proactive-
+    // drain stop signal); book_checkpoints ships them decode→prefill over
+    // the same faulty link afterwards, in cut order — checkpoints that left
+    // a crashing worker before it died still reach the store.
+    std::vector<std::uint8_t> stored_delta;
+    std::size_t stored_tokens = 0;
+    std::vector<DecodeCheckpoint> cut;
+    bool drain_now = false;
+    CheckpointSink sink;
+    if (config_.worker.checkpoint_every_tokens > 0) {
+      sink = [&cut, &drain_now](DecodeCheckpoint c) {
+        cut.push_back(std::move(c));
+        return !drain_now;
+      };
+    }
+    const auto book_checkpoints = [&](std::size_t j) {
+      for (DecodeCheckpoint& c : cut) {
+        ++rec.d.checkpoints;
+        rec.d.checkpoint_bytes += c.delta.size();
+        bool stored = false;
+        while (!stored) {
+          std::vector<std::uint8_t> dwire = c.delta;
+          bool first = true;
+          if (!deliver_blob(dwire, decode_[j]->nic(), prefill_[pworker]->nic(),
+                            link(pworker, j), decode_book_[j], first)) {
+            break;
+          }
+          try {
+            // Admission gate: a delta lands in the store only after its CRC
+            // frames verify on the delivered bytes — a corrupted delivery
+            // costs a redelivery round, never a poisoned store.
+            verify_kv_wire(dwire);
+          } catch (const KvWireError&) {
+            ++rec.d.crc_failures;
+            ++decode_book_[j].transfer_failures;
+            decode_book_[j].health.on_failure(last_finish, hp,
+                                              /*fatal=*/false);
+            if (budget == 0) break;
+            --budget;
+            const double wait = retry_backoff_s(policy, rec.d.retries, jitter);
+            ++rec.d.retries;
+            rec.d.backoff_s += wait;
+            ready = last_finish + wait;
+            continue;
+          }
+          stored_delta = std::move(dwire);
+          stored_tokens = c.tokens_decoded;
+          stored = true;
+        }
+        // Budget exhausted before the delta landed: the store keeps the
+        // previous checkpoint; a resume just replays a longer window.
+        if (!stored) ++rec.d.checkpoint_failures;
+      }
+      cut.clear();
     };
 
     DecodeWorker::Result dec;
@@ -582,18 +670,95 @@ FleetReport FleetEngine::run(std::vector<ServingRequest> requests) {
         break;
       }
       WorkerBook& book = decode_book_[pick];
+      // Proactive drain decision: the handoff's link faults may have marked
+      // this worker suspect *after* dispatch picked it healthy. If a healthy
+      // replica with pool headroom exists, let the worker decode only to its
+      // first checkpoint cut, then migrate the request there. Bounded: each
+      // drain needs a distinct healthy target, and workers only degrade
+      // within one request's routing loop.
+      drain_now = false;
+      if (config_.proactive_drain && sink &&
+          book.health.state == WorkerHealth::kSuspect) {
+        for (std::size_t j = 0; j < decode_.size(); ++j) {
+          if (j != pick &&
+              decode_book_[j].health.state == WorkerHealth::kHealthy &&
+              need <= decode_[j]->free_kv_blocks()) {
+            drain_now = true;
+            break;
+          }
+        }
+      }
+      // A replica resumes from base + stored delta when the store has one
+      // (only ever true after a crash or drain); the delta ships back over
+      // this worker's own link first. If its delivery exhausts the budget,
+      // fall back to a full recompute from the base blob — the previously
+      // salvaged tokens are recomputed after all.
+      bool resume_now = stored_tokens > 0;
+      std::vector<std::uint8_t> delta_wire;
+      if (resume_now) {
+        delta_wire = stored_delta;
+        bool first = true;
+        if (!deliver_blob(delta_wire, prefill_[pworker]->nic(),
+                          decode_[pick]->nic(), link(pworker, pick), book,
+                          first)) {
+          resume_now = false;
+          rec.d.tokens_recomputed += stored_tokens;
+        }
+      }
       bool retransmit = false;
       try {
-        dec = decode_[pick]->decode(wire, pre.first_token, request, index);
+        dec = resume_now ? decode_[pick]->resume(wire, delta_wire, request,
+                                                 index, sink)
+                         : decode_[pick]->decode(wire, pre.first_token,
+                                                 request, index, sink);
+        book_checkpoints(pick);
         if (!dec.admitted) {
           // The reservation lost to the preflight — pool pressure; shed.
           rec.shed = true;
           failed = true;
           break;
         }
+        if (resume_now) {
+          ++rec.d.resumes;
+          rec.d.tokens_replayed += dec.replayed_tokens;
+          if (rec.decode_route.size() > 1 &&
+              pick != rec.decode_route[rec.decode_route.size() - 2]) {
+            ++rec.migrations;  // resumed on a different replica: live move
+          }
+        }
+        if (dec.drained) {
+          // The suspect worker stopped at a consistent cut (now booked into
+          // the store). Its partial service occupies it on the timeline, but
+          // it did not complete the request — no served count, no health
+          // verdict either way — and the next round resumes elsewhere.
+          ++rec.drains;
+          ++book.drains;
+          const double start = std::max(last_finish, book.free_s);
+          const double partial_end = start + dec.deserialize_s + dec.decode_s;
+          book.free_s = partial_end;
+          book.busy_s += dec.deserialize_s + dec.decode_s;
+          rec.d.tokens_recomputed +=
+              dec.generated.size() -
+              std::min(stored_tokens, dec.generated.size());
+          ready = std::max(partial_end, last_finish);
+          continue;
+        }
         delivered = true;
         dworker = pick;
         book.health.on_success(last_finish, hp);
+      } catch (const MidDecodeCrash& crash) {
+        // Mid-generation death. Checkpoints cut before the crash had already
+        // left the worker — book them into the store now; the lost window
+        // past the last stored cut is recomputed on whichever replica the
+        // next round picks. The blob never goes back through prefill.
+        ++rec.d.decode_crashes;
+        ++book.crashes;
+        book.health.on_failure(last_finish, hp, /*fatal=*/true);
+        book_checkpoints(pick);
+        rec.d.tokens_recomputed +=
+            crash.tokens_decoded -
+            std::min(stored_tokens, crash.tokens_decoded);
+        retransmit = true;
       } catch (const WorkerCrash&) {
         // The worker lost its receive buffer with the crash; the pristine
         // blob still sits on the prefill worker, so the next round routes
@@ -601,11 +766,13 @@ FleetReport FleetEngine::run(std::vector<ServingRequest> requests) {
         ++rec.d.decode_crashes;
         ++book.crashes;
         book.health.on_failure(last_finish, hp, /*fatal=*/true);
+        cut.clear();
         retransmit = true;
       } catch (const KvWireError&) {
         ++rec.d.crc_failures;
         ++book.transfer_failures;
         book.health.on_failure(last_finish, hp, /*fatal=*/false);
+        cut.clear();
         retransmit = true;
       }
       if (retransmit) {
@@ -685,6 +852,7 @@ FleetReport FleetEngine::run(std::vector<ServingRequest> requests) {
     s.served = book.served;
     s.crashes = book.crashes;
     s.transfer_failures = book.transfer_failures;
+    s.drains = book.drains;
     s.busy_s = book.busy_s;
     s.utilization =
         report.makespan_s > 0.0 ? book.busy_s / report.makespan_s : 0.0;

@@ -31,6 +31,21 @@
 //               stays zero by construction). A prefill crash re-dispatches
 //               the prompt to a sibling prefill worker. Both burn the same
 //               bounded per-request retry budget as the single-pair engine.
+//   Resume      with a checkpoint cadence on (DisaggConfig::
+//               checkpoint_every_tokens), a decode worker dying *mid-
+//               generation* costs at most one checkpoint window: the
+//               request's prefill worker doubles as the standby store
+//               (base blob + latest CRC-verified wire v3 delta), and the
+//               replica the next dispatch round picks resumes from base +
+//               delta + replayed suffix instead of recomputing from the
+//               blob — re_prefills_from_decode stays zero even for
+//               mid-decode crashes.
+//   Drain       link faults during the handoff can mark a worker suspect
+//               after dispatch picked it healthy. With proactive_drain on,
+//               such a worker decodes only to its first checkpoint cut;
+//               the request then migrates live (resume from that cut) to a
+//               healthy replica rather than gambling the whole decode on
+//               failing hardware.
 //   Shedding    fleet-wide admission control: a request no decode pool can
 //               ever hold (or that exhausts its budget with every decode
 //               worker down) is shed — decoded locally on its prefill
@@ -150,6 +165,12 @@ struct FleetConfig {
   // worker.decode_kv_blocks. A heterogeneous fleet makes the
   // free-KV-blocks-aware policy meaningful.
   std::vector<std::size_t> decode_pool_blocks;
+  // Proactive drain: a decode worker that is suspect when its decode starts
+  // (the handoff's link faults demoted it after dispatch picked it) stops at
+  // its first checkpoint cut, and the request migrates live — resume from
+  // base + that cut — to a healthy replica with pool headroom. No effect
+  // unless worker.checkpoint_every_tokens > 0 and such a replica exists.
+  bool proactive_drain = true;
 };
 
 // Per-worker rollup for the report.
@@ -165,6 +186,9 @@ struct FleetWorkerStats {
   // Decode pools only (0 when admission control is off).
   std::size_t failed_allocations = 0;
   std::size_t min_free_watermark = 0;
+  // Decode only: requests this worker gave up at a checkpoint cut because
+  // the engine drained it proactively while suspect.
+  std::size_t drains = 0;
 };
 
 // One request's route through the fleet, on top of the single-pair record
@@ -179,6 +203,9 @@ struct FleetRecord {
   std::size_t reroutes = 0;           // blob re-routed to a different replica
   std::size_t prefill_failovers = 0;  // prompt re-dispatched to a sibling
   std::size_t re_prefills = 0;        // prefill executions past the first
+  std::size_t migrations = 0;  // resumes (base + delta) on a different
+                               // replica than the one that checkpointed
+  std::size_t drains = 0;      // proactive-drain stops at a checkpoint cut
   bool shed = false;  // admission control shed it (local decode or reject)
 };
 
@@ -205,6 +232,17 @@ struct FleetReport {
   // non-vacuously.
   std::size_t re_prefills_from_decode_crashes = 0;
   std::size_t health_transitions_total = 0;
+
+  // Checkpoint / live-migration rollups (all zero unless the worker config's
+  // checkpoint_every_tokens is on).
+  std::size_t checkpoints_total = 0;
+  std::size_t checkpoint_bytes_total = 0;
+  std::size_t checkpoint_failures_total = 0;
+  std::size_t resumes_total = 0;
+  std::size_t tokens_replayed_total = 0;
+  std::size_t tokens_recomputed_total = 0;
+  std::size_t migrations_total = 0;
+  std::size_t drain_events_total = 0;
 
   // Fault/recovery rollups (sums of the per-request counters, as in
   // DisaggReport).
@@ -276,6 +314,7 @@ class FleetEngine {
     std::size_t served = 0;
     std::size_t crashes = 0;
     std::size_t transfer_failures = 0;
+    std::size_t drains = 0;  // decode books only
   };
 
   FaultModel* link(std::size_t prefill, std::size_t decode) {

@@ -1,0 +1,239 @@
+// Seeded randomized chaos fuzz over the fleet engine.
+//
+// Fifty derived (fault config × kill schedule × fleet shape) combinations,
+// each run twice, pinning the robustness contract corpus-wide instead of on
+// hand-picked schedules:
+//
+//   Replay       same seed + same kill schedule ⇒ bitwise-identical token
+//                streams, routes, retry counts, backoff draws, and
+//                checkpoint/resume/migration counters across the two runs.
+//   Bit-identity every request that completes (wire path or local fallback)
+//                produces the token stream of the fault-free single-pair
+//                engine, regardless of which replicas it bounced across.
+//   Ledger       the report's drop/corruption counters equal the summed
+//                per-link FaultModel injection ledgers exactly — no fault is
+//                double-counted or silently absorbed, checkpoint traffic
+//                included.
+//
+// Determinism scaffolding: the fate streams are ordinal-keyed (a chunk's
+// fate depends on how many chunks the link has seen, not on wall-clock
+// timing), so probabilistic drops and corruption replay exactly. Link-down
+// windows are time-keyed — measured compute shifts whether a transfer lands
+// inside one — so the fuzzer leaves them off; the scheduled-window chaos leg
+// lives in tests/test_fleet.cpp where the schedule is pinned. Down cooldowns
+// are infinite for the same reason (recovery time would depend on measured
+// compute).
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "model/tiny_transformer.h"
+#include "serving/disagg.h"
+#include "serving/fleet.h"
+#include "workload/corpus.h"
+
+namespace hack {
+namespace {
+
+std::shared_ptr<const TinyModelWeights> small_weights() {
+  TinyConfig tc;
+  tc.vocab = 64;
+  tc.layers = 2;
+  tc.heads = 4;
+  tc.kv_heads = 2;
+  tc.d_head = 32;
+  tc.d_ff = 128;
+  return make_tiny_weights(tc);
+}
+
+struct FuzzCase {
+  FleetConfig fc;
+  std::vector<ServingRequest> requests;
+  // Kill schedule: start-of-decode crashes, a mid-decode crash (armed on
+  // every decode replica so it fires wherever the request lands), and
+  // prefill crashes.
+  std::size_t decode_kill_request = SIZE_MAX;
+  std::size_t decode_kill_worker = 0;
+  std::size_t mid_kill_request = SIZE_MAX;
+  std::size_t mid_kill_token = 0;
+  std::size_t prefill_kill_request = SIZE_MAX;
+  std::size_t prefill_kill_worker = 0;
+};
+
+FuzzCase derive_case(std::uint64_t case_id) {
+  Rng rng(0xF0220000u + case_id * 0x9E3779B97F4A7C15ULL);
+  FuzzCase c;
+
+  DisaggConfig dc;
+  dc.attn.pi = 32;
+  const int kv_bits_options[] = {2, 4, 8};
+  dc.attn.kv_bits = kv_bits_options[rng.next_below(3)];
+  dc.attn.summation_elimination = rng.next_below(2) == 0;
+  dc.attn.requant_elimination = rng.next_below(2) == 0;
+  const std::size_t chunk_options[] = {2048, 4096, 16384};
+  dc.transfer_chunk_bytes = chunk_options[rng.next_below(3)];
+  dc.checkpoint_every_tokens = 2 + rng.next_below(3);  // 2..4
+  const double drop_options[] = {0.0, 0.05, 0.15};
+  const double corrupt_options[] = {0.0, 0.01, 0.05};
+  dc.transfer_faults.chunk_drop_prob = drop_options[rng.next_below(3)];
+  dc.transfer_faults.chunk_corrupt_prob = corrupt_options[rng.next_below(3)];
+  dc.transfer_faults.seed = 0xC0DE + case_id;
+  dc.retry.max_retries = 16;
+
+  c.fc.worker = dc;
+  c.fc.prefill_workers = 1 + rng.next_below(2);  // 1..2
+  c.fc.decode_workers = 1 + rng.next_below(3);   // 1..3
+  c.fc.prefill_policy = &dispatch_round_robin;
+  c.fc.decode_policy = &dispatch_round_robin;
+  c.fc.health.down_cooldown_s = 1e9;  // time-free routing: down stays down
+
+  const std::size_t n_requests = 3 + rng.next_below(2);  // 3..4
+  SyntheticCorpus corpus({.vocab = 64}, 0x5EED + case_id);
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    ServingRequest r;
+    r.prompt = corpus.prompt(i, 30 + rng.next_below(21));  // 30..50 tokens
+    r.max_new_tokens = 5 + rng.next_below(4);              // 5..8
+    r.arrival_time_s = 0.01 * static_cast<double>(i);
+    c.requests.push_back(std::move(r));
+  }
+
+  if (rng.next_below(2) == 0) {
+    c.decode_kill_request = rng.next_below(n_requests);
+    c.decode_kill_worker = rng.next_below(c.fc.decode_workers);
+  }
+  if (rng.next_below(2) == 0) {
+    c.mid_kill_request = rng.next_below(n_requests);
+    c.mid_kill_token = 2 + rng.next_below(4);  // 2..5
+  }
+  if (rng.next_below(3) == 0) {
+    c.prefill_kill_request = rng.next_below(n_requests);
+    c.prefill_kill_worker = rng.next_below(c.fc.prefill_workers);
+  }
+  return c;
+}
+
+struct Episode {
+  FleetReport report;
+  FaultStats ledger;
+};
+
+Episode run_case(const std::shared_ptr<const TinyModelWeights>& weights,
+                 const FuzzCase& c) {
+  FleetEngine engine(weights, c.fc);
+  if (c.decode_kill_request != SIZE_MAX) {
+    engine.decode_worker(c.decode_kill_worker)
+        .inject_crash(c.decode_kill_request);
+  }
+  if (c.mid_kill_request != SIZE_MAX) {
+    for (std::size_t j = 0; j < c.fc.decode_workers; ++j) {
+      engine.decode_worker(j).inject_crash_at_token(c.mid_kill_request,
+                                                    c.mid_kill_token);
+    }
+  }
+  if (c.prefill_kill_request != SIZE_MAX) {
+    engine.prefill_worker(c.prefill_kill_worker)
+        .inject_crash(c.prefill_kill_request);
+  }
+  Episode e;
+  e.report = engine.run(c.requests);
+  e.ledger = engine.fault_ledger();
+  return e;
+}
+
+TEST(ChaosFuzz, FiftySeededEpisodesReplayExactlyAndStayBitIdentical) {
+  const auto weights = small_weights();
+  // Corpus-wide non-vacuousness: the derived schedules must actually
+  // exercise every fault class and the checkpoint/resume machinery.
+  std::size_t total_drops = 0;
+  std::size_t total_corruptions = 0;
+  std::size_t total_crashes = 0;
+  std::size_t total_resumes = 0;
+  std::size_t total_checkpoints = 0;
+  std::size_t total_completed = 0;
+
+  for (std::uint64_t case_id = 0; case_id < 50; ++case_id) {
+    SCOPED_TRACE(testing::Message() << "fuzz case " << case_id);
+    const FuzzCase c = derive_case(case_id);
+
+    // The contract's reference: the fault-free single-pair engine with the
+    // same worker config (checkpoint cadence off — cadence must not change
+    // tokens either).
+    DisaggConfig clean = c.fc.worker;
+    clean.transfer_faults = {};
+    clean.checkpoint_every_tokens = 0;
+    DisaggEngine reference(weights, clean);
+    const DisaggReport ref = reference.run(c.requests);
+
+    const Episode a = run_case(weights, c);
+    const Episode b = run_case(weights, c);
+
+    // ---- Replay: the two runs are bitwise-identical. ----
+    ASSERT_EQ(a.report.requests.size(), b.report.requests.size());
+    for (std::size_t i = 0; i < a.report.requests.size(); ++i) {
+      SCOPED_TRACE(testing::Message() << "request " << i);
+      const FleetRecord& ra = a.report.requests[i];
+      const FleetRecord& rb = b.report.requests[i];
+      EXPECT_EQ(ra.prefill_route, rb.prefill_route);
+      EXPECT_EQ(ra.decode_route, rb.decode_route);
+      EXPECT_EQ(ra.d.generated, rb.d.generated);
+      EXPECT_EQ(ra.d.retries, rb.d.retries);
+      EXPECT_EQ(ra.d.backoff_s, rb.d.backoff_s);  // bitwise jitter replay
+      EXPECT_EQ(ra.d.checkpoints, rb.d.checkpoints);
+      EXPECT_EQ(ra.d.checkpoint_bytes, rb.d.checkpoint_bytes);
+      EXPECT_EQ(ra.d.resumes, rb.d.resumes);
+      EXPECT_EQ(ra.d.tokens_replayed, rb.d.tokens_replayed);
+      EXPECT_EQ(ra.d.tokens_recomputed, rb.d.tokens_recomputed);
+      EXPECT_EQ(ra.migrations, rb.migrations);
+      EXPECT_EQ(ra.drains, rb.drains);
+      EXPECT_EQ(ra.shed, rb.shed);
+      EXPECT_EQ(ra.d.rejected, rb.d.rejected);
+      EXPECT_EQ(ra.d.fallback_local, rb.d.fallback_local);
+    }
+    EXPECT_EQ(a.report.reroutes_total, b.report.reroutes_total);
+    EXPECT_EQ(a.report.re_prefills_total, b.report.re_prefills_total);
+    EXPECT_EQ(a.report.chunks_dropped_total, b.report.chunks_dropped_total);
+    EXPECT_EQ(a.report.chunks_corrupted_total,
+              b.report.chunks_corrupted_total);
+    EXPECT_EQ(a.report.crc_failures_total, b.report.crc_failures_total);
+    EXPECT_EQ(a.report.checkpoints_total, b.report.checkpoints_total);
+    EXPECT_EQ(a.report.checkpoint_failures_total,
+              b.report.checkpoint_failures_total);
+    EXPECT_EQ(a.report.resumes_total, b.report.resumes_total);
+    EXPECT_EQ(a.report.migrations_total, b.report.migrations_total);
+    EXPECT_EQ(a.report.drain_events_total, b.report.drain_events_total);
+    EXPECT_EQ(a.report.health_transitions_total,
+              b.report.health_transitions_total);
+
+    // ---- Ledger: report counters equal the injected ground truth. ----
+    EXPECT_EQ(a.report.chunks_dropped_total, a.ledger.drops);
+    EXPECT_EQ(a.report.chunks_corrupted_total, a.ledger.corruptions);
+    EXPECT_EQ(a.ledger.down_delays, 0u);  // no windows in the fuzz corpus
+
+    // ---- Bit-identity: every completed request matches the reference. ----
+    for (std::size_t i = 0; i < a.report.requests.size(); ++i) {
+      SCOPED_TRACE(testing::Message() << "request " << i);
+      const FleetRecord& rec = a.report.requests[i];
+      if (rec.d.rejected) continue;  // budget genuinely exhausted
+      EXPECT_EQ(rec.d.generated, ref.requests[i].generated);
+      ++total_completed;
+    }
+    // The decode-crash headline holds corpus-wide.
+    EXPECT_EQ(a.report.re_prefills_from_decode_crashes, 0u);
+
+    total_drops += a.ledger.drops;
+    total_corruptions += a.ledger.corruptions;
+    total_crashes +=
+        a.report.decode_crashes_total + a.report.prefill_crashes_total;
+    total_resumes += a.report.resumes_total;
+    total_checkpoints += a.report.checkpoints_total;
+  }
+
+  EXPECT_GT(total_drops, 0u);
+  EXPECT_GT(total_corruptions, 0u);
+  EXPECT_GT(total_crashes, 0u);
+  EXPECT_GT(total_resumes, 0u);
+  EXPECT_GT(total_checkpoints, 0u);
+  EXPECT_GT(total_completed, 0u);
+}
+
+}  // namespace
+}  // namespace hack

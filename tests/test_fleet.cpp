@@ -311,6 +311,69 @@ TEST(FleetEngine, SameSeedAndKillScheduleReplaysRoutesAndCounters) {
   EXPECT_GT(a.chunks_dropped_total, 0u);  // the schedule was not vacuous
 }
 
+// The replay contract extends to the checkpoint/migration machinery: same
+// seed + same kill schedule (including a mid-decode kill) replays checkpoint
+// counts, resume counts, migrations, and drains bitwise.
+TEST(FleetEngine, SameSeedReplaysCheckpointAndMigrationCounters) {
+  const auto weights = small_weights();
+  FleetConfig fc;
+  fc.worker = base_config();
+  fc.prefill_workers = 2;
+  fc.decode_workers = 2;
+  fc.prefill_policy = &dispatch_round_robin;
+  fc.decode_policy = &dispatch_round_robin;
+  fc.health.down_cooldown_s = 1e9;
+  fc.worker.checkpoint_every_tokens = 2;
+  fc.worker.transfer_faults.chunk_drop_prob = 0.1;
+  fc.worker.transfer_faults.chunk_corrupt_prob = 0.02;
+  fc.worker.transfer_faults.seed = 0xCAFE;
+  fc.worker.retry.max_retries = 16;
+  const auto reqs = make_requests(6, 64);
+
+  const auto episode = [&] {
+    FleetEngine engine(weights, fc);
+    // Arm the mid-decode kill on both replicas so it fires wherever request
+    // 3 lands; the resume replays past the scripted count, so the second
+    // worker's trap never triggers.
+    engine.decode_worker(0).inject_crash_at_token(3, 2);
+    engine.decode_worker(1).inject_crash_at_token(3, 2);
+    return engine.run(reqs);
+  };
+  const FleetReport a = episode();
+  const FleetReport b = episode();
+
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "request " << i);
+    EXPECT_EQ(a.requests[i].decode_route, b.requests[i].decode_route);
+    EXPECT_EQ(a.requests[i].d.generated, b.requests[i].d.generated);
+    EXPECT_EQ(a.requests[i].d.checkpoints, b.requests[i].d.checkpoints);
+    EXPECT_EQ(a.requests[i].d.checkpoint_bytes,
+              b.requests[i].d.checkpoint_bytes);
+    EXPECT_EQ(a.requests[i].d.resumes, b.requests[i].d.resumes);
+    EXPECT_EQ(a.requests[i].d.tokens_replayed,
+              b.requests[i].d.tokens_replayed);
+    EXPECT_EQ(a.requests[i].d.tokens_recomputed,
+              b.requests[i].d.tokens_recomputed);
+    EXPECT_EQ(a.requests[i].migrations, b.requests[i].migrations);
+    EXPECT_EQ(a.requests[i].drains, b.requests[i].drains);
+  }
+  EXPECT_EQ(a.checkpoints_total, b.checkpoints_total);
+  EXPECT_EQ(a.checkpoint_bytes_total, b.checkpoint_bytes_total);
+  EXPECT_EQ(a.checkpoint_failures_total, b.checkpoint_failures_total);
+  EXPECT_EQ(a.resumes_total, b.resumes_total);
+  EXPECT_EQ(a.tokens_replayed_total, b.tokens_replayed_total);
+  EXPECT_EQ(a.tokens_recomputed_total, b.tokens_recomputed_total);
+  EXPECT_EQ(a.migrations_total, b.migrations_total);
+  EXPECT_EQ(a.drain_events_total, b.drain_events_total);
+  // The schedule was non-vacuous: the mid-decode kill fired and a replica
+  // resumed from a checkpoint.
+  EXPECT_GE(a.decode_crashes_total, 1u);
+  EXPECT_GE(a.resumes_total, 1u);
+  EXPECT_GT(a.checkpoints_total, 0u);
+  EXPECT_EQ(a.re_prefills_from_decode_crashes, 0u);
+}
+
 // Concurrent retries on different links draw independent jitter streams: a
 // fault injected into one request never shifts another request's backoff
 // draws. Under PR 6's engine-wide stream, request 0's recovery would consume
@@ -419,6 +482,163 @@ TEST(FleetEngine, FreeBlockPolicyRoutesAroundExhaustedPools) {
   }
   EXPECT_EQ(report.decode_workers[0].served, 0u);
   EXPECT_EQ(report.decode_workers[1].served, reqs.size());
+}
+
+// ------------------------------- checkpointing, crash-resume, live migration
+
+// The tentpole acceptance path: a decode worker dies mid-generation after
+// checkpoints have left it. The replica resumes from base blob + latest
+// stored delta + replayed suffix — bit-identical tokens, at most one
+// checkpoint window recomputed, and zero re-prefills.
+TEST(FleetEngine, MidDecodeCrashResumesOnReplicaWithoutRePrefill) {
+  const auto weights = small_weights();
+  FleetConfig fc;
+  fc.worker = base_config();
+  fc.prefill_workers = 1;
+  fc.decode_workers = 2;
+  fc.decode_policy = &dispatch_round_robin;
+  fc.health.down_cooldown_s = 1e9;  // the crashed worker stays down
+  fc.worker.checkpoint_every_tokens = 2;
+  const auto reqs = make_requests(4, 64);  // request 1: max_new = 7
+  const auto expected = reference_tokens(weights, fc.worker, reqs);
+
+  FleetEngine engine(weights, fc);
+  // Round-robin routes request 1 to decode1; kill it after 5 decoded tokens.
+  // Checkpoints at 2 and 4 left the worker before the crash, so the lost
+  // window is exactly one token (5 − 4).
+  engine.decode_worker(1).inject_crash_at_token(1, 5);
+  const FleetReport report = engine.run(reqs);
+
+  ASSERT_EQ(report.requests.size(), reqs.size());
+  for (std::size_t i = 0; i < report.requests.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "request " << i);
+    EXPECT_FALSE(report.requests[i].d.rejected);
+    EXPECT_FALSE(report.requests[i].d.fallback_local);
+    EXPECT_EQ(report.requests[i].d.generated, expected[i]);
+  }
+
+  const FleetRecord& hit = report.requests[1];
+  EXPECT_EQ(hit.decode_route, (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(hit.reroutes, 1u);
+  EXPECT_EQ(hit.d.decode_crashes, 1u);
+  // Checkpoints: cuts at 2 and 4 on the victim, then at 6 on the replica
+  // (the resume keeps checkpointing past the replayed suffix).
+  EXPECT_EQ(hit.d.checkpoints, 3u);
+  EXPECT_GT(hit.d.checkpoint_bytes, 0u);
+  EXPECT_EQ(hit.d.checkpoint_failures, 0u);
+  EXPECT_EQ(hit.d.resumes, 1u);
+  EXPECT_EQ(hit.d.tokens_replayed, 4u);    // the stored cut's suffix
+  EXPECT_EQ(hit.d.tokens_recomputed, 1u);  // 5 decoded − 4 checkpointed
+  EXPECT_EQ(hit.migrations, 1u);           // resumed on a different replica
+  EXPECT_EQ(hit.drains, 0u);
+
+  EXPECT_EQ(report.decode_crashes_total, 1u);
+  EXPECT_EQ(report.resumes_total, 1u);
+  EXPECT_EQ(report.migrations_total, 1u);
+  EXPECT_EQ(report.tokens_replayed_total, 4u);
+  EXPECT_EQ(report.tokens_recomputed_total, 1u);
+  // The headline: a mid-decode crash never sends the prompt back through
+  // prefill.
+  EXPECT_EQ(report.re_prefills_total, 0u);
+  EXPECT_EQ(report.re_prefills_from_decode_crashes, 0u);
+  EXPECT_EQ(report.decode_workers[1].final_health, WorkerHealth::kDown);
+}
+
+// Proactive drain: link faults during the handoff demote the worker to
+// suspect after dispatch picked it healthy. The worker decodes only to its
+// first checkpoint cut; the request migrates live to the healthy replica and
+// resumes from that cut — no tokens recomputed, no crash involved.
+TEST(FleetEngine, ProactiveDrainMigratesLiveToHealthyReplica) {
+  const auto weights = small_weights();
+  FleetConfig fc;
+  fc.worker = base_config();
+  fc.prefill_workers = 1;
+  fc.decode_workers = 2;
+  fc.decode_policy = &dispatch_round_robin;
+  fc.worker.checkpoint_every_tokens = 2;
+  const auto reqs = make_requests(1, 64);  // request 0: max_new = 6
+  const auto expected = reference_tokens(weights, fc.worker, reqs);
+
+  FleetEngine engine(weights, fc);
+  // Drop the first chunk of request 0's handoff on link (prefill0, decode0):
+  // the retransmit round marks decode0 suspect (suspect_after = 1) after the
+  // policy already committed the blob there.
+  engine.link_faults(0, 0).script_fate(0, ChunkFate::kDropped);
+  const FleetReport report = engine.run(reqs);
+
+  ASSERT_EQ(report.requests.size(), 1u);
+  const FleetRecord& rec = report.requests[0];
+  EXPECT_FALSE(rec.d.rejected);
+  EXPECT_EQ(rec.d.generated, expected[0]);
+
+  // decode0 stopped at its first cut (2 tokens); decode1 resumed from it.
+  EXPECT_EQ(rec.decode_route, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(rec.drains, 1u);
+  EXPECT_EQ(rec.d.resumes, 1u);
+  EXPECT_EQ(rec.migrations, 1u);
+  EXPECT_EQ(rec.d.tokens_replayed, 2u);
+  EXPECT_EQ(rec.d.tokens_recomputed, 0u);  // a drain loses nothing
+  EXPECT_EQ(rec.d.decode_crashes, 0u);
+  EXPECT_GE(rec.d.checkpoints, 2u);  // the drain cut + the replica's cuts
+  EXPECT_EQ(report.drain_events_total, 1u);
+  EXPECT_EQ(report.migrations_total, 1u);
+  EXPECT_EQ(report.re_prefills_total, 0u);
+
+  EXPECT_EQ(report.decode_workers[0].drains, 1u);
+  EXPECT_EQ(report.decode_workers[0].served, 0u);
+  EXPECT_EQ(report.decode_workers[0].final_health, WorkerHealth::kSuspect);
+  EXPECT_EQ(report.decode_workers[1].served, 1u);
+  EXPECT_GT(report.decode_workers[0].busy_s, 0.0);  // partial service booked
+}
+
+// Satellite regression: a worker that served its down cooldown re-enters the
+// dispatch rotation. The stock policies prefer healthy workers, so without
+// the engine's probe-then-readmit rule a recovering worker would starve on
+// probation forever while its healthy sibling absorbed all traffic.
+TEST(FleetEngine, RecoveringWorkerIsReadmittedAfterCooldown) {
+  const auto weights = small_weights();
+  FleetConfig fc;
+  fc.worker = base_config();
+  fc.prefill_workers = 1;
+  fc.decode_workers = 2;
+  fc.decode_policy = &dispatch_round_robin;
+  fc.health.down_cooldown_s = 1e-6;  // recovers before the next dispatch
+  fc.health.probation_successes = 1;
+  const auto reqs = make_requests(6, 64);
+  const auto expected = reference_tokens(weights, fc.worker, reqs);
+
+  FleetEngine engine(weights, fc);
+  engine.decode_worker(1).inject_crash(1);  // round-robin sends request 1 here
+  const FleetReport report = engine.run(reqs);
+
+  for (std::size_t i = 0; i < report.requests.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "request " << i);
+    EXPECT_FALSE(report.requests[i].d.rejected);
+    EXPECT_EQ(report.requests[i].d.generated, expected[i]);
+  }
+  EXPECT_EQ(report.re_prefills_total, 0u);
+
+  // decode1 walked the full trajectory: healthy → down (crash) → recovering
+  // (cooldown) → healthy (probe served) — and served requests again.
+  const FleetWorkerStats& revived = report.decode_workers[1];
+  EXPECT_EQ(revived.crashes, 1u);
+  EXPECT_EQ(revived.final_health, WorkerHealth::kHealthy);
+  ASSERT_GE(revived.transitions.size(), 3u);
+  EXPECT_EQ(revived.transitions[0].from, WorkerHealth::kHealthy);
+  EXPECT_EQ(revived.transitions[0].to, WorkerHealth::kDown);
+  EXPECT_EQ(revived.transitions[1].from, WorkerHealth::kDown);
+  EXPECT_EQ(revived.transitions[1].to, WorkerHealth::kRecovering);
+  EXPECT_EQ(revived.transitions[2].from, WorkerHealth::kRecovering);
+  EXPECT_EQ(revived.transitions[2].to, WorkerHealth::kHealthy);
+  EXPECT_GE(revived.served, 1u);
+  // Some post-crash request actually landed on the readmitted worker.
+  bool readmitted = false;
+  for (std::size_t i = 2; i < report.requests.size(); ++i) {
+    for (const std::size_t j : report.requests[i].decode_route) {
+      if (j == 1) readmitted = true;
+    }
+  }
+  EXPECT_TRUE(readmitted);
 }
 
 // ------------------------------------------------- 2×2 chaos acceptance run
