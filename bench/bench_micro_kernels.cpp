@@ -300,10 +300,130 @@ void print_hq_gemm_comparison_json() {
   std::fflush(stdout);
 }
 
+// --- Packed-resident decode GEMV vs unpack-first. ---------------------------
+
+// One decode step's score GEMV (q · Kᵀ, NT) and value GEMV (p · V, NN) over a
+// packed-resident cache, against the unpack-first alternative: expand the
+// packed plane to bytes, then run the same byte-storage kernel. The packed
+// kernels expand codes in-register, so the gap is the memory traffic of the
+// materialized byte plane — the tentpole claim.
+void BM_PackedGemvDecodeNt(benchmark::State& state) {
+  const auto bits = static_cast<int>(state.range(0));
+  const auto l = static_cast<std::size_t>(state.range(1));
+  Rng rng(19);
+  const Matrix q = Matrix::random_gaussian(1, 128, rng);
+  const Matrix k = Matrix::random_gaussian(l, 128, rng);
+  Rng q1(20), q2(21);
+  const QuantizedMatrix qq =
+      quantize(q, 8, 64, QuantAxis::kRow, Rounding::kStochastic, q1);
+  QuantizedMatrix qk =
+      quantize(k, bits, 64, QuantAxis::kRow, Rounding::kStochastic, q2);
+  pack_storage(qk);
+  const SumCache sums = SumCache::build(qk);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hq_matmul_nt(qq, qk, &sums, nullptr, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(l));
+}
+BENCHMARK(BM_PackedGemvDecodeNt)
+    ->Args({2, 4096})
+    ->Args({4, 4096})
+    ->Args({8, 4096});
+
+void BM_UnpackFirstGemvDecodeNt(benchmark::State& state) {
+  const auto bits = static_cast<int>(state.range(0));
+  const auto l = static_cast<std::size_t>(state.range(1));
+  Rng rng(22);
+  const Matrix q = Matrix::random_gaussian(1, 128, rng);
+  const Matrix k = Matrix::random_gaussian(l, 128, rng);
+  Rng q1(23), q2(24);
+  const QuantizedMatrix qq =
+      quantize(q, 8, 64, QuantAxis::kRow, Rounding::kStochastic, q1);
+  QuantizedMatrix qk =
+      quantize(k, bits, 64, QuantAxis::kRow, Rounding::kStochastic, q2);
+  pack_storage(qk);
+  const SumCache sums = SumCache::build(qk);
+  for (auto _ : state) {
+    QuantizedMatrix expanded = qk;  // the per-step unpack the kernels avoid
+    unpack_storage(expanded);
+    benchmark::DoNotOptimize(hq_matmul_nt(qq, expanded, &sums, nullptr, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(l));
+}
+BENCHMARK(BM_UnpackFirstGemvDecodeNt)
+    ->Args({2, 4096})
+    ->Args({4, 4096})
+    ->Args({8, 4096});
+
+// The headline packed-vs-unpack-first numbers: one JSON line per
+// (mode, kv_bits) at a long decode context, single thread.
+void print_packed_gemm_comparison_json() {
+  const std::size_t l = 8192, d = 128, pi = 64;
+  Rng rng(60);
+  const Matrix qrow = Matrix::random_gaussian(1, d, rng);
+  const Matrix k = Matrix::random_gaussian(l, d, rng);
+  const Matrix v = Matrix::random_gaussian(l, d, rng);
+  const Matrix prow = Matrix::random_gaussian(1, l, rng);
+  // Best-of-9 per leg: the gated metric is a ratio of two timings, so each
+  // side needs a stable floor or the trend step sees noise as regression.
+  const int reps = 9;
+
+  for (const int bits : {2, 4, 8}) {
+    Rng q1(61), q2(62), q3(63), q4(64);
+    const QuantizedMatrix qq =
+        quantize(qrow, 8, pi, QuantAxis::kRow, Rounding::kStochastic, q1);
+    QuantizedMatrix qk =
+        quantize(k, bits, pi, QuantAxis::kRow, Rounding::kStochastic, q2);
+    pack_storage(qk);
+    const SumCache k_sums = SumCache::build(qk);
+    const QuantizedMatrix pq =
+        quantize(prow, 8, pi, QuantAxis::kRow, Rounding::kStochastic, q3);
+    QuantizedMatrix qv =
+        quantize(v, bits, pi, QuantAxis::kCol, Rounding::kStochastic, q4);
+    pack_storage(qv);
+    const SumCache v_sums = SumCache::build(qv);
+
+    const struct {
+      const char* mode;
+      std::function<Matrix()> packed, unpack_first;
+    } legs[] = {
+        {"nt", [&] { return hq_matmul_nt(qq, qk, &k_sums, nullptr, 1); },
+         [&] {
+           QuantizedMatrix e = qk;
+           unpack_storage(e);
+           return hq_matmul_nt(qq, e, &k_sums, nullptr, 1);
+         }},
+        {"nn", [&] { return hq_matmul(pq, qv, &v_sums, nullptr, 1); },
+         [&] {
+           QuantizedMatrix e = qv;
+           unpack_storage(e);
+           return hq_matmul(pq, e, &v_sums, nullptr, 1);
+         }},
+    };
+    for (const auto& leg : legs) {
+      Matrix sink;
+      const double packed_ms =
+          time_best_ms([&] { sink = leg.packed(); }, reps);
+      const double unpack_ms =
+          time_best_ms([&] { sink = leg.unpack_first(); }, reps);
+      benchmark::DoNotOptimize(sink);
+      std::printf(
+          "{\"bench\":\"packed_gemm_decode\",\"mode\":\"%s\",\"kv_bits\":%d,"
+          "\"context\":%zu,\"d_head\":%zu,\"pi\":%zu,\"threads\":1,"
+          "\"packed_ms\":%.3f,\"unpack_first_ms\":%.3f,\"speedup\":%.2f,"
+          "\"tokens_per_s\":%.0f}\n",
+          leg.mode, bits, l, d, pi, packed_ms, unpack_ms,
+          unpack_ms / packed_ms, static_cast<double>(l) / (packed_ms * 1e-3));
+    }
+  }
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   print_hq_gemm_comparison_json();
+  print_packed_gemm_comparison_json();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

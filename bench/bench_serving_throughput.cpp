@@ -224,6 +224,7 @@ void run_prefill_legs(const Shape& shape, std::size_t context,
       reps);
 
   std::size_t wire_bytes = 0;
+  std::size_t resident_code_bytes = 0;
   for (const int threads : thread_legs) {
     const HackAttentionConfig cfg = make_config(shape, threads);
     const double batched_ms = time_best_ms(
@@ -232,18 +233,25 @@ void run_prefill_legs(const Shape& shape, std::size_t context,
                                  cfg, 7);
           (void)layer.prefill(in.q_all, in.k_all, in.v_all);
           wire_bytes = layer.wire_bytes();
+          resident_code_bytes = layer.resident_code_bytes();
         },
         reps);
+    // The code planes are bit-packed in memory; the unpacked figure is what
+    // the same planes held when resident storage was one byte per code.
+    const std::size_t unpacked_code_bytes =
+        resident_code_bytes * 8 / static_cast<std::size_t>(cfg.kv_bits);
     std::printf(
         "{\"bench\":\"serving_layer_prefill\",\"heads\":%zu,\"kv_heads\":%zu,"
         "\"d_head\":%zu,\"pi\":%zu,\"context\":%zu,\"threads\":%d,"
         "\"lanes\":%zu,\"batched_ms\":%.2f,\"per_head_1t_ms\":%.2f,"
         "\"batched_tokens_per_s\":%.1f,\"speedup_vs_per_head_1t\":%.2f,"
-        "\"wire_bytes\":%zu}\n",
+        "\"wire_bytes\":%zu,\"resident_code_bytes\":%zu,"
+        "\"unpacked_code_bytes\":%zu}\n",
         shape.heads, shape.kv_heads, shape.d_head, shape.pi, context, threads,
         lanes, batched_ms, per_head_1t_ms,
         1000.0 * static_cast<double>(context) / batched_ms,
-        per_head_1t_ms / batched_ms, wire_bytes);
+        per_head_1t_ms / batched_ms, wire_bytes, resident_code_bytes,
+        unpacked_code_bytes);
     std::fflush(stdout);
   }
 }

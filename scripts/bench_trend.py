@@ -38,7 +38,7 @@ import sys
 # Fields that identify *which* measurement a line is, as opposed to the
 # measurement itself. Any of these present in a JSON line joins the match key.
 DISCRIMINATORS = (
-    "bench", "mode", "name", "label", "fig", "table", "section",
+    "bench", "mode", "name", "label", "fig", "table", "section", "layout",
     "kv_bits", "q_bits", "bits", "pi", "context", "threads", "requests",
     "engine", "policy", "kills", "prefill_workers", "decode_workers",
     "worker", "role", "arrival", "dataset", "model", "gpus",

@@ -47,6 +47,7 @@ void HackKvState::append_tokens(const Matrix& k_new, const Matrix& v_new,
       quantize(k_new, config_.kv_bits, config_.pi, QuantAxis::kRow,
                config_.rounding, rng, /*allow_ragged_tail=*/false,
                config_.threads);
+  pack_storage(k_chunk);  // resident planes hold bit-packed codes
   count_quantized(stats, k_new.size());
   if (!k_init_) {
     k_ = std::move(k_chunk);
@@ -79,6 +80,7 @@ void HackKvState::promote_full_partitions(Rng& rng, HackAttnStats* stats) {
           quantize(chunk, config_.kv_bits, pi, QuantAxis::kCol,
                    config_.rounding, rng, /*allow_ragged_tail=*/false,
                    config_.threads);
+      pack_storage(qchunk);
       count_quantized(stats, chunk.size());
       if (!v_init_) {
         v_q_ = std::move(qchunk);
@@ -137,6 +139,7 @@ void HackKvState::requantize_tail(const Matrix& rows, Rng& rng,
     v_tail_q_ = quantize(block, config_.kv_bits, pi, QuantAxis::kCol,
                          config_.rounding, rng, /*allow_ragged_tail=*/true,
                          config_.threads);
+    pack_storage(v_tail_q_);
     v_tail_q_init_ = true;
     count_quantized(stats, block.size());
     if (v_tail_q_.rows >= pi) {
@@ -150,6 +153,14 @@ std::size_t HackKvState::packed_kv_bytes() const {
   if (k_init_) total += k_.stored_bytes();
   if (v_init_) total += v_q_.stored_bytes();
   if (v_tail_q_init_) total += v_tail_q_.stored_bytes();
+  return total;
+}
+
+std::size_t HackKvState::resident_code_bytes() const {
+  std::size_t total = 0;
+  if (k_init_) total += k_.codes.size();
+  if (v_init_) total += v_q_.codes.size();
+  if (v_tail_q_init_) total += v_tail_q_.codes.size();
   return total;
 }
 
@@ -177,6 +188,10 @@ QuantizedMatrix HackKvState::v_quantized_all() const {
   QuantizedMatrix v_all = v_q_;
   if (v_tail_q_init_) {
     const QuantizedMatrix& tail = v_tail_q_;
+    // Rows are padded to whole bytes under packed storage, so concatenating
+    // the tail's code bytes below the full-partition store stays row-exact.
+    HACK_CHECK(v_all.storage_bits == tail.storage_bits,
+               "V store / tail storage width mismatch");
     const std::size_t old_groups = v_all.group_count();
     const std::size_t new_groups = old_groups + 1;
     std::vector<float> mins(v_all.cols * new_groups);
@@ -246,6 +261,11 @@ void HackKvState::restore(std::size_t tokens, QuantizedMatrix k,
   v_tail_fp16_ = std::move(v_tail_fp16);
   v_tail_q_ = std::move(v_tail_q);
   v_tail_q_init_ = v_tail_q_present;
+  // Normalize to the resident representation: bit-packed code rows. No-op
+  // when the wire reader already adopted the packed bytes (or kv_bits == 8).
+  pack_storage(k_);
+  if (v_init_) pack_storage(v_q_);
+  if (v_tail_q_init_) pack_storage(v_tail_q_);
 }
 
 Matrix hack_attention(const Matrix& q, HackKvState& state,

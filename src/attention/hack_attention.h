@@ -78,6 +78,11 @@ class HackKvState {
 
   // Memory accounting (bytes), matching the paper's categories in §7.4.
   std::size_t packed_kv_bytes() const;   // packed codes + FP16 (m, s) metadata
+  // Bytes the code planes actually occupy in memory (codes.size(), not the
+  // modeled packed size). With packed-resident storage this matches
+  // packed_kv_bytes' code term; it exists so benchmarks report the real
+  // footprint rather than a formula.
+  std::size_t resident_code_bytes() const;
   std::size_t sum_cache_bytes() const;   // SE sums (0 when SE disabled)
   std::size_t fp16_tail_bytes() const;   // RQE FP16 last block (0 when off)
   std::size_t wire_bytes() const;        // what prefill transmits to decode

@@ -137,6 +137,8 @@ class HackLayerKvState {
 
   // Memory accounting summed over KV heads (per-layer wire/cache footprint).
   std::size_t packed_kv_bytes() const;
+  // Actual in-memory bytes of the resident code planes (see HackKvState).
+  std::size_t resident_code_bytes() const;
   std::size_t sum_cache_bytes() const;
   std::size_t fp16_tail_bytes() const;
   std::size_t wire_bytes() const;

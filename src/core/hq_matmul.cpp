@@ -5,9 +5,24 @@
 
 #include "base/thread_pool.h"
 #include "core/int_gemm.h"
+#include "quant/packed.h"
 
 namespace hack {
 namespace {
+
+// Byte-per-code view of row r, unpacking into `scratch` when the matrix
+// stores packed rows. Only the cold Σ b' recompute paths use this; the hot
+// kernels consume packed rows directly.
+const std::uint8_t* row_codes(const QuantizedMatrix& q, std::size_t r,
+                              std::vector<std::uint8_t>& scratch) {
+  if (!q.packed_storage()) return q.codes.data() + r * q.cols;
+  const std::size_t stride = q.code_row_stride();
+  scratch.resize(q.cols);
+  unpack_codes(
+      std::span<const std::uint8_t>(q.codes).subspan(r * stride, stride),
+      q.storage_bits, q.cols, scratch.data());
+  return scratch.data();
+}
 
 // Shared Eq. (4) engine. Layout differences between NN (P·V) and NT (Q·Kᵀ)
 // are confined to the banded integer kernel and the Σ b' recompute loop,
@@ -21,6 +36,11 @@ template <bool kNT>
 void validate_operands(const QuantizedMatrix& a, const QuantizedMatrix& b) {
   HACK_CHECK(a.axis == QuantAxis::kRow, "A must be row-axis quantized");
   HACK_CHECK(a.bits >= 1 && b.bits >= 1, "operands must be quantized");
+  HACK_CHECK(a.storage_bits == 8,
+             "A (the transient Q/P operand) must use byte code storage");
+  HACK_CHECK(b.storage_bits == 8 || b.storage_bits == b.bits,
+             "B storage width " << b.storage_bits << " inconsistent with "
+                                << b.bits << "-bit codes");
   HACK_CHECK(a.pi == b.pi, "partition size mismatch: " << a.pi << " vs "
                             << b.pi);
   if constexpr (kNT) {
@@ -72,10 +92,11 @@ struct PreparedB {
       b_col_sums = sums->data();
     } else {
       b_col_sums_storage.assign(n * groups, 0);
+      std::vector<std::uint8_t> scratch;
       if constexpr (kNT) {
         // B is N x Z: each (j, g) sum is a contiguous run of row j.
         for (std::size_t j = 0; j < n; ++j) {
-          const std::uint8_t* row = bm.codes.data() + j * bm.cols;
+          const std::uint8_t* row = row_codes(bm, j, scratch);
           for (std::size_t g = 0; g < groups; ++g) {
             std::int32_t acc = 0;
             for (std::size_t zz = scheme.group_begin(g);
@@ -90,7 +111,7 @@ struct PreparedB {
         for (std::size_t g = 0; g < groups; ++g) {
           for (std::size_t zz = scheme.group_begin(g);
                zz < scheme.group_end(g); ++zz) {
-            const std::uint8_t* row = bm.codes.data() + zz * bm.cols;
+            const std::uint8_t* row = row_codes(bm, zz, scratch);
             for (std::size_t j = 0; j < n; ++j) {
               b_col_sums_storage[j * groups + g] += row[j];
             }
@@ -138,8 +159,9 @@ void process_band(const QuantizedMatrix& a, const PreparedB<kNT>& pb,
                   std::size_t ldc) {
   const std::size_t n_tile = j1 - j0;
   const std::size_t groups = pb.scheme.group_count();
-  const CodeView a_codes{a.codes.data(), a.rows, a.cols};
-  const CodeView b_codes{pb.b->codes.data(), pb.b->rows, pb.b->cols};
+  const CodeView a_codes{a.codes.data(), a.rows, a.cols, a.storage_bits};
+  const CodeView b_codes{pb.b->codes.data(), pb.b->rows, pb.b->cols,
+                         pb.b->storage_bits};
   if constexpr (!kNT) {
     HACK_CHECK(j0 == 0 && j1 == pb.n, "NN bands cover all output columns");
   }
@@ -276,6 +298,8 @@ void hq_matmul_batch(std::span<HqGemmTask> tasks, int threads) {
                  "A must be row-axis quantized");
       HACK_CHECK(task.b->axis == QuantAxis::kCol,
                  "B must be col-axis quantized");
+      HACK_CHECK(task.a->storage_bits == 8,
+                 "A (the transient P operand) must use byte code storage");
       HACK_CHECK(task.a->pi == task.b->pi, "partition size mismatch");
       HACK_CHECK(task.a->cols == kr1[t] - kr0[t],
                  "NN tile A width " << task.a->cols << " != tile "
@@ -467,6 +491,7 @@ std::int64_t HqNtPrep::sum_flops() const { return impl_->pb.sum_flops; }
 
 std::vector<std::int32_t> hq_a_row_sums(const QuantizedMatrix& a) {
   HACK_CHECK(a.axis == QuantAxis::kRow, "A must be row-axis quantized");
+  HACK_CHECK(a.storage_bits == 8, "A must use byte code storage");
   const PartitionScheme scheme(a.cols, a.pi, /*allow_ragged_tail=*/true);
   const std::size_t groups = scheme.group_count();
   HACK_CHECK(a.group_count() == groups, "A group count mismatch");
@@ -514,8 +539,9 @@ KvTileBSums kv_tile_b_sums(const QuantizedMatrix& b, const SumCache* b_sums,
                  "SumCache does not match B");
       for (std::size_t j = 0; j < n; ++j) dst[j] = b_sums->sum(j, seg.group);
     } else {
+      std::vector<std::uint8_t> scratch;
       for (std::size_t z = seg.begin; z < seg.end; ++z) {
-        const std::uint8_t* row = b.codes.data() + z * n;
+        const std::uint8_t* row = row_codes(b, z, scratch);
         for (std::size_t j = 0; j < n; ++j) dst[j] += row[j];
       }
       out.sum_flops += static_cast<std::int64_t>(seg.end - seg.begin) * n;
@@ -546,7 +572,7 @@ void hq_nn_tile_accumulate(const std::uint8_t* a_codes, std::size_t a_rows,
              "b_seg_sums must be kv_tile_b_sums of the segments");
   const std::size_t b_groups = b.group_count();
   const CodeView av{a_codes, a_rows, tile};
-  const CodeView bv{b.codes.data(), b.rows, b.cols};
+  const CodeView bv{b.codes.data(), b.rows, b.cols, b.storage_bits};
 
   std::vector<std::int32_t> dot(a_rows * n);
   std::vector<float> f1(n), f2(n), f3(n);

@@ -1,6 +1,8 @@
 #include "core/int_gemm.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #define HACK_X86_SIMD 1
@@ -10,14 +12,42 @@
 namespace hack {
 namespace {
 
+std::atomic<bool> g_force_portable{false};
+
+bool force_portable() {
+  return g_force_portable.load(std::memory_order_relaxed);
+}
+
+// Storage stride of one packed row (bytes). BITS == 8 is the classic
+// one-byte-per-code layout.
+template <int BITS>
+constexpr std::size_t row_stride(std::size_t cols) {
+  if constexpr (BITS == 8) return cols;
+  return (cols * static_cast<std::size_t>(BITS) + 7) / 8;
+}
+
+// Scalar extraction of code c from a (possibly bit-packed) row.
+template <int BITS>
+inline std::uint8_t code_load(const std::uint8_t* row, std::size_t c) {
+  if constexpr (BITS == 8) {
+    return row[c];
+  } else {
+    const std::size_t bit = c * static_cast<std::size_t>(BITS);
+    return static_cast<std::uint8_t>((row[bit >> 3] >> (bit & 7)) &
+                                     ((1u << BITS) - 1u));
+  }
+}
+
 // Portable NN band: 4-row register tile; each B row streamed once feeds four
 // C rows. The inner j-loop is a plain quad-axpy, which the compiler
-// vectorizes.
+// vectorizes for byte storage; packed storage extracts codes inline.
+template <int BITS>
 void int_gemm_nn_rows_portable(const CodeView& a, const CodeView& b,
                                std::size_t i_begin, std::size_t i_end,
                                std::size_t z_begin, std::size_t z_end,
                                std::int32_t* out) {
   const std::size_t n = b.cols;
+  const std::size_t bstride = row_stride<BITS>(n);
   std::size_t i = i_begin;
   for (; i + 4 <= i_end; i += 4) {
     std::int32_t* dst0 = out + (i - i_begin) * n;
@@ -31,9 +61,9 @@ void int_gemm_nn_rows_portable(const CodeView& a, const CodeView& b,
       const std::int32_t a2 = arow0[2 * a.cols + z];
       const std::int32_t a3 = arow0[3 * a.cols + z];
       if ((a0 | a1 | a2 | a3) == 0) continue;
-      const std::uint8_t* brow = b.data + z * n;
+      const std::uint8_t* brow = b.data + z * bstride;
       for (std::size_t j = 0; j < n; ++j) {
-        const std::int32_t bv = brow[j];
+        const std::int32_t bv = code_load<BITS>(brow, j);
         dst0[j] += a0 * bv;
         dst1[j] += a1 * bv;
         dst2[j] += a2 * bv;
@@ -47,284 +77,24 @@ void int_gemm_nn_rows_portable(const CodeView& a, const CodeView& b,
     for (std::size_t z = z_begin; z < z_end; ++z) {
       const std::int32_t aiz = arow[z];
       if (aiz == 0) continue;
-      const std::uint8_t* brow = b.data + z * n;
+      const std::uint8_t* brow = b.data + z * bstride;
       for (std::size_t j = 0; j < n; ++j) {
-        dst[j] += aiz * static_cast<std::int32_t>(brow[j]);
+        dst[j] += aiz * static_cast<std::int32_t>(code_load<BITS>(brow, j));
       }
     }
   }
 }
 
-#ifdef HACK_X86_SIMD
-
-bool cpu_has_avx2() {
-  static const bool ok = __builtin_cpu_supports("avx2");
-  return ok;
-}
-
-// NN band via explicit widening multiplies. B rows are consumed in z-pairs:
-// the bytes of two consecutive B rows are interleaved to [b_z0[j], b_z1[j]]
-// (the signed operand of pmaddubsw, which is why this path requires B codes
-// < 64) and multiplied against the broadcast A pair [a_i[z0], a_i[z1]] (the
-// unsigned operand, full 8-bit range). Each resulting int16 lane holds the
-// per-column partial a0·b_z0[j] + a1·b_z1[j] (<= 2·255·63 = 32130, no
-// saturation), which is widened in j-order into int32 accumulators held in
-// registers across the z-chunk.
-inline constexpr std::size_t kNnZChunk = 256;  // even, so pairs stay aligned
-
-__attribute__((target("avx2"))) void int_gemm_nn_rows_avx2(
-    const CodeView& a, const CodeView& b, std::size_t i_begin,
-    std::size_t i_end, std::size_t z_begin, std::size_t z_end,
-    std::int32_t* out) {
-  const std::size_t n = b.cols;
-  const std::size_t jvec = n & ~static_cast<std::size_t>(15);
-
-  std::size_t i = i_begin;
-  for (; i + 4 <= i_end; i += 4) {
-    for (std::size_t zc = z_begin; zc < z_end; zc += kNnZChunk) {
-      const std::size_t zc_end = std::min(zc + kNnZChunk, z_end);
-      const std::size_t pairs = (zc_end - zc) / 2;
-      const bool odd = ((zc_end - zc) & 1) != 0;
-
-      // Broadcast-ready (a[z0] | a[z1] << 8) pairs for the four tile rows.
-      std::uint16_t apair[4][kNnZChunk / 2];
-      for (std::size_t r = 0; r < 4; ++r) {
-        const std::uint8_t* ar = a.data + (i + r) * a.cols + zc;
-        for (std::size_t p = 0; p < pairs; ++p) {
-          apair[r][p] = static_cast<std::uint16_t>(
-              ar[2 * p] | (static_cast<std::uint16_t>(ar[2 * p + 1]) << 8));
-        }
-      }
-
-      for (std::size_t j = 0; j < jvec; j += 16) {
-        __m256i acc_lo[4], acc_hi[4];
-        for (std::size_t r = 0; r < 4; ++r) {
-          std::int32_t* dst = out + (i + r - i_begin) * n + j;
-          acc_lo[r] =
-              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst));
-          acc_hi[r] =
-              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + 8));
-        }
-        for (std::size_t p = 0; p < pairs; ++p) {
-          if ((apair[0][p] | apair[1][p] | apair[2][p] | apair[3][p]) == 0) {
-            continue;
-          }
-          const std::uint8_t* brow0 = b.data + (zc + 2 * p) * n + j;
-          const std::uint8_t* brow1 = brow0 + n;
-          const __m128i b0 =
-              _mm_loadu_si128(reinterpret_cast<const __m128i*>(brow0));
-          const __m128i b1 =
-              _mm_loadu_si128(reinterpret_cast<const __m128i*>(brow1));
-          const __m256i inter = _mm256_set_m128i(_mm_unpackhi_epi8(b0, b1),
-                                                 _mm_unpacklo_epi8(b0, b1));
-          for (std::size_t r = 0; r < 4; ++r) {
-            const __m256i prod = _mm256_maddubs_epi16(
-                _mm256_set1_epi16(static_cast<short>(apair[r][p])), inter);
-            acc_lo[r] = _mm256_add_epi32(
-                acc_lo[r], _mm256_cvtepi16_epi32(_mm256_castsi256_si128(prod)));
-            acc_hi[r] = _mm256_add_epi32(
-                acc_hi[r],
-                _mm256_cvtepi16_epi32(_mm256_extracti128_si256(prod, 1)));
-          }
-        }
-        if (odd) {
-          const std::size_t z = zc_end - 1;
-          const std::uint8_t* brow = b.data + z * n + j;
-          const __m256i bw = _mm256_cvtepu8_epi16(
-              _mm_loadu_si128(reinterpret_cast<const __m128i*>(brow)));
-          for (std::size_t r = 0; r < 4; ++r) {
-            const std::int32_t av = a.data[(i + r) * a.cols + z];
-            if (av == 0) continue;
-            const __m256i prod =
-                _mm256_mullo_epi16(_mm256_set1_epi16(static_cast<short>(av)),
-                                   bw);  // <= 255·63, fits int16
-            acc_lo[r] = _mm256_add_epi32(
-                acc_lo[r], _mm256_cvtepi16_epi32(_mm256_castsi256_si128(prod)));
-            acc_hi[r] = _mm256_add_epi32(
-                acc_hi[r],
-                _mm256_cvtepi16_epi32(_mm256_extracti128_si256(prod, 1)));
-          }
-        }
-        for (std::size_t r = 0; r < 4; ++r) {
-          std::int32_t* dst = out + (i + r - i_begin) * n + j;
-          _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), acc_lo[r]);
-          _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 8), acc_hi[r]);
-        }
-      }
-
-      // Remaining columns: scalar quad-axpy over this z-chunk.
-      if (jvec < n) {
-        const std::uint8_t* arow0 = a.data + i * a.cols;
-        for (std::size_t z = zc; z < zc_end; ++z) {
-          const std::int32_t a0 = arow0[z];
-          const std::int32_t a1 = arow0[a.cols + z];
-          const std::int32_t a2 = arow0[2 * a.cols + z];
-          const std::int32_t a3 = arow0[3 * a.cols + z];
-          if ((a0 | a1 | a2 | a3) == 0) continue;
-          const std::uint8_t* brow = b.data + z * n;
-          for (std::size_t j = jvec; j < n; ++j) {
-            const std::int32_t bv = brow[j];
-            out[(i - i_begin) * n + j] += a0 * bv;
-            out[(i + 1 - i_begin) * n + j] += a1 * bv;
-            out[(i + 2 - i_begin) * n + j] += a2 * bv;
-            out[(i + 3 - i_begin) * n + j] += a3 * bv;
-          }
-        }
-      }
-    }
-  }
-  if (i < i_end) {
-    int_gemm_nn_rows_portable(a, b, i, i_end, z_begin, z_end,
-                              out + (i - i_begin) * n);
-  }
-}
-
-// NT band via the u8 x i8 multiply-add idiom. Requires every B code < 64 so
-// the adjacent-pair sums of pmaddubsw (<= 2 * 255 * 63 = 32130) fit int16.
-// A is the unsigned operand (full 8-bit range allowed).
-__attribute__((target("avx2"))) void int_gemm_nt_rows_avx2(
-    const CodeView& a, const CodeView& b, std::size_t i_begin,
-    std::size_t i_end, std::size_t z_begin, std::size_t z_end,
-    std::int32_t* out) {
+// Portable NT band: 4x4 register tile, 16 accumulators, each A/B row loaded
+// once per z step instead of once per output.
+template <int BITS>
+void int_gemm_nt_rows_portable(const CodeView& a, const CodeView& b,
+                               std::size_t i_begin, std::size_t i_end,
+                               std::size_t z_begin, std::size_t z_end,
+                               std::int32_t* out) {
   const std::size_t n = b.rows;
+  const std::size_t bstride = row_stride<BITS>(b.cols);
   const std::size_t zlen = z_end - z_begin;
-  const std::size_t zvec = zlen & ~static_cast<std::size_t>(31);
-  const __m256i ones = _mm256_set1_epi16(1);
-  for (std::size_t i = i_begin; i < i_end; ++i) {
-    const std::uint8_t* pa = a.data + i * a.cols + z_begin;
-    std::int32_t* dst = out + (i - i_begin) * n;
-    std::size_t j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const std::uint8_t* pb0 = b.data + j * b.cols + z_begin;
-      const std::uint8_t* pb1 = pb0 + b.cols;
-      const std::uint8_t* pb2 = pb1 + b.cols;
-      const std::uint8_t* pb3 = pb2 + b.cols;
-      __m256i acc0 = _mm256_setzero_si256();
-      __m256i acc1 = _mm256_setzero_si256();
-      __m256i acc2 = _mm256_setzero_si256();
-      __m256i acc3 = _mm256_setzero_si256();
-      for (std::size_t z = 0; z < zvec; z += 32) {
-        const __m256i av =
-            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa + z));
-        acc0 = _mm256_add_epi32(
-            acc0, _mm256_madd_epi16(
-                      _mm256_maddubs_epi16(
-                          av, _mm256_loadu_si256(
-                                  reinterpret_cast<const __m256i*>(pb0 + z))),
-                      ones));
-        acc1 = _mm256_add_epi32(
-            acc1, _mm256_madd_epi16(
-                      _mm256_maddubs_epi16(
-                          av, _mm256_loadu_si256(
-                                  reinterpret_cast<const __m256i*>(pb1 + z))),
-                      ones));
-        acc2 = _mm256_add_epi32(
-            acc2, _mm256_madd_epi16(
-                      _mm256_maddubs_epi16(
-                          av, _mm256_loadu_si256(
-                                  reinterpret_cast<const __m256i*>(pb2 + z))),
-                      ones));
-        acc3 = _mm256_add_epi32(
-            acc3, _mm256_madd_epi16(
-                      _mm256_maddubs_epi16(
-                          av, _mm256_loadu_si256(
-                                  reinterpret_cast<const __m256i*>(pb3 + z))),
-                      ones));
-      }
-      // Fold the four accumulators into one lane each.
-      const __m256i h01 = _mm256_hadd_epi32(acc0, acc1);
-      const __m256i h23 = _mm256_hadd_epi32(acc2, acc3);
-      const __m256i h = _mm256_hadd_epi32(h01, h23);
-      const __m128i sum = _mm_add_epi32(_mm256_castsi256_si128(h),
-                                        _mm256_extracti128_si256(h, 1));
-      alignas(16) std::int32_t lanes[4];
-      _mm_store_si128(reinterpret_cast<__m128i*>(lanes), sum);
-      std::int32_t c0 = lanes[0], c1 = lanes[1], c2 = lanes[2], c3 = lanes[3];
-      for (std::size_t z = zvec; z < zlen; ++z) {
-        const std::int32_t av = pa[z];
-        c0 += av * static_cast<std::int32_t>(pb0[z]);
-        c1 += av * static_cast<std::int32_t>(pb1[z]);
-        c2 += av * static_cast<std::int32_t>(pb2[z]);
-        c3 += av * static_cast<std::int32_t>(pb3[z]);
-      }
-      dst[j] += c0;
-      dst[j + 1] += c1;
-      dst[j + 2] += c2;
-      dst[j + 3] += c3;
-    }
-    for (; j < n; ++j) {
-      dst[j] += int_dot_nt(a, b, i, j, z_begin, z_end);
-    }
-  }
-}
-
-#endif  // HACK_X86_SIMD
-
-}  // namespace
-
-std::int32_t int_dot_nt(const CodeView& a, const CodeView& b, std::size_t i,
-                        std::size_t j, std::size_t z_begin, std::size_t z_end) {
-  HACK_CHECK(a.cols == b.cols, "NT inner dim mismatch");
-  HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
-  const std::uint8_t* pa = a.data + i * a.cols;
-  const std::uint8_t* pb = b.data + j * b.cols;
-  std::int32_t acc = 0;
-  for (std::size_t z = z_begin; z < z_end; ++z) {
-    acc += static_cast<std::int32_t>(pa[z]) * static_cast<std::int32_t>(pb[z]);
-  }
-  return acc;
-}
-
-void int_gemm_nn_rows(const CodeView& a, const CodeView& b,
-                      std::size_t i_begin, std::size_t i_end,
-                      std::size_t z_begin, std::size_t z_end,
-                      std::int32_t* out, int b_bits,
-                      std::size_t b_row_offset) {
-  HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
-  HACK_CHECK(b_row_offset + z_end <= b.rows,
-             "B row range " << b_row_offset << "+" << z_end << " out of "
-                            << b.rows);
-  HACK_CHECK(i_begin <= i_end && i_end <= a.rows, "bad row band");
-  // The kernels only ever index B at `data + z * cols`, so a KV-tile offset
-  // is a plain row-shifted view.
-  const CodeView bv{b.data + b_row_offset * b.cols, b.rows - b_row_offset,
-                    b.cols};
-#ifdef HACK_X86_SIMD
-  if (b_bits >= 1 && b_bits <= 6 && cpu_has_avx2()) {
-    int_gemm_nn_rows_avx2(a, bv, i_begin, i_end, z_begin, z_end, out);
-    return;
-  }
-#else
-  (void)b_bits;
-#endif
-  int_gemm_nn_rows_portable(a, bv, i_begin, i_end, z_begin, z_end, out);
-}
-
-void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
-                      std::size_t i_begin, std::size_t i_end,
-                      std::size_t z_begin, std::size_t z_end,
-                      std::int32_t* out, int b_bits, std::size_t j_begin,
-                      std::size_t j_end) {
-  if (j_end == kIntGemmFull) j_end = b.rows;
-  HACK_CHECK(a.cols == b.cols, "NT inner dim mismatch");
-  HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
-  HACK_CHECK(i_begin <= i_end && i_end <= a.rows, "bad row band");
-  HACK_CHECK(j_begin <= j_end && j_end <= b.rows, "bad B row range");
-  // Output columns [j_begin, j_end) come from the row-shifted view of B.
-  const CodeView bv{b.data + j_begin * b.cols, j_end - j_begin, b.cols};
-#ifdef HACK_X86_SIMD
-  if (b_bits >= 1 && b_bits <= 6 && cpu_has_avx2()) {
-    int_gemm_nt_rows_avx2(a, bv, i_begin, i_end, z_begin, z_end, out);
-    return;
-  }
-#else
-  (void)b_bits;
-#endif
-  const CodeView& b_tile = bv;
-  const std::size_t n = b_tile.rows;
-  const std::size_t zlen = z_end - z_begin;
-  // 4x4 register tile: 16 accumulators, each A/B row loaded once per z step
-  // instead of once per output.
   std::size_t i = i_begin;
   for (; i + 4 <= i_end; i += 4) {
     const std::uint8_t* pa0 = a.data + i * a.cols + z_begin;
@@ -337,17 +107,20 @@ void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
     std::int32_t* dst3 = dst2 + n;
     std::size_t j = 0;
     for (; j + 4 <= n; j += 4) {
-      const std::uint8_t* pb0 = b_tile.data + j * b_tile.cols + z_begin;
-      const std::uint8_t* pb1 = pb0 + b_tile.cols;
-      const std::uint8_t* pb2 = pb1 + b_tile.cols;
-      const std::uint8_t* pb3 = pb2 + b_tile.cols;
+      const std::uint8_t* pb0 = b.data + j * bstride;
+      const std::uint8_t* pb1 = pb0 + bstride;
+      const std::uint8_t* pb2 = pb1 + bstride;
+      const std::uint8_t* pb3 = pb2 + bstride;
       std::int32_t c00 = 0, c01 = 0, c02 = 0, c03 = 0;
       std::int32_t c10 = 0, c11 = 0, c12 = 0, c13 = 0;
       std::int32_t c20 = 0, c21 = 0, c22 = 0, c23 = 0;
       std::int32_t c30 = 0, c31 = 0, c32 = 0, c33 = 0;
       for (std::size_t z = 0; z < zlen; ++z) {
         const std::int32_t a0 = pa0[z], a1 = pa1[z], a2 = pa2[z], a3 = pa3[z];
-        const std::int32_t b0 = pb0[z], b1 = pb1[z], b2 = pb2[z], b3 = pb3[z];
+        const std::int32_t b0 = code_load<BITS>(pb0, z_begin + z);
+        const std::int32_t b1 = code_load<BITS>(pb1, z_begin + z);
+        const std::int32_t b2 = code_load<BITS>(pb2, z_begin + z);
+        const std::int32_t b3 = code_load<BITS>(pb3, z_begin + z);
         c00 += a0 * b0; c01 += a0 * b1; c02 += a0 * b2; c03 += a0 * b3;
         c10 += a1 * b0; c11 += a1 * b1; c12 += a1 * b2; c13 += a1 * b3;
         c20 += a2 * b0; c21 += a2 * b1; c22 += a2 * b2; c23 += a2 * b3;
@@ -359,10 +132,10 @@ void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
       dst3[j] += c30; dst3[j + 1] += c31; dst3[j + 2] += c32; dst3[j + 3] += c33;
     }
     for (; j < n; ++j) {
-      const std::uint8_t* pb = b_tile.data + j * b_tile.cols + z_begin;
+      const std::uint8_t* pb = b.data + j * bstride;
       std::int32_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
       for (std::size_t z = 0; z < zlen; ++z) {
-        const std::int32_t bv = pb[z];
+        const std::int32_t bv = code_load<BITS>(pb, z_begin + z);
         c0 += static_cast<std::int32_t>(pa0[z]) * bv;
         c1 += static_cast<std::int32_t>(pa1[z]) * bv;
         c2 += static_cast<std::int32_t>(pa2[z]) * bv;
@@ -380,17 +153,17 @@ void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
     std::int32_t* dst = out + (i - i_begin) * n;
     std::size_t j = 0;
     for (; j + 4 <= n; j += 4) {
-      const std::uint8_t* pb0 = b_tile.data + j * b_tile.cols + z_begin;
-      const std::uint8_t* pb1 = pb0 + b_tile.cols;
-      const std::uint8_t* pb2 = pb1 + b_tile.cols;
-      const std::uint8_t* pb3 = pb2 + b_tile.cols;
+      const std::uint8_t* pb0 = b.data + j * bstride;
+      const std::uint8_t* pb1 = pb0 + bstride;
+      const std::uint8_t* pb2 = pb1 + bstride;
+      const std::uint8_t* pb3 = pb2 + bstride;
       std::int32_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
       for (std::size_t z = 0; z < zlen; ++z) {
         const std::int32_t av = pa[z];
-        c0 += av * static_cast<std::int32_t>(pb0[z]);
-        c1 += av * static_cast<std::int32_t>(pb1[z]);
-        c2 += av * static_cast<std::int32_t>(pb2[z]);
-        c3 += av * static_cast<std::int32_t>(pb3[z]);
+        c0 += av * static_cast<std::int32_t>(code_load<BITS>(pb0, z_begin + z));
+        c1 += av * static_cast<std::int32_t>(code_load<BITS>(pb1, z_begin + z));
+        c2 += av * static_cast<std::int32_t>(code_load<BITS>(pb2, z_begin + z));
+        c3 += av * static_cast<std::int32_t>(code_load<BITS>(pb3, z_begin + z));
       }
       dst[j] += c0;
       dst[j + 1] += c1;
@@ -398,8 +171,427 @@ void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
       dst[j + 3] += c3;
     }
     for (; j < n; ++j) {
-      dst[j] += int_dot_nt(a, b_tile, i, j, z_begin, z_end);
+      dst[j] += int_dot_nt(a, b, i, j, z_begin, z_end);
     }
+  }
+}
+
+#ifdef HACK_X86_SIMD
+
+bool cpu_has_avx2() {
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+}
+
+// In-register expansion of 16 consecutive codes starting at column j of a
+// (possibly packed) row, one code per byte of the returned __m128i. Packed
+// callers must pass j with j * BITS on a byte boundary (the vectorized loops
+// step j by 16, which keeps any 2-/4-bit offset byte-aligned).
+template <int BITS>
+__attribute__((target("avx2"))) inline __m128i load16_bcodes(
+    const std::uint8_t* row, std::size_t j) {
+  if constexpr (BITS == 8) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + j));
+  } else if constexpr (BITS == 4) {
+    // 8 bytes = 16 nibbles; widen each byte to a 16-bit lane, then place the
+    // low nibble in the lane's low byte and the high nibble in its high byte.
+    const __m128i t = _mm_cvtepu8_epi16(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(row + j / 2)));
+    return _mm_or_si128(_mm_and_si128(t, _mm_set1_epi16(0x000F)),
+                        _mm_and_si128(_mm_slli_epi16(t, 4),
+                                      _mm_set1_epi16(0x0F00)));
+  } else {
+    static_assert(BITS == 2);
+    // 4 bytes = 16 crumbs; widen each byte to a 32-bit lane and shift each
+    // crumb into its own byte of the lane.
+    std::uint32_t w;
+    std::memcpy(&w, row + j / 4, sizeof(w));
+    const __m128i t = _mm_cvtepu8_epi32(_mm_cvtsi32_si128(static_cast<int>(w)));
+    __m128i r = _mm_and_si128(t, _mm_set1_epi32(0x3));
+    r = _mm_or_si128(r, _mm_and_si128(_mm_slli_epi32(t, 6),
+                                      _mm_set1_epi32(0x300)));
+    r = _mm_or_si128(r, _mm_and_si128(_mm_slli_epi32(t, 12),
+                                      _mm_set1_epi32(0x30000)));
+    r = _mm_or_si128(r, _mm_and_si128(_mm_slli_epi32(t, 18),
+                                      _mm_set1_epi32(0x3000000)));
+    return r;
+  }
+}
+
+// Same expansion for 32 consecutive codes starting at column z, one code per
+// byte of the returned __m256i. Packed callers must keep z * BITS on a byte
+// boundary (the NT loop aligns its vector range first, then steps z by 32).
+template <int BITS>
+__attribute__((target("avx2"))) inline __m256i load32_bcodes(
+    const std::uint8_t* row, std::size_t z) {
+  if constexpr (BITS == 8) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + z));
+  } else if constexpr (BITS == 4) {
+    const __m256i t = _mm256_cvtepu8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + z / 2)));
+    return _mm256_or_si256(_mm256_and_si256(t, _mm256_set1_epi16(0x000F)),
+                           _mm256_and_si256(_mm256_slli_epi16(t, 4),
+                                            _mm256_set1_epi16(0x0F00)));
+  } else {
+    static_assert(BITS == 2);
+    const __m256i t = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(row + z / 4)));
+    __m256i r = _mm256_and_si256(t, _mm256_set1_epi32(0x3));
+    r = _mm256_or_si256(r, _mm256_and_si256(_mm256_slli_epi32(t, 6),
+                                            _mm256_set1_epi32(0x300)));
+    r = _mm256_or_si256(r, _mm256_and_si256(_mm256_slli_epi32(t, 12),
+                                            _mm256_set1_epi32(0x30000)));
+    r = _mm256_or_si256(r, _mm256_and_si256(_mm256_slli_epi32(t, 18),
+                                            _mm256_set1_epi32(0x3000000)));
+    return r;
+  }
+}
+
+// NN band via explicit widening multiplies. B rows are consumed in z-pairs:
+// the bytes of two consecutive B rows are interleaved to [b_z0[j], b_z1[j]]
+// (the signed operand of pmaddubsw, which is why this path requires B codes
+// < 64) and multiplied against the broadcast A pair [a_i[z0], a_i[z1]] (the
+// unsigned operand, full 8-bit range). Each resulting int16 lane holds the
+// per-column partial a0·b_z0[j] + a1·b_z1[j] (<= 2·255·63 = 32130, no
+// saturation), which is widened in j-order into int32 accumulators held in
+// registers across the z-chunk. R is the number of C rows in the register
+// tile (4 for the steady state, 1–3 for band remainders and the decode
+// GEMV), so packed decode never falls back to scalar extraction.
+inline constexpr std::size_t kNnZChunk = 256;  // even, so pairs stay aligned
+
+template <int BITS, int R>
+__attribute__((target("avx2"))) void int_gemm_nn_block_avx2(
+    const CodeView& a, const CodeView& b, std::size_t i, std::size_t i_begin,
+    std::size_t z_begin, std::size_t z_end, std::int32_t* out) {
+  const std::size_t n = b.cols;
+  const std::size_t bstride = row_stride<BITS>(n);
+  const std::size_t jvec = n & ~static_cast<std::size_t>(15);
+
+  for (std::size_t zc = z_begin; zc < z_end; zc += kNnZChunk) {
+    const std::size_t zc_end = std::min(zc + kNnZChunk, z_end);
+    const std::size_t pairs = (zc_end - zc) / 2;
+    const bool odd = ((zc_end - zc) & 1) != 0;
+
+    // Broadcast-ready (a[z0] | a[z1] << 8) pairs for the tile rows.
+    std::uint16_t apair[R][kNnZChunk / 2];
+    for (std::size_t r = 0; r < R; ++r) {
+      const std::uint8_t* ar = a.data + (i + r) * a.cols + zc;
+      for (std::size_t p = 0; p < pairs; ++p) {
+        apair[r][p] = static_cast<std::uint16_t>(
+            ar[2 * p] | (static_cast<std::uint16_t>(ar[2 * p + 1]) << 8));
+      }
+    }
+
+    for (std::size_t j = 0; j < jvec; j += 16) {
+      __m256i acc_lo[R], acc_hi[R];
+      for (std::size_t r = 0; r < R; ++r) {
+        std::int32_t* dst = out + (i + r - i_begin) * n + j;
+        acc_lo[r] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst));
+        acc_hi[r] =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + 8));
+      }
+      for (std::size_t p = 0; p < pairs; ++p) {
+        std::uint16_t any = 0;
+        for (std::size_t r = 0; r < R; ++r) any |= apair[r][p];
+        if (any == 0) continue;
+        const std::uint8_t* brow0 = b.data + (zc + 2 * p) * bstride;
+        const std::uint8_t* brow1 = brow0 + bstride;
+        const __m128i b0 = load16_bcodes<BITS>(brow0, j);
+        const __m128i b1 = load16_bcodes<BITS>(brow1, j);
+        const __m256i inter = _mm256_set_m128i(_mm_unpackhi_epi8(b0, b1),
+                                               _mm_unpacklo_epi8(b0, b1));
+        for (std::size_t r = 0; r < R; ++r) {
+          const __m256i prod = _mm256_maddubs_epi16(
+              _mm256_set1_epi16(static_cast<short>(apair[r][p])), inter);
+          acc_lo[r] = _mm256_add_epi32(
+              acc_lo[r], _mm256_cvtepi16_epi32(_mm256_castsi256_si128(prod)));
+          acc_hi[r] = _mm256_add_epi32(
+              acc_hi[r],
+              _mm256_cvtepi16_epi32(_mm256_extracti128_si256(prod, 1)));
+        }
+      }
+      if (odd) {
+        const std::size_t z = zc_end - 1;
+        const std::uint8_t* brow = b.data + z * bstride;
+        const __m256i bw = _mm256_cvtepu8_epi16(load16_bcodes<BITS>(brow, j));
+        for (std::size_t r = 0; r < R; ++r) {
+          const std::int32_t av = a.data[(i + r) * a.cols + z];
+          if (av == 0) continue;
+          const __m256i prod = _mm256_mullo_epi16(
+              _mm256_set1_epi16(static_cast<short>(av)), bw);  // <= 255·63
+          acc_lo[r] = _mm256_add_epi32(
+              acc_lo[r], _mm256_cvtepi16_epi32(_mm256_castsi256_si128(prod)));
+          acc_hi[r] = _mm256_add_epi32(
+              acc_hi[r],
+              _mm256_cvtepi16_epi32(_mm256_extracti128_si256(prod, 1)));
+        }
+      }
+      for (std::size_t r = 0; r < R; ++r) {
+        std::int32_t* dst = out + (i + r - i_begin) * n + j;
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), acc_lo[r]);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 8), acc_hi[r]);
+      }
+    }
+
+    // Remaining columns: scalar axpy over this z-chunk.
+    if (jvec < n) {
+      for (std::size_t z = zc; z < zc_end; ++z) {
+        std::int32_t av[R];
+        std::int32_t any = 0;
+        for (std::size_t r = 0; r < R; ++r) {
+          av[r] = a.data[(i + r) * a.cols + z];
+          any |= av[r];
+        }
+        if (any == 0) continue;
+        const std::uint8_t* brow = b.data + z * bstride;
+        for (std::size_t j = jvec; j < n; ++j) {
+          const std::int32_t bv = code_load<BITS>(brow, j);
+          for (std::size_t r = 0; r < R; ++r) {
+            out[(i + r - i_begin) * n + j] += av[r] * bv;
+          }
+        }
+      }
+    }
+  }
+}
+
+template <int BITS>
+__attribute__((target("avx2"))) void int_gemm_nn_rows_avx2(
+    const CodeView& a, const CodeView& b, std::size_t i_begin,
+    std::size_t i_end, std::size_t z_begin, std::size_t z_end,
+    std::int32_t* out) {
+  std::size_t i = i_begin;
+  for (; i + 4 <= i_end; i += 4) {
+    int_gemm_nn_block_avx2<BITS, 4>(a, b, i, i_begin, z_begin, z_end, out);
+  }
+  switch (i_end - i) {
+    case 3:
+      int_gemm_nn_block_avx2<BITS, 3>(a, b, i, i_begin, z_begin, z_end, out);
+      break;
+    case 2:
+      int_gemm_nn_block_avx2<BITS, 2>(a, b, i, i_begin, z_begin, z_end, out);
+      break;
+    case 1:
+      int_gemm_nn_block_avx2<BITS, 1>(a, b, i, i_begin, z_begin, z_end, out);
+      break;
+    default:
+      break;
+  }
+}
+
+// NT band via the u8 x i8 multiply-add idiom. Requires every B code < 64 so
+// the adjacent-pair sums of pmaddubsw (<= 2 * 255 * 63 = 32130) fit int16.
+// A is the unsigned operand (full 8-bit range allowed). Packed B rows are
+// expanded 32 codes at a time; a scalar head first walks the z-range up to a
+// byte boundary so every vector load starts byte-aligned.
+template <int BITS>
+__attribute__((target("avx2"))) void int_gemm_nt_rows_avx2(
+    const CodeView& a, const CodeView& b, std::size_t i_begin,
+    std::size_t i_end, std::size_t z_begin, std::size_t z_end,
+    std::int32_t* out) {
+  const std::size_t n = b.rows;
+  const std::size_t bstride = row_stride<BITS>(b.cols);
+  std::size_t zv_begin = z_begin;
+  if constexpr (BITS != 8) {
+    const std::size_t misbits = (z_begin * BITS) & 7;
+    if (misbits != 0) {
+      zv_begin = std::min(z_end, z_begin + (8 - misbits) / BITS);
+    }
+  }
+  const std::size_t zvec = (z_end - zv_begin) & ~static_cast<std::size_t>(31);
+  const std::size_t zv_end = zv_begin + zvec;
+  const __m256i ones = _mm256_set1_epi16(1);
+  for (std::size_t i = i_begin; i < i_end; ++i) {
+    const std::uint8_t* pa = a.data + i * a.cols;
+    std::int32_t* dst = out + (i - i_begin) * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::uint8_t* pb0 = b.data + j * bstride;
+      const std::uint8_t* pb1 = pb0 + bstride;
+      const std::uint8_t* pb2 = pb1 + bstride;
+      const std::uint8_t* pb3 = pb2 + bstride;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      for (std::size_t z = zv_begin; z < zv_end; z += 32) {
+        const __m256i av =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa + z));
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(av, load32_bcodes<BITS>(pb0, z)),
+                      ones));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(av, load32_bcodes<BITS>(pb1, z)),
+                      ones));
+        acc2 = _mm256_add_epi32(
+            acc2, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(av, load32_bcodes<BITS>(pb2, z)),
+                      ones));
+        acc3 = _mm256_add_epi32(
+            acc3, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(av, load32_bcodes<BITS>(pb3, z)),
+                      ones));
+      }
+      // Fold the four accumulators into one lane each.
+      const __m256i h01 = _mm256_hadd_epi32(acc0, acc1);
+      const __m256i h23 = _mm256_hadd_epi32(acc2, acc3);
+      const __m256i h = _mm256_hadd_epi32(h01, h23);
+      const __m128i sum = _mm_add_epi32(_mm256_castsi256_si128(h),
+                                        _mm256_extracti128_si256(h, 1));
+      alignas(16) std::int32_t lanes[4];
+      _mm_store_si128(reinterpret_cast<__m128i*>(lanes), sum);
+      std::int32_t c0 = lanes[0], c1 = lanes[1], c2 = lanes[2], c3 = lanes[3];
+      // Scalar head (alignment) and tail (vector remainder).
+      for (std::size_t z = z_begin; z < zv_begin; ++z) {
+        const std::int32_t av = pa[z];
+        c0 += av * static_cast<std::int32_t>(code_load<BITS>(pb0, z));
+        c1 += av * static_cast<std::int32_t>(code_load<BITS>(pb1, z));
+        c2 += av * static_cast<std::int32_t>(code_load<BITS>(pb2, z));
+        c3 += av * static_cast<std::int32_t>(code_load<BITS>(pb3, z));
+      }
+      for (std::size_t z = zv_end; z < z_end; ++z) {
+        const std::int32_t av = pa[z];
+        c0 += av * static_cast<std::int32_t>(code_load<BITS>(pb0, z));
+        c1 += av * static_cast<std::int32_t>(code_load<BITS>(pb1, z));
+        c2 += av * static_cast<std::int32_t>(code_load<BITS>(pb2, z));
+        c3 += av * static_cast<std::int32_t>(code_load<BITS>(pb3, z));
+      }
+      dst[j] += c0;
+      dst[j + 1] += c1;
+      dst[j + 2] += c2;
+      dst[j + 3] += c3;
+    }
+    for (; j < n; ++j) {
+      dst[j] += int_dot_nt(a, b, i, j, z_begin, z_end);
+    }
+  }
+}
+
+#endif  // HACK_X86_SIMD
+
+}  // namespace
+
+void int_gemm_force_portable(bool on) {
+  g_force_portable.store(on, std::memory_order_relaxed);
+}
+
+std::int32_t int_dot_nt(const CodeView& a, const CodeView& b, std::size_t i,
+                        std::size_t j, std::size_t z_begin, std::size_t z_end) {
+  HACK_CHECK(a.cols == b.cols, "NT inner dim mismatch");
+  HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
+  std::int32_t acc = 0;
+  if (a.bits == 8 && b.bits == 8) {
+    const std::uint8_t* pa = a.data + i * a.cols;
+    const std::uint8_t* pb = b.data + j * b.cols;
+    for (std::size_t z = z_begin; z < z_end; ++z) {
+      acc +=
+          static_cast<std::int32_t>(pa[z]) * static_cast<std::int32_t>(pb[z]);
+    }
+    return acc;
+  }
+  for (std::size_t z = z_begin; z < z_end; ++z) {
+    acc += static_cast<std::int32_t>(a.at(i, z)) *
+           static_cast<std::int32_t>(b.at(j, z));
+  }
+  return acc;
+}
+
+void int_gemm_nn_rows(const CodeView& a, const CodeView& b,
+                      std::size_t i_begin, std::size_t i_end,
+                      std::size_t z_begin, std::size_t z_end,
+                      std::int32_t* out, int b_bits,
+                      std::size_t b_row_offset) {
+  HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
+  HACK_CHECK(b_row_offset + z_end <= b.rows,
+             "B row range " << b_row_offset << "+" << z_end << " out of "
+                            << b.rows);
+  HACK_CHECK(i_begin <= i_end && i_end <= a.rows, "bad row band");
+  HACK_CHECK(a.bits == 8, "A operand must use byte code storage");
+  HACK_CHECK(b.bits == 8 || b.bits == 4 || b.bits == 2,
+             "unsupported B storage width " << b.bits);
+  // The kernels only ever index B at row granularity, so a KV-tile offset is
+  // a plain row-shifted view (rows are byte-padded, so the shift is exact
+  // for packed storage too).
+  const CodeView bv{b.row_ptr(b_row_offset), b.rows - b_row_offset, b.cols,
+                    b.bits};
+#ifdef HACK_X86_SIMD
+  // Packed storage bounds code values by its width, so it is always
+  // pmaddubsw-safe; byte storage needs the caller's value-width promise.
+  const bool simd_safe = bv.bits != 8 || (b_bits >= 1 && b_bits <= 6);
+  if (simd_safe && cpu_has_avx2() && !force_portable()) {
+    switch (bv.bits) {
+      case 8:
+        int_gemm_nn_rows_avx2<8>(a, bv, i_begin, i_end, z_begin, z_end, out);
+        return;
+      case 4:
+        int_gemm_nn_rows_avx2<4>(a, bv, i_begin, i_end, z_begin, z_end, out);
+        return;
+      case 2:
+        int_gemm_nn_rows_avx2<2>(a, bv, i_begin, i_end, z_begin, z_end, out);
+        return;
+    }
+  }
+#else
+  (void)b_bits;
+#endif
+  switch (bv.bits) {
+    case 4:
+      int_gemm_nn_rows_portable<4>(a, bv, i_begin, i_end, z_begin, z_end, out);
+      break;
+    case 2:
+      int_gemm_nn_rows_portable<2>(a, bv, i_begin, i_end, z_begin, z_end, out);
+      break;
+    default:
+      int_gemm_nn_rows_portable<8>(a, bv, i_begin, i_end, z_begin, z_end, out);
+      break;
+  }
+}
+
+void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
+                      std::size_t i_begin, std::size_t i_end,
+                      std::size_t z_begin, std::size_t z_end,
+                      std::int32_t* out, int b_bits, std::size_t j_begin,
+                      std::size_t j_end) {
+  if (j_end == kIntGemmFull) j_end = b.rows;
+  HACK_CHECK(a.cols == b.cols, "NT inner dim mismatch");
+  HACK_CHECK(z_end <= a.cols && z_begin <= z_end, "bad z-range");
+  HACK_CHECK(i_begin <= i_end && i_end <= a.rows, "bad row band");
+  HACK_CHECK(j_begin <= j_end && j_end <= b.rows, "bad B row range");
+  HACK_CHECK(a.bits == 8, "A operand must use byte code storage");
+  HACK_CHECK(b.bits == 8 || b.bits == 4 || b.bits == 2,
+             "unsupported B storage width " << b.bits);
+  // Output columns [j_begin, j_end) come from the row-shifted view of B.
+  const CodeView bv{b.row_ptr(j_begin), j_end - j_begin, b.cols, b.bits};
+#ifdef HACK_X86_SIMD
+  const bool simd_safe = bv.bits != 8 || (b_bits >= 1 && b_bits <= 6);
+  if (simd_safe && cpu_has_avx2() && !force_portable()) {
+    switch (bv.bits) {
+      case 8:
+        int_gemm_nt_rows_avx2<8>(a, bv, i_begin, i_end, z_begin, z_end, out);
+        return;
+      case 4:
+        int_gemm_nt_rows_avx2<4>(a, bv, i_begin, i_end, z_begin, z_end, out);
+        return;
+      case 2:
+        int_gemm_nt_rows_avx2<2>(a, bv, i_begin, i_end, z_begin, z_end, out);
+        return;
+    }
+  }
+#else
+  (void)b_bits;
+#endif
+  switch (bv.bits) {
+    case 4:
+      int_gemm_nt_rows_portable<4>(a, bv, i_begin, i_end, z_begin, z_end, out);
+      break;
+    case 2:
+      int_gemm_nt_rows_portable<2>(a, bv, i_begin, i_end, z_begin, z_end, out);
+      break;
+    default:
+      int_gemm_nt_rows_portable<8>(a, bv, i_begin, i_end, z_begin, z_end, out);
+      break;
   }
 }
 

@@ -13,6 +13,12 @@
 // register-blocked micro-tiles, so a thread pool can split the M dimension
 // into independent bands. The whole-matrix `int_gemm_*_block` entry points
 // are thin wrappers over the banded kernels.
+//
+// The B operand may be *bit-packed* (CodeView::bits of 2 or 4): rows store
+// codes little-endian within each byte, each row padded up to a whole byte.
+// The packed kernels expand codes in-register (AVX2 nibble/crumb unpack
+// feeding the same pmaddubsw pipeline) or extract them scalar-wise, and are
+// bit-identical to unpacking B to bytes first and running the u8 kernels.
 #pragma once
 
 #include <cstdint>
@@ -22,14 +28,29 @@
 
 namespace hack {
 
-// View over a row-major code matrix (uint8 codes, values < 2^bits).
+// View over a row-major code matrix. `bits` is the storage width of each
+// code: 8 means the classic one-byte-per-code layout; 2 or 4 mean rows are
+// bit-packed little-endian with each row padded to a whole byte, so row r
+// starts at byte r * row_stride_bytes().
 struct CodeView {
   const std::uint8_t* data = nullptr;
   std::size_t rows = 0;
   std::size_t cols = 0;
+  int bits = 8;
 
+  std::size_t row_stride_bytes() const {
+    return bits == 8
+               ? cols
+               : (cols * static_cast<std::size_t>(bits) + 7) / 8;
+  }
+  const std::uint8_t* row_ptr(std::size_t r) const {
+    return data + r * row_stride_bytes();
+  }
   std::uint8_t at(std::size_t r, std::size_t c) const {
-    return data[r * cols + c];
+    if (bits == 8) return data[r * cols + c];
+    const std::size_t bit = c * static_cast<std::size_t>(bits);
+    return static_cast<std::uint8_t>(
+        (row_ptr(r)[bit >> 3] >> (bit & 7)) & ((1u << bits) - 1u));
   }
 };
 
@@ -47,11 +68,13 @@ inline constexpr std::size_t kIntGemmFull = static_cast<std::size_t>(-1);
 // B's token rows: A column z multiplies B row `b_row_offset + z`, which is
 // how a KV-tile view contracts a [M x tile] A block against the middle of a
 // tall V store (0 recovers the classic A-cols == B-rows contract). `b_bits`
-// is the bit width of B's codes: when they fit 6 bits (the paper's 2-/4-bit
-// V cache) and the CPU supports AVX2, the kernel runs an explicit
+// is the bit width of B's code *values*: when they fit 6 bits (the paper's
+// 2-/4-bit V cache) and the CPU supports AVX2, the kernel runs an explicit
 // widening-multiply path (z-pairs through pmaddubsw, widened to int32 in
-// j-order); otherwise the portable 4-row axpy tile is used. Both produce
-// identical int32 results.
+// j-order); otherwise the portable 4-row axpy tile is used. When B is
+// bit-packed (b.bits of 2 or 4) the codes are expanded in-register on the
+// same pipeline. All paths produce identical int32 results. A must use byte
+// storage (a.bits == 8).
 void int_gemm_nn_rows(const CodeView& a, const CodeView& b,
                       std::size_t i_begin, std::size_t i_end,
                       std::size_t z_begin, std::size_t z_end,
@@ -62,11 +85,12 @@ void int_gemm_nn_rows(const CodeView& a, const CodeView& b,
 // `[j_begin, j_end)` restricts the output columns to that range of B rows —
 // the KV-tile view of a Q·Kᵀ score block — with `out` leading dimension
 // shrinking to j_end - j_begin (kIntGemmFull = all of B). `b_bits` is the bit
-// width of B's codes (values < 2^b_bits). When B codes fit 6 bits — the
-// paper's 2-/4-bit KV caches — and the CPU supports AVX2, the dot products
-// run through the u8 x i8 multiply-add idiom (pmaddubsw: 255 * 63 * 2 pair
-// sums stay inside int16); otherwise a portable register-blocked path is
-// used. Both produce identical int32 results.
+// width of B's code values (values < 2^b_bits). When B codes fit 6 bits —
+// the paper's 2-/4-bit KV caches — and the CPU supports AVX2, the dot
+// products run through the u8 x i8 multiply-add idiom (pmaddubsw: 255 * 63 *
+// 2 pair sums stay inside int16); otherwise a portable register-blocked path
+// is used. Bit-packed B (b.bits of 2 or 4) is expanded in-register. All
+// paths produce identical int32 results. A must use byte storage.
 void int_gemm_nt_rows(const CodeView& a, const CodeView& b,
                       std::size_t i_begin, std::size_t i_end,
                       std::size_t z_begin, std::size_t z_end,
@@ -84,5 +108,11 @@ void int_gemm_nn_block(const CodeView& a, const CodeView& b,
 void int_gemm_nt_block(const CodeView& a, const CodeView& b,
                        std::size_t z_begin, std::size_t z_end,
                        std::vector<std::int32_t>& out, int b_bits = 8);
+
+// Test hook: force the portable (non-SIMD) kernels regardless of CPU
+// features, so the scalar packed/unpacked paths can be exercised on AVX2
+// hosts. Not thread-safe against in-flight GEMMs; flip it only around
+// single-threaded test sections.
+void int_gemm_force_portable(bool on);
 
 }  // namespace hack

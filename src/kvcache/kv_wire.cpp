@@ -134,6 +134,12 @@ struct Reader {
     const auto bytes = take(packed_code_section_bytes(bits, count));
     return PackedBits::from_bytes(bits, count, bytes).unpack();
   }
+  // The packed code section verbatim — what the packed-resident planes adopt
+  // directly instead of unpacking to bytes.
+  std::vector<std::uint8_t> packed_raw(int bits, std::size_t count) {
+    const auto bytes = take(packed_code_section_bytes(bits, count));
+    return std::vector<std::uint8_t>(bytes.begin(), bytes.end());
+  }
 };
 
 constexpr std::uint8_t kFlagSe = 1u << 0;
@@ -165,8 +171,32 @@ std::span<const std::uint8_t> take_crc_record(Reader& r) {
   return record;
 }
 
+// Writes rows [row_begin, row_begin + row_count) of `q`'s codes as the
+// bit-packed wire section. Resident KV planes already hold bit-packed rows;
+// because every plane is d_head (a multiple of 16) codes wide, each packed
+// row is byte-exact and the section is a straight copy of the resident bytes
+// — byte-identical to packing unpacked codes, so the wire format is
+// unchanged. Unpacked (byte-storage) matrices take the classic pack path.
+void write_packed_rows(Writer& w, const QuantizedMatrix& q,
+                       std::size_t row_begin, std::size_t row_count) {
+  if (q.packed_storage()) {
+    HACK_CHECK(q.storage_bits == q.bits,
+               "packed storage width " << q.storage_bits
+                                       << " != code width " << q.bits);
+    HACK_CHECK((q.cols * static_cast<std::size_t>(q.storage_bits)) % 8 == 0,
+               "packed rows must be byte-exact for the wire");
+    const std::size_t stride = q.code_row_stride();
+    w.raw(q.codes.data() + row_begin * stride, row_count * stride);
+    w.sections.packed_codes += row_count * stride;
+  } else {
+    w.packed(std::span<const std::uint8_t>(q.codes)
+                 .subspan(row_begin * q.cols, row_count * q.cols),
+             q.bits);
+  }
+}
+
 void write_quantized(Writer& w, const QuantizedMatrix& q) {
-  w.packed(q.codes, q.bits);
+  write_packed_rows(w, q, 0, q.rows);
   w.halves(q.mins);
   w.halves(q.scales);
 }
@@ -200,7 +230,14 @@ QuantizedMatrix read_quantized(Reader& r, std::size_t rows, std::size_t cols,
   q.axis = axis;
   q.pi = pi;
   q.groups = groups;
-  q.codes = r.packed(bits, rows * cols);
+  if (bits != 8 && (cols * static_cast<std::size_t>(bits)) % 8 == 0) {
+    // Adopt the wire's packed bytes as the resident representation — the
+    // decode-side half of the near-memcpy handoff.
+    q.codes = r.packed_raw(bits, rows * cols);
+    q.storage_bits = bits;
+  } else {
+    q.codes = r.packed(bits, rows * cols);
+  }
   const std::size_t meta = q.outer() * groups;
   q.mins = r.halves(meta);
   q.scales = r.halves(meta);
@@ -353,6 +390,13 @@ void apply_head_delta(Reader& r, const KvWireInfo& info,
   k.axis = QuantAxis::kRow;
   k.pi = info.pi;
   k.groups = k_groups;
+  // Both sides hold the resident representation (bit-packed rows below 8
+  // bits), and rows are byte-exact, so appended rows concatenate byte-wise.
+  KV_WIRE_CHECK(k_delta.storage_bits == k_old.storage_bits,
+                KvWireErrorCode::kBadSection,
+                "delta K storage width " << k_delta.storage_bits
+                                         << " != base " << k_old.storage_bits);
+  k.storage_bits = k_old.storage_bits;
   k.codes = k_old.codes;
   k.codes.insert(k.codes.end(), k_delta.codes.begin(), k_delta.codes.end());
   k.mins = k_old.mins;
@@ -396,20 +440,31 @@ void apply_head_delta(Reader& r, const KvWireInfo& info,
     const std::size_t g_old = base_v_rows / info.pi;
     const std::size_t g_new = new_v_rows / info.pi;
     const std::size_t g_all = total_v_rows / info.pi;
+    const bool packed_resident =
+        info.kv_bits != 8 &&
+        (d_head * static_cast<std::size_t>(info.kv_bits)) % 8 == 0;
     std::vector<std::uint8_t> new_codes;
     std::vector<float> new_mins, new_scales;
     if (new_v_rows > 0) {
-      new_codes = r.packed(info.kv_bits, new_v_rows * d_head);
+      new_codes = packed_resident
+                      ? r.packed_raw(info.kv_bits, new_v_rows * d_head)
+                      : r.packed(info.kv_bits, new_v_rows * d_head);
       new_mins = r.halves(d_head * g_new);
       new_scales = r.halves(d_head * g_new);
     }
     const QuantizedMatrix* v_old = g_old > 0 ? &st.v_quantized() : nullptr;
+    if (v_old != nullptr) {
+      KV_WIRE_CHECK((v_old->storage_bits != 8) == packed_resident,
+                    KvWireErrorCode::kBadSection,
+                    "delta V storage width does not match the base store");
+    }
     v_q.rows = total_v_rows;
     v_q.cols = d_head;
     v_q.bits = info.kv_bits;
     v_q.axis = QuantAxis::kCol;
     v_q.pi = info.pi;
     v_q.groups = g_all;
+    if (packed_resident) v_q.storage_bits = info.kv_bits;
     v_q.codes.reserve(total_v_rows * d_head);
     if (v_old != nullptr) {
       v_q.codes.insert(v_q.codes.end(), v_old->codes.begin(),
@@ -806,9 +861,7 @@ std::vector<std::uint8_t> serialize_kv_delta(
       // K delta: rows are the outer axis, so codes, metadata, and sums for
       // rows [base, tokens) are contiguous slices of the stores.
       const QuantizedMatrix& k = st.k();
-      w.packed(std::span<const std::uint8_t>(k.codes)
-                   .subspan(base_tokens * d_head, dt * d_head),
-               k.bits);
+      write_packed_rows(w, k, base_tokens, dt);
       w.halves(std::span<const float>(k.mins).subspan(base_tokens * k_groups,
                                                       dt * k_groups));
       w.halves(std::span<const float>(k.scales).subspan(base_tokens * k_groups,
@@ -833,9 +886,7 @@ std::vector<std::uint8_t> serialize_kv_delta(
         const std::size_t g_old = base_v_rows / config.pi;
         const std::size_t g_all = v_rows / config.pi;
         const std::size_t g_new = g_all - g_old;
-        w.packed(std::span<const std::uint8_t>(v.codes)
-                     .subspan(base_v_rows * d_head, new_v_rows * d_head),
-                 v.bits);
+        write_packed_rows(w, v, base_v_rows, new_v_rows);
         std::vector<float> mins(d_head * g_new);
         std::vector<float> scales(d_head * g_new);
         for (std::size_t col = 0; col < d_head; ++col) {

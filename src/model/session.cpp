@@ -4,6 +4,7 @@
 
 #include "attention/layer_attention.h"
 #include "attention/reference.h"
+#include "base/thread_pool.h"
 #include "tensor/half.h"
 #include "tensor/ops.h"
 
@@ -332,6 +333,43 @@ std::vector<float> TinyModelWeights::logits(
     logits[t] = acc;
   }
   return logits;
+}
+
+Matrix TinyModelWeights::logits_batch(const Matrix& hidden,
+                                      int threads) const {
+  const std::size_t m_rows = hidden.rows();
+  const std::size_t d = config_.d_model();
+  HACK_CHECK(hidden.cols() == d, "hidden width " << hidden.cols()
+                                                 << " != d_model " << d);
+  Matrix normed(m_rows, d);
+  for (std::size_t r = 0; r < m_rows; ++r) {
+    const auto n = rms_norm(hidden.row(r), norm_final_);
+    std::copy(n.begin(), n.end(), normed.row(r).begin());
+  }
+  Matrix out(m_rows, config_.vocab);
+  // Vocab-major sweep: each embedding row is read once and dotted against
+  // every batched hidden row while hot. Each out(r, t) runs the same
+  // ascending-c accumulation as logits(), so chunking cannot change results.
+  const auto sweep = [&](std::size_t t0, std::size_t t1) {
+    for (std::size_t t = t0; t < t1; ++t) {
+      const auto erow = embedding_.row(t);
+      for (std::size_t r = 0; r < m_rows; ++r) {
+        const auto nrow = normed.row(r);
+        float acc = 0.0f;
+        for (std::size_t c = 0; c < d; ++c) acc += nrow[c] * erow[c];
+        out(r, t) = acc;
+      }
+    }
+  };
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t chunks =
+      chunks_for_request(threads, config_.vocab, pool.lanes());
+  if (chunks <= 1) {
+    sweep(0, config_.vocab);
+  } else {
+    pool.parallel_for(config_.vocab, chunks, sweep);
+  }
+  return out;
 }
 
 void TinyModelWeights::apply_rope(Matrix& x, std::size_t head_count,

@@ -153,6 +153,15 @@ class TinyModelWeights {
   // Final RMSNorm + tied LM head over one hidden row.
   std::vector<float> logits(std::span<const float> hidden_row) const;
 
+  // Batched LM head: one [rows × d] · [d × vocab] launch over the tied
+  // embedding for several sequences' final hidden rows. Row r of the result
+  // is bit-identical to logits(hidden.row(r)) — same rms_norm, same
+  // per-element accumulation order — the batching only hoists the vocab
+  // sweep so M emitting lanes read the embedding matrix once per step
+  // instead of M times. `threads` follows the library convention (0 = auto
+  // on the shared pool, 1 = serial, N = at most N chunks of vocab rows).
+  Matrix logits_batch(const Matrix& hidden, int threads = 0) const;
+
   // In-place RoPE over the leading `head_count` heads of x, positions
   // starting at start_pos.
   void apply_rope(Matrix& x, std::size_t head_count,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/thread_pool.h"
+#include "quant/packed.h"
 #include "tensor/half.h"
 
 namespace hack {
@@ -135,6 +136,50 @@ QuantizedMatrix quantize(const Matrix& m, int bits, std::size_t pi,
   return q;
 }
 
+void pack_storage(QuantizedMatrix& q) {
+  HACK_CHECK(q.bits == 2 || q.bits == 4 || q.bits == 8,
+             "unsupported code width " << q.bits);
+  if (q.bits == 8 || q.storage_bits == q.bits) return;
+  HACK_CHECK(q.storage_bits == 8,
+             "cannot pack from storage width " << q.storage_bits);
+  const std::size_t stride =
+      (q.cols * static_cast<std::size_t>(q.bits) + 7) / 8;
+  std::vector<std::uint8_t> packed(q.rows * stride, 0);
+  if (!q.codes.empty()) {
+    if ((q.cols * static_cast<std::size_t>(q.bits)) % 8 == 0) {
+      // Rows are byte-exact, so row-padded packing equals one flat pack.
+      pack_codes(q.codes, q.bits, packed.data());
+    } else {
+      for (std::size_t r = 0; r < q.rows; ++r) {
+        pack_codes(std::span<const std::uint8_t>(q.codes)
+                       .subspan(r * q.cols, q.cols),
+                   q.bits, packed.data() + r * stride);
+      }
+    }
+  }
+  q.codes = std::move(packed);
+  q.storage_bits = q.bits;
+}
+
+void unpack_storage(QuantizedMatrix& q) {
+  if (q.storage_bits == 8) return;
+  const std::size_t stride = q.code_row_stride();
+  std::vector<std::uint8_t> raw(q.rows * q.cols);
+  if (!raw.empty()) {
+    if ((q.cols * static_cast<std::size_t>(q.storage_bits)) % 8 == 0) {
+      unpack_codes(q.codes, q.storage_bits, q.rows * q.cols, raw.data());
+    } else {
+      for (std::size_t r = 0; r < q.rows; ++r) {
+        unpack_codes(
+            std::span<const std::uint8_t>(q.codes).subspan(r * stride, stride),
+            q.storage_bits, q.cols, raw.data() + r * q.cols);
+      }
+    }
+  }
+  q.codes = std::move(raw);
+  q.storage_bits = 8;
+}
+
 Matrix dequantize(const QuantizedMatrix& q, int threads) {
   Matrix m(q.rows, q.cols);
   const std::size_t groups = q.group_count();
@@ -192,6 +237,10 @@ void append_rows(QuantizedMatrix& q, const QuantizedMatrix& extra) {
              "append_rows requires row-axis quantization");
   HACK_CHECK(q.cols == extra.cols && q.bits == extra.bits && q.pi == extra.pi,
              "append_rows layout mismatch");
+  HACK_CHECK(q.storage_bits == extra.storage_bits,
+             "append_rows storage mismatch: " << q.storage_bits << " vs "
+                                              << extra.storage_bits);
+  // Rows are byte-padded in packed storage, so the concat stays row-exact.
   q.codes.insert(q.codes.end(), extra.codes.begin(), extra.codes.end());
   q.mins.insert(q.mins.end(), extra.mins.begin(), extra.mins.end());
   q.scales.insert(q.scales.end(), extra.scales.begin(), extra.scales.end());
@@ -207,6 +256,9 @@ void append_inner_groups(QuantizedMatrix& q, const QuantizedMatrix& extra) {
              "existing inner dim must be whole partitions, got " << q.rows);
   HACK_CHECK(extra.rows % q.pi == 0,
              "appended chunk must be whole partitions, got " << extra.rows);
+  HACK_CHECK(q.storage_bits == extra.storage_bits,
+             "append_inner_groups storage mismatch: "
+                 << q.storage_bits << " vs " << extra.storage_bits);
 
   // Codes are row-major so appending rows is contiguous.
   q.codes.insert(q.codes.end(), extra.codes.begin(), extra.codes.end());

@@ -24,10 +24,14 @@ enum class Rounding {
 
 // A quantized matrix: integer codes plus per-(outer, group) metadata.
 //
-// Codes are held unpacked in uint8 for compute (the implementation note in §6:
-// "convert the format of the quantized data from 2-bit into INT8 before
-// performing matrix multiplication"); `packed_code_bytes()` reports the packed
-// wire/storage footprint used for transmission and memory accounting.
+// Codes are row-major and default to one byte per code (`storage_bits` = 8),
+// which is what quantize() produces and what transient operands (Q, the
+// softmax P tiles) use. Resident KV planes call pack_storage() to switch to
+// bit-packed rows (`storage_bits` = bits of 2 or 4, little-endian within each
+// byte, every row padded to a whole byte): the packed-aware int-GEMM kernels
+// consume that layout directly, so a 2-bit cache really occupies ~1/4 of the
+// unpacked bytes in memory — not just on the wire. `packed_code_bytes()`
+// reports the packed footprint either way.
 struct QuantizedMatrix {
   std::size_t rows = 0;
   std::size_t cols = 0;
@@ -35,7 +39,12 @@ struct QuantizedMatrix {
   QuantAxis axis = QuantAxis::kRow;
   std::size_t pi = 0;
 
-  // Codes, row-major, same shape as the source matrix. Values < 2^bits.
+  // Storage width of each code in `codes`: 8 = one byte per code; 2 or 4 =
+  // rows bit-packed (only ever equal to `bits` in that case).
+  int storage_bits = 8;
+
+  // Codes, row-major, same shape as the source matrix (values < 2^bits).
+  // When storage_bits != 8 each row occupies code_row_stride() bytes.
   std::vector<std::uint8_t> codes;
 
   // Metadata indexed by outer * group_count + group. FP16-rounded.
@@ -54,8 +63,20 @@ struct QuantizedMatrix {
     return groups != 0 ? groups : mins.size() / (outer() == 0 ? 1 : outer());
   }
 
+  // Bytes one code row occupies in `codes`.
+  std::size_t code_row_stride() const {
+    return storage_bits == 8
+               ? cols
+               : (cols * static_cast<std::size_t>(storage_bits) + 7) / 8;
+  }
+  bool packed_storage() const { return storage_bits != 8; }
+
   std::uint8_t code_at(std::size_t r, std::size_t c) const {
-    return codes[r * cols + c];
+    if (storage_bits == 8) return codes[r * cols + c];
+    const std::size_t bit = c * static_cast<std::size_t>(storage_bits);
+    return static_cast<std::uint8_t>(
+        (codes[r * code_row_stride() + (bit >> 3)] >> (bit & 7)) &
+        ((1u << storage_bits) - 1u));
   }
   float min_of(std::size_t outer_idx, std::size_t group) const {
     return mins[outer_idx * group_count() + group];
@@ -106,6 +127,16 @@ void quantize_span(std::span<const float> values, std::span<std::uint8_t> codes,
 // Size threshold (in values) at which quantize()/dequantize() move their
 // outer loops onto the shared ThreadPool.
 inline constexpr std::size_t kParallelQuantizeMinValues = 64 * 1024;
+
+// Converts `q` to bit-packed row storage in place (no-op at 8 bits or when
+// already packed). The packed layout is what the resident KV planes hold and
+// what the packed int-GEMM kernels consume.
+void pack_storage(QuantizedMatrix& q);
+
+// Converts `q` back to one-byte-per-code storage in place (no-op when
+// already unpacked). Cold-path consumers that want raw byte codes (codecs,
+// benches, tests) use this.
+void unpack_storage(QuantizedMatrix& q);
 
 // Reconstructs the real-valued matrix: x ≈ scale * code + min. Row-parallel
 // on the shared ThreadPool above the same size threshold as quantize().

@@ -217,17 +217,31 @@ void ServingEngine::execute_step(const StepPlan& plan) {
     });
   }
 
-  // --- Commit positions; logits + greedy token for emitting lanes.
+  // --- Commit positions, then one batched LM-head launch for every
+  // emitting lane: the final hidden rows gather into a [batch × d] block and
+  // sweep the tied embedding once ([batch × d] · [d × vocab]) instead of
+  // per-lane vocab loops. Row r of logits_batch is bit-identical to the
+  // per-lane logits_for_row call it replaces.
   run_lanes([&](std::size_t i) {
-    Lane& lane = lanes[i];
-    RunningSeq& seq = *running_[lane.run_idx];
-    seq.session.advance(lane.rows);
-    if (lane.emits) {
-      const std::vector<float> logits =
-          seq.session.logits_for_row(lane.x, lane.rows - 1);
-      lane.token = argmax_logits(logits);
-    }
+    running_[lanes[i].run_idx]->session.advance(lanes[i].rows);
   });
+  std::vector<std::size_t> emit_idx;
+  emit_idx.reserve(n_lanes);
+  for (std::size_t i = 0; i < n_lanes; ++i) {
+    if (lanes[i].emits) emit_idx.push_back(i);
+  }
+  if (!emit_idx.empty()) {
+    Matrix hidden(emit_idx.size(), weights_->config().d_model());
+    for (std::size_t m = 0; m < emit_idx.size(); ++m) {
+      const Lane& lane = lanes[emit_idx[m]];
+      const auto row = lane.x.row(lane.rows - 1);
+      std::copy(row.begin(), row.end(), hidden.row(m).begin());
+    }
+    const Matrix logits = weights_->logits_batch(hidden, threads);
+    for (std::size_t m = 0; m < emit_idx.size(); ++m) {
+      lanes[emit_idx[m]].token = argmax_logits(logits.row(m));
+    }
+  }
 
   // --- Bookkeeping (serial: timestamps, state transitions, removals).
   const double now = now_s();

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "base/rng.h"
 #include "core/int_gemm.h"
+#include "quant/packed.h"
 
 namespace hack {
 namespace {
@@ -259,6 +262,179 @@ TEST(IntGemm, NnFastPathLongZAccumulates) {
   int_gemm_nn_rows(av, bv, 0, m, 0, z, generic.data(), /*b_bits=*/8);
   int_gemm_nn_rows(av, bv, 0, m, 0, z, fast.data(), /*b_bits=*/6);
   EXPECT_EQ(generic, fast);
+}
+
+// Bit-packs `codes` ([rows x cols], one byte per code) into the row-padded
+// layout packed CodeViews consume: little-endian within each byte, every row
+// padded up to a whole byte.
+std::vector<std::uint8_t> pack_rows(const std::vector<std::uint8_t>& codes,
+                                    std::size_t rows, std::size_t cols,
+                                    int bits) {
+  const std::size_t stride = (cols * static_cast<std::size_t>(bits) + 7) / 8;
+  std::vector<std::uint8_t> packed(rows * stride, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    pack_codes(
+        std::span<const std::uint8_t>(codes).subspan(r * cols, cols), bits,
+        packed.data() + r * stride);
+  }
+  return packed;
+}
+
+// Restores the dispatch default when a test body throws mid-sweep.
+struct PortableGuard {
+  ~PortableGuard() { int_gemm_force_portable(false); }
+};
+
+TEST(IntGemm, PackedNtBitIdenticalToUnpacked) {
+  // The packed NT kernel (in-register crumb/nibble expansion on AVX2, bit
+  // extraction on the portable path) must produce the same int32 results as
+  // byte-storage B, across odd z-ranges (misaligned packed heads), partial
+  // j-ranges, and both dispatch arms.
+  PortableGuard guard;
+  Rng rng(21);
+  for (const int bits : {2, 4}) {
+    const std::size_t m = 5, z = 131, n = 23;  // odd z: padded packed rows
+    const auto a = random_codes(m * z, 8, rng);
+    const auto b = random_codes(n * z, bits, rng);
+    const auto bp = pack_rows(b, n, z, bits);
+    const CodeView av{a.data(), m, z};
+    const CodeView bv{b.data(), n, z};
+    const CodeView bpv{bp.data(), n, z, bits};
+    for (const bool portable : {false, true}) {
+      int_gemm_force_portable(portable);
+      for (const auto& range :
+           {std::pair<std::size_t, std::size_t>{0, z}, {0, 64}, {64, 128},
+            {128, 131}, {3, 37}, {1, 2}}) {
+        std::vector<std::int32_t> byte_b(m * n, 17), packed_b(m * n, 17);
+        int_gemm_nt_rows(av, bv, 0, m, range.first, range.second,
+                         byte_b.data(), bits);
+        int_gemm_nt_rows(av, bpv, 0, m, range.first, range.second,
+                         packed_b.data(), bits);
+        EXPECT_EQ(byte_b, packed_b)
+            << "bits=" << bits << " portable=" << portable << " z-range ["
+            << range.first << "," << range.second << ")";
+      }
+      for (const auto [j0, j1] : {std::pair<std::size_t, std::size_t>{0, n},
+                                  {5, 21},
+                                  {n - 1, n},
+                                  {0, 1}}) {
+        std::vector<std::int32_t> byte_b(m * (j1 - j0), 0);
+        std::vector<std::int32_t> packed_b(m * (j1 - j0), 0);
+        int_gemm_nt_rows(av, bv, 0, m, 0, z, byte_b.data(), bits, j0, j1);
+        int_gemm_nt_rows(av, bpv, 0, m, 0, z, packed_b.data(), bits, j0, j1);
+        EXPECT_EQ(byte_b, packed_b) << "bits=" << bits << " portable="
+                                    << portable << " j-range [" << j0 << ","
+                                    << j1 << ")";
+      }
+    }
+    int_gemm_force_portable(false);
+  }
+}
+
+TEST(IntGemm, PackedNnBitIdenticalToUnpacked) {
+  // Same contract for the NN kernel, including the b_row_offset KV-tile view
+  // (packed rows are byte-padded, so a row offset is a byte-exact view) and
+  // banded i-ranges (the thread-pool decomposition). Row counts 1..4 hit the
+  // few-row AVX2 blocks the decode GEMV rides on.
+  PortableGuard guard;
+  Rng rng(22);
+  for (const int bits : {2, 4}) {
+    const std::size_t z_tile = 41, n = 37, b_rows = 100;
+    const auto b = random_codes(b_rows * n, bits, rng);
+    const auto bp = pack_rows(b, b_rows, n, bits);
+    const CodeView bv{b.data(), b_rows, n};
+    const CodeView bpv{bp.data(), b_rows, n, bits};
+    for (const std::size_t m : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                std::size_t{4}, std::size_t{7}}) {
+      const auto a = random_codes(m * z_tile, 8, rng);
+      const CodeView av{a.data(), m, z_tile};
+      for (const bool portable : {false, true}) {
+        int_gemm_force_portable(portable);
+        for (const std::size_t offset :
+             {std::size_t{0}, std::size_t{7}, std::size_t{59}}) {
+          std::vector<std::int32_t> byte_b(m * n, 3), packed_b(m * n, 3);
+          int_gemm_nn_rows(av, bv, 0, m, 0, z_tile, byte_b.data(), bits,
+                           offset);
+          int_gemm_nn_rows(av, bpv, 0, m, 0, z_tile, packed_b.data(), bits,
+                           offset);
+          EXPECT_EQ(byte_b, packed_b)
+              << "bits=" << bits << " m=" << m << " portable=" << portable
+              << " offset=" << offset;
+        }
+        // Banded rows over an odd z-range.
+        if (m >= 4) {
+          std::vector<std::int32_t> byte_b(m * n, 0), packed_b(m * n, 0);
+          for (std::size_t i0 = 0; i0 < m; i0 += 3) {
+            const std::size_t i1 = std::min(m, i0 + 3);
+            int_gemm_nn_rows(av, bv, i0, i1, 3, 38, byte_b.data() + i0 * n,
+                             bits, 11);
+            int_gemm_nn_rows(av, bpv, i0, i1, 3, 38, packed_b.data() + i0 * n,
+                             bits, 11);
+          }
+          EXPECT_EQ(byte_b, packed_b)
+              << "bits=" << bits << " m=" << m << " portable=" << portable;
+        }
+      }
+      int_gemm_force_portable(false);
+    }
+  }
+}
+
+TEST(IntGemm, PackedDispatchArmsAgree) {
+  // AVX2 in-register expansion vs the scalar extraction fallback on the same
+  // packed operand — byte-aligned rows (z a multiple of 16, the KV-plane
+  // shape) plus saturating-range codes to stress the int16 pair sums.
+  PortableGuard guard;
+  Rng rng(23);
+  for (const int bits : {2, 4}) {
+    const std::size_t m = 4, z = 320, n = 16;
+    const auto a = random_codes(m * z, 8, rng);
+    auto b_nt = random_codes(n * z, bits, rng);
+    auto b_nn = random_codes(z * n, bits, rng);
+    const std::uint8_t top = static_cast<std::uint8_t>((1u << bits) - 1u);
+    for (std::size_t i = 0; i < z; ++i) {
+      b_nt[i] = top;       // row 0 of NT B saturated
+      b_nn[i * n] = top;   // column 0 of NN B saturated
+    }
+    const auto bp_nt = pack_rows(b_nt, n, z, bits);
+    const auto bp_nn = pack_rows(b_nn, z, n, bits);
+    const CodeView av{a.data(), m, z};
+    const CodeView bv_nt{bp_nt.data(), n, z, bits};
+    const CodeView bv_nn{bp_nn.data(), z, n, bits};
+
+    std::vector<std::int32_t> simd_nt(m * n, 0), scalar_nt(m * n, 0);
+    std::vector<std::int32_t> simd_nn(m * n, 0), scalar_nn(m * n, 0);
+    int_gemm_nt_rows(av, bv_nt, 0, m, 0, z, simd_nt.data(), bits);
+    int_gemm_nn_rows(av, bv_nn, 0, m, 0, z, simd_nn.data(), bits);
+    int_gemm_force_portable(true);
+    int_gemm_nt_rows(av, bv_nt, 0, m, 0, z, scalar_nt.data(), bits);
+    int_gemm_nn_rows(av, bv_nn, 0, m, 0, z, scalar_nn.data(), bits);
+    int_gemm_force_portable(false);
+    EXPECT_EQ(simd_nt, scalar_nt) << "bits=" << bits;
+    EXPECT_EQ(simd_nn, scalar_nn) << "bits=" << bits;
+  }
+}
+
+TEST(IntGemm, PackedEightBitViewIsByteView) {
+  // bits == 8 in a CodeView is the classic byte layout: at() and the kernels
+  // must treat it identically to the historical two-field aggregate.
+  Rng rng(24);
+  const std::size_t m = 3, z = 48, n = 5;
+  const auto a = random_codes(m * z, 8, rng);
+  const auto b = random_codes(n * z, 8, rng);
+  const CodeView bv_implicit{b.data(), n, z};
+  const CodeView bv_explicit{b.data(), n, z, 8};
+  EXPECT_EQ(bv_implicit.row_stride_bytes(), z);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t c = 0; c < z; ++c) {
+      ASSERT_EQ(bv_implicit.at(j, c), bv_explicit.at(j, c));
+    }
+  }
+  const CodeView av{a.data(), m, z};
+  std::vector<std::int32_t> imp(m * n, 0), exp(m * n, 0);
+  int_gemm_nt_rows(av, bv_implicit, 0, m, 0, z, imp.data());
+  int_gemm_nt_rows(av, bv_explicit, 0, m, 0, z, exp.data());
+  EXPECT_EQ(imp, exp);
 }
 
 TEST(IntGemm, ShapeChecks) {

@@ -451,6 +451,117 @@ TEST(LayerAttention, LongContextStreamingSmoke) {
 }
 #endif  // NDEBUG
 
+TEST(LayerAttention, DecodeGemvBitIdenticalOnPackedResidentCache) {
+  // The resident K/V planes hold bit-packed codes; the decode GEMV (one
+  // 8-bit Q row against the packed K plane, one 8-bit P row against the
+  // packed V store) must produce the same floats as the same GEMV over a
+  // byte-unpacked copy of the identical codes. This pins the tentpole
+  // contract at the hq_matmul layer on a real cache, not a synthetic view.
+  const std::size_t d_head = 64;
+  for (const int kv_bits : {2, 4}) {
+    HackAttentionConfig cfg;
+    cfg.pi = 32;
+    cfg.kv_bits = kv_bits;
+    HackKvState st(d_head, cfg);
+    Rng rng(kSeed);
+    const Matrix k = Matrix::random_gaussian(70, d_head, rng);
+    const Matrix v = Matrix::random_gaussian(70, d_head, rng);
+    st.append_tokens(k, v, rng);
+    ASSERT_EQ(st.k().storage_bits, kv_bits);   // resident plane is packed
+    ASSERT_GT(st.quantized_v_rows(), 0u);
+    ASSERT_EQ(st.v_quantized().storage_bits, kv_bits);
+
+    QuantizedMatrix k_bytes = st.k();
+    unpack_storage(k_bytes);
+    QuantizedMatrix v_bytes = st.v_quantized();
+    unpack_storage(v_bytes);
+
+    const Matrix q_row = Matrix::random_gaussian(1, d_head, rng);
+    Rng q_rng(kSeed + 1);
+    const QuantizedMatrix qq = quantize(q_row, cfg.q_bits, cfg.pi,
+                                        QuantAxis::kRow, cfg.rounding, q_rng);
+    const Matrix s_packed = hq_matmul_nt(qq, st.k(), &st.k_sums());
+    const Matrix s_bytes = hq_matmul_nt(qq, k_bytes, &st.k_sums());
+    EXPECT_TRUE(s_packed == s_bytes) << "kv_bits=" << kv_bits;
+
+    const Matrix p_row =
+        Matrix::random_gaussian(1, st.quantized_v_rows(), rng);
+    Rng p_rng(kSeed + 2);
+    const QuantizedMatrix pq = quantize(p_row, cfg.q_bits, cfg.pi,
+                                        QuantAxis::kRow, cfg.rounding, p_rng);
+    const Matrix o_packed = hq_matmul(pq, st.v_quantized(), &st.v_sums());
+    const Matrix o_bytes = hq_matmul(pq, v_bytes, &st.v_sums());
+    EXPECT_TRUE(o_packed == o_bytes) << "kv_bits=" << kv_bits;
+
+    // And the resident footprint really is the packed one.
+    EXPECT_EQ(st.k().codes.size(),
+              st.k().rows * ((d_head * kv_bits + 7) / 8));
+  }
+}
+
+TEST(LayerAttention, NonCausalTwoPassMatchesUntiledReference) {
+  // Non-causal multi-row attends run the two-pass max-then-sum schedule
+  // (score + quantize under running max, then a single rescaled-metadata
+  // accumulate pass — no output-band rescale traffic). Against the untiled
+  // full-softmax pipeline it must land within the same quantization-noise
+  // bound as the causal tiled sweep, for every tile width, and be
+  // bit-identical across thread counts at a fixed tile.
+  const std::size_t d_head = 64, lkv = 70, lq = 9, heads = 4, kv_heads = 2;
+  LayerInputs in = make_layer_inputs(lkv, d_head, heads, kv_heads, 3);
+  in.v_all = scale(in.v_all, 1.0f / 32.0f);
+  Rng qrng(8);
+  const Matrix q_all = Matrix::random_gaussian(lq, heads * d_head, qrng);
+
+  HackAttentionConfig cfg;
+  cfg.pi = 32;
+
+  Matrix ref(lq, heads * d_head);
+  const std::size_t group = heads / kv_heads;
+  for (std::size_t g = 0; g < kv_heads; ++g) {
+    HackKvState st(d_head, cfg);
+    Rng rng(kSeed + g);
+    st.append_tokens(take_cols(in.k_all, g * d_head, (g + 1) * d_head),
+                     take_cols(in.v_all, g * d_head, (g + 1) * d_head), rng);
+    for (std::size_t sub = 0; sub < group; ++sub) {
+      const std::size_t head = g * group + sub;
+      Rng q_rng = rng.fork();
+      Rng p_rng = rng.fork();
+      const Matrix o = untiled_reference_attention(
+          take_cols(q_all, head * d_head, (head + 1) * d_head), st,
+          {.causal = false, .key_offset = 0}, q_rng, p_rng);
+      for (std::size_t r = 0; r < lq; ++r) {
+        std::copy(o.row(r).begin(), o.row(r).end(),
+                  ref.row(r).begin() + head * d_head);
+      }
+    }
+  }
+
+  // Tiles: single-token (max-correction exercised hardest), a prime that
+  // splits Π groups, and wider than the context (tile max == final max, the
+  // degenerate corr = 1 case).
+  for (const std::size_t tile :
+       {std::size_t{1}, std::size_t{37}, std::size_t{128}}) {
+    HackAttentionConfig tcfg = cfg;
+    tcfg.tile_tokens = tile;
+    Matrix first;
+    for (const int threads : {1, 2, 0}) {
+      tcfg.threads = threads;
+      HackLayerKvState layer(d_head, kv_heads, heads, tcfg, kSeed);
+      layer.append_tokens(in.k_all, in.v_all);
+      const Matrix got =
+          layer.attend(q_all, {.causal = false, .key_offset = 0});
+      if (first.empty()) {
+        first = got;
+        EXPECT_LE(max_abs_diff(got, ref), 1e-3f) << "tile=" << tile;
+      } else {
+        EXPECT_TRUE(got == first)
+            << "tile=" << tile << " threads=" << threads
+            << ": banding changed the two-pass result";
+      }
+    }
+  }
+}
+
 TEST(LayerAttention, RejectsBadGeometry) {
   HackAttentionConfig cfg;
   cfg.pi = 32;

@@ -284,5 +284,87 @@ TEST(Quantizer, ParallelPathDeterministicAcrossThreadRequests) {
   EXPECT_TRUE(d1 == d0);
 }
 
+TEST(Quantizer, PackStorageRoundTripsAndIndexes) {
+  // pack_storage rewrites .codes in place to the bit-packed resident layout;
+  // code_at must read the same values either way, dequantize must be
+  // bit-identical, and unpack_storage must restore the original byte vector.
+  Rng rng(50);
+  for (const int bits : {2, 4}) {
+    // 96 cols: (cols * bits) % 8 == 0, the KV-plane shape (flat pack).
+    // 13 cols at 2-bit: padded rows, the per-row subspan pack.
+    for (const std::size_t cols : {std::size_t{96}, std::size_t{13}}) {
+      const Matrix m = Matrix::random_gaussian(9, cols, rng);
+      Rng qrng(51);
+      QuantizedMatrix q = quantize(m, bits, 16, QuantAxis::kRow,
+                                   Rounding::kStochastic, qrng,
+                                   /*allow_ragged_tail=*/true);
+      const std::vector<std::uint8_t> byte_codes = q.codes;
+      const Matrix recon_bytes = dequantize(q);
+
+      pack_storage(q);
+      EXPECT_EQ(q.storage_bits, bits);
+      EXPECT_EQ(q.codes.size(), q.rows * q.code_row_stride());
+      EXPECT_LT(q.codes.size(), byte_codes.size());
+      for (std::size_t r = 0; r < q.rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          ASSERT_EQ(q.code_at(r, c), byte_codes[r * cols + c])
+              << "bits=" << bits << " cols=" << cols << " (" << r << "," << c
+              << ")";
+        }
+      }
+      const Matrix recon_packed = dequantize(q);
+      EXPECT_TRUE(recon_packed == recon_bytes);
+
+      pack_storage(q);  // idempotent on already-packed storage
+      EXPECT_EQ(q.storage_bits, bits);
+
+      unpack_storage(q);
+      EXPECT_EQ(q.storage_bits, 8);
+      EXPECT_EQ(q.codes, byte_codes) << "bits=" << bits << " cols=" << cols;
+    }
+  }
+}
+
+TEST(Quantizer, PackStorageEightBitIsNoOp) {
+  Rng rng(52);
+  const Matrix m = Matrix::random_gaussian(4, 32, rng);
+  Rng qrng(53);
+  QuantizedMatrix q =
+      quantize(m, 8, 16, QuantAxis::kRow, Rounding::kStochastic, qrng);
+  const std::vector<std::uint8_t> before = q.codes;
+  pack_storage(q);
+  EXPECT_EQ(q.storage_bits, 8);
+  EXPECT_EQ(q.codes, before);
+}
+
+TEST(Quantizer, AppendRowsRequiresMatchingStorage) {
+  // Row append concatenates code storage; mixing packed and byte planes
+  // would corrupt the layout, so it must be rejected — and packed-to-packed
+  // appends must equal pack(append(unpacked)).
+  Rng rng(54);
+  const Matrix a = Matrix::random_gaussian(4, 64, rng);
+  const Matrix b = Matrix::random_gaussian(3, 64, rng);
+  Rng q1(55), q2(55);
+  QuantizedMatrix qa_bytes =
+      quantize(a, 2, 32, QuantAxis::kRow, Rounding::kStochastic, q1);
+  QuantizedMatrix qb_bytes =
+      quantize(b, 2, 32, QuantAxis::kRow, Rounding::kStochastic, q1);
+  QuantizedMatrix qa_packed =
+      quantize(a, 2, 32, QuantAxis::kRow, Rounding::kStochastic, q2);
+  QuantizedMatrix qb_packed =
+      quantize(b, 2, 32, QuantAxis::kRow, Rounding::kStochastic, q2);
+  pack_storage(qa_packed);
+  pack_storage(qb_packed);
+
+  QuantizedMatrix mixed = qa_packed;
+  EXPECT_THROW(append_rows(mixed, qb_bytes), CheckError);
+
+  append_rows(qa_bytes, qb_bytes);
+  append_rows(qa_packed, qb_packed);
+  pack_storage(qa_bytes);
+  EXPECT_EQ(qa_packed.codes, qa_bytes.codes);
+  EXPECT_EQ(qa_packed.rows, 7u);
+}
+
 }  // namespace
 }  // namespace hack
