@@ -43,6 +43,25 @@
 //   {"bench":"serving_continuous_speedup","decode_speedup":...,
 //    "jct_p50_speedup":...}
 //
+// `--tiered` runs the same continuous workload against a deliberately small
+// KV block pool, twice: once with the worst-case FCFS reservation policy
+// ("fcfs") and once with the tiered KV memory manager ("tiered" —
+// kvcache/tier_manager.h: reserve-on-append admission, priority preemption
+// to a compressed kv_wire far tier, speculative prefetch). Arrival stamps
+// are zeroed so the swap schedule is deterministic; both constrained legs
+// must emit tokens bit-identical to an unconstrained reference run. One
+// JSON line per leg plus a comparison line:
+//
+//   {"bench":"serving_tiered","mode":"fcfs"|"tiered","requests":6,
+//    "pool_blocks":10,"completed":...,"peak_running":...,"tokens_per_s":...,
+//    "evictions":...,"rehydrations":...,"prefetch_hits":...,
+//    "prefetch_misses":...,"swap_out_bytes":...,"swap_in_bytes":...,
+//    "far_bytes_peak":...,"swap_in_work_ms":...,"swap_in_stall_ms":...}
+//   {"bench":"serving_tiered_compare","fcfs_peak_running":...,
+//    "tiered_peak_running":...,"concurrency_gain":...,
+//    "prefetch_overlap_ratio":...,"prefetch_overlap_ge_half":true,
+//    "bit_identical":true}
+//
 // `--disagg` runs the disaggregated prefill→decode split (serving/disagg.h)
 // instead, once per KV bit-width {2,4,8}: every request prefills on one
 // worker, ships its serialized KV wire blob (kvcache/kv_wire.h) over the
@@ -91,7 +110,8 @@
 //    "served":...,"crashes":...,"transfer_failures":...,"drains":...,
 //    "utilization":...,"final_health":"down"}
 //
-// Usage: bench_serving_throughput [--quick] [--long|--continuous|--disagg]
+// Usage: bench_serving_throughput [--quick] [--long|--continuous|--tiered|
+//          --disagg]
 //          [--fleet=NxM] [--kill=worker:request[@token],...]
 //          [--policy=round_robin|least_bytes|free_blocks]
 //          [--checkpoint-every=0]
@@ -600,6 +620,164 @@ void run_continuous_mode(const Shape& shape, const ContOptions& o) {
   std::fflush(stdout);
 }
 
+// ---------------------------------------------------- tiered KV memory mode
+
+std::size_t count_finished(const ServingReport& report) {
+  std::size_t n = 0;
+  for (const ServingRecord& rec : report.requests) {
+    if (rec.state == RequestState::kFinished) ++n;
+  }
+  return n;
+}
+
+bool tokens_match(const ServingReport& a, const ServingReport& b) {
+  if (a.requests.size() != b.requests.size()) return false;
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    if (a.requests[i].generated != b.requests[i].generated) return false;
+  }
+  return true;
+}
+
+void print_tiered_leg(const char* mode, const Shape& shape,
+                      const ContOptions& o, const ServingReport& report,
+                      std::size_t pool_blocks) {
+  const KvTierStats& t = report.engine.tier;
+  std::printf(
+      "{\"bench\":\"serving_tiered\",\"mode\":\"%s\",\"requests\":%zu,"
+      "\"heads\":%zu,\"kv_heads\":%zu,\"d_head\":%zu,\"layers\":%zu,"
+      "\"input_mean\":%zu,\"output_mean\":%zu,\"chunk\":%zu,"
+      "\"pool_blocks\":%zu,\"max_active\":%zu,"
+      "\"completed\":%zu,\"rejected\":%zu,\"peak_running\":%zu,"
+      "\"total_tokens\":%zu,\"makespan_s\":%.3f,"
+      "\"tokens_per_s\":%.1f,\"decode_tokens_per_s\":%.1f,"
+      "\"goodput_rps\":%.2f,\"ttft_p50_s\":%.4f,\"jct_p50_s\":%.4f,"
+      "\"evictions\":%zu,\"rehydrations\":%zu,"
+      "\"prefetch_hits\":%zu,\"prefetch_misses\":%zu,"
+      "\"swap_out_bytes\":%zu,\"swap_in_bytes\":%zu,\"far_bytes_peak\":%zu,"
+      "\"swap_in_work_ms\":%.2f,\"swap_in_stall_ms\":%.2f,"
+      "\"swap_events\":%zu}\n",
+      mode, o.requests, shape.heads, shape.kv_heads, shape.d_head, o.layers,
+      o.input, o.output, o.chunk, pool_blocks, o.max_active,
+      count_finished(report), report.engine.rejected,
+      report.engine.peak_running, report.total_generated, report.makespan_s,
+      report.tokens_per_s, report.decode_tokens_per_s, report.goodput_rps,
+      report.ttft_s.p50, report.jct_s.p50, t.evictions, t.rehydrations,
+      t.prefetch_hits, t.prefetch_misses, t.bytes_swapped_out,
+      t.bytes_swapped_in, t.far_bytes_peak, t.swap_in_work_s * 1e3,
+      t.swap_in_stall_s * 1e3, report.engine.swap_events.size());
+  std::fflush(stdout);
+}
+
+void run_tiered_mode(const Shape& shape, const ContOptions& o) {
+  TinyConfig cfg;
+  cfg.vocab = 256;
+  cfg.layers = o.layers;
+  cfg.heads = shape.heads;
+  cfg.kv_heads = shape.kv_heads;
+  cfg.d_head = shape.d_head;
+  cfg.d_ff = 512;
+  const auto weights = make_tiny_weights(cfg);
+  HackAttentionConfig attn;
+  attn.pi = shape.pi;
+  const auto maker = [attn] { return make_hack_layer_backend(attn, 7); };
+
+  std::vector<ServingRequest> requests = make_continuous_requests(o);
+  // The arrival process only shapes the workload here; stamps are zeroed so
+  // every request is visible at t=0. That makes admission order — and with
+  // it the whole evict/resume/prefetch schedule — a pure function of the
+  // submissions (docs/serving.md "Tiered KV memory"), so the leg is
+  // bitwise-replayable and the prefetcher's projection is exact.
+  for (ServingRequest& req : requests) req.arrival_time_s = 0.0;
+
+  ServingEngineConfig ec;
+  ec.scheduler.max_active = o.max_active;
+  ec.scheduler.prefill_chunk_tokens = o.chunk;
+  const std::size_t block_tokens = ec.scheduler.block_tokens;
+  std::size_t max_worst = 0, sum_worst = 0;
+  for (const ServingRequest& req : requests) {
+    const std::size_t tokens = req.prompt.size() + req.max_new_tokens;
+    const std::size_t blocks = (tokens + block_tokens - 1) / block_tokens;
+    max_worst = std::max(max_worst, blocks);
+    sum_worst += blocks;
+  }
+  // Default pool: barely above the largest single request's worst case, so
+  // every request is admissible alone (no rejections) but the worst-case
+  // FCFS reservation can only co-resident a strict subset — the regime the
+  // tiered manager exists for. --kv-blocks overrides.
+  const std::size_t pool_blocks =
+      o.kv_blocks > 0 ? o.kv_blocks : max_worst + 2;
+  const std::size_t block_bytes = block_tokens * shape.kv_heads *
+                                  shape.d_head * 2 * 2 * o.layers;
+
+  std::printf("tiered KV serving: %zu requests (%s shapes, arrivals zeroed),"
+              " pool %zu blocks (worst-case demand %zu, largest request %zu),"
+              " chunk %zu, pool lanes %zu\n",
+              o.requests, o.arrival.c_str(), pool_blocks, sum_worst,
+              max_worst, o.chunk, ThreadPool::global().lanes());
+
+  // Reference: unconstrained untiered run. Engine tokens are batch- and
+  // schedule-invariant for a fixed chunk config, so both constrained legs
+  // below must reproduce these tokens bit-for-bit.
+  ServingReport ref;
+  {
+    ServingEngine engine(weights, maker, ec, nullptr);
+    for (const ServingRequest& req : requests) engine.submit(req);
+    ref = engine.run();
+  }
+
+  ServingReport fcfs;
+  {
+    BlockAllocator alloc(pool_blocks, block_bytes);
+    ServingEngine engine(weights, maker, ec, &alloc);
+    for (const ServingRequest& req : requests) engine.submit(req);
+    fcfs = engine.run();
+  }
+  print_tiered_leg("fcfs", shape, o, fcfs, pool_blocks);
+
+  ServingEngineConfig tc = ec;
+  tc.scheduler.tiered = true;
+  ServingReport tiered;
+  {
+    BlockAllocator alloc(pool_blocks, block_bytes);
+    ServingEngine engine(weights, maker, tc, &alloc);
+    for (const ServingRequest& req : requests) engine.submit(req);
+    tiered = engine.run();
+  }
+  print_tiered_leg("tiered", shape, o, tiered, pool_blocks);
+
+  const bool bit_identical =
+      tokens_match(fcfs, ref) && tokens_match(tiered, ref);
+  const KvTierStats& t = tiered.engine.tier;
+  // Overlap: of the swap-in deserialize work, the fraction hidden behind
+  // step compute by the prefetcher (stall is what the engine actually
+  // waited). No swap-ins at all means nothing to hide.
+  const double overlap_ratio =
+      t.swap_in_work_s > 0.0
+          ? std::max(0.0, (t.swap_in_work_s - t.swap_in_stall_s) /
+                              t.swap_in_work_s)
+          : 1.0;
+  std::printf(
+      "{\"bench\":\"serving_tiered_compare\",\"requests\":%zu,"
+      "\"pool_blocks\":%zu,\"fcfs_peak_running\":%zu,"
+      "\"tiered_peak_running\":%zu,\"concurrency_gain\":%.2f,"
+      "\"fcfs_completed\":%zu,\"tiered_completed\":%zu,"
+      "\"jct_p50_ratio\":%.2f,\"evictions\":%zu,\"prefetch_hits\":%zu,"
+      "\"prefetch_overlap_ratio\":%.3f,\"prefetch_overlap_ge_half\":%s,"
+      "\"bit_identical\":%s}\n",
+      o.requests, pool_blocks, fcfs.engine.peak_running,
+      tiered.engine.peak_running,
+      fcfs.engine.peak_running > 0
+          ? static_cast<double>(tiered.engine.peak_running) /
+                static_cast<double>(fcfs.engine.peak_running)
+          : 0.0,
+      count_finished(fcfs), count_finished(tiered),
+      tiered.jct_s.p50 > 0.0 ? fcfs.jct_s.p50 / tiered.jct_s.p50 : 0.0,
+      t.evictions, t.prefetch_hits, overlap_ratio,
+      overlap_ratio >= 0.5 ? "true" : "false",
+      bit_identical ? "true" : "false");
+  std::fflush(stdout);
+}
+
 // ------------------------------------------------ disaggregated handoff mode
 
 void run_disagg_mode(const Shape& shape, const ContOptions& o) {
@@ -946,6 +1124,7 @@ int main(int argc, char** argv) {
   std::vector<int> thread_legs = {1, 2, 4};
   bool long_sweep = false;
   bool continuous = false;
+  bool tiered = false;
   bool disagg = false;
   ContOptions cont;
   for (int i = 1; i < argc; ++i) {
@@ -961,6 +1140,8 @@ int main(int argc, char** argv) {
       long_sweep = true;
     } else if (arg == "--continuous") {
       continuous = true;
+    } else if (arg == "--tiered") {
+      tiered = true;
     } else if (arg == "--disagg") {
       disagg = true;
     } else if (arg.rfind("--fleet=", 0) == 0) {
@@ -1029,7 +1210,7 @@ int main(int argc, char** argv) {
   }
 
   const bool fleet = cont.fleet_prefill > 0 || cont.fleet_decode > 0;
-  if (continuous || disagg || fleet) {
+  if (continuous || tiered || disagg || fleet) {
     if (cont.requests == 0 || cont.output == 0) {
       std::fprintf(stderr, "--requests and --output must be positive\n");
       return 1;
@@ -1042,6 +1223,8 @@ int main(int argc, char** argv) {
       run_fleet_mode(shape, cont);
     } else if (disagg) {
       run_disagg_mode(shape, cont);
+    } else if (tiered) {
+      run_tiered_mode(shape, cont);
     } else {
       run_continuous_mode(shape, cont);
     }

@@ -222,6 +222,10 @@ KvDeltaSuffix apply_kv_delta(std::span<const std::uint8_t> blob,
 // Session-level wrappers: serialize every layer of a (HACK layer backend)
 // session after prefill, or rehydrate a fresh session — including its
 // timeline position — so decoding continues where the prefill worker stopped.
+// These are also the tiered KV manager's swap entry points
+// (kvcache/tier_manager.h): eviction serializes a sequence to the compressed
+// far tier and resume rehydrates it, with KvWireSections giving the
+// per-section byte accounting the tier's swap counters report.
 std::vector<std::uint8_t> serialize_session_kv(
     TinyModelSession& session, KvWireSections* sections = nullptr,
     std::uint32_t version = kKvWireVersion);

@@ -1,0 +1,100 @@
+#include "kvcache/tier_manager.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace hack {
+
+KvTierManager::KvTierManager(BlockAllocator& allocator, KvTierConfig config)
+    : allocator_(allocator), config_(config) {
+  HACK_CHECK(config_.block_tokens > 0, "tier manager needs block_tokens > 0");
+}
+
+std::size_t KvTierManager::blocks_for_tokens(std::size_t tokens) const {
+  return (tokens + config_.block_tokens - 1) / config_.block_tokens;
+}
+
+bool KvTierManager::can_ever_hold(std::size_t worst_case_tokens) const {
+  return blocks_for_tokens(worst_case_tokens) <= allocator_.num_blocks();
+}
+
+bool KvTierManager::grow_hot(SeqId seq, std::size_t tokens) {
+  std::vector<BlockId>& held = hot_[seq];
+  const std::size_t want = blocks_for_tokens(tokens);
+  if (want <= held.size()) return true;
+  const std::size_t grow = want - held.size();
+  std::vector<BlockId> fresh;
+  fresh.reserve(grow);
+  for (std::size_t b = 0; b < grow; ++b) {
+    const BlockId id = allocator_.allocate();
+    if (id == kInvalidBlock) {
+      for (const BlockId got : fresh) allocator_.release(got);
+      return false;
+    }
+    fresh.push_back(id);
+  }
+  held.insert(held.end(), fresh.begin(), fresh.end());
+  stats_.hot_bytes_admitted += grow * allocator_.block_bytes();
+  return true;
+}
+
+std::size_t KvTierManager::blocks_held(SeqId seq) const {
+  const auto it = hot_.find(seq);
+  return it == hot_.end() ? 0 : it->second.size();
+}
+
+void KvTierManager::release(SeqId seq) {
+  const auto hot = hot_.find(seq);
+  if (hot != hot_.end()) {
+    for (const BlockId id : hot->second) allocator_.release(id);
+    stats_.hot_bytes_released += hot->second.size() * allocator_.block_bytes();
+    hot_.erase(hot);
+  }
+  const auto far = far_.find(seq);
+  if (far != far_.end()) {
+    far_bytes_ -= far->second->size();
+    far_.erase(far);
+  }
+}
+
+void KvTierManager::swap_out(SeqId seq, std::vector<std::uint8_t> blob) {
+  HACK_CHECK(!is_swapped(seq), "sequence " << seq << " is already swapped");
+  const auto hot = hot_.find(seq);
+  if (hot != hot_.end()) {
+    for (const BlockId id : hot->second) allocator_.release(id);
+    stats_.hot_bytes_released += hot->second.size() * allocator_.block_bytes();
+    hot_.erase(hot);
+  }
+  ++stats_.evictions;
+  stats_.bytes_swapped_out += blob.size();
+  far_bytes_ += blob.size();
+  stats_.far_bytes_peak = std::max(stats_.far_bytes_peak, far_bytes_);
+  far_.emplace(seq, std::make_shared<const std::vector<std::uint8_t>>(
+                        std::move(blob)));
+}
+
+bool KvTierManager::is_swapped(SeqId seq) const {
+  return far_.find(seq) != far_.end();
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> KvTierManager::peek_blob(
+    SeqId seq) const {
+  const auto it = far_.find(seq);
+  return it == far_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> KvTierManager::take_blob(
+    SeqId seq) {
+  const auto it = far_.find(seq);
+  HACK_CHECK(it != far_.end(),
+             "sequence " << seq << " has no far-tier blob to take");
+  std::shared_ptr<const std::vector<std::uint8_t>> blob = it->second;
+  ++stats_.rehydrations;
+  stats_.bytes_swapped_in += blob->size();
+  far_bytes_ -= blob->size();
+  far_.erase(it);
+  return blob;
+}
+
+}  // namespace hack

@@ -1,0 +1,135 @@
+// Tiered KV memory manager — hot block pool + compressed far tier.
+//
+// HACK's premise is that the quantized KV cache is cheap enough to move
+// (the wire blob measures 17–55% of FP16, docs/disaggregation.md), which
+// makes it cheap enough to *swap*: instead of reserving worst-case blocks
+// FCFS and rejecting everything else, the serving engine can admit
+// aggressively, grow a sequence's hot-block footprint as tokens append, and
+// under pressure evict a whole sequence to a compressed far tier — the
+// eviction format IS the kv_wire v2 blob (serialize = evict, deserialize =
+// resume, bit-identical by the PR 5 contract), so swap-out costs the same
+// 17–55% of FP16 the disaggregated transfer does.
+//
+// This class owns the two tiers' bookkeeping:
+//
+//   hot   per-sequence block lists charged against the shared BlockAllocator
+//         (accounting granularity: `block_tokens` KV rows per block, the
+//         same unit scheduler admission uses). grow_hot() is all-or-nothing.
+//   far   per-sequence serialized blobs (shared_ptr so an in-flight
+//         speculative prefetch can keep reading a blob the engine is
+//         concurrently taking ownership of) plus byte counters.
+//
+// Capacity model: a sequence can only step while fully hot, so the only
+// admission invariant tiering needs is that the sequence's *own* worst case
+// fits the whole pool — other residents can always be evicted around it.
+// can_ever_hold() is that predicate; Scheduler::can_ever_admit routes
+// through it in tiered mode (the PR 4 FCFS formula `need + floor <=
+// num_blocks` under-admits exactly the requests tiering exists to serve).
+//
+// The manager is policy-free and clock-free: *which* sequence to evict or
+// resume is the scheduler's deterministic priority function
+// (serving/scheduler.h); the wall-clock swap/stall timings recorded here via
+// add_swap_in_*_s are metrics only and never feed back into a decision, so
+// replays stay bitwise (docs/serving.md, "Tiered KV memory").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "kvcache/block_allocator.h"
+
+namespace hack {
+
+struct KvTierConfig {
+  // KV rows per hot block (must match SchedulerConfig::block_tokens).
+  std::size_t block_tokens = 16;
+};
+
+// Swap/prefetch counters of one serving episode. Counters are exact (the
+// chaos corpus asserts evictions == rehydrations at drain and bytes
+// out == bytes in); the *_s timings are wall-clock metrics only.
+struct KvTierStats {
+  std::size_t evictions = 0;          // sequences swapped out (hot -> far)
+  std::size_t rehydrations = 0;       // sequences swapped back in
+  std::size_t prefetch_hits = 0;      // resumes served by a staged prefetch
+  std::size_t prefetch_misses = 0;    // cold resumes (deserialize inline)
+  std::size_t bytes_swapped_out = 0;  // wire-blob bytes written to the far tier
+  std::size_t bytes_swapped_in = 0;   // wire-blob bytes read back
+  std::size_t far_bytes_peak = 0;     // max far-tier residency
+  std::size_t hot_bytes_admitted = 0; // block bytes allocated by grow_hot
+  std::size_t hot_bytes_released = 0; // block bytes freed (swap-out / release)
+  double swap_in_work_s = 0.0;   // total deserialize compute (staged + cold)
+  double swap_in_stall_s = 0.0;  // time a step actually blocked on swap-in
+};
+
+class KvTierManager {
+ public:
+  // Sequences are identified by the engine's record index.
+  using SeqId = std::size_t;
+
+  KvTierManager(BlockAllocator& allocator, KvTierConfig config = {});
+
+  std::size_t block_tokens() const { return config_.block_tokens; }
+  std::size_t pool_blocks() const { return allocator_.num_blocks(); }
+  std::size_t blocks_free() const { return allocator_.blocks_free(); }
+
+  // ceil(tokens / block_tokens) — the hot footprint of `tokens` KV rows.
+  std::size_t blocks_for_tokens(std::size_t tokens) const;
+
+  // The tiered admission predicate: the sequence's own worst case fits the
+  // pool alone (residents around it are evictable; a too-big sequence can
+  // never be made fully hot and must be rejected).
+  bool can_ever_hold(std::size_t worst_case_tokens) const;
+
+  // --- hot tier ---
+
+  // Ensures `seq` holds blocks covering `tokens` KV rows. All-or-nothing:
+  // on a shortfall the partial growth is rolled back and false is returned
+  // (the scheduler's budget pass makes failure a logic error in-engine).
+  bool grow_hot(SeqId seq, std::size_t tokens);
+
+  std::size_t blocks_held(SeqId seq) const;
+
+  // Releases everything the sequence holds in either tier (finish/reject).
+  void release(SeqId seq);
+
+  // --- far tier ---
+
+  // Evicts: frees the sequence's hot blocks and stores its wire blob.
+  void swap_out(SeqId seq, std::vector<std::uint8_t> blob);
+
+  bool is_swapped(SeqId seq) const;
+  std::size_t swapped_count() const { return far_.size(); }
+  std::size_t far_bytes_total() const { return far_bytes_; }
+
+  // Peeks the blob without removing it — what a speculative prefetch thread
+  // deserializes from while the sequence stays formally swapped.
+  std::shared_ptr<const std::vector<std::uint8_t>> peek_blob(SeqId seq) const;
+
+  // Removes the far entry and counts the rehydration. The blob stays alive
+  // through the returned (and any prefetch-held) shared_ptr.
+  std::shared_ptr<const std::vector<std::uint8_t>> take_blob(SeqId seq);
+
+  // --- metrics hooks (timing only; never feeds a decision) ---
+
+  void note_prefetch_hit() { ++stats_.prefetch_hits; }
+  void note_prefetch_miss() { ++stats_.prefetch_misses; }
+  void add_swap_in_work_s(double s) { stats_.swap_in_work_s += s; }
+  void add_swap_in_stall_s(double s) { stats_.swap_in_stall_s += s; }
+
+  const KvTierStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  BlockAllocator& allocator_;
+  KvTierConfig config_;
+  std::unordered_map<SeqId, std::vector<BlockId>> hot_;
+  std::unordered_map<SeqId, std::shared_ptr<const std::vector<std::uint8_t>>>
+      far_;
+  std::size_t far_bytes_ = 0;
+  KvTierStats stats_;
+};
+
+}  // namespace hack

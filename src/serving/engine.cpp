@@ -7,6 +7,7 @@
 
 #include "attention/layer_attention.h"
 #include "base/thread_pool.h"
+#include "kvcache/kv_wire.h"
 
 namespace hack {
 namespace {
@@ -21,17 +22,42 @@ double steady_now_s() {
 
 // One admitted request's execution state: its session (KV backends +
 // position), its KV block reservation, and the token feeding the next
-// decode step.
+// decode step. In tiered mode the session is destroyed on swap-out (the
+// kv_wire blob in the far tier is the state) and rebuilt on resume;
+// last_token and resume_state survive the round trip.
 struct ServingEngine::RunningSeq {
   RunningSeq(std::size_t record_idx,
              std::shared_ptr<const TinyModelWeights> weights,
              const LayerBackendFactory& factory)
-      : record(record_idx), session(std::move(weights), factory) {}
+      : record(record_idx),
+        session(std::make_unique<TinyModelSession>(std::move(weights),
+                                                   factory)) {}
 
   std::size_t record;  // index into records_
-  TinyModelSession session;
-  std::vector<BlockId> blocks;
+  std::unique_ptr<TinyModelSession> session;  // null while swapped
+  std::vector<BlockId> blocks;  // FCFS mode: worst-case reservation
   int last_token = -1;
+  RequestState resume_state = RequestState::kPrefill;  // phase while swapped
+  std::size_t swap_tokens = 0;  // KV rows in the far-tier blob while swapped
+  std::size_t stall_steps = 0;  // consecutive planned steps left unscheduled
+  std::size_t ordinal = 0;      // admission order (tiered priority tiebreak)
+};
+
+// A speculative swap-in staged on a background thread: a fresh session
+// being deserialized from the far-tier blob while the engine computes the
+// current step. The worker writes `session` and `work_s` before exiting;
+// the engine reads them only after join(), so the hand-off is synchronized
+// and the worker never touches the shared thread pool (the deserialize
+// path is serial by construction — kvcache/kv_wire.cpp).
+struct ServingEngine::StagedPrefetch {
+  std::size_t record = 0;  // index into records_
+  std::thread worker;
+  std::unique_ptr<TinyModelSession> session;
+  double work_s = 0.0;
+
+  ~StagedPrefetch() {
+    if (worker.joinable()) worker.join();
+  }
 };
 
 ServingEngine::ServingEngine(
@@ -46,6 +72,13 @@ ServingEngine::ServingEngine(
   HACK_CHECK(weights_ != nullptr, "engine needs model weights");
   HACK_CHECK(make_backend_factory_ != nullptr,
              "engine needs a backend factory maker");
+  if (config_.scheduler.tiered) {
+    HACK_CHECK(allocator_ != nullptr,
+               "tiered mode needs a block allocator (the hot pool)");
+    tier_ = std::make_unique<KvTierManager>(
+        *allocator_, KvTierConfig{.block_tokens = config_.scheduler
+                                                      .block_tokens});
+  }
 }
 
 ServingEngine::~ServingEngine() = default;
@@ -70,20 +103,31 @@ void ServingEngine::admit_arrivals(std::vector<std::size_t>& queued,
     const double tb = records_[b].request.arrival_time_s;
     return ta != tb ? ta < tb : a < b;
   });
+  const bool tiered = config_.scheduler.tiered;
   for (const std::size_t idx : ready) {
     ServingRecord& rec = records_[idx];
-    if (!scheduler_.can_ever_admit(rec.request, allocator_)) {
+    // Tiered admission routes through the tier manager's capacity model —
+    // the request only has to fit the pool alone (residents are evictable);
+    // FCFS keeps the worst-case `need + floor <= num_blocks` predicate.
+    const bool ever =
+        tiered ? scheduler_.can_ever_admit(rec.request, tier_.get())
+               : scheduler_.can_ever_admit(rec.request, allocator_);
+    if (!ever) {
       rec.state = RequestState::kRejected;
       rec.finish_time_s = now;
       ++stats_.rejected;
       continue;
     }
-    if (!scheduler_.can_admit(rec.request, running_.size(), allocator_)) {
+    // Tiered mode reserves on append, so admission is slots-only; FCFS
+    // reserves the worst case up front.
+    if (!scheduler_.can_admit(rec.request, running_.size(),
+                              tiered ? nullptr : allocator_)) {
       break;  // FCFS: later arrivals wait behind the head of the line
     }
     auto seq = std::make_unique<RunningSeq>(idx, weights_,
                                             make_backend_factory_());
-    if (allocator_ != nullptr) {
+    seq->ordinal = next_ordinal_++;
+    if (!tiered && allocator_ != nullptr) {
       const std::size_t need = scheduler_.blocks_needed(rec.request);
       seq->blocks.reserve(need);
       for (std::size_t b = 0; b < need; ++b) {
@@ -105,6 +149,11 @@ void ServingEngine::finish_sequence(RunningSeq& seq, double now) {
   ServingRecord& rec = records_[seq.record];
   rec.state = RequestState::kFinished;
   rec.finish_time_s = now;
+  if (tier_ != nullptr) {
+    tier_->release(seq.record);
+    drop_staged(seq.record);
+    return;
+  }
   if (allocator_ != nullptr) {
     for (const BlockId id : seq.blocks) allocator_->release(id);
     stats_.kv_bytes_released += seq.blocks.size() * allocator_->block_bytes();
@@ -167,7 +216,7 @@ void ServingEngine::execute_step(const StepPlan& plan) {
   run_lanes([&](std::size_t i) {
     Lane& lane = lanes[i];
     RunningSeq& seq = *running_[lane.run_idx];
-    lane.start_pos = seq.session.position();
+    lane.start_pos = seq.session->position();
     if (lane.is_prefill) {
       HACK_CHECK(lane.chunk_begin == lane.start_pos,
                  "prefill chunk out of order");
@@ -185,20 +234,20 @@ void ServingEngine::execute_step(const StepPlan& plan) {
   const std::size_t n_layers = weights_->config().layers;
   const bool fused = config_.fused_attention && n_layers > 0 &&
                      running_[lanes[0].run_idx]
-                             ->session.backend(0)
+                             ->session->backend(0)
                              .hack_state() != nullptr;
   std::vector<Matrix> q(n_lanes), attn(n_lanes);
   std::vector<AttentionOptions> attn_opts(n_lanes);
   for (std::size_t layer = 0; layer < n_layers; ++layer) {
     run_lanes([&](std::size_t i) {
-      q[i] = running_[lanes[i].run_idx]->session.project_and_append(
+      q[i] = running_[lanes[i].run_idx]->session->project_and_append(
           layer, lanes[i].x, lanes[i].start_pos);
     });
     if (fused) {
       MultiAttendBatch batch;
       for (std::size_t i = 0; i < n_lanes; ++i) {
         HackLayerKvState* state =
-            running_[lanes[i].run_idx]->session.backend(layer).hack_state();
+            running_[lanes[i].run_idx]->session->backend(layer).hack_state();
         HACK_CHECK(state != nullptr, "mixed backends in a fused step");
         attn_opts[i] = {.causal = true, .key_offset = lanes[i].start_pos};
         batch.add(*state, q[i], attn_opts[i], &attn[i]);
@@ -207,12 +256,12 @@ void ServingEngine::execute_step(const StepPlan& plan) {
       ++stats_.fused_attend_launches;
     } else {
       run_lanes([&](std::size_t i) {
-        attn[i] = running_[lanes[i].run_idx]->session.backend(layer).attend(
+        attn[i] = running_[lanes[i].run_idx]->session->backend(layer).attend(
             q[i], lanes[i].start_pos);
       });
     }
     run_lanes([&](std::size_t i) {
-      lanes[i].x = running_[lanes[i].run_idx]->session.finish_layer(
+      lanes[i].x = running_[lanes[i].run_idx]->session->finish_layer(
           layer, std::move(lanes[i].x), attn[i]);
     });
   }
@@ -223,7 +272,7 @@ void ServingEngine::execute_step(const StepPlan& plan) {
   // per-lane vocab loops. Row r of logits_batch is bit-identical to the
   // per-lane logits_for_row call it replaces.
   run_lanes([&](std::size_t i) {
-    running_[lanes[i].run_idx]->session.advance(lanes[i].rows);
+    running_[lanes[i].run_idx]->session->advance(lanes[i].rows);
   });
   std::vector<std::size_t> emit_idx;
   emit_idx.reserve(n_lanes);
@@ -296,10 +345,197 @@ void ServingEngine::execute_step(const StepPlan& plan) {
   }
 }
 
+std::vector<Scheduler::TieredSeqView> ServingEngine::tiered_views() const {
+  std::vector<Scheduler::TieredSeqView> views;
+  views.reserve(running_.size());
+  for (const auto& seq : running_) {
+    const ServingRecord& rec = records_[seq->record];
+    Scheduler::TieredSeqView v;
+    v.state = rec.state;
+    v.resume_state = seq->resume_state;
+    v.prompt_len = rec.request.prompt.size();
+    v.prefill_done = rec.prefill_done;
+    v.tokens = seq->session != nullptr ? seq->session->position()
+                                       : seq->swap_tokens;
+    v.generated = rec.generated.size();
+    v.max_new = rec.request.max_new_tokens;
+    v.stall_steps = seq->stall_steps;
+    v.ordinal = seq->ordinal;
+    views.push_back(v);
+  }
+  return views;
+}
+
+ServingEngine::StagedPrefetch* ServingEngine::find_staged(
+    std::size_t record_idx) {
+  for (const auto& staged : staged_) {
+    if (staged->record == record_idx) return staged.get();
+  }
+  return nullptr;
+}
+
+void ServingEngine::drop_staged(std::size_t record_idx) {
+  for (auto it = staged_.begin(); it != staged_.end(); ++it) {
+    if ((*it)->record == record_idx) {
+      staged_.erase(it);  // the entry's destructor joins the worker
+      return;
+    }
+  }
+}
+
+void ServingEngine::evict_sequence(std::size_t run_idx) {
+  RunningSeq& seq = *running_[run_idx];
+  ServingRecord& rec = records_[seq.record];
+  HACK_CHECK(seq.session != nullptr,
+             "evicting request " << rec.request.id << " which is already "
+                                 << request_state_name(rec.state));
+  // Sessions are committed between steps (advance() ran), which is exactly
+  // the precondition serialize_session_kv checks — the far-tier blob is a
+  // bit-identical checkpoint of the sequence.
+  seq.swap_tokens = seq.session->position();
+  std::vector<std::uint8_t> blob = serialize_session_kv(*seq.session);
+  seq.session.reset();
+  seq.resume_state = rec.state;
+  rec.state = RequestState::kSwapped;
+  ++rec.evictions;
+  tier_->swap_out(seq.record, std::move(blob));
+  stats_.swap_events.push_back({SwapEvent::Kind::kEvict, stats_.steps,
+                                rec.request.id, seq.swap_tokens, false});
+}
+
+void ServingEngine::resume_sequence(std::size_t run_idx) {
+  RunningSeq& seq = *running_[run_idx];
+  ServingRecord& rec = records_[seq.record];
+  HACK_CHECK(rec.state == RequestState::kSwapped,
+             "resuming request " << rec.request.id << " which is "
+                                 << request_state_name(rec.state));
+  const double t0 = steady_now_s();
+  const auto blob = tier_->take_blob(seq.record);
+  StagedPrefetch* staged = find_staged(seq.record);
+  bool hit = false;
+  if (staged != nullptr) {
+    // The speculative deserialize ran while previous steps computed; the
+    // stall is only however much of it is still unfinished at join time.
+    if (staged->worker.joinable()) staged->worker.join();
+    const double stall = steady_now_s() - t0;
+    seq.session = std::move(staged->session);
+    tier_->note_prefetch_hit();
+    tier_->add_swap_in_work_s(staged->work_s);
+    tier_->add_swap_in_stall_s(stall);
+    rec.swap_stall_s += stall;
+    ++rec.prefetch_hits;
+    hit = true;
+    drop_staged(seq.record);
+  } else {
+    // Cold resume: the whole deserialize is on the critical path.
+    seq.session = std::make_unique<TinyModelSession>(weights_,
+                                                     make_backend_factory_());
+    deserialize_session_kv(*blob, *seq.session);
+    const double work = steady_now_s() - t0;
+    tier_->note_prefetch_miss();
+    tier_->add_swap_in_work_s(work);
+    tier_->add_swap_in_stall_s(work);
+    rec.swap_stall_s += work;
+  }
+  HACK_CHECK(seq.session->position() == seq.swap_tokens,
+             "far-tier blob restored " << seq.session->position()
+                                       << " tokens, expected "
+                                       << seq.swap_tokens);
+  ++rec.rehydrations;
+  rec.state = seq.resume_state;
+  stats_.swap_events.push_back({SwapEvent::Kind::kResume, stats_.steps,
+                                rec.request.id, seq.swap_tokens, hit});
+}
+
+void ServingEngine::issue_prefetch(std::size_t run_idx) {
+  RunningSeq& seq = *running_[run_idx];
+  if (find_staged(seq.record) != nullptr) return;  // already staged
+  auto blob = tier_->peek_blob(seq.record);
+  if (blob == nullptr) return;
+  auto staged = std::make_unique<StagedPrefetch>();
+  staged->record = seq.record;
+  StagedPrefetch* entry = staged.get();
+  // The worker builds a fresh session and deserializes the blob — a serial,
+  // pool-free path (kvcache/kv_wire.cpp) — so it never contends with the
+  // engine's compute threads. The factory is made here, on the engine
+  // thread, exactly like a cold resume would.
+  entry->worker = std::thread(
+      [entry, weights = weights_, factory = make_backend_factory_(),
+       blob = std::move(blob)]() mutable {
+        const double t0 = steady_now_s();
+        auto session =
+            std::make_unique<TinyModelSession>(std::move(weights), factory);
+        deserialize_session_kv(*blob, *session);
+        entry->session = std::move(session);
+        entry->work_s = steady_now_s() - t0;
+      });
+  stats_.swap_events.push_back({SwapEvent::Kind::kPrefetchIssue, stats_.steps,
+                                records_[seq.record].request.id,
+                                seq.swap_tokens, false});
+  staged_.push_back(std::move(staged));
+}
+
+void ServingEngine::predict_and_prefetch(
+    const std::vector<Scheduler::TieredSeqView>& views,
+    const TieredStepPlan& plan) {
+  // Project the views past the step about to execute and re-run the pure
+  // planner on the projection: its resume list is the prediction. The only
+  // unpredictable outcome is an early eos finish — a deterministic
+  // misprediction that wastes one staged deserialize, never correctness.
+  std::vector<Scheduler::TieredSeqView> next = views;
+  std::vector<char> runs(views.size(), 0);
+  std::vector<char> finished(views.size(), 0);
+  for (const std::size_t idx : plan.evict) {
+    next[idx].resume_state = next[idx].state;
+    next[idx].state = RequestState::kSwapped;
+  }
+  for (const std::size_t idx : plan.resume) {
+    next[idx].state = next[idx].resume_state;
+  }
+  for (const std::size_t idx : plan.step.decode) {
+    runs[idx] = 1;
+    next[idx].tokens += 1;
+    next[idx].generated += 1;
+    if (next[idx].generated >= next[idx].max_new) finished[idx] = 1;
+  }
+  if (plan.step.prefill != kNoSequence) {
+    const std::size_t idx = plan.step.prefill;
+    runs[idx] = 1;
+    next[idx].tokens += plan.step.prefill_end - plan.step.prefill_begin;
+    next[idx].prefill_done = plan.step.prefill_end;
+    if (next[idx].prefill_done == next[idx].prompt_len) {
+      if (next[idx].max_new == 0) {
+        finished[idx] = 1;
+      } else {
+        next[idx].state = RequestState::kDecoding;
+        next[idx].generated += 1;  // the completing chunk emits a token
+        if (next[idx].generated >= next[idx].max_new) finished[idx] = 1;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    next[i].stall_steps = runs[i] ? 0 : next[i].stall_steps + 1;
+  }
+  std::vector<Scheduler::TieredSeqView> projected;
+  std::vector<std::size_t> back;  // projected index -> running_ index
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    if (finished[i]) continue;
+    projected.push_back(next[i]);
+    back.push_back(i);
+  }
+  if (projected.empty()) return;
+  const TieredStepPlan next_plan =
+      scheduler_.plan_tiered(projected, tier_->pool_blocks());
+  for (const std::size_t pidx : next_plan.resume) issue_prefetch(back[pidx]);
+}
+
 ServingReport ServingEngine::run() {
   HACK_CHECK(running_.empty(), "run() while an episode is active");
   run_start_s_ = steady_now_s();
   stats_ = {};
+  staged_.clear();
+  next_ordinal_ = 0;
+  if (tier_ != nullptr) tier_->reset_stats();
   total_generated_ = 0;
   decode_time_s_ = 0.0;
   decode_step_tokens_ = 0;
@@ -334,14 +570,53 @@ ServingReport ServingEngine::run() {
       }
     }
 
-    std::vector<Scheduler::SeqView> views;
-    views.reserve(running_.size());
-    for (const auto& seq : running_) {
-      const ServingRecord& rec = records_[seq->record];
-      views.push_back({rec.state, rec.request.prompt.size(),
-                       rec.prefill_done});
+    StepPlan plan;
+    if (tier_ != nullptr) {
+      // Tiered iteration: plan against the pool budget, execute the tier
+      // transitions (evict displaced residents, rehydrate scheduled
+      // swap-ins), grow the runners' hot footprints, update the stall
+      // counters the priority function ages on, then stage the *next*
+      // step's predicted resumes before compute so the deserializes
+      // overlap it.
+      const std::vector<Scheduler::TieredSeqView> views = tiered_views();
+      const TieredStepPlan tiered =
+          scheduler_.plan_tiered(views, tier_->pool_blocks());
+      for (const std::size_t idx : tiered.evict) evict_sequence(idx);
+      for (const std::size_t idx : tiered.resume) resume_sequence(idx);
+      std::vector<char> ran(running_.size(), 0);
+      const auto grow_runner = [&](std::size_t idx, std::size_t rows) {
+        RunningSeq& seq = *running_[idx];
+        ServingRecord& rec = records_[seq.record];
+        HACK_CHECK(tier_->grow_hot(seq.record,
+                                   seq.session->position() + rows),
+                   "tiered planner overcommitted the pool for request "
+                       << rec.request.id);
+        rec.kv_blocks = std::max(rec.kv_blocks,
+                                 tier_->blocks_held(seq.record));
+        ran[idx] = 1;
+      };
+      for (const std::size_t idx : tiered.step.decode) grow_runner(idx, 1);
+      if (tiered.step.prefill != kNoSequence) {
+        grow_runner(tiered.step.prefill,
+                    tiered.step.prefill_end - tiered.step.prefill_begin);
+      }
+      for (std::size_t i = 0; i < running_.size(); ++i) {
+        running_[i]->stall_steps = ran[i] ? 0 : running_[i]->stall_steps + 1;
+      }
+      if (config_.scheduler.prefetch && !tiered.step.empty()) {
+        predict_and_prefetch(views, tiered);
+      }
+      plan = tiered.step;
+    } else {
+      std::vector<Scheduler::SeqView> views;
+      views.reserve(running_.size());
+      for (const auto& seq : running_) {
+        const ServingRecord& rec = records_[seq->record];
+        views.push_back({rec.state, rec.request.prompt.size(),
+                         rec.prefill_done});
+      }
+      plan = scheduler_.plan(views);
     }
-    const StepPlan plan = scheduler_.plan(views);
     if (plan.empty()) {
       // Nothing runnable: wait for the next arrival (there must be one —
       // otherwise admission is wedged, e.g. an external allocator tenant
@@ -407,6 +682,16 @@ ServingReport ServingEngine::run() {
   if (!ttft.empty()) report.ttft_s = compute_stats(std::move(ttft));
   if (!jct.empty()) report.jct_s = compute_stats(std::move(jct));
   if (!tbt.empty()) report.tbt_s = compute_stats(std::move(tbt));
+  // Join any still-running speculative deserializes (mispredictions staged
+  // for sequences that finished via eos before resuming) and fold the tier
+  // counters in; tiered block traffic is grow/swap-driven, so the engine's
+  // byte ledger mirrors the tier manager's.
+  staged_.clear();
+  if (tier_ != nullptr) {
+    stats_.tier = tier_->stats();
+    stats_.kv_bytes_admitted = stats_.tier.hot_bytes_admitted;
+    stats_.kv_bytes_released = stats_.tier.hot_bytes_released;
+  }
   report.engine = stats_;
   return report;
 }

@@ -38,6 +38,18 @@
 // the engine clock (run() start = 0), admission is FCFS against the
 // scheduler's slot/KV-block limits, and TTFT/TBT/JCT are measured, not
 // modeled.
+//
+// Tiered mode (scheduler.tiered, docs/serving.md "Tiered KV memory"): the
+// worst-case FCFS block reservation is replaced by a KvTierManager
+// (kvcache/tier_manager.h) — blocks are charged as tokens append, admission
+// only requires that a request fit the pool alone, and under pressure the
+// scheduler's deterministic priority function evicts whole sequences to a
+// compressed far tier as kv_wire v2 blobs (bit-identical restore by the
+// PR 5 contract). A speculative prefetcher deserializes predicted resumes
+// on a background thread so swap-ins overlap step compute; prediction and
+// the evict/resume schedule are pure functions of the submissions, so
+// replays are bitwise (tests/test_kv_tiering.cpp), while stall/overlap
+// timings are measurement only.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +58,7 @@
 #include <vector>
 
 #include "kvcache/block_allocator.h"
+#include "kvcache/tier_manager.h"
 #include "metrics/stats.h"
 #include "model/session.h"
 #include "serving/request.h"
@@ -62,6 +75,25 @@ struct ServingEngineConfig {
   bool fused_attention = true;
 };
 
+// One tier transition, in engine-schedule order. The sequence of events is
+// a pure function of the submissions (no wall-clock in the policy), so two
+// runs of the same workload produce bitwise-equal logs — the determinism
+// property tests/test_kv_tiering.cpp and the chaos corpus replay-check.
+struct SwapEvent {
+  enum class Kind : std::uint8_t {
+    kEvict,          // serialized to the far tier, hot blocks freed
+    kResume,         // rehydrated and scheduled
+    kPrefetchIssue,  // speculative deserialize started in the background
+  };
+  Kind kind = Kind::kEvict;
+  std::size_t step = 0;        // engine iteration index
+  std::uint64_t request = 0;   // ServingRequest::id
+  std::size_t tokens = 0;      // KV rows at the transition
+  bool prefetch_hit = false;   // kResume only: served by a staged prefetch
+
+  friend bool operator==(const SwapEvent&, const SwapEvent&) = default;
+};
+
 // Work/occupancy counters of one run() episode.
 struct ServingEngineStats {
   std::size_t steps = 0;              // engine iterations executed
@@ -71,6 +103,11 @@ struct ServingEngineStats {
   std::size_t rejected = 0;           // requests that could never fit
   std::size_t kv_bytes_admitted = 0;  // block bytes reserved over the run
   std::size_t kv_bytes_released = 0;  // block bytes returned (finish/reject)
+
+  // Tiered mode only: the tier manager's swap/prefetch counters and the
+  // ordered transition log (empty otherwise).
+  KvTierStats tier;
+  std::vector<SwapEvent> swap_events;
 };
 
 // One run() episode's outcome: per-request records plus percentile rollups
@@ -125,20 +162,36 @@ class ServingEngine {
 
  private:
   struct RunningSeq;
+  struct StagedPrefetch;
 
   double now_s() const;
   void admit_arrivals(std::vector<std::size_t>& queued, double now);
   void execute_step(const StepPlan& plan);
   void finish_sequence(RunningSeq& seq, double now);
 
+  // Tiered-mode step machinery (engine.cpp): executes a plan's evictions
+  // and resumes, grows runners' hot footprints, then speculatively stages
+  // the *next* plan's predicted resumes on background threads.
+  std::vector<Scheduler::TieredSeqView> tiered_views() const;
+  void evict_sequence(std::size_t run_idx);
+  void resume_sequence(std::size_t run_idx);
+  void issue_prefetch(std::size_t run_idx);
+  void predict_and_prefetch(const std::vector<Scheduler::TieredSeqView>& views,
+                            const TieredStepPlan& plan);
+  StagedPrefetch* find_staged(std::size_t record_idx);
+  void drop_staged(std::size_t record_idx);
+
   std::shared_ptr<const TinyModelWeights> weights_;
   std::function<LayerBackendFactory()> make_backend_factory_;
   ServingEngineConfig config_;
   Scheduler scheduler_;
   BlockAllocator* allocator_;  // not owned; may be null
+  std::unique_ptr<KvTierManager> tier_;  // tiered mode only
 
   std::vector<ServingRecord> records_;
   std::vector<std::unique_ptr<RunningSeq>> running_;
+  std::vector<std::unique_ptr<StagedPrefetch>> staged_;
+  std::size_t next_ordinal_ = 0;
   ServingEngineStats stats_;
   double run_start_s_ = 0.0;  // steady-clock origin of the current episode
   std::size_t total_generated_ = 0;

@@ -12,6 +12,7 @@ const char* request_state_name(RequestState state) {
     case RequestState::kQueued: return "queued";
     case RequestState::kPrefill: return "prefill";
     case RequestState::kDecoding: return "decoding";
+    case RequestState::kSwapped: return "swapped";
     case RequestState::kFinished: return "finished";
     case RequestState::kRejected: return "rejected";
   }

@@ -6,6 +6,11 @@
 // decode token by token, and finish. This header defines that lifecycle —
 //
 //   kQueued ──admit──▶ kPrefill ──prompt done──▶ kDecoding ──eos/max──▶ kFinished
+//      │                   ▲  │                   ▲  │
+//      │                   │  ▼                   │  ▼
+//      │                  kSwapped ◀──────────────┘  (tiered mode only:
+//      │                   evicted to the compressed far tier, resumes
+//      │                   into the phase it left — docs/serving.md)
 //      └──────────────── never fits the KV pool ────────────────▶ kRejected
 //
 // — plus the timestamps the serving metrics are computed from: TTFT (arrival
@@ -26,6 +31,8 @@ enum class RequestState {
   kQueued,    // submitted, waiting for admission into the running batch
   kPrefill,   // admitted; prompt ingested in bounded chunks
   kDecoding,  // prompt done; generating one token per engine step
+  kSwapped,   // tiered mode: KV evicted to the compressed far tier (kv_wire
+              // blob); resumes bit-identically into kPrefill/kDecoding
   kFinished,  // hit eos or max_new_tokens
   kRejected,  // can never fit the KV block pool; terminal, zero tokens
 };
@@ -55,7 +62,15 @@ struct ServingRecord {
   double finish_time_s = -1.0;
   std::vector<double> token_times_s;  // one stamp per generated token
 
-  std::size_t kv_blocks = 0;         // blocks reserved for this request
+  std::size_t kv_blocks = 0;         // peak blocks held by this request
+
+  // Tiered-memory lifecycle counters (zero outside tiered mode). The counts
+  // are schedule-determined — bitwise equal across replays of the same
+  // submissions — while swap_stall_s is wall-clock measurement only.
+  std::size_t evictions = 0;     // times this request was swapped out
+  std::size_t rehydrations = 0;  // times it was swapped back in
+  std::size_t prefetch_hits = 0; // rehydrations served by a staged prefetch
+  double swap_stall_s = 0.0;     // time its resumes blocked on deserialize
 
   bool done() const {
     return state == RequestState::kFinished ||

@@ -1,10 +1,24 @@
 #include "serving/scheduler.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "base/check.h"
+#include "kvcache/tier_manager.h"
 
 namespace hack {
+namespace {
+
+// A swapped sequence competes as the phase it will resume into.
+RequestState effective_state(const Scheduler::TieredSeqView& v) {
+  return v.state == RequestState::kSwapped ? v.resume_state : v.state;
+}
+
+std::size_t remaining_work(const Scheduler::TieredSeqView& v) {
+  return (v.prompt_len - v.prefill_done) + (v.max_new - v.generated);
+}
+
+}  // namespace
 
 Scheduler::Scheduler(const SchedulerConfig& config) : config_(config) {
   HACK_CHECK(config.max_active > 0, "scheduler needs at least one slot");
@@ -51,6 +65,111 @@ StepPlan Scheduler::plan(std::span<const SeqView> running) const {
   return plan;
 }
 
+bool Scheduler::tiered_priority_before(const TieredSeqView& a,
+                                       const TieredSeqView& b) const {
+  // Starvation boost: past the stall limit a sequence outranks everything,
+  // most-starved first — this is the preemption quantum. With preemption
+  // off nothing is ever "starved" and residents run to completion.
+  const auto starved = [&](const TieredSeqView& v) {
+    return config_.tiered && config_.preemption &&
+           config_.preempt_stall_limit > 0 &&
+           v.stall_steps >= config_.preempt_stall_limit;
+  };
+  const bool sa = starved(a), sb = starved(b);
+  if (sa != sb) return sa;
+  if (sa && a.stall_steps != b.stall_steps) {
+    return a.stall_steps > b.stall_steps;
+  }
+  // Residents before swapped: a resume costs a deserialize, so prefer the
+  // sequences whose KV is already hot when priorities otherwise tie.
+  const bool ra = a.state != RequestState::kSwapped;
+  const bool rb = b.state != RequestState::kSwapped;
+  if (ra != rb) return ra;
+  // Decode before prefill (bounded TBT), then shortest-remaining-first
+  // (drain sequences that free blocks soonest), then admission order.
+  const bool da = effective_state(a) == RequestState::kDecoding;
+  const bool db = effective_state(b) == RequestState::kDecoding;
+  if (da != db) return da;
+  const std::size_t wa = remaining_work(a), wb = remaining_work(b);
+  if (wa != wb) return wa < wb;
+  return a.ordinal < b.ordinal;
+}
+
+TieredStepPlan Scheduler::plan_tiered(std::span<const TieredSeqView> running,
+                                      std::size_t pool_blocks) const {
+  TieredStepPlan out;
+  const auto blocks_for = [&](std::size_t tokens) {
+    return (tokens + config_.block_tokens - 1) / config_.block_tokens;
+  };
+  std::vector<std::size_t> order(running.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t ia, std::size_t ib) {
+                     return tiered_priority_before(running[ia], running[ib]);
+                   });
+
+  // Pass 1 — schedule runners greedily against the pool budget. The
+  // top-priority candidate is always taken (admission guarantees its
+  // post-step footprint fits the pool alone); later candidates only if
+  // their footprint still fits, so the planned hot set never exceeds the
+  // pool and the engine's grow_hot calls cannot fail.
+  std::size_t budget = pool_blocks;
+  std::vector<char> scheduled(running.size(), 0);
+  for (const std::size_t idx : order) {
+    const TieredSeqView& v = running[idx];
+    HACK_CHECK(v.state == RequestState::kPrefill ||
+                   v.state == RequestState::kDecoding ||
+                   v.state == RequestState::kSwapped,
+               "sequence " << idx << " in the tiered batch is "
+                           << request_state_name(v.state));
+    const bool decoding = effective_state(v) == RequestState::kDecoding;
+    std::size_t rows = 1;
+    std::size_t pf_begin = 0, pf_end = 0;
+    if (!decoding) {
+      if (out.step.prefill != kNoSequence) continue;  // one chunk per step
+      pf_begin = v.prefill_done;
+      pf_end = chunk_end(v.prefill_done, v.prompt_len);
+      rows = pf_end - pf_begin;
+    }
+    const std::size_t need = blocks_for(v.tokens + rows);
+    const bool first = out.step.decode.empty() &&
+                       out.step.prefill == kNoSequence;
+    if (!first && need > budget) continue;
+    HACK_CHECK(need <= pool_blocks,
+               "sequence " << idx << " needs " << need << " blocks but the "
+                           << "pool only has " << pool_blocks
+                           << " — admission should have rejected it");
+    budget -= std::min(budget, need);
+    if (decoding) {
+      out.step.decode.push_back(idx);
+    } else {
+      out.step.prefill = idx;
+      out.step.prefill_begin = pf_begin;
+      out.step.prefill_end = pf_end;
+    }
+    scheduled[idx] = 1;
+    if (v.state == RequestState::kSwapped) out.resume.push_back(idx);
+  }
+
+  // Pass 2 — unscheduled residents keep their blocks while budget remains
+  // (priority order), the rest are evicted, lowest priority first. A
+  // zero-token resident holds nothing and is never "evicted".
+  for (const std::size_t idx : order) {
+    if (scheduled[idx]) continue;
+    const TieredSeqView& v = running[idx];
+    if (v.state == RequestState::kSwapped) continue;
+    const std::size_t held = blocks_for(v.tokens);
+    if (held == 0) continue;
+    if (held <= budget) {
+      budget -= held;
+      continue;
+    }
+    out.evict.push_back(idx);
+  }
+  std::reverse(out.evict.begin(), out.evict.end());
+  return out;
+}
+
 std::size_t Scheduler::blocks_needed(const ServingRequest& request) const {
   const std::size_t tokens = request.prompt.size() + request.max_new_tokens;
   return (tokens + config_.block_tokens - 1) / config_.block_tokens;
@@ -71,6 +190,12 @@ bool Scheduler::can_ever_admit(const ServingRequest& request,
   if (allocator == nullptr) return true;
   const std::size_t need = blocks_needed(request);
   return need + config_.free_block_floor <= allocator->num_blocks();
+}
+
+bool Scheduler::can_ever_admit(const ServingRequest& request,
+                               const KvTierManager* tier) const {
+  if (tier == nullptr) return true;
+  return tier->can_ever_hold(request.prompt.size() + request.max_new_tokens);
 }
 
 }  // namespace hack

@@ -34,6 +34,8 @@
 
 namespace hack {
 
+class KvTierManager;
+
 struct SchedulerConfig {
   // Max sequences holding KV concurrently (admitted but unfinished).
   std::size_t max_active = 8;
@@ -46,7 +48,28 @@ struct SchedulerConfig {
   std::size_t block_tokens = 16;
   // Admission keeps at least this many blocks free after a reservation —
   // headroom the engine never hands out (e.g. for bursts on a shared pool).
+  // FCFS mode only: tiered step planning charges the whole pool (pressure
+  // is resolved by eviction, not by refusing to plan).
   std::size_t free_block_floor = 0;
+
+  // --- Tiered KV memory (docs/serving.md, "Tiered KV memory") ---
+  // Replaces worst-case FCFS reservation with reserve-on-append +
+  // evict-lowest-priority preemption against a KvTierManager: admission is
+  // slots-only (a request just has to fit the pool *alone*), blocks are
+  // charged as tokens append, and under pressure whole sequences swap to
+  // the compressed far tier as kv_wire blobs.
+  bool tiered = false;
+  // Starvation boost: a sequence that sat unscheduled for preempt_stall_limit
+  // consecutive planned steps outranks everything else (most-starved first),
+  // preempting residents quantum-style. Off = run residents to completion
+  // and admit swapped sequences only as blocks free up.
+  bool preemption = true;
+  std::size_t preempt_stall_limit = 8;
+  // Speculative prefetch: the engine re-plans on the projected post-step
+  // state and starts deserializing predicted resumes on a background thread
+  // so the next step's swap-ins overlap this step's compute. Timing-only —
+  // hit or miss, the restored bytes are identical.
+  bool prefetch = true;
 };
 
 inline constexpr std::size_t kNoSequence = static_cast<std::size_t>(-1);
@@ -61,6 +84,16 @@ struct StepPlan {
   bool empty() const { return decode.empty() && prefill == kNoSequence; }
 };
 
+// One tiered iteration: the compute plan plus the tier transitions that must
+// happen before it (resume swapped runners, evict displaced residents).
+// Both lists are in deterministic priority order — evict is
+// lowest-priority-first, resume follows the schedule order.
+struct TieredStepPlan {
+  StepPlan step;
+  std::vector<std::size_t> resume;  // kSwapped sequences scheduled this step
+  std::vector<std::size_t> evict;   // residents displaced to the far tier
+};
+
 class Scheduler {
  public:
   // What the scheduler needs to know about one running sequence.
@@ -68,6 +101,22 @@ class Scheduler {
     RequestState state = RequestState::kQueued;
     std::size_t prompt_len = 0;
     std::size_t prefill_done = 0;
+  };
+
+  // The tiered planner's view: everything the priority function reads.
+  // Deliberately no wall-clock field — priority is a pure function of
+  // phase, age (admission ordinal + stall count), and remaining budget, so
+  // the same submissions replay to the same evict/resume schedule bitwise.
+  struct TieredSeqView {
+    RequestState state = RequestState::kQueued;  // kPrefill/kDecoding/kSwapped
+    RequestState resume_state = RequestState::kPrefill;  // phase if kSwapped
+    std::size_t prompt_len = 0;
+    std::size_t prefill_done = 0;
+    std::size_t tokens = 0;       // KV rows currently held (hot or far)
+    std::size_t generated = 0;
+    std::size_t max_new = 0;
+    std::size_t stall_steps = 0;  // consecutive planned steps left unscheduled
+    std::size_t ordinal = 0;      // admission order (age tiebreak)
   };
 
   explicit Scheduler(const SchedulerConfig& config);
@@ -78,6 +127,26 @@ class Scheduler {
   // kDecoding sequence decodes; the first kPrefill sequence gets the next
   // chunk of its prompt.
   StepPlan plan(std::span<const SeqView> running) const;
+
+  // Tiered iteration plan: greedily schedules sequences in priority order
+  // against a `pool_blocks` budget (each runner charges its post-step
+  // footprint ceil((tokens + rows) / block_tokens); the top-priority
+  // candidate is always scheduled — admission guarantees it fits the pool
+  // alone). Unscheduled residents keep their blocks while budget remains,
+  // in priority order; the rest are evicted (lowest priority first).
+  //
+  // Priority (descending): starved sequences first (stall_steps >=
+  // preempt_stall_limit, most-starved first — the preemption quantum that
+  // makes thrash round-robin instead of starving), then residents over
+  // swapped (avoid gratuitous churn), then decode over prefill, then
+  // shortest-remaining-work, then admission order. The comparator is
+  // exposed as tiered_priority_before for tests.
+  TieredStepPlan plan_tiered(std::span<const TieredSeqView> running,
+                             std::size_t pool_blocks) const;
+
+  // True when `a` outranks `b` under the tiered priority function.
+  bool tiered_priority_before(const TieredSeqView& a,
+                              const TieredSeqView& b) const;
 
   // The next chunk [begin, end) of a prompt, honoring the chunk policy.
   std::size_t chunk_end(std::size_t begin, std::size_t prompt_len) const;
@@ -95,6 +164,15 @@ class Scheduler {
   // means reject outright rather than queue forever.
   bool can_ever_admit(const ServingRequest& request,
                       const BlockAllocator* allocator) const;
+
+  // Tiered admission routes through the tier manager's capacity model: the
+  // request only has to fit the pool *alone* (worst case <= pool blocks) —
+  // residents around it can be evicted, and the free-block floor does not
+  // apply. The FCFS overload above keeps `need + floor <= num_blocks`,
+  // which under-admits exactly the requests tiering can hold (regression
+  // pinned in tests/test_kv_tiering.cpp). `tier` may be null (slots-only).
+  bool can_ever_admit(const ServingRequest& request,
+                      const KvTierManager* tier) const;
 
  private:
   SchedulerConfig config_;

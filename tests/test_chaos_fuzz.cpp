@@ -1,8 +1,9 @@
-// Seeded randomized chaos fuzz over the fleet engine.
+// Seeded randomized chaos fuzz over the fleet engine and the tiered
+// serving engine.
 //
-// Fifty derived (fault config × kill schedule × fleet shape) combinations,
-// each run twice, pinning the robustness contract corpus-wide instead of on
-// hand-picked schedules:
+// Fleet corpus: fifty derived (fault config × kill schedule × fleet shape)
+// combinations, each run twice, pinning the robustness contract corpus-wide
+// instead of on hand-picked schedules:
 //
 //   Replay       same seed + same kill schedule ⇒ bitwise-identical token
 //                streams, routes, retry counts, backoff draws, and
@@ -23,11 +24,22 @@
 // lives in tests/test_fleet.cpp where the schedule is pinned. Down cooldowns
 // are infinite for the same reason (recovery time would depend on measured
 // compute).
+//
+// Tiered corpus: derived (pool size × preemption on/off × prefetch on/off ×
+// quantization format × workload shape) combinations over the tiered
+// serving engine (docs/serving.md, "Tiered KV memory"), each run twice,
+// extending the same three properties to eviction under memory pressure:
+// bitwise replay of tokens and the evict/resume/prefetch event log, ledger
+// exactness (every eviction rehydrated, bytes out == bytes in, hit + miss
+// == rehydrations, the pool fully drained), and bit-identity against the
+// never-evicted engine.
 #include <gtest/gtest.h>
 
 #include "base/rng.h"
+#include "kvcache/block_allocator.h"
 #include "model/tiny_transformer.h"
 #include "serving/disagg.h"
+#include "serving/engine.h"
 #include "serving/fleet.h"
 #include "workload/corpus.h"
 
@@ -233,6 +245,139 @@ TEST(ChaosFuzz, FiftySeededEpisodesReplayExactlyAndStayBitIdentical) {
   EXPECT_GT(total_resumes, 0u);
   EXPECT_GT(total_checkpoints, 0u);
   EXPECT_GT(total_completed, 0u);
+}
+
+// ------------------------------------------------- tiered-memory corpus
+
+struct TieredFuzzCase {
+  ServingEngineConfig ec;
+  std::size_t pool_blocks = 0;
+  std::vector<ServingRequest> requests;
+};
+
+TieredFuzzCase derive_tiered_case(std::uint64_t case_id) {
+  Rng rng(0x71E2D000u + case_id * 0x9E3779B97F4A7C15ULL);
+  TieredFuzzCase c;
+
+  c.ec.scheduler.tiered = true;
+  c.ec.scheduler.block_tokens = 8;
+  c.ec.scheduler.max_active = 8;
+  const std::size_t chunk_options[] = {8, 16, 256};
+  c.ec.scheduler.prefill_chunk_tokens = chunk_options[rng.next_below(3)];
+  c.ec.scheduler.preemption = rng.next_below(4) != 0;  // mostly on
+  c.ec.scheduler.prefetch = rng.next_below(2) == 0;
+  c.ec.scheduler.preempt_stall_limit = 1 + rng.next_below(6);  // 1..6
+
+  // All requests arrive at t=0: admission order — and therefore the whole
+  // evict/resume schedule — is then step-deterministic, never wall-clock.
+  const std::size_t n_requests = 4 + rng.next_below(3);  // 4..6
+  SyntheticCorpus corpus({.vocab = 64}, 0xF00D + case_id);
+  std::size_t max_worst_blocks = 0;
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    ServingRequest r;
+    r.id = i;
+    r.prompt = corpus.prompt(i, 12 + rng.next_below(21));  // 12..32 tokens
+    r.max_new_tokens = 4 + rng.next_below(5);              // 4..8
+    const std::size_t worst =
+        (r.prompt.size() + r.max_new_tokens + 7) / 8;
+    max_worst_blocks = std::max(max_worst_blocks, worst);
+    c.requests.push_back(std::move(r));
+  }
+  // Pool dimension: from "one sequence's worst case" (maximum thrash) to
+  // roomy (occasional eviction). Every request fits alone, so none reject.
+  c.pool_blocks = max_worst_blocks + rng.next_below(6);  // worst .. worst+5
+  return c;
+}
+
+TEST(ChaosFuzz, TieredEpisodesReplayExactlyAndDrainTheLedger) {
+  const auto weights = small_weights();
+  std::size_t total_evictions = 0;
+  std::size_t total_hits = 0;
+  std::size_t total_misses = 0;
+  std::size_t preemption_off_cases = 0;
+
+  for (std::uint64_t case_id = 0; case_id < 16; ++case_id) {
+    SCOPED_TRACE(testing::Message() << "tiered fuzz case " << case_id);
+    const TieredFuzzCase c = derive_tiered_case(case_id);
+    Rng format_rng(0xBEEF + case_id);
+    HackAttentionConfig attn;
+    attn.pi = 32;
+    const int kv_bits_options[] = {2, 4, 8};
+    attn.kv_bits = kv_bits_options[format_rng.next_below(3)];
+    attn.summation_elimination = format_rng.next_below(2) == 0;
+    attn.requant_elimination = format_rng.next_below(2) == 0;
+    const auto maker = [&] {
+      return make_hack_layer_backend(attn, 7);
+    };
+
+    const auto run_tiered = [&](ServingReport* report) {
+      BlockAllocator pool(c.pool_blocks, 256);
+      ServingEngine engine(weights, maker, c.ec, &pool);
+      for (const ServingRequest& r : c.requests) engine.submit(r);
+      *report = engine.run();
+      EXPECT_EQ(pool.blocks_free(), c.pool_blocks);  // fully drained
+    };
+    ServingReport a, b;
+    run_tiered(&a);
+    run_tiered(&b);
+
+    // Never-evicted reference: same chunk schedule, no pool constraint.
+    ServingEngineConfig ref_cfg = c.ec;
+    ref_cfg.scheduler.tiered = false;
+    ServingEngine reference(weights, maker, ref_cfg, nullptr);
+    for (const ServingRequest& r : c.requests) reference.submit(r);
+    const ServingReport ref = reference.run();
+
+    // ---- Replay: bitwise-identical tokens, schedule, and counters. ----
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+      SCOPED_TRACE(testing::Message() << "request " << i);
+      EXPECT_EQ(a.requests[i].generated, b.requests[i].generated);
+      EXPECT_EQ(a.requests[i].evictions, b.requests[i].evictions);
+      EXPECT_EQ(a.requests[i].rehydrations, b.requests[i].rehydrations);
+      EXPECT_EQ(a.requests[i].prefetch_hits, b.requests[i].prefetch_hits);
+    }
+    EXPECT_EQ(a.engine.swap_events, b.engine.swap_events);
+    EXPECT_EQ(a.engine.tier.evictions, b.engine.tier.evictions);
+    EXPECT_EQ(a.engine.tier.bytes_swapped_out,
+              b.engine.tier.bytes_swapped_out);
+    EXPECT_EQ(a.engine.tier.far_bytes_peak, b.engine.tier.far_bytes_peak);
+
+    // ---- Ledger exactness: the tier drains with nothing left over. ----
+    EXPECT_EQ(a.engine.tier.evictions, a.engine.tier.rehydrations);
+    EXPECT_EQ(a.engine.tier.bytes_swapped_out,
+              a.engine.tier.bytes_swapped_in);
+    EXPECT_EQ(a.engine.tier.prefetch_hits + a.engine.tier.prefetch_misses,
+              a.engine.tier.rehydrations);
+    EXPECT_EQ(a.engine.kv_bytes_admitted, a.engine.kv_bytes_released);
+    std::size_t per_request_evictions = 0;
+    for (const ServingRecord& rec : a.requests) {
+      per_request_evictions += rec.evictions;
+    }
+    EXPECT_EQ(per_request_evictions, a.engine.tier.evictions);
+    if (!c.ec.scheduler.prefetch) {
+      EXPECT_EQ(a.engine.tier.prefetch_hits, 0u);
+    }
+
+    // ---- Bit-identity: eviction under pressure changed no tokens. ----
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+      SCOPED_TRACE(testing::Message() << "request " << i);
+      EXPECT_EQ(a.requests[i].state, RequestState::kFinished);
+      EXPECT_EQ(a.requests[i].generated, ref.requests[i].generated);
+    }
+
+    total_evictions += a.engine.tier.evictions;
+    total_hits += a.engine.tier.prefetch_hits;
+    total_misses += a.engine.tier.prefetch_misses;
+    if (!c.ec.scheduler.preemption) ++preemption_off_cases;
+  }
+
+  // Corpus-wide non-vacuousness: pressure actually evicted, prefetch both
+  // hit and missed, and the preemption-off dimension was drawn.
+  EXPECT_GT(total_evictions, 0u);
+  EXPECT_GT(total_hits, 0u);
+  EXPECT_GT(total_misses, 0u);
+  EXPECT_GT(preemption_off_cases, 0u);
 }
 
 }  // namespace

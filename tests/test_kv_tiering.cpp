@@ -1,0 +1,484 @@
+// Tiered KV memory: eviction invisibility and scheduling determinism.
+//
+// The tier layer's load-bearing property is that eviction is *invisible*:
+// swapping a sequence to the compressed far tier (kv_wire v2 blob) and
+// rehydrating it later must not change a single generated token, because
+// the blob restore is bit-identical (PR 5 contract) and the priority /
+// preemption policy is a pure function of the submissions (no wall-clock).
+// Four families pin that down (docs/serving.md, "Tiered KV memory"):
+//
+//   1. evict→rehydrate bit-identity vs a never-evicted run, swept across
+//      {2,4,8}-bit × RQE on/off × SE on/off and both rounding modes;
+//   2. preemption-schedule determinism — the same submissions replay to
+//      the same evict/resume/prefetch event log and tokens, bitwise;
+//   3. forced thrash (pool sized for ~1 sequence, N active) terminates
+//      with every request finished — the starvation boost round-robins;
+//   4. prefetch hit vs cold resume produce equal tokens (timing-only).
+//
+// Plus the PR 4 under-admission regression: FCFS can_ever_admit folds the
+// free-block floor into the capacity predicate and rejects requests the
+// tier manager can hold; tiered admission routes through can_ever_hold.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "base/check.h"
+#include "kvcache/block_allocator.h"
+#include "kvcache/tier_manager.h"
+#include "model/tiny_transformer.h"
+#include "serving/engine.h"
+#include "serving/scheduler.h"
+#include "workload/corpus.h"
+
+namespace hack {
+namespace {
+
+TinyConfig small_config() {
+  TinyConfig c;
+  c.vocab = 64;
+  c.layers = 2;
+  c.heads = 4;
+  c.kv_heads = 2;
+  c.d_head = 32;
+  c.d_ff = 128;
+  return c;
+}
+
+HackAttentionConfig hack_variant(int kv_bits, bool rqe, bool se,
+                                 Rounding rounding = Rounding::kStochastic) {
+  HackAttentionConfig hc;
+  hc.pi = 32;  // must divide d_head = 32
+  hc.kv_bits = kv_bits;
+  hc.requant_elimination = rqe;
+  hc.summation_elimination = se;
+  hc.rounding = rounding;
+  return hc;
+}
+
+struct TestRequest {
+  std::size_t prompt_len;
+  std::size_t max_new;
+};
+
+std::vector<ServingRequest> make_requests(
+    const std::vector<TestRequest>& shapes, std::size_t vocab) {
+  SyntheticCorpus corpus({.vocab = vocab}, 42);
+  std::vector<ServingRequest> reqs;
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    ServingRequest r;
+    r.id = i;
+    r.prompt = corpus.prompt(i, shapes[i].prompt_len);
+    r.max_new_tokens = shapes[i].max_new;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+using FactoryMaker = std::function<LayerBackendFactory()>;
+
+std::map<std::uint64_t, std::vector<int>> run_engine(
+    const std::shared_ptr<const TinyModelWeights>& weights,
+    const FactoryMaker& maker, const std::vector<ServingRequest>& reqs,
+    const ServingEngineConfig& config, BlockAllocator* allocator = nullptr,
+    ServingReport* report_out = nullptr) {
+  ServingEngine engine(weights, maker, config, allocator);
+  for (const ServingRequest& r : reqs) engine.submit(r);
+  ServingReport report = engine.run();
+  std::map<std::uint64_t, std::vector<int>> out;
+  for (const ServingRecord& rec : report.requests) {
+    out[rec.request.id] = rec.generated;
+  }
+  if (report_out != nullptr) *report_out = std::move(report);
+  return out;
+}
+
+// A tiered engine config over a pool of `pool_blocks` (block_tokens 8);
+// small chunks so evictions land mid-prefill too.
+ServingEngineConfig tiered_config(std::size_t stall_limit = 3) {
+  ServingEngineConfig ec;
+  ec.scheduler.tiered = true;
+  ec.scheduler.block_tokens = 8;
+  ec.scheduler.prefill_chunk_tokens = 8;
+  ec.scheduler.max_active = 8;
+  ec.scheduler.preempt_stall_limit = stall_limit;
+  return ec;
+}
+
+// The never-evicted reference: same chunk schedule, pool big enough that
+// the FCFS engine never queues — by the serving determinism contract its
+// tokens are what the tiered engine must reproduce bitwise.
+ServingEngineConfig reference_config() {
+  ServingEngineConfig ec;
+  ec.scheduler.block_tokens = 8;
+  ec.scheduler.prefill_chunk_tokens = 8;
+  ec.scheduler.max_active = 8;
+  return ec;
+}
+
+// ---------------------------------------------------- tier manager (unit)
+
+TEST(KvTierManager, HotGrowSwapResumeAccounting) {
+  BlockAllocator alloc(8, 256);
+  KvTierManager tier(alloc, {.block_tokens = 4});
+
+  EXPECT_EQ(tier.blocks_for_tokens(0), 0u);
+  EXPECT_EQ(tier.blocks_for_tokens(1), 1u);
+  EXPECT_EQ(tier.blocks_for_tokens(4), 1u);
+  EXPECT_EQ(tier.blocks_for_tokens(5), 2u);
+  EXPECT_TRUE(tier.can_ever_hold(32));   // 8 blocks, alone
+  EXPECT_FALSE(tier.can_ever_hold(33));  // 9 blocks > pool
+
+  // Reserve-on-append: footprints grow with tokens, all-or-nothing.
+  EXPECT_TRUE(tier.grow_hot(0, 10));  // 3 blocks
+  EXPECT_TRUE(tier.grow_hot(1, 17));  // 5 blocks
+  EXPECT_EQ(tier.blocks_held(0), 3u);
+  EXPECT_EQ(tier.blocks_held(1), 5u);
+  EXPECT_EQ(alloc.blocks_free(), 0u);
+  EXPECT_FALSE(tier.grow_hot(0, 13));     // needs a 4th block; pool is full
+  EXPECT_EQ(tier.blocks_held(0), 3u);     // rollback left the holding intact
+  EXPECT_EQ(alloc.blocks_free(), 0u);
+
+  // Evict seq 1: blocks return, the blob is charged to the far tier.
+  tier.swap_out(1, std::vector<std::uint8_t>(100, 0xAB));
+  EXPECT_EQ(alloc.blocks_free(), 5u);
+  EXPECT_TRUE(tier.is_swapped(1));
+  EXPECT_EQ(tier.blocks_held(1), 0u);
+  EXPECT_EQ(tier.far_bytes_total(), 100u);
+  EXPECT_EQ(tier.stats().evictions, 1u);
+  EXPECT_EQ(tier.stats().bytes_swapped_out, 100u);
+  EXPECT_EQ(tier.stats().far_bytes_peak, 100u);
+
+  // Resume: the blob comes back out and the far entry clears.
+  const auto blob = tier.take_blob(1);
+  ASSERT_NE(blob, nullptr);
+  EXPECT_EQ(blob->size(), 100u);
+  EXPECT_FALSE(tier.is_swapped(1));
+  EXPECT_EQ(tier.far_bytes_total(), 0u);
+  EXPECT_EQ(tier.stats().rehydrations, 1u);
+  EXPECT_EQ(tier.stats().bytes_swapped_in, 100u);
+
+  // Release frees everything a sequence still holds.
+  tier.release(0);
+  EXPECT_EQ(alloc.blocks_free(), 8u);
+  EXPECT_EQ(tier.stats().hot_bytes_admitted, 8u * 256u);
+  EXPECT_EQ(tier.stats().hot_bytes_released, 8u * 256u);
+}
+
+// ------------------------------------------------- tiered planner (unit)
+
+TEST(TieredScheduler, PriorityOrdersPhaseAgeAndBudget) {
+  SchedulerConfig cfg;
+  cfg.tiered = true;
+  cfg.preempt_stall_limit = 4;
+  const Scheduler sched(cfg);
+  using View = Scheduler::TieredSeqView;
+  const auto decode = [](std::size_t remaining, std::size_t ordinal,
+                         std::size_t stall = 0) {
+    View v;
+    v.state = RequestState::kDecoding;
+    v.prompt_len = 10;
+    v.prefill_done = 10;
+    v.tokens = 10;
+    v.max_new = remaining;
+    v.stall_steps = stall;
+    v.ordinal = ordinal;
+    return v;
+  };
+  View prefill = decode(5, 0);
+  prefill.state = RequestState::kPrefill;
+  prefill.prefill_done = 2;
+  View swapped = decode(5, 0);
+  swapped.state = RequestState::kSwapped;
+  swapped.resume_state = RequestState::kDecoding;
+
+  // Decode beats prefill; resident beats swapped; shorter remaining work
+  // beats longer; older admission breaks ties; starvation trumps all.
+  EXPECT_TRUE(sched.tiered_priority_before(decode(5, 1), prefill));
+  EXPECT_TRUE(sched.tiered_priority_before(decode(5, 1), swapped));
+  EXPECT_TRUE(sched.tiered_priority_before(decode(3, 1), decode(5, 0)));
+  EXPECT_TRUE(sched.tiered_priority_before(decode(5, 0), decode(5, 1)));
+  EXPECT_TRUE(sched.tiered_priority_before(decode(9, 9, 4), decode(3, 0)));
+  EXPECT_TRUE(sched.tiered_priority_before(decode(9, 9, 6), decode(9, 8, 5)));
+}
+
+TEST(TieredScheduler, PlanEvictsLowestPriorityUnderPressure) {
+  SchedulerConfig cfg;
+  cfg.tiered = true;
+  cfg.block_tokens = 8;
+  cfg.prefill_chunk_tokens = 8;
+  const Scheduler sched(cfg);
+  using View = Scheduler::TieredSeqView;
+  // Three decoders, 16 tokens each (2 blocks; 3 after the step's append
+  // lands on a block boundary... 17 tokens -> 3 blocks), pool of 6 blocks:
+  // two fit, the lowest-priority third is displaced.
+  const auto decoder = [](std::size_t remaining, std::size_t ordinal) {
+    View v;
+    v.state = RequestState::kDecoding;
+    v.prompt_len = 16;
+    v.prefill_done = 16;
+    v.tokens = 16;
+    v.max_new = remaining;
+    v.ordinal = ordinal;
+    return v;
+  };
+  const std::vector<View> running = {decoder(8, 0), decoder(2, 1),
+                                     decoder(8, 2)};
+  const TieredStepPlan plan = sched.plan_tiered(running, 6);
+  // Priority: seq 1 (shortest remaining), then 0 (older), then 2.
+  EXPECT_EQ(plan.step.decode, (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(plan.evict, (std::vector<std::size_t>{2}));
+  EXPECT_TRUE(plan.resume.empty());
+
+  // A swapped sequence scheduled by the planner lands in the resume list.
+  std::vector<View> with_swapped = running;
+  with_swapped[1].state = RequestState::kSwapped;
+  with_swapped[1].resume_state = RequestState::kDecoding;
+  const TieredStepPlan plan2 = sched.plan_tiered(with_swapped, 12);
+  EXPECT_EQ(plan2.resume, (std::vector<std::size_t>{1}));
+}
+
+// ------------------------------------- PR 4 under-admission (regression)
+
+TEST(TieredScheduler, CanEverAdmitRoutesThroughTierCapacity) {
+  SchedulerConfig cfg;
+  cfg.block_tokens = 8;
+  cfg.free_block_floor = 3;
+  const Scheduler sched(cfg);
+  BlockAllocator alloc(10, 256);
+  KvTierManager tier(alloc, {.block_tokens = 8});
+
+  ServingRequest req;
+  req.prompt.assign(40, 1);
+  req.max_new_tokens = 24;  // 64 tokens -> 8 blocks
+  // FCFS folds the floor in: 8 + 3 > 10 rejects — the PR 4 under-admission.
+  EXPECT_FALSE(sched.can_ever_admit(req, &alloc));
+  // The tier capacity model only asks "fits the pool alone": 8 <= 10.
+  EXPECT_TRUE(sched.can_ever_admit(req, &tier));
+  // A request that can never be fully hot is still rejected.
+  req.max_new_tokens = 48;  // 88 tokens -> 11 blocks > pool
+  EXPECT_FALSE(sched.can_ever_admit(req, &tier));
+}
+
+TEST(ServingEngine, TieredAdmitsAndCompletesWhatFcfsRejects) {
+  const TinyConfig cfg = small_config();
+  const auto weights = make_tiny_weights(cfg);
+  const FactoryMaker maker = [] {
+    return make_hack_layer_backend(hack_variant(4, true, true), 7);
+  };
+  const auto reqs = make_requests({{40, 24}}, cfg.vocab);  // 8 blocks
+
+  ServingEngineConfig fcfs = reference_config();
+  fcfs.scheduler.free_block_floor = 3;
+  BlockAllocator fcfs_pool(10, 256);
+  ServingReport fcfs_report;
+  run_engine(weights, maker, reqs, fcfs, &fcfs_pool, &fcfs_report);
+  EXPECT_EQ(fcfs_report.requests[0].state, RequestState::kRejected);
+  EXPECT_EQ(fcfs_report.engine.rejected, 1u);
+
+  ServingEngineConfig tiered = tiered_config();
+  tiered.scheduler.free_block_floor = 3;  // ignored by tiered admission
+  BlockAllocator tiered_pool(10, 256);
+  ServingReport tiered_report;
+  const auto got = run_engine(weights, maker, reqs, tiered, &tiered_pool,
+                              &tiered_report);
+  EXPECT_EQ(tiered_report.requests[0].state, RequestState::kFinished);
+  EXPECT_EQ(got.at(0).size(), 24u);
+  EXPECT_EQ(tiered_pool.blocks_free(), 10u);  // everything released
+}
+
+// -------------------------------------------- evict→rehydrate bit-identity
+
+// The core invisibility property: a tiered run under heavy pressure (pool
+// ~1.5 sequences, 5 active) must generate exactly the tokens of a
+// never-evicted run, for every bit-width and flag combination — evictions
+// must actually happen for the sweep to mean anything.
+TEST(KvTiering, EvictRehydrateBitIdenticalAcrossFormats) {
+  const TinyConfig cfg = small_config();
+  const auto weights = make_tiny_weights(cfg);
+  const auto reqs = make_requests(
+      {{24, 8}, {17, 6}, {31, 8}, {12, 10}, {20, 6}}, cfg.vocab);
+
+  struct Variant {
+    int kv_bits;
+    bool rqe, se;
+    Rounding rounding;
+  };
+  const std::vector<Variant> variants = {
+      {2, true, true, Rounding::kStochastic},
+      {4, true, true, Rounding::kStochastic},
+      {8, true, true, Rounding::kStochastic},
+      {4, false, true, Rounding::kStochastic},
+      {4, true, false, Rounding::kStochastic},
+      {2, false, false, Rounding::kNearest},
+  };
+  for (const Variant& v : variants) {
+    const FactoryMaker maker = [v] {
+      return make_hack_layer_backend(
+          hack_variant(v.kv_bits, v.rqe, v.se, v.rounding), 7);
+    };
+    const auto reference =
+        run_engine(weights, maker, reqs, reference_config());
+
+    BlockAllocator pool(8, 256);  // 64 tokens hot — far below the working set
+    ServingReport report;
+    const auto tiered = run_engine(weights, maker, reqs, tiered_config(),
+                                   &pool, &report);
+    EXPECT_GT(report.engine.tier.evictions, 0u)
+        << "kv_bits=" << v.kv_bits << " rqe=" << v.rqe << " se=" << v.se
+        << ": sweep is vacuous without evictions";
+    EXPECT_EQ(report.engine.tier.evictions, report.engine.tier.rehydrations);
+    EXPECT_EQ(tiered, reference)
+        << "kv_bits=" << v.kv_bits << " rqe=" << v.rqe << " se=" << v.se;
+    EXPECT_EQ(pool.blocks_free(), 8u);
+  }
+}
+
+// ------------------------------------------- schedule determinism (bitwise)
+
+TEST(KvTiering, PreemptionScheduleReplaysBitwise) {
+  const TinyConfig cfg = small_config();
+  const auto weights = make_tiny_weights(cfg);
+  const FactoryMaker maker = [] {
+    return make_hack_layer_backend(hack_variant(2, true, true), 7);
+  };
+  const auto reqs = make_requests(
+      {{24, 8}, {17, 6}, {31, 8}, {12, 10}, {20, 6}}, cfg.vocab);
+
+  const auto run_once = [&](ServingReport* report) {
+    BlockAllocator pool(8, 256);
+    return run_engine(weights, maker, reqs, tiered_config(), &pool, report);
+  };
+  ServingReport a, b;
+  const auto tokens_a = run_once(&a);
+  const auto tokens_b = run_once(&b);
+
+  EXPECT_EQ(tokens_a, tokens_b);
+  ASSERT_GT(a.engine.swap_events.size(), 0u);
+  EXPECT_EQ(a.engine.swap_events, b.engine.swap_events);
+  EXPECT_EQ(a.engine.tier.evictions, b.engine.tier.evictions);
+  EXPECT_EQ(a.engine.tier.rehydrations, b.engine.tier.rehydrations);
+  EXPECT_EQ(a.engine.tier.prefetch_hits, b.engine.tier.prefetch_hits);
+  EXPECT_EQ(a.engine.tier.bytes_swapped_out, b.engine.tier.bytes_swapped_out);
+  EXPECT_EQ(a.engine.tier.bytes_swapped_in, b.engine.tier.bytes_swapped_in);
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].evictions, b.requests[i].evictions) << i;
+    EXPECT_EQ(a.requests[i].rehydrations, b.requests[i].rehydrations) << i;
+  }
+}
+
+// --------------------------------------------------- forced thrash sweep
+
+// Pool sized for ~1 sequence, N=5 active: the starvation boost must
+// round-robin the pool through every sequence — all finish, none starves,
+// and the ledger drains exactly (every eviction rehydrated, far tier empty).
+TEST(KvTiering, ForcedThrashTerminatesWithoutStarvation) {
+  const TinyConfig cfg = small_config();
+  const auto weights = make_tiny_weights(cfg);
+  const FactoryMaker maker = [] {
+    return make_hack_layer_backend(hack_variant(2, true, true), 7);
+  };
+  const auto reqs = make_requests(
+      {{24, 8}, {20, 8}, {16, 8}, {28, 8}, {18, 8}}, cfg.vocab);
+
+  for (const std::size_t stall_limit : {1u, 3u, 6u}) {
+    BlockAllocator pool(5, 256);  // 40 hot tokens: one sequence's worst case
+    ServingReport report;
+    const auto got = run_engine(weights, maker, reqs,
+                                tiered_config(stall_limit), &pool, &report);
+    for (const ServingRecord& rec : report.requests) {
+      EXPECT_EQ(rec.state, RequestState::kFinished)
+          << "request " << rec.request.id << " starved at stall limit "
+          << stall_limit;
+      EXPECT_EQ(rec.generated.size(), rec.request.max_new_tokens);
+    }
+    EXPECT_GT(report.engine.tier.evictions, 0u);
+    EXPECT_EQ(report.engine.tier.evictions, report.engine.tier.rehydrations);
+    EXPECT_EQ(pool.blocks_free(), 5u);
+    ASSERT_EQ(got.size(), reqs.size());
+  }
+}
+
+// --------------------------------------------- prefetch hit vs cold resume
+
+// Prefetch is timing-only: staged and cold resumes deserialize the same
+// blob, so tokens are equal; with every request submitted up front and no
+// eos the projection is exact, so the prefetch-on run resumes warm.
+TEST(KvTiering, PrefetchHitMatchesColdResume) {
+  const TinyConfig cfg = small_config();
+  const auto weights = make_tiny_weights(cfg);
+  const FactoryMaker maker = [] {
+    return make_hack_layer_backend(hack_variant(4, true, true), 7);
+  };
+  const auto reqs = make_requests(
+      {{24, 8}, {17, 6}, {31, 8}, {20, 6}}, cfg.vocab);
+
+  ServingEngineConfig warm = tiered_config();
+  ServingEngineConfig cold = tiered_config();
+  cold.scheduler.prefetch = false;
+
+  BlockAllocator warm_pool(8, 256), cold_pool(8, 256);
+  ServingReport warm_report, cold_report;
+  const auto warm_tokens = run_engine(weights, maker, reqs, warm,
+                                      &warm_pool, &warm_report);
+  const auto cold_tokens = run_engine(weights, maker, reqs, cold,
+                                      &cold_pool, &cold_report);
+
+  EXPECT_EQ(warm_tokens, cold_tokens);
+  ASSERT_GT(cold_report.engine.tier.rehydrations, 0u);
+  EXPECT_EQ(cold_report.engine.tier.prefetch_hits, 0u);
+  EXPECT_EQ(cold_report.engine.tier.prefetch_misses,
+            cold_report.engine.tier.rehydrations);
+  EXPECT_GT(warm_report.engine.tier.prefetch_hits, 0u);
+  // Same submissions, same policy: the evict/resume schedule is identical
+  // whether resumes are staged or cold — prefetch changed nothing but time.
+  EXPECT_EQ(warm_report.engine.tier.evictions,
+            cold_report.engine.tier.evictions);
+  EXPECT_EQ(warm_report.engine.tier.rehydrations,
+            cold_report.engine.tier.rehydrations);
+}
+
+// ---------------------------------------------- acceptance: concurrency up
+
+// Under a pool below the working set the tiered engine must hold strictly
+// more concurrent requests than worst-case FCFS reservation, with zero
+// token divergence from the unconstrained reference.
+TEST(KvTiering, TieredBeatsFcfsConcurrencyUnderPressure) {
+  const TinyConfig cfg = small_config();
+  const auto weights = make_tiny_weights(cfg);
+  const FactoryMaker maker = [] {
+    return make_hack_layer_backend(hack_variant(2, true, true), 7);
+  };
+  // Five requests of 3–5 worst-case blocks each (24–36 tokens at
+  // block_tokens 8, ~19 blocks total): a 12-block pool FCFS-reserves only
+  // a strict subset at a time, while tiered admission holds all five.
+  const auto reqs = make_requests(
+      {{24, 8}, {20, 8}, {16, 8}, {28, 8}, {18, 8}}, cfg.vocab);
+
+  const auto reference = run_engine(weights, maker, reqs, reference_config());
+
+  ServingEngineConfig fcfs = reference_config();
+  BlockAllocator fcfs_pool(12, 256);
+  ServingReport fcfs_report;
+  const auto fcfs_tokens = run_engine(weights, maker, reqs, fcfs,
+                                      &fcfs_pool, &fcfs_report);
+
+  BlockAllocator tiered_pool(12, 256);
+  ServingReport tiered_report;
+  const auto tiered_tokens = run_engine(weights, maker, reqs,
+                                        tiered_config(), &tiered_pool,
+                                        &tiered_report);
+
+  EXPECT_LT(fcfs_report.engine.peak_running, reqs.size());
+  EXPECT_EQ(tiered_report.engine.peak_running, reqs.size());
+  EXPECT_GT(tiered_report.engine.peak_running,
+            fcfs_report.engine.peak_running);
+  EXPECT_EQ(tiered_tokens, reference);
+  EXPECT_EQ(fcfs_tokens, reference);
+  for (const ServingRecord& rec : tiered_report.requests) {
+    EXPECT_EQ(rec.state, RequestState::kFinished) << rec.request.id;
+  }
+}
+
+}  // namespace
+}  // namespace hack
